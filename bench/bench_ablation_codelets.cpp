@@ -1,0 +1,73 @@
+// Ablation E5 (paper Fig. 2 / §4.2.1): minimal-operation transform
+// codelets. Reports (a) vector-op counts of the generated programs with
+// and without the even/odd pairing reduction, against the naive
+// one-op-per-nonzero schedule, and (b) the end-to-end effect on the
+// transform stages of a representative layer.
+#include <cstdio>
+
+#include "ondwin/ondwin.h"
+#include "transform/program.h"
+#include "util/rng.h"
+#include "wincnn/cook_toom.h"
+
+using namespace ondwin;
+
+int main() {
+  std::printf("== E5: transform codelet op-count reduction (Fig. 2) ==\n\n");
+  std::printf("%-10s %-6s %8s %8s %8s %9s\n", "F(m,r)", "matrix", "naive",
+              "plain", "paired", "saved");
+  for (int m : {2, 4, 6, 8}) {
+    const WinogradMatrices wm = cook_toom(m, 3);
+    struct Row {
+      const char* name;
+      const RatMatrix* mat;
+    };
+    const Row rows[] = {{"BT", &wm.BT}, {"G", &wm.G}, {"AT", &wm.AT}};
+    for (const Row& r : rows) {
+      const TransformProgram paired = build_transform_program(*r.mat);
+      const TransformProgram plain = build_transform_program(
+          *r.mat,
+          {.enable_pairing = false, .enable_column_pairing = false});
+      std::printf("F(%d,3)%4s %-6s %8d %8d %8d %8.0f%%\n", m, "", r.name,
+                  paired.naive_ops, plain.arithmetic_ops(),
+                  paired.arithmetic_ops(),
+                  100.0 * (1.0 - static_cast<double>(paired.arithmetic_ops()) /
+                                     static_cast<double>(paired.naive_ops)));
+    }
+  }
+
+  std::printf("\n-- end-to-end: transform stage times, F(6x6,3x3) layer --\n");
+  ConvProblem p;
+  p.shape.batch = 2;
+  p.shape.in_channels = 64;
+  p.shape.out_channels = 64;
+  p.shape.image = {38, 38};
+  p.shape.kernel = {3, 3};
+  p.shape.padding = {1, 1};
+  p.tile_m = {6, 6};
+
+  const ImageLayout in_l = p.input_layout();
+  const KernelLayout k_l = p.kernel_layout();
+  const ImageLayout out_l = p.output_layout();
+  AlignedBuffer<float> in(static_cast<std::size_t>(in_l.total_floats()));
+  AlignedBuffer<float> w(static_cast<std::size_t>(k_l.total_floats()));
+  AlignedBuffer<float> out(static_cast<std::size_t>(out_l.total_floats()));
+  Rng rng(4);
+  for (auto& v : in) v = rng.uniform(-1, 1);
+  for (auto& v : w) v = rng.uniform(-1, 1);
+
+  for (const bool pairing : {false, true}) {
+    PlanOptions o;
+    o.codelet_pairing = pairing;
+    ConvPlan plan(p, o);
+    double best_in = 1e30, best_out = 1e30;
+    for (int rep = 0; rep < 5; ++rep) {
+      plan.execute(in.data(), w.data(), out.data());
+      best_in = std::min(best_in, plan.last_stats().input_transform);
+      best_out = std::min(best_out, plan.last_stats().inverse_transform);
+    }
+    std::printf("  pairing %-3s  input transform %8.3f ms   inverse %8.3f ms\n",
+                pairing ? "on" : "off", best_in * 1e3, best_out * 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation: JIT-compiled transform codelets versus the interpreting
+// executor (this library's runtime equivalent of the paper's compile-time
+// templated codelets — see transform/jit_codelet.h).
+#include <cstdio>
+
+#include "ondwin/ondwin.h"
+#include "util/rng.h"
+
+using namespace ondwin;
+
+int main() {
+  std::printf("== ablation: JIT transform codelets vs interpreter ==\n\n");
+
+  struct Case {
+    const char* label;
+    ConvProblem p;
+  };
+  std::vector<Case> cases;
+  {
+    ConvProblem p;
+    p.shape.batch = 1;
+    p.shape.in_channels = 64;
+    p.shape.out_channels = 64;
+    p.shape.image = {96, 96};
+    p.shape.kernel = {3, 3};
+    p.shape.padding = {1, 1};
+    p.tile_m = {4, 4};
+    cases.push_back({"2D F(4,3) 96x96x64", p});
+    p.tile_m = {6, 6};
+    cases.push_back({"2D F(6,3) 96x96x64", p});
+  }
+  {
+    ConvProblem p;
+    p.shape.batch = 1;
+    p.shape.in_channels = 32;
+    p.shape.out_channels = 32;
+    p.shape.image = {18, 20, 20};
+    p.shape.kernel = {3, 3, 3};
+    p.shape.padding = {1, 1, 1};
+    p.tile_m = {2, 2, 2};
+    cases.push_back({"3D F(2,3) 18x20x20x32", p});
+  }
+
+  std::printf("%-24s %14s %14s %10s\n", "layer", "interp xf ms",
+              "jit xf ms", "speedup");
+  Rng rng(8);
+  for (const Case& c : cases) {
+    const ImageLayout in_l = c.p.input_layout();
+    const KernelLayout k_l = c.p.kernel_layout();
+    const ImageLayout out_l = c.p.output_layout();
+    AlignedBuffer<float> in(static_cast<std::size_t>(in_l.total_floats()));
+    AlignedBuffer<float> w(static_cast<std::size_t>(k_l.total_floats()));
+    AlignedBuffer<float> out(static_cast<std::size_t>(out_l.total_floats()));
+    for (auto& v : in) v = rng.uniform(-1, 1);
+    for (auto& v : w) v = rng.uniform(-1, 1);
+
+    double xf[2] = {0, 0};
+    for (const bool jit : {false, true}) {
+      PlanOptions o;
+      o.jit_transforms = jit;
+      ConvPlan plan(c.p, o);
+      plan.set_kernels(w.data());
+      double best = 1e30;
+      for (int rep = 0; rep < 6; ++rep) {
+        plan.execute_pretransformed(in.data(), out.data());
+        best = std::min(best, plan.last_stats().input_transform +
+                                  plan.last_stats().inverse_transform);
+      }
+      xf[jit ? 1 : 0] = best;
+    }
+    std::printf("%-24s %14.3f %14.3f %9.2fx\n", c.label, xf[0] * 1e3,
+                xf[1] * 1e3, xf[0] / xf[1]);
+  }
+  return 0;
+}

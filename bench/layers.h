@@ -1,0 +1,86 @@
+// The benchmarked convolutional layers of paper Tbl. 2, with CI-scaled
+// variants for small hosts.
+//
+// Paper sizes target a 64-core Xeon Phi with 16 GB MCDRAM; the CI variants
+// keep the *structure* of each layer (channel counts, kernel ranks,
+// padding, batch-1-ness of segmentation nets) while shrinking batch and
+// spatial extents so a single-core run finishes in seconds. Every bench
+// accepts --full to use the paper's sizes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/conv_problem.h"
+
+namespace ondwin {
+
+struct BenchLayer {
+  std::string net;    // VGG | FusionNet | C3D | 3DUNet
+  std::string name;   // e.g. "1.2"
+  ConvShape shape;
+};
+
+inline ConvShape layer(i64 b, i64 c, i64 cp, Dims image, Dims pad,
+                       Dims kernel) {
+  ConvShape s;
+  s.batch = b;
+  s.in_channels = c;
+  s.out_channels = cp;
+  s.image = image;
+  s.padding = pad;
+  s.kernel = kernel;
+  return s;
+}
+
+/// Tbl. 2 layer set. `full` = paper sizes; otherwise CI-scaled.
+inline std::vector<BenchLayer> table2_layers(bool full) {
+  std::vector<BenchLayer> v;
+  if (full) {
+    v.push_back({"VGG", "1.2", layer(64, 64, 64, {224, 224}, {1, 1}, {3, 3})});
+    v.push_back({"VGG", "2.2", layer(64, 128, 128, {112, 112}, {1, 1}, {3, 3})});
+    v.push_back({"VGG", "3.2", layer(64, 256, 256, {56, 56}, {1, 1}, {3, 3})});
+    v.push_back({"VGG", "4.2", layer(64, 512, 512, {28, 28}, {1, 1}, {3, 3})});
+    v.push_back({"VGG", "5.2", layer(64, 512, 512, {14, 14}, {1, 1}, {3, 3})});
+    v.push_back({"FusionNet", "1.2", layer(1, 64, 64, {640, 640}, {0, 0}, {3, 3})});
+    v.push_back({"FusionNet", "2.2", layer(1, 128, 128, {320, 320}, {0, 0}, {3, 3})});
+    v.push_back({"FusionNet", "3.2", layer(1, 256, 256, {160, 160}, {0, 0}, {3, 3})});
+    v.push_back({"FusionNet", "4.2", layer(1, 512, 512, {80, 80}, {0, 0}, {3, 3})});
+    v.push_back({"FusionNet", "5.2", layer(1, 1024, 1024, {40, 40}, {0, 0}, {3, 3})});
+    v.push_back({"C3D", "C2a", layer(32, 64, 128, {16, 56, 56}, {1, 1, 1}, {3, 3, 3})});
+    v.push_back({"C3D", "C3b", layer(32, 256, 256, {8, 28, 28}, {1, 1, 1}, {3, 3, 3})});
+    v.push_back({"C3D", "C4b", layer(32, 512, 512, {4, 14, 14}, {1, 1, 1}, {3, 3, 3})});
+    v.push_back({"3DUNet", "1.2", layer(1, 32, 64, {114, 130, 130}, {0, 0, 0}, {3, 3, 3})});
+    v.push_back({"3DUNet", "2.2", layer(1, 64, 128, {54, 62, 62}, {0, 0, 0}, {3, 3, 3})});
+    v.push_back({"3DUNet", "3.2", layer(1, 128, 256, {26, 30, 30}, {0, 0, 0}, {3, 3, 3})});
+  } else {
+    // batch 64→2 / 32→1, spatial ÷4 (min 12), channels ≥512 halved once.
+    v.push_back({"VGG", "1.2", layer(2, 64, 64, {56, 56}, {1, 1}, {3, 3})});
+    v.push_back({"VGG", "2.2", layer(2, 128, 128, {28, 28}, {1, 1}, {3, 3})});
+    v.push_back({"VGG", "3.2", layer(2, 256, 256, {14, 14}, {1, 1}, {3, 3})});
+    v.push_back({"VGG", "4.2", layer(2, 256, 256, {12, 12}, {1, 1}, {3, 3})});
+    v.push_back({"VGG", "5.2", layer(2, 256, 256, {14, 14}, {1, 1}, {3, 3})});
+    v.push_back({"FusionNet", "1.2", layer(1, 64, 64, {160, 160}, {0, 0}, {3, 3})});
+    v.push_back({"FusionNet", "2.2", layer(1, 128, 128, {80, 80}, {0, 0}, {3, 3})});
+    v.push_back({"FusionNet", "3.2", layer(1, 256, 256, {40, 40}, {0, 0}, {3, 3})});
+    v.push_back({"FusionNet", "4.2", layer(1, 256, 256, {20, 20}, {0, 0}, {3, 3})});
+    v.push_back({"FusionNet", "5.2", layer(1, 512, 512, {12, 12}, {0, 0}, {3, 3})});
+    v.push_back({"C3D", "C2a", layer(1, 64, 128, {8, 14, 14}, {1, 1, 1}, {3, 3, 3})});
+    v.push_back({"C3D", "C3b", layer(1, 128, 128, {4, 14, 14}, {1, 1, 1}, {3, 3, 3})});
+    v.push_back({"C3D", "C4b", layer(1, 256, 256, {4, 8, 8}, {1, 1, 1}, {3, 3, 3})});
+    v.push_back({"3DUNet", "1.2", layer(1, 32, 64, {18, 22, 22}, {0, 0, 0}, {3, 3, 3})});
+    v.push_back({"3DUNet", "2.2", layer(1, 64, 128, {12, 14, 14}, {0, 0, 0}, {3, 3, 3})});
+    v.push_back({"3DUNet", "3.2", layer(1, 128, 256, {6, 8, 8}, {0, 0, 0}, {3, 3, 3})});
+  }
+  return v;
+}
+
+/// Tile sizes "ours" is benchmarked with per rank (paper Fig. 5 columns).
+inline std::vector<Dims> bench_tiles(int rank) {
+  if (rank == 2) {
+    return {Dims{2, 2}, Dims{4, 4}, Dims{6, 6}};
+  }
+  return {Dims{2, 2, 2}, Dims{4, 4, 4}};
+}
+
+}  // namespace ondwin

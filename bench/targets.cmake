@@ -1,0 +1,13 @@
+# Bench targets are defined from the root so that build/bench contains only
+# the runnable binaries (the canonical run is `for b in build/bench/*`).
+file(GLOB ONDWIN_BENCH_SOURCES CONFIGURE_DEPENDS
+  ${CMAKE_SOURCE_DIR}/bench/bench_*.cpp)
+
+foreach(src ${ONDWIN_BENCH_SOURCES})
+  get_filename_component(name ${src} NAME_WE)
+  add_executable(${name} ${src})
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
+  target_link_libraries(${name} PRIVATE ondwin benchmark::benchmark)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()

@@ -1,0 +1,55 @@
+// Auto-tuning & wisdom demo (paper §4.3.2).
+//
+//   $ ./example_autotune [wisdom_file]
+//
+// Searches the blocking-parameter space for one layer, prints the ranked
+// candidates, persists the winner to a wisdom file, and shows that a fresh
+// plan picks it up.
+#include <cstdio>
+#include <string>
+
+#include "ondwin/ondwin.h"
+
+using namespace ondwin;
+
+int main(int argc, char** argv) {
+  const std::string wisdom_path =
+      argc > 1 ? argv[1] : "/tmp/ondwin_wisdom.txt";
+
+  ConvProblem p;
+  p.shape.batch = 2;
+  p.shape.in_channels = 64;
+  p.shape.out_channels = 64;
+  p.shape.image = {28, 28};
+  p.shape.kernel = {3, 3};
+  p.shape.padding = {1, 1};
+  p.tile_m = {4, 4};
+
+  PlanOptions base;
+  base.wisdom_path = wisdom_path;
+
+  std::printf("tuning %s ...\n", wisdom_key(p).c_str());
+  const TuneResult r = auto_tune(p, base, /*budget_seconds=*/8.0);
+
+  std::printf("%-8s %-8s %-8s %12s\n", "n_blk", "c_blk", "cp_blk", "ms");
+  const std::size_t show = std::min<std::size_t>(r.all.size(), 10);
+  for (std::size_t i = 0; i < show; ++i) {
+    const auto& c = r.all[i];
+    std::printf("%-8d %-8d %-8d %12.3f%s\n", c.blocking.n_blk,
+                c.blocking.c_blk, c.blocking.cp_blk, c.seconds * 1e3,
+                i == 0 ? "   <-- best (stored as wisdom)" : "");
+  }
+  if (r.all.size() > show) {
+    std::printf("  ... %zu more candidates measured\n", r.all.size() - show);
+  }
+
+  // A fresh plan with only the wisdom path set resolves to the winner.
+  PlanOptions opts;
+  opts.wisdom_path = wisdom_path;
+  ConvPlan plan(p, opts);
+  std::printf(
+      "fresh plan picked n_blk=%d c_blk=%d cp_blk=%d from %s\n",
+      plan.blocking().n_blk, plan.blocking().c_blk, plan.blocking().cp_blk,
+      wisdom_path.c_str());
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include "baseline/direct_conv.h"
+
+namespace ondwin {
+
+void naive_conv(const ConvShape& s, const float* in, const float* w,
+                float* out) {
+  naive_conv_accumulate<float>(s, in, w, out);
+}
+
+std::vector<long double> naive_conv_longdouble(const ConvShape& s,
+                                               const float* in,
+                                               const float* w) {
+  std::vector<long double> out(static_cast<std::size_t>(s.output_floats()));
+  naive_conv_accumulate<long double>(s, in, w, out.data());
+  return out;
+}
+
+}  // namespace ondwin

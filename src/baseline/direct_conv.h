@@ -1,0 +1,118 @@
+// Direct (im2col-free, loop-nest) convolution baselines.
+//
+//  * naive_conv / naive_conv_accumulate<Acc>: rank-generic reference on
+//    plain row-major layouts — the correctness oracle for every other
+//    implementation, and (with Acc = long double) the ground truth of the
+//    paper's accuracy study (Tbl. 3).
+//  * DirectConvBlocked (direct_conv_blocked.h): the optimized direct
+//    baseline of Fig. 5 on the SIMD-blocked layout.
+//
+// Semantics follow ConvNet convention (cross-correlation, unit stride,
+// symmetric zero padding):  out[b,c',o] = Σ_c Σ_k in[b,c,o+k-p]·w[c',c,k].
+#pragma once
+
+#include <vector>
+
+#include "tensor/dims.h"
+
+namespace ondwin {
+
+struct ConvShape {
+  i64 batch = 1;
+  i64 in_channels = 1;
+  i64 out_channels = 1;
+  Dims image;    // input spatial extents
+  Dims kernel;   // r per dimension
+  Dims padding;  // symmetric zero padding per dimension
+
+  Dims output() const {
+    Dims out = image;
+    for (int d = 0; d < image.rank(); ++d) {
+      const i64 o = image[d] + 2 * padding[d] - kernel[d] + 1;
+      ONDWIN_CHECK(o >= 1, "dimension ", d, " has no valid output: image ",
+                   image[d], " pad ", padding[d], " kernel ", kernel[d]);
+      out[d] = o;
+    }
+    return out;
+  }
+
+  void validate() const {
+    ONDWIN_CHECK(batch >= 1 && in_channels >= 1 && out_channels >= 1,
+                 "bad channel/batch counts");
+    ONDWIN_CHECK(image.rank() >= 1, "scalar images are not convolutions");
+    ONDWIN_CHECK(kernel.rank() == image.rank() &&
+                     padding.rank() == image.rank(),
+                 "rank mismatch between image/kernel/padding");
+    for (int d = 0; d < image.rank(); ++d) {
+      ONDWIN_CHECK(kernel[d] >= 1 && padding[d] >= 0, "bad kernel/padding");
+    }
+    (void)output();
+  }
+
+  i64 input_floats() const { return batch * in_channels * image.product(); }
+  i64 weight_floats() const {
+    return out_channels * in_channels * kernel.product();
+  }
+  i64 output_floats() const {
+    return batch * out_channels * output().product();
+  }
+  /// Multiply-accumulate count of the direct method.
+  i64 direct_macs() const {
+    return batch * out_channels * in_channels * output().product() *
+           kernel.product();
+  }
+};
+
+/// Reference convolution with a caller-chosen accumulator type.
+/// Layouts: in [B][C][image], w [C'][C][kernel], out [B][C'][output]
+/// (all row-major).
+template <typename Acc>
+void naive_conv_accumulate(const ConvShape& s, const float* in,
+                           const float* w, Acc* out) {
+  s.validate();
+  const Dims out_dims = s.output();
+  const i64 opx = out_dims.product();
+  const i64 ipx = s.image.product();
+  const i64 taps = s.kernel.product();
+  const int rank = s.image.rank();
+
+  for (i64 b = 0; b < s.batch; ++b) {
+    for (i64 cp = 0; cp < s.out_channels; ++cp) {
+      for (i64 o = 0; o < opx; ++o) {
+        const Dims oc = out_dims.coord_of(o);
+        Acc acc = 0;
+        for (i64 c = 0; c < s.in_channels; ++c) {
+          const float* img = in + (b * s.in_channels + c) * ipx;
+          const float* ker = w + (cp * s.in_channels + c) * taps;
+          for (i64 k = 0; k < taps; ++k) {
+            const Dims kc = s.kernel.coord_of(k);
+            bool inside = true;
+            Dims ic = oc;
+            for (int d = 0; d < rank; ++d) {
+              ic[d] = oc[d] + kc[d] - s.padding[d];
+              if (ic[d] < 0 || ic[d] >= s.image[d]) {
+                inside = false;
+                break;
+              }
+            }
+            if (!inside) continue;
+            acc += static_cast<Acc>(img[s.image.offset_of(ic)]) *
+                   static_cast<Acc>(ker[k]);
+          }
+        }
+        out[(b * s.out_channels + cp) * opx + o] = acc;
+      }
+    }
+  }
+}
+
+/// float-accumulated reference (the oracle most tests compare against).
+void naive_conv(const ConvShape& s, const float* in, const float* w,
+                float* out);
+
+/// Extended-precision ground truth for the accuracy study.
+std::vector<long double> naive_conv_longdouble(const ConvShape& s,
+                                               const float* in,
+                                               const float* w);
+
+}  // namespace ondwin

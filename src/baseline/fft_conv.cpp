@@ -1,0 +1,104 @@
+#include "baseline/fft_conv.h"
+
+#include <cstring>
+
+namespace ondwin {
+
+FftConv::FftConv(const ConvShape& shape) : shape_(shape) {
+  shape_.validate();
+  const Dims out = shape_.output();
+  fft_extent_ = shape_.image;
+  for (int d = 0; d < shape_.image.rank(); ++d) {
+    // Circular convolution must fit the full linear result:
+    // (image + 2·pad) + kernel - 1 samples.
+    const i64 need = shape_.image[d] + 2 * shape_.padding[d] +
+                     shape_.kernel[d] - 1;
+    fft_extent_[d] = static_cast<i64>(next_pow2(static_cast<u64>(need)));
+  }
+  fft_total_ = fft_extent_.product();
+  for (int d = 0; d < fft_extent_.rank(); ++d) {
+    plans_.emplace_back(fft_extent_[d]);
+  }
+  kernels_fd_.reset(static_cast<std::size_t>(
+      shape_.out_channels * shape_.in_channels * fft_total_));
+  channels_fd_.reset(
+      static_cast<std::size_t>(shape_.in_channels * fft_total_));
+  scratch_.reset(static_cast<std::size_t>(fft_total_));
+  (void)out;
+}
+
+i64 FftConv::workspace_elems() const {
+  return static_cast<i64>(kernels_fd_.size() + channels_fd_.size() +
+                          scratch_.size());
+}
+
+void FftConv::set_kernels(const float* w) {
+  const i64 taps = shape_.kernel.product();
+  const int rank = shape_.image.rank();
+  for (i64 cp = 0; cp < shape_.out_channels; ++cp) {
+    for (i64 c = 0; c < shape_.in_channels; ++c) {
+      cfloat* dst =
+          kernels_fd_.data() + (cp * shape_.in_channels + c) * fft_total_;
+      std::memset(dst, 0, static_cast<std::size_t>(fft_total_) *
+                              sizeof(cfloat));
+      const float* ker = w + (cp * shape_.in_channels + c) * taps;
+      // Correlation = convolution with the flipped kernel.
+      for (i64 k = 0; k < taps; ++k) {
+        Dims kc = shape_.kernel.coord_of(k);
+        for (int d = 0; d < rank; ++d) kc[d] = shape_.kernel[d] - 1 - kc[d];
+        dst[fft_extent_.offset_of(kc)] = ker[k];
+      }
+      fft_nd(plans_, dst, fft_extent_, false);
+    }
+  }
+  kernels_ready_ = true;
+}
+
+void FftConv::execute(const float* in, float* out) {
+  ONDWIN_CHECK(kernels_ready_, "FftConv::set_kernels must be called first");
+  const Dims out_dims = shape_.output();
+  const i64 ipx = shape_.image.product();
+  const i64 opx = out_dims.product();
+  const int rank = shape_.image.rank();
+
+  for (i64 b = 0; b < shape_.batch; ++b) {
+    // Forward-transform every input channel once (zero-padded; the image
+    // is placed at offset `padding` to realize the symmetric zero pad).
+    for (i64 c = 0; c < shape_.in_channels; ++c) {
+      cfloat* fd = channels_fd_.data() + c * fft_total_;
+      std::memset(fd, 0,
+                  static_cast<std::size_t>(fft_total_) * sizeof(cfloat));
+      const float* img = in + (b * shape_.in_channels + c) * ipx;
+      for (i64 p = 0; p < ipx; ++p) {
+        Dims pc = shape_.image.coord_of(p);
+        for (int d = 0; d < rank; ++d) pc[d] += shape_.padding[d];
+        fd[fft_extent_.offset_of(pc)] = img[p];
+      }
+      fft_nd(plans_, fd, fft_extent_, false);
+    }
+
+    // Accumulate pointwise products per output channel, inverse once.
+    for (i64 cp = 0; cp < shape_.out_channels; ++cp) {
+      cfloat* acc = scratch_.data();
+      std::memset(acc, 0,
+                  static_cast<std::size_t>(fft_total_) * sizeof(cfloat));
+      for (i64 c = 0; c < shape_.in_channels; ++c) {
+        const cfloat* x = channels_fd_.data() + c * fft_total_;
+        const cfloat* kf =
+            kernels_fd_.data() + (cp * shape_.in_channels + c) * fft_total_;
+        for (i64 p = 0; p < fft_total_; ++p) acc[p] += x[p] * kf[p];
+      }
+      fft_nd(plans_, acc, fft_extent_, true);
+
+      // The linear correlation lives at offset (kernel - 1) per dim.
+      float* dst = out + (b * shape_.out_channels + cp) * opx;
+      for (i64 o = 0; o < opx; ++o) {
+        Dims oc = out_dims.coord_of(o);
+        for (int d = 0; d < rank; ++d) oc[d] += shape_.kernel[d] - 1;
+        dst[o] = acc[fft_extent_.offset_of(oc)].real();
+      }
+    }
+  }
+}
+
+}  // namespace ondwin

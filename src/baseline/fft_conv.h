@@ -1,0 +1,46 @@
+// FFT-based convolution baseline (the algorithmic class of cuDNN's FFT
+// path and fbfft): transform once per channel, multiply-accumulate in the
+// frequency domain across input channels, inverse-transform per output
+// channel.
+//
+// Built on the own-rolled radix-2 FFT substrate (src/fft). Works on plain
+// row-major layouts; per-dimension FFT sizes are the next power of two
+// fitting the linearized convolution, so results are exact linear
+// correlations (up to FP error).
+#pragma once
+
+#include <memory>
+
+#include "baseline/direct_conv.h"
+#include "fft/fft.h"
+#include "util/aligned.h"
+
+namespace ondwin {
+
+class FftConv {
+ public:
+  explicit FftConv(const ConvShape& shape);
+
+  /// Precomputes the frequency-domain kernels (the analogue of the
+  /// Winograd FX mode — FFT implementations also memoize this).
+  void set_kernels(const float* w);
+
+  /// in [B][C][image] → out [B][C'][output]; requires set_kernels first.
+  void execute(const float* in, float* out);
+
+  /// Complex workspace elements held by the plan.
+  i64 workspace_elems() const;
+  const Dims& fft_extent() const { return fft_extent_; }
+
+ private:
+  ConvShape shape_;
+  Dims fft_extent_;
+  i64 fft_total_ = 0;
+  std::vector<Fft1d> plans_;
+  AlignedBuffer<cfloat> kernels_fd_;   // C' × C × fft_total
+  AlignedBuffer<cfloat> channels_fd_;  // C × fft_total (one batch at a time)
+  AlignedBuffer<cfloat> scratch_;      // fft_total
+  bool kernels_ready_ = false;
+};
+
+}  // namespace ondwin

@@ -1,0 +1,291 @@
+#include "baseline/simple_winograd.h"
+
+#include <cstring>
+
+#include "util/cpu.h"
+#include "wincnn/cook_toom.h"
+
+namespace ondwin {
+namespace {
+
+// Dense mode-d product of a scalar tile: out = M ×_d tile, where `m` is
+// rows×cols row-major, the tile extents are `ext` (cols along dim d) and
+// the result extents replace ext[d] with rows. Plain scalar code.
+void dense_mode_product(const float* mat, i64 rows, i64 cols, int d,
+                        const float* in, const i64* ext, int rank,
+                        float* out) {
+  i64 in_strides[kMaxNd], out_strides[kMaxNd];
+  i64 acc_in = 1, acc_out = 1;
+  for (int k = rank - 1; k >= 0; --k) {
+    in_strides[k] = acc_in;
+    acc_in *= ext[k];
+    out_strides[k] = acc_out;
+    acc_out *= (k == d) ? rows : ext[k];
+  }
+  i64 c[kMaxNd] = {};
+  for (;;) {  // iterate all coords except d
+    i64 ioff = 0, ooff = 0;
+    for (int k = 0; k < rank; ++k) {
+      if (k == d) continue;
+      ioff += c[k] * in_strides[k];
+      ooff += c[k] * out_strides[k];
+    }
+    for (i64 i = 0; i < rows; ++i) {
+      float acc = 0.0f;
+      for (i64 j = 0; j < cols; ++j) {
+        acc += mat[i * cols + j] * in[ioff + j * in_strides[d]];
+      }
+      out[ooff + i * out_strides[d]] = acc;
+    }
+    int k = rank - 1;
+    for (; k >= 0; --k) {
+      if (k == d) continue;
+      if (++c[k] < ext[k]) break;
+      c[k] = 0;
+    }
+    if (k < 0) return;
+  }
+}
+
+}  // namespace
+
+SimpleWinograd::SimpleWinograd(const ConvProblem& problem, int threads)
+    : problem_(problem) {
+  problem_.shape.validate();
+  ONDWIN_CHECK(problem_.tile_m.rank() == problem_.rank(), "rank mismatch");
+  alpha_ = problem_.alpha();
+  tiles_ = problem_.tiles();
+  out_dims_ = problem_.shape.output();
+  t_elems_ = alpha_.product();
+  ONDWIN_CHECK(t_elems_ <= 4096,
+               "SimpleWinograd stack tiles support up to 4096 elements, got ",
+               t_elems_);
+  tile_count_ = tiles_.product();
+  nbt_ = tile_count_ * problem_.shape.batch;
+
+  for (int d = 0; d < problem_.rank(); ++d) {
+    const WinogradMatrices wm =
+        cook_toom(static_cast<int>(problem_.tile_m[d]),
+                  static_cast<int>(problem_.shape.kernel[d]));
+    mats_.push_back({wm.BT.to_float(), wm.G.to_float(), wm.AT.to_float(),
+                     problem_.tile_m[d], problem_.shape.kernel[d],
+                     problem_.tile_m[d] + problem_.shape.kernel[d] - 1});
+  }
+
+  pool_ = std::make_unique<ThreadPool>(
+      threads > 0 ? threads : hardware_threads());
+
+  v_.reset(static_cast<std::size_t>(t_elems_ * problem_.shape.in_channels *
+                                    nbt_));
+  wt_.reset(static_cast<std::size_t>(t_elems_ * problem_.shape.out_channels *
+                                     problem_.shape.in_channels));
+  m_.reset(static_cast<std::size_t>(t_elems_ * problem_.shape.out_channels *
+                                    nbt_));
+}
+
+SimpleWinograd::~SimpleWinograd() = default;
+
+void SimpleWinograd::execute(const float* in, const float* w, float* out) {
+  const i64 c_total = problem_.shape.in_channels;
+  const i64 cp_total = problem_.shape.out_channels;
+  const i64 b_total = problem_.shape.batch;
+
+  // Kernel transforms.
+  {
+    const auto boxes =
+        static_partition({cp_total, c_total}, pool_->size());
+    pool_->run([&](int tid) {
+      for_each_in_box(boxes[static_cast<std::size_t>(tid)],
+                      [&](const std::array<i64, kMaxGridRank>& c) {
+                        transform_kernel(c[0], c[1], w);
+                      });
+    });
+  }
+  // Input transforms.
+  {
+    const auto boxes = static_partition({b_total, c_total, tile_count_},
+                                        pool_->size());
+    pool_->run([&](int tid) {
+      for_each_in_box(boxes[static_cast<std::size_t>(tid)],
+                      [&](const std::array<i64, kMaxGridRank>& c) {
+                        transform_input_tile(c[0], c[1], c[2], in);
+                      });
+    });
+  }
+  // Element-wise stage as T plain GEMMs.
+  {
+    const auto boxes = static_partition({t_elems_}, pool_->size());
+    pool_->run([&](int tid) {
+      for_each_in_box(boxes[static_cast<std::size_t>(tid)],
+                      [&](const std::array<i64, kMaxGridRank>& c) {
+                        gemm_plane(c[0]);
+                      });
+    });
+  }
+  // Inverse transforms.
+  {
+    const auto boxes = static_partition({b_total, cp_total, tile_count_},
+                                        pool_->size());
+    pool_->run([&](int tid) {
+      for_each_in_box(boxes[static_cast<std::size_t>(tid)],
+                      [&](const std::array<i64, kMaxGridRank>& c) {
+                        inverse_tile(c[0], c[1], c[2], out);
+                      });
+    });
+  }
+}
+
+void SimpleWinograd::transform_input_tile(i64 b, i64 c, i64 n,
+                                          const float* in) {
+  const int rank = problem_.rank();
+  const Dims img = problem_.shape.image;
+  const Dims img_strides = img.strides();
+  const Dims tc = tiles_.coord_of(n);
+
+  float buf0[4096], buf1[4096];  // t_elems_ <= 4096 checked at construction
+
+  // Gather with zero padding (strided scalar reads — the layout cost the
+  // paper's custom layout avoids).
+  i64 ext[kMaxNd];
+  for (int d = 0; d < rank; ++d) ext[d] = alpha_[d];
+  const float* img_base = in + (b * problem_.shape.in_channels + c) *
+                                   img.product();
+  i64 e[kMaxNd] = {};
+  for (i64 lin = 0; lin < t_elems_; ++lin) {
+    i64 ioff = 0;
+    bool inside = true;
+    for (int d = 0; d < rank; ++d) {
+      const i64 coord =
+          tc[d] * problem_.tile_m[d] - problem_.shape.padding[d] + e[d];
+      if (coord < 0 || coord >= img[d]) {
+        inside = false;
+        break;
+      }
+      ioff += coord * img_strides[d];
+    }
+    buf0[lin] = inside ? img_base[ioff] : 0.0f;
+    for (int d = rank - 1; d >= 0; --d) {
+      if (++e[d] < ext[d]) break;
+      e[d] = 0;
+    }
+  }
+
+  // Dense Bᵀ mode products along each dimension.
+  float* cur = buf0;
+  float* nxt = buf1;
+  for (int d = 0; d < rank; ++d) {
+    dense_mode_product(mats_[static_cast<std::size_t>(d)].bt.data(),
+                       alpha_[d], alpha_[d], d, cur, ext, rank, nxt);
+    std::swap(cur, nxt);
+  }
+
+  // Scatter into the [T][C][NBt] planes (large-stride scalar writes).
+  const i64 nb_index = b * tile_count_ + n;
+  for (i64 t = 0; t < t_elems_; ++t) {
+    v_[static_cast<std::size_t>((t * problem_.shape.in_channels + c) * nbt_ +
+                                nb_index)] = cur[t];
+  }
+}
+
+void SimpleWinograd::transform_kernel(i64 cp, i64 c, const float* w) {
+  const int rank = problem_.rank();
+  const i64 taps = problem_.shape.kernel.product();
+  float buf0[4096], buf1[4096];  // t_elems_ <= 4096 checked at construction
+  std::memcpy(buf0, w + (cp * problem_.shape.in_channels + c) * taps,
+              static_cast<std::size_t>(taps) * sizeof(float));
+
+  i64 ext[kMaxNd];
+  for (int d = 0; d < rank; ++d) ext[d] = problem_.shape.kernel[d];
+  float* cur = buf0;
+  float* nxt = buf1;
+  for (int d = 0; d < rank; ++d) {
+    dense_mode_product(mats_[static_cast<std::size_t>(d)].g.data(), alpha_[d],
+                       problem_.shape.kernel[d], d, cur, ext, rank, nxt);
+    ext[d] = alpha_[d];
+    std::swap(cur, nxt);
+  }
+
+  for (i64 t = 0; t < t_elems_; ++t) {
+    wt_[static_cast<std::size_t>(
+        (t * problem_.shape.out_channels + cp) * problem_.shape.in_channels +
+        c)] = cur[t];
+  }
+}
+
+void SimpleWinograd::gemm_plane(i64 t) {
+  // M_t (C'×NBt) = Wt_t (C'×C) · V_t (C×NBt): straightforward blocked
+  // loops, accumulating over k with a j-inner loop the compiler can
+  // vectorize — representative of a generic library GEMM without the
+  // paper's tall-skinny specialization.
+  const i64 cp_total = problem_.shape.out_channels;
+  const i64 c_total = problem_.shape.in_channels;
+  const float* wt = wt_.data() + t * cp_total * c_total;
+  const float* v = v_.data() + t * c_total * nbt_;
+  float* m = m_.data() + t * cp_total * nbt_;
+
+  std::memset(m, 0, static_cast<std::size_t>(cp_total * nbt_) *
+                        sizeof(float));
+  constexpr i64 kBlk = 64;
+  for (i64 k0 = 0; k0 < c_total; k0 += kBlk) {
+    const i64 k1 = std::min(c_total, k0 + kBlk);
+    for (i64 i = 0; i < cp_total; ++i) {
+      float* __restrict mrow = m + i * nbt_;
+      for (i64 k = k0; k < k1; ++k) {
+        const float a = wt[i * c_total + k];
+        const float* __restrict vrow = v + k * nbt_;
+        for (i64 j = 0; j < nbt_; ++j) mrow[j] += a * vrow[j];
+      }
+    }
+  }
+}
+
+void SimpleWinograd::inverse_tile(i64 b, i64 cp, i64 n, float* out) {
+  const int rank = problem_.rank();
+  const i64 nb_index = b * tile_count_ + n;
+  float buf0[4096], buf1[4096];  // t_elems_ <= 4096 checked at construction
+
+  // Gather the tile's T values (stride NBt·C' apart — the access pattern
+  // the paper's scattered layout eliminates).
+  for (i64 t = 0; t < t_elems_; ++t) {
+    buf0[t] = m_[static_cast<std::size_t>(
+        (t * problem_.shape.out_channels + cp) * nbt_ + nb_index)];
+  }
+
+  i64 ext[kMaxNd];
+  for (int d = 0; d < rank; ++d) ext[d] = alpha_[d];
+  float* cur = buf0;
+  float* nxt = buf1;
+  for (int d = 0; d < rank; ++d) {
+    dense_mode_product(mats_[static_cast<std::size_t>(d)].at.data(),
+                       problem_.tile_m[d], alpha_[d], d, cur, ext, rank, nxt);
+    ext[d] = problem_.tile_m[d];
+    std::swap(cur, nxt);
+  }
+
+  // Write the valid part of the output tile.
+  const Dims tc = tiles_.coord_of(n);
+  const Dims out_strides = out_dims_.strides();
+  float* out_base =
+      out + (b * problem_.shape.out_channels + cp) * out_dims_.product();
+  i64 e[kMaxNd] = {};
+  i64 m_total = problem_.tile_m.product();
+  for (i64 lin = 0; lin < m_total; ++lin) {
+    i64 ooff = 0;
+    bool inside = true;
+    for (int d = 0; d < rank; ++d) {
+      const i64 coord = tc[d] * problem_.tile_m[d] + e[d];
+      if (coord >= out_dims_[d]) {
+        inside = false;
+        break;
+      }
+      ooff += coord * out_strides[d];
+    }
+    if (inside) out_base[ooff] = cur[lin];
+    for (int d = rank - 1; d >= 0; --d) {
+      if (++e[d] < problem_.tile_m[d]) break;
+      e[d] = 0;
+    }
+  }
+}
+
+}  // namespace ondwin

@@ -1,0 +1,60 @@
+// "Simple" Winograd convolution — a faithful stand-in for the pre-existing
+// CPU implementations the paper benchmarks against (FALCON / early
+// MKL-DNN-style): correct use of the Lavin–Gray algorithm, but none of the
+// paper's optimizations. Specifically it
+//   * keeps images in the plain [B][C][spatial] layout, so tile gather and
+//     result scatter are strided scalar copies (no vector loads/stores);
+//   * applies transforms as dense per-tile matrix products in scalar code;
+//   * uses a generic blocked GEMM (no JIT, no tall-skinny specialization,
+//     no prefetch tuning, no streaming stores);
+//   * parallelizes with plain per-plane task splitting.
+//
+// Fig. 5's "existing Winograd" columns are regenerated with this class.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/conv_problem.h"
+#include "sched/static_schedule.h"
+#include "sched/thread_pool.h"
+#include "util/aligned.h"
+
+namespace ondwin {
+
+class SimpleWinograd {
+ public:
+  explicit SimpleWinograd(const ConvProblem& problem, int threads = 0);
+  ~SimpleWinograd();
+
+  /// Plain row-major layouts: in [B][C][image], w [C'][C][kernel],
+  /// out [B][C'][output].
+  void execute(const float* in, const float* w, float* out);
+
+  int threads() const { return pool_->size(); }
+
+ private:
+  void transform_input_tile(i64 b, i64 c, i64 n, const float* in);
+  void transform_kernel(i64 cp, i64 c, const float* w);
+  void gemm_plane(i64 t);
+  void inverse_tile(i64 b, i64 cp, i64 n, float* out);
+
+  ConvProblem problem_;
+  Dims alpha_, tiles_, out_dims_;
+  i64 t_elems_ = 0, tile_count_ = 0, nbt_ = 0;
+
+  // Dense float transform matrices per dimension.
+  struct DimMats {
+    std::vector<float> bt, g, at;  // row-major
+    i64 m, r, a;
+  };
+  std::vector<DimMats> mats_;
+
+  std::unique_ptr<ThreadPool> pool_;
+
+  AlignedBuffer<float> v_;   // [T][C][NBt]   transformed inputs
+  AlignedBuffer<float> wt_;  // [T][C'][C]    transformed kernels
+  AlignedBuffer<float> m_;   // [T][C'][NBt]  products
+};
+
+}  // namespace ondwin

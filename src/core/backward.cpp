@@ -1,0 +1,51 @@
+#include "core/backward.h"
+
+namespace ondwin {
+
+ConvProblem backward_data_problem(const ConvProblem& forward) {
+  forward.validate();
+  ConvProblem b;
+  b.shape.batch = forward.shape.batch;
+  b.shape.in_channels = forward.shape.out_channels;
+  b.shape.out_channels = forward.shape.in_channels;
+  b.shape.image = forward.shape.output();
+  b.shape.kernel = forward.shape.kernel;
+  b.shape.padding = forward.shape.kernel;
+  for (int d = 0; d < forward.rank(); ++d) {
+    const i64 p = forward.shape.kernel[d] - 1 - forward.shape.padding[d];
+    ONDWIN_CHECK(p >= 0, "backward-data needs padding <= r-1, got p=",
+                 forward.shape.padding[d], " r=", forward.shape.kernel[d],
+                 " at dim ", d);
+    b.shape.padding[d] = p;
+  }
+  b.tile_m = forward.tile_m;
+
+  // Invariant: the backward output recovers the forward input extents.
+  ONDWIN_CHECK(b.shape.output() == forward.shape.image,
+               "backward-data geometry mismatch");
+  return b;
+}
+
+void make_backward_kernels(const ConvProblem& forward,
+                           const float* w_forward_blocked,
+                           float* w_backward_blocked) {
+  const KernelLayout fwd = forward.kernel_layout();
+  const KernelLayout bwd = backward_data_problem(forward).kernel_layout();
+  const i64 taps = fwd.taps();
+  const int rank = fwd.extent.rank();
+
+  for (i64 c = 0; c < fwd.in_channels; ++c) {
+    for (i64 cp = 0; cp < fwd.out_channels; ++cp) {
+      for (i64 k = 0; k < taps; ++k) {
+        Dims kc = fwd.extent.coord_of(k);
+        for (int d = 0; d < rank; ++d) kc[d] = fwd.extent[d] - 1 - kc[d];
+        // forward (c -> cp, tap k) becomes backward (cp -> c, flipped tap)
+        w_backward_blocked[bwd.elem_offset(cp, c, kc)] =
+            w_forward_blocked[fwd.elem_offset(c, cp,
+                                              fwd.extent.coord_of(k))];
+      }
+    }
+  }
+}
+
+}  // namespace ondwin

@@ -1,0 +1,33 @@
+// Backward-data pass for training: ∂L/∂input from ∂L/∂output, expressed
+// as another Winograd convolution through the same engine.
+//
+// For the forward correlation  y[o] = Σ_k x[o + k − p]·w[k]  the input
+// gradient is
+//
+//     gx[i] = Σ_k gy[i + p − k]·w[k]
+//           = correlation of gy, zero-padded by (r−1−p), with the
+//             tap-flipped, channel-transposed kernels.
+//
+// So backward-data is just a ConvProblem with padding r−1−p and a derived
+// kernel bank — every optimization (JIT GEMM, codelets, scheduling)
+// applies unchanged. Requires p ≤ r−1 per dimension (true for every
+// standard ConvNet layer).
+#pragma once
+
+#include "core/conv_problem.h"
+
+namespace ondwin {
+
+/// The ConvProblem whose execution computes grad-input from grad-output.
+/// Image = forward output extents, channels swapped, padding = r−1−p.
+/// `tile_m` is copied from the forward problem (retune if desired).
+ConvProblem backward_data_problem(const ConvProblem& forward);
+
+/// Converts a blocked forward kernel bank (forward.kernel_layout()) into
+/// the blocked kernel bank of backward_data_problem(forward):
+/// w'[c][c'][k] = w[c'][c][flip(k)].
+void make_backward_kernels(const ConvProblem& forward,
+                           const float* w_forward_blocked,
+                           float* w_backward_blocked);
+
+}  // namespace ondwin

@@ -1,0 +1,577 @@
+#include "core/conv_plan.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/wisdom.h"
+#include "util/cpu.h"
+#include "wincnn/cook_toom.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace ondwin {
+namespace {
+
+// Drains the write-combining buffers of non-temporal stores before the
+// join barrier publishes a stage's results to other threads.
+void streaming_fence() {
+#if defined(__x86_64__) || defined(_M_X64)
+  _mm_sfence();
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// Largest multiple of 16 that divides `x` and is ≤ cap (x % 16 == 0 so 16
+// always qualifies).
+int divisor16(i64 x, i64 cap) {
+  for (i64 v = std::min(x, cap) / 16 * 16; v >= 16; v -= 16) {
+    if (x % v == 0) return static_cast<int>(v);
+  }
+  fail("no 16-divisor for ", x);
+}
+
+}  // namespace
+
+struct ConvPlan::ThreadScratch {
+  TransformScratch transform;
+  AlignedBuffer<float> gather;     // border-tile input staging (T vectors)
+  AlignedBuffer<float> stage_out;  // border-tile output staging (Πm vectors)
+  AlignedBuffer<float> dump;       // X̂ placeholder when I'_tmp is elided
+  std::vector<float*> scatter_rows;
+
+  ThreadScratch(int max_extent, int rank, i64 t_elems, i64 m_prod, int n_blk,
+                int cp_blk)
+      : transform(max_extent, rank),
+        gather(static_cast<std::size_t>(t_elems * kSimdWidth)),
+        stage_out(static_cast<std::size_t>(m_prod * kSimdWidth)),
+        dump(static_cast<std::size_t>(static_cast<i64>(n_blk) * cp_blk)),
+        scatter_rows(static_cast<std::size_t>(n_blk)) {}
+};
+
+ConvPlan::ConvPlan(const ConvProblem& problem, const PlanOptions& options)
+    : problem_(problem), options_(options) {
+  problem_.validate();
+  rank_ = problem_.rank();
+  alpha_ = problem_.alpha();
+  tiles_ = problem_.tiles();
+  out_dims_ = problem_.shape.output();
+  tile_count_ = tiles_.product();
+  t_elems_ = alpha_.product();
+  nb_ = tile_count_ * problem_.shape.batch;
+  in_groups_ = problem_.shape.in_channels / kSimdWidth;
+  out_groups_ = problem_.shape.out_channels / kSimdWidth;
+
+  choose_blocking();
+  nb_pad_ = round_up(nb_, blocking_.n_blk);
+  ib_ = nb_pad_ / blocking_.n_blk;
+  kb_ = problem_.shape.in_channels / blocking_.c_blk;
+  jb_ = problem_.shape.out_channels / blocking_.cp_blk;
+
+  build_programs();
+  build_pipelines();
+  build_kernels();
+
+  int threads = options_.threads > 0 ? options_.threads : hardware_threads();
+  pool_ = std::make_unique<ThreadPool>(threads, options_.pin_threads);
+
+  build_schedules();
+  allocate_buffers();
+
+  int max_extent = 2;
+  for (int d = 0; d < rank_; ++d)
+    max_extent = static_cast<int>(std::max<i64>(max_extent, alpha_[d]));
+  scratch_.reserve(static_cast<std::size_t>(pool_->size()));
+  for (int t = 0; t < pool_->size(); ++t) {
+    scratch_.push_back(std::make_unique<ThreadScratch>(
+        max_extent, rank_, t_elems_, problem_.tile_m.product(),
+        blocking_.n_blk, blocking_.cp_blk));
+  }
+}
+
+ConvPlan::~ConvPlan() = default;
+
+void ConvPlan::choose_blocking() {
+  const i64 c = problem_.shape.in_channels;
+  const i64 cp = problem_.shape.out_channels;
+
+  Blocking b;
+  if (!options_.wisdom_path.empty()) {
+    WisdomStore wisdom(options_.wisdom_path);
+    if (auto hit = wisdom.lookup(wisdom_key(problem_))) b = *hit;
+  }
+  if (options_.n_blk > 0) b.n_blk = options_.n_blk;
+  if (options_.c_blk > 0) b.c_blk = options_.c_blk;
+  if (options_.cp_blk > 0) b.cp_blk = options_.cp_blk;
+
+  if (b.c_blk == 0) b.c_blk = divisor16(c, 128);
+  if (b.cp_blk == 0) b.cp_blk = divisor16(cp, 128);
+  if (b.n_blk == 0) {
+    // Prefer large register blocks, but avoid padding waste when N·B is
+    // small: pick the n_blk in [6,30] minimizing rounded-up waste
+    // (ties favour the larger block).
+    if (nb_ <= 30) {
+      b.n_blk = static_cast<int>(nb_);
+    } else {
+      i64 best_waste = -1;
+      for (int n = 6; n <= 30; ++n) {
+        const i64 waste = round_up(nb_, n) - nb_;
+        if (best_waste < 0 || waste <= best_waste) {
+          best_waste = waste;
+          b.n_blk = n;
+        }
+      }
+    }
+  }
+
+  ONDWIN_CHECK(b.n_blk >= 1 && b.n_blk <= 30, "n_blk out of range: ",
+               b.n_blk);
+  ONDWIN_CHECK(b.c_blk % 16 == 0 && c % b.c_blk == 0, "c_blk (", b.c_blk,
+               ") must be a multiple of 16 dividing C (", c, ")");
+  ONDWIN_CHECK(b.cp_blk % 16 == 0 && cp % b.cp_blk == 0, "cp_blk (",
+               b.cp_blk, ") must be a multiple of 16 dividing C' (", cp, ")");
+  ONDWIN_CHECK(static_cast<i64>(b.c_blk) * b.cp_blk <= 128 * 128,
+               "c_blk x cp_blk exceeds the L2 budget (128^2 floats)");
+  blocking_ = b;
+}
+
+void ConvPlan::build_programs() {
+  const TransformBuildOptions topts{
+      .enable_pairing = options_.codelet_pairing,
+      .enable_column_pairing = options_.codelet_pairing};
+  for (int d = 0; d < rank_; ++d) {
+    const WinogradMatrices wm = cook_toom(
+        static_cast<int>(problem_.tile_m[d]),
+        static_cast<int>(problem_.shape.kernel[d]));
+    bt_.push_back(build_transform_program(wm.BT, topts));
+    g_.push_back(build_transform_program(wm.G, topts));
+    at_.push_back(build_transform_program(wm.AT, topts));
+  }
+}
+
+void ConvPlan::build_pipelines() {
+  const bool jit = options_.jit_transforms;
+  const bool stream = options_.streaming_stores;
+  const Dims alpha_strides = alpha_.strides();
+  const Dims img_strides = problem_.shape.image.strides();
+  const Dims out_strides_sp = out_dims_.strides();
+  const Dims kext_strides = problem_.shape.kernel.strides();
+  const Dims m_strides = problem_.tile_m.strides();
+
+  const TransformProgram* bt[kMaxNd];
+  const TransformProgram* g[kMaxNd];
+  const TransformProgram* at[kMaxNd];
+  i64 s_img[kMaxNd], s_alpha[kMaxNd], s_i[kMaxNd], s_w[kMaxNd],
+      s_out[kMaxNd], s_m[kMaxNd], s_kext[kMaxNd];
+  const i64 i_block = static_cast<i64>(blocking_.n_blk) * blocking_.c_blk;
+  const i64 w_block = static_cast<i64>(blocking_.c_blk) * blocking_.cp_blk;
+  for (int d = 0; d < rank_; ++d) {
+    bt[d] = &bt_[static_cast<std::size_t>(d)];
+    g[d] = &g_[static_cast<std::size_t>(d)];
+    at[d] = &at_[static_cast<std::size_t>(d)];
+    s_img[d] = img_strides[d] * kSimdWidth;
+    s_alpha[d] = alpha_strides[d] * kSimdWidth;
+    s_i[d] = alpha_strides[d] * i_block;
+    s_w[d] = alpha_strides[d] * w_block;
+    s_out[d] = out_strides_sp[d] * kSimdWidth;
+    s_m[d] = m_strides[d] * kSimdWidth;
+    s_kext[d] = kext_strides[d] * kSimdWidth;
+  }
+
+  pipe_in_interior_ =
+      std::make_unique<TilePipeline>(bt, rank_, s_img, s_i, stream, jit);
+  pipe_in_border_ =
+      std::make_unique<TilePipeline>(bt, rank_, s_alpha, s_i, stream, jit);
+  pipe_kernel_ =
+      std::make_unique<TilePipeline>(g, rank_, s_kext, s_w, stream, jit);
+  pipe_inv_interior_ =
+      std::make_unique<TilePipeline>(at, rank_, s_alpha, s_out, stream, jit);
+  pipe_inv_border_ = std::make_unique<TilePipeline>(at, rank_, s_alpha, s_m,
+                                                    /*stream=*/false, jit);
+}
+
+void ConvPlan::build_kernels() {
+  const StoreMode final_store = options_.scatter_in_gemm
+                                    ? StoreMode::kScatter
+                                    : StoreMode::kAccumulate;
+  kernels_ = std::make_unique<KernelSet>(blocking_.n_blk, blocking_.c_blk,
+                                         blocking_.cp_blk, final_store,
+                                         options_.use_jit);
+}
+
+void ConvPlan::build_schedules() {
+  const int k = pool_->size();
+
+  std::vector<i64> in_grid = {problem_.shape.batch, in_groups_};
+  for (int d = 0; d < rank_; ++d) in_grid.push_back(tiles_[d]);
+  sched_input_ = static_partition(in_grid, k);
+
+  sched_kernel_ = static_partition(
+      {problem_.shape.in_channels, out_groups_}, k);
+
+  // (NB/n_blk) least significant: consecutive row blocks multiply the same
+  // V̂, which then stays in cache (paper §4.5).
+  sched_gemm_ = static_partition({t_elems_, jb_, ib_}, k);
+
+  if (!options_.scatter_in_gemm) {
+    sched_copy_ = static_partition({ib_, jb_, t_elems_}, k);
+  }
+
+  sched_inverse_ = static_partition(
+      {problem_.shape.batch, out_groups_, tile_count_}, k);
+}
+
+void ConvPlan::allocate_buffers() {
+  buf_i_.reset(static_cast<std::size_t>(nb_pad_ *
+                                        problem_.shape.in_channels * t_elems_));
+  buf_w_.reset(static_cast<std::size_t>(problem_.shape.in_channels *
+                                        problem_.shape.out_channels *
+                                        t_elems_));
+  const bool need_itmp = (kb_ > 1) || !options_.scatter_in_gemm;
+  if (need_itmp) {
+    buf_itmp_.reset(static_cast<std::size_t>(
+        nb_pad_ * problem_.shape.out_channels * t_elems_));
+  }
+  buf_iout_.reset(static_cast<std::size_t>(
+      nb_pad_ * problem_.shape.out_channels * t_elems_));
+}
+
+i64 ConvPlan::workspace_bytes() const {
+  return static_cast<i64>((buf_i_.size() + buf_w_.size() + buf_itmp_.size() +
+                           buf_iout_.size()) *
+                          sizeof(float));
+}
+
+// ------------------------------------------------------------ execution ----
+
+void ConvPlan::execute(const float* input, const float* kernels,
+                       float* output, const Epilogue& epilogue) {
+  set_kernels(kernels);
+  const double kt = stats_.kernel_transform;
+  execute_pretransformed(input, output, epilogue);
+  stats_.kernel_transform = kt;
+}
+
+void ConvPlan::set_kernels(const float* kernels) {
+  Timer t;
+  stage_kernel_transform(kernels);
+  stats_.kernel_transform = t.seconds();
+  kernels_ready_ = true;
+}
+
+void ConvPlan::execute_pretransformed(const float* input, float* output,
+                                      const Epilogue& epilogue) {
+  ONDWIN_CHECK(kernels_ready_,
+               "execute_pretransformed() requires set_kernels() first");
+  const double kt = stats_.kernel_transform;
+  stats_ = ConvPlanStats{};
+  stats_.kernel_transform = kt;
+
+  Timer t;
+  stage_input_transform(input);
+  stats_.input_transform = t.seconds();
+
+  t.restart();
+  stage_gemm();
+  stats_.gemm = t.seconds();
+
+  if (!options_.scatter_in_gemm) {
+    t.restart();
+    stage_scatter_copy();
+    stats_.scatter_copy = t.seconds();
+  }
+
+  t.restart();
+  stage_inverse_transform(output, epilogue);
+  stats_.inverse_transform = t.seconds();
+}
+
+// ----------------------------------------------------- stage 1: inputs ----
+
+void ConvPlan::stage_input_transform(const float* input) {
+  pool_->run([&](int tid) {
+    for_each_in_box(sched_input_[static_cast<std::size_t>(tid)],
+                    [&](const std::array<i64, kMaxGridRank>& c) {
+                      input_transform_task(tid, c[0], c[1], c, input);
+                    });
+    streaming_fence();
+  });
+}
+
+void ConvPlan::input_transform_task(
+    int tid, i64 b, i64 cg, const std::array<i64, kMaxGridRank>& tile_coord,
+    const float* input) {
+  ThreadScratch& sc = *scratch_[static_cast<std::size_t>(tid)];
+  const Dims img = problem_.shape.image;
+  const Dims img_strides = img.strides();
+  const i64 ipx = img.product();
+
+  // Tile linear index (row-major over tiles_) and its padded-image origin.
+  i64 n = 0;
+  i64 org[kMaxNd];
+  bool interior = true;
+  for (int d = 0; d < rank_; ++d) {
+    const i64 td = tile_coord[static_cast<std::size_t>(2 + d)];
+    n = n * tiles_[d] + td;
+    org[d] = td * problem_.tile_m[d] - problem_.shape.padding[d];
+    if (org[d] < 0 || org[d] + alpha_[d] > img[d]) interior = false;
+  }
+  const i64 np = b * tile_count_ + n;
+
+  const float* src;
+  const Dims alpha_strides = alpha_.strides();
+  if (interior) {
+    i64 sp = 0;
+    for (int d = 0; d < rank_; ++d) sp += org[d] * img_strides[d];
+    src = input + ((b * in_groups_ + cg) * ipx + sp) * kSimdWidth;
+  } else {
+    // Border tile: stage the valid sub-box into zeroed scratch.
+    std::memset(sc.gather.data(), 0,
+                static_cast<std::size_t>(t_elems_ * kSimdWidth) *
+                    sizeof(float));
+    i64 lo[kMaxNd], hi[kMaxNd];
+    bool any = true;
+    for (int d = 0; d < rank_; ++d) {
+      lo[d] = std::max<i64>(0, -org[d]);
+      hi[d] = std::min<i64>(alpha_[d], img[d] - org[d]);
+      if (lo[d] >= hi[d]) any = false;
+    }
+    if (any) {
+      const float* img_base =
+          input + ((b * in_groups_ + cg) * ipx) * kSimdWidth;
+      i64 e[kMaxNd];
+      for (int d = 0; d < rank_; ++d) e[d] = lo[d];
+      for (;;) {
+        i64 goff = 0, ioff = 0;
+        for (int d = 0; d < rank_; ++d) {
+          goff += e[d] * alpha_strides[d];
+          ioff += (org[d] + e[d]) * img_strides[d];
+        }
+        std::memcpy(sc.gather.data() + goff * kSimdWidth,
+                    img_base + ioff * kSimdWidth,
+                    sizeof(float) * kSimdWidth);
+        int d = rank_ - 1;
+        for (; d >= 0; --d) {
+          if (++e[d] < hi[d]) break;
+          e[d] = lo[d];
+        }
+        if (d < 0) break;
+      }
+    }
+    src = sc.gather.data();
+  }
+
+  // Scatter destination inside I (layout [i][k][t][n_blk][c_blk]).
+  const i64 iblk = np / blocking_.n_blk;
+  const i64 jrow = np % blocking_.n_blk;
+  const i64 kblk = (cg * kSimdWidth) / blocking_.c_blk;
+  const i64 cin = (cg * kSimdWidth) % blocking_.c_blk;
+  float* dst = buf_i_.data() +
+               ((iblk * kb_ + kblk) * t_elems_ * blocking_.n_blk + jrow) *
+                   blocking_.c_blk +
+               cin;
+
+  const TilePipeline& pipe =
+      interior ? *pipe_in_interior_ : *pipe_in_border_;
+  pipe.run(src, dst, sc.transform);
+}
+
+// ---------------------------------------------------- stage 1b: kernels ----
+
+void ConvPlan::stage_kernel_transform(const float* kernels) {
+  pool_->run([&](int tid) {
+    for_each_in_box(sched_kernel_[static_cast<std::size_t>(tid)],
+                    [&](const std::array<i64, kMaxGridRank>& c) {
+                      kernel_transform_task(tid, c[0], c[1], kernels);
+                    });
+    streaming_fence();
+  });
+}
+
+void ConvPlan::kernel_transform_task(int tid, i64 c, i64 g,
+                                     const float* kernels) {
+  ThreadScratch& sc = *scratch_[static_cast<std::size_t>(tid)];
+  const i64 taps = problem_.shape.kernel.product();
+  const float* src = kernels + ((c * out_groups_ + g) * taps) * kSimdWidth;
+
+  // Destination inside W (layout [k][j][t][c_blk][cp_blk]).
+  const i64 kblk = c / blocking_.c_blk;
+  const i64 cin = c % blocking_.c_blk;
+  const i64 jblk = (g * kSimdWidth) / blocking_.cp_blk;
+  const i64 cpin = (g * kSimdWidth) % blocking_.cp_blk;
+  float* dst = buf_w_.data() +
+               ((kblk * jb_ + jblk) * t_elems_ * blocking_.c_blk + cin) *
+                   blocking_.cp_blk +
+               cpin;
+  pipe_kernel_->run(src, dst, sc.transform);
+}
+
+// -------------------------------------------------------- stage 2: GEMM ----
+
+void ConvPlan::stage_gemm() {
+  pool_->run([&](int tid) {
+    for_each_in_box(sched_gemm_[static_cast<std::size_t>(tid)],
+                    [&](const std::array<i64, kMaxGridRank>& c) {
+                      gemm_task(tid, c[0], c[1], c[2],
+                                sched_gemm_[static_cast<std::size_t>(tid)]
+                                    .end[2]);
+                    });
+    streaming_fence();
+  });
+}
+
+void ConvPlan::gemm_task(int tid, i64 t, i64 j, i64 i, i64 i_end) {
+  ThreadScratch& sc = *scratch_[static_cast<std::size_t>(tid)];
+  const i64 u_blk = static_cast<i64>(blocking_.n_blk) * blocking_.c_blk;
+  const i64 v_blk = static_cast<i64>(blocking_.c_blk) * blocking_.cp_blk;
+  const i64 x_blk = static_cast<i64>(blocking_.n_blk) * blocking_.cp_blk;
+  const i64 inext = (i + 1 < i_end) ? i + 1 : i;
+  const bool have_itmp = !buf_itmp_.empty();
+
+  const bool scatter = options_.scatter_in_gemm;
+  if (scatter) {
+    const i64 g0 = static_cast<i64>(j) * blocking_.cp_blk / kSimdWidth;
+    for (int jr = 0; jr < blocking_.n_blk; ++jr) {
+      const i64 np = i * blocking_.n_blk + jr;
+      sc.scatter_rows[static_cast<std::size_t>(jr)] =
+          buf_iout_.data() + ((np * out_groups_ + g0) * t_elems_ + t) *
+                                 kSimdWidth;
+    }
+  }
+
+  MicrokernelArgs args;
+  args.scatter_rows = sc.scatter_rows.data();
+  args.scatter_col_stride_bytes =
+      t_elems_ * kSimdWidth * static_cast<i64>(sizeof(float));
+  for (i64 k = 0; k < kb_; ++k) {
+    args.u = buf_i_.data() + ((i * kb_ + k) * t_elems_ + t) * u_blk;
+    args.v = buf_w_.data() + ((k * jb_ + j) * t_elems_ + t) * v_blk;
+    args.x = have_itmp
+                 ? buf_itmp_.data() + ((i * jb_ + j) * t_elems_ + t) * x_blk
+                 : sc.dump.data();
+    args.u_next = buf_i_.data() + ((inext * kb_ + k) * t_elems_ + t) * u_blk;
+    args.x_next =
+        have_itmp
+            ? buf_itmp_.data() + ((inext * jb_ + j) * t_elems_ + t) * x_blk
+            : sc.dump.data();
+    kernels_->run_step(static_cast<int>(k), static_cast<int>(kb_), args);
+  }
+}
+
+// ------------------------------------------- stage 2b: separate scatter ----
+
+void ConvPlan::stage_scatter_copy() {
+  const i64 x_blk = static_cast<i64>(blocking_.n_blk) * blocking_.cp_blk;
+  const i64 groups_per_j = blocking_.cp_blk / kSimdWidth;
+  pool_->run([&](int tid) {
+    for_each_in_box(
+        sched_copy_[static_cast<std::size_t>(tid)],
+        [&](const std::array<i64, kMaxGridRank>& c) {
+          const i64 i = c[0], j = c[1], t = c[2];
+          const float* x =
+              buf_itmp_.data() + ((i * jb_ + j) * t_elems_ + t) * x_blk;
+          for (int jr = 0; jr < blocking_.n_blk; ++jr) {
+            const i64 np = i * blocking_.n_blk + jr;
+            const i64 g0 = j * groups_per_j;
+            for (i64 q = 0; q < groups_per_j; ++q) {
+              std::memcpy(
+                  buf_iout_.data() +
+                      ((np * out_groups_ + g0 + q) * t_elems_ + t) *
+                          kSimdWidth,
+                  x + jr * blocking_.cp_blk + q * kSimdWidth,
+                  sizeof(float) * kSimdWidth);
+            }
+          }
+        });
+  });
+}
+
+// ----------------------------------------------------- stage 3: inverse ----
+
+void ConvPlan::stage_inverse_transform(float* output,
+                                       const Epilogue& epilogue) {
+  pool_->run([&](int tid) {
+    for_each_in_box(sched_inverse_[static_cast<std::size_t>(tid)],
+                    [&](const std::array<i64, kMaxGridRank>& c) {
+                      inverse_transform_task(tid, c[0], c[1], c[2], output,
+                                             epilogue);
+                    });
+    streaming_fence();
+  });
+}
+
+void ConvPlan::inverse_transform_task(int tid, i64 b, i64 g, i64 n,
+                                      float* output,
+                                      const Epilogue& epilogue) {
+  ThreadScratch& sc = *scratch_[static_cast<std::size_t>(tid)];
+  const i64 np = b * tile_count_ + n;
+  const Dims out_strides_sp = out_dims_.strides();
+  const i64 opx = out_dims_.product();
+
+  const float* src =
+      buf_iout_.data() + ((np * out_groups_ + g) * t_elems_) * kSimdWidth;
+
+  // Output tile origin and interior test.
+  const Dims tc = tiles_.coord_of(n);
+  i64 org[kMaxNd];
+  bool interior = true;
+  for (int d = 0; d < rank_; ++d) {
+    org[d] = tc[d] * problem_.tile_m[d];
+    if (org[d] + problem_.tile_m[d] > out_dims_[d]) interior = false;
+  }
+
+  if (interior && !epilogue.active()) {
+    i64 sp = 0;
+    for (int d = 0; d < rank_; ++d) sp += org[d] * out_strides_sp[d];
+    float* dst = output + ((b * out_groups_ + g) * opx + sp) * kSimdWidth;
+    pipe_inv_interior_->run(src, dst, sc.transform);
+    return;
+  }
+
+  // Clipped tile (or fused epilogue): transform into staging, then write
+  // the valid sub-box out — applying bias/ReLU while the tile is hot.
+  const Dims m_strides = problem_.tile_m.strides();
+  pipe_inv_border_->run(src, sc.stage_out.data(), sc.transform);
+
+  float bias_vec[kSimdWidth] = {};
+  if (epilogue.bias != nullptr) {
+    for (int s = 0; s < kSimdWidth; ++s) {
+      bias_vec[s] = epilogue.bias[g * kSimdWidth + s];
+    }
+  }
+
+  float* out_base = output + ((b * out_groups_ + g) * opx) * kSimdWidth;
+  i64 hi[kMaxNd];
+  for (int d = 0; d < rank_; ++d) {
+    hi[d] = std::min<i64>(problem_.tile_m[d], out_dims_[d] - org[d]);
+  }
+  i64 e[kMaxNd] = {};
+  for (;;) {
+    i64 soff = 0, ooff = 0;
+    for (int d = 0; d < rank_; ++d) {
+      soff += e[d] * m_strides[d];
+      ooff += (org[d] + e[d]) * out_strides_sp[d];
+    }
+    const float* __restrict sv = sc.stage_out.data() + soff * kSimdWidth;
+    float* __restrict dv = out_base + ooff * kSimdWidth;
+    if (epilogue.active()) {
+      for (int s = 0; s < kSimdWidth; ++s) {
+        float v = sv[s] + bias_vec[s];
+        if (epilogue.relu) v = std::max(v, 0.0f);
+        dv[s] = v;
+      }
+    } else {
+      std::memcpy(dv, sv, sizeof(float) * kSimdWidth);
+    }
+    int d = rank_ - 1;
+    for (; d >= 0; --d) {
+      if (++e[d] < hi[d]) break;
+      e[d] = 0;
+    }
+    if (d < 0) break;
+  }
+}
+
+}  // namespace ondwin

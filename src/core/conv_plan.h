@@ -1,0 +1,160 @@
+// The N-D Winograd convolution engine (paper §4): plan once, execute many.
+//
+// A plan owns everything derived from the problem shape: the Cook–Toom
+// transform programs, the JIT GEMM kernels, the statically scheduled task
+// grids, the worker pool, and the auxiliary buffers (I, W, I'_tmp, I').
+// Execution runs the paper's three stages, each as one fork–join:
+//
+//   stage 1   input tile transform     image  → I      (+ kernels → W)
+//   stage 2   T batched GEMMs          I × W  → I'     (scatter in-kernel)
+//   stage 3   inverse tile transform   I'     → output image
+//
+// Inputs/outputs use the SIMD-blocked layouts of tensor/layout.h, so the
+// output of one plan feeds the next plan without reshuffling.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/conv_problem.h"
+#include "core/plan_options.h"
+#include "gemm/batched_gemm.h"
+#include "sched/static_schedule.h"
+#include "sched/thread_pool.h"
+#include "transform/tile_pipeline.h"
+#include "util/aligned.h"
+#include "util/timer.h"
+
+namespace ondwin {
+
+/// Optional operations fused into the inverse-transform stage (stage 3)
+/// — the activation epilogue every ConvNet layer needs. Fusing it avoids a
+/// separate pass over the output activations.
+struct Epilogue {
+  /// Per-output-channel bias, C' floats in plain channel order (nullptr =
+  /// no bias).
+  const float* bias = nullptr;
+  /// Apply max(x, 0) after the (optional) bias.
+  bool relu = false;
+
+  bool active() const { return bias != nullptr || relu; }
+};
+
+/// Wall-clock seconds of each stage of the last execute() call.
+struct ConvPlanStats {
+  double input_transform = 0;
+  double kernel_transform = 0;
+  double gemm = 0;
+  double scatter_copy = 0;  // only when scatter_in_gemm is off
+  double inverse_transform = 0;
+  double total() const {
+    return input_transform + kernel_transform + gemm + scatter_copy +
+           inverse_transform;
+  }
+};
+
+/// Resolved blocking parameters (after heuristic/wisdom/overrides).
+struct Blocking {
+  int n_blk = 0;
+  int c_blk = 0;
+  int cp_blk = 0;
+};
+
+class ConvPlan {
+ public:
+  ConvPlan(const ConvProblem& problem, const PlanOptions& options = {});
+  ~ConvPlan();
+
+  ConvPlan(const ConvPlan&) = delete;
+  ConvPlan& operator=(const ConvPlan&) = delete;
+
+  /// Full convolution including the kernel transform (training mode).
+  /// `input`: blocked image batch (problem.input_layout());
+  /// `kernels`: blocked kernel bank (problem.kernel_layout());
+  /// `output`: blocked image batch (problem.output_layout()).
+  void execute(const float* input, const float* kernels, float* output,
+               const Epilogue& epilogue = {});
+
+  /// Transforms `kernels` into the internal W buffer. Afterwards
+  /// execute_pretransformed() reuses it — the paper's "FX" inference mode.
+  void set_kernels(const float* kernels);
+
+  /// Convolution with memoized kernel transforms (requires set_kernels or
+  /// a prior execute()).
+  void execute_pretransformed(const float* input, float* output,
+                              const Epilogue& epilogue = {});
+
+  const ConvProblem& problem() const { return problem_; }
+  const PlanOptions& options() const { return options_; }
+  const Blocking& blocking() const { return blocking_; }
+  int threads() const { return pool_->size(); }
+  const ConvPlanStats& last_stats() const { return stats_; }
+
+  /// Auxiliary buffer footprint in bytes (paper §4.4 "Memory overhead").
+  i64 workspace_bytes() const;
+
+ private:
+  struct ThreadScratch;
+
+  void choose_blocking();
+  void build_programs();
+  void build_pipelines();
+  void build_kernels();
+  void build_schedules();
+  void allocate_buffers();
+
+  void stage_input_transform(const float* input);
+  void stage_kernel_transform(const float* kernels);
+  void stage_gemm();
+  void stage_scatter_copy();
+  void stage_inverse_transform(float* output, const Epilogue& epilogue);
+
+  void input_transform_task(int tid, i64 b, i64 cg,
+                            const std::array<i64, kMaxGridRank>& tile_coord,
+                            const float* input);
+  void kernel_transform_task(int tid, i64 c, i64 g, const float* kernels);
+  void gemm_task(int tid, i64 t, i64 j, i64 i, i64 i_end);
+  void inverse_transform_task(int tid, i64 b, i64 g, i64 n, float* output,
+                              const Epilogue& epilogue);
+
+  ConvProblem problem_;
+  PlanOptions options_;
+  Blocking blocking_;
+
+  // Geometry (cached from problem_ + blocking_).
+  int rank_ = 0;
+  Dims alpha_;          // tile extents per dim
+  Dims tiles_;          // tile counts per dim
+  Dims out_dims_;       // output spatial extents
+  i64 tile_count_ = 0;  // N
+  i64 t_elems_ = 0;     // T
+  i64 nb_ = 0;          // N·B
+  i64 nb_pad_ = 0;      // NB rounded up to n_blk
+  i64 ib_ = 0, kb_ = 0, jb_ = 0;  // block counts: rows, C, C'
+  i64 in_groups_ = 0, out_groups_ = 0;
+
+  // Transform programs per dimension and their stride-frozen pipelines.
+  std::vector<TransformProgram> bt_, g_, at_;
+  std::unique_ptr<TilePipeline> pipe_in_interior_, pipe_in_border_,
+      pipe_kernel_, pipe_inv_interior_, pipe_inv_border_;
+
+  // GEMM kernels.
+  std::unique_ptr<KernelSet> kernels_;
+
+  // Buffers.
+  AlignedBuffer<float> buf_i_;      // transformed inputs  (I)
+  AlignedBuffer<float> buf_w_;      // transformed kernels (W)
+  AlignedBuffer<float> buf_itmp_;   // GEMM accumulators   (I'_tmp)
+  AlignedBuffer<float> buf_iout_;   // scattered results   (I')
+  bool kernels_ready_ = false;
+
+  // Scheduling.
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<GridBox> sched_input_, sched_kernel_, sched_gemm_,
+      sched_copy_, sched_inverse_;
+  std::vector<std::unique_ptr<ThreadScratch>> scratch_;
+
+  ConvPlanStats stats_;
+};
+
+}  // namespace ondwin

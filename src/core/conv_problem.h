@@ -1,0 +1,70 @@
+// Problem description for the N-D Winograd convolution engine.
+#pragma once
+
+#include "baseline/direct_conv.h"
+#include "tensor/layout.h"
+
+namespace ondwin {
+
+/// A convolutional layer (ConvShape) plus the Winograd output-tile sizes
+/// m_d — together they select F(m_d, r_d) per dimension (paper §3.2).
+struct ConvProblem {
+  ConvShape shape;
+  Dims tile_m;  // outputs per tile per dimension (2..8 are practical)
+
+  int rank() const { return shape.image.rank(); }
+
+  /// Transformed tile extent α_d = m_d + r_d − 1.
+  Dims alpha() const {
+    Dims a = tile_m;
+    for (int d = 0; d < rank(); ++d) a[d] = tile_m[d] + shape.kernel[d] - 1;
+    return a;
+  }
+
+  /// Output tiles per dimension: ⌈out_d / m_d⌉ (the last tile may be
+  /// partially clipped; inputs beyond the image are zero padded).
+  Dims tiles() const {
+    const Dims out = shape.output();
+    Dims t = tile_m;
+    for (int d = 0; d < rank(); ++d) t[d] = ceil_div(out[d], tile_m[d]);
+    return t;
+  }
+
+  i64 tiles_total() const { return tiles().product(); }
+  i64 tile_elements() const { return alpha().product(); }  // T in the paper
+
+  ImageLayout input_layout() const {
+    return {shape.batch, shape.in_channels, shape.image};
+  }
+  ImageLayout output_layout() const {
+    return {shape.batch, shape.out_channels, shape.output()};
+  }
+  KernelLayout kernel_layout() const {
+    return {shape.in_channels, shape.out_channels, shape.kernel};
+  }
+
+  void validate() const {
+    shape.validate();
+    ONDWIN_CHECK(tile_m.rank() == rank(), "tile_m rank mismatch");
+    for (int d = 0; d < rank(); ++d) {
+      ONDWIN_CHECK(tile_m[d] >= 1, "tile_m must be >= 1");
+      ONDWIN_CHECK(tile_m[d] + shape.kernel[d] - 1 <= 16,
+                   "transformed tile extent m+r-1 = ",
+                   tile_m[d] + shape.kernel[d] - 1,
+                   " exceeds 16 — numerically useless and unsupported");
+    }
+    ONDWIN_CHECK(shape.in_channels % kSimdWidth == 0,
+                 "C must be divisible by ", kSimdWidth);
+    ONDWIN_CHECK(shape.out_channels % kSimdWidth == 0,
+                 "C' must be divisible by ", kSimdWidth);
+  }
+
+  /// Multiplications the Winograd method performs (transform stages
+  /// excluded): T GEMMs of (N·B × C) · (C × C').
+  i64 winograd_macs() const {
+    return tile_elements() * tiles_total() * shape.batch * shape.in_channels *
+           shape.out_channels;
+  }
+};
+
+}  // namespace ondwin

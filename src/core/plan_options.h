@@ -1,0 +1,52 @@
+// Tunable knobs of the Winograd convolution plan. Defaults reproduce the
+// paper's configuration; the ablation benches flip individual flags.
+#pragma once
+
+#include <string>
+
+#include "util/common.h"
+
+namespace ondwin {
+
+struct PlanOptions {
+  /// Total threads (including the calling thread). 0 = hardware threads.
+  int threads = 0;
+
+  /// Pin thread i to CPU i (paper pins to KNL cores; off by default here
+  /// because oversubscribed CI hosts regress when pinned).
+  bool pin_threads = false;
+
+  /// Use the JIT AVX-512 GEMM microkernels (falls back to the portable
+  /// reference kernel automatically when the host lacks AVX-512).
+  bool use_jit = true;
+
+  /// JIT-compile the transform codelets as well (plan-time lowering of the
+  /// per-dimension programs to native code; falls back to the interpreting
+  /// executor when unavailable).
+  bool jit_transforms = true;
+
+  /// Non-temporal streaming stores for transform outputs (paper §4.2.1;
+  /// ablation E6).
+  bool streaming_stores = true;
+
+  /// Scatter stage-2 results to the stage-3 layout inside the JIT kernel
+  /// (paper §4.3.1, "+20% overall"; ablation E7). When false, a separate
+  /// copy pass reshapes I'_tmp into I'.
+  bool scatter_in_gemm = true;
+
+  /// Apply the Fig. 2 even/odd codelet reduction (ablation E5).
+  bool codelet_pairing = true;
+
+  /// Blocking overrides; 0 = heuristic (or wisdom, when a wisdom store is
+  /// attached). Constraints: n_blk ∈ [1,30]; c_blk | C; cp_blk | C';
+  /// both multiples of 16 with c_blk·cp_blk ≤ 128².
+  int n_blk = 0;
+  int c_blk = 0;
+  int cp_blk = 0;
+
+  /// Optional wisdom file consulted for blocking parameters (FFTW-style,
+  /// paper §4.3.2). Empty = no wisdom.
+  std::string wisdom_path;
+};
+
+}  // namespace ondwin

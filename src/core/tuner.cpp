@@ -1,0 +1,113 @@
+#include "core/tuner.h"
+
+#include <algorithm>
+
+#include "core/wisdom.h"
+#include "util/rng.h"
+
+namespace ondwin {
+namespace {
+
+std::vector<int> blk_divisors(i64 channels) {
+  std::vector<int> out;
+  for (i64 v = 16; v <= std::min<i64>(channels, 512); v += 16) {
+    if (channels % v == 0) out.push_back(static_cast<int>(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Blocking> tuning_candidates(const ConvProblem& p) {
+  const i64 nb = p.tiles_total() * p.shape.batch;
+
+  std::vector<int> nblks = {6, 14, 22, 30};
+  // Padding-waste minimizer (what the heuristic would pick).
+  if (nb <= 30) {
+    nblks.push_back(static_cast<int>(nb));
+  } else {
+    i64 best_waste = -1;
+    int best = 30;
+    for (int n = 6; n <= 30; ++n) {
+      const i64 waste = round_up(nb, n) - nb;
+      if (best_waste < 0 || waste <= best_waste) {
+        best_waste = waste;
+        best = n;
+      }
+    }
+    nblks.push_back(best);
+  }
+  std::sort(nblks.begin(), nblks.end());
+  nblks.erase(std::unique(nblks.begin(), nblks.end()), nblks.end());
+
+  std::vector<Blocking> out;
+  for (int cb : blk_divisors(p.shape.in_channels)) {
+    for (int cpb : blk_divisors(p.shape.out_channels)) {
+      if (static_cast<i64>(cb) * cpb > 128 * 128) continue;
+      for (int n : nblks) {
+        if (n < 1 || n > 30 || n > nb) continue;
+        out.push_back({n, cb, cpb});
+      }
+    }
+  }
+  if (out.empty()) {
+    // nb smaller than every candidate n_blk — fall back to n_blk = nb.
+    for (int cb : blk_divisors(p.shape.in_channels)) {
+      for (int cpb : blk_divisors(p.shape.out_channels)) {
+        if (static_cast<i64>(cb) * cpb > 128 * 128) continue;
+        out.push_back({static_cast<int>(std::min<i64>(nb, 30)), cb, cpb});
+      }
+    }
+  }
+  return out;
+}
+
+TuneResult auto_tune(const ConvProblem& p, const PlanOptions& base,
+                     double budget_seconds) {
+  p.validate();
+  const auto candidates = tuning_candidates(p);
+  ONDWIN_CHECK(!candidates.empty(), "no tuning candidates for this problem");
+
+  // Synthetic inputs shared by every candidate.
+  const ImageLayout in_l = p.input_layout();
+  const ImageLayout out_l = p.output_layout();
+  const KernelLayout k_l = p.kernel_layout();
+  AlignedBuffer<float> in(static_cast<std::size_t>(in_l.total_floats()));
+  AlignedBuffer<float> w(static_cast<std::size_t>(k_l.total_floats()));
+  AlignedBuffer<float> out(static_cast<std::size_t>(out_l.total_floats()));
+  Rng rng(0xC0FFEE);
+  for (auto& v : in) v = rng.uniform(-1, 1);
+  for (auto& v : w) v = rng.uniform(-1, 1);
+
+  Timer budget;
+  TuneResult result;
+  for (const Blocking& cand : candidates) {
+    PlanOptions opts = base;
+    opts.wisdom_path.clear();  // candidates must not read stale wisdom
+    opts.n_blk = cand.n_blk;
+    opts.c_blk = cand.c_blk;
+    opts.cp_blk = cand.cp_blk;
+
+    ConvPlan plan(p, opts);
+    plan.set_kernels(w.data());
+    const double secs = bench_min_seconds(
+        [&] { plan.execute_pretransformed(in.data(), out.data()); }, 0.01, 2);
+    result.all.push_back({cand, secs});
+    if (budget.seconds() > budget_seconds) break;
+  }
+
+  std::sort(result.all.begin(), result.all.end(),
+            [](const TuneCandidate& a, const TuneCandidate& b) {
+              return a.seconds < b.seconds;
+            });
+  result.best = result.all.front().blocking;
+  result.best_seconds = result.all.front().seconds;
+
+  if (!base.wisdom_path.empty()) {
+    WisdomStore wisdom(base.wisdom_path);
+    wisdom.store(wisdom_key(p), result.best);
+  }
+  return result;
+}
+
+}  // namespace ondwin

@@ -1,0 +1,35 @@
+// Empirical blocking-parameter search (paper §4.3.2): "we take the
+// strategy of FFTW and determine the values of n_blk, C_blk and C'_blk …
+// empirically for each particular layer shape", persisting winners in a
+// wisdom file.
+#pragma once
+
+#include <vector>
+
+#include "core/conv_plan.h"
+
+namespace ondwin {
+
+struct TuneCandidate {
+  Blocking blocking;
+  double seconds = 0;  // best-of-N execute_pretransformed wall time
+};
+
+struct TuneResult {
+  Blocking best;
+  double best_seconds = 0;
+  std::vector<TuneCandidate> all;  // every measured candidate, sorted
+};
+
+/// Enumerates the legal blocking candidates for a problem: c_blk/cp_blk
+/// divisors (multiples of 16, ≤512, product ≤128²) crossed with a small
+/// n_blk set ({6,14,22,30} plus the padding-waste minimizer).
+std::vector<Blocking> tuning_candidates(const ConvProblem& p);
+
+/// Benchmarks each candidate on synthetic data and returns the fastest.
+/// When `base.wisdom_path` is set, the winner is stored there so later
+/// plans pick it up automatically. `budget_seconds` soft-caps the search.
+TuneResult auto_tune(const ConvProblem& p, const PlanOptions& base,
+                     double budget_seconds = 10.0);
+
+}  // namespace ondwin

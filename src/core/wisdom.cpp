@@ -1,0 +1,63 @@
+#include "core/wisdom.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/conv_plan.h"
+
+namespace ondwin {
+
+std::string wisdom_key(const ConvProblem& p) {
+  std::ostringstream os;
+  os << "r" << p.rank() << "_b" << p.shape.batch << "_c"
+     << p.shape.in_channels << "_o" << p.shape.out_channels;
+  os << "_i";
+  for (int d = 0; d < p.rank(); ++d) os << (d ? "x" : "") << p.shape.image[d];
+  os << "_k";
+  for (int d = 0; d < p.rank(); ++d) os << (d ? "x" : "") << p.shape.kernel[d];
+  os << "_m";
+  for (int d = 0; d < p.rank(); ++d) os << (d ? "x" : "") << p.tile_m[d];
+  os << "_p";
+  for (int d = 0; d < p.rank(); ++d) {
+    os << (d ? "x" : "") << p.shape.padding[d];
+  }
+  return os.str();
+}
+
+WisdomStore::WisdomStore(std::string path) : path_(std::move(path)) { load(); }
+
+void WisdomStore::load() {
+  std::ifstream in(path_);
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    int n = 0, c = 0, cp = 0;
+    if (!(ls >> key >> n >> c >> cp)) continue;     // malformed: skip
+    if (n < 1 || n > 30 || c < 16 || cp < 16) continue;  // implausible: skip
+    entries_[key] = {n, c, cp};
+  }
+}
+
+std::optional<Blocking> WisdomStore::lookup(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  Blocking b;
+  b.n_blk = it->second[0];
+  b.c_blk = it->second[1];
+  b.cp_blk = it->second[2];
+  return b;
+}
+
+bool WisdomStore::store(const std::string& key, const Blocking& blocking) {
+  entries_[key] = {blocking.n_blk, blocking.c_blk, blocking.cp_blk};
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) return false;
+  for (const auto& [k, v] : entries_) {
+    out << k << " " << v[0] << " " << v[1] << " " << v[2] << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace ondwin

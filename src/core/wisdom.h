@@ -1,0 +1,43 @@
+// FFTW-style "wisdom" persistence for empirically tuned blocking
+// parameters (paper §4.3.2): determining n_blk/C_blk/C'_blk takes a small
+// benchmark sweep, so the winners are remembered per layer shape.
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/conv_problem.h"
+
+namespace ondwin {
+
+struct Blocking;  // defined in conv_plan.h
+
+/// Stable identity of a layer shape (everything blocking depends on).
+std::string wisdom_key(const ConvProblem& p);
+
+/// Line-oriented text store: `<key> <n_blk> <c_blk> <cp_blk>` per line.
+/// Unreadable files behave as empty; malformed lines are skipped — wisdom
+/// is a cache, never a correctness dependency.
+class WisdomStore {
+ public:
+  explicit WisdomStore(std::string path);
+
+  std::optional<Blocking> lookup(const std::string& key) const;
+
+  /// Inserts/overwrites and rewrites the file. Returns false (without
+  /// throwing) when the file cannot be written.
+  bool store(const std::string& key, const Blocking& blocking);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  void load();
+
+  std::string path_;
+  std::map<std::string, std::array<int, 3>> entries_;
+};
+
+}  // namespace ondwin

@@ -1,0 +1,106 @@
+#include "fft/fft.h"
+
+#include <cmath>
+
+namespace ondwin {
+
+Fft1d::Fft1d(i64 n) : n_(n) {
+  ONDWIN_CHECK(n >= 1 && is_pow2(static_cast<u64>(n)),
+               "FFT size must be a power of two, got ", n);
+  while ((i64{1} << log2n_) < n_) ++log2n_;
+
+  bitrev_.resize(static_cast<std::size_t>(n_));
+  for (i64 i = 0; i < n_; ++i) {
+    u32 r = 0;
+    for (int b = 0; b < log2n_; ++b) {
+      r = (r << 1) | ((static_cast<u32>(i) >> b) & 1u);
+    }
+    bitrev_[static_cast<std::size_t>(i)] = r;
+  }
+
+  // Stage s (half-size h = 2^s) uses h twiddles w_h^k = e^{-2πik/2h};
+  // packed consecutively: offsets 1, 2, 4, … (total n-1 entries).
+  twiddles_.reserve(static_cast<std::size_t>(n_));
+  for (i64 h = 1; h < n_; h *= 2) {
+    for (i64 k = 0; k < h; ++k) {
+      const double a = -M_PI * static_cast<double>(k) / static_cast<double>(h);
+      twiddles_.emplace_back(static_cast<float>(std::cos(a)),
+                             static_cast<float>(std::sin(a)));
+    }
+  }
+}
+
+void Fft1d::run(cfloat* data, i64 stride, bool inv) const {
+  // Bit-reversal permutation (swap once per pair).
+  for (i64 i = 0; i < n_; ++i) {
+    const i64 j = bitrev_[static_cast<std::size_t>(i)];
+    if (j > i) std::swap(data[i * stride], data[j * stride]);
+  }
+
+  const cfloat* tw = twiddles_.data();
+  for (i64 h = 1; h < n_; h *= 2) {
+    for (i64 base = 0; base < n_; base += 2 * h) {
+      for (i64 k = 0; k < h; ++k) {
+        cfloat w = tw[k];
+        if (inv) w = std::conj(w);
+        cfloat& a = data[(base + k) * stride];
+        cfloat& b = data[(base + k + h) * stride];
+        const cfloat t = w * b;
+        b = a - t;
+        a = a + t;
+      }
+    }
+    tw += h;
+  }
+
+  if (inv) {
+    const float scale = 1.0f / static_cast<float>(n_);
+    for (i64 i = 0; i < n_; ++i) data[i * stride] *= scale;
+  }
+}
+
+void fft_nd(const std::vector<Fft1d>& plans, cfloat* data, const Dims& extent,
+            bool inverse) {
+  const int rank = extent.rank();
+  ONDWIN_CHECK(static_cast<int>(plans.size()) == rank,
+               "one FFT plan per dimension required");
+  const Dims strides = extent.strides();
+  for (int d = 0; d < rank; ++d) {
+    ONDWIN_CHECK(plans[static_cast<std::size_t>(d)].size() == extent[d],
+                 "plan/extent mismatch at dim ", d);
+    // Apply along every fiber of dimension d.
+    const i64 fibers = extent.product() / extent[d];
+    Dims other = extent;
+    other[d] = 1;
+    for (i64 f = 0; f < fibers; ++f) {
+      const Dims c = other.coord_of(f);
+      const i64 off = extent.offset_of(c);
+      if (inverse) {
+        plans[static_cast<std::size_t>(d)].inverse(data + off, strides[d]);
+      } else {
+        plans[static_cast<std::size_t>(d)].forward(data + off, strides[d]);
+      }
+    }
+  }
+}
+
+std::vector<cfloat> naive_dft(const std::vector<cfloat>& x, bool inverse) {
+  const i64 n = static_cast<i64>(x.size());
+  std::vector<cfloat> y(x.size());
+  const double sign = inverse ? 1.0 : -1.0;
+  for (i64 k = 0; k < n; ++k) {
+    std::complex<double> acc = 0.0;
+    for (i64 j = 0; j < n; ++j) {
+      const double a = sign * 2.0 * M_PI * static_cast<double>(k * j) /
+                       static_cast<double>(n);
+      acc += std::complex<double>(x[static_cast<std::size_t>(j)]) *
+             std::complex<double>(std::cos(a), std::sin(a));
+    }
+    if (inverse) acc /= static_cast<double>(n);
+    y[static_cast<std::size_t>(k)] = cfloat(static_cast<float>(acc.real()),
+                                            static_cast<float>(acc.imag()));
+  }
+  return y;
+}
+
+}  // namespace ondwin

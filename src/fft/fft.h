@@ -1,0 +1,47 @@
+// Minimal FFT substrate for the FFT-based convolution baseline.
+//
+// The paper compares Winograd against FFT-based convolution (cuDNN's FFT
+// path for 3D); this module provides the equivalent transform machinery
+// built from scratch: an iterative radix-2 Cooley–Tukey FFT with
+// precomputed twiddles, strided application, and an N-D driver.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "tensor/dims.h"
+
+namespace ondwin {
+
+using cfloat = std::complex<float>;
+
+/// Radix-2 FFT plan for one power-of-two size. Forward is unnormalized;
+/// inverse includes the 1/n factor (so inverse(forward(x)) == x).
+class Fft1d {
+ public:
+  explicit Fft1d(i64 n);
+
+  i64 size() const { return n_; }
+
+  /// In-place transform of `n` elements spaced `stride` apart.
+  void forward(cfloat* data, i64 stride = 1) const { run(data, stride, false); }
+  void inverse(cfloat* data, i64 stride = 1) const { run(data, stride, true); }
+
+ private:
+  void run(cfloat* data, i64 stride, bool inv) const;
+
+  i64 n_ = 0;
+  int log2n_ = 0;
+  std::vector<u32> bitrev_;
+  std::vector<cfloat> twiddles_;      // forward twiddles, all stages packed
+};
+
+/// In-place N-D FFT over a row-major array of extents `extent` (each a
+/// power of two), applying `plans[d]` along dimension d.
+void fft_nd(const std::vector<Fft1d>& plans, cfloat* data, const Dims& extent,
+            bool inverse);
+
+/// O(n²) reference DFT (test oracle).
+std::vector<cfloat> naive_dft(const std::vector<cfloat>& x, bool inverse);
+
+}  // namespace ondwin

@@ -1,0 +1,96 @@
+#include "gemm/baseline_gemms.h"
+
+#include <cstring>
+
+#include "util/cpu.h"
+
+namespace ondwin {
+
+#if defined(__x86_64__) || defined(_M_X64)
+// Defined in baseline_gemms_avx512.cpp (compiled with AVX-512 flags).
+void fixed16_batched_gemm_avx512(const BlockedGemmShape& shape,
+                                 const float* u, const float* v, float* x);
+void generic_gemm_avx512(i64 m, i64 n, i64 k, const float* a, const float* b,
+                         float* c);
+#endif
+
+void fixed16_batched_gemm(const BlockedGemmShape& shape, const float* u,
+                          const float* v, float* x) {
+  shape.validate();
+  ONDWIN_CHECK(shape.n_blk == 16, "fixed16 kernel requires n_blk == 16");
+#if defined(__x86_64__) || defined(_M_X64)
+  if (cpu_features().full_avx512()) {
+    fixed16_batched_gemm_avx512(shape, u, v, x);
+    return;
+  }
+#endif
+  const i64 u_blk = 16 * static_cast<i64>(shape.c_blk);
+  const i64 v_blk = static_cast<i64>(shape.c_blk) * shape.cp_blk;
+  const i64 x_blk = 16 * static_cast<i64>(shape.cp_blk);
+
+  for (i64 j = 0; j < shape.col_blocks(); ++j) {
+    for (i64 k = 0; k < shape.k_blocks(); ++k) {
+      const float* vb = v + (k * shape.col_blocks() + j) * v_blk;
+      const bool first = (k == 0);
+      for (i64 i = 0; i < shape.row_blocks(); ++i) {
+        const float* ub = u + (i * shape.k_blocks() + k) * u_blk;
+        float* xb = x + (i * shape.col_blocks() + j) * x_blk;
+        // 16 accumulator rows × 16 columns at a time; plain loops the
+        // compiler vectorizes — no unroll-and-jam tuning, no prefetch.
+        for (int q = 0; q < shape.cp_blk; q += 16) {
+          float acc[16][16];
+          if (first) {
+            std::memset(acc, 0, sizeof(acc));
+          } else {
+            for (int r = 0; r < 16; ++r) {
+              std::memcpy(acc[r], xb + r * shape.cp_blk + q,
+                          16 * sizeof(float));
+            }
+          }
+          for (int kk = 0; kk < shape.c_blk; ++kk) {
+            const float* __restrict vrow = vb + kk * shape.cp_blk + q;
+            for (int r = 0; r < 16; ++r) {
+              const float a = ub[r * shape.c_blk + kk];
+              float* __restrict arow = acc[r];
+              for (int s = 0; s < 16; ++s) arow[s] += a * vrow[s];
+            }
+          }
+          for (int r = 0; r < 16; ++r) {
+            std::memcpy(xb + r * shape.cp_blk + q, acc[r],
+                        16 * sizeof(float));
+          }
+        }
+      }
+    }
+  }
+}
+
+void generic_gemm(i64 m, i64 n, i64 k, const float* a, const float* b,
+                  float* c) {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (cpu_features().full_avx512()) {
+    generic_gemm_avx512(m, n, k, a, b, c);
+    return;
+  }
+#endif
+  std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  constexpr i64 kMb = 8;    // register rows
+  constexpr i64 kKb = 128;  // K cache block
+
+  for (i64 k0 = 0; k0 < k; k0 += kKb) {
+    const i64 k1 = std::min(k, k0 + kKb);
+    for (i64 i0 = 0; i0 < m; i0 += kMb) {
+      const i64 i1 = std::min(m, i0 + kMb);
+      for (i64 i = i0; i < i1; ++i) {
+        float* __restrict crow = c + i * n;
+        for (i64 kk = k0; kk < k1; ++kk) {
+          const float av = a[i * k + kk];
+          const float* __restrict brow = b + kk * n;
+          for (i64 j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ondwin

@@ -1,0 +1,33 @@
+// Ahead-of-time-compiled GEMM baselines for the Fig. 6 comparison.
+//
+// The paper benchmarks its JIT batched primitive against Intel MKL and
+// LIBXSMM. Neither is available offline, so this module implements the
+// algorithmic classes they represent:
+//
+//  * fixed16_batched_gemm — LIBXSMM stand-in: small-matrix batched kernel
+//    on the same blocked buffers as our JIT, but with the fixed 16-row
+//    register blocking the paper notes LIBXSMM uses ("LIBXSMM uses a fixed
+//    number of 16 registers, which is not always optimal"), no V̂-row
+//    double-buffering and no software prefetch.
+//  * generic_gemm — MKL stand-in: a general-purpose packed/blocked GEMM on
+//    plain row-major matrices, register-blocked but shape-agnostic (no
+//    tall-and-skinny specialization).
+//
+// Both are compiled with the host's best ISA; the difference to the JIT
+// primitive is strategy, not instruction set.
+#pragma once
+
+#include "gemm/batched_gemm.h"
+
+namespace ondwin {
+
+/// Blocked-layout batched GEMM with a fixed 16-row register file.
+/// `shape.n_blk` must be 16.
+void fixed16_batched_gemm(const BlockedGemmShape& shape, const float* u,
+                          const float* v, float* x);
+
+/// Plain row-major C(M×N) = A(M×K) · B(K×N), generic blocking.
+void generic_gemm(i64 m, i64 n, i64 k, const float* a, const float* b,
+                  float* c);
+
+}  // namespace ondwin

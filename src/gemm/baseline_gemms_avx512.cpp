@@ -1,0 +1,117 @@
+// AVX-512 implementations of the Fig. 6 baseline GEMMs. These are honest
+// comparators: same instruction set as the JIT primitive, differing only
+// in strategy (fixed register blocking, no double-buffering/prefetch for
+// the LIBXSMM stand-in; shape-agnostic tiling for the MKL stand-in).
+#include <immintrin.h>
+
+#include "gemm/baseline_gemms.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+namespace ondwin {
+
+void fixed16_batched_gemm_avx512(const BlockedGemmShape& shape,
+                                 const float* u, const float* v, float* x) {
+  const i64 u_blk = 16 * static_cast<i64>(shape.c_blk);
+  const i64 v_blk = static_cast<i64>(shape.c_blk) * shape.cp_blk;
+  const i64 x_blk = 16 * static_cast<i64>(shape.cp_blk);
+
+  for (i64 j = 0; j < shape.col_blocks(); ++j) {
+    for (i64 k = 0; k < shape.k_blocks(); ++k) {
+      const float* vb = v + (k * shape.col_blocks() + j) * v_blk;
+      const bool first = (k == 0);
+      for (i64 i = 0; i < shape.row_blocks(); ++i) {
+        const float* ub = u + (i * shape.k_blocks() + k) * u_blk;
+        float* xb = x + (i * shape.col_blocks() + j) * x_blk;
+        for (int q = 0; q < shape.cp_blk; q += 16) {
+          __m512 acc[16];
+          if (first) {
+            for (int r = 0; r < 16; ++r) acc[r] = _mm512_setzero_ps();
+          } else {
+            for (int r = 0; r < 16; ++r) {
+              acc[r] = _mm512_loadu_ps(xb + r * shape.cp_blk + q);
+            }
+          }
+          for (int kk = 0; kk < shape.c_blk; ++kk) {
+            const __m512 vrow = _mm512_loadu_ps(vb + kk * shape.cp_blk + q);
+            for (int r = 0; r < 16; ++r) {
+              acc[r] = _mm512_fmadd_ps(
+                  _mm512_set1_ps(ub[r * shape.c_blk + kk]), vrow, acc[r]);
+            }
+          }
+          for (int r = 0; r < 16; ++r) {
+            _mm512_storeu_ps(xb + r * shape.cp_blk + q, acc[r]);
+          }
+        }
+      }
+    }
+  }
+}
+
+void generic_gemm_avx512(i64 m, i64 n, i64 k, const float* a, const float* b,
+                         float* c) {
+  // 8-row × 32-column register tile (16 accumulators), K-blocked for L2 —
+  // a competent general-purpose kernel without tall-skinny specialization.
+  constexpr i64 kKb = 256;
+  const i64 m8 = m / 8 * 8;
+  const i64 n32 = n / 32 * 32;
+
+  for (i64 i = 0; i < m8; i += 8) {
+    for (i64 j = 0; j < n32; j += 32) {
+      __m512 acc[8][2];
+      for (int r = 0; r < 8; ++r) {
+        acc[r][0] = _mm512_setzero_ps();
+        acc[r][1] = _mm512_setzero_ps();
+      }
+      for (i64 k0 = 0; k0 < k; k0 += kKb) {
+        const i64 k1 = std::min(k, k0 + kKb);
+        for (i64 kk = k0; kk < k1; ++kk) {
+          const __m512 b0 = _mm512_loadu_ps(b + kk * n + j);
+          const __m512 b1 = _mm512_loadu_ps(b + kk * n + j + 16);
+          for (int r = 0; r < 8; ++r) {
+            const __m512 av = _mm512_set1_ps(a[(i + r) * k + kk]);
+            acc[r][0] = _mm512_fmadd_ps(av, b0, acc[r][0]);
+            acc[r][1] = _mm512_fmadd_ps(av, b1, acc[r][1]);
+          }
+        }
+      }
+      for (int r = 0; r < 8; ++r) {
+        _mm512_storeu_ps(c + (i + r) * n + j, acc[r][0]);
+        _mm512_storeu_ps(c + (i + r) * n + j + 16, acc[r][1]);
+      }
+    }
+  }
+
+  // 16-wide column remainder (n is a multiple of 16 in every conv use).
+  const i64 n16 = n / 16 * 16;
+  for (i64 i = 0; i < m8; i += 8) {
+    for (i64 j = n32; j < n16; j += 16) {
+      __m512 acc[8];
+      for (int r = 0; r < 8; ++r) acc[r] = _mm512_setzero_ps();
+      for (i64 kk = 0; kk < k; ++kk) {
+        const __m512 b0 = _mm512_loadu_ps(b + kk * n + j);
+        for (int r = 0; r < 8; ++r) {
+          acc[r] = _mm512_fmadd_ps(_mm512_set1_ps(a[(i + r) * k + kk]), b0,
+                                   acc[r]);
+        }
+      }
+      for (int r = 0; r < 8; ++r) {
+        _mm512_storeu_ps(c + (i + r) * n + j, acc[r]);
+      }
+    }
+  }
+
+  // Scalar remainders (rows beyond m8, columns beyond n16).
+  for (i64 i = 0; i < m; ++i) {
+    const i64 jstart = (i < m8) ? n16 : 0;
+    for (i64 j = jstart; j < n; ++j) {
+      float acc = 0.0f;
+      for (i64 kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[kk * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+}  // namespace ondwin
+
+#endif  // x86-64

@@ -1,0 +1,116 @@
+#include "gemm/batched_gemm.h"
+
+#include <cstring>
+
+namespace ondwin {
+
+KernelSet::KernelSet(int n_blk, int c_blk, int cp_blk, StoreMode final_store,
+                     bool use_jit)
+    : use_jit_(use_jit && microkernel_jit_supported()) {
+  const MicrokernelSpec base{n_blk, c_blk, cp_blk, false,
+                             StoreMode::kAccumulate};
+  specs_[kFirst] = base;
+  specs_[kMiddle] = base;
+  specs_[kMiddle].beta = true;
+  specs_[kLast] = base;
+  specs_[kLast].beta = true;
+  specs_[kLast].store = final_store;
+  specs_[kOnly] = base;
+  specs_[kOnly].store = final_store;
+  for (auto& s : specs_) validate_microkernel_spec(s);
+  if (use_jit_) {
+    for (int r = 0; r < 4; ++r) {
+      kernels_[r] = std::make_unique<Microkernel>(specs_[r]);
+    }
+  }
+}
+
+void BlockedGemmShape::validate() const {
+  ONDWIN_CHECK(n_blk >= 1 && c_blk >= 16 && cp_blk >= 16, "bad block sizes");
+  ONDWIN_CHECK(rows > 0 && rows % n_blk == 0, "rows (", rows,
+               ") must be a positive multiple of n_blk (", n_blk, ")");
+  ONDWIN_CHECK(c > 0 && c % c_blk == 0, "C (", c,
+               ") must be a positive multiple of c_blk (", c_blk, ")");
+  ONDWIN_CHECK(cp > 0 && cp % cp_blk == 0, "C' (", cp,
+               ") must be a positive multiple of cp_blk (", cp_blk, ")");
+}
+
+BlockedGemm::BlockedGemm(const BlockedGemmShape& shape, bool use_jit,
+                         StoreMode final_store)
+    : shape_(shape),
+      kernels_(shape.n_blk, shape.c_blk, shape.cp_blk, final_store, use_jit) {
+  shape_.validate();
+  ONDWIN_CHECK(final_store != StoreMode::kScatter,
+               "BlockedGemm writes X in blocked layout; scatter is driven by "
+               "the convolution engine");
+}
+
+void BlockedGemm::run(const float* u, const float* v, float* x) const {
+  const auto& s = shape_;
+  const i64 u_blk = static_cast<i64>(s.n_blk) * s.c_blk;
+  const i64 v_blk = static_cast<i64>(s.c_blk) * s.cp_blk;
+  const i64 x_blk = static_cast<i64>(s.n_blk) * s.cp_blk;
+  const i64 kb = s.k_blocks();
+
+  // j outer, k middle, i inner: every Û_{i,k} streams past a V̂_{k,j} that
+  // stays hot in L2 (the "batched multiplications with the same V̂").
+  for (i64 j = 0; j < s.col_blocks(); ++j) {
+    for (i64 k = 0; k < kb; ++k) {
+      const float* vb = v + (k * s.col_blocks() + j) * v_blk;
+      for (i64 i = 0; i < s.row_blocks(); ++i) {
+        MicrokernelArgs args;
+        args.u = u + (i * kb + k) * u_blk;
+        args.v = vb;
+        args.x = x + (i * s.col_blocks() + j) * x_blk;
+        const i64 inext = (i + 1 < s.row_blocks()) ? i + 1 : i;
+        args.u_next = u + (inext * kb + k) * u_blk;
+        args.x_next = x + (inext * s.col_blocks() + j) * x_blk;
+        kernels_.run_step(static_cast<int>(k), static_cast<int>(kb), args);
+      }
+    }
+  }
+}
+
+void pack_u_blocks(const float* plain, float* blocked, i64 rows, i64 cols,
+                   int row_blk, int col_blk) {
+  ONDWIN_CHECK(rows % row_blk == 0 && cols % col_blk == 0,
+               "pack_u_blocks: shape not divisible by blocks");
+  const i64 rb = rows / row_blk, cb = cols / col_blk;
+  for (i64 i = 0; i < rb; ++i)
+    for (i64 k = 0; k < cb; ++k)
+      for (i64 r = 0; r < row_blk; ++r)
+        std::memcpy(
+            blocked + ((i * cb + k) * row_blk + r) * col_blk,
+            plain + (i * row_blk + r) * cols + k * col_blk,
+            sizeof(float) * static_cast<std::size_t>(col_blk));
+}
+
+void unpack_x_blocks(const float* blocked, float* plain, i64 rows, i64 cols,
+                     int row_blk, int col_blk) {
+  ONDWIN_CHECK(rows % row_blk == 0 && cols % col_blk == 0,
+               "unpack_x_blocks: shape not divisible by blocks");
+  const i64 rb = rows / row_blk, cb = cols / col_blk;
+  for (i64 i = 0; i < rb; ++i)
+    for (i64 k = 0; k < cb; ++k)
+      for (i64 r = 0; r < row_blk; ++r)
+        std::memcpy(
+            plain + (i * row_blk + r) * cols + k * col_blk,
+            blocked + ((i * cb + k) * row_blk + r) * col_blk,
+            sizeof(float) * static_cast<std::size_t>(col_blk));
+}
+
+void pack_v_blocks(const float* plain, float* blocked, i64 rows, i64 cols,
+                   int row_blk, int col_blk) {
+  ONDWIN_CHECK(rows % row_blk == 0 && cols % col_blk == 0,
+               "pack_v_blocks: shape not divisible by blocks");
+  const i64 rb = rows / row_blk, cb = cols / col_blk;
+  for (i64 k = 0; k < rb; ++k)
+    for (i64 j = 0; j < cb; ++j)
+      for (i64 r = 0; r < row_blk; ++r)
+        std::memcpy(
+            blocked + ((k * cb + j) * row_blk + r) * col_blk,
+            plain + (k * row_blk + r) * cols + j * col_blk,
+            sizeof(float) * static_cast<std::size_t>(col_blk));
+}
+
+}  // namespace ondwin

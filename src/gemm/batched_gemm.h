@@ -1,0 +1,113 @@
+// Cache-blocked batched GEMM driver over the JIT microkernels (paper §4.3).
+//
+// A full stage-2 multiplication X (NB×C') = U (NB×C) · V (C×C') is blocked
+// into sub-matrices (Fig. 3): Û n_blk×C_blk, V̂ C_blk×C'_blk, X̂ n_blk×C'_blk,
+// with X̂_{i,j} = Σ_k Û_{i,k}·V̂_{k,j}. The loop order keeps one V̂ in L2
+// while streaming many Û past it — the tall-and-skinny case the paper
+// optimizes.
+//
+// Buffers use the *blocked* layouts of Tbl. 1 (T omitted here; the conv
+// engine adds the leading T axis itself):
+//   U: [NB/n_blk][C/C_blk]  [n_blk][C_blk]
+//   V: [C/C_blk] [C'/C'_blk][C_blk][C'_blk]
+//   X: [NB/n_blk][C'/C'_blk][n_blk][C'_blk]
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "gemm/microkernel.h"
+
+namespace ondwin {
+
+/// The four kernel roles the k-loop needs for one block geometry:
+/// first (β=0), middle (β=1), last (β=1 + final store), and only
+/// (β=0 + final store, when C/C_blk == 1). Falls back to the portable
+/// reference implementation when the host lacks AVX-512 or `use_jit` is
+/// false.
+class KernelSet {
+ public:
+  KernelSet(int n_blk, int c_blk, int cp_blk, StoreMode final_store,
+            bool use_jit);
+
+  void run_first(const MicrokernelArgs& args) const { run(kFirst, args); }
+  void run_middle(const MicrokernelArgs& args) const { run(kMiddle, args); }
+  void run_last(const MicrokernelArgs& args) const { run(kLast, args); }
+  void run_only(const MicrokernelArgs& args) const { run(kOnly, args); }
+
+  /// Dispatches on the k-loop position: k == 0 and/or k == k_count-1.
+  void run_step(int k, int k_count, const MicrokernelArgs& args) const {
+    const bool first = (k == 0);
+    const bool last = (k == k_count - 1);
+    if (first && last) run_only(args);
+    else if (first) run_first(args);
+    else if (last) run_last(args);
+    else run_middle(args);
+  }
+
+  bool jit_enabled() const { return use_jit_; }
+  const MicrokernelSpec& spec(int role) const { return specs_[role]; }
+
+ private:
+  enum Role { kFirst = 0, kMiddle = 1, kLast = 2, kOnly = 3 };
+
+  void run(int role, const MicrokernelArgs& args) const {
+    if (use_jit_) {
+      kernels_[role]->run(args);
+    } else {
+      run_microkernel_reference(specs_[role], args);
+    }
+  }
+
+  bool use_jit_;
+  MicrokernelSpec specs_[4];
+  std::unique_ptr<Microkernel> kernels_[4];
+};
+
+/// Geometry of one blocked multiplication.
+struct BlockedGemmShape {
+  i64 rows = 0;   // NB, must be divisible by n_blk (callers pad)
+  i64 c = 0;      // C, divisible by c_blk
+  i64 cp = 0;     // C', divisible by cp_blk
+  int n_blk = 0;
+  int c_blk = 0;
+  int cp_blk = 0;
+
+  i64 row_blocks() const { return rows / n_blk; }
+  i64 k_blocks() const { return c / c_blk; }
+  i64 col_blocks() const { return cp / cp_blk; }
+  i64 u_floats() const { return rows * c; }
+  i64 v_floats() const { return c * cp; }
+  i64 x_floats() const { return rows * cp; }
+  i64 flops() const { return 2 * rows * c * cp; }
+
+  void validate() const;
+};
+
+/// Single-threaded driver: computes the whole X. The conv engine uses the
+/// kernels directly (its grid is scheduled across threads); this driver is
+/// the unit-test oracle target and the Fig. 6 benchmark body.
+class BlockedGemm {
+ public:
+  BlockedGemm(const BlockedGemmShape& shape, bool use_jit,
+              StoreMode final_store = StoreMode::kStream);
+
+  void run(const float* u, const float* v, float* x) const;
+  const BlockedGemmShape& shape() const { return shape_; }
+
+ private:
+  BlockedGemmShape shape_;
+  KernelSet kernels_;
+};
+
+/// Packs a plain row-major matrix into / out of the blocked layouts above.
+void pack_u_blocks(const float* plain, float* blocked, i64 rows, i64 cols,
+                   int row_blk, int col_blk);
+void unpack_x_blocks(const float* blocked, float* plain, i64 rows, i64 cols,
+                     int row_blk, int col_blk);
+/// V uses [C/c_blk][C'/cp_blk][c_blk][cp_blk] ordering.
+void pack_v_blocks(const float* plain, float* blocked, i64 rows, i64 cols,
+                   int row_blk, int col_blk);
+
+}  // namespace ondwin

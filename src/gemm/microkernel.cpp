@@ -1,0 +1,248 @@
+#include "gemm/microkernel.h"
+
+#include <cstring>
+#include <vector>
+
+#include "jit/assembler.h"
+#include "util/cpu.h"
+
+namespace ondwin {
+
+bool microkernel_jit_supported() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return cpu_features().full_avx512();
+#else
+  return false;
+#endif
+}
+
+void validate_microkernel_spec(const MicrokernelSpec& spec) {
+  ONDWIN_CHECK(spec.n_blk >= 1 && spec.n_blk <= 30,
+               "n_blk must be 1..30 (two zmm registers are reserved for V̂ "
+               "row double-buffering), got ",
+               spec.n_blk);
+  ONDWIN_CHECK(spec.c_blk >= 16 && spec.c_blk % 16 == 0,
+               "c_blk must be a positive multiple of 16, got ", spec.c_blk);
+  ONDWIN_CHECK(spec.cp_blk >= 16 && spec.cp_blk % 16 == 0,
+               "cp_blk must be a positive multiple of 16, got ", spec.cp_blk);
+  ONDWIN_CHECK(spec.c_blk * spec.cp_blk <= (1 << 20),
+               "block too large: ", spec.c_blk, "x", spec.cp_blk);
+}
+
+namespace {
+
+constexpr int kS = 16;  // SIMD lanes per register
+
+// MicrokernelArgs field offsets; static_asserts pin the ABI.
+constexpr i32 kOffU = 0;
+constexpr i32 kOffV = 8;
+constexpr i32 kOffX = 16;
+constexpr i32 kOffUNext = 24;
+constexpr i32 kOffXNext = 32;
+constexpr i32 kOffScatterRows = 40;
+constexpr i32 kOffScatterStride = 48;
+static_assert(offsetof(MicrokernelArgs, u) == kOffU);
+static_assert(offsetof(MicrokernelArgs, v) == kOffV);
+static_assert(offsetof(MicrokernelArgs, x) == kOffX);
+static_assert(offsetof(MicrokernelArgs, u_next) == kOffUNext);
+static_assert(offsetof(MicrokernelArgs, x_next) == kOffXNext);
+static_assert(offsetof(MicrokernelArgs, scatter_rows) == kOffScatterRows);
+static_assert(offsetof(MicrokernelArgs, scatter_col_stride_bytes) ==
+              kOffScatterStride);
+
+// Register allocation (SysV AMD64):
+//   rdi: args            rsi: Û base           rdx: V̂ q-cursor
+//   rcx: X̂ q-cursor      rax: Û chunk cursor   rbx: V̂ chunk cursor
+//   r8:  next-Û hint     r9:  next-X̂ hint      r10: q counter
+//   r11: chunk counter   r12: scatter row tbl  r13: scatter col stride
+//   r14: scatter scratch r15: q·col-stride
+// zmm0..zmm(n_blk-1): X̂ accumulators; zmm30/zmm31: V̂ row double-buffer.
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(const MicrokernelSpec& spec) : spec_(spec) {}
+
+  std::vector<u8> build() {
+    const bool scatter = spec_.store == StoreMode::kScatter;
+
+    a_.push(Gp::rbx);
+    if (scatter) {
+      a_.push(Gp::r12);
+      a_.push(Gp::r13);
+      a_.push(Gp::r14);
+      a_.push(Gp::r15);
+    }
+
+    a_.mov(Gp::rsi, mem(Gp::rdi, kOffU));
+    a_.mov(Gp::rdx, mem(Gp::rdi, kOffV));
+    a_.mov(Gp::rcx, mem(Gp::rdi, kOffX));
+    a_.mov(Gp::r8, mem(Gp::rdi, kOffUNext));
+    a_.mov(Gp::r9, mem(Gp::rdi, kOffXNext));
+    if (scatter) {
+      a_.mov(Gp::r12, mem(Gp::rdi, kOffScatterRows));
+      a_.mov(Gp::r13, mem(Gp::rdi, kOffScatterStride));
+      a_.mov_imm(Gp::r15, 0);
+    }
+
+    const int q_count = spec_.cp_blk / kS;
+    a_.mov_imm(Gp::r10, static_cast<u64>(q_count));
+    const LabelId q_loop = a_.new_label();
+    a_.bind(q_loop);
+    emit_q_body();
+    // Advance to the next S columns of X̂ and V̂.
+    a_.add(Gp::rcx, kS * 4);
+    a_.add(Gp::rdx, kS * 4);
+    if (scatter) a_.add(Gp::r15, Gp::r13);
+    a_.dec(Gp::r10);
+    a_.jnz(q_loop);
+
+    if (scatter) {
+      a_.pop(Gp::r15);
+      a_.pop(Gp::r14);
+      a_.pop(Gp::r13);
+      a_.pop(Gp::r12);
+    }
+    a_.pop(Gp::rbx);
+    a_.ret();
+    return a_.finish();
+  }
+
+ private:
+  // One q iteration: load accumulators, sweep all C_blk columns of Û in
+  // 16-wide chunks, store the result rows.
+  void emit_q_body() {
+    const int n = spec_.n_blk;
+    const i32 x_row_bytes = spec_.cp_blk * 4;
+
+    // Load or zero the n_blk accumulators.
+    for (int j = 0; j < n; ++j) {
+      if (spec_.beta) {
+        a_.vmovups(Zmm(j), mem(Gp::rcx, j * x_row_bytes));
+      } else {
+        a_.vpxord(Zmm(j), Zmm(j), Zmm(j));
+      }
+    }
+
+    a_.mov(Gp::rax, Gp::rsi);  // Û cursor
+    a_.mov(Gp::rbx, Gp::rdx);  // V̂ cursor
+    a_.vmovups(Zmm(30), mem(Gp::rbx, 0));  // preload V̂ row 0
+
+    const int chunks = spec_.c_blk / kS;
+    if (chunks > 1) {
+      a_.mov_imm(Gp::r11, static_cast<u64>(chunks - 1));
+      const LabelId chunk_loop = a_.new_label();
+      a_.bind(chunk_loop);
+      emit_chunk(/*final=*/false);
+      a_.add(Gp::rax, kS * 4);                 // next 16 columns of Û
+      a_.add(Gp::rbx, kS * spec_.cp_blk * 4);  // next 16 rows of V̂
+      a_.dec(Gp::r11);
+      a_.jnz(chunk_loop);
+    }
+    emit_chunk(/*final=*/true);
+
+    emit_stores();
+  }
+
+  // 16 unrolled i-iterations; per i: n_blk broadcast-FMAs against the
+  // current V̂ row register, one preload of the next V̂ row into the other
+  // buffer register, and up to three prefetches of soon-needed data.
+  void emit_chunk(bool final) {
+    const int n = spec_.n_blk;
+    const i32 v_row_bytes = spec_.cp_blk * 4;
+    int cur = 30;  // 16 swaps per chunk leave the parity unchanged
+    for (int i = 0; i < kS; ++i) {
+      const bool preload = !(final && i == kS - 1);
+      if (preload) {
+        // At i == 15 this reads row 16 — the first row of the next chunk,
+        // exactly what the next loop iteration consumes.
+        a_.vmovups(Zmm(cur ^ 1), mem(Gp::rbx, (i + 1) * v_row_bytes));
+      }
+      if (!final) {
+        // Warm L1 for the next chunk: its V̂ row i and Û rows i / i+16.
+        a_.prefetch(0, mem(Gp::rbx, (kS + i + 1) * v_row_bytes));
+        if (i < n) a_.prefetch(0, mem(Gp::rax, (i * spec_.c_blk + kS) * 4));
+        if (i + kS < n) {
+          a_.prefetch(0, mem(Gp::rax, ((i + kS) * spec_.c_blk + kS) * 4));
+        }
+      }
+      for (int j = 0; j < n; ++j) {
+        a_.vfmadd231ps_bcast(Zmm(j), Zmm(cur),
+                             mem(Gp::rax, (j * spec_.c_blk + i) * 4));
+      }
+      cur ^= 1;
+    }
+  }
+
+  // Store accumulators; while storing, prefetch the rows of the next Û and
+  // X̂ blocks into L2 (paper: "pre-fetch the data from the same locations
+  // in next two matrices to be multiplied").
+  void emit_stores() {
+    const int n = spec_.n_blk;
+    const i32 x_row_bytes = spec_.cp_blk * 4;
+    for (int j = 0; j < n; ++j) {
+      switch (spec_.store) {
+        case StoreMode::kAccumulate:
+          a_.vmovups(mem(Gp::rcx, j * x_row_bytes), Zmm(j));
+          break;
+        case StoreMode::kStream:
+          a_.vmovntps(mem(Gp::rcx, j * x_row_bytes), Zmm(j));
+          break;
+        case StoreMode::kScatter:
+          a_.mov(Gp::r14, mem(Gp::r12, j * 8));
+          a_.vmovntps(mem(Gp::r14, Gp::r15, 1), Zmm(j));
+          break;
+      }
+      a_.prefetch(1, mem(Gp::r8, j * spec_.c_blk * 4));
+      a_.prefetch(1, mem(Gp::r9, j * x_row_bytes));
+    }
+  }
+
+  const MicrokernelSpec spec_;
+  Assembler a_;
+};
+
+}  // namespace
+
+Microkernel::Microkernel(const MicrokernelSpec& spec) : spec_(spec) {
+  validate_microkernel_spec(spec);
+  ONDWIN_CHECK(microkernel_jit_supported(),
+               "JIT microkernels need AVX-512F/BW/DQ/VL; use "
+               "run_microkernel_reference on this host");
+  KernelBuilder builder(spec);
+  memory_ = ExecMemory::from_code(builder.build());
+  fn_ = memory_.entry_as<MicrokernelFn>();
+}
+
+void run_microkernel_reference(const MicrokernelSpec& spec,
+                               const MicrokernelArgs& args) {
+  validate_microkernel_spec(spec);
+  const int n = spec.n_blk;
+  const int K = spec.c_blk;
+  const int M = spec.cp_blk;
+  std::vector<float> acc(static_cast<std::size_t>(M));
+  for (int j = 0; j < n; ++j) {
+    if (spec.beta) {
+      std::memcpy(acc.data(), args.x + static_cast<i64>(j) * M,
+                  sizeof(float) * static_cast<std::size_t>(M));
+    } else {
+      std::fill(acc.begin(), acc.end(), 0.0f);
+    }
+    for (int k = 0; k < K; ++k) {
+      const float u = args.u[static_cast<i64>(j) * K + k];
+      const float* vrow = args.v + static_cast<i64>(k) * M;
+      for (int q = 0; q < M; ++q) acc[static_cast<std::size_t>(q)] += u * vrow[q];
+    }
+    if (spec.store == StoreMode::kScatter) {
+      for (int q = 0; q < M; q += kSimdWidth) {
+        float* dst = reinterpret_cast<float*>(
+            reinterpret_cast<char*>(args.scatter_rows[j]) +
+            (q / kSimdWidth) * args.scatter_col_stride_bytes);
+        std::memcpy(dst, acc.data() + q, sizeof(float) * kSimdWidth);
+      }
+    } else {
+      std::memcpy(args.x + static_cast<i64>(j) * M, acc.data(),
+                  sizeof(float) * static_cast<std::size_t>(M));
+    }
+  }
+}
+
+}  // namespace ondwin

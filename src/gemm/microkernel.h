@@ -1,0 +1,91 @@
+// JIT-compiled batched matrix-multiplication primitive (paper §4.3.1).
+//
+// Computes X̂ = β·X̂ + Û·V̂ on cache-resident blocks:
+//   Û: n_blk × C_blk   (row-major, contiguous)
+//   V̂: C_blk × C'_blk  (row-major, contiguous, expected to stay in L2)
+//   X̂: n_blk × C'_blk  (row-major, contiguous)
+//
+// Generated code structure (per the paper):
+//  * X̂ sub-blocks of n_blk × S columns are held in n_blk zmm accumulators
+//    (n_blk ≤ 30; two registers remain as V̂-row double-buffers);
+//  * the inner body is a fully unrolled i×j sweep of scalar-broadcast FMAs
+//    `vfmadd231ps acc_j, v_row, Û[j][i]{1to16}`, with the (i+1)-th V̂ row
+//    loaded one iteration ahead and software prefetches of the next Û/V̂
+//    chunks interleaved between FMAs;
+//  * when storing, rows of the *next* Û and X̂ blocks are prefetched to L2;
+//  * the final-k variant scatters rows directly to their stage-3 locations
+//    with non-temporal streaming stores instead of writing X̂ back.
+#pragma once
+
+#include <memory>
+
+#include "jit/exec_memory.h"
+#include "util/common.h"
+
+namespace ondwin {
+
+/// How the accumulated X̂ leaves the register file.
+enum class StoreMode : u8 {
+  kAccumulate,  // vmovups back to X̂ (intermediate k steps)
+  kStream,      // vmovntps to X̂ (final k, result stays in blocked layout)
+  kScatter,     // vmovntps rows to args.scatter_rows[j] + q·stride (final k)
+};
+
+struct MicrokernelSpec {
+  int n_blk = 0;    // rows of Û/X̂; 1..30 (paper tunes within [6,30])
+  int c_blk = 0;    // columns of Û / rows of V̂; multiple of 16
+  int cp_blk = 0;   // columns of V̂/X̂; multiple of 16
+  bool beta = false;        // false: X̂ = Û·V̂; true: X̂ += Û·V̂
+  StoreMode store = StoreMode::kAccumulate;
+
+  friend bool operator==(const MicrokernelSpec&,
+                         const MicrokernelSpec&) = default;
+};
+
+/// Argument block passed to a generated kernel (single pointer in rdi).
+/// All pointers must be non-null; u_next/x_next are prefetch hints and may
+/// simply repeat u/x when there is no next block.
+struct MicrokernelArgs {
+  const float* u = nullptr;
+  const float* v = nullptr;
+  float* x = nullptr;
+  const float* u_next = nullptr;
+  const float* x_next = nullptr;
+  // kScatter only: absolute destination of each row's first S-group, and
+  // the byte stride between consecutive S-column groups of one row.
+  float* const* scatter_rows = nullptr;
+  i64 scatter_col_stride_bytes = 0;
+};
+
+using MicrokernelFn = void (*)(const MicrokernelArgs*);
+
+/// A compiled kernel and the executable mapping keeping it alive.
+class Microkernel {
+ public:
+  /// JIT-compiles the kernel for `spec`. Requires full AVX-512 support
+  /// (check `microkernel_jit_supported()` first). Throws Error on invalid
+  /// specs or executable-memory failure.
+  explicit Microkernel(const MicrokernelSpec& spec);
+
+  void run(const MicrokernelArgs& args) const { fn_(&args); }
+  const MicrokernelSpec& spec() const { return spec_; }
+  i64 code_bytes() const { return static_cast<i64>(memory_.size()); }
+
+ private:
+  MicrokernelSpec spec_;
+  ExecMemory memory_;
+  MicrokernelFn fn_ = nullptr;
+};
+
+/// True when the host can execute the generated AVX-512 code.
+bool microkernel_jit_supported();
+
+/// Validates a spec (shared by the JIT and the portable reference).
+void validate_microkernel_spec(const MicrokernelSpec& spec);
+
+/// Portable C++ implementation of the identical kernel contract — the
+/// ground truth for tests and the fallback on non-AVX-512 hosts.
+void run_microkernel_reference(const MicrokernelSpec& spec,
+                               const MicrokernelArgs& args);
+
+}  // namespace ondwin

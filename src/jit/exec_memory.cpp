@@ -1,0 +1,62 @@
+#include "jit/exec_memory.h"
+
+#include <sys/mman.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ondwin {
+
+ExecMemory::~ExecMemory() { release(); }
+
+ExecMemory::ExecMemory(ExecMemory&& other) noexcept
+    : base_(other.base_), size_(other.size_) {
+  other.base_ = nullptr;
+  other.size_ = 0;
+}
+
+ExecMemory& ExecMemory::operator=(ExecMemory&& other) noexcept {
+  if (this != &other) {
+    release();
+    base_ = other.base_;
+    size_ = other.size_;
+    other.base_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+ExecMemory ExecMemory::from_code(const std::vector<u8>& code) {
+  ONDWIN_CHECK(!code.empty(), "refusing to map empty code buffer");
+  const std::size_t page = 4096;
+  const std::size_t bytes = round_up(static_cast<i64>(code.size()), page);
+
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    fail("mmap of ", bytes, " bytes for JIT code failed: ",
+         std::strerror(errno));
+  }
+  std::memcpy(p, code.data(), code.size());
+  if (::mprotect(p, bytes, PROT_READ | PROT_EXEC) != 0) {
+    const int err = errno;
+    ::munmap(p, bytes);
+    fail("mprotect(PROT_EXEC) failed: ", std::strerror(err),
+         " — JIT unavailable on this system");
+  }
+
+  ExecMemory m;
+  m.base_ = p;
+  m.size_ = bytes;
+  return m;
+}
+
+void ExecMemory::release() {
+  if (base_ != nullptr) {
+    ::munmap(base_, size_);
+    base_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace ondwin

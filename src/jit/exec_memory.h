@@ -1,0 +1,43 @@
+// W^X executable memory for JIT-compiled kernels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace ondwin {
+
+/// Owns one mmap'd region. Code is written while the region is RW, then
+/// `finalize()` flips it to RX (never writable+executable at once).
+class ExecMemory {
+ public:
+  ExecMemory() = default;
+  ~ExecMemory();
+
+  ExecMemory(ExecMemory&& other) noexcept;
+  ExecMemory& operator=(ExecMemory&& other) noexcept;
+  ExecMemory(const ExecMemory&) = delete;
+  ExecMemory& operator=(const ExecMemory&) = delete;
+
+  /// Copies `code` into a fresh executable mapping. Throws Error on mmap or
+  /// mprotect failure (e.g. RLIMIT_AS pressure or W^X-restricted systems).
+  static ExecMemory from_code(const std::vector<u8>& code);
+
+  const void* entry() const { return base_; }
+  std::size_t size() const { return size_; }
+
+  template <typename Fn>
+  Fn entry_as() const {
+    return reinterpret_cast<Fn>(const_cast<void*>(entry()));
+  }
+
+ private:
+  void release();
+
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ondwin

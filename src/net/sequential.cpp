@@ -1,0 +1,214 @@
+#include "net/sequential.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ondwin {
+
+Sequential::Sequential(i64 batch, i64 in_channels, Dims input_dims,
+                       const PlanOptions& options)
+    : input_layout_(batch, in_channels, input_dims), options_(options) {}
+
+const ImageLayout& Sequential::output_layout() const {
+  ONDWIN_CHECK(!layers_.empty(), "network has no layers");
+  return layers_.back().output;
+}
+
+int Sequential::add_conv(i64 out_channels, Dims kernel, Dims padding,
+                         Dims tile_m, bool relu) {
+  const ImageLayout& in =
+      layers_.empty() ? input_layout_ : layers_.back().output;
+
+  Layer layer;
+  layer.conv = std::make_unique<ConvLayer>();
+  ConvLayer& cl = *layer.conv;
+  cl.problem.shape.batch = in.batch;
+  cl.problem.shape.in_channels = in.channels;
+  cl.problem.shape.out_channels = out_channels;
+  cl.problem.shape.image = in.spatial;
+  cl.problem.shape.kernel = kernel;
+  cl.problem.shape.padding = padding;
+  cl.problem.tile_m = tile_m;
+  cl.relu = relu;
+  cl.plan = std::make_unique<ConvPlan>(cl.problem, options_);
+  cl.bias.reset(static_cast<std::size_t>(out_channels));
+
+  // Xavier default so an un-customized network is still runnable.
+  Rng rng(0xD1CE + static_cast<u64>(layers_.size()));
+  const float fan_in =
+      static_cast<float>(in.channels * kernel.product());
+  const float fan_out =
+      static_cast<float>(out_channels * kernel.product());
+  const float limit = std::sqrt(6.0f / (fan_in + fan_out));
+  const KernelLayout kl = cl.problem.kernel_layout();
+  AlignedBuffer<float> w(static_cast<std::size_t>(kl.total_floats()));
+  for (auto& v : w) v = rng.uniform(-limit, limit);
+  cl.plan->set_kernels(w.data());
+  cl.weights_set = true;
+
+  layer.output = cl.problem.output_layout();
+  layers_.push_back(std::move(layer));
+  buffers_ready_ = false;
+  return static_cast<int>(layers_.size()) - 1;
+}
+
+int Sequential::add_max_pool(i64 window) {
+  ONDWIN_CHECK(window >= 1, "bad pool window ", window);
+  const ImageLayout& in =
+      layers_.empty() ? input_layout_ : layers_.back().output;
+
+  Layer layer;
+  layer.pool = std::make_unique<PoolLayer>();
+  PoolLayer& pl = *layer.pool;
+  pl.window = window;
+  pl.in = in;
+  Dims out_sp = in.spatial;
+  for (int d = 0; d < out_sp.rank(); ++d) {
+    out_sp[d] = in.spatial[d] / window;
+    ONDWIN_CHECK(out_sp[d] >= 1, "pool window ", window,
+                 " larger than dimension ", d);
+  }
+  pl.out = ImageLayout(in.batch, in.channels, out_sp);
+  layer.output = pl.out;
+  layers_.push_back(std::move(layer));
+  buffers_ready_ = false;
+  return static_cast<int>(layers_.size()) - 1;
+}
+
+void Sequential::set_conv_weights(int layer, const float* w_plain,
+                                  const float* bias) {
+  auto& l = layers_.at(static_cast<std::size_t>(layer));
+  ONDWIN_CHECK(l.conv != nullptr, "layer ", layer, " is not a convolution");
+  ConvLayer& cl = *l.conv;
+  const KernelLayout kl = cl.problem.kernel_layout();
+  AlignedBuffer<float> w(static_cast<std::size_t>(kl.total_floats()));
+  pack_kernels(w_plain, w.data(), kl);
+  cl.plan->set_kernels(w.data());
+  cl.weights_set = true;
+  if (bias != nullptr) {
+    for (i64 i = 0; i < cl.problem.shape.out_channels; ++i) {
+      cl.bias[static_cast<std::size_t>(i)] = bias[i];
+    }
+  } else {
+    cl.bias.fill_zero();
+  }
+}
+
+void Sequential::randomize_weights(Rng& rng) {
+  for (auto& l : layers_) {
+    if (l.conv == nullptr) continue;
+    ConvLayer& cl = *l.conv;
+    const KernelLayout kl = cl.problem.kernel_layout();
+    const float stddev = std::sqrt(
+        2.0f / static_cast<float>(kl.in_channels * kl.taps()));
+    AlignedBuffer<float> w(static_cast<std::size_t>(kl.total_floats()));
+    for (auto& v : w) v = rng.gaussian(0.0f, stddev);
+    cl.plan->set_kernels(w.data());
+    cl.weights_set = true;
+  }
+}
+
+const float* Sequential::forward(const float* input_blocked) {
+  ONDWIN_CHECK(!layers_.empty(), "network has no layers");
+  if (!buffers_ready_) {
+    i64 max_floats = input_layout_.total_floats();
+    for (const auto& l : layers_) {
+      max_floats = std::max(max_floats, l.output.total_floats());
+    }
+    act_a_.reset(static_cast<std::size_t>(max_floats));
+    act_b_.reset(static_cast<std::size_t>(max_floats));
+    buffers_ready_ = true;
+  }
+  layer_seconds_.assign(layers_.size(), 0.0);
+
+  Timer total;
+  const float* cur = input_blocked;
+  float* bufs[2] = {act_a_.data(), act_b_.data()};
+  int next = 0;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Layer& l = layers_[i];
+    float* out = bufs[next];
+    next ^= 1;
+    Timer t;
+    if (l.conv != nullptr) {
+      ConvLayer& cl = *l.conv;
+      ONDWIN_CHECK(cl.weights_set, "layer ", i, " has no weights");
+      Epilogue ep;
+      ep.bias = cl.bias.data();
+      ep.relu = cl.relu;
+      cl.plan->execute_pretransformed(cur, out, ep);
+    } else {
+      run_pool(*l.pool, cur, out);
+    }
+    layer_seconds_[i] = t.seconds();
+    cur = out;
+  }
+  last_seconds_ = total.seconds();
+  return cur;
+}
+
+void Sequential::run_pool(const PoolLayer& pool, const float* in,
+                          float* out) const {
+  const i64 w = pool.window;
+  const Dims in_sp = pool.in.spatial;
+  const Dims out_sp = pool.out.spatial;
+  const int rank = in_sp.rank();
+  const i64 opx = out_sp.product();
+  const i64 win_total = [&] {
+    i64 t = 1;
+    for (int d = 0; d < rank; ++d) t *= w;
+    return t;
+  }();
+  Dims win = in_sp;
+  for (int d = 0; d < rank; ++d) win[d] = w;
+
+  for (i64 b = 0; b < pool.in.batch; ++b) {
+    for (i64 g = 0; g < pool.in.channel_groups(); ++g) {
+      for (i64 o = 0; o < opx; ++o) {
+        const Dims oc = out_sp.coord_of(o);
+        float* dst =
+            out + pool.out.group_offset_linear(b, g, o);
+        for (int s = 0; s < kSimdWidth; ++s) dst[s] = -3.4e38f;
+        for (i64 k = 0; k < win_total; ++k) {
+          const Dims kc = win.coord_of(k);
+          Dims ic = oc;
+          for (int d = 0; d < rank; ++d) ic[d] = oc[d] * w + kc[d];
+          const float* src = in + pool.in.group_offset(b, g, ic);
+          for (int s = 0; s < kSimdWidth; ++s) {
+            dst[s] = std::max(dst[s], src[s]);
+          }
+        }
+      }
+    }
+  }
+}
+
+std::string Sequential::summary() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const Layer& l = layers_[i];
+    os << "  [" << i << "] ";
+    if (l.conv != nullptr) {
+      const ConvProblem& p = l.conv->problem;
+      os << "conv " << p.shape.in_channels << "->" << p.shape.out_channels
+         << " k" << p.shape.kernel.to_string() << " F"
+         << p.tile_m.to_string() << (l.conv->relu ? " +relu" : "");
+    } else {
+      os << "maxpool " << l.pool->window;
+    }
+    os << " -> " << l.output.spatial.to_string() << "x" << l.output.channels
+       << "\n";
+  }
+  return os.str();
+}
+
+i64 Sequential::workspace_bytes() const {
+  i64 total = static_cast<i64>((act_a_.size() + act_b_.size()) *
+                               sizeof(float));
+  for (const auto& l : layers_) {
+    if (l.conv != nullptr) total += l.conv->plan->workspace_bytes();
+  }
+  return total;
+}
+
+}  // namespace ondwin

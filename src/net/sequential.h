@@ -1,0 +1,94 @@
+// Network-level API: a sequential stack of Winograd convolution layers.
+//
+// ConvNets run dozens of layers back to back; the paper's layout is
+// designed so one layer's output feeds the next without reshuffling
+// (§4.1), and its workspace note (§4.4) points out that one auxiliary
+// buffer serves every layer. Sequential packages exactly that: layers
+// share a ping-pong pair of blocked activation buffers, each conv layer
+// owns its plan and pre-transformed kernels (FX mode), bias+ReLU are fused
+// into stage 3, and max-pooling runs directly on the blocked layout.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/conv_plan.h"
+#include "util/rng.h"
+
+namespace ondwin {
+
+class Sequential {
+ public:
+  /// Input geometry of the network. Options are shared by every layer
+  /// (threads, JIT switches, wisdom path, ...).
+  Sequential(i64 batch, i64 in_channels, Dims input_dims,
+             const PlanOptions& options = {});
+
+  /// Appends a convolution layer (stride 1, symmetric `padding`,
+  /// F(tile_m, kernel) Winograd). Weights start Xavier-initialized; bias
+  /// starts zero. Returns the layer index.
+  int add_conv(i64 out_channels, Dims kernel, Dims padding, Dims tile_m,
+               bool relu = true);
+
+  /// Appends an N-D max-pool with cubic window `window` and stride equal
+  /// to the window (floor semantics: trailing remainder is dropped).
+  int add_max_pool(i64 window);
+
+  /// Replaces a conv layer's weights (plain [C'][C][taps] row-major) and
+  /// bias (C' floats, nullptr keeps zero bias). Transforms immediately.
+  void set_conv_weights(int layer, const float* w_plain, const float* bias);
+
+  /// He-initializes every conv layer from `rng` (deterministic).
+  void randomize_weights(Rng& rng);
+
+  int layer_count() const { return static_cast<int>(layers_.size()); }
+  const ImageLayout& input_layout() const { return input_layout_; }
+  const ImageLayout& output_layout() const;
+
+  /// Runs the network on a blocked input batch; the returned pointer
+  /// (into an internal buffer) is valid until the next forward() call.
+  const float* forward(const float* input_blocked);
+
+  double last_forward_seconds() const { return last_seconds_; }
+  /// Wall seconds of layer `i` in the last forward pass.
+  double layer_seconds(int i) const {
+    return layer_seconds_.at(static_cast<std::size_t>(i));
+  }
+  /// Human-readable per-layer summary ("conv 64->128 3x3 F(4x4) ...").
+  std::string summary() const;
+
+  /// Total auxiliary bytes (plan workspaces + activations + weights).
+  i64 workspace_bytes() const;
+
+ private:
+  struct ConvLayer {
+    ConvProblem problem;
+    std::unique_ptr<ConvPlan> plan;
+    AlignedBuffer<float> bias;  // C' floats
+    bool relu = true;
+    bool weights_set = false;
+  };
+  struct PoolLayer {
+    i64 window = 2;
+    ImageLayout in, out;
+  };
+  struct Layer {
+    // exactly one of the two is active
+    std::unique_ptr<ConvLayer> conv;
+    std::unique_ptr<PoolLayer> pool;
+    ImageLayout output;
+  };
+
+  void run_pool(const PoolLayer& pool, const float* in, float* out) const;
+
+  ImageLayout input_layout_;
+  PlanOptions options_;
+  std::vector<Layer> layers_;
+  AlignedBuffer<float> act_a_, act_b_;
+  bool buffers_ready_ = false;
+  double last_seconds_ = 0;
+  std::vector<double> layer_seconds_;
+};
+
+}  // namespace ondwin

@@ -1,0 +1,18 @@
+// Umbrella header: the public API of the ondwin library.
+//
+//   ConvProblem  — layer shape + per-dimension Winograd tile sizes
+//   PlanOptions  — threads, blocking, streaming/scatter/JIT switches
+//   ConvPlan     — plan once, execute many (training & FX inference paths)
+//   auto_tune    — empirical blocking search persisted as wisdom
+//   pack_image / pack_kernels / unpack_image — layout conversion helpers
+//
+// Baselines (direct, FFT-based, simple Winograd) and the batched-GEMM
+// layer are public as well; include their headers directly.
+#pragma once
+
+#include "core/conv_plan.h"     // IWYU pragma: export
+#include "core/conv_problem.h"  // IWYU pragma: export
+#include "core/plan_options.h"  // IWYU pragma: export
+#include "core/tuner.h"         // IWYU pragma: export
+#include "core/wisdom.h"        // IWYU pragma: export
+#include "tensor/layout.h"      // IWYU pragma: export

@@ -1,0 +1,72 @@
+#include "sched/static_schedule.h"
+
+#include <algorithm>
+
+namespace ondwin {
+namespace {
+
+// Recursive divider over box `b` for threads [t0, t1); writes results into
+// `out[t0..t1)`.
+void divide(const GridBox& b, int t0, int t1, std::vector<GridBox>& out) {
+  const int k = t1 - t0;
+  if (k == 1) {
+    out[static_cast<std::size_t>(t0)] = b;
+    return;
+  }
+
+  // Most significant dimension whose extent shares a factor with k.
+  for (int d = 0; d < b.rank; ++d) {
+    const i64 extent = b.end[d] - b.begin[d];
+    const i64 x = gcd_i64(extent, k);
+    if (x <= 1) continue;
+    const i64 slice = extent / x;
+    const int threads_per = static_cast<int>(k / x);
+    for (i64 s = 0; s < x; ++s) {
+      GridBox sub = b;
+      sub.begin[d] = b.begin[d] + s * slice;
+      sub.end[d] = sub.begin[d] + slice;
+      divide(sub, t0 + static_cast<int>(s) * threads_per,
+             t0 + static_cast<int>(s + 1) * threads_per, out);
+    }
+    return;
+  }
+
+  // No common factor anywhere: split the largest dimension as equally as
+  // possible into k pieces (some pieces one task larger, some possibly
+  // empty when extent < k).
+  int dmax = 0;
+  for (int d = 1; d < b.rank; ++d) {
+    if (b.end[d] - b.begin[d] > b.end[dmax] - b.begin[dmax]) dmax = d;
+  }
+  const i64 extent = b.end[dmax] - b.begin[dmax];
+  i64 pos = b.begin[dmax];
+  for (int i = 0; i < k; ++i) {
+    const i64 take = extent / k + (i < extent % k ? 1 : 0);
+    GridBox sub = b;
+    sub.begin[dmax] = pos;
+    sub.end[dmax] = pos + take;
+    pos += take;
+    out[static_cast<std::size_t>(t0 + i)] = sub;
+  }
+}
+
+}  // namespace
+
+std::vector<GridBox> static_partition(const std::vector<i64>& dims,
+                                      int threads) {
+  ONDWIN_CHECK(threads >= 1, "need at least one thread");
+  ONDWIN_CHECK(!dims.empty() && dims.size() <= kMaxGridRank,
+               "grid rank must be 1..", kMaxGridRank, ", got ", dims.size());
+  GridBox whole;
+  whole.rank = static_cast<int>(dims.size());
+  for (int d = 0; d < whole.rank; ++d) {
+    ONDWIN_CHECK(dims[static_cast<std::size_t>(d)] >= 0, "negative extent");
+    whole.begin[d] = 0;
+    whole.end[d] = dims[static_cast<std::size_t>(d)];
+  }
+  std::vector<GridBox> out(static_cast<std::size_t>(threads));
+  divide(whole, 0, threads, out);
+  return out;
+}
+
+}  // namespace ondwin

@@ -1,0 +1,67 @@
+// Static scheduling of D-dimensional task grids (paper §4.5).
+//
+// Each pipeline stage is a grid of identical tasks (e.g. stage 1 is the
+// B × C/S × N_D × N_H × N_W grid of tile transforms). The grid is divided
+// among K threads ahead of time by the paper's recursion:
+//
+//   * |K| == 1: assign the whole grid to that thread;
+//   * otherwise find the MOST significant dimension d with
+//     gcd(P_d, |K|) > 1, slice the grid into that many equal sub-grids
+//     along d, split the threads likewise, recurse;
+//   * if every gcd is 1, split the LARGEST dimension as equally as
+//     possible (some threads receive one extra slice).
+//
+// Keeping the split along significant dimensions means each thread walks
+// the least significant dimensions contiguously, which is where the cache
+// reuse is (adjacent tiles share overlap rows).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "util/common.h"
+
+namespace ondwin {
+
+inline constexpr int kMaxGridRank = 6;
+
+/// Half-open hyper-rectangle of task indices.
+struct GridBox {
+  int rank = 0;
+  std::array<i64, kMaxGridRank> begin{};
+  std::array<i64, kMaxGridRank> end{};
+
+  i64 num_tasks() const {
+    i64 n = 1;
+    for (int i = 0; i < rank; ++i) n *= (end[i] - begin[i]);
+    return n;
+  }
+  bool empty() const { return num_tasks() == 0; }
+};
+
+/// Partitions the grid `dims` (task counts per dimension, most significant
+/// first) among `threads` threads. Returns exactly `threads` boxes which
+/// together tile the grid exactly; boxes may be empty when there are fewer
+/// tasks than threads.
+std::vector<GridBox> static_partition(const std::vector<i64>& dims,
+                                      int threads);
+
+/// Invokes `fn(coord)` for every task in `box`, in lexicographic order
+/// (least significant dimension fastest — the cache-friendly order).
+template <typename Fn>
+void for_each_in_box(const GridBox& box, Fn&& fn) {
+  if (box.empty()) return;
+  std::array<i64, kMaxGridRank> c{};
+  for (int i = 0; i < box.rank; ++i) c[i] = box.begin[i];
+  for (;;) {
+    fn(c);
+    int d = box.rank - 1;
+    for (; d >= 0; --d) {
+      if (++c[d] < box.end[d]) break;
+      c[d] = box.begin[d];
+    }
+    if (d < 0) return;
+  }
+}
+
+}  // namespace ondwin

@@ -1,0 +1,65 @@
+#include "sched/thread_pool.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+namespace ondwin {
+
+ThreadPool::ThreadPool(int threads, bool pin)
+    : threads_(threads), pin_(pin), barrier_(threads) {
+  ONDWIN_CHECK(threads >= 1, "thread pool needs at least one thread");
+  if (pin_) pin_to_cpu(0);
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (threads_ > 1) {
+    stop_ = true;
+    task_ = nullptr;
+    barrier_.wait();  // release workers so they observe stop_ and exit
+    for (auto& w : workers_) w.join();
+  }
+}
+
+void ThreadPool::run(const std::function<void(int)>& fn) {
+  if (threads_ == 1) {
+    fn(0);
+    return;
+  }
+  task_ = &fn;
+  barrier_.wait();  // fork: workers pick up task_
+  fn(0);
+  barrier_.wait();  // join: wait for every worker to finish
+  task_ = nullptr;
+}
+
+void ThreadPool::worker_loop(int tid) {
+  if (pin_) pin_to_cpu(tid);
+  for (;;) {
+    barrier_.wait();  // wait for a task (or shutdown)
+    if (stop_) return;
+    (*task_)(tid);
+    barrier_.wait();  // signal completion
+  }
+}
+
+void ThreadPool::pin_to_cpu(int cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  const long ncpu = sysconf(_SC_NPROCESSORS_ONLN);
+  if (ncpu <= 0 || cpu >= ncpu) return;  // oversubscribed: skip pinning
+  CPU_SET(cpu, &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
+}
+
+}  // namespace ondwin

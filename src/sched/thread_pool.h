@@ -1,0 +1,46 @@
+// Persistent worker pool executing statically scheduled stages with a
+// single fork–join over the custom spin barrier (paper §4.5).
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "sched/barrier.h"
+
+namespace ondwin {
+
+/// A pool of `size()` logical threads: the caller's thread acts as thread 0
+/// and `size()-1` workers are spawned once and parked on the barrier. The
+/// main thread publishes a function pointer, everyone passes the barrier,
+/// executes `fn(thread_id)`, and meets at the barrier again — exactly the
+/// fork–join structure of the paper.
+class ThreadPool {
+ public:
+  /// `threads`: total participants including the caller. `pin`: bind
+  /// participant i to CPU i (ignored when the host has fewer CPUs).
+  explicit ThreadPool(int threads, bool pin = false);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return threads_; }
+
+  /// Runs `fn(tid)` for tid in [0, size()) across all participants and
+  /// returns once every call finished. Not reentrant.
+  void run(const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop(int tid);
+  static void pin_to_cpu(int cpu);
+
+  const int threads_;
+  const bool pin_;
+  SpinBarrier barrier_;
+  const std::function<void(int)>* task_ = nullptr;  // valid between barriers
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ondwin

@@ -1,0 +1,114 @@
+// Small fixed-capacity dimension vector used throughout the N-D pipeline.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <initializer_list>
+#include <string>
+
+#include "util/common.h"
+
+namespace ondwin {
+
+/// Up to kMaxNd spatial dimensions. The paper's algorithm is rank-generic;
+/// 4 spatial dimensions covers everything practical (1D signals through
+/// 3D+time volumes) while keeping Dims a trivially copyable value type.
+inline constexpr int kMaxNd = 4;
+
+class Dims {
+ public:
+  Dims() = default;
+  Dims(std::initializer_list<i64> vals) {
+    ONDWIN_CHECK(vals.size() <= kMaxNd, "too many dimensions: ", vals.size());
+    for (i64 v : vals) d_[n_++] = v;
+  }
+  static Dims filled(int rank, i64 value) {
+    ONDWIN_CHECK(rank >= 0 && rank <= kMaxNd, "bad rank ", rank);
+    Dims r;
+    r.n_ = rank;
+    for (int i = 0; i < rank; ++i) r.d_[i] = value;
+    return r;
+  }
+
+  int rank() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  i64 operator[](int i) const { return d_[i]; }
+  i64& operator[](int i) { return d_[i]; }
+
+  const i64* begin() const { return d_.data(); }
+  const i64* end() const { return d_.data() + n_; }
+
+  void push_back(i64 v) {
+    ONDWIN_CHECK(n_ < kMaxNd, "Dims capacity exceeded");
+    d_[n_++] = v;
+  }
+
+  i64 product() const {
+    i64 p = 1;
+    for (int i = 0; i < n_; ++i) p *= d_[i];
+    return p;
+  }
+
+  /// Row-major strides: stride[last] == 1.
+  Dims strides() const {
+    Dims s = *this;
+    i64 acc = 1;
+    for (int i = n_ - 1; i >= 0; --i) {
+      s.d_[i] = acc;
+      acc *= d_[i];
+    }
+    return s;
+  }
+
+  /// Linear offset of coordinate `c` under row-major strides of *this.
+  i64 offset_of(const Dims& c) const {
+    i64 off = 0;
+    i64 stride = 1;
+    for (int i = n_ - 1; i >= 0; --i) {
+      off += c[i] * stride;
+      stride *= d_[i];
+    }
+    return off;
+  }
+
+  /// Decomposes a linear row-major index back into a coordinate.
+  Dims coord_of(i64 linear) const {
+    Dims c = *this;
+    for (int i = n_ - 1; i >= 0; --i) {
+      c.d_[i] = linear % d_[i];
+      linear /= d_[i];
+    }
+    return c;
+  }
+
+  friend bool operator==(const Dims& a, const Dims& b) {
+    if (a.n_ != b.n_) return false;
+    return std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const Dims& a, const Dims& b) { return !(a == b); }
+
+  std::string to_string() const {
+    std::string s = "<";
+    for (int i = 0; i < n_; ++i) {
+      if (i > 0) s += ",";
+      s += std::to_string(d_[i]);
+    }
+    return s + ">";
+  }
+
+ private:
+  std::array<i64, kMaxNd> d_{};
+  int n_ = 0;
+};
+
+/// Elementwise combination helpers used in shape arithmetic.
+inline Dims zip(const Dims& a, const Dims& b, i64 (*f)(i64, i64)) {
+  ONDWIN_CHECK(a.rank() == b.rank(), "rank mismatch ", a.to_string(), " vs ",
+               b.to_string());
+  Dims r = a;
+  for (int i = 0; i < a.rank(); ++i) r[i] = f(a[i], b[i]);
+  return r;
+}
+
+}  // namespace ondwin

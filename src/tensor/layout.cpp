@@ -1,0 +1,62 @@
+#include "tensor/layout.h"
+
+namespace ondwin {
+
+void pack_image(const float* plain, float* blocked, const ImageLayout& L) {
+  const i64 px = L.pixels();
+  for (i64 b = 0; b < L.batch; ++b) {
+    for (i64 c = 0; c < L.channels; ++c) {
+      const float* src = plain + (b * L.channels + c) * px;
+      const i64 g = c / kSimdWidth;
+      const i64 lane = c % kSimdWidth;
+      float* dst =
+          blocked + ((b * L.channel_groups() + g) * px) * kSimdWidth + lane;
+      for (i64 p = 0; p < px; ++p) dst[p * kSimdWidth] = src[p];
+    }
+  }
+}
+
+void unpack_image(const float* blocked, float* plain, const ImageLayout& L) {
+  const i64 px = L.pixels();
+  for (i64 b = 0; b < L.batch; ++b) {
+    for (i64 c = 0; c < L.channels; ++c) {
+      float* dst = plain + (b * L.channels + c) * px;
+      const i64 g = c / kSimdWidth;
+      const i64 lane = c % kSimdWidth;
+      const float* src =
+          blocked + ((b * L.channel_groups() + g) * px) * kSimdWidth + lane;
+      for (i64 p = 0; p < px; ++p) dst[p] = src[p * kSimdWidth];
+    }
+  }
+}
+
+void pack_kernels(const float* plain, float* blocked, const KernelLayout& L) {
+  const i64 taps = L.taps();
+  for (i64 cp = 0; cp < L.out_channels; ++cp) {
+    for (i64 c = 0; c < L.in_channels; ++c) {
+      const float* src = plain + (cp * L.in_channels + c) * taps;
+      const i64 g = cp / kSimdWidth;
+      const i64 lane = cp % kSimdWidth;
+      float* dst =
+          blocked + ((c * L.out_groups() + g) * taps) * kSimdWidth + lane;
+      for (i64 p = 0; p < taps; ++p) dst[p * kSimdWidth] = src[p];
+    }
+  }
+}
+
+void unpack_kernels(const float* blocked, float* plain,
+                    const KernelLayout& L) {
+  const i64 taps = L.taps();
+  for (i64 cp = 0; cp < L.out_channels; ++cp) {
+    for (i64 c = 0; c < L.in_channels; ++c) {
+      float* dst = plain + (cp * L.in_channels + c) * taps;
+      const i64 g = cp / kSimdWidth;
+      const i64 lane = cp % kSimdWidth;
+      const float* src =
+          blocked + ((c * L.out_groups() + g) * taps) * kSimdWidth + lane;
+      for (i64 p = 0; p < taps; ++p) dst[p] = src[p * kSimdWidth];
+    }
+  }
+}
+
+}  // namespace ondwin

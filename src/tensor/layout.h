@@ -1,0 +1,85 @@
+// SIMD-blocked data layouts (paper §4.1, Tbl. 1) and conversions from the
+// plain row-major layouts users hold their data in.
+//
+//   images : I[b][c/S][d][h][w][c mod S]   ("nCdhw16c", rank-generic)
+//   kernels: W[c][c'/S][rd][rh][rw][c' mod S]
+//
+// The blocked layout makes every channel-group access one aligned 64-byte
+// vector, which is what lets the transform codelets use only vector
+// loads/stores. The output of one layer is bit-compatible with the input of
+// the next, so a ConvNet never reshuffles between layers.
+#pragma once
+
+#include "tensor/dims.h"
+#include "tensor/tensor.h"
+
+namespace ondwin {
+
+/// Geometry of a blocked image batch.
+struct ImageLayout {
+  i64 batch = 0;
+  i64 channels = 0;   // must be divisible by kSimdWidth
+  Dims spatial;       // D, H, W (rank 1..kMaxNd)
+
+  ImageLayout() = default;
+  ImageLayout(i64 b, i64 c, Dims sp) : batch(b), channels(c), spatial(sp) {
+    ONDWIN_CHECK(b > 0 && c > 0, "bad image layout ", b, "x", c);
+    ONDWIN_CHECK(c % kSimdWidth == 0, "channels (", c,
+                 ") must be divisible by the SIMD width ", kSimdWidth);
+  }
+
+  i64 channel_groups() const { return channels / kSimdWidth; }
+  i64 pixels() const { return spatial.product(); }
+  i64 total_floats() const { return batch * channels * pixels(); }
+
+  /// Offset of the S-vector for (b, channel-group g, spatial coordinate p).
+  i64 group_offset(i64 b, i64 g, const Dims& p) const {
+    return (((b * channel_groups() + g) * pixels()) + spatial.offset_of(p)) *
+           kSimdWidth;
+  }
+  /// Offset of the S-vector for (b, g, linear pixel index).
+  i64 group_offset_linear(i64 b, i64 g, i64 pixel) const {
+    return (((b * channel_groups() + g) * pixels()) + pixel) * kSimdWidth;
+  }
+  /// Offset of a single scalar element (b, c, p).
+  i64 elem_offset(i64 b, i64 c, const Dims& p) const {
+    return group_offset(b, c / kSimdWidth, p) + (c % kSimdWidth);
+  }
+};
+
+/// Geometry of a blocked kernel bank (C x C' kernels of extent `extent`).
+struct KernelLayout {
+  i64 in_channels = 0;    // C
+  i64 out_channels = 0;   // C', must be divisible by kSimdWidth
+  Dims extent;            // r_d, r_h, r_w
+
+  KernelLayout() = default;
+  KernelLayout(i64 c, i64 cprime, Dims r)
+      : in_channels(c), out_channels(cprime), extent(r) {
+    ONDWIN_CHECK(cprime % kSimdWidth == 0, "output channels (", cprime,
+                 ") must be divisible by the SIMD width ", kSimdWidth);
+  }
+
+  i64 out_groups() const { return out_channels / kSimdWidth; }
+  i64 taps() const { return extent.product(); }
+  i64 total_floats() const { return in_channels * out_channels * taps(); }
+
+  /// Offset of the S-vector for (c, c'-group g, tap coordinate p).
+  i64 group_offset(i64 c, i64 g, const Dims& p) const {
+    return (((c * out_groups() + g) * taps()) + extent.offset_of(p)) *
+           kSimdWidth;
+  }
+  i64 elem_offset(i64 c, i64 cprime, const Dims& p) const {
+    return group_offset(c, cprime / kSimdWidth, p) + (cprime % kSimdWidth);
+  }
+};
+
+/// plain [b][c][spatial...] row-major  ->  blocked I[b][c/S][spatial...][c%S]
+void pack_image(const float* plain, float* blocked, const ImageLayout& L);
+void unpack_image(const float* blocked, float* plain, const ImageLayout& L);
+
+/// plain OI layout [c'][c][taps...] row-major -> W[c][c'/S][taps...][c'%S]
+void pack_kernels(const float* plain, float* blocked, const KernelLayout& L);
+void unpack_kernels(const float* blocked, float* plain, const KernelLayout& L);
+
+}  // namespace ondwin

@@ -1,0 +1,79 @@
+// Dense row-major N-D tensor over an aligned, zero-initialized buffer.
+#pragma once
+
+#include <vector>
+
+#include "tensor/dims.h"
+#include "util/aligned.h"
+
+namespace ondwin {
+
+/// A tensor is described by a flat Dims-like shape of up to 8 logical axes
+/// (batch, channel groups, spatial dims, SIMD lane, ...). Because kMaxNd
+/// bounds Dims at 4, Tensor uses a plain std::vector<i64> shape so layouts
+/// such as I[b][c/S][d][h][w][s] fit naturally.
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(std::vector<i64> shape) : shape_(std::move(shape)) {
+    i64 count = 1;
+    for (i64 d : shape_) {
+      ONDWIN_CHECK(d >= 0, "negative dimension in tensor shape");
+      count *= d;
+    }
+    buf_.reset(static_cast<std::size_t>(count));
+    compute_strides();
+  }
+
+  const std::vector<i64>& shape() const { return shape_; }
+  const std::vector<i64>& strides() const { return strides_; }
+  i64 dim(int i) const { return shape_[static_cast<std::size_t>(i)]; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  i64 size() const { return static_cast<i64>(buf_.size()); }
+
+  T* data() { return buf_.data(); }
+  const T* data() const { return buf_.data(); }
+
+  T& operator[](i64 i) { return buf_[static_cast<std::size_t>(i)]; }
+  const T& operator[](i64 i) const { return buf_[static_cast<std::size_t>(i)]; }
+
+  /// Multi-index access (unchecked in release hot paths would use raw
+  /// pointers; this accessor is for tests and cold code).
+  template <typename... Ix>
+  T& at(Ix... ix) {
+    return buf_[static_cast<std::size_t>(offset(ix...))];
+  }
+  template <typename... Ix>
+  const T& at(Ix... ix) const {
+    return buf_[static_cast<std::size_t>(offset(ix...))];
+  }
+
+  template <typename... Ix>
+  i64 offset(Ix... ix) const {
+    const i64 idx[] = {static_cast<i64>(ix)...};
+    ONDWIN_CHECK(sizeof...(ix) == shape_.size(), "index rank mismatch");
+    i64 off = 0;
+    for (std::size_t i = 0; i < shape_.size(); ++i) off += idx[i] * strides_[i];
+    return off;
+  }
+
+  void fill_zero() { buf_.fill_zero(); }
+
+ private:
+  void compute_strides() {
+    strides_.assign(shape_.size(), 1);
+    i64 acc = 1;
+    for (int i = static_cast<int>(shape_.size()) - 1; i >= 0; --i) {
+      strides_[static_cast<std::size_t>(i)] = acc;
+      acc *= shape_[static_cast<std::size_t>(i)];
+    }
+  }
+
+  std::vector<i64> shape_;
+  std::vector<i64> strides_;
+  AlignedBuffer<T> buf_;
+};
+
+}  // namespace ondwin

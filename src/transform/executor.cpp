@@ -1,0 +1,78 @@
+#include "transform/program.h"
+
+#include <array>
+#include <cstring>
+
+#include "util/cpu.h"
+
+namespace ondwin {
+
+void run_transform_scalar(const TransformProgram& p, const float* in,
+                          i64 in_stride, float* out, i64 out_stride,
+                          bool /*streaming*/) {
+  using Vec = std::array<float, kSimdWidth>;
+  std::array<Vec, kTransformRegs> r;
+
+  auto load = [&](i32 idx) {
+    Vec v;
+    std::memcpy(v.data(), in + idx * in_stride, sizeof(Vec));
+    return v;
+  };
+
+  using K = TransformOp::Kind;
+  for (const auto& op : p.ops) {
+    switch (op.kind) {
+      case K::kMovIn: r[op.dst] = load(op.src); break;
+      case K::kMulIn: {
+        const Vec x = load(op.src);
+        for (int s = 0; s < kSimdWidth; ++s) r[op.dst][static_cast<std::size_t>(s)] = op.coeff * x[static_cast<std::size_t>(s)];
+        break;
+      }
+      case K::kAddIn: {
+        const Vec x = load(op.src);
+        for (int s = 0; s < kSimdWidth; ++s) r[op.dst][static_cast<std::size_t>(s)] += x[static_cast<std::size_t>(s)];
+        break;
+      }
+      case K::kSubIn: {
+        const Vec x = load(op.src);
+        for (int s = 0; s < kSimdWidth; ++s) r[op.dst][static_cast<std::size_t>(s)] -= x[static_cast<std::size_t>(s)];
+        break;
+      }
+      case K::kFmaIn: {
+        const Vec x = load(op.src);
+        for (int s = 0; s < kSimdWidth; ++s) r[op.dst][static_cast<std::size_t>(s)] += op.coeff * x[static_cast<std::size_t>(s)];
+        break;
+      }
+      case K::kAddReg:
+        for (int s = 0; s < kSimdWidth; ++s) r[op.dst][static_cast<std::size_t>(s)] = r[op.a][static_cast<std::size_t>(s)] + r[op.b][static_cast<std::size_t>(s)];
+        break;
+      case K::kSubReg:
+        for (int s = 0; s < kSimdWidth; ++s) r[op.dst][static_cast<std::size_t>(s)] = r[op.a][static_cast<std::size_t>(s)] - r[op.b][static_cast<std::size_t>(s)];
+        break;
+      case K::kMulReg:
+        for (int s = 0; s < kSimdWidth; ++s) r[op.dst][static_cast<std::size_t>(s)] = op.coeff * r[op.a][static_cast<std::size_t>(s)];
+        break;
+      case K::kMovReg: r[op.dst] = r[op.a]; break;
+      case K::kFmaReg:
+        for (int s = 0; s < kSimdWidth; ++s) r[op.dst][static_cast<std::size_t>(s)] += op.coeff * r[op.a][static_cast<std::size_t>(s)];
+        break;
+      case K::kStore:
+        std::memcpy(out + op.src * out_stride, r[op.a].data(),
+                    sizeof(Vec));
+        break;
+    }
+  }
+}
+
+TransformExecFn transform_executor() {
+#if defined(__x86_64__) || defined(_M_X64)
+  static const TransformExecFn fn =
+      cpu_features().full_avx512() ? &run_transform_avx512
+                                   : &run_transform_scalar;
+#else
+  static const TransformExecFn fn = &run_transform_scalar;
+#endif
+  return fn;
+}
+
+}  // namespace ondwin

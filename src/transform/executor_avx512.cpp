@@ -1,0 +1,63 @@
+// AVX-512 transform executor: every program register is one zmm; loads and
+// stores are single aligned vector ops, exactly the paper's "operate on S
+// tiles at a time" codelet model. Compiled with AVX-512 flags; callers must
+// gate on cpu_features().full_avx512().
+#include <immintrin.h>
+
+#include "transform/program.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+namespace ondwin {
+
+void run_transform_avx512(const TransformProgram& p, const float* in,
+                          i64 in_stride, float* out, i64 out_stride,
+                          bool streaming) {
+  __m512 r[kTransformRegs];
+  using K = TransformOp::Kind;
+  for (const auto& op : p.ops) {
+    switch (op.kind) {
+      case K::kMovIn:
+        r[op.dst] = _mm512_loadu_ps(in + op.src * in_stride);
+        break;
+      case K::kMulIn:
+        r[op.dst] = _mm512_mul_ps(_mm512_set1_ps(op.coeff),
+                                  _mm512_loadu_ps(in + op.src * in_stride));
+        break;
+      case K::kAddIn:
+        r[op.dst] = _mm512_add_ps(r[op.dst],
+                                  _mm512_loadu_ps(in + op.src * in_stride));
+        break;
+      case K::kSubIn:
+        r[op.dst] = _mm512_sub_ps(r[op.dst],
+                                  _mm512_loadu_ps(in + op.src * in_stride));
+        break;
+      case K::kFmaIn:
+        r[op.dst] = _mm512_fmadd_ps(_mm512_set1_ps(op.coeff),
+                                    _mm512_loadu_ps(in + op.src * in_stride),
+                                    r[op.dst]);
+        break;
+      case K::kAddReg: r[op.dst] = _mm512_add_ps(r[op.a], r[op.b]); break;
+      case K::kSubReg: r[op.dst] = _mm512_sub_ps(r[op.a], r[op.b]); break;
+      case K::kMulReg:
+        r[op.dst] = _mm512_mul_ps(_mm512_set1_ps(op.coeff), r[op.a]);
+        break;
+      case K::kMovReg: r[op.dst] = r[op.a]; break;
+      case K::kFmaReg:
+        r[op.dst] = _mm512_fmadd_ps(_mm512_set1_ps(op.coeff), r[op.a],
+                                    r[op.dst]);
+        break;
+      case K::kStore:
+        if (streaming) {
+          _mm512_stream_ps(out + op.src * out_stride, r[op.a]);
+        } else {
+          _mm512_storeu_ps(out + op.src * out_stride, r[op.a]);
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace ondwin
+
+#endif  // x86-64

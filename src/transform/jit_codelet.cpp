@@ -1,0 +1,121 @@
+#include "transform/jit_codelet.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "gemm/microkernel.h"  // microkernel_jit_supported()
+#include "jit/assembler.h"
+
+namespace ondwin {
+namespace {
+
+// zmm31 stages broadcast coefficients for the full-width FMA forms.
+constexpr int kScratchReg = 31;
+
+int max_register(const TransformProgram& p) {
+  int m = 0;
+  for (const auto& op : p.ops) {
+    m = std::max({m, static_cast<int>(op.dst), static_cast<int>(op.a),
+                  static_cast<int>(op.b)});
+  }
+  return m;
+}
+
+bool fits_i32(i64 v) {
+  return v >= std::numeric_limits<i32>::min() &&
+         v <= std::numeric_limits<i32>::max();
+}
+
+}  // namespace
+
+bool JitCodelet::can_compile(const TransformProgram& p, i64 in_stride,
+                             i64 out_stride) {
+  if (!microkernel_jit_supported()) return false;
+  if (max_register(p) >= kScratchReg) return false;
+  const i64 max_in = static_cast<i64>(p.in_count) * in_stride * 4;
+  const i64 max_out = static_cast<i64>(p.out_count) * out_stride * 4;
+  return fits_i32(max_in) && fits_i32(max_out);
+}
+
+JitCodelet::JitCodelet(const TransformProgram& p, i64 in_stride,
+                       i64 out_stride, bool streaming) {
+  ONDWIN_CHECK(can_compile(p, in_stride, out_stride),
+               "program not JIT-compilable on this host");
+
+  // Collect coefficients into the broadcast table.
+  std::vector<float> coeffs;
+  auto slot_of = [&](float c) {
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+      if (coeffs[i] == c) return static_cast<i32>(i * 4);
+    }
+    coeffs.push_back(c);
+    return static_cast<i32>((coeffs.size() - 1) * 4);
+  };
+
+  // SysV: in = rdi, out = rsi, coeffs = rdx.
+  Assembler a;
+  const auto in_at = [&](i32 idx) {
+    return mem(Gp::rdi, static_cast<i32>(idx * in_stride * 4));
+  };
+  const auto out_at = [&](i32 idx) {
+    return mem(Gp::rsi, static_cast<i32>(idx * out_stride * 4));
+  };
+
+  using K = TransformOp::Kind;
+  for (const auto& op : p.ops) {
+    switch (op.kind) {
+      case K::kMovIn:
+        a.vmovups(Zmm(op.dst), in_at(op.src));
+        break;
+      case K::kMulIn:
+        a.vmovups(Zmm(op.dst), in_at(op.src));
+        a.vmulps_bcast(Zmm(op.dst), Zmm(op.dst),
+                       mem(Gp::rdx, slot_of(op.coeff)));
+        break;
+      case K::kAddIn:
+        a.vaddps(Zmm(op.dst), Zmm(op.dst), in_at(op.src));
+        break;
+      case K::kSubIn:
+        a.vsubps(Zmm(op.dst), Zmm(op.dst), in_at(op.src));
+        break;
+      case K::kFmaIn:
+        // dst += coeff * in[src]: broadcast the coefficient, use the
+        // full-width memory operand for the input fiber element.
+        a.vbroadcastss(Zmm(kScratchReg), mem(Gp::rdx, slot_of(op.coeff)));
+        a.vfmadd231ps(Zmm(op.dst), Zmm(kScratchReg), in_at(op.src));
+        break;
+      case K::kAddReg:
+        a.vaddps(Zmm(op.dst), Zmm(op.a), Zmm(op.b));
+        break;
+      case K::kSubReg:
+        a.vsubps(Zmm(op.dst), Zmm(op.a), Zmm(op.b));
+        break;
+      case K::kMulReg:
+        a.vmulps_bcast(Zmm(op.dst), Zmm(op.a),
+                       mem(Gp::rdx, slot_of(op.coeff)));
+        break;
+      case K::kMovReg:
+        a.vmovaps(Zmm(op.dst), Zmm(op.a));
+        break;
+      case K::kFmaReg:
+        a.vfmadd231ps_bcast(Zmm(op.dst), Zmm(op.a),
+                            mem(Gp::rdx, slot_of(op.coeff)));
+        break;
+      case K::kStore:
+        if (streaming) {
+          a.vmovntps(out_at(op.src), Zmm(op.a));
+        } else {
+          a.vmovups(out_at(op.src), Zmm(op.a));
+        }
+        break;
+    }
+  }
+  a.ret();
+
+  coeffs_.reset(std::max<std::size_t>(coeffs.size(), 1));
+  for (std::size_t i = 0; i < coeffs.size(); ++i) coeffs_[i] = coeffs[i];
+  memory_ = ExecMemory::from_code(a.finish());
+  fn_ = memory_.entry_as<Fn>();
+}
+
+}  // namespace ondwin

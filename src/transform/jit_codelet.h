@@ -1,0 +1,49 @@
+// JIT-compiled transform codelets.
+//
+// The paper gets zero-overhead codelets from C++ templates instantiated at
+// compile time, which fixes the supported F(m, r) set when the library is
+// built. This library supports arbitrary F(m, r) at runtime instead, so
+// the equivalent is done at plan time: a TransformProgram plus its exact
+// fiber strides is lowered to native AVX-512 code through the same
+// assembler the GEMM primitive uses — one vector instruction per program
+// op, all offsets precomputed, no interpreter dispatch.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "jit/exec_memory.h"
+#include "transform/program.h"
+#include "util/aligned.h"
+
+namespace ondwin {
+
+/// One compiled codelet: applies a fixed program with fixed strides.
+class JitCodelet {
+ public:
+  /// Strides in floats (as in run_transform_scalar). Throws when the host
+  /// lacks AVX-512 or the program exceeds the JIT register budget — call
+  /// can_compile() first.
+  JitCodelet(const TransformProgram& p, i64 in_stride, i64 out_stride,
+             bool streaming);
+
+  /// True when this (host, program, strides) combination is compilable.
+  static bool can_compile(const TransformProgram& p, i64 in_stride,
+                          i64 out_stride);
+
+  void run(const float* in, float* out) const {
+    fn_(in, out, coeffs_.data());
+  }
+
+  i64 code_bytes() const { return static_cast<i64>(memory_.size()); }
+
+ private:
+  using Fn = void (*)(const float* in, float* out, const float* coeffs);
+
+  // 64-byte aligned so broadcast loads never split a cache line.
+  AlignedBuffer<float> coeffs_;
+  ExecMemory memory_;
+  Fn fn_ = nullptr;
+};
+
+}  // namespace ondwin

@@ -1,0 +1,316 @@
+#include "transform/program.h"
+
+#include <sstream>
+
+namespace ondwin {
+
+int TransformProgram::arithmetic_ops() const {
+  int n = 0;
+  for (const auto& op : ops) {
+    if (op.kind != TransformOp::Kind::kStore &&
+        op.kind != TransformOp::Kind::kMovIn &&
+        op.kind != TransformOp::Kind::kMovReg) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string TransformProgram::to_string() const {
+  std::ostringstream os;
+  for (const auto& op : ops) {
+    using K = TransformOp::Kind;
+    switch (op.kind) {
+      case K::kMovIn: os << "r" << +op.dst << " = in[" << op.src << "]"; break;
+      case K::kMulIn:
+        os << "r" << +op.dst << " = " << op.coeff << " * in[" << op.src << "]";
+        break;
+      case K::kAddIn: os << "r" << +op.dst << " += in[" << op.src << "]"; break;
+      case K::kSubIn: os << "r" << +op.dst << " -= in[" << op.src << "]"; break;
+      case K::kFmaIn:
+        os << "r" << +op.dst << " += " << op.coeff << " * in[" << op.src
+           << "]";
+        break;
+      case K::kAddReg:
+        os << "r" << +op.dst << " = r" << +op.a << " + r" << +op.b;
+        break;
+      case K::kSubReg:
+        os << "r" << +op.dst << " = r" << +op.a << " - r" << +op.b;
+        break;
+      case K::kMulReg:
+        os << "r" << +op.dst << " = " << op.coeff << " * r" << +op.a;
+        break;
+      case K::kMovReg: os << "r" << +op.dst << " = r" << +op.a; break;
+      case K::kFmaReg:
+        os << "r" << +op.dst << " += " << op.coeff << " * r" << +op.a;
+        break;
+      case K::kStore: os << "out[" << op.src << "] = r" << +op.a; break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+using Kind = TransformOp::Kind;
+
+// Working form of the matrix during building: the first `real_cols`
+// columns read from the input fiber; later columns read from virtual-input
+// registers (precomputed sums/differences of input pairs).
+struct BuildMatrix {
+  RatMatrix m;
+  i64 real_cols = 0;
+  std::vector<u8> virtual_regs;  // register of column real_cols + v
+
+  bool is_register_col(i64 col) const { return col >= real_cols; }
+  u8 reg_of(i64 col) const {
+    return virtual_regs[static_cast<std::size_t>(col - real_cols)];
+  }
+};
+
+// Emits ops accumulating Σ_j coeffs[j]·source(j) over the column subset
+// `cols` into register `reg`. Sources are fiber loads or virtual-input
+// registers. Returns false when `cols` is empty.
+bool emit_row_sum(const BuildMatrix& bm, i64 row, std::vector<int> cols,
+                  u8 reg, std::vector<TransformOp>& ops) {
+  // Leading with a +1 coefficient turns the first term into a plain move,
+  // so rows like (-d0 + d2) cost one subtract instead of mul+add.
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (bm.m.at(row, cols[i]).is_one()) {
+      std::swap(cols[0], cols[i]);
+      break;
+    }
+  }
+  bool first = true;
+  for (int j : cols) {
+    const Rational& c = bm.m.at(row, j);
+    TransformOp op;
+    op.dst = reg;
+    const bool from_reg = bm.is_register_col(j);
+    if (from_reg) {
+      op.a = bm.reg_of(j);
+    } else {
+      op.src = j;
+    }
+    if (first) {
+      if (c.is_one()) {
+        op.kind = from_reg ? Kind::kMovReg : Kind::kMovIn;
+      } else {
+        op.kind = from_reg ? Kind::kMulReg : Kind::kMulIn;
+        op.coeff = c.to_float();
+      }
+      first = false;
+    } else if (c.is_one()) {
+      if (from_reg) {
+        op.kind = Kind::kAddReg;
+        op.b = op.a;
+        op.a = reg;
+      } else {
+        op.kind = Kind::kAddIn;
+      }
+    } else if (c.is_minus_one()) {
+      if (from_reg) {
+        op.kind = Kind::kSubReg;
+        op.b = op.a;
+        op.a = reg;
+      } else {
+        op.kind = Kind::kSubIn;
+      }
+    } else {
+      op.kind = from_reg ? Kind::kFmaReg : Kind::kFmaIn;
+      op.coeff = c.to_float();
+    }
+    ops.push_back(op);
+  }
+  return !first;
+}
+
+std::vector<int> nonzero_cols(const RatMatrix& m, i64 row) {
+  std::vector<int> cols;
+  for (i64 j = 0; j < m.cols(); ++j) {
+    if (!m.at(row, j).is_zero()) cols.push_back(static_cast<int>(j));
+  }
+  return cols;
+}
+
+// Row pairing (Fig. 2): rows r1, r2 with r2[j] = +r1[j] on P and −r1[j]
+// on Q share the partial sums E = Σ_P and O = Σ_Q.
+bool find_row_pair_split(const RatMatrix& m, i64 r1, i64 r2,
+                         std::vector<int>& p, std::vector<int>& q) {
+  p.clear();
+  q.clear();
+  for (i64 j = 0; j < m.cols(); ++j) {
+    const Rational& a = m.at(r1, j);
+    const Rational& b = m.at(r2, j);
+    if (a.is_zero() && b.is_zero()) continue;
+    if (a == b) {
+      p.push_back(static_cast<int>(j));
+    } else if (a == -b) {
+      q.push_back(static_cast<int>(j));
+    } else {
+      return false;
+    }
+  }
+  return !p.empty() && !q.empty() && static_cast<int>(p.size() + q.size()) >= 2;
+}
+
+// Column pairing: columns i, j with col_j[k] = ε_k·col_i[k]. P rows have
+// ε=+1 (use in_i + in_j), Q rows ε=−1 (use in_i − in_j). Profitable when
+// at least 3 rows share the pair (2 ops buy |P|+|Q| op savings).
+bool find_col_pair_split(const RatMatrix& m, i64 c1, i64 c2,
+                         std::vector<int>& p, std::vector<int>& q) {
+  p.clear();
+  q.clear();
+  for (i64 k = 0; k < m.rows(); ++k) {
+    const Rational& a = m.at(k, c1);
+    const Rational& b = m.at(k, c2);
+    if (a.is_zero() && b.is_zero()) continue;
+    if (a == b) {
+      p.push_back(static_cast<int>(k));
+    } else if (a == -b) {
+      q.push_back(static_cast<int>(k));
+    } else {
+      return false;
+    }
+  }
+  return static_cast<int>(p.size() + q.size()) >= 3;
+}
+
+}  // namespace
+
+TransformProgram build_transform_program(const RatMatrix& m,
+                                         const TransformBuildOptions& opts) {
+  const i64 rows = m.rows();
+  const i64 cols = m.cols();
+  ONDWIN_CHECK(rows >= 1 && cols >= 1, "empty transform matrix");
+  ONDWIN_CHECK(rows + 2 <= kTransformRegs, "transform matrix too tall: ",
+               rows, " rows");
+
+  TransformProgram prog;
+  prog.in_count = static_cast<int>(cols);
+  prog.out_count = static_cast<int>(rows);
+  for (i64 i = 0; i < rows; ++i) {
+    for (i64 j = 0; j < cols; ++j) {
+      if (!m.at(i, j).is_zero()) ++prog.naive_ops;
+    }
+  }
+
+  // ---- column pairing: rewrite the matrix over virtual inputs ----------
+  BuildMatrix bm{m, cols, {}};
+  if (opts.enable_column_pairing) {
+    std::vector<i64> col_partner(static_cast<std::size_t>(cols), -1);
+    struct PairDef {
+      i64 i, j;
+      std::vector<int> p, q;  // rows using the sum / the difference
+    };
+    std::vector<PairDef> defs;
+    for (i64 i = 0; i < cols; ++i) {
+      if (col_partner[static_cast<std::size_t>(i)] >= 0) continue;
+      for (i64 j = i + 1; j < cols; ++j) {
+        if (col_partner[static_cast<std::size_t>(j)] >= 0) continue;
+        std::vector<int> p, q;
+        if (!find_col_pair_split(m, i, j, p, q)) continue;
+        // Register budget: rows results + 2 temps + 2 regs per pair.
+        if (rows + 2 + 2 * static_cast<i64>(defs.size() + 1) >
+            kTransformRegs) {
+          break;
+        }
+        col_partner[static_cast<std::size_t>(i)] = j;
+        col_partner[static_cast<std::size_t>(j)] = i;
+        defs.push_back({i, j, std::move(p), std::move(q)});
+        break;
+      }
+    }
+
+    if (!defs.empty()) {
+      RatMatrix ext(rows, cols + 2 * static_cast<i64>(defs.size()));
+      for (i64 r = 0; r < rows; ++r) {
+        for (i64 c = 0; c < cols; ++c) {
+          if (col_partner[static_cast<std::size_t>(c)] < 0) {
+            ext.at(r, c) = m.at(r, c);
+          }
+        }
+      }
+      const u8 vreg_base = static_cast<u8>(rows + 2);
+      for (std::size_t d = 0; d < defs.size(); ++d) {
+        const PairDef& def = defs[d];
+        const i64 sum_col = cols + 2 * static_cast<i64>(d);
+        const i64 dif_col = sum_col + 1;
+        for (int r : def.p) ext.at(r, sum_col) = m.at(r, def.i);
+        for (int r : def.q) ext.at(r, dif_col) = m.at(r, def.i);
+
+        const u8 sum_reg = static_cast<u8>(vreg_base + 2 * d);
+        const u8 dif_reg = static_cast<u8>(sum_reg + 1);
+        bm.virtual_regs.push_back(sum_reg);
+        bm.virtual_regs.push_back(dif_reg);
+        // s = in_i + in_j; d = in_i − in_j.
+        prog.ops.push_back({Kind::kMovIn, sum_reg, 0, 0,
+                            static_cast<i32>(def.i), 0.0f});
+        prog.ops.push_back({Kind::kAddIn, sum_reg, 0, 0,
+                            static_cast<i32>(def.j), 0.0f});
+        prog.ops.push_back({Kind::kMovIn, dif_reg, 0, 0,
+                            static_cast<i32>(def.i), 0.0f});
+        prog.ops.push_back({Kind::kSubIn, dif_reg, 0, 0,
+                            static_cast<i32>(def.j), 0.0f});
+      }
+      bm.m = std::move(ext);
+    }
+  }
+
+  // ---- row pairing on the (possibly rewritten) matrix ------------------
+  std::vector<i64> partner(static_cast<std::size_t>(rows), -1);
+  if (opts.enable_pairing) {
+    for (i64 i = 0; i < rows; ++i) {
+      if (partner[static_cast<std::size_t>(i)] >= 0) continue;
+      for (i64 k = i + 1; k < rows; ++k) {
+        if (partner[static_cast<std::size_t>(k)] >= 0) continue;
+        std::vector<int> p, q;
+        if (find_row_pair_split(bm.m, i, k, p, q)) {
+          partner[static_cast<std::size_t>(i)] = k;
+          partner[static_cast<std::size_t>(k)] = i;
+          break;
+        }
+      }
+    }
+  }
+
+  const u8 reg_e = static_cast<u8>(rows);
+  const u8 reg_o = static_cast<u8>(rows + 1);
+
+  std::vector<bool> done(static_cast<std::size_t>(rows), false);
+  for (i64 i = 0; i < rows; ++i) {
+    if (done[static_cast<std::size_t>(i)]) continue;
+    const i64 mate = partner[static_cast<std::size_t>(i)];
+    if (mate >= 0) {
+      std::vector<int> p, q;
+      find_row_pair_split(bm.m, i, mate, p, q);
+      emit_row_sum(bm, i, p, reg_e, prog.ops);
+      emit_row_sum(bm, i, q, reg_o, prog.ops);
+      prog.ops.push_back({Kind::kAddReg, static_cast<u8>(i), reg_e, reg_o,
+                          0, 0.0f});
+      prog.ops.push_back({Kind::kSubReg, static_cast<u8>(mate), reg_e, reg_o,
+                          0, 0.0f});
+      done[static_cast<std::size_t>(i)] = true;
+      done[static_cast<std::size_t>(mate)] = true;
+    } else {
+      const auto cols_i = nonzero_cols(bm.m, i);
+      if (!emit_row_sum(bm, i, cols_i, static_cast<u8>(i), prog.ops)) {
+        // All-zero row: out = 0 via 0 * in[0].
+        prog.ops.push_back({Kind::kMulIn, static_cast<u8>(i), 0, 0, 0, 0.0f});
+      }
+      done[static_cast<std::size_t>(i)] = true;
+    }
+  }
+
+  for (i64 i = 0; i < rows; ++i) {
+    TransformOp st;
+    st.kind = Kind::kStore;
+    st.a = static_cast<u8>(i);
+    st.src = static_cast<i32>(i);
+    prog.ops.push_back(st);
+  }
+  return prog;
+}
+
+}  // namespace ondwin

@@ -1,0 +1,104 @@
+// Transform codelets (paper §4.2.1): minimal-operation schedules that apply
+// one small transform matrix (Bᵀ, G, or Aᵀ) to a fiber of S-wide vectors.
+//
+// A program is built once per plan from the exact rational matrix, then
+// executed millions of times over 16-channel vector groups. The builder
+// performs the paper's reductions:
+//   * zero coefficients are skipped entirely (the matrices are sparse);
+//   * ±1 coefficients become vector add/sub instead of FMA;
+//   * row pairs of the form row2[j] = ±row1[j] (the even/odd structure
+//     that appears for every ±a interpolation-point pair) are computed as
+//     E+O / E−O, halving the FMA count for those rows (paper Fig. 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wincnn/rat_matrix.h"
+
+namespace ondwin {
+
+/// One vector operation. `dst`/`a`/`b` index a virtual vector register
+/// file; `src` indexes the input fiber; `out` indexes the output fiber.
+struct TransformOp {
+  enum class Kind : u8 {
+    kMovIn,   // r[dst] = in[src]
+    kMulIn,   // r[dst] = coeff * in[src]
+    kAddIn,   // r[dst] += in[src]
+    kSubIn,   // r[dst] -= in[src]
+    kFmaIn,   // r[dst] += coeff * in[src]
+    kAddReg,  // r[dst] = r[a] + r[b]
+    kSubReg,  // r[dst] = r[a] - r[b]
+    kMulReg,  // r[dst] = coeff * r[a]
+    kMovReg,  // r[dst] = r[a]
+    kFmaReg,  // r[dst] += coeff * r[a]
+    kStore,   // out[src] = r[a]   (src reused as output index)
+  };
+  Kind kind;
+  u8 dst = 0;
+  u8 a = 0;
+  u8 b = 0;
+  i32 src = 0;
+  float coeff = 0.0f;
+};
+
+/// Maximum virtual registers a program may use (outputs + 2 temporaries;
+/// matches the zmm budget of the AVX-512 executor).
+inline constexpr int kTransformRegs = 32;
+
+struct TransformProgram {
+  int in_count = 0;    // fiber length consumed (matrix columns)
+  int out_count = 0;   // fiber length produced (matrix rows)
+  std::vector<TransformOp> ops;
+
+  /// Number of arithmetic vector ops (loads/stores excluded) — the metric
+  /// of the Fig. 2 ablation.
+  int arithmetic_ops() const;
+  /// Ops a naive schedule (one op per nonzero entry) would need.
+  int naive_ops = 0;
+
+  std::string to_string() const;
+};
+
+struct TransformBuildOptions {
+  /// Row pairing: rows i,k with row_k = ±row_i column-wise share their
+  /// even/odd partial sums (E+O / E−O) — the paper's Fig. 2 reduction.
+  bool enable_pairing = true;
+  /// Column pairing: columns i,j with col_j = ±col_i row-wise are replaced
+  /// by precomputed (in_i + in_j) and (in_i − in_j) virtual inputs, halving
+  /// the FMAs of every row that uses both. This is the dual reduction; it
+  /// is what makes the Aᵀ (inverse) transforms cheap, since Vandermonde
+  /// ±a point pairs alternate signs along rows, not columns.
+  bool enable_column_pairing = true;
+};
+
+/// Builds the minimal-op schedule for `M` (applied as out = M · in).
+TransformProgram build_transform_program(
+    const RatMatrix& m, const TransformBuildOptions& opts = {});
+
+/// Executes `p` on a fiber: in/out elements are S-float vectors at a
+/// spacing of `in_stride`/`out_stride` *floats*. When `streaming` is true,
+/// outputs are written with non-temporal stores (paper: transform results
+/// are not needed until the next stage). Dispatches to the AVX-512
+/// implementation when available, otherwise to the portable one.
+using TransformExecFn = void (*)(const TransformProgram& p, const float* in,
+                                 i64 in_stride, float* out, i64 out_stride,
+                                 bool streaming);
+
+/// The active executor for this host (resolved once at first use).
+TransformExecFn transform_executor();
+
+/// Portable executor (always available; also the test oracle).
+void run_transform_scalar(const TransformProgram& p, const float* in,
+                          i64 in_stride, float* out, i64 out_stride,
+                          bool streaming);
+
+#if defined(__x86_64__) || defined(_M_X64)
+/// AVX-512 executor (defined in executor_avx512.cpp; call only when
+/// cpu_features().full_avx512() is true).
+void run_transform_avx512(const TransformProgram& p, const float* in,
+                          i64 in_stride, float* out, i64 out_stride,
+                          bool streaming);
+#endif
+
+}  // namespace ondwin

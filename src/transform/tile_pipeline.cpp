@@ -1,0 +1,101 @@
+#include "transform/tile_pipeline.h"
+
+namespace ondwin {
+
+TilePipeline::TilePipeline(const TransformProgram* const* progs, int rank,
+                           const i64* src_strides, const i64* dst_strides,
+                           bool stream_dst, bool use_jit)
+    : rank_(rank) {
+  ONDWIN_CHECK(rank >= 1 && rank <= kMaxNd, "bad rank ", rank);
+
+  i64 extent[kMaxNd];
+  i64 cur_strides[kMaxNd];
+  for (int d = 0; d < rank; ++d) {
+    extent[d] = progs[d]->in_count;
+    cur_strides[d] = src_strides[d];
+  }
+  int cur_buf = -1;  // caller src
+  int next_scratch = 0;
+
+  fully_jitted_ = true;
+  for (int d = 0; d < rank; ++d) {
+    Pass pass;
+    pass.prog = progs[d];
+    pass.dim = d;
+    const bool last = (d == rank - 1);
+    pass.stream = last && stream_dst;
+    pass.in_buf = cur_buf;
+    for (int k = 0; k < rank; ++k) pass.in_strides[k] = cur_strides[k];
+
+    i64 out_extent[kMaxNd];
+    for (int k = 0; k < rank; ++k) out_extent[k] = extent[k];
+    out_extent[d] = progs[d]->out_count;
+
+    if (last) {
+      pass.out_buf = -1;
+      for (int k = 0; k < rank; ++k) pass.out_strides[k] = dst_strides[k];
+    } else {
+      pass.out_buf = next_scratch;
+      next_scratch ^= 1;
+      i64 acc = kSimdWidth;
+      for (int k = rank - 1; k >= 0; --k) {
+        pass.out_strides[k] = acc;
+        acc *= out_extent[k];
+      }
+    }
+
+    for (int k = 0; k < rank; ++k) {
+      pass.iter_extent[k] = (k == d) ? 1 : extent[k];
+    }
+
+    if (use_jit && JitCodelet::can_compile(*pass.prog, pass.in_strides[d],
+                                           pass.out_strides[d])) {
+      pass.jit = std::make_unique<JitCodelet>(
+          *pass.prog, pass.in_strides[d], pass.out_strides[d], pass.stream);
+    } else {
+      fully_jitted_ = false;
+    }
+
+    cur_buf = pass.out_buf;
+    for (int k = 0; k < rank; ++k) {
+      extent[k] = out_extent[k];
+      cur_strides[k] = pass.out_strides[k];
+    }
+    passes_.push_back(std::move(pass));
+  }
+}
+
+void TilePipeline::run(const float* src, float* dst,
+                       TransformScratch& scratch) const {
+  const TransformExecFn exec = transform_executor();
+  float* bufs[2] = {scratch.buf0(), scratch.buf1()};
+
+  for (const Pass& pass : passes_) {
+    const float* in = pass.in_buf < 0 ? src : bufs[pass.in_buf];
+    float* out = pass.out_buf < 0 ? dst : bufs[pass.out_buf];
+    const int d = pass.dim;
+
+    i64 coord[kMaxNd] = {};
+    for (;;) {
+      i64 in_off = 0, out_off = 0;
+      for (int k = 0; k < rank_; ++k) {
+        in_off += coord[k] * pass.in_strides[k];
+        out_off += coord[k] * pass.out_strides[k];
+      }
+      if (pass.jit != nullptr) {
+        pass.jit->run(in + in_off, out + out_off);
+      } else {
+        exec(*pass.prog, in + in_off, pass.in_strides[d], out + out_off,
+             pass.out_strides[d], pass.stream);
+      }
+      int k = rank_ - 1;
+      for (; k >= 0; --k) {
+        if (++coord[k] < pass.iter_extent[k]) break;
+        coord[k] = 0;
+      }
+      if (k < 0) break;
+    }
+  }
+}
+
+}  // namespace ondwin

@@ -1,0 +1,51 @@
+// Plan-time-compiled N-D tile transform pipeline.
+//
+// transform_tile_nd() recomputes pass strides and dispatches each fiber
+// through the interpreting executor. When the same transform runs for
+// millions of tiles with identical strides — exactly what the conv plan
+// does — the strides can be frozen at plan time and each pass lowered to a
+// JIT codelet (transform/jit_codelet.h). TilePipeline is that frozen form;
+// it falls back to the interpreter per pass when JIT is unavailable.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "transform/jit_codelet.h"
+#include "transform/tile_transform.h"
+
+namespace ondwin {
+
+class TilePipeline {
+ public:
+  /// Same contract as transform_tile_nd (strides in floats, elements are
+  /// 16-float vectors); `use_jit` requests codelet compilation.
+  TilePipeline(const TransformProgram* const* progs, int rank,
+               const i64* src_strides, const i64* dst_strides,
+               bool stream_dst, bool use_jit);
+
+  /// Thread-safe; each caller passes its own scratch.
+  void run(const float* src, float* dst, TransformScratch& scratch) const;
+
+  /// True when every pass was JIT-compiled.
+  bool fully_jitted() const { return fully_jitted_; }
+
+ private:
+  struct Pass {
+    const TransformProgram* prog = nullptr;
+    int dim = 0;
+    bool stream = false;
+    int in_buf = -1;   // -1 = caller src, else scratch index
+    int out_buf = -1;  // -1 = caller dst, else scratch index
+    i64 in_strides[kMaxNd] = {};
+    i64 out_strides[kMaxNd] = {};
+    i64 iter_extent[kMaxNd] = {};  // fiber iteration space (extent[dim]=1)
+    std::unique_ptr<JitCodelet> jit;
+  };
+
+  int rank_ = 0;
+  bool fully_jitted_ = false;
+  std::vector<Pass> passes_;
+};
+
+}  // namespace ondwin

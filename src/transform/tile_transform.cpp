@@ -1,0 +1,86 @@
+#include "transform/tile_transform.h"
+
+namespace ondwin {
+namespace {
+
+// Row-major strides (in floats) for a tile whose per-dim extents are
+// `extent[0..rank)`, elements being 16-float vectors.
+void row_major_strides(const i64* extent, int rank, i64* strides) {
+  i64 acc = kSimdWidth;
+  for (int d = rank - 1; d >= 0; --d) {
+    strides[d] = acc;
+    acc *= extent[d];
+  }
+}
+
+}  // namespace
+
+void transform_tile_nd(const TransformProgram* const* progs, int rank,
+                       const float* src, const i64* src_strides, float* dst,
+                       const i64* dst_strides, TransformScratch& scratch,
+                       bool stream_dst) {
+  ONDWIN_CHECK(rank >= 1 && rank <= kMaxNd, "bad rank ", rank);
+  const TransformExecFn exec = transform_executor();
+
+  i64 extent[kMaxNd];       // current extents (updated after each pass)
+  i64 cur_strides[kMaxNd];  // strides of the buffer currently read
+  for (int d = 0; d < rank; ++d) {
+    extent[d] = progs[d]->in_count;
+    cur_strides[d] = src_strides[d];
+  }
+  const float* cur = src;
+  float* bufs[2] = {scratch.buf0(), scratch.buf1()};
+  int next_buf = 0;
+
+  for (int d = 0; d < rank; ++d) {
+    const TransformProgram& p = *progs[d];
+    ONDWIN_CHECK(extent[d] == p.in_count, "program/extent mismatch at dim ",
+                 d, ": ", extent[d], " vs ", p.in_count);
+    const bool last = (d == rank - 1);
+
+    // Output buffer & strides for this pass.
+    i64 out_extent[kMaxNd];
+    for (int k = 0; k < rank; ++k) out_extent[k] = extent[k];
+    out_extent[d] = p.out_count;
+
+    float* out;
+    i64 out_strides[kMaxNd];
+    if (last) {
+      out = dst;
+      for (int k = 0; k < rank; ++k) out_strides[k] = dst_strides[k];
+    } else {
+      out = bufs[next_buf];
+      next_buf ^= 1;
+      row_major_strides(out_extent, rank, out_strides);
+    }
+
+    // Iterate all fibers (coordinates over every dimension except d).
+    i64 coord[kMaxNd] = {};
+    for (;;) {
+      i64 in_off = 0, out_off = 0;
+      for (int k = 0; k < rank; ++k) {
+        if (k == d) continue;
+        in_off += coord[k] * cur_strides[k];
+        out_off += coord[k] * out_strides[k];
+      }
+      exec(p, cur + in_off, cur_strides[d], out + out_off, out_strides[d],
+           last && stream_dst);
+
+      int k = rank - 1;
+      for (; k >= 0; --k) {
+        if (k == d) continue;
+        if (++coord[k] < extent[k]) break;
+        coord[k] = 0;
+      }
+      if (k < 0) break;
+    }
+
+    cur = out;
+    for (int k = 0; k < rank; ++k) {
+      extent[k] = out_extent[k];
+      cur_strides[k] = out_strides[k];
+    }
+  }
+}
+
+}  // namespace ondwin

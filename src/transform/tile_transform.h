@@ -1,0 +1,53 @@
+// N-dimensional tile transform: applies one codelet program per dimension
+// (tensor–matrix mode-n products, paper Eqn. 8) to a tile of S-wide vector
+// elements.
+//
+// The first dimension's pass reads directly from the source layout (image,
+// kernel bank, or transformed-output buffer) and the last dimension's pass
+// writes directly to the destination layout — including the strided
+// "scatter" destinations of Tbl. 1 — so no separate gather/scatter copies
+// are needed. Intermediate passes ping-pong between two scratch buffers.
+#pragma once
+
+#include "tensor/dims.h"
+#include "transform/program.h"
+#include "util/aligned.h"
+
+namespace ondwin {
+
+/// Per-thread scratch for tile transforms; holds two buffers each large
+/// enough for the biggest intermediate tile (max extent per dim ×
+/// kSimdWidth floats).
+class TransformScratch {
+ public:
+  /// `max_extent`: upper bound of any per-dimension tile extent the caller
+  /// will use; `rank`: number of dimensions.
+  TransformScratch(int max_extent, int rank) {
+    i64 n = kSimdWidth;
+    for (int d = 0; d < rank; ++d) n *= max_extent;
+    buf0_.reset(static_cast<std::size_t>(n));
+    buf1_.reset(static_cast<std::size_t>(n));
+  }
+  float* buf0() { return buf0_.data(); }
+  float* buf1() { return buf1_.data(); }
+
+ private:
+  AlignedBuffer<float> buf0_;
+  AlignedBuffer<float> buf1_;
+};
+
+/// Applies `progs[d]` along dimension d for d = 0..rank-1.
+///
+///  - `progs`: rank pointers; progs[d]->in_count must equal the source
+///    extent along d and progs[d]->out_count becomes the new extent.
+///  - `src` / `src_strides`: element (i_0,…,i_{n-1}) starts at
+///    src + Σ i_d·src_strides[d] (strides in floats; each element is a
+///    16-float vector).
+///  - `dst` / `dst_strides`: likewise for the fully transformed tile.
+///  - `stream_dst`: use non-temporal stores for the final pass.
+void transform_tile_nd(const TransformProgram* const* progs, int rank,
+                       const float* src, const i64* src_strides, float* dst,
+                       const i64* dst_strides, TransformScratch& scratch,
+                       bool stream_dst);
+
+}  // namespace ondwin

@@ -1,0 +1,83 @@
+// 64-byte aligned buffers for SIMD and streaming-store friendly data.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+
+#include "util/common.h"
+
+namespace ondwin {
+
+/// RAII owner of a 64-byte aligned, size-tracked allocation.
+/// Value-initialized (zeroed) on construction so border tiles can rely on
+/// zero padding outside the written region.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) { reset(count); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(other.data_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = other.data_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { release(); }
+
+  /// Re-allocates to hold `count` elements, zero-filled. count==0 frees.
+  void reset(std::size_t count) {
+    release();
+    if (count == 0) return;
+    const std::size_t bytes = round_up(count * sizeof(T), kAlignment);
+    void* p = std::aligned_alloc(kAlignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    std::memset(p, 0, bytes);
+    data_ = static_cast<T*>(p);
+    size_ = count;
+  }
+
+  void fill_zero() {
+    if (data_ != nullptr) std::memset(data_, 0, size_ * sizeof(T));
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  void release() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ondwin

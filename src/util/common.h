@@ -1,0 +1,84 @@
+// Common small utilities shared by every ondwin module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ondwin {
+
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+/// Thrown for invalid arguments / unsupported problem shapes detected at
+/// plan-construction time. Runtime hot paths never throw.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  format_into(os, rest...);
+}
+}  // namespace detail
+
+/// Builds an error message from stream-printable pieces.
+template <typename... Args>
+std::string str_cat(const Args&... args) {
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  return os.str();
+}
+
+template <typename... Args>
+[[noreturn]] void fail(const Args&... args) {
+  throw Error(str_cat(args...));
+}
+
+/// Precondition check that survives NDEBUG: used for user-facing API
+/// validation, not for hot loops.
+#define ONDWIN_CHECK(cond, ...)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::ondwin::fail("check failed: ", #cond, " — ", __VA_ARGS__);     \
+    }                                                                  \
+  } while (0)
+
+constexpr i64 ceil_div(i64 a, i64 b) { return (a + b - 1) / b; }
+constexpr i64 round_up(i64 a, i64 b) { return ceil_div(a, b) * b; }
+
+constexpr bool is_pow2(u64 x) { return x != 0 && (x & (x - 1)) == 0; }
+
+constexpr u64 next_pow2(u64 x) {
+  u64 p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+constexpr i64 gcd_i64(i64 a, i64 b) {
+  while (b != 0) {
+    i64 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a < 0 ? -a : a;
+}
+
+/// SIMD group width in single-precision lanes. The whole pipeline is built
+/// around S=16 (one AVX-512 register / one 64-byte cache line of floats),
+/// matching the paper's data layout. Scalar fallbacks emulate 16 lanes.
+inline constexpr i64 kSimdWidth = 16;
+
+/// Alignment used for every numeric buffer (cache line / zmm register).
+inline constexpr std::size_t kAlignment = 64;
+
+}  // namespace ondwin

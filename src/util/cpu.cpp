@@ -1,0 +1,60 @@
+#include "util/cpu.h"
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define ONDWIN_X86 1
+#endif
+
+namespace ondwin {
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+#ifdef ONDWIN_X86
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.sse2 = (edx >> 26) & 1;
+    f.avx = (ecx >> 28) & 1;
+    f.fma = (ecx >> 12) & 1;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.avx2 = (ebx >> 5) & 1;
+    f.avx512f = (ebx >> 16) & 1;
+    f.avx512dq = (ebx >> 17) & 1;
+    f.avx512bw = (ebx >> 30) & 1;
+    f.avx512vl = (ebx >> 31) & 1;
+  }
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+std::string cpu_feature_string() {
+  const CpuFeatures& f = cpu_features();
+  std::string s;
+  if (f.sse2) s += "sse2 ";
+  if (f.avx) s += "avx ";
+  if (f.avx2) s += "avx2 ";
+  if (f.fma) s += "fma ";
+  if (f.avx512f) s += "avx512f ";
+  if (f.avx512bw) s += "avx512bw ";
+  if (f.avx512dq) s += "avx512dq ";
+  if (f.avx512vl) s += "avx512vl ";
+  if (!s.empty()) s.pop_back();
+  return s;
+}
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace ondwin

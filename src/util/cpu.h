@@ -1,0 +1,31 @@
+// Runtime CPU feature detection (cpuid) used by the SIMD / JIT dispatchers.
+#pragma once
+
+#include <string>
+
+namespace ondwin {
+
+struct CpuFeatures {
+  bool sse2 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512dq = false;
+  bool avx512vl = false;
+
+  /// True when the full AVX-512 subset the JIT emits is available.
+  bool full_avx512() const { return avx512f && avx512bw && avx512dq && avx512vl; }
+};
+
+/// Detects features once; subsequent calls return the cached result.
+const CpuFeatures& cpu_features();
+
+/// Human-readable feature summary, e.g. "avx2+fma avx512(f,bw,dq,vl)".
+std::string cpu_feature_string();
+
+/// Number of hardware threads visible to this process.
+int hardware_threads();
+
+}  // namespace ondwin

@@ -1,0 +1,94 @@
+// Dense univariate polynomials over Rational — substrate for the
+// Cook–Toom construction (products of (x - a_i), synthetic division).
+#pragma once
+
+#include <vector>
+
+#include "util/rational.h"
+
+namespace ondwin {
+
+/// coeffs_[k] is the coefficient of x^k. The zero polynomial has an empty
+/// coefficient vector and degree() == -1.
+class Poly {
+ public:
+  Poly() = default;
+  explicit Poly(std::vector<Rational> coeffs) : coeffs_(std::move(coeffs)) {
+    trim();
+  }
+  static Poly constant(const Rational& c) { return Poly({c}); }
+  /// x - a
+  static Poly linear_root(const Rational& a) { return Poly({-a, Rational(1)}); }
+
+  i64 degree() const { return static_cast<i64>(coeffs_.size()) - 1; }
+  bool is_zero() const { return coeffs_.empty(); }
+
+  /// Coefficient of x^k; zero beyond the stored degree.
+  Rational coeff(i64 k) const {
+    if (k < 0 || k > degree()) return Rational(0);
+    return coeffs_[static_cast<std::size_t>(k)];
+  }
+  const std::vector<Rational>& coeffs() const { return coeffs_; }
+
+  Rational eval(const Rational& x) const {
+    Rational acc(0);
+    for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it) {
+      acc = acc * x + *it;
+    }
+    return acc;
+  }
+
+  friend Poly operator+(const Poly& a, const Poly& b) {
+    std::vector<Rational> c(std::max(a.coeffs_.size(), b.coeffs_.size()),
+                            Rational(0));
+    for (std::size_t i = 0; i < a.coeffs_.size(); ++i) c[i] += a.coeffs_[i];
+    for (std::size_t i = 0; i < b.coeffs_.size(); ++i) c[i] += b.coeffs_[i];
+    return Poly(std::move(c));
+  }
+
+  friend Poly operator*(const Poly& a, const Poly& b) {
+    if (a.is_zero() || b.is_zero()) return Poly();
+    std::vector<Rational> c(a.coeffs_.size() + b.coeffs_.size() - 1,
+                            Rational(0));
+    for (std::size_t i = 0; i < a.coeffs_.size(); ++i) {
+      for (std::size_t j = 0; j < b.coeffs_.size(); ++j) {
+        c[i + j] += a.coeffs_[i] * b.coeffs_[j];
+      }
+    }
+    return Poly(std::move(c));
+  }
+
+  friend Poly operator*(const Poly& a, const Rational& s) {
+    std::vector<Rational> c = a.coeffs_;
+    for (auto& v : c) v *= s;
+    return Poly(std::move(c));
+  }
+
+  /// Exact division by (x - a); the remainder must be zero (a is a root).
+  Poly divide_by_linear_root(const Rational& a) const {
+    ONDWIN_CHECK(!is_zero(), "dividing zero polynomial");
+    std::vector<Rational> q(coeffs_.size() - 1, Rational(0));
+    Rational carry(0);
+    for (i64 k = degree(); k >= 1; --k) {
+      carry = coeff(k) + carry * a;  // synthetic division step
+      q[static_cast<std::size_t>(k - 1)] = carry;
+    }
+    const Rational remainder = coeff(0) + carry * a;
+    ONDWIN_CHECK(remainder.is_zero(),
+                 "divide_by_linear_root: ", a.to_string(), " is not a root");
+    return Poly(std::move(q));
+  }
+
+  friend bool operator==(const Poly& a, const Poly& b) {
+    return a.coeffs_ == b.coeffs_;
+  }
+
+ private:
+  void trim() {
+    while (!coeffs_.empty() && coeffs_.back().is_zero()) coeffs_.pop_back();
+  }
+
+  std::vector<Rational> coeffs_;
+};
+
+}  // namespace ondwin

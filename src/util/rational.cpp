@@ -1,0 +1,97 @@
+#include "util/rational.h"
+
+#include <limits>
+#include <ostream>
+
+namespace ondwin {
+namespace {
+
+__int128 gcd128(__int128 a, __int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+i64 narrow_checked(__int128 v) {
+  if (v > std::numeric_limits<i64>::max() ||
+      v < std::numeric_limits<i64>::min()) {
+    fail("rational overflow: value exceeds 64-bit range");
+  }
+  return static_cast<i64>(v);
+}
+
+}  // namespace
+
+Rational Rational::make_normalized(__int128 num, __int128 den) {
+  if (den == 0) fail("rational with zero denominator");
+  if (num == 0) return Rational(0);
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  const __int128 g = gcd128(num, den);
+  Rational r;
+  r.num_ = narrow_checked(num / g);
+  r.den_ = narrow_checked(den / g);
+  return r;
+}
+
+Rational::Rational(i64 num, i64 den) {
+  *this = make_normalized(num, den);
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Rational operator+(const Rational& a, const Rational& b) {
+  return Rational::make_normalized(
+      static_cast<__int128>(a.num_) * b.den_ +
+          static_cast<__int128>(b.num_) * a.den_,
+      static_cast<__int128>(a.den_) * b.den_);
+}
+
+Rational operator-(const Rational& a, const Rational& b) { return a + (-b); }
+
+Rational operator*(const Rational& a, const Rational& b) {
+  return Rational::make_normalized(static_cast<__int128>(a.num_) * b.num_,
+                                   static_cast<__int128>(a.den_) * b.den_);
+}
+
+Rational operator/(const Rational& a, const Rational& b) {
+  if (b.is_zero()) fail("rational division by zero");
+  return Rational::make_normalized(static_cast<__int128>(a.num_) * b.den_,
+                                   static_cast<__int128>(a.den_) * b.num_);
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  const __int128 lhs = static_cast<__int128>(a.num_) * b.den_;
+  const __int128 rhs = static_cast<__int128>(b.num_) * a.den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+Rational Rational::reciprocal() const {
+  if (is_zero()) fail("reciprocal of zero");
+  return make_normalized(den_, num_);
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+}  // namespace ondwin

@@ -1,0 +1,75 @@
+// Exact rational arithmetic for Winograd transform-matrix construction.
+//
+// The Cook–Toom construction (src/wincnn) works over small rationals such as
+// 1/2 or -2/3; doing it in floating point would contaminate the numerical
+// accuracy study (Table 3) with construction error. Numerators/denominators
+// stay tiny for every practical F(m, r), but all operations widen through
+// __int128 and throw on overflow rather than silently wrapping.
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+#include "util/common.h"
+
+namespace ondwin {
+
+class Rational {
+ public:
+  constexpr Rational() = default;
+  Rational(i64 num) : num_(num), den_(1) {}  // NOLINT implicit by design
+  Rational(i64 num, i64 den);
+
+  i64 num() const { return num_; }
+  i64 den() const { return den_; }
+
+  bool is_zero() const { return num_ == 0; }
+  bool is_integer() const { return den_ == 1; }
+  bool is_one() const { return num_ == 1 && den_ == 1; }
+  bool is_minus_one() const { return num_ == -1 && den_ == 1; }
+
+  double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+  long double to_long_double() const {
+    return static_cast<long double>(num_) / static_cast<long double>(den_);
+  }
+  float to_float() const { return static_cast<float>(to_double()); }
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& r) { return *this = *this + r; }
+  Rational& operator-=(const Rational& r) { return *this = *this - r; }
+  Rational& operator*=(const Rational& r) { return *this = *this * r; }
+  Rational& operator/=(const Rational& r) { return *this = *this / r; }
+
+  friend Rational operator+(const Rational& a, const Rational& b);
+  friend Rational operator-(const Rational& a, const Rational& b);
+  friend Rational operator*(const Rational& a, const Rational& b);
+  friend Rational operator/(const Rational& a, const Rational& b);
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return !(a == b);
+  }
+  friend std::strong_ordering operator<=>(const Rational& a,
+                                          const Rational& b);
+
+  Rational reciprocal() const;
+  Rational abs() const { return num_ < 0 ? -*this : *this; }
+
+  /// "3/4", "-2", "0"
+  std::string to_string() const;
+
+ private:
+  static Rational make_normalized(__int128 num, __int128 den);
+
+  i64 num_ = 0;
+  i64 den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace ondwin

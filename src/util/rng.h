@@ -1,0 +1,69 @@
+// Deterministic, fast RNG for workload generation and tests.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/common.h"
+
+namespace ondwin {
+
+/// xoshiro256** — fast, high-quality, deterministic across platforms.
+/// Used instead of std::mt19937 so every experiment is exactly repeatable
+/// from a seed regardless of standard-library version.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    u64 x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  u64 next_u64() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n).
+  u64 uniform_index(u64 n) { return n == 0 ? 0 : next_u64() % n; }
+
+  /// Standard normal via Box–Muller (single value; second value discarded
+  /// to keep the stream position independent of usage pattern).
+  float gaussian(float mean = 0.0f, float stddev = 1.0f) {
+    double u1 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = next_double();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    return mean + stddev * static_cast<float>(z);
+  }
+
+ private:
+  static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 state_[4];
+};
+
+}  // namespace ondwin

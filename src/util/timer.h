@@ -1,0 +1,48 @@
+// Wall-clock timing helpers for benchmarks and the auto-tuner.
+#pragma once
+
+#include <chrono>
+
+namespace ondwin {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() { restart(); }
+
+  void restart() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` repeatedly until `min_seconds` of samples are collected (at
+/// least `min_iters` runs) and returns the best (minimum) time per run in
+/// seconds. Minimum-of-N is the standard noise-robust estimator for
+/// micro-benchmarks on shared machines.
+template <typename Fn>
+double bench_min_seconds(Fn&& fn, double min_seconds = 0.05,
+                         int min_iters = 3) {
+  double best = 1e300;
+  double total = 0.0;
+  int iters = 0;
+  while (iters < min_iters || total < min_seconds) {
+    Timer t;
+    fn();
+    const double s = t.seconds();
+    total += s;
+    if (s < best) best = s;
+    ++iters;
+    if (iters > 1'000'000) break;  // degenerate zero-cost body
+  }
+  return best;
+}
+
+}  // namespace ondwin

@@ -1,0 +1,103 @@
+#include "wincnn/cook_toom.h"
+
+#include "util/poly.h"
+
+namespace ondwin {
+
+std::vector<Rational> default_points(int count) {
+  // 0, then ±k and ±1/k with growing k. Small-magnitude points keep the
+  // Vandermonde systems well conditioned for as long as possible.
+  static const auto make = [] {
+    std::vector<Rational> pts;
+    pts.emplace_back(0);
+    for (i64 k = 1; static_cast<int>(pts.size()) < 64; ++k) {
+      pts.emplace_back(k);
+      pts.emplace_back(-k);
+      if (k > 1) {
+        pts.emplace_back(1, k);
+        pts.emplace_back(-1, k);
+      }
+    }
+    return pts;
+  };
+  static const std::vector<Rational> all = make();
+  ONDWIN_CHECK(count >= 0 && count <= static_cast<int>(all.size()),
+               "too many interpolation points requested: ", count);
+  return {all.begin(), all.begin() + count};
+}
+
+WinogradMatrices cook_toom(int m, int r) {
+  return cook_toom(m, r, default_points(m + r - 2));
+}
+
+WinogradMatrices cook_toom(int m, int r, std::vector<Rational> points) {
+  ONDWIN_CHECK(m >= 1, "F(m, r) needs m >= 1, got ", m);
+  ONDWIN_CHECK(r >= 1, "F(m, r) needs r >= 1, got ", r);
+  const int alpha = m + r - 1;
+  const int np = alpha - 1;  // finite points; the α-th point is infinity
+  ONDWIN_CHECK(static_cast<int>(points.size()) == np, "F(", m, ",", r,
+               ") needs ", np, " finite points, got ", points.size());
+  for (int i = 0; i < np; ++i) {
+    for (int j = i + 1; j < np; ++j) {
+      ONDWIN_CHECK(points[static_cast<std::size_t>(i)] !=
+                       points[static_cast<std::size_t>(j)],
+                   "interpolation points must be distinct");
+    }
+  }
+
+  WinogradMatrices wm;
+  wm.m = m;
+  wm.r = r;
+  wm.points = points;
+
+  // m(x) = Π (x - a_i) and the Lagrange normalizers N_i = Π_{j≠i}(a_i - a_j).
+  Poly mx = Poly::constant(Rational(1));
+  for (const Rational& a : points) mx = mx * Poly::linear_root(a);
+
+  std::vector<Rational> N(static_cast<std::size_t>(np), Rational(1));
+  for (int i = 0; i < np; ++i) {
+    for (int j = 0; j < np; ++j) {
+      if (j == i) continue;
+      N[static_cast<std::size_t>(i)] *= points[static_cast<std::size_t>(i)] -
+                                        points[static_cast<std::size_t>(j)];
+    }
+  }
+
+  // Aᵀ: columns are (1, a_i, …, a_i^{m-1}); the infinity column selects the
+  // top coefficient, contributing only to the last output.
+  wm.AT = RatMatrix(m, alpha);
+  for (int i = 0; i < np; ++i) {
+    Rational p(1);
+    for (int k = 0; k < m; ++k) {
+      wm.AT.at(k, i) = p;
+      p *= points[static_cast<std::size_t>(i)];
+    }
+  }
+  wm.AT.at(m - 1, alpha - 1) = Rational(1);
+
+  // G: row i evaluates the filter polynomial at a_i, scaled by 1/N_i; the
+  // infinity row selects the filter's top coefficient.
+  wm.G = RatMatrix(alpha, r);
+  for (int i = 0; i < np; ++i) {
+    const Rational inv = N[static_cast<std::size_t>(i)].reciprocal();
+    Rational p(1);
+    for (int j = 0; j < r; ++j) {
+      wm.G.at(i, j) = p * inv;
+      p *= points[static_cast<std::size_t>(i)];
+    }
+  }
+  wm.G.at(alpha - 1, r - 1) = Rational(1);
+
+  // Bᵀ: row i holds the coefficients of m(x)/(x - a_i) (degree α-2); the
+  // infinity row holds the coefficients of m(x) itself (degree α-1).
+  wm.BT = RatMatrix(alpha, alpha);
+  for (int i = 0; i < np; ++i) {
+    const Poly ni = mx.divide_by_linear_root(points[static_cast<std::size_t>(i)]);
+    for (int j = 0; j < alpha; ++j) wm.BT.at(i, j) = ni.coeff(j);
+  }
+  for (int j = 0; j < alpha; ++j) wm.BT.at(alpha - 1, j) = mx.coeff(j);
+
+  return wm;
+}
+
+}  // namespace ondwin

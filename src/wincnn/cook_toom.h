@@ -1,0 +1,47 @@
+// Cook–Toom construction of Winograd minimal-filtering matrices for
+// arbitrary F(m, r) — the C++ equivalent of the Wincnn generator the paper
+// uses (§4.2.1). All arithmetic is exact-rational; matrices are lowered to
+// float only at codelet-build time.
+//
+// F(m, r) computes m outputs of an r-tap FIR filter (correlation form,
+// paper Eqn. 4) from α = m + r - 1 inputs using α multiplications:
+//
+//     y = Aᵀ [ (G g) ⊙ (Bᵀ d) ]
+//
+// with Aᵀ: m×α, G: α×r, Bᵀ: α×α built from α-1 distinct finite
+// interpolation points plus the point at infinity.
+#pragma once
+
+#include <vector>
+
+#include "wincnn/rat_matrix.h"
+
+namespace ondwin {
+
+struct WinogradMatrices {
+  int m = 0;  // outputs per tile (per dimension)
+  int r = 0;  // filter taps (per dimension)
+  int alpha() const { return m + r - 1; }
+
+  std::vector<Rational> points;  // the α-1 finite interpolation points
+
+  RatMatrix AT;  // m × α   inverse (output) transform
+  RatMatrix G;   // α × r   kernel transform
+  RatMatrix BT;  // α × α   input (data) transform
+};
+
+/// The default interpolation-point sequence. Matches the conventional
+/// Wincnn choice (0, ±1, ±2, ±1/2, ±3, ±1/3, ±4, ±1/4): small magnitudes
+/// first to delay the growth of transform-matrix entries, which is what
+/// bounds the FP32 error studied in Table 3.
+std::vector<Rational> default_points(int count);
+
+/// Builds F(m, r) from the default points.
+WinogradMatrices cook_toom(int m, int r);
+
+/// Builds F(m, r) from caller-chosen finite points (must be m + r - 2
+/// distinct rationals). Exposed for the accuracy study and for users who
+/// want to trade accuracy for transform sparsity.
+WinogradMatrices cook_toom(int m, int r, std::vector<Rational> points);
+
+}  // namespace ondwin

@@ -1,0 +1,80 @@
+// Dense matrices over exact rationals — the representation for Winograd
+// transform matrices before they are lowered to float codelets.
+#pragma once
+
+#include <vector>
+
+#include "util/rational.h"
+
+namespace ondwin {
+
+class RatMatrix {
+ public:
+  RatMatrix() = default;
+  RatMatrix(i64 rows, i64 cols)
+      : rows_(rows), cols_(cols),
+        v_(static_cast<std::size_t>(rows * cols), Rational(0)) {
+    ONDWIN_CHECK(rows >= 0 && cols >= 0, "bad matrix shape");
+  }
+
+  i64 rows() const { return rows_; }
+  i64 cols() const { return cols_; }
+
+  Rational& at(i64 i, i64 j) { return v_[static_cast<std::size_t>(i * cols_ + j)]; }
+  const Rational& at(i64 i, i64 j) const {
+    return v_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  RatMatrix transposed() const {
+    RatMatrix t(cols_, rows_);
+    for (i64 i = 0; i < rows_; ++i)
+      for (i64 j = 0; j < cols_; ++j) t.at(j, i) = at(i, j);
+    return t;
+  }
+
+  friend RatMatrix operator*(const RatMatrix& a, const RatMatrix& b) {
+    ONDWIN_CHECK(a.cols_ == b.rows_, "matmul shape mismatch");
+    RatMatrix c(a.rows_, b.cols_);
+    for (i64 i = 0; i < a.rows_; ++i) {
+      for (i64 k = 0; k < a.cols_; ++k) {
+        const Rational& aik = a.at(i, k);
+        if (aik.is_zero()) continue;
+        for (i64 j = 0; j < b.cols_; ++j) c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+    return c;
+  }
+
+  std::vector<Rational> apply(const std::vector<Rational>& x) const {
+    ONDWIN_CHECK(static_cast<i64>(x.size()) == cols_, "matvec shape mismatch");
+    std::vector<Rational> y(static_cast<std::size_t>(rows_), Rational(0));
+    for (i64 i = 0; i < rows_; ++i)
+      for (i64 j = 0; j < cols_; ++j)
+        y[static_cast<std::size_t>(i)] +=
+            at(i, j) * x[static_cast<std::size_t>(j)];
+    return y;
+  }
+
+  friend bool operator==(const RatMatrix& a, const RatMatrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.v_ == b.v_;
+  }
+
+  /// Row-major float lowering (what the runtime codelets consume).
+  std::vector<float> to_float() const {
+    std::vector<float> f(v_.size());
+    for (std::size_t i = 0; i < v_.size(); ++i) f[i] = v_[i].to_float();
+    return f;
+  }
+  std::vector<double> to_double() const {
+    std::vector<double> f(v_.size());
+    for (std::size_t i = 0; i < v_.size(); ++i) f[i] = v_[i].to_double();
+    return f;
+  }
+
+ private:
+  i64 rows_ = 0;
+  i64 cols_ = 0;
+  std::vector<Rational> v_;
+};
+
+}  // namespace ondwin

@@ -1,0 +1,143 @@
+#include "wincnn/cook_toom.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ondwin {
+namespace {
+
+// Exact-rational correlation: y_k = Σ_j d_{k+j} g_j (paper Eqn. 4).
+std::vector<Rational> direct_fir(const std::vector<Rational>& d,
+                                 const std::vector<Rational>& g, int m) {
+  std::vector<Rational> y(static_cast<std::size_t>(m), Rational(0));
+  for (int k = 0; k < m; ++k) {
+    for (std::size_t j = 0; j < g.size(); ++j) {
+      y[static_cast<std::size_t>(k)] +=
+          d[static_cast<std::size_t>(k) + j] * g[j];
+    }
+  }
+  return y;
+}
+
+std::vector<Rational> hadamard(const std::vector<Rational>& a,
+                               const std::vector<Rational>& b) {
+  std::vector<Rational> c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] * b[i];
+  return c;
+}
+
+TEST(CookToom, F23MatchesPaperUpToRowScaling) {
+  // The published F(2,3) matrices (paper Eqn. 5) differ from the raw
+  // Cook–Toom output only by per-multiplication sign/scale freedom, which
+  // cancels in Aᵀ[(Gg)⊙(Bᵀd)]. We verify the invariant quantity instead of
+  // the raw matrices: the full bilinear form on symbolic inputs.
+  const WinogradMatrices wm = cook_toom(2, 3);
+  ASSERT_EQ(wm.alpha(), 4);
+  ASSERT_EQ(wm.AT.rows(), 2);
+  ASSERT_EQ(wm.AT.cols(), 4);
+  ASSERT_EQ(wm.G.rows(), 4);
+  ASSERT_EQ(wm.G.cols(), 3);
+  ASSERT_EQ(wm.BT.rows(), 4);
+  ASSERT_EQ(wm.BT.cols(), 4);
+
+  const std::vector<Rational> d = {Rational(3), Rational(-1), Rational(4),
+                                   Rational(2)};
+  const std::vector<Rational> g = {Rational(1, 2), Rational(-2), Rational(5)};
+  const auto y = wm.AT.apply(hadamard(wm.G.apply(g), wm.BT.apply(d)));
+  const auto ref = direct_fir(d, g, 2);
+  EXPECT_EQ(y, ref);
+}
+
+TEST(CookToom, F23UsesExpectedPoints) {
+  const WinogradMatrices wm = cook_toom(2, 3);
+  ASSERT_EQ(wm.points.size(), 3u);
+  EXPECT_EQ(wm.points[0], Rational(0));
+  EXPECT_EQ(wm.points[1], Rational(1));
+  EXPECT_EQ(wm.points[2], Rational(-1));
+}
+
+TEST(CookToom, RejectsBadArguments) {
+  EXPECT_THROW(cook_toom(0, 3), Error);
+  EXPECT_THROW(cook_toom(2, 0), Error);
+  EXPECT_THROW(cook_toom(2, 3, {Rational(0), Rational(1)}), Error);  // too few
+  EXPECT_THROW(cook_toom(2, 3, {Rational(0), Rational(1), Rational(1)}),
+               Error);  // duplicate points
+}
+
+TEST(CookToom, TrivialF11) {
+  // F(1,1): degenerate 1-tap filter, a single multiplication.
+  const WinogradMatrices wm = cook_toom(1, 1);
+  const std::vector<Rational> d = {Rational(7)};
+  const std::vector<Rational> g = {Rational(1, 3)};
+  const auto y = wm.AT.apply(hadamard(wm.G.apply(g), wm.BT.apply(d)));
+  EXPECT_EQ(y[0], Rational(7, 3));
+}
+
+struct MrParam {
+  int m;
+  int r;
+};
+
+class CookToomIdentity : public ::testing::TestWithParam<MrParam> {};
+
+// The load-bearing property: for every F(m, r), the generated matrices
+// compute the exact FIR correlation on arbitrary rational inputs.
+TEST_P(CookToomIdentity, BilinearFormEqualsDirectFir) {
+  const auto [m, r] = GetParam();
+  const WinogradMatrices wm = cook_toom(m, r);
+  Rng rng(1234u + static_cast<u64>(m * 100 + r));
+
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<Rational> d, g;
+    for (int i = 0; i < wm.alpha(); ++i) {
+      d.emplace_back(static_cast<i64>(rng.uniform_index(41)) - 20,
+                     1 + static_cast<i64>(rng.uniform_index(4)));
+    }
+    for (int i = 0; i < r; ++i) {
+      g.emplace_back(static_cast<i64>(rng.uniform_index(41)) - 20,
+                     1 + static_cast<i64>(rng.uniform_index(4)));
+    }
+    const auto y = wm.AT.apply(hadamard(wm.G.apply(g), wm.BT.apply(d)));
+    EXPECT_EQ(y, direct_fir(d, g, m)) << "F(" << m << "," << r << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSizes, CookToomIdentity,
+    ::testing::Values(MrParam{1, 2}, MrParam{1, 3}, MrParam{2, 2},
+                      MrParam{2, 3}, MrParam{2, 4}, MrParam{2, 5},
+                      MrParam{3, 3}, MrParam{3, 4}, MrParam{4, 2},
+                      MrParam{4, 3}, MrParam{4, 4}, MrParam{4, 5},
+                      MrParam{5, 3}, MrParam{6, 3}, MrParam{6, 4},
+                      MrParam{6, 5}, MrParam{7, 3}, MrParam{8, 2},
+                      MrParam{8, 3}, MrParam{8, 5}),
+    [](const auto& info) {
+      return "F" + std::to_string(info.param.m) + "x" +
+             std::to_string(info.param.r);
+    });
+
+TEST(CookToom, CustomPointsStillExact) {
+  // Deliberately poor points — exactness must hold regardless.
+  const std::vector<Rational> pts = {Rational(5), Rational(-7), Rational(2, 3),
+                                     Rational(9)};
+  const WinogradMatrices wm = cook_toom(3, 3, pts);
+  const std::vector<Rational> d = {Rational(1), Rational(-2), Rational(3),
+                                   Rational(-4), Rational(5)};
+  const std::vector<Rational> g = {Rational(2), Rational(0), Rational(-1, 2)};
+  const auto y = wm.AT.apply(hadamard(wm.G.apply(g), wm.BT.apply(d)));
+  EXPECT_EQ(y, direct_fir(d, g, 3));
+}
+
+TEST(CookToom, TransformMatricesAreSparseForSmallSizes) {
+  // Paper §4.2.1: the matrices are sparse; codelets exploit zeros.
+  const WinogradMatrices wm = cook_toom(2, 3);
+  int zeros = 0;
+  for (i64 i = 0; i < wm.BT.rows(); ++i)
+    for (i64 j = 0; j < wm.BT.cols(); ++j)
+      if (wm.BT.at(i, j).is_zero()) ++zeros;
+  EXPECT_GE(zeros, 6);  // 4x4 BT for F(2,3) has at least 6 structural zeros
+}
+
+}  // namespace
+}  // namespace ondwin

@@ -1,0 +1,159 @@
+#include "fft/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace ondwin {
+namespace {
+
+std::vector<cfloat> random_signal(i64 n, Rng& rng) {
+  std::vector<cfloat> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = cfloat(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return x;
+}
+
+double max_diff(const std::vector<cfloat>& a, const std::vector<cfloat>& b) {
+  double m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, static_cast<double>(std::abs(a[i] - b[i])));
+  }
+  return m;
+}
+
+TEST(Fft1d, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(Fft1d f(12), Error);
+  EXPECT_THROW(Fft1d f(0), Error);
+}
+
+TEST(Fft1d, SizeOneIsIdentity) {
+  Fft1d f(1);
+  std::vector<cfloat> x = {cfloat(3.0f, -2.0f)};
+  f.forward(x.data());
+  EXPECT_FLOAT_EQ(x[0].real(), 3.0f);
+  EXPECT_FLOAT_EQ(x[0].imag(), -2.0f);
+}
+
+class FftSizes : public ::testing::TestWithParam<i64> {};
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+  const i64 n = GetParam();
+  Rng rng(static_cast<u64>(n));
+  const auto x = random_signal(n, rng);
+  auto got = x;
+  Fft1d plan(n);
+  plan.forward(got.data());
+  const auto want = naive_dft(x, false);
+  EXPECT_LT(max_diff(got, want), 1e-3 * std::sqrt(static_cast<double>(n)));
+}
+
+TEST_P(FftSizes, InverseRoundTrips) {
+  const i64 n = GetParam();
+  Rng rng(3 * static_cast<u64>(n) + 1);
+  const auto x = random_signal(n, rng);
+  auto y = x;
+  Fft1d plan(n);
+  plan.forward(y.data());
+  plan.inverse(y.data());
+  EXPECT_LT(max_diff(x, y), 1e-4 * std::sqrt(static_cast<double>(n)));
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256,
+                                           1024));
+
+TEST(Fft1d, StridedTransformMatchesContiguous) {
+  const i64 n = 32, stride = 3;
+  Rng rng(7);
+  const auto x = random_signal(n, rng);
+  std::vector<cfloat> strided(static_cast<std::size_t>(n * stride));
+  for (i64 i = 0; i < n; ++i) {
+    strided[static_cast<std::size_t>(i * stride)] =
+        x[static_cast<std::size_t>(i)];
+  }
+  Fft1d plan(n);
+  auto dense = x;
+  plan.forward(dense.data());
+  plan.forward(strided.data(), stride);
+  for (i64 i = 0; i < n; ++i) {
+    EXPECT_LT(std::abs(strided[static_cast<std::size_t>(i * stride)] -
+                       dense[static_cast<std::size_t>(i)]),
+              1e-3f);
+  }
+}
+
+TEST(Fft1d, LinearityAndParseval) {
+  const i64 n = 64;
+  Rng rng(9);
+  const auto x = random_signal(n, rng);
+  Fft1d plan(n);
+  auto y = x;
+  plan.forward(y.data());
+  double tx = 0, ty = 0;
+  for (i64 i = 0; i < n; ++i) {
+    tx += std::norm(std::complex<double>(x[static_cast<std::size_t>(i)]));
+    ty += std::norm(std::complex<double>(y[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_NEAR(ty, tx * static_cast<double>(n), 1e-2 * tx * n);
+}
+
+TEST(FftNd, RoundTrip2D) {
+  const Dims ext = {8, 16};
+  Rng rng(11);
+  auto x = random_signal(ext.product(), rng);
+  auto y = x;
+  std::vector<Fft1d> plans;
+  plans.emplace_back(8);
+  plans.emplace_back(16);
+  fft_nd(plans, y.data(), ext, false);
+  fft_nd(plans, y.data(), ext, true);
+  EXPECT_LT(max_diff(x, y), 1e-3);
+}
+
+TEST(FftNd, SeparableImpulseResponse) {
+  // The FFT of a delta at the origin is all ones.
+  const Dims ext = {4, 8};
+  std::vector<cfloat> x(static_cast<std::size_t>(ext.product()));
+  x[0] = 1.0f;
+  std::vector<Fft1d> plans;
+  plans.emplace_back(4);
+  plans.emplace_back(8);
+  fft_nd(plans, x.data(), ext, false);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0f, 1e-5f);
+    EXPECT_NEAR(v.imag(), 0.0f, 1e-5f);
+  }
+}
+
+TEST(FftNd, ConvolutionTheorem1D) {
+  // circular conv(x, h) == ifft(fft(x)·fft(h))
+  const i64 n = 16;
+  Rng rng(13);
+  const auto x = random_signal(n, rng);
+  const auto h = random_signal(n, rng);
+  std::vector<cfloat> ref(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    std::complex<double> acc = 0;
+    for (i64 j = 0; j < n; ++j) {
+      acc += std::complex<double>(x[static_cast<std::size_t>(j)]) *
+             std::complex<double>(
+                 h[static_cast<std::size_t>((i - j + n) % n)]);
+    }
+    ref[static_cast<std::size_t>(i)] =
+        cfloat(static_cast<float>(acc.real()), static_cast<float>(acc.imag()));
+  }
+  Fft1d plan(n);
+  auto fx = x, fh = h;
+  plan.forward(fx.data());
+  plan.forward(fh.data());
+  for (i64 i = 0; i < n; ++i) {
+    fx[static_cast<std::size_t>(i)] *= fh[static_cast<std::size_t>(i)];
+  }
+  plan.inverse(fx.data());
+  EXPECT_LT(max_diff(fx, ref), 1e-3);
+}
+
+}  // namespace
+}  // namespace ondwin

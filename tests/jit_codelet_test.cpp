@@ -1,0 +1,179 @@
+#include "transform/jit_codelet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "transform/tile_pipeline.h"
+#include "util/cpu.h"
+#include "util/rng.h"
+#include "wincnn/cook_toom.h"
+
+namespace ondwin {
+namespace {
+
+struct CodeletCase {
+  int m, r;
+  int which;       // 0: BT, 1: G, 2: AT
+  i64 in_stride;   // in vectors (floats = value * 16)
+  i64 out_stride;
+  bool streaming;
+};
+
+const RatMatrix& pick(const WinogradMatrices& wm, int which) {
+  return which == 0 ? wm.BT : (which == 1 ? wm.G : wm.AT);
+}
+
+class JitCodeletMath : public ::testing::TestWithParam<CodeletCase> {};
+
+TEST_P(JitCodeletMath, MatchesInterpreter) {
+  if (!cpu_features().full_avx512()) GTEST_SKIP() << "host lacks AVX-512";
+  const auto& c = GetParam();
+  const WinogradMatrices wm = cook_toom(c.m, c.r);
+  const TransformProgram p = build_transform_program(pick(wm, c.which));
+  const i64 in_stride = c.in_stride * kSimdWidth;
+  const i64 out_stride = c.out_stride * kSimdWidth;
+  ASSERT_TRUE(JitCodelet::can_compile(p, in_stride, out_stride));
+  const JitCodelet jit(p, in_stride, out_stride, c.streaming);
+  EXPECT_GT(jit.code_bytes(), 0);
+
+  Rng rng(static_cast<u64>(c.m * 37 + c.r));
+  AlignedBuffer<float> in(static_cast<std::size_t>(p.in_count * in_stride));
+  AlignedBuffer<float> want(
+      static_cast<std::size_t>(p.out_count * out_stride));
+  AlignedBuffer<float> got(want.size());
+  for (auto& v : in) v = rng.uniform(-2, 2);
+
+  run_transform_scalar(p, in.data(), in_stride, want.data(), out_stride,
+                       false);
+  jit.run(in.data(), got.data());
+  for (i64 i = 0; i < p.out_count; ++i) {
+    for (int s = 0; s < kSimdWidth; ++s) {
+      const std::size_t at = static_cast<std::size_t>(i * out_stride + s);
+      EXPECT_NEAR(got[at], want[at], 1e-5f * (1.0f + std::abs(want[at])))
+          << "row " << i << " lane " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, JitCodeletMath,
+    ::testing::Values(CodeletCase{2, 3, 0, 1, 1, false},
+                      CodeletCase{2, 3, 1, 1, 1, false},
+                      CodeletCase{2, 3, 2, 1, 1, true},
+                      CodeletCase{4, 3, 0, 3, 2, false},
+                      CodeletCase{4, 3, 1, 2, 5, false},
+                      CodeletCase{4, 3, 2, 1, 7, true},
+                      CodeletCase{6, 3, 0, 4, 1, false},
+                      CodeletCase{6, 3, 2, 1, 1, false},
+                      CodeletCase{8, 3, 0, 2, 2, false},
+                      CodeletCase{8, 3, 2, 1, 3, false},
+                      CodeletCase{2, 5, 0, 1, 1, false},
+                      CodeletCase{4, 4, 1, 1, 2, false}),
+    [](const auto& info) {
+      const char* name =
+          info.param.which == 0 ? "BT" : (info.param.which == 1 ? "G" : "AT");
+      return "F" + std::to_string(info.param.m) + "x" +
+             std::to_string(info.param.r) + name + "_s" +
+             std::to_string(info.param.in_stride) +
+             std::to_string(info.param.out_stride) +
+             (info.param.streaming ? "_nt" : "");
+    });
+
+TEST(JitCodelet, RejectsOversizedStrides) {
+  const TransformProgram p =
+      build_transform_program(cook_toom(2, 3).BT);
+  // Stride so large the last element's byte offset overflows i32.
+  EXPECT_FALSE(JitCodelet::can_compile(p, i64{1} << 30, kSimdWidth));
+}
+
+TEST(JitCodelet, ConstructorThrowsWhenNotCompilable) {
+  const TransformProgram p = build_transform_program(cook_toom(2, 3).BT);
+  if (!cpu_features().full_avx512()) {
+    EXPECT_THROW(JitCodelet(p, kSimdWidth, kSimdWidth, false), Error);
+  } else {
+    EXPECT_THROW(JitCodelet(p, i64{1} << 30, kSimdWidth, false), Error);
+  }
+}
+
+// ------------------------------------------------------- tile pipeline ----
+
+TEST(TilePipeline, MatchesTransformTileNdBothBackends) {
+  const WinogradMatrices wm = cook_toom(4, 3);
+  const TransformProgram prog = build_transform_program(wm.BT);
+  const TransformProgram* progs[2] = {&prog, &prog};
+  const i64 a = wm.BT.cols();
+
+  Rng rng(3);
+  AlignedBuffer<float> in(static_cast<std::size_t>(a * a * kSimdWidth));
+  for (auto& v : in) v = rng.uniform(-1, 1);
+  const i64 strides[2] = {a * kSimdWidth, kSimdWidth};
+
+  AlignedBuffer<float> want(in.size()), got(in.size());
+  TransformScratch scratch(static_cast<int>(a), 2);
+  transform_tile_nd(progs, 2, in.data(), strides, want.data(), strides,
+                    scratch, false);
+
+  for (const bool jit : {false, true}) {
+    const TilePipeline pipe(progs, 2, strides, strides, false, jit);
+    if (jit && cpu_features().full_avx512()) {
+      EXPECT_TRUE(pipe.fully_jitted());
+    }
+    got.fill_zero();
+    pipe.run(in.data(), got.data(), scratch);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_FLOAT_EQ(got[i], want[i]) << "jit=" << jit << " at " << i;
+    }
+  }
+}
+
+TEST(TilePipeline, MixedRankAndPrograms3D) {
+  // Different programs per dimension, rank 3, strided destination.
+  const WinogradMatrices w2 = cook_toom(2, 3);
+  const WinogradMatrices w4 = cook_toom(4, 3);
+  const TransformProgram p2 = build_transform_program(w2.AT);
+  const TransformProgram p4 = build_transform_program(w4.AT);
+  const TransformProgram* progs[3] = {&p2, &p4, &p4};
+
+  const i64 in_ext[3] = {w2.AT.cols(), w4.AT.cols(), w4.AT.cols()};
+  const i64 out_ext[3] = {w2.AT.rows(), w4.AT.rows(), w4.AT.rows()};
+  i64 in_strides[3], out_strides[3];
+  i64 acc = kSimdWidth;
+  for (int d = 2; d >= 0; --d) {
+    in_strides[d] = acc;
+    acc *= in_ext[d];
+  }
+  acc = kSimdWidth * 2;  // gapped output
+  for (int d = 2; d >= 0; --d) {
+    out_strides[d] = acc;
+    acc *= out_ext[d];
+  }
+
+  Rng rng(17);
+  AlignedBuffer<float> in(static_cast<std::size_t>(
+      in_ext[0] * in_ext[1] * in_ext[2] * kSimdWidth));
+  for (auto& v : in) v = rng.uniform(-1, 1);
+  AlignedBuffer<float> want(static_cast<std::size_t>(
+      out_ext[0] * out_ext[1] * out_ext[2] * kSimdWidth * 2));
+  AlignedBuffer<float> got(want.size());
+
+  TransformScratch scratch(10, 3);
+  transform_tile_nd(progs, 3, in.data(), in_strides, want.data(),
+                    out_strides, scratch, false);
+  const TilePipeline pipe(progs, 3, in_strides, out_strides, true, true);
+  pipe.run(in.data(), got.data(), scratch);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_FLOAT_EQ(got[i], want[i]) << i;
+  }
+}
+
+TEST(TilePipeline, InterpreterFallbackWhenJitDisabled) {
+  const TransformProgram p = build_transform_program(cook_toom(2, 3).BT);
+  const TransformProgram* progs[1] = {&p};
+  const i64 s[1] = {kSimdWidth};
+  const TilePipeline pipe(progs, 1, s, s, false, /*use_jit=*/false);
+  EXPECT_FALSE(pipe.fully_jitted());
+}
+
+}  // namespace
+}  // namespace ondwin

@@ -1,0 +1,136 @@
+#include "util/rational.h"
+
+#include <gtest/gtest.h>
+
+#include "util/poly.h"
+
+namespace ondwin {
+namespace {
+
+TEST(Rational, NormalizesOnConstruction) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, NormalizesSignToDenominator) {
+  Rational r(3, -6);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, ZeroIsCanonical) {
+  Rational r(0, -7);
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_TRUE(r.is_zero());
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), Error);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational a(1, 2), b(1, 3);
+  EXPECT_EQ(a + b, Rational(5, 6));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 6));
+  EXPECT_EQ(a / b, Rational(3, 2));
+  EXPECT_EQ(-a, Rational(-1, 2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1, 2) / Rational(0), Error);
+  EXPECT_THROW(Rational(0).reciprocal(), Error);
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+}
+
+TEST(Rational, Conversions) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+  EXPECT_FLOAT_EQ(Rational(-3, 2).to_float(), -1.5f);
+  EXPECT_EQ(Rational(7).to_string(), "7");
+  EXPECT_EQ(Rational(-3, 4).to_string(), "-3/4");
+}
+
+TEST(Rational, OverflowDetected) {
+  const i64 big = (i64{1} << 62);
+  Rational a(big, 1);
+  EXPECT_THROW(a * a, Error);
+}
+
+TEST(Rational, AbsAndPredicates) {
+  EXPECT_EQ(Rational(-5, 3).abs(), Rational(5, 3));
+  EXPECT_TRUE(Rational(1).is_one());
+  EXPECT_TRUE(Rational(-1).is_minus_one());
+  EXPECT_TRUE(Rational(4, 2).is_integer());
+  EXPECT_FALSE(Rational(1, 2).is_integer());
+}
+
+// ---------------------------------------------------------------- Poly ----
+
+TEST(Poly, DegreeAndTrim) {
+  Poly p({Rational(1), Rational(0), Rational(0)});
+  EXPECT_EQ(p.degree(), 0);
+  EXPECT_TRUE(Poly().is_zero());
+  EXPECT_EQ(Poly().degree(), -1);
+}
+
+TEST(Poly, Eval) {
+  // p(x) = 2 + 3x + x^2
+  Poly p({Rational(2), Rational(3), Rational(1)});
+  EXPECT_EQ(p.eval(Rational(0)), Rational(2));
+  EXPECT_EQ(p.eval(Rational(2)), Rational(12));
+  EXPECT_EQ(p.eval(Rational(-1, 2)), Rational(3, 4));
+}
+
+TEST(Poly, Multiply) {
+  // (x - 1)(x + 1) = x^2 - 1
+  Poly p = Poly::linear_root(Rational(1)) * Poly::linear_root(Rational(-1));
+  EXPECT_EQ(p.coeff(0), Rational(-1));
+  EXPECT_EQ(p.coeff(1), Rational(0));
+  EXPECT_EQ(p.coeff(2), Rational(1));
+}
+
+TEST(Poly, DivideByLinearRootExact) {
+  // m(x) = x(x-1)(x+1) = x^3 - x;  m/(x-1) = x^2 + x
+  Poly m = Poly::linear_root(Rational(0)) * Poly::linear_root(Rational(1)) *
+           Poly::linear_root(Rational(-1));
+  Poly q = m.divide_by_linear_root(Rational(1));
+  EXPECT_EQ(q.coeff(0), Rational(0));
+  EXPECT_EQ(q.coeff(1), Rational(1));
+  EXPECT_EQ(q.coeff(2), Rational(1));
+}
+
+TEST(Poly, DivideByNonRootThrows) {
+  Poly m = Poly::linear_root(Rational(1));
+  EXPECT_THROW(m.divide_by_linear_root(Rational(2)), Error);
+}
+
+class PolyRootsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolyRootsTest, ProductOfLinearRootsVanishesAtEveryRoot) {
+  const int n = GetParam();
+  std::vector<Rational> roots;
+  for (int k = 0; k < n; ++k) {
+    roots.push_back(k % 2 == 0 ? Rational(k / 2 + 1) : Rational(-1, k / 2 + 1));
+  }
+  Poly m = Poly::constant(Rational(1));
+  for (const auto& a : roots) m = m * Poly::linear_root(a);
+  EXPECT_EQ(m.degree(), n);
+  for (const auto& a : roots) EXPECT_TRUE(m.eval(a).is_zero());
+  // And dividing out each root reduces the degree by exactly one.
+  Poly q = m;
+  for (const auto& a : roots) q = q.divide_by_linear_root(a);
+  EXPECT_EQ(q.degree(), 0);
+  EXPECT_EQ(q.coeff(0), Rational(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PolyRootsTest, ::testing::Range(1, 12));
+
+}  // namespace
+}  // namespace ondwin

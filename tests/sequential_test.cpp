@@ -1,0 +1,158 @@
+#include "net/sequential.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/direct_conv.h"
+#include "util/rng.h"
+
+namespace ondwin {
+namespace {
+
+PlanOptions two_threads() {
+  PlanOptions o;
+  o.threads = 2;
+  return o;
+}
+
+TEST(Sequential, SingleConvMatchesNaivePlusEpilogue) {
+  Sequential net(1, 16, {10, 10}, two_threads());
+  net.add_conv(32, {3, 3}, {1, 1}, {2, 2}, /*relu=*/true);
+
+  Rng rng(3);
+  ConvShape s;
+  s.batch = 1;
+  s.in_channels = 16;
+  s.out_channels = 32;
+  s.image = {10, 10};
+  s.kernel = {3, 3};
+  s.padding = {1, 1};
+  std::vector<float> in_plain(static_cast<std::size_t>(s.input_floats()));
+  std::vector<float> w_plain(static_cast<std::size_t>(s.weight_floats()));
+  std::vector<float> bias(32);
+  for (auto& v : in_plain) v = rng.uniform(-0.5f, 0.5f);
+  for (auto& v : w_plain) v = rng.uniform(-0.5f, 0.5f);
+  for (auto& v : bias) v = rng.uniform(-0.2f, 0.2f);
+  net.set_conv_weights(0, w_plain.data(), bias.data());
+
+  AlignedBuffer<float> in_b(
+      static_cast<std::size_t>(net.input_layout().total_floats()));
+  pack_image(in_plain.data(), in_b.data(), net.input_layout());
+  const float* out_b = net.forward(in_b.data());
+
+  std::vector<float> ref(static_cast<std::size_t>(s.output_floats()));
+  naive_conv(s, in_plain.data(), w_plain.data(), ref.data());
+  std::vector<float> got(ref.size());
+  unpack_image(out_b, got.data(), net.output_layout());
+
+  const i64 opx = s.output().product();
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const i64 cp = static_cast<i64>(i) / opx % 32;
+    const float want =
+        std::max(ref[i] + bias[static_cast<std::size_t>(cp)], 0.0f);
+    EXPECT_NEAR(got[i], want, 1e-3f) << i;
+  }
+}
+
+TEST(Sequential, ShapesPropagateThroughConvAndPool) {
+  Sequential net(2, 16, {32, 32}, two_threads());
+  net.add_conv(32, {3, 3}, {1, 1}, {4, 4});
+  net.add_max_pool(2);
+  net.add_conv(64, {3, 3}, {1, 1}, {4, 4});
+  net.add_max_pool(2);
+  ASSERT_EQ(net.layer_count(), 4);
+  EXPECT_EQ(net.output_layout().spatial, (Dims{8, 8}));
+  EXPECT_EQ(net.output_layout().channels, 64);
+  EXPECT_EQ(net.output_layout().batch, 2);
+  EXPECT_FALSE(net.summary().empty());
+}
+
+TEST(Sequential, MaxPoolIsCorrectOnBlockedLayout) {
+  Sequential net(1, 16, {4, 4}, two_threads());
+  net.add_max_pool(2);
+
+  const ImageLayout in_l = net.input_layout();
+  AlignedBuffer<float> in(static_cast<std::size_t>(in_l.total_floats()));
+  Rng rng(5);
+  std::vector<float> plain(in.size());
+  for (auto& v : plain) v = rng.uniform(-1, 1);
+  pack_image(plain.data(), in.data(), in_l);
+
+  const float* out = net.forward(in.data());
+  std::vector<float> got(
+      static_cast<std::size_t>(net.output_layout().total_floats()));
+  unpack_image(out, got.data(), net.output_layout());
+
+  for (i64 c = 0; c < 16; ++c) {
+    for (i64 y = 0; y < 2; ++y) {
+      for (i64 x = 0; x < 2; ++x) {
+        float want = -1e30f;
+        for (i64 dy = 0; dy < 2; ++dy) {
+          for (i64 dx = 0; dx < 2; ++dx) {
+            want = std::max(
+                want, plain[static_cast<std::size_t>(
+                          c * 16 + (2 * y + dy) * 4 + (2 * x + dx))]);
+          }
+        }
+        EXPECT_FLOAT_EQ(got[static_cast<std::size_t>(c * 4 + y * 2 + x)],
+                        want);
+      }
+    }
+  }
+}
+
+TEST(Sequential, ForwardIsDeterministic) {
+  Sequential net(1, 16, {12, 12}, two_threads());
+  net.add_conv(16, {3, 3}, {1, 1}, {2, 2});
+  net.add_conv(16, {3, 3}, {1, 1}, {2, 2});
+  Rng rng(9);
+  net.randomize_weights(rng);
+
+  AlignedBuffer<float> in(
+      static_cast<std::size_t>(net.input_layout().total_floats()));
+  Rng irng(10);
+  for (auto& v : in) v = irng.uniform(-1, 1);
+
+  const float* o1 = net.forward(in.data());
+  std::vector<float> first(
+      o1, o1 + net.output_layout().total_floats());
+  const float* o2 = net.forward(in.data());
+  for (i64 i = 0; i < net.output_layout().total_floats(); ++i) {
+    ASSERT_EQ(first[static_cast<std::size_t>(i)], o2[i]);
+  }
+  EXPECT_GT(net.last_forward_seconds(), 0.0);
+  EXPECT_GT(net.layer_seconds(0), 0.0);
+  EXPECT_GT(net.workspace_bytes(), 0);
+}
+
+TEST(Sequential, ThreeDimensionalStack) {
+  Sequential net(1, 16, {8, 8, 8}, two_threads());
+  net.add_conv(16, {3, 3, 3}, {1, 1, 1}, {2, 2, 2});
+  net.add_max_pool(2);
+  EXPECT_EQ(net.output_layout().spatial, (Dims{4, 4, 4}));
+  Rng rng(2);
+  net.randomize_weights(rng);
+  AlignedBuffer<float> in(
+      static_cast<std::size_t>(net.input_layout().total_floats()));
+  for (auto& v : in) v = rng.uniform(-1, 1);
+  const float* out = net.forward(in.data());
+  // ReLU output must be non-negative everywhere after a conv+relu layer,
+  // and max-pool preserves that.
+  for (i64 i = 0; i < net.output_layout().total_floats(); ++i) {
+    EXPECT_GE(out[i], 0.0f);
+  }
+}
+
+TEST(Sequential, Validation) {
+  Sequential net(1, 16, {8, 8}, two_threads());
+  EXPECT_THROW(net.forward(nullptr), Error);         // no layers
+  EXPECT_THROW(net.output_layout(), Error);
+  net.add_conv(16, {3, 3}, {1, 1}, {2, 2});
+  EXPECT_THROW(net.set_conv_weights(5, nullptr, nullptr), std::exception);
+  EXPECT_THROW(net.add_max_pool(0), Error);
+  EXPECT_THROW(net.add_max_pool(100), Error);  // window > dims
+}
+
+}  // namespace
+}  // namespace ondwin

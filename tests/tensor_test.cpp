@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "tensor/layout.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace ondwin {
+namespace {
+
+// ------------------------------------------------------------- Dims -------
+
+TEST(Dims, ProductAndStrides) {
+  const Dims d = {2, 3, 4};
+  EXPECT_EQ(d.product(), 24);
+  const Dims s = d.strides();
+  EXPECT_EQ(s[0], 12);
+  EXPECT_EQ(s[1], 4);
+  EXPECT_EQ(s[2], 1);
+}
+
+TEST(Dims, OffsetCoordRoundTrip) {
+  const Dims d = {3, 5, 7};
+  for (i64 lin = 0; lin < d.product(); ++lin) {
+    const Dims c = d.coord_of(lin);
+    EXPECT_EQ(d.offset_of(c), lin);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_GE(c[i], 0);
+      EXPECT_LT(c[i], d[i]);
+    }
+  }
+}
+
+TEST(Dims, CapacityEnforced) {
+  Dims d = {1, 2, 3, 4};
+  EXPECT_THROW(d.push_back(5), Error);
+  EXPECT_THROW((Dims{1, 2, 3, 4, 5}), Error);
+}
+
+TEST(Dims, EqualityAndToString) {
+  EXPECT_EQ((Dims{1, 2}), (Dims{1, 2}));
+  EXPECT_NE((Dims{1, 2}), (Dims{1, 2, 3}));
+  EXPECT_NE((Dims{1, 2}), (Dims{2, 1}));
+  EXPECT_EQ((Dims{3, 4}).to_string(), "<3,4>");
+}
+
+TEST(Dims, Filled) {
+  EXPECT_EQ(Dims::filled(3, 7), (Dims{7, 7, 7}));
+  EXPECT_THROW(Dims::filled(5, 1), Error);
+}
+
+// ------------------------------------------------------------ Tensor ------
+
+TEST(Tensor, ZeroInitializedAndIndexable) {
+  Tensor<float> t({2, 3, 4});
+  EXPECT_EQ(t.size(), 24);
+  for (i64 i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+  t.at(1, 2, 3) = 5.0f;
+  EXPECT_EQ(t[23], 5.0f);
+  EXPECT_EQ(t.offset(1, 0, 2), 14);
+}
+
+TEST(Tensor, RejectsNegativeDims) {
+  EXPECT_THROW(Tensor<float>({2, -1}), Error);
+}
+
+// ---------------------------------------------------------- AlignedBuffer -
+
+TEST(AlignedBuffer, SixtyFourByteAligned) {
+  for (std::size_t n : {1u, 3u, 64u, 1000u}) {
+    AlignedBuffer<float> b(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % 64, 0u);
+    EXPECT_EQ(b.size(), n);
+    for (float v : b) EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(AlignedBuffer, MoveSemantics) {
+  AlignedBuffer<float> a(8);
+  a[0] = 42.0f;
+  AlignedBuffer<float> b = std::move(a);
+  EXPECT_EQ(b[0], 42.0f);
+  EXPECT_TRUE(a.empty());
+}
+
+// ----------------------------------------------------------- layouts ------
+
+TEST(ImageLayout, RequiresSimdDivisibleChannels) {
+  EXPECT_THROW((ImageLayout{1, 8, {4, 4}}), Error);
+  EXPECT_NO_THROW((ImageLayout{1, 32, {4, 4}}));
+}
+
+TEST(ImageLayout, OffsetsAreConsistent) {
+  const ImageLayout l{2, 32, {3, 5}};
+  // elem_offset must agree with group_offset + lane
+  for (i64 b = 0; b < 2; ++b) {
+    for (i64 c = 0; c < 32; ++c) {
+      const Dims p = {1, 4};
+      EXPECT_EQ(l.elem_offset(b, c, p),
+                l.group_offset(b, c / 16, p) + c % 16);
+    }
+  }
+  EXPECT_EQ(l.total_floats(), 2 * 32 * 15);
+}
+
+TEST(Layout, ImagePackUnpackRoundTrip) {
+  const ImageLayout l{2, 32, {4, 6}};
+  Rng rng(5);
+  std::vector<float> plain(static_cast<std::size_t>(l.total_floats()));
+  for (auto& v : plain) v = rng.uniform(-1, 1);
+  AlignedBuffer<float> blocked(plain.size());
+  std::vector<float> back(plain.size());
+  pack_image(plain.data(), blocked.data(), l);
+  unpack_image(blocked.data(), back.data(), l);
+  EXPECT_EQ(plain, back);
+}
+
+TEST(Layout, ImagePackPlacesElementsPerTable1) {
+  // Spot-check the paper's Tbl. 1 formula: plain (b,c,p) lands at
+  // I[b][c/S][p][c%S].
+  const ImageLayout l{2, 32, {3, 3}};
+  std::vector<float> plain(static_cast<std::size_t>(l.total_floats()));
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    plain[i] = static_cast<float>(i);
+  }
+  AlignedBuffer<float> blocked(plain.size());
+  pack_image(plain.data(), blocked.data(), l);
+  const i64 b = 1, c = 19, px = 4;  // (b=1, c=19, pixel (1,1))
+  const float expect = plain[static_cast<std::size_t>((b * 32 + c) * 9 + px)];
+  EXPECT_EQ(blocked[static_cast<std::size_t>(l.elem_offset(b, c, {1, 1}))],
+            expect);
+}
+
+TEST(Layout, KernelPackUnpackRoundTrip) {
+  const KernelLayout l{8, 32, {3, 3}};
+  Rng rng(6);
+  std::vector<float> plain(static_cast<std::size_t>(l.total_floats()));
+  for (auto& v : plain) v = rng.uniform(-1, 1);
+  AlignedBuffer<float> blocked(plain.size());
+  std::vector<float> back(plain.size());
+  pack_kernels(plain.data(), blocked.data(), l);
+  unpack_kernels(blocked.data(), back.data(), l);
+  EXPECT_EQ(plain, back);
+}
+
+TEST(Layout, KernelPackPlacesElementsPerTable1) {
+  // Tbl. 1: plain (c', c, tap) lands at W[c][c'/S][tap][c'%S].
+  const KernelLayout l{4, 32, {3}};
+  std::vector<float> plain(static_cast<std::size_t>(l.total_floats()));
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    plain[i] = static_cast<float>(i);
+  }
+  AlignedBuffer<float> blocked(plain.size());
+  pack_kernels(plain.data(), blocked.data(), l);
+  const i64 cp = 21, c = 3, tap = 2;
+  const float expect =
+      plain[static_cast<std::size_t>((cp * 4 + c) * 3 + tap)];
+  EXPECT_EQ(blocked[static_cast<std::size_t>(l.elem_offset(c, cp, {tap}))],
+            expect);
+}
+
+class LayoutRoundTrip
+    : public ::testing::TestWithParam<std::tuple<i64, i64, int>> {};
+
+TEST_P(LayoutRoundTrip, RandomizedImageRoundTrips) {
+  const auto [batch, channels, rank] = GetParam();
+  Dims spatial;
+  for (int d = 0; d < rank; ++d) spatial.push_back(3 + d);
+  const ImageLayout l{batch, channels, spatial};
+  Rng rng(static_cast<u64>(batch * 100 + channels + rank));
+  std::vector<float> plain(static_cast<std::size_t>(l.total_floats()));
+  for (auto& v : plain) v = rng.uniform(-1, 1);
+  AlignedBuffer<float> blocked(plain.size());
+  std::vector<float> back(plain.size());
+  pack_image(plain.data(), blocked.data(), l);
+  unpack_image(blocked.data(), back.data(), l);
+  EXPECT_EQ(plain, back);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LayoutRoundTrip,
+                         ::testing::Combine(::testing::Values<i64>(1, 3),
+                                            ::testing::Values<i64>(16, 48),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace ondwin

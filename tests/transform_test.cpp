@@ -1,0 +1,437 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "transform/tile_transform.h"
+#include "util/cpu.h"
+#include "util/rng.h"
+#include "wincnn/cook_toom.h"
+
+namespace ondwin {
+namespace {
+
+// Direct dense mat-vec over 16-lane vectors — the oracle for programs.
+void direct_matvec(const RatMatrix& m, const float* in, i64 in_stride,
+                   float* out, i64 out_stride) {
+  for (i64 i = 0; i < m.rows(); ++i) {
+    for (int s = 0; s < kSimdWidth; ++s) {
+      double acc = 0.0;
+      for (i64 j = 0; j < m.cols(); ++j) {
+        acc += m.at(i, j).to_double() *
+               static_cast<double>(in[j * in_stride + s]);
+      }
+      out[i * out_stride + s] = static_cast<float>(acc);
+    }
+  }
+}
+
+RatMatrix random_matrix(i64 rows, i64 cols, Rng& rng, double zero_prob) {
+  RatMatrix m(rows, cols);
+  for (i64 i = 0; i < rows; ++i) {
+    for (i64 j = 0; j < cols; ++j) {
+      if (rng.next_double() < zero_prob) continue;
+      m.at(i, j) = Rational(static_cast<i64>(rng.uniform_index(9)) - 4,
+                            1 + static_cast<i64>(rng.uniform_index(3)));
+    }
+  }
+  return m;
+}
+
+void expect_program_matches(const RatMatrix& m, TransformExecFn exec,
+                            bool pairing, u64 seed) {
+  const TransformProgram p =
+      build_transform_program(m, {.enable_pairing = pairing});
+  Rng rng(seed);
+  const i64 in_stride = kSimdWidth * 3;   // non-contiguous on purpose
+  const i64 out_stride = kSimdWidth * 2;
+  AlignedBuffer<float> in(static_cast<std::size_t>(m.cols() * in_stride));
+  AlignedBuffer<float> out(static_cast<std::size_t>(m.rows() * out_stride));
+  AlignedBuffer<float> ref(out.size());
+  for (auto& v : in) v = rng.uniform(-2.0f, 2.0f);
+
+  exec(p, in.data(), in_stride, out.data(), out_stride, false);
+  direct_matvec(m, in.data(), in_stride, ref.data(), out_stride);
+  for (i64 i = 0; i < m.rows(); ++i) {
+    for (int s = 0; s < kSimdWidth; ++s) {
+      EXPECT_NEAR(out[static_cast<std::size_t>(i * out_stride + s)],
+                  ref[static_cast<std::size_t>(i * out_stride + s)], 1e-4f)
+          << "row " << i << " lane " << s;
+    }
+  }
+}
+
+// ------------------------------------------------------ program builder ----
+
+TEST(TransformProgram, F23InputTransformIsMinimal) {
+  // F(2,3) Bᵀ rows are all ±1 two-term sums: 4 vector adds/subs total, the
+  // known minimum for this transform.
+  const TransformProgram p = build_transform_program(cook_toom(2, 3).BT);
+  EXPECT_EQ(p.arithmetic_ops(), 4);
+  EXPECT_EQ(p.naive_ops, 8);
+}
+
+TEST(TransformProgram, ColumnPairingReducesInverseTransformOps) {
+  // Aᵀ is a Vandermonde: ±a interpolation-point pairs alternate signs
+  // along rows, i.e. along the columns' entries — only the column-pairing
+  // dual of Fig. 2 can exploit it.
+  for (int m : {4, 6, 8}) {
+    const WinogradMatrices wm = cook_toom(m, 3);
+    const TransformProgram both = build_transform_program(wm.AT);
+    const TransformProgram rows_only = build_transform_program(
+        wm.AT, {.enable_pairing = true, .enable_column_pairing = false});
+    EXPECT_LT(both.arithmetic_ops(), rows_only.arithmetic_ops())
+        << "F(" << m << ",3) AT";
+  }
+}
+
+TEST(TransformProgram, ColumnPairingProducesCorrectResults) {
+  // All four pairing-flag combinations must compute the same transform.
+  for (int m : {2, 4, 6, 8}) {
+    const WinogradMatrices wm = cook_toom(m, 3);
+    for (const RatMatrix* mat : {&wm.BT, &wm.G, &wm.AT}) {
+      for (const bool rp : {false, true}) {
+        for (const bool cp : {false, true}) {
+          const TransformProgram p = build_transform_program(
+              *mat, {.enable_pairing = rp, .enable_column_pairing = cp});
+          Rng rng(static_cast<u64>(m));
+          AlignedBuffer<float> in(
+              static_cast<std::size_t>(p.in_count) * kSimdWidth);
+          AlignedBuffer<float> out(
+              static_cast<std::size_t>(p.out_count) * kSimdWidth);
+          AlignedBuffer<float> ref(out.size());
+          for (auto& v : in) v = rng.uniform(-1, 1);
+          run_transform_scalar(p, in.data(), kSimdWidth, out.data(),
+                               kSimdWidth, false);
+          direct_matvec(*mat, in.data(), kSimdWidth, ref.data(), kSimdWidth);
+          for (std::size_t i = 0; i < out.size(); ++i) {
+            ASSERT_NEAR(out[i], ref[i], 1e-5f * (1.0f + std::abs(ref[i])))
+                << "F(" << m << ",3) rp=" << rp << " cp=" << cp;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TransformProgram, PairingReducesOpsForLargerTransforms) {
+  // The Fig. 2 even/odd reduction pays off once coefficients stop being ±1:
+  // shared E/O partial sums halve the FMA count for every ±a point pair.
+  for (int m : {4, 6, 8}) {
+    const WinogradMatrices wm = cook_toom(m, 3);
+    for (const RatMatrix* mat : {&wm.BT, &wm.G}) {
+      const TransformProgram paired = build_transform_program(*mat);
+      const TransformProgram plain = build_transform_program(
+          *mat, {.enable_pairing = false, .enable_column_pairing = false});
+      EXPECT_LT(paired.arithmetic_ops(), plain.arithmetic_ops())
+          << "F(" << m << ",3) " << mat->rows() << "x" << mat->cols();
+      EXPECT_LE(plain.arithmetic_ops(), paired.naive_ops);
+    }
+  }
+}
+
+TEST(TransformProgram, CountsNaiveOpsAsNonzeros) {
+  const WinogradMatrices wm = cook_toom(2, 3);
+  const TransformProgram p = build_transform_program(wm.BT);
+  int nnz = 0;
+  for (i64 i = 0; i < wm.BT.rows(); ++i)
+    for (i64 j = 0; j < wm.BT.cols(); ++j)
+      if (!wm.BT.at(i, j).is_zero()) ++nnz;
+  EXPECT_EQ(p.naive_ops, nnz);
+}
+
+TEST(TransformProgram, HandlesAllZeroRow) {
+  RatMatrix m(2, 2);
+  m.at(0, 0) = Rational(1);
+  const TransformProgram p = build_transform_program(m);
+  AlignedBuffer<float> in(2 * kSimdWidth), out(2 * kSimdWidth);
+  for (auto& v : in) v = 7.0f;
+  run_transform_scalar(p, in.data(), kSimdWidth, out.data(), kSimdWidth,
+                       false);
+  for (int s = 0; s < kSimdWidth; ++s) {
+    EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(s)], 7.0f);
+    EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(kSimdWidth + s)], 0.0f);
+  }
+}
+
+TEST(TransformProgram, RejectsOversizedMatrix) {
+  EXPECT_THROW(build_transform_program(RatMatrix(31, 4)), Error);
+}
+
+TEST(TransformProgram, ToStringIsNonEmpty) {
+  const TransformProgram p = build_transform_program(cook_toom(2, 3).BT);
+  EXPECT_FALSE(p.to_string().empty());
+}
+
+// --------------------------------------------------- executor equivalence ----
+
+struct ExecCase {
+  int m, r;
+  int which;  // 0: BT, 1: G, 2: AT
+  bool pairing;
+};
+
+class ProgramExecutor : public ::testing::TestWithParam<ExecCase> {};
+
+TEST_P(ProgramExecutor, ScalarMatchesDirect) {
+  const auto& c = GetParam();
+  const WinogradMatrices wm = cook_toom(c.m, c.r);
+  const RatMatrix& mat = c.which == 0 ? wm.BT : (c.which == 1 ? wm.G : wm.AT);
+  expect_program_matches(mat, &run_transform_scalar, c.pairing,
+                         static_cast<u64>(c.m * 10 + c.r));
+}
+
+TEST_P(ProgramExecutor, Avx512MatchesDirect) {
+  if (!cpu_features().full_avx512()) GTEST_SKIP() << "host lacks AVX-512";
+  const auto& c = GetParam();
+  const WinogradMatrices wm = cook_toom(c.m, c.r);
+  const RatMatrix& mat = c.which == 0 ? wm.BT : (c.which == 1 ? wm.G : wm.AT);
+  expect_program_matches(mat, &run_transform_avx512, c.pairing,
+                         static_cast<u64>(c.m * 10 + c.r));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WinogradMatricesSweep, ProgramExecutor,
+    ::testing::Values(ExecCase{2, 3, 0, true}, ExecCase{2, 3, 1, true},
+                      ExecCase{2, 3, 2, true}, ExecCase{4, 3, 0, true},
+                      ExecCase{4, 3, 1, true}, ExecCase{4, 3, 2, true},
+                      ExecCase{6, 3, 0, true}, ExecCase{6, 3, 1, true},
+                      ExecCase{6, 3, 2, true}, ExecCase{8, 3, 0, true},
+                      ExecCase{2, 5, 0, true}, ExecCase{2, 5, 1, true},
+                      ExecCase{4, 4, 0, true}, ExecCase{4, 4, 2, true},
+                      ExecCase{6, 3, 0, false}, ExecCase{6, 3, 1, false},
+                      ExecCase{3, 2, 0, true}, ExecCase{3, 2, 1, true}),
+    [](const auto& info) {
+      const char* name =
+          info.param.which == 0 ? "BT" : (info.param.which == 1 ? "G" : "AT");
+      return "F" + std::to_string(info.param.m) + "x" +
+             std::to_string(info.param.r) + name +
+             (info.param.pairing ? "_paired" : "_plain");
+    });
+
+TEST(ProgramExecutor, RandomMatricesScalarVsAvx512) {
+  if (!cpu_features().full_avx512()) GTEST_SKIP() << "host lacks AVX-512";
+  Rng mrng(314);
+  for (int trial = 0; trial < 30; ++trial) {
+    const i64 rows = 1 + static_cast<i64>(mrng.uniform_index(10));
+    const i64 cols = 1 + static_cast<i64>(mrng.uniform_index(10));
+    const RatMatrix m = random_matrix(rows, cols, mrng, 0.4);
+    expect_program_matches(m, &run_transform_scalar, true, 1000 + trial);
+    expect_program_matches(m, &run_transform_avx512, true, 1000 + trial);
+  }
+}
+
+TEST(ProgramExecutor, StreamingStoresProduceSameResult) {
+  const WinogradMatrices wm = cook_toom(4, 3);
+  const TransformProgram p = build_transform_program(wm.BT);
+  Rng rng(5);
+  AlignedBuffer<float> in(static_cast<std::size_t>(p.in_count) * kSimdWidth);
+  AlignedBuffer<float> out_a(static_cast<std::size_t>(p.out_count) *
+                             kSimdWidth);
+  AlignedBuffer<float> out_b(out_a.size());
+  for (auto& v : in) v = rng.uniform(-1.0f, 1.0f);
+  const TransformExecFn exec = transform_executor();
+  exec(p, in.data(), kSimdWidth, out_a.data(), kSimdWidth, false);
+  exec(p, in.data(), kSimdWidth, out_b.data(), kSimdWidth, true);
+  for (std::size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_FLOAT_EQ(out_a[i], out_b[i]);
+  }
+}
+
+// ----------------------------------------------------- N-D tile transform ----
+
+// Oracle: dense mode-n products evaluated in double, lane by lane.
+std::vector<double> nd_transform_oracle(const std::vector<RatMatrix>& mats,
+                                        const std::vector<float>& tile,
+                                        const std::vector<i64>& in_extent) {
+  const int rank = static_cast<int>(mats.size());
+  std::vector<i64> ext = in_extent;
+  std::vector<double> cur(tile.begin(), tile.end());
+  for (int d = 0; d < rank; ++d) {
+    std::vector<i64> out_ext = ext;
+    out_ext[static_cast<std::size_t>(d)] = mats[static_cast<std::size_t>(d)].rows();
+    i64 total = kSimdWidth;
+    for (i64 e : out_ext) total *= e;
+    std::vector<double> next(static_cast<std::size_t>(total), 0.0);
+
+    // strides (row-major, vector elements)
+    auto strides_of = [&](const std::vector<i64>& e) {
+      std::vector<i64> s(e.size());
+      i64 acc = kSimdWidth;
+      for (int k = static_cast<int>(e.size()) - 1; k >= 0; --k) {
+        s[static_cast<std::size_t>(k)] = acc;
+        acc *= e[static_cast<std::size_t>(k)];
+      }
+      return s;
+    };
+    const auto in_s = strides_of(ext);
+    const auto out_s = strides_of(out_ext);
+
+    // iterate output coords
+    std::vector<i64> c(static_cast<std::size_t>(rank), 0);
+    for (;;) {
+      i64 out_off = 0;
+      for (int k = 0; k < rank; ++k) out_off += c[static_cast<std::size_t>(k)] * out_s[static_cast<std::size_t>(k)];
+      for (int s = 0; s < kSimdWidth; ++s) {
+        double acc = 0.0;
+        for (i64 j = 0; j < ext[static_cast<std::size_t>(d)]; ++j) {
+          i64 in_off = 0;
+          for (int k = 0; k < rank; ++k) {
+            const i64 idx = (k == d) ? j : c[static_cast<std::size_t>(k)];
+            in_off += idx * in_s[static_cast<std::size_t>(k)];
+          }
+          acc += mats[static_cast<std::size_t>(d)].at(c[static_cast<std::size_t>(d)], j).to_double() *
+                 cur[static_cast<std::size_t>(in_off + s)];
+        }
+        next[static_cast<std::size_t>(out_off + s)] = acc;
+      }
+      int k = rank - 1;
+      for (; k >= 0; --k) {
+        if (++c[static_cast<std::size_t>(k)] < out_ext[static_cast<std::size_t>(k)]) break;
+        c[static_cast<std::size_t>(k)] = 0;
+      }
+      if (k < 0) break;
+    }
+    cur = std::move(next);
+    ext = out_ext;
+  }
+  return cur;
+}
+
+struct TileCase {
+  int rank;
+  int m, r;
+  bool inverse;  // apply AT instead of BT
+};
+
+class TileTransformNd : public ::testing::TestWithParam<TileCase> {};
+
+TEST_P(TileTransformNd, MatchesDenseModeNProducts) {
+  const auto& tc = GetParam();
+  const WinogradMatrices wm = cook_toom(tc.m, tc.r);
+  const RatMatrix& mat = tc.inverse ? wm.AT : wm.BT;
+  const TransformProgram prog = build_transform_program(mat);
+
+  std::vector<const TransformProgram*> progs(
+      static_cast<std::size_t>(tc.rank), &prog);
+  std::vector<RatMatrix> mats(static_cast<std::size_t>(tc.rank), mat);
+
+  std::vector<i64> in_extent(static_cast<std::size_t>(tc.rank),
+                             mat.cols());
+  i64 in_total = kSimdWidth;
+  for (i64 e : in_extent) in_total *= e;
+  i64 out_total = kSimdWidth;
+  for (int d = 0; d < tc.rank; ++d) out_total *= mat.rows();
+
+  Rng rng(static_cast<u64>(tc.rank * 100 + tc.m * 10 + tc.r));
+  AlignedBuffer<float> in(static_cast<std::size_t>(in_total));
+  AlignedBuffer<float> out(static_cast<std::size_t>(out_total));
+  std::vector<float> in_plain(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = rng.uniform(-1.0f, 1.0f);
+    in_plain[i] = in[i];
+  }
+
+  i64 in_strides[kMaxNd], out_strides[kMaxNd];
+  i64 acc = kSimdWidth;
+  for (int d = tc.rank - 1; d >= 0; --d) {
+    in_strides[d] = acc;
+    acc *= mat.cols();
+  }
+  acc = kSimdWidth;
+  for (int d = tc.rank - 1; d >= 0; --d) {
+    out_strides[d] = acc;
+    acc *= mat.rows();
+  }
+
+  TransformScratch scratch(
+      static_cast<int>(std::max(mat.rows(), mat.cols())), tc.rank);
+  transform_tile_nd(progs.data(), tc.rank, in.data(), in_strides, out.data(),
+                    out_strides, scratch, false);
+
+  const auto oracle = nd_transform_oracle(mats, in_plain, in_extent);
+  ASSERT_EQ(oracle.size(), out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], oracle[i], 1e-3) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranks, TileTransformNd,
+    ::testing::Values(TileCase{1, 2, 3, false}, TileCase{1, 4, 3, true},
+                      TileCase{2, 2, 3, false}, TileCase{2, 2, 3, true},
+                      TileCase{2, 4, 3, false}, TileCase{2, 6, 3, true},
+                      TileCase{3, 2, 3, false}, TileCase{3, 2, 3, true},
+                      TileCase{3, 4, 3, false}, TileCase{3, 2, 2, true}),
+    [](const auto& info) {
+      return std::to_string(info.param.rank) + "D_F" +
+             std::to_string(info.param.m) + "x" + std::to_string(info.param.r) +
+             (info.param.inverse ? "_AT" : "_BT");
+    });
+
+TEST(TileTransformNd, StridedScatterDestination) {
+  // The last pass writes to a strided destination (as stage 1 scatters into
+  // the Tbl. 1 layout). Verify against a contiguous run.
+  const WinogradMatrices wm = cook_toom(2, 3);
+  const TransformProgram prog = build_transform_program(wm.BT);
+  const TransformProgram* progs[2] = {&prog, &prog};
+  const i64 a = wm.BT.cols();  // 4
+
+  Rng rng(11);
+  AlignedBuffer<float> in(static_cast<std::size_t>(a * a * kSimdWidth));
+  for (auto& v : in) v = rng.uniform(-1.0f, 1.0f);
+  const i64 in_strides[2] = {a * kSimdWidth, kSimdWidth};
+
+  AlignedBuffer<float> dense(in.size());
+  TransformScratch scratch(static_cast<int>(a), 2);
+  transform_tile_nd(progs, 2, in.data(), in_strides, dense.data(), in_strides,
+                    scratch, false);
+
+  const i64 gap = 7 * kSimdWidth;  // scattered: elements 7 vectors apart
+  AlignedBuffer<float> sparse(static_cast<std::size_t>(a * a * gap));
+  const i64 out_strides[2] = {a * gap, gap};
+  transform_tile_nd(progs, 2, in.data(), in_strides, sparse.data(),
+                    out_strides, scratch, true);
+
+  for (i64 i = 0; i < a; ++i) {
+    for (i64 j = 0; j < a; ++j) {
+      for (int s = 0; s < kSimdWidth; ++s) {
+        EXPECT_FLOAT_EQ(
+            sparse[static_cast<std::size_t>(i * a * gap + j * gap + s)],
+            dense[static_cast<std::size_t>((i * a + j) * kSimdWidth + s)]);
+      }
+    }
+  }
+}
+
+TEST(TileTransformNd, MixedProgramsPerDimension) {
+  // Different F(m, r) per dimension — e.g. the paper's F(6×8, 3²).
+  const WinogradMatrices w6 = cook_toom(6, 3);
+  const WinogradMatrices w8 = cook_toom(8, 3);
+  const TransformProgram p6 = build_transform_program(w6.BT);
+  const TransformProgram p8 = build_transform_program(w8.BT);
+  const TransformProgram* progs[2] = {&p6, &p8};
+
+  const i64 e0 = w6.BT.cols(), e1 = w8.BT.cols();
+  Rng rng(21);
+  AlignedBuffer<float> in(static_cast<std::size_t>(e0 * e1 * kSimdWidth));
+  std::vector<float> in_plain(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = rng.uniform(-1.0f, 1.0f);
+    in_plain[i] = in[i];
+  }
+  const i64 in_strides[2] = {e1 * kSimdWidth, kSimdWidth};
+  const i64 out_strides[2] = {e1 * kSimdWidth, kSimdWidth};
+  AlignedBuffer<float> out(in.size());
+  TransformScratch scratch(static_cast<int>(std::max(e0, e1)), 2);
+  transform_tile_nd(progs, 2, in.data(), in_strides, out.data(), out_strides,
+                    scratch, false);
+
+  const auto oracle =
+      nd_transform_oracle({w6.BT, w8.BT}, in_plain, {e0, e1});
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], oracle[i], 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace ondwin

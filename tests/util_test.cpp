@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "util/common.h"
+#include "util/cpu.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace ondwin {
+namespace {
+
+TEST(Common, CeilDivAndRoundUp) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 100), 1);
+  EXPECT_EQ(round_up(10, 4), 12);
+  EXPECT_EQ(round_up(12, 4), 12);
+  EXPECT_EQ(round_up(0, 8), 0);
+}
+
+TEST(Common, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(64), 64u);
+  EXPECT_EQ(next_pow2(65), 128u);
+}
+
+TEST(Common, Gcd) {
+  EXPECT_EQ(gcd_i64(12, 18), 6);
+  EXPECT_EQ(gcd_i64(7, 13), 1);
+  EXPECT_EQ(gcd_i64(0, 5), 5);
+  EXPECT_EQ(gcd_i64(-12, 18), 6);
+}
+
+TEST(Common, StrCatAndFail) {
+  EXPECT_EQ(str_cat("a", 1, "/", 2.5), "a1/2.5");
+  EXPECT_THROW(fail("boom ", 42), Error);
+  try {
+    fail("boom ", 42);
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom 42"), std::string::npos);
+  }
+}
+
+TEST(Common, CheckMacro) {
+  EXPECT_NO_THROW(ONDWIN_CHECK(1 + 1 == 2, "math"));
+  EXPECT_THROW(ONDWIN_CHECK(1 + 1 == 3, "math ", 3), Error);
+}
+
+TEST(Cpu, FeaturesAreConsistent) {
+  const CpuFeatures& f = cpu_features();
+  // AVX-512 implies AVX2 implies SSE2 on any real core.
+  if (f.avx512f) EXPECT_TRUE(f.avx2);
+  if (f.avx2) EXPECT_TRUE(f.sse2);
+  if (f.full_avx512()) {
+    EXPECT_TRUE(f.avx512f && f.avx512bw && f.avx512dq && f.avx512vl);
+  }
+  // The string mentions each detected feature.
+  const std::string s = cpu_feature_string();
+  if (f.avx512f) EXPECT_NE(s.find("avx512f"), std::string::npos);
+  if (f.fma) EXPECT_NE(s.find("fma"), std::string::npos);
+  EXPECT_GE(hardware_threads(), 1);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  EXPECT_NEAR(t.millis(), t.seconds() * 1e3, t.seconds() * 10);
+}
+
+TEST(Timer, BenchMinSecondsReturnsMinimum) {
+  int calls = 0;
+  const double best = bench_min_seconds([&] { ++calls; }, 0.001, 5);
+  EXPECT_GE(calls, 5);
+  EXPECT_GE(best, 0.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsProduceDistinctStreams) {
+  Rng a(1), b(2);
+  int diff = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.next_u64() != b.next_u64()) ++diff;
+  }
+  EXPECT_GE(diff, 9);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-2.0f, 3.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(8);
+  std::set<u64> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.uniform_index(5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.rbegin(), 4u);
+  EXPECT_EQ(rng.uniform_index(0), 0u);
+}
+
+TEST(Rng, GaussianHasSaneMoments) {
+  Rng rng(9);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian(1.0f, 2.0f);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.4);
+}
+
+}  // namespace
+}  // namespace ondwin

@@ -1,0 +1,166 @@
+#include "core/wisdom.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/tuner.h"
+
+namespace ondwin {
+namespace {
+
+ConvProblem small_problem() {
+  ConvProblem p;
+  p.shape.batch = 1;
+  p.shape.in_channels = 32;
+  p.shape.out_channels = 32;
+  p.shape.image = {10, 10};
+  p.shape.kernel = {3, 3};
+  p.shape.padding = {1, 1};
+  p.tile_m = {2, 2};
+  return p;
+}
+
+class TempFile {
+ public:
+  TempFile() {
+    char tmpl[] = "/tmp/ondwin_wisdom_XXXXXX";
+    const int fd = mkstemp(tmpl);
+    if (fd >= 0) close(fd);
+    path_ = tmpl;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Wisdom, KeyIsStableAndShapeSensitive) {
+  const ConvProblem p = small_problem();
+  EXPECT_EQ(wisdom_key(p), wisdom_key(p));
+  ConvProblem q = p;
+  q.tile_m = {4, 4};
+  EXPECT_NE(wisdom_key(p), wisdom_key(q));
+  ConvProblem r = p;
+  r.shape.batch = 2;
+  EXPECT_NE(wisdom_key(p), wisdom_key(r));
+}
+
+TEST(Wisdom, StoreAndLookupRoundTrip) {
+  TempFile f;
+  WisdomStore store(f.path());
+  EXPECT_FALSE(store.lookup("k").has_value());
+  EXPECT_TRUE(store.store("k", {14, 32, 64}));
+
+  WisdomStore reloaded(f.path());
+  const auto hit = reloaded.lookup("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->n_blk, 14);
+  EXPECT_EQ(hit->c_blk, 32);
+  EXPECT_EQ(hit->cp_blk, 64);
+}
+
+TEST(Wisdom, MissingFileActsEmpty) {
+  WisdomStore store("/tmp/ondwin_nonexistent_wisdom_file_xyz");
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.lookup("anything").has_value());
+}
+
+TEST(Wisdom, CorruptLinesAreSkipped) {
+  TempFile f;
+  {
+    std::ofstream out(f.path());
+    out << "valid_key 10 32 32\n";
+    out << "garbage line without numbers\n";
+    out << "bad_nblk 99 32 32\n";       // implausible n_blk
+    out << "short_line 5\n";            // missing fields
+    out << "negative -3 32 32\n";
+    out << "another_valid 6 16 16\n";
+  }
+  WisdomStore store(f.path());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.lookup("valid_key").has_value());
+  EXPECT_TRUE(store.lookup("another_valid").has_value());
+  EXPECT_FALSE(store.lookup("bad_nblk").has_value());
+}
+
+TEST(Wisdom, UnwritablePathReturnsFalse) {
+  WisdomStore store("/nonexistent_dir_xyz/wisdom");
+  EXPECT_FALSE(store.store("k", {10, 32, 32}));
+}
+
+TEST(Wisdom, PlanConsultsWisdomFile) {
+  TempFile f;
+  const ConvProblem p = small_problem();
+  {
+    WisdomStore store(f.path());
+    store.store(wisdom_key(p), {7, 16, 32});
+  }
+  PlanOptions opts;
+  opts.threads = 1;
+  opts.wisdom_path = f.path();
+  ConvPlan plan(p, opts);
+  EXPECT_EQ(plan.blocking().n_blk, 7);
+  EXPECT_EQ(plan.blocking().c_blk, 16);
+  EXPECT_EQ(plan.blocking().cp_blk, 32);
+}
+
+TEST(Wisdom, ExplicitOptionsOverrideWisdom) {
+  TempFile f;
+  const ConvProblem p = small_problem();
+  {
+    WisdomStore store(f.path());
+    store.store(wisdom_key(p), {7, 16, 32});
+  }
+  PlanOptions opts;
+  opts.threads = 1;
+  opts.wisdom_path = f.path();
+  opts.n_blk = 9;
+  ConvPlan plan(p, opts);
+  EXPECT_EQ(plan.blocking().n_blk, 9);
+  EXPECT_EQ(plan.blocking().c_blk, 16);  // from wisdom
+}
+
+// ------------------------------------------------------------- tuner ------
+
+TEST(Tuner, CandidatesRespectConstraints) {
+  const ConvProblem p = small_problem();
+  const auto cands = tuning_candidates(p);
+  ASSERT_FALSE(cands.empty());
+  for (const auto& c : cands) {
+    EXPECT_GE(c.n_blk, 1);
+    EXPECT_LE(c.n_blk, 30);
+    EXPECT_EQ(c.c_blk % 16, 0);
+    EXPECT_EQ(32 % c.c_blk, 0);
+    EXPECT_EQ(c.cp_blk % 16, 0);
+    EXPECT_EQ(32 % c.cp_blk, 0);
+    EXPECT_LE(static_cast<i64>(c.c_blk) * c.cp_blk, 128 * 128);
+  }
+}
+
+TEST(Tuner, FindsABlockingAndStoresWisdom) {
+  TempFile f;
+  const ConvProblem p = small_problem();
+  PlanOptions base;
+  base.threads = 1;
+  base.wisdom_path = f.path();
+  const TuneResult r = auto_tune(p, base, /*budget_seconds=*/2.0);
+  EXPECT_GT(r.best_seconds, 0.0);
+  EXPECT_FALSE(r.all.empty());
+  // sorted ascending by time
+  for (std::size_t i = 1; i < r.all.size(); ++i) {
+    EXPECT_LE(r.all[i - 1].seconds, r.all[i].seconds);
+  }
+  // wisdom was persisted and matches the winner
+  WisdomStore store(f.path());
+  const auto hit = store.lookup(wisdom_key(p));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->n_blk, r.best.n_blk);
+  EXPECT_EQ(hit->c_blk, r.best.c_blk);
+  EXPECT_EQ(hit->cp_blk, r.best.cp_blk);
+}
+
+}  // namespace
+}  // namespace ondwin
