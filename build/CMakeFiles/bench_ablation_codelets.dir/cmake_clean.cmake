@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_codelets.dir/bench/bench_ablation_codelets.cpp.o"
+  "CMakeFiles/bench_ablation_codelets.dir/bench/bench_ablation_codelets.cpp.o.d"
+  "bench/bench_ablation_codelets"
+  "bench/bench_ablation_codelets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_codelets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

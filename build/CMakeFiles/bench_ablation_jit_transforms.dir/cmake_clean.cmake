@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_jit_transforms.dir/bench/bench_ablation_jit_transforms.cpp.o"
+  "CMakeFiles/bench_ablation_jit_transforms.dir/bench/bench_ablation_jit_transforms.cpp.o.d"
+  "bench/bench_ablation_jit_transforms"
+  "bench/bench_ablation_jit_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_jit_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

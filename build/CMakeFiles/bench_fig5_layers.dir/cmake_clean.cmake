@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_layers.dir/bench/bench_fig5_layers.cpp.o"
+  "CMakeFiles/bench_fig5_layers.dir/bench/bench_fig5_layers.cpp.o.d"
+  "bench/bench_fig5_layers"
+  "bench/bench_fig5_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_gemm.dir/bench/bench_fig6_gemm.cpp.o"
+  "CMakeFiles/bench_fig6_gemm.dir/bench/bench_fig6_gemm.cpp.o.d"
+  "bench/bench_fig6_gemm"
+  "bench/bench_fig6_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

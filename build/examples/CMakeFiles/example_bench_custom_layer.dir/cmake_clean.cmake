@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bench_custom_layer.dir/bench_custom_layer.cpp.o"
+  "CMakeFiles/example_bench_custom_layer.dir/bench_custom_layer.cpp.o.d"
+  "example_bench_custom_layer"
+  "example_bench_custom_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bench_custom_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_bench_custom_layer.
+# This may be replaced when dependencies are built.

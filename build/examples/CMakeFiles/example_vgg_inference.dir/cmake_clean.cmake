@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_vgg_inference.dir/vgg_inference.cpp.o"
+  "CMakeFiles/example_vgg_inference.dir/vgg_inference.cpp.o.d"
+  "example_vgg_inference"
+  "example_vgg_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_vgg_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_volumetric_segmentation.dir/volumetric_segmentation.cpp.o"
+  "CMakeFiles/example_volumetric_segmentation.dir/volumetric_segmentation.cpp.o.d"
+  "example_volumetric_segmentation"
+  "example_volumetric_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_volumetric_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/direct_conv.cpp" "src/CMakeFiles/ondwin.dir/baseline/direct_conv.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/baseline/direct_conv.cpp.o.d"
+  "/root/repo/src/baseline/direct_conv_blocked.cpp" "src/CMakeFiles/ondwin.dir/baseline/direct_conv_blocked.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/baseline/direct_conv_blocked.cpp.o.d"
+  "/root/repo/src/baseline/fft_conv.cpp" "src/CMakeFiles/ondwin.dir/baseline/fft_conv.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/baseline/fft_conv.cpp.o.d"
+  "/root/repo/src/baseline/simple_winograd.cpp" "src/CMakeFiles/ondwin.dir/baseline/simple_winograd.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/baseline/simple_winograd.cpp.o.d"
+  "/root/repo/src/core/backward.cpp" "src/CMakeFiles/ondwin.dir/core/backward.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/core/backward.cpp.o.d"
+  "/root/repo/src/core/conv_plan.cpp" "src/CMakeFiles/ondwin.dir/core/conv_plan.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/core/conv_plan.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/CMakeFiles/ondwin.dir/core/tuner.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/core/tuner.cpp.o.d"
+  "/root/repo/src/core/wisdom.cpp" "src/CMakeFiles/ondwin.dir/core/wisdom.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/core/wisdom.cpp.o.d"
+  "/root/repo/src/fft/fft.cpp" "src/CMakeFiles/ondwin.dir/fft/fft.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/fft/fft.cpp.o.d"
+  "/root/repo/src/gemm/baseline_gemms.cpp" "src/CMakeFiles/ondwin.dir/gemm/baseline_gemms.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/gemm/baseline_gemms.cpp.o.d"
+  "/root/repo/src/gemm/baseline_gemms_avx512.cpp" "src/CMakeFiles/ondwin.dir/gemm/baseline_gemms_avx512.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/gemm/baseline_gemms_avx512.cpp.o.d"
+  "/root/repo/src/gemm/batched_gemm.cpp" "src/CMakeFiles/ondwin.dir/gemm/batched_gemm.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/gemm/batched_gemm.cpp.o.d"
+  "/root/repo/src/gemm/microkernel.cpp" "src/CMakeFiles/ondwin.dir/gemm/microkernel.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/gemm/microkernel.cpp.o.d"
+  "/root/repo/src/jit/assembler.cpp" "src/CMakeFiles/ondwin.dir/jit/assembler.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/jit/assembler.cpp.o.d"
+  "/root/repo/src/jit/exec_memory.cpp" "src/CMakeFiles/ondwin.dir/jit/exec_memory.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/jit/exec_memory.cpp.o.d"
+  "/root/repo/src/net/sequential.cpp" "src/CMakeFiles/ondwin.dir/net/sequential.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/net/sequential.cpp.o.d"
+  "/root/repo/src/sched/static_schedule.cpp" "src/CMakeFiles/ondwin.dir/sched/static_schedule.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/sched/static_schedule.cpp.o.d"
+  "/root/repo/src/sched/thread_pool.cpp" "src/CMakeFiles/ondwin.dir/sched/thread_pool.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/sched/thread_pool.cpp.o.d"
+  "/root/repo/src/tensor/layout.cpp" "src/CMakeFiles/ondwin.dir/tensor/layout.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/tensor/layout.cpp.o.d"
+  "/root/repo/src/transform/executor.cpp" "src/CMakeFiles/ondwin.dir/transform/executor.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/transform/executor.cpp.o.d"
+  "/root/repo/src/transform/executor_avx512.cpp" "src/CMakeFiles/ondwin.dir/transform/executor_avx512.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/transform/executor_avx512.cpp.o.d"
+  "/root/repo/src/transform/jit_codelet.cpp" "src/CMakeFiles/ondwin.dir/transform/jit_codelet.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/transform/jit_codelet.cpp.o.d"
+  "/root/repo/src/transform/program.cpp" "src/CMakeFiles/ondwin.dir/transform/program.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/transform/program.cpp.o.d"
+  "/root/repo/src/transform/tile_pipeline.cpp" "src/CMakeFiles/ondwin.dir/transform/tile_pipeline.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/transform/tile_pipeline.cpp.o.d"
+  "/root/repo/src/transform/tile_transform.cpp" "src/CMakeFiles/ondwin.dir/transform/tile_transform.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/transform/tile_transform.cpp.o.d"
+  "/root/repo/src/util/cpu.cpp" "src/CMakeFiles/ondwin.dir/util/cpu.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/util/cpu.cpp.o.d"
+  "/root/repo/src/util/rational.cpp" "src/CMakeFiles/ondwin.dir/util/rational.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/util/rational.cpp.o.d"
+  "/root/repo/src/wincnn/cook_toom.cpp" "src/CMakeFiles/ondwin.dir/wincnn/cook_toom.cpp.o" "gcc" "src/CMakeFiles/ondwin.dir/wincnn/cook_toom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

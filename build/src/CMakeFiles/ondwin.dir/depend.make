@@ -1,0 +1,2 @@
+# Empty dependencies file for ondwin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_plan_test.dir/conv_plan_test.cpp.o"
+  "CMakeFiles/conv_plan_test.dir/conv_plan_test.cpp.o.d"
+  "conv_plan_test"
+  "conv_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cook_toom_test.dir/cook_toom_test.cpp.o"
+  "CMakeFiles/cook_toom_test.dir/cook_toom_test.cpp.o.d"
+  "cook_toom_test"
+  "cook_toom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cook_toom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_extras_test.dir/core_extras_test.cpp.o"
+  "CMakeFiles/core_extras_test.dir/core_extras_test.cpp.o.d"
+  "core_extras_test"
+  "core_extras_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_codelet_test.dir/jit_codelet_test.cpp.o"
+  "CMakeFiles/jit_codelet_test.dir/jit_codelet_test.cpp.o.d"
+  "jit_codelet_test"
+  "jit_codelet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_codelet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wisdom_test.dir/wisdom_test.cpp.o"
+  "CMakeFiles/wisdom_test.dir/wisdom_test.cpp.o.d"
+  "wisdom_test"
+  "wisdom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wisdom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
