@@ -75,7 +75,8 @@ ConvPlan::ConvPlan(const ConvProblem& problem, const PlanOptions& options)
   build_kernels();
 
   int threads = options_.threads > 0 ? options_.threads : hardware_threads();
-  pool_ = std::make_unique<ThreadPool>(threads, options_.pin_threads);
+  pool_ = std::make_unique<ThreadPool>(threads, options_.pin_threads,
+                                       options_.cpu_base);
 
   build_schedules();
   allocate_buffers();
@@ -226,9 +227,8 @@ void ConvPlan::build_schedules() {
 void ConvPlan::allocate_buffers() {
   buf_i_.reset(static_cast<std::size_t>(nb_pad_ *
                                         problem_.shape.in_channels * t_elems_));
-  buf_w_.reset(static_cast<std::size_t>(problem_.shape.in_channels *
-                                        problem_.shape.out_channels *
-                                        t_elems_));
+  // W is allocated lazily by set_kernels(): a plan that adopts shared
+  // kernels never pays for (or holds) its own copy.
   const bool need_itmp = (kb_ > 1) || !options_.scatter_in_gemm;
   if (need_itmp) {
     buf_itmp_.reset(static_cast<std::size_t>(
@@ -239,7 +239,8 @@ void ConvPlan::allocate_buffers() {
 }
 
 i64 ConvPlan::workspace_bytes() const {
-  return static_cast<i64>((buf_i_.size() + buf_w_.size() + buf_itmp_.size() +
+  const std::size_t w_floats = w_ != nullptr ? w_->size() : 0;
+  return static_cast<i64>((buf_i_.size() + w_floats + buf_itmp_.size() +
                            buf_iout_.size()) *
                           sizeof(float));
 }
@@ -256,9 +257,45 @@ void ConvPlan::execute(const float* input, const float* kernels,
 
 void ConvPlan::set_kernels(const float* kernels) {
   Timer t;
+  // Copy-on-write against exported handles: once export_kernels() handed W
+  // to someone, a new set_kernels() must not mutate it under their feet.
+  if (w_owned_ == nullptr || w_exported_.load(std::memory_order_acquire)) {
+    w_owned_ = std::make_shared<AlignedBuffer<float>>(
+        static_cast<std::size_t>(problem_.shape.in_channels *
+                                 problem_.shape.out_channels * t_elems_));
+    w_exported_.store(false, std::memory_order_release);
+  }
+  w_ = w_owned_;
   stage_kernel_transform(kernels);
   stats_.kernel_transform = t.seconds();
   kernels_ready_ = true;
+}
+
+std::string ConvPlan::kernel_signature() const {
+  return str_cat("a", alpha_.to_string(), "_c", problem_.shape.in_channels,
+                 "_o", problem_.shape.out_channels, "_cb", blocking_.c_blk,
+                 "_pb", blocking_.cp_blk);
+}
+
+SharedKernels ConvPlan::export_kernels() const {
+  ONDWIN_CHECK(kernels_ready_,
+               "export_kernels() requires set_kernels() first");
+  w_exported_.store(true, std::memory_order_release);
+  return {kernel_signature(), w_};
+}
+
+bool ConvPlan::try_adopt_kernels(const SharedKernels& shared) {
+  if (shared.signature != kernel_signature()) return false;
+  const auto want = static_cast<std::size_t>(
+      problem_.shape.in_channels * problem_.shape.out_channels * t_elems_);
+  ONDWIN_CHECK(shared.data != nullptr && shared.data->size() == want,
+               "shared kernel buffer has ",
+               shared.data == nullptr ? 0 : shared.data->size(),
+               " floats, expected ", want);
+  w_ = shared.data;
+  w_owned_.reset();  // adopted plans hold no private W copy
+  kernels_ready_ = true;
+  return true;
 }
 
 void ConvPlan::execute_pretransformed(const float* input, float* output,
@@ -401,7 +438,7 @@ void ConvPlan::kernel_transform_task(int tid, i64 c, i64 g,
   const i64 cin = c % blocking_.c_blk;
   const i64 jblk = (g * kSimdWidth) / blocking_.cp_blk;
   const i64 cpin = (g * kSimdWidth) % blocking_.cp_blk;
-  float* dst = buf_w_.data() +
+  float* dst = w_owned_->data() +
                ((kblk * jb_ + jblk) * t_elems_ * blocking_.c_blk + cin) *
                    blocking_.cp_blk +
                cpin;
@@ -447,7 +484,7 @@ void ConvPlan::gemm_task(int tid, i64 t, i64 j, i64 i, i64 i_end) {
       t_elems_ * kSimdWidth * static_cast<i64>(sizeof(float));
   for (i64 k = 0; k < kb_; ++k) {
     args.u = buf_i_.data() + ((i * kb_ + k) * t_elems_ + t) * u_blk;
-    args.v = buf_w_.data() + ((k * jb_ + j) * t_elems_ + t) * v_blk;
+    args.v = w_->data() + ((k * jb_ + j) * t_elems_ + t) * v_blk;
     args.x = have_itmp
                  ? buf_itmp_.data() + ((i * jb_ + j) * t_elems_ + t) * x_blk
                  : sc.dump.data();

@@ -13,7 +13,9 @@
 // output of one plan feeds the next plan without reshuffling.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/conv_problem.h"
@@ -60,6 +62,16 @@ struct Blocking {
   int cp_blk = 0;
 };
 
+/// Immutable, shareable handle to a plan's transformed-kernel buffer W.
+/// W's layout depends on the transform tile (alpha), the channel extents,
+/// and the c/cp blocking — but NOT on the batch size — so per-batch-size
+/// plan replicas of one model can all execute from a single copy instead
+/// of re-transforming (or worse, re-randomizing) their weights.
+struct SharedKernels {
+  std::string signature;  // layout fingerprint (see kernel_signature())
+  std::shared_ptr<const AlignedBuffer<float>> data;
+};
+
 class ConvPlan {
  public:
   ConvPlan(const ConvProblem& problem, const PlanOptions& options = {});
@@ -83,6 +95,25 @@ class ConvPlan {
   /// a prior execute()).
   void execute_pretransformed(const float* input, float* output,
                               const Epilogue& epilogue = {});
+
+  /// Layout fingerprint of the transformed-kernel buffer W: two plans with
+  /// equal signatures index W identically and may share one copy. Batch
+  /// size does not participate — W is batch-invariant.
+  std::string kernel_signature() const;
+
+  /// Returns the current transformed kernels (requires set_kernels() or a
+  /// prior execute()) as an immutable shared handle. A later set_kernels()
+  /// on this plan writes a fresh buffer, never the exported one.
+  SharedKernels export_kernels() const;
+
+  /// Adopts kernels exported from a plan with the same signature — the
+  /// zero-copy FX path for per-batch-size replicas. Returns false (leaving
+  /// this plan untouched) when the signature does not match; the caller
+  /// falls back to set_kernels() with the untransformed weights.
+  bool try_adopt_kernels(const SharedKernels& shared);
+
+  /// True once set_kernels()/try_adopt_kernels()/execute() provided W.
+  bool kernels_ready() const { return kernels_ready_; }
 
   const ConvProblem& problem() const { return problem_; }
   const PlanOptions& options() const { return options_; }
@@ -141,9 +172,14 @@ class ConvPlan {
   // GEMM kernels.
   std::unique_ptr<KernelSet> kernels_;
 
-  // Buffers.
+  // Buffers. The transformed kernels W are held through shared_ptrs so a
+  // model's W can be shared across batch-size replicas: `w_` is what stage
+  // 2 reads; it aliases `w_owned_` after set_kernels() or an adopted
+  // foreign buffer after try_adopt_kernels().
   AlignedBuffer<float> buf_i_;      // transformed inputs  (I)
-  AlignedBuffer<float> buf_w_;      // transformed kernels (W)
+  std::shared_ptr<AlignedBuffer<float>> w_owned_;
+  std::shared_ptr<const AlignedBuffer<float>> w_;  // transformed kernels (W)
+  mutable std::atomic<bool> w_exported_{false};
   AlignedBuffer<float> buf_itmp_;   // GEMM accumulators   (I'_tmp)
   AlignedBuffer<float> buf_iout_;   // scattered results   (I')
   bool kernels_ready_ = false;

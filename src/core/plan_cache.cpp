@@ -1,0 +1,88 @@
+#include "core/plan_cache.h"
+
+#include "core/wisdom.h"
+
+namespace ondwin {
+
+std::string plan_options_fingerprint(const PlanOptions& o) {
+  return str_cat("t", o.threads, "_p", o.pin_threads ? 1 : 0, "_b",
+                 o.cpu_base, "_j", o.use_jit ? 1 : 0,
+                 o.jit_transforms ? 1 : 0, o.streaming_stores ? 1 : 0,
+                 o.scatter_in_gemm ? 1 : 0, o.codelet_pairing ? 1 : 0, "_n",
+                 o.n_blk, "_c", o.c_blk, "_cp", o.cp_blk, "|",
+                 o.wisdom_path);
+}
+
+std::string plan_cache_key(const ConvProblem& problem,
+                           const PlanOptions& options,
+                           const std::string& tag) {
+  // wisdom_key already covers the full shape (including batch) and the
+  // tile sizes; the fingerprint covers everything else.
+  return str_cat(tag, "|", wisdom_key(problem), "|",
+                 plan_options_fingerprint(options));
+}
+
+std::shared_ptr<PlanCache::Entry> PlanCache::get_or_create(
+    const ConvProblem& problem, const PlanOptions& options,
+    const std::string& tag) {
+  const std::string key = plan_cache_key(problem, options, tag);
+
+  std::promise<std::shared_ptr<Entry>> promise;
+  std::shared_future<std::shared_ptr<Entry>> future;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      future = it->second;
+    } else {
+      ++misses_;
+      builder = true;
+      future = promise.get_future().share();
+      map_.emplace(key, future);
+    }
+  }
+
+  if (builder) {
+    // Construct outside the map lock: other keys stay serviceable while a
+    // JIT compile runs; racers on this key wait on the future instead.
+    try {
+      auto entry = std::make_shared<Entry>();
+      entry->key = key;
+      entry->plan = std::make_unique<ConvPlan>(problem, options);
+      promise.set_value(std::move(entry));
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        map_.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+      throw;
+    }
+  }
+  return future.get();  // rethrows the builder's failure for waiters
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.entries = static_cast<u64>(map_.size());
+  return s;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+PlanCache& PlanCache::global() {
+  static PlanCache* cache = new PlanCache();  // leaked: outlives all users
+  return *cache;
+}
+
+}  // namespace ondwin

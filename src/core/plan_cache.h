@@ -1,0 +1,80 @@
+// Process-wide deduplication of plan construction — the serving-side
+// extension of the paper's plan-once/execute-many design.
+//
+// Plan construction is the expensive part of the API: Cook–Toom synthesis,
+// JIT compilation of the GEMM microkernels and transform codelets,
+// schedule partitioning, and workspace allocation. An inference server
+// that spins up K worker engines × several batch-size replicas would pay
+// that K·|buckets| times; the cache pays it exactly once per distinct
+// (problem, options, tag), even when many threads race to create the same
+// plan (losers block until the winner finishes, then share the result).
+//
+// A ConvPlan is stateful during execution (it owns the I/I' workspaces),
+// so entries carry an execution mutex: callers hold it around
+// set_kernels()/execute*() calls. Engines that want true execution
+// parallelism on a big machine use distinct option sets — e.g. disjoint
+// `cpu_base` pinning ranges — which yield distinct cache entries.
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/conv_plan.h"
+
+namespace ondwin {
+
+/// Stable fingerprint of every PlanOptions knob that changes the compiled
+/// artifact or its execution resources.
+std::string plan_options_fingerprint(const PlanOptions& options);
+
+/// Cache identity: wisdom_key(problem) — which includes the batch size —
+/// plus the options fingerprint, plus a caller tag. Servers pass the model
+/// name as tag so two models with identical shapes but different weights
+/// never share a plan.
+std::string plan_cache_key(const ConvProblem& problem,
+                           const PlanOptions& options,
+                           const std::string& tag = "");
+
+class PlanCache {
+ public:
+  /// A cached plan plus the mutex serializing its stateful executions.
+  struct Entry {
+    std::string key;
+    std::unique_ptr<ConvPlan> plan;
+    std::mutex exec_mutex;
+  };
+
+  struct Stats {
+    u64 hits = 0;    // get_or_create calls served from the cache
+    u64 misses = 0;  // calls that constructed (each key misses only once)
+    u64 entries = 0;
+  };
+
+  PlanCache() = default;
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the plan for (problem, options, tag), constructing it at most
+  /// once across all threads. Construction failures propagate to every
+  /// waiter and evict the entry so a later call may retry.
+  std::shared_ptr<Entry> get_or_create(const ConvProblem& problem,
+                                       const PlanOptions& options,
+                                       const std::string& tag = "");
+
+  Stats stats() const;
+  void clear();
+
+  /// The shared process-wide instance most callers want.
+  static PlanCache& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_future<std::shared_ptr<Entry>>> map_;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+};
+
+}  // namespace ondwin

@@ -1,7 +1,13 @@
 #include "core/wisdom.h"
 
+#include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
 
 #include "core/conv_plan.h"
 
@@ -52,12 +58,32 @@ std::optional<Blocking> WisdomStore::lookup(const std::string& key) const {
 
 bool WisdomStore::store(const std::string& key, const Blocking& blocking) {
   entries_[key] = {blocking.n_blk, blocking.c_blk, blocking.cp_blk};
-  std::ofstream out(path_, std::ios::trunc);
-  if (!out) return false;
-  for (const auto& [k, v] : entries_) {
-    out << k << " " << v[0] << " " << v[1] << " " << v[2] << "\n";
+  // Write-then-rename so a concurrent reader (another engine sharing the
+  // wisdom file) never observes a half-written store. The temp file lives
+  // in the same directory as the target so rename() stays atomic.
+  static std::atomic<u64> serial{0};
+  u64 uniq = serial.fetch_add(1);
+#if defined(__linux__)
+  uniq = uniq * 1000003 + static_cast<u64>(::getpid());
+#endif
+  const std::string tmp = path_ + ".tmp." + std::to_string(uniq);
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    for (const auto& [k, v] : entries_) {
+      out << k << " " << v[0] << " " << v[1] << " " << v[2] << "\n";
+    }
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
   }
-  return static_cast<bool>(out);
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace ondwin

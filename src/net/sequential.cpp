@@ -1,6 +1,7 @@
 #include "net/sequential.h"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 namespace ondwin {
@@ -14,8 +15,9 @@ const ImageLayout& Sequential::output_layout() const {
   return layers_.back().output;
 }
 
-int Sequential::add_conv(i64 out_channels, Dims kernel, Dims padding,
-                         Dims tile_m, bool relu) {
+Sequential::ConvLayer& Sequential::append_conv(i64 out_channels, Dims kernel,
+                                               Dims padding, Dims tile_m,
+                                               bool relu) {
   const ImageLayout& in =
       layers_.empty() ? input_layout_ : layers_.back().output;
 
@@ -33,22 +35,29 @@ int Sequential::add_conv(i64 out_channels, Dims kernel, Dims padding,
   cl.plan = std::make_unique<ConvPlan>(cl.problem, options_);
   cl.bias.reset(static_cast<std::size_t>(out_channels));
 
-  // Xavier default so an un-customized network is still runnable.
-  Rng rng(0xD1CE + static_cast<u64>(layers_.size()));
-  const float fan_in =
-      static_cast<float>(in.channels * kernel.product());
+  layer.output = cl.problem.output_layout();
+  layers_.push_back(std::move(layer));
+  buffers_ready_ = false;
+  return *layers_.back().conv;
+}
+
+int Sequential::add_conv(i64 out_channels, Dims kernel, Dims padding,
+                         Dims tile_m, bool relu) {
+  ConvLayer& cl = append_conv(out_channels, kernel, padding, tile_m, relu);
+
+  // Xavier default so an un-customized network is still runnable. The seed
+  // is the layer index, so construction order fully determines weights.
+  Rng rng(0xD1CE + static_cast<u64>(layers_.size() - 1));
+  const float fan_in = static_cast<float>(cl.problem.shape.in_channels *
+                                          kernel.product());
   const float fan_out =
       static_cast<float>(out_channels * kernel.product());
   const float limit = std::sqrt(6.0f / (fan_in + fan_out));
   const KernelLayout kl = cl.problem.kernel_layout();
-  AlignedBuffer<float> w(static_cast<std::size_t>(kl.total_floats()));
-  for (auto& v : w) v = rng.uniform(-limit, limit);
-  cl.plan->set_kernels(w.data());
+  cl.w_blocked.reset(static_cast<std::size_t>(kl.total_floats()));
+  for (auto& v : cl.w_blocked) v = rng.uniform(-limit, limit);
+  cl.plan->set_kernels(cl.w_blocked.data());
   cl.weights_set = true;
-
-  layer.output = cl.problem.output_layout();
-  layers_.push_back(std::move(layer));
-  buffers_ready_ = false;
   return static_cast<int>(layers_.size()) - 1;
 }
 
@@ -81,9 +90,9 @@ void Sequential::set_conv_weights(int layer, const float* w_plain,
   ONDWIN_CHECK(l.conv != nullptr, "layer ", layer, " is not a convolution");
   ConvLayer& cl = *l.conv;
   const KernelLayout kl = cl.problem.kernel_layout();
-  AlignedBuffer<float> w(static_cast<std::size_t>(kl.total_floats()));
-  pack_kernels(w_plain, w.data(), kl);
-  cl.plan->set_kernels(w.data());
+  cl.w_blocked.reset(static_cast<std::size_t>(kl.total_floats()));
+  pack_kernels(w_plain, cl.w_blocked.data(), kl);
+  cl.plan->set_kernels(cl.w_blocked.data());
   cl.weights_set = true;
   if (bias != nullptr) {
     for (i64 i = 0; i < cl.problem.shape.out_channels; ++i) {
@@ -101,11 +110,49 @@ void Sequential::randomize_weights(Rng& rng) {
     const KernelLayout kl = cl.problem.kernel_layout();
     const float stddev = std::sqrt(
         2.0f / static_cast<float>(kl.in_channels * kl.taps()));
-    AlignedBuffer<float> w(static_cast<std::size_t>(kl.total_floats()));
-    for (auto& v : w) v = rng.gaussian(0.0f, stddev);
-    cl.plan->set_kernels(w.data());
+    cl.w_blocked.reset(static_cast<std::size_t>(kl.total_floats()));
+    for (auto& v : cl.w_blocked) v = rng.gaussian(0.0f, stddev);
+    cl.plan->set_kernels(cl.w_blocked.data());
     cl.weights_set = true;
   }
+}
+
+std::unique_ptr<Sequential> Sequential::replica(i64 batch) const {
+  return replica(batch, options_);
+}
+
+std::unique_ptr<Sequential> Sequential::replica(
+    i64 batch, const PlanOptions& options) const {
+  ONDWIN_CHECK(batch >= 1, "replica batch must be >= 1, got ", batch);
+  auto r = std::make_unique<Sequential>(batch, input_layout_.channels,
+                                        input_layout_.spatial, options);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const Layer& l = layers_[i];
+    if (l.pool != nullptr) {
+      r->add_max_pool(l.pool->window);
+      continue;
+    }
+    const ConvLayer& src = *l.conv;
+    ONDWIN_CHECK(src.weights_set, "replica() of layer ", i,
+                 " without weights");
+    ConvLayer& dst = r->append_conv(
+        src.problem.shape.out_channels, src.problem.shape.kernel,
+        src.problem.shape.padding, src.problem.tile_m, src.relu);
+    // Zero-copy weight sharing when the W layouts agree (always, under
+    // the default batch-invariant blocking heuristics); re-transform the
+    // retained blocked kernels when wisdom/overrides made them diverge.
+    if (!dst.plan->try_adopt_kernels(src.plan->export_kernels())) {
+      dst.plan->set_kernels(src.w_blocked.data());
+    }
+    dst.w_blocked.reset(src.w_blocked.size());
+    std::memcpy(dst.w_blocked.data(), src.w_blocked.data(),
+                src.w_blocked.size() * sizeof(float));
+    std::memcpy(dst.bias.data(), src.bias.data(),
+                static_cast<std::size_t>(src.problem.shape.out_channels) *
+                    sizeof(float));
+    dst.weights_set = true;
+  }
+  return r;
 }
 
 const float* Sequential::forward(const float* input_blocked) {
@@ -145,6 +192,13 @@ const float* Sequential::forward(const float* input_blocked) {
   }
   last_seconds_ = total.seconds();
   return cur;
+}
+
+void Sequential::forward_into(const float* input_blocked, float* output) {
+  const float* result = forward(input_blocked);
+  std::memcpy(output, result,
+              static_cast<std::size_t>(output_layout().total_floats()) *
+                  sizeof(float));
 }
 
 void Sequential::run_pool(const PoolLayer& pool, const float* in,

@@ -42,13 +42,39 @@ class Sequential {
   /// He-initializes every conv layer from `rng` (deterministic).
   void randomize_weights(Rng& rng);
 
+  /// Builds a replica of this network for a different batch size carrying
+  /// exactly this network's weights (never re-randomized). Conv layers
+  /// adopt the original's pre-transformed W buffers zero-copy when the
+  /// blockings agree (they are batch-invariant under the default
+  /// heuristics) and fall back to re-transforming the retained blocked
+  /// weights otherwise. This is how serving engines get per-batch-size
+  /// execution contexts for one registered model.
+  std::unique_ptr<Sequential> replica(i64 batch) const;
+
+  /// Same, with different plan options (serving engines pass their own
+  /// thread count / CPU range). Weight sharing still applies whenever the
+  /// resulting blockings agree.
+  std::unique_ptr<Sequential> replica(i64 batch,
+                                      const PlanOptions& options) const;
+
   int layer_count() const { return static_cast<int>(layers_.size()); }
   const ImageLayout& input_layout() const { return input_layout_; }
   const ImageLayout& output_layout() const;
 
-  /// Runs the network on a blocked input batch; the returned pointer
-  /// (into an internal buffer) is valid until the next forward() call.
+  /// Runs the network on a blocked input batch.
+  ///
+  /// ALIASING HAZARD: the returned pointer aims into one of the two
+  /// internal ping-pong activation buffers; the next forward() call (from
+  /// any caller) overwrites it. Callers that hand results to another
+  /// thread — or batch requests, like serve::Engine — must copy them out
+  /// first, or use forward_into().
   const float* forward(const float* input_blocked);
+
+  /// Like forward(), but copies the final activations into `output`
+  /// (output_layout().total_floats() floats, caller-owned), so the result
+  /// survives subsequent forward() calls. `output` must not alias the
+  /// internal buffers.
+  void forward_into(const float* input_blocked, float* output);
 
   double last_forward_seconds() const { return last_seconds_; }
   /// Wall seconds of layer `i` in the last forward pass.
@@ -65,7 +91,10 @@ class Sequential {
   struct ConvLayer {
     ConvProblem problem;
     std::unique_ptr<ConvPlan> plan;
-    AlignedBuffer<float> bias;  // C' floats
+    AlignedBuffer<float> bias;       // C' floats
+    AlignedBuffer<float> w_blocked;  // blocked (untransformed) kernels,
+                                     // retained so replicas can rebuild W
+                                     // when blockings diverge
     bool relu = true;
     bool weights_set = false;
   };
@@ -80,6 +109,9 @@ class Sequential {
     ImageLayout output;
   };
 
+  /// Appends a conv layer (plan + zero bias) without initializing weights.
+  ConvLayer& append_conv(i64 out_channels, Dims kernel, Dims padding,
+                         Dims tile_m, bool relu);
   void run_pool(const PoolLayer& pool, const float* in, float* out) const;
 
   ImageLayout input_layout_;

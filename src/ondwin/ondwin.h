@@ -5,6 +5,8 @@
 //   ConvPlan     — plan once, execute many (training & FX inference paths)
 //   auto_tune    — empirical blocking search persisted as wisdom
 //   pack_image / pack_kernels / unpack_image — layout conversion helpers
+//   PlanCache    — process-wide deduplicated plan construction
+//   serve::InferenceServer — concurrent serving with dynamic micro-batching
 //
 // Baselines (direct, FFT-based, simple Winograd) and the batched-GEMM
 // layer are public as well; include their headers directly.
@@ -12,7 +14,9 @@
 
 #include "core/conv_plan.h"     // IWYU pragma: export
 #include "core/conv_problem.h"  // IWYU pragma: export
+#include "core/plan_cache.h"    // IWYU pragma: export
 #include "core/plan_options.h"  // IWYU pragma: export
 #include "core/tuner.h"         // IWYU pragma: export
 #include "core/wisdom.h"        // IWYU pragma: export
+#include "serve/server.h"       // IWYU pragma: export
 #include "tensor/layout.h"      // IWYU pragma: export

@@ -8,10 +8,12 @@
 
 namespace ondwin {
 
-ThreadPool::ThreadPool(int threads, bool pin)
-    : threads_(threads), pin_(pin), barrier_(threads) {
+ThreadPool::ThreadPool(int threads, bool pin, int cpu_base)
+    : threads_(threads), pin_(pin), cpu_base_(cpu_base), barrier_(threads) {
   ONDWIN_CHECK(threads >= 1, "thread pool needs at least one thread");
-  if (pin_) pin_to_cpu(0);
+  ONDWIN_CHECK(cpu_base >= 0, "cpu_base must be non-negative, got ",
+               cpu_base);
+  if (pin_) pin_to_cpu(cpu_base_);
   workers_.reserve(static_cast<std::size_t>(threads - 1));
   for (int t = 1; t < threads; ++t) {
     workers_.emplace_back([this, t] { worker_loop(t); });
@@ -28,7 +30,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run(const std::function<void(int)>& fn) {
+  // The fork–join protocol cannot nest: a run() from inside `fn` (or from
+  // a second thread while one is in flight) would re-enter the barrier and
+  // deadlock. Fail loudly instead — cheap enough (one exchange per run) to
+  // keep on in release builds.
+  ONDWIN_CHECK(!running_.exchange(true, std::memory_order_acquire),
+               "ThreadPool::run is not reentrant — nested or concurrent "
+               "run() detected");
   if (threads_ == 1) {
+    struct Clear {  // clear even when fn throws (inline path has no barrier
+                    // state to corrupt, so the pool stays usable)
+      std::atomic<bool>& flag;
+      ~Clear() { flag.store(false, std::memory_order_release); }
+    } clear{running_};
     fn(0);
     return;
   }
@@ -37,10 +51,11 @@ void ThreadPool::run(const std::function<void(int)>& fn) {
   fn(0);
   barrier_.wait();  // join: wait for every worker to finish
   task_ = nullptr;
+  running_.store(false, std::memory_order_release);
 }
 
 void ThreadPool::worker_loop(int tid) {
-  if (pin_) pin_to_cpu(tid);
+  if (pin_) pin_to_cpu(cpu_base_ + tid);
   for (;;) {
     barrier_.wait();  // wait for a task (or shutdown)
     if (stop_) return;

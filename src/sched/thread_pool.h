@@ -2,6 +2,7 @@
 // single fork–join over the custom spin barrier (paper §4.5).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -18,17 +19,23 @@ namespace ondwin {
 class ThreadPool {
  public:
   /// `threads`: total participants including the caller. `pin`: bind
-  /// participant i to CPU i (ignored when the host has fewer CPUs).
-  explicit ThreadPool(int threads, bool pin = false);
+  /// participant i to CPU `cpu_base + i` (ignored when that CPU does not
+  /// exist). `cpu_base` lets several pools partition the machine into
+  /// disjoint core ranges — serving engines construct pool k over CPUs
+  /// [k·T, (k+1)·T) so K engines coexist without oversubscription.
+  explicit ThreadPool(int threads, bool pin = false, int cpu_base = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int size() const { return threads_; }
+  int cpu_base() const { return cpu_base_; }
 
   /// Runs `fn(tid)` for tid in [0, size()) across all participants and
-  /// returns once every call finished. Not reentrant.
+  /// returns once every call finished. Not reentrant: the barrier protocol
+  /// cannot nest, so a second run() from inside `fn` or from another
+  /// thread while one is in flight throws Error instead of deadlocking.
   void run(const std::function<void(int)>& fn);
 
  private:
@@ -37,9 +44,11 @@ class ThreadPool {
 
   const int threads_;
   const bool pin_;
+  const int cpu_base_;
   SpinBarrier barrier_;
   const std::function<void(int)>* task_ = nullptr;  // valid between barriers
   bool stop_ = false;
+  std::atomic<bool> running_{false};  // reentrancy/concurrent-run guard
   std::vector<std::thread> workers_;
 };
 

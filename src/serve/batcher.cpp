@@ -1,0 +1,97 @@
+#include "serve/batcher.h"
+
+namespace ondwin::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+Clock::duration delay_of(const BatchPolicy& p) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(p.max_delay_ms));
+}
+}  // namespace
+
+Batcher::Batcher(const BatchPolicy& policy) : policy_(policy) {
+  ONDWIN_CHECK(policy.max_batch >= 1, "max_batch must be >= 1, got ",
+               policy.max_batch);
+  ONDWIN_CHECK(policy.max_queue >= 1, "max_queue must be >= 1, got ",
+               policy.max_queue);
+  ONDWIN_CHECK(policy.max_delay_ms >= 0, "max_delay_ms must be >= 0, got ",
+               policy.max_delay_ms);
+}
+
+bool Batcher::submit(PendingRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ ||
+        static_cast<int>(queue_.size()) >= policy_.max_queue) {
+      return false;
+    }
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::vector<PendingRequest> Batcher::next_batch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!queue_.empty()) {
+      if (stopping_ ||
+          static_cast<int>(queue_.size()) >= policy_.max_batch) {
+        return take_batch_locked();
+      }
+      const auto deadline = queue_.front().submitted + delay_of(policy_);
+      if (Clock::now() >= deadline) return take_batch_locked();
+      cv_.wait_until(lock, deadline);
+    } else {
+      if (stopping_) return {};
+      cv_.wait(lock);
+    }
+  }
+}
+
+std::vector<PendingRequest> Batcher::take_batch_locked() {
+  const auto n = std::min<std::size_t>(
+      queue_.size(), static_cast<std::size_t>(policy_.max_batch));
+  std::vector<PendingRequest> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+void Batcher::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::vector<PendingRequest> Batcher::cancel_pending() {
+  std::vector<PendingRequest> cancelled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!queue_.empty()) {
+      cancelled.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+  cv_.notify_all();
+  return cancelled;
+}
+
+i64 Batcher::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<i64>(queue_.size());
+}
+
+bool Batcher::accepting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !stopping_;
+}
+
+}  // namespace ondwin::serve

@@ -1,0 +1,60 @@
+// Bounded, deadline-driven micro-batcher: the thread-safe request queue of
+// one model, drained by worker engines in batches.
+//
+// A batch is released when (a) max_batch requests have coalesced, (b) the
+// oldest pending request has waited max_delay_ms (the bounded-latency
+// guarantee: a lone request never waits longer than the deadline), or (c)
+// the batcher is shutting down and drains its remainder. The queue itself
+// is bounded: submit() beyond max_queue fails so overload turns into
+// fast rejection instead of unbounded memory growth and latency collapse.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/serve_types.h"
+
+namespace ondwin::serve {
+
+class Batcher {
+ public:
+  explicit Batcher(const BatchPolicy& policy);
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  /// Enqueues `request` (moving from it) and returns true; returns false
+  /// — leaving `request` untouched — when the queue is full or shut down.
+  bool submit(PendingRequest& request);
+
+  /// Blocks until a batch is ready and returns it (1..max_batch requests,
+  /// oldest first). Returns an empty vector once the batcher is shut down
+  /// AND fully drained — the engine's signal to exit. Safe to call from
+  /// several engines; each request is handed out exactly once.
+  std::vector<PendingRequest> next_batch();
+
+  /// Stops accepting new requests and wakes every waiting engine. Already
+  /// queued requests remain to be drained via next_batch().
+  void shutdown();
+
+  /// Removes and returns every queued request without serving it (the
+  /// non-draining shutdown path; the caller fails their promises).
+  std::vector<PendingRequest> cancel_pending();
+
+  i64 depth() const;
+  bool accepting() const;
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  std::vector<PendingRequest> take_batch_locked();
+
+  const BatchPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace ondwin::serve

@@ -1,0 +1,113 @@
+#include "serve/engine.h"
+
+#include <cstring>
+
+#include "util/timer.h"
+
+namespace ondwin::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+}  // namespace
+
+Engine::Engine(Model& model, const PlanOptions& plan_options, int index)
+    : model_(model), plan_options_(plan_options), index_(index) {
+  const i64 max_bucket = model_.buckets().back();
+  in_staging_.reset(
+      static_cast<std::size_t>(max_bucket * model_.sample_input_floats()));
+  out_staging_.reset(
+      static_cast<std::size_t>(max_bucket * model_.sample_output_floats()));
+}
+
+Engine::~Engine() { join(); }
+
+void Engine::start() {
+  ONDWIN_CHECK(!thread_.joinable(), "engine ", index_, " already started");
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Engine::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Engine::loop() {
+  for (;;) {
+    std::vector<PendingRequest> batch = model_.batcher().next_batch();
+    if (batch.empty()) return;  // shut down and drained
+    serve_batch(std::move(batch));
+  }
+}
+
+void Engine::serve_batch(std::vector<PendingRequest> batch) {
+  const auto formed = Clock::now();
+  const int n = static_cast<int>(batch.size());
+  const i64 sin = model_.sample_input_floats();
+  const i64 sout = model_.sample_output_floats();
+
+  try {
+    const int bucket = model_.bucket_for(n);
+    Model::Replica replica = model_.replica(bucket, plan_options_);
+
+    // Stage the requests into one contiguous blocked batch. Both layouts
+    // are batch-major, so sample b occupies floats [b·sin, (b+1)·sin).
+    for (int i = 0; i < n; ++i) {
+      std::memcpy(in_staging_.data() + static_cast<i64>(i) * sin,
+                  batch[static_cast<std::size_t>(i)].input.data(),
+                  static_cast<std::size_t>(sin) * sizeof(float));
+    }
+    // Zero the padded tail rows: they execute (and their garbage would be
+    // harmless to other rows), but deterministic inputs keep every run of
+    // the engine bit-reproducible.
+    if (bucket > n) {
+      std::memset(in_staging_.data() + static_cast<i64>(n) * sin, 0,
+                  static_cast<std::size_t>((bucket - n) * sin) *
+                      sizeof(float));
+    }
+
+    Timer exec_timer;
+    {
+      std::lock_guard<std::mutex> lock(*replica.exec_mutex);
+      if (replica.plan != nullptr) {
+        replica.plan->execute_pretransformed(in_staging_.data(),
+                                             out_staging_.data());
+      } else {
+        replica.net->forward_into(in_staging_.data(), out_staging_.data());
+      }
+    }
+    const double exec_ms = exec_timer.millis();
+
+    const auto done = Clock::now();
+    // Counters first: a client that wakes on its future must already see
+    // this batch in a stats snapshot.
+    model_.batches.fetch_add(1, std::memory_order_relaxed);
+    model_.completed.fetch_add(static_cast<u64>(n),
+                               std::memory_order_relaxed);
+    for (int i = 0; i < n; ++i) {
+      PendingRequest& req = batch[static_cast<std::size_t>(i)];
+      InferenceResult result;
+      result.output.reset(static_cast<std::size_t>(sout));
+      std::memcpy(result.output.data(),
+                  out_staging_.data() + static_cast<i64>(i) * sout,
+                  static_cast<std::size_t>(sout) * sizeof(float));
+      result.batch_size = n;
+      result.queue_ms = ms_between(req.submitted, formed);
+      result.exec_ms = exec_ms;
+      model_.latency.record(ms_between(req.submitted, done));
+      req.promise.set_value(std::move(result));
+    }
+  } catch (...) {
+    // Replica construction or execution failed: every request of the
+    // batch learns about it through its future (counter first, as above).
+    model_.failed.fetch_add(static_cast<u64>(n), std::memory_order_relaxed);
+    const std::exception_ptr error = std::current_exception();
+    for (PendingRequest& req : batch) {
+      req.promise.set_exception(error);
+    }
+  }
+}
+
+}  // namespace ondwin::serve

@@ -1,0 +1,73 @@
+// Thread-safe latency aggregation for serving stats: exact count/mean/max
+// over the full history plus percentile estimates over a sliding window of
+// the most recent samples (a full histogram is overkill for a per-model
+// counter; a 4K-sample window pins p99 well at serving rates).
+#pragma once
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "util/common.h"
+
+namespace ondwin::serve {
+
+class LatencyRecorder {
+ public:
+  struct Summary {
+    u64 count = 0;
+    double mean_ms = 0;
+    double p50_ms = 0;
+    double p95_ms = 0;
+    double p99_ms = 0;
+    double max_ms = 0;
+  };
+
+  void record(double ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+    sum_ += ms;
+    max_ = std::max(max_, ms);
+    if (window_.size() < kWindow) {
+      window_.push_back(ms);
+    } else {
+      window_[next_] = ms;
+    }
+    next_ = (next_ + 1) % kWindow;
+  }
+
+  Summary summarize() const {
+    std::vector<double> recent;
+    Summary s;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      s.count = count_;
+      s.mean_ms = count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+      s.max_ms = max_;
+      recent = window_;
+    }
+    if (recent.empty()) return s;
+    std::sort(recent.begin(), recent.end());
+    auto at = [&](double q) {
+      const auto i = static_cast<std::size_t>(
+          q * static_cast<double>(recent.size() - 1) + 0.5);
+      return recent[std::min(i, recent.size() - 1)];
+    };
+    s.p50_ms = at(0.50);
+    s.p95_ms = at(0.95);
+    s.p99_ms = at(0.99);
+    return s;
+  }
+
+ private:
+  static constexpr std::size_t kWindow = 4096;
+
+  mutable std::mutex mu_;
+  std::vector<double> window_;
+  std::size_t next_ = 0;
+  u64 count_ = 0;
+  double sum_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace ondwin::serve

@@ -1,0 +1,113 @@
+// A registered serving target: a named convolution (ConvProblem + blocked
+// weights) or network (Sequential), its request batcher, its lazily built
+// per-batch-size execution replicas, and its serving counters.
+//
+// Replica management is where the paper's plan-once/execute-many design
+// meets serving reality: requests arrive one sample at a time, but plans
+// are compiled for a fixed batch. The model keeps one replica per
+// batch-size bucket (powers of two up to max_batch); an incoming batch of
+// n requests executes on the smallest bucket ≥ n with zero-padded tail
+// rows. Conv replicas are deduplicated across engines through the
+// PlanCache, and every replica shares one immutable pre-transformed W —
+// the first replica pays the kernel transform, the rest adopt it.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/plan_cache.h"
+#include "net/sequential.h"
+#include "serve/batcher.h"
+#include "serve/latency.h"
+#include "serve/serve_types.h"
+
+namespace ondwin::serve {
+
+class Model {
+ public:
+  /// A convolution model. `problem` describes ONE sample (batch is forced
+  /// to 1); `kernels_blocked` is the weight bank in problem.kernel_layout()
+  /// — copied, the caller keeps ownership. Conv models run without an
+  /// epilogue; register a Sequential for fused bias/ReLU.
+  Model(std::string name, const ConvProblem& problem,
+        const float* kernels_blocked, const ModelConfig& config,
+        PlanCache* cache);
+
+  /// A network model. The Sequential's own batch size is irrelevant —
+  /// replicas are rebuilt per bucket; its weights are shared, never
+  /// copied or re-randomized.
+  Model(std::string name, std::shared_ptr<const Sequential> net,
+        const ModelConfig& config, PlanCache* cache);
+
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+  const std::string& name() const { return name_; }
+  const ModelConfig& config() const { return config_; }
+  Batcher& batcher() { return batcher_; }
+  const Batcher& batcher() const { return batcher_; }
+
+  i64 sample_input_floats() const { return sample_in_; }
+  i64 sample_output_floats() const { return sample_out_; }
+
+  /// Batch-size buckets: 1, 2, 4, ... capped at max_batch (which is
+  /// always the last bucket).
+  const std::vector<int>& buckets() const { return buckets_; }
+  int bucket_for(int batch) const;
+
+  /// A ready-to-execute replica for `bucket` samples under `options`.
+  /// Exactly one of plan/net is non-null; the caller must hold
+  /// *exec_mutex around the execution (replicas are stateful and may be
+  /// shared by engines with identical options).
+  struct Replica {
+    std::mutex* exec_mutex = nullptr;
+    ConvPlan* plan = nullptr;
+    Sequential* net = nullptr;
+  };
+  Replica replica(int bucket, const PlanOptions& options);
+
+  /// Fills a stats snapshot from the counters below.
+  ModelStats snapshot() const;
+
+  // Serving counters (engines and the server bump these directly).
+  std::atomic<u64> submitted{0};
+  std::atomic<u64> rejected{0};
+  std::atomic<u64> completed{0};
+  std::atomic<u64> failed{0};
+  std::atomic<u64> batches{0};
+  LatencyRecorder latency;
+
+ private:
+  struct NetReplica {
+    std::unique_ptr<Sequential> net;
+    std::mutex exec_mutex;
+  };
+
+  const std::string name_;
+  const ModelConfig config_;
+  PlanCache* const cache_;
+  Batcher batcher_;
+  std::vector<int> buckets_;
+  i64 sample_in_ = 0;
+  i64 sample_out_ = 0;
+
+  // Conv state: the per-sample problem, a private copy of the blocked
+  // weights, and the shared pre-transformed W (filled by the first
+  // replica, adopted by the rest).
+  const bool is_conv_;
+  ConvProblem problem_;
+  AlignedBuffer<float> w_blocked_;
+  std::mutex w_mu_;
+  SharedKernels shared_w_;
+
+  // Network state.
+  std::shared_ptr<const Sequential> base_net_;
+  std::mutex net_mu_;
+  std::map<std::string, std::shared_ptr<NetReplica>> net_replicas_;
+};
+
+}  // namespace ondwin::serve

@@ -1,0 +1,121 @@
+// Shared vocabulary of the ondwin::serve runtime: configuration knobs,
+// the request/result contract, and serving statistics.
+//
+// The serving pipeline is
+//
+//   submit() → per-model RequestQueue → Batcher (flush on batch-full or
+//   deadline) → worker Engine (per-batch-size plan replica) → future
+//
+// Requests are single samples (batch 1) in the model's SIMD-blocked input
+// layout; the runtime owns copies from submit to fulfillment, so callers
+// may free their buffers as soon as submit() returns.
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <map>
+#include <string>
+
+#include "core/plan_cache.h"
+#include "core/plan_options.h"
+#include "util/aligned.h"
+
+namespace ondwin::serve {
+
+/// Dynamic micro-batching policy of one model's request queue.
+struct BatchPolicy {
+  /// Coalesce at most this many requests into one execution; a full batch
+  /// flushes immediately.
+  int max_batch = 8;
+
+  /// Bounded-latency guarantee: a partial batch flushes once its oldest
+  /// request has waited this long.
+  double max_delay_ms = 2.0;
+
+  /// Backpressure bound on queued (not yet batched) requests; submit()
+  /// beyond this rejects with an error instead of queueing unboundedly.
+  int max_queue = 1024;
+};
+
+/// Per-model serving configuration.
+struct ModelConfig {
+  BatchPolicy batching;
+
+  /// Dedicated worker engines draining this model's queue. Engines with
+  /// identical plan options share execution replicas (construction is
+  /// deduplicated through the plan cache, executions serialize); pinned
+  /// engines get disjoint CPU ranges and execute truly concurrently.
+  int engines = 1;
+
+  /// Plan knobs shared by every replica (JIT switches, wisdom, blocking
+  /// overrides). `plan.threads` is the per-engine thread count (0 = an
+  /// even share of the server's CPU budget); `plan.pin_threads`/
+  /// `plan.cpu_base` are assigned by the server when CPU pinning is on.
+  PlanOptions plan;
+};
+
+/// Server-wide configuration.
+struct ServerOptions {
+  /// Give every engine a disjoint CPU range (engine k of T threads pins
+  /// to CPUs [cpu_begin + k·T, cpu_begin + (k+1)·T)).
+  bool pin_engines = false;
+
+  /// First CPU and CPU count of the server's budget (0 = all hardware
+  /// threads). The budget is divided evenly among a model's engines when
+  /// `ModelConfig::plan.threads` is 0.
+  int cpu_begin = 0;
+  int cpu_count = 0;
+
+  /// Plan cache used for replica deduplication (nullptr = the process
+  /// global cache).
+  PlanCache* plan_cache = nullptr;
+};
+
+/// One completed inference.
+struct InferenceResult {
+  /// The sample's output in the model's batch-1 blocked output layout.
+  AlignedBuffer<float> output;
+
+  /// How many requests were coalesced into the carrying execution.
+  int batch_size = 0;
+
+  /// Submit → batch-formation wait, and execution wall time of the batch.
+  double queue_ms = 0;
+  double exec_ms = 0;
+};
+
+using ResultFuture = std::future<InferenceResult>;
+
+/// A submitted-but-not-yet-served request (internal to the runtime).
+struct PendingRequest {
+  AlignedBuffer<float> input;  // batch-1 blocked input, owned copy
+  std::promise<InferenceResult> promise;
+  std::chrono::steady_clock::time_point submitted;
+};
+
+/// Snapshot of one model's serving counters.
+struct ModelStats {
+  u64 submitted = 0;  // accepted + rejected
+  u64 rejected = 0;   // backpressure / shutdown rejections
+  u64 completed = 0;
+  u64 failed = 0;     // execution errors propagated to futures
+  u64 batches = 0;    // executions
+  double mean_batch = 0;  // completed / batches
+  i64 queue_depth = 0;    // pending requests right now
+
+  /// Submit-to-result latency over a sliding window of recent requests.
+  double mean_latency_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
+/// Snapshot of the whole server.
+struct ServerStats {
+  std::map<std::string, ModelStats> models;
+  PlanCache::Stats plan_cache;
+  int engines = 0;
+};
+
+}  // namespace ondwin::serve

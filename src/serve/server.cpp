@@ -1,0 +1,148 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "util/cpu.h"
+
+namespace ondwin::serve {
+
+InferenceServer::InferenceServer(const ServerOptions& options)
+    : options_(options),
+      cache_(options.plan_cache != nullptr ? options.plan_cache
+                                           : &PlanCache::global()),
+      cpu_budget_(options.cpu_count > 0 ? options.cpu_count
+                                        : hardware_threads()),
+      next_cpu_(options.cpu_begin) {
+  ONDWIN_CHECK(options_.cpu_begin >= 0, "cpu_begin must be >= 0, got ",
+               options_.cpu_begin);
+  ONDWIN_CHECK(options_.cpu_count >= 0, "cpu_count must be >= 0, got ",
+               options_.cpu_count);
+}
+
+InferenceServer::~InferenceServer() { shutdown(/*drain=*/true); }
+
+void InferenceServer::register_conv(const std::string& name,
+                                    const ConvProblem& problem,
+                                    const float* kernels_blocked,
+                                    const ModelConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ONDWIN_CHECK(!shut_down_, "server is shut down");
+  ONDWIN_CHECK(models_.count(name) == 0, "model '", name,
+               "' already registered");
+  auto model =
+      std::make_unique<Model>(name, problem, kernels_blocked, config, cache_);
+  launch_engines(*model, config);
+  models_.emplace(name, std::move(model));
+}
+
+void InferenceServer::register_network(const std::string& name,
+                                       std::shared_ptr<const Sequential> net,
+                                       const ModelConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ONDWIN_CHECK(!shut_down_, "server is shut down");
+  ONDWIN_CHECK(models_.count(name) == 0, "model '", name,
+               "' already registered");
+  auto model = std::make_unique<Model>(name, std::move(net), config, cache_);
+  launch_engines(*model, config);
+  models_.emplace(name, std::move(model));
+}
+
+void InferenceServer::launch_engines(Model& model, const ModelConfig& config) {
+  ONDWIN_CHECK(config.engines >= 1, "model '", model.name(),
+               "' needs at least one engine, got ", config.engines);
+  const int share =
+      std::max(1, cpu_budget_ / std::max(1, config.engines));
+  for (int e = 0; e < config.engines; ++e) {
+    PlanOptions po = config.plan;
+    if (po.threads <= 0) po.threads = share;
+    if (options_.pin_engines) {
+      po.pin_threads = true;
+      po.cpu_base = next_cpu_;
+      next_cpu_ += po.threads;
+    }
+    auto engine = std::make_unique<Engine>(
+        model, po, static_cast<int>(engines_.size()));
+    engine->start();
+    engines_.push_back(std::move(engine));
+  }
+}
+
+ResultFuture InferenceServer::submit(const std::string& model_name,
+                                     const float* input_blocked) {
+  ONDWIN_CHECK(input_blocked != nullptr, "submit with null input");
+  Model* model = find_model(model_name);
+
+  PendingRequest request;
+  const i64 sin = model->sample_input_floats();
+  request.input.reset(static_cast<std::size_t>(sin));
+  std::memcpy(request.input.data(), input_blocked,
+              static_cast<std::size_t>(sin) * sizeof(float));
+  request.submitted = std::chrono::steady_clock::now();
+  ResultFuture future = request.promise.get_future();
+
+  model->submitted.fetch_add(1, std::memory_order_relaxed);
+  if (!model->batcher().submit(request)) {
+    // Backpressure or shutdown: fail fast through the future so every
+    // caller sees errors the same way, whether queued or rejected.
+    model->rejected.fetch_add(1, std::memory_order_relaxed);
+    request.promise.set_exception(std::make_exception_ptr(Error(
+        str_cat("model '", model_name, "': request rejected (",
+                model->batcher().accepting() ? "queue full" : "shutting down",
+                ")"))));
+  }
+  return future;
+}
+
+void InferenceServer::shutdown(bool drain) {
+  std::vector<Engine*> engines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    for (auto& [name, model] : models_) {
+      model->batcher().shutdown();
+      if (!drain) {
+        std::vector<PendingRequest> dropped =
+            model->batcher().cancel_pending();
+        const auto error = std::make_exception_ptr(
+            Error(str_cat("model '", name, "': server shut down")));
+        for (PendingRequest& req : dropped) {
+          req.promise.set_exception(error);
+        }
+        model->rejected.fetch_add(dropped.size(), std::memory_order_relaxed);
+      }
+    }
+    for (auto& engine : engines_) engines.push_back(engine.get());
+  }
+  // Join outside the lock: draining engines may still call stats().
+  for (Engine* engine : engines) engine->join();
+}
+
+bool InferenceServer::accepting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !shut_down_;
+}
+
+ServerStats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStats s;
+  for (const auto& [name, model] : models_) {
+    s.models.emplace(name, model->snapshot());
+  }
+  s.plan_cache = cache_->stats();
+  s.engines = static_cast<int>(engines_.size());
+  return s;
+}
+
+Model* InferenceServer::find_model(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ONDWIN_CHECK(!shut_down_, "server is shut down");
+  auto it = models_.find(name);
+  ONDWIN_CHECK(it != models_.end(), "unknown model '", name, "'");
+  return it->second.get();
+}
+
+}  // namespace ondwin::serve

@@ -1,0 +1,83 @@
+// ondwin::serve — a concurrent inference-serving runtime on top of the
+// Winograd engine.
+//
+//   InferenceServer server(options);
+//   server.register_conv("vgg3", problem, weights_blocked, config);
+//   ResultFuture f = server.submit("vgg3", sample_blocked);
+//   InferenceResult r = f.get();   // blocked batch-1 output + timings
+//
+// Concurrent submit()s against a model are coalesced by its dynamic
+// micro-batcher (flush on batch-full or deadline) and executed by its
+// worker engines on per-batch-size plan replicas, all deduplicated
+// through the shared PlanCache and all sharing one immutable
+// pre-transformed weight bank per model. Results come back as futures.
+// Overload is met with fast rejection (bounded queues); shutdown drains
+// in-flight work by default.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/engine.h"
+#include "serve/model.h"
+#include "serve/serve_types.h"
+
+namespace ondwin::serve {
+
+class InferenceServer {
+ public:
+  explicit InferenceServer(const ServerOptions& options = {});
+
+  /// Implies shutdown(/*drain=*/true).
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Registers a convolution model and launches its engines. `problem`
+  /// describes one sample (its batch field is ignored and treated as 1);
+  /// `kernels_blocked` is copied. Throws on duplicate names.
+  void register_conv(const std::string& name, const ConvProblem& problem,
+                     const float* kernels_blocked,
+                     const ModelConfig& config = {});
+
+  /// Registers a network model. The Sequential is shared (kept alive by
+  /// the server), its weights are reused by every replica — never
+  /// re-randomized — and its own batch size is irrelevant.
+  void register_network(const std::string& name,
+                        std::shared_ptr<const Sequential> net,
+                        const ModelConfig& config = {});
+
+  /// Submits one sample (model's batch-1 blocked input layout, copied
+  /// before return). The future carries the result — or an Error when the
+  /// model's queue was full or the server is shutting down (also counted
+  /// in the model's `rejected` stat). Throws only for unknown models.
+  ResultFuture submit(const std::string& model, const float* input_blocked);
+
+  /// Stops accepting requests, then: drain=true serves every queued
+  /// request before returning; drain=false fails queued requests with an
+  /// Error. Idempotent; engines are joined either way.
+  void shutdown(bool drain = true);
+
+  bool accepting() const;
+  ServerStats stats() const;
+
+ private:
+  void launch_engines(Model& model, const ModelConfig& config);
+  Model* find_model(const std::string& name) const;
+
+  const ServerOptions options_;
+  PlanCache* const cache_;
+  const int cpu_budget_;
+
+  mutable std::mutex mu_;  // guards the registry and shutdown state
+  std::map<std::string, std::unique_ptr<Model>> models_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  int next_cpu_ = 0;
+  bool shut_down_ = false;
+};
+
+}  // namespace ondwin::serve

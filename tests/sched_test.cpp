@@ -86,6 +86,24 @@ TEST(ThreadPool, DestructionWithNoWorkIsClean) {
 
 TEST(ThreadPool, RejectsZeroThreads) { EXPECT_THROW(ThreadPool p(0), Error); }
 
+TEST(ThreadPool, NestedRunThrowsInsteadOfDeadlocking) {
+  // A fork-join region entered from inside another fork-join region would
+  // park the caller on its own barrier forever; the pool detects it and
+  // fails loudly instead.
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.run([&](int) { pool.run([](int) {}); }), Error);
+  // The failed nested run must not poison the pool.
+  std::atomic<int> hits{0};
+  pool.run([&](int) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ThreadPool, CpuBaseIsRecorded) {
+  ThreadPool pool(2, /*pin=*/false, /*cpu_base=*/0);
+  EXPECT_EQ(pool.cpu_base(), 0);
+  EXPECT_THROW(ThreadPool(2, false, -1), Error);
+}
+
 // ------------------------------------------------------ static schedule ----
 
 // Collects all task coordinates of a partition into a multiset of linear

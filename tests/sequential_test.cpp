@@ -144,6 +144,58 @@ TEST(Sequential, ThreeDimensionalStack) {
   }
 }
 
+TEST(Sequential, ForwardIntoMatchesForward) {
+  Sequential net(1, 16, {12, 12}, two_threads());
+  net.add_conv(16, {3, 3}, {1, 1}, {2, 2});
+  net.add_max_pool(2);
+  Rng rng(4);
+  net.randomize_weights(rng);
+
+  AlignedBuffer<float> in(
+      static_cast<std::size_t>(net.input_layout().total_floats()));
+  Rng irng(5);
+  for (auto& v : in) v = irng.uniform(-1, 1);
+  const i64 total = net.output_layout().total_floats();
+
+  const float* o = net.forward(in.data());
+  std::vector<float> kept(o, o + total);
+  AlignedBuffer<float> out(static_cast<std::size_t>(total));
+  net.forward_into(in.data(), out.data());
+  for (i64 i = 0; i < total; ++i) {
+    ASSERT_EQ(kept[static_cast<std::size_t>(i)], out.data()[i]);
+  }
+}
+
+TEST(Sequential, ReplicaMatchesBaseBitwise) {
+  // A batch-2 replica carrying the base network's weights must produce,
+  // for each sample, exactly the bits the base network produces at batch 1
+  // (blocked layouts are batch-major, so sample s is a contiguous slab).
+  Sequential base(1, 16, {8, 8}, two_threads());
+  base.add_conv(16, {3, 3}, {1, 1}, {2, 2});
+  base.add_conv(16, {3, 3}, {1, 1}, {2, 2}, /*relu=*/false);
+  Rng rng(7);
+  base.randomize_weights(rng);
+
+  const i64 sin = base.input_layout().total_floats();
+  const i64 sout = base.output_layout().total_floats();
+  auto rep = base.replica(2);
+  ASSERT_EQ(rep->input_layout().total_floats(), 2 * sin);
+
+  AlignedBuffer<float> in2(static_cast<std::size_t>(2 * sin));
+  Rng irng(8);
+  for (auto& v : in2) v = irng.uniform(-1, 1);
+  AlignedBuffer<float> out2(static_cast<std::size_t>(2 * sout));
+  rep->forward_into(in2.data(), out2.data());
+
+  for (i64 s = 0; s < 2; ++s) {
+    const float* got = out2.data() + s * sout;
+    const float* one = base.forward(in2.data() + s * sin);
+    for (i64 i = 0; i < sout; ++i) {
+      ASSERT_EQ(one[i], got[i]) << "sample " << s << " element " << i;
+    }
+  }
+}
+
 TEST(Sequential, Validation) {
   Sequential net(1, 16, {8, 8}, two_threads());
   EXPECT_THROW(net.forward(nullptr), Error);         // no layers

@@ -1,0 +1,398 @@
+// End-to-end tests of the ondwin::serve runtime: bitwise correctness of
+// batched serving vs direct plan execution, micro-batcher flush/overflow
+// semantics, plan-cache deduplication under concurrency, and graceful
+// shutdown draining.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "net/sequential.h"
+#include "util/rng.h"
+
+namespace ondwin::serve {
+namespace {
+
+ConvProblem sample_problem() {
+  ConvProblem p;
+  p.shape.batch = 1;
+  p.shape.in_channels = 16;
+  p.shape.out_channels = 16;
+  p.shape.image = {8, 8};
+  p.shape.kernel = {3, 3};
+  p.shape.padding = {1, 1};
+  p.tile_m = {2, 2};
+  return p;
+}
+
+PlanOptions one_thread() {
+  PlanOptions o;
+  o.threads = 1;
+  return o;
+}
+
+/// Fills `buf` with deterministic pseudo-random floats.
+void fill_random(AlignedBuffer<float>& buf, std::size_t floats, u64 seed) {
+  buf.reset(floats);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < floats; ++i) {
+    buf.data()[i] = rng.uniform(-0.5f, 0.5f);
+  }
+}
+
+// Served results must be BITWISE identical to direct batch-1 execution:
+// the default blocking heuristics depend only on channels (not batch), and
+// per-output-element accumulation order is independent of the batch
+// dimension, so coalescing requests into micro-batches must not perturb a
+// single bit. 8 concurrent clients also drive the plan cache: each
+// (problem, options, bucket) plan must be constructed exactly once.
+TEST(ServeConv, BatchedBitwiseIdenticalAndPlanCacheDedups) {
+  const ConvProblem p = sample_problem();
+  const std::size_t sin =
+      static_cast<std::size_t>(p.input_layout().total_floats());
+  const std::size_t sout =
+      static_cast<std::size_t>(p.output_layout().total_floats());
+  const std::size_t wfloats =
+      static_cast<std::size_t>(p.kernel_layout().total_floats());
+
+  AlignedBuffer<float> weights;
+  fill_random(weights, wfloats, 0xBEEF);
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 4;
+  constexpr int kSamples = kClients * kPerClient;
+
+  // Reference: direct batch-1 plan, one sample at a time.
+  std::vector<AlignedBuffer<float>> inputs(kSamples);
+  std::vector<AlignedBuffer<float>> expected(kSamples);
+  {
+    ConvPlan direct(p, one_thread());
+    direct.set_kernels(weights.data());
+    for (int s = 0; s < kSamples; ++s) {
+      fill_random(inputs[static_cast<std::size_t>(s)], sin,
+                  0x1000 + static_cast<u64>(s));
+      expected[static_cast<std::size_t>(s)].reset(sout);
+      direct.execute_pretransformed(
+          inputs[static_cast<std::size_t>(s)].data(),
+          expected[static_cast<std::size_t>(s)].data());
+    }
+  }
+
+  PlanCache cache;
+  ServerOptions so;
+  so.plan_cache = &cache;
+  InferenceServer server(so);
+
+  ModelConfig config;
+  config.batching.max_batch = 4;
+  config.batching.max_delay_ms = 1.0;
+  config.plan = one_thread();
+  server.register_conv("conv", p, weights.data(), config);
+
+  std::atomic<int> mismatches{0};
+  auto client = [&](int c) {
+    for (int r = 0; r < kPerClient; ++r) {
+      const int s = c * kPerClient + r;
+      ResultFuture f =
+          server.submit("conv", inputs[static_cast<std::size_t>(s)].data());
+      InferenceResult result = f.get();
+      ASSERT_EQ(result.output.size(), sout);
+      if (std::memcmp(result.output.data(),
+                      expected[static_cast<std::size_t>(s)].data(),
+                      sout * sizeof(float)) != 0) {
+        mismatches.fetch_add(1);
+      }
+    }
+  };
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) clients.emplace_back(client, c);
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const ServerStats stats = server.stats();
+  const ModelStats& m = stats.models.at("conv");
+  EXPECT_EQ(m.submitted, static_cast<u64>(kSamples));
+  EXPECT_EQ(m.completed, static_cast<u64>(kSamples));
+  EXPECT_EQ(m.rejected, 0u);
+  EXPECT_EQ(m.failed, 0u);
+  EXPECT_GE(m.batches, 1u);
+  EXPECT_LE(m.batches, static_cast<u64>(kSamples));
+
+  // Dedup: every constructed plan was constructed exactly once (misses ==
+  // entries), and at most one per batch-size bucket (1, 2, 4) existed.
+  EXPECT_EQ(stats.plan_cache.misses, stats.plan_cache.entries);
+  EXPECT_GE(stats.plan_cache.entries, 1u);
+  EXPECT_LE(stats.plan_cache.entries, 3u);
+}
+
+// A lone request must not wait for a full batch: the deadline flushes it.
+TEST(ServeBatcher, DeadlineFlushesPartialBatch) {
+  InferenceServer server;
+  ModelConfig config;
+  config.batching.max_batch = 8;
+  config.batching.max_delay_ms = 5.0;
+  config.plan = one_thread();
+  const ConvProblem p = sample_problem();
+  AlignedBuffer<float> weights, input;
+  fill_random(weights,
+              static_cast<std::size_t>(p.kernel_layout().total_floats()), 1);
+  fill_random(input,
+              static_cast<std::size_t>(p.input_layout().total_floats()), 2);
+  server.register_conv("conv", p, weights.data(), config);
+
+  InferenceResult r = server.submit("conv", input.data()).get();
+  EXPECT_EQ(r.batch_size, 1);
+  EXPECT_GE(r.queue_ms, 0.0);
+}
+
+// With a far-away deadline, max_batch requests coalesce into one execution.
+TEST(ServeBatcher, FullBatchFlushesImmediately) {
+  InferenceServer server;
+  ModelConfig config;
+  config.batching.max_batch = 4;
+  config.batching.max_delay_ms = 2000.0;
+  config.plan = one_thread();
+  const ConvProblem p = sample_problem();
+  AlignedBuffer<float> weights, input;
+  fill_random(weights,
+              static_cast<std::size_t>(p.kernel_layout().total_floats()), 1);
+  fill_random(input,
+              static_cast<std::size_t>(p.input_layout().total_floats()), 2);
+  server.register_conv("conv", p, weights.data(), config);
+
+  std::vector<ResultFuture> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(server.submit("conv", input.data()));
+  }
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().batch_size, 4);
+  }
+  EXPECT_EQ(server.stats().models.at("conv").batches, 1u);
+}
+
+// A bounded queue rejects overload instead of queueing unboundedly, and a
+// draining shutdown still serves everything that was accepted.
+TEST(ServeBatcher, OverflowRejectsThenDrainCompletes) {
+  InferenceServer server;
+  ModelConfig config;
+  config.batching.max_batch = 8;
+  config.batching.max_delay_ms = 10000.0;  // park accepted requests
+  config.batching.max_queue = 4;
+  config.plan = one_thread();
+  const ConvProblem p = sample_problem();
+  AlignedBuffer<float> weights, input;
+  fill_random(weights,
+              static_cast<std::size_t>(p.kernel_layout().total_floats()), 1);
+  fill_random(input,
+              static_cast<std::size_t>(p.input_layout().total_floats()), 2);
+  server.register_conv("conv", p, weights.data(), config);
+
+  std::vector<ResultFuture> accepted;
+  std::vector<ResultFuture> rejected;
+  for (int i = 0; i < 4; ++i) {
+    accepted.push_back(server.submit("conv", input.data()));
+  }
+  for (int i = 0; i < 3; ++i) {
+    rejected.push_back(server.submit("conv", input.data()));
+  }
+  for (auto& f : rejected) {
+    EXPECT_THROW(f.get(), Error);
+  }
+
+  server.shutdown(/*drain=*/true);
+  for (auto& f : accepted) {
+    EXPECT_EQ(f.get().output.size(),
+              static_cast<std::size_t>(p.output_layout().total_floats()));
+  }
+  const ModelStats m = server.stats().models.at("conv");
+  EXPECT_EQ(m.rejected, 3u);
+  EXPECT_EQ(m.completed, 4u);
+}
+
+// Shutdown with drain=true loses nothing; afterwards submit() throws.
+TEST(ServeServer, GracefulShutdownDrainsEverything) {
+  InferenceServer server;
+  ModelConfig config;
+  config.batching.max_batch = 4;
+  config.batching.max_delay_ms = 500.0;
+  config.plan = one_thread();
+  const ConvProblem p = sample_problem();
+  AlignedBuffer<float> weights, input;
+  fill_random(weights,
+              static_cast<std::size_t>(p.kernel_layout().total_floats()), 1);
+  fill_random(input,
+              static_cast<std::size_t>(p.input_layout().total_floats()), 2);
+  server.register_conv("conv", p, weights.data(), config);
+
+  std::vector<ResultFuture> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(server.submit("conv", input.data()));
+  }
+  server.shutdown(/*drain=*/true);
+
+  for (auto& f : futures) {
+    EXPECT_NO_THROW(f.get());  // every accepted request was served
+  }
+  EXPECT_EQ(server.stats().models.at("conv").completed, 16u);
+  EXPECT_FALSE(server.accepting());
+  EXPECT_THROW(server.submit("conv", input.data()), Error);
+}
+
+// Non-draining shutdown fails queued requests through their futures.
+TEST(ServeServer, AbortShutdownFailsPending) {
+  InferenceServer server;
+  ModelConfig config;
+  config.batching.max_batch = 8;
+  config.batching.max_delay_ms = 10000.0;
+  config.plan = one_thread();
+  const ConvProblem p = sample_problem();
+  AlignedBuffer<float> weights, input;
+  fill_random(weights,
+              static_cast<std::size_t>(p.kernel_layout().total_floats()), 1);
+  fill_random(input,
+              static_cast<std::size_t>(p.input_layout().total_floats()), 2);
+  server.register_conv("conv", p, weights.data(), config);
+
+  std::vector<ResultFuture> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(server.submit("conv", input.data()));
+  }
+  server.shutdown(/*drain=*/false);
+  int failed = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (const Error&) {
+      ++failed;
+    }
+  }
+  // The engine may have raced a deadline wake-up and served some, but
+  // whatever was still queued must fail, not hang.
+  EXPECT_EQ(failed + static_cast<int>(
+                         server.stats().models.at("conv").completed),
+            3);
+}
+
+// Unknown models and duplicate registrations are loud errors.
+TEST(ServeServer, RegistryErrors) {
+  InferenceServer server;
+  const ConvProblem p = sample_problem();
+  AlignedBuffer<float> weights, input;
+  fill_random(weights,
+              static_cast<std::size_t>(p.kernel_layout().total_floats()), 1);
+  fill_random(input,
+              static_cast<std::size_t>(p.input_layout().total_floats()), 2);
+  server.register_conv("conv", p, weights.data());
+  EXPECT_THROW(server.register_conv("conv", p, weights.data()), Error);
+  EXPECT_THROW(server.submit("nope", input.data()), Error);
+}
+
+// Direct PlanCache hammering: one construction, everyone else shares it.
+TEST(PlanCacheTest, ConcurrentGetOrCreateConstructsOnce) {
+  PlanCache cache;
+  const ConvProblem p = sample_problem();
+  const PlanOptions opts = one_thread();
+
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<PlanCache::Entry>> entries(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      entries[static_cast<std::size_t>(t)] =
+          cache.get_or_create(p, opts, "test");
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(entries[0].get(), entries[static_cast<std::size_t>(t)].get());
+  }
+  const PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, static_cast<u64>(kThreads - 1));
+  EXPECT_EQ(s.entries, 1u);
+
+  // A different tag (same shape) is a different entry: registered models
+  // never share stateful plans just because their shapes agree.
+  auto other = cache.get_or_create(p, opts, "other");
+  EXPECT_NE(other.get(), entries[0].get());
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+// Serving a whole network (conv+bias+ReLU+pool) matches the base network's
+// own batch-1 forward pass bit for bit.
+TEST(ServeNetwork, MatchesBaseNetworkBitwise) {
+  auto base = std::make_shared<Sequential>(1, 16, Dims{8, 8}, one_thread());
+  base->add_conv(16, {3, 3}, {1, 1}, {2, 2}, /*relu=*/true);
+  base->add_max_pool(2);
+
+  const std::size_t sin =
+      static_cast<std::size_t>(base->input_layout().total_floats());
+  const std::size_t sout =
+      static_cast<std::size_t>(base->output_layout().total_floats());
+
+  constexpr int kSamples = 8;
+  std::vector<AlignedBuffer<float>> inputs(kSamples);
+  std::vector<AlignedBuffer<float>> expected(kSamples);
+  for (int s = 0; s < kSamples; ++s) {
+    fill_random(inputs[static_cast<std::size_t>(s)], sin,
+                0x2000 + static_cast<u64>(s));
+    expected[static_cast<std::size_t>(s)].reset(sout);
+    base->forward_into(inputs[static_cast<std::size_t>(s)].data(),
+                       expected[static_cast<std::size_t>(s)].data());
+  }
+
+  InferenceServer server;
+  ModelConfig config;
+  config.batching.max_batch = 4;
+  config.batching.max_delay_ms = 1.0;
+  config.plan = one_thread();
+  server.register_network("net", base, config);
+
+  std::vector<ResultFuture> futures;
+  for (int s = 0; s < kSamples; ++s) {
+    futures.push_back(
+        server.submit("net", inputs[static_cast<std::size_t>(s)].data()));
+  }
+  for (int s = 0; s < kSamples; ++s) {
+    InferenceResult r = futures[static_cast<std::size_t>(s)].get();
+    ASSERT_EQ(r.output.size(), sout);
+    EXPECT_EQ(std::memcmp(r.output.data(),
+                          expected[static_cast<std::size_t>(s)].data(),
+                          sout * sizeof(float)),
+              0)
+        << "sample " << s;
+  }
+}
+
+// Knob validation fails fast at registration time.
+TEST(ServeConfig, RejectsBadKnobs) {
+  const ConvProblem p = sample_problem();
+  AlignedBuffer<float> weights;
+  fill_random(weights,
+              static_cast<std::size_t>(p.kernel_layout().total_floats()), 1);
+  InferenceServer server;
+  {
+    ModelConfig config;
+    config.batching.max_batch = 0;
+    EXPECT_THROW(server.register_conv("a", p, weights.data(), config), Error);
+  }
+  {
+    ModelConfig config;
+    config.batching.max_delay_ms = -1.0;
+    EXPECT_THROW(server.register_conv("b", p, weights.data(), config), Error);
+  }
+  {
+    ModelConfig config;
+    config.engines = 0;
+    EXPECT_THROW(server.register_conv("c", p, weights.data(), config), Error);
+  }
+}
+
+}  // namespace
+}  // namespace ondwin::serve

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include "core/tuner.h"
 
@@ -84,6 +86,35 @@ TEST(Wisdom, CorruptLinesAreSkipped) {
   EXPECT_TRUE(store.lookup("valid_key").has_value());
   EXPECT_TRUE(store.lookup("another_valid").has_value());
   EXPECT_FALSE(store.lookup("bad_nblk").has_value());
+}
+
+TEST(Wisdom, ConcurrentStoresNeverTearTheFile) {
+  // store() writes a temp file and rename()s it into place, so racing
+  // writers may overwrite each other (last one wins) but a reader can
+  // never observe a half-written file.
+  TempFile f;
+  constexpr int kWriters = 8;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      WisdomStore store(f.path());
+      EXPECT_TRUE(store.store(str_cat("key", t), {6, 16, 16}));
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  WisdomStore reloaded(f.path());
+  EXPECT_GE(reloaded.size(), 1u);  // at least the last writer's entry
+  bool found_any = false;
+  for (int t = 0; t < kWriters; ++t) {
+    const auto hit = reloaded.lookup(str_cat("key", t));
+    if (!hit.has_value()) continue;
+    found_any = true;
+    EXPECT_EQ(hit->n_blk, 6);
+    EXPECT_EQ(hit->c_blk, 16);
+    EXPECT_EQ(hit->cp_blk, 16);
+  }
+  EXPECT_TRUE(found_any);
 }
 
 TEST(Wisdom, UnwritablePathReturnsFalse) {
