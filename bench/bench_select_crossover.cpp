@@ -1,0 +1,155 @@
+// Algorithm-selection crossover: the fixed historical default — Winograd
+// F(2, r) with auto-tuned blocking — versus the selection planner
+// (select::plan_auto), which may answer with a larger tile, the blocked
+// direct baseline, or FFT convolution depending on the layer.
+//
+//   $ ./bench_select_crossover [--full] [--csv out.csv] [--wisdom file]
+//
+// Layers: the Fig. 5 / Tbl. 2 set (2-D and 3-D), plus a large-kernel
+// layer (7×7, r ≥ 7) outside the paper's tables — exactly where F(2, 7)'s
+// transform overhead and accuracy penalty make the crossover interesting.
+//
+// Both contenders are measured through the same harness on the same
+// buffers. Expected shape: the planner never loses (the F(2, r) default
+// is pinned into its measurement short list), and wins big where a larger
+// tile amortizes transforms over more output (high-resolution batch-1
+// layers) or where Winograd's tile count explodes (3-D, large kernels).
+// With --wisdom the second run of this binary does no tuning or selection
+// measurements at all — decisions come back from the wisdom cache.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "layers.h"
+#include "ondwin/ondwin.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace ondwin;
+
+namespace {
+
+double bench_secs(const std::function<void()>& fn) {
+  fn();  // warm-up
+  return bench_min_seconds(fn, 0.05, 2);
+}
+
+std::string config_label(const select::SelectedConfig& sel) {
+  std::string label = select::algorithm_name(sel.algorithm);
+  if (sel.algorithm == select::Algorithm::kWinograd) {
+    label += " F" + sel.tile_m.to_string();
+  }
+  return label;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = false;
+  std::string csv_path;
+  std::string wisdom_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--wisdom") == 0 && i + 1 < argc) {
+      wisdom_path = argv[++i];
+    }
+  }
+
+  std::vector<BenchLayer> layers = table2_layers(full);
+  // The crossover cases the paper's tables don't cover: a large kernel
+  // (r = 7 per dimension: F(2,7) has α = 8, so Winograd spends 4× more
+  // input-transform volume per output than F(2,3)) at two batch sizes.
+  if (full) {
+    layers.push_back({"LargeK", "7x7",
+                      layer(8, 64, 64, {112, 112}, {3, 3}, {7, 7})});
+  } else {
+    layers.push_back(
+        {"LargeK", "7x7", layer(1, 32, 32, {40, 40}, {3, 3}, {7, 7})});
+    layers.push_back(
+        {"LargeK", "7x7b4", layer(4, 32, 32, {40, 40}, {3, 3}, {7, 7})});
+  }
+
+  PlanOptions plan;
+  plan.wisdom_path = wisdom_path;
+
+  std::printf("== selection crossover: fixed F(2,r)+tuned blocking vs "
+              "plan_auto (%s sizes) ==\n",
+              full ? "paper" : "CI");
+  std::printf("%-10s %-6s %10s %10s %8s  %-18s\n", "net", "layer",
+              "fixed ms", "auto ms", "speedup", "selected");
+
+  std::ofstream csv;
+  if (!csv_path.empty()) {
+    csv.open(csv_path);
+    csv << "net,layer,fixed_ms,auto_ms,speedup,selected\n";
+  }
+
+  Rng rng(2026);
+  double worst = 1e300, best = 0;
+  for (const auto& L : layers) {
+    const ConvShape& s = L.shape;
+    const int rank = s.image.rank();
+
+    const ImageLayout in_l{s.batch, s.in_channels, s.image};
+    const ImageLayout out_l{s.batch, s.out_channels, s.output()};
+    const KernelLayout k_l{s.in_channels, s.out_channels, s.kernel};
+    AlignedBuffer<float> in_b(static_cast<std::size_t>(in_l.total_floats()));
+    AlignedBuffer<float> w_b(static_cast<std::size_t>(k_l.total_floats()));
+    AlignedBuffer<float> out_b(
+        static_cast<std::size_t>(out_l.total_floats()));
+    for (auto& v : in_b) v = rng.uniform(-1.0f, 1.0f);
+    for (auto& v : w_b) v = rng.gaussian(0.0f, 0.05f);
+
+    // Contender 1: the historical fixed choice — F(2, r) with blocking
+    // from the §4.3.2 empirical search (wisdom-cached across runs).
+    ConvProblem p;
+    p.shape = s;
+    p.tile_m = Dims::filled(rank, 2);
+    double fixed_secs;
+    {
+      const TuneResult tuned = auto_tune(p, plan, /*budget_seconds=*/1.0);
+      PlanOptions fixed_opts = plan;
+      fixed_opts.n_blk = tuned.best.n_blk;
+      fixed_opts.c_blk = tuned.best.c_blk;
+      fixed_opts.cp_blk = tuned.best.cp_blk;
+      ConvPlan fixed_plan(p, fixed_opts);
+      fixed_plan.set_kernels(w_b.data());
+      fixed_secs = bench_secs([&] {
+        fixed_plan.execute_pretransformed(in_b.data(), out_b.data());
+      });
+    }
+
+    // Contender 2: the planner.
+    select::SelectOptions sopts;
+    sopts.plan = plan;
+    sopts.budget_seconds = 2.0;
+    const select::SelectedConfig sel = select::select_config(s, sopts);
+    select::AutoConv auto_conv(s, sel, plan);
+    auto_conv.set_kernels(w_b.data());
+    const double auto_secs = bench_secs(
+        [&] { auto_conv.execute_pretransformed(in_b.data(), out_b.data()); });
+
+    const double speedup = fixed_secs / auto_secs;
+    worst = std::min(worst, speedup);
+    best = std::max(best, speedup);
+    const std::string label = config_label(sel);
+    std::printf("%-10s %-6s %10.2f %10.2f %7.2fx  %-18s%s\n", L.net.c_str(),
+                L.name.c_str(), fixed_secs * 1e3, auto_secs * 1e3, speedup,
+                label.c_str(), sel.from_wisdom ? " (wisdom)" : "");
+    if (csv.is_open()) {
+      csv << L.net << ',' << L.name << ',' << fixed_secs * 1e3 << ','
+          << auto_secs * 1e3 << ',' << speedup << ',' << label << '\n';
+    }
+  }
+
+  std::printf("\nspeedup range: %.2fx .. %.2fx (>= 1.0 everywhere means "
+              "the planner never loses to the fixed default)\n",
+              worst, best);
+  return 0;
+}

@@ -28,7 +28,11 @@ std::vector<Blocking> tuning_candidates(const ConvProblem& p);
 
 /// Benchmarks each candidate on synthetic data and returns the fastest.
 /// When `base.wisdom_path` is set, the winner is stored there so later
-/// plans pick it up automatically. `budget_seconds` soft-caps the search.
+/// plans pick it up automatically. `budget_seconds` caps the search; it
+/// is checked inside the best-of-N repetition loop (so one slow candidate
+/// cannot overshoot it by more than a single repetition), and candidates
+/// whose first repetition is already >2× the incumbent best are dropped
+/// after that one repetition.
 TuneResult auto_tune(const ConvProblem& p, const PlanOptions& base,
                      double budget_seconds = 10.0);
 

@@ -40,8 +40,17 @@ void WisdomStore::load() {
     std::istringstream ls(line);
     std::string key;
     int n = 0, c = 0, cp = 0;
-    if (!(ls >> key >> n >> c >> cp)) continue;     // malformed: skip
-    if (n < 1 || n > 30 || c < 16 || cp < 16) continue;  // implausible: skip
+    if (!(ls >> key >> n >> c >> cp) ||
+        n < 1 || n > 30 || c < 16 || cp < 16) {
+      // Not a (plausible) v1 entry: malformed and implausible lines are
+      // skipped, but kept verbatim so a rewrite doesn't destroy
+      // newer-generation records (e.g. the `!v2` selections of
+      // select/wisdom2.h) sharing this file. Pure whitespace is dropped.
+      if (line.find_first_not_of(" \t\r") != std::string::npos) {
+        passthrough_.push_back(line);
+      }
+      continue;
+    }
     entries_[key] = {n, c, cp};
   }
 }
@@ -73,6 +82,7 @@ bool WisdomStore::store(const std::string& key, const Blocking& blocking) {
     for (const auto& [k, v] : entries_) {
       out << k << " " << v[0] << " " << v[1] << " " << v[2] << "\n";
     }
+    for (const auto& line : passthrough_) out << line << "\n";
     out.flush();
     if (!out) {
       std::remove(tmp.c_str());

@@ -7,6 +7,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/conv_problem.h"
 
@@ -19,7 +20,10 @@ std::string wisdom_key(const ConvProblem& p);
 
 /// Line-oriented text store: `<key> <n_blk> <c_blk> <cp_blk>` per line.
 /// Unreadable files behave as empty; malformed lines are skipped — wisdom
-/// is a cache, never a correctness dependency.
+/// is a cache, never a correctness dependency. Lines this (v1) store does
+/// not understand — notably the `!v2` selection records of
+/// select/wisdom2.h, which shares the file — are preserved verbatim on
+/// rewrite so the two generations never clobber each other.
 class WisdomStore {
  public:
   explicit WisdomStore(std::string path);
@@ -38,6 +42,7 @@ class WisdomStore {
 
   std::string path_;
   std::map<std::string, std::array<int, 3>> entries_;
+  std::vector<std::string> passthrough_;  // unparsed lines, kept verbatim
 };
 
 }  // namespace ondwin

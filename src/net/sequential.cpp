@@ -41,24 +41,92 @@ Sequential::ConvLayer& Sequential::append_conv(i64 out_channels, Dims kernel,
   return *layers_.back().conv;
 }
 
-int Sequential::add_conv(i64 out_channels, Dims kernel, Dims padding,
-                         Dims tile_m, bool relu) {
-  ConvLayer& cl = append_conv(out_channels, kernel, padding, tile_m, relu);
+Sequential::ConvLayer& Sequential::append_conv_auto(
+    i64 out_channels, Dims kernel, Dims padding, bool relu,
+    const select::SelectOptions& opts) {
+  const ImageLayout& in =
+      layers_.empty() ? input_layout_ : layers_.back().output;
 
+  ConvShape shape;
+  shape.batch = in.batch;
+  shape.in_channels = in.channels;
+  shape.out_channels = out_channels;
+  shape.image = in.spatial;
+  shape.kernel = kernel;
+  shape.padding = padding;
+
+  // The network's PlanOptions govern execution (threads, JIT switches)
+  // and its wisdom file caches the decisions; the caller's SelectOptions
+  // contribute only the planner knobs.
+  select::SelectOptions sopts = opts;
+  sopts.plan = options_;
+
+  Layer layer;
+  layer.conv = std::make_unique<ConvLayer>();
+  ConvLayer& cl = *layer.conv;
+  cl.problem.shape = shape;
+  cl.selected = select::select_config(shape, sopts);
+  cl.problem.tile_m = cl.selected.algorithm == select::Algorithm::kWinograd
+                          ? cl.selected.tile_m
+                          : Dims::filled(shape.image.rank(), 1);
+  cl.select_opts = sopts;
+  cl.relu = relu;
+  cl.auto_exec =
+      std::make_unique<select::AutoConv>(shape, cl.selected, options_);
+  cl.bias.reset(static_cast<std::size_t>(out_channels));
+
+  layer.output = cl.problem.output_layout();
+  layers_.push_back(std::move(layer));
+  buffers_ready_ = false;
+  return *layers_.back().conv;
+}
+
+void Sequential::install_kernels(ConvLayer& cl) {
+  if (cl.auto_exec != nullptr) {
+    cl.auto_exec->set_kernels(cl.w_blocked.data());
+  } else {
+    cl.plan->set_kernels(cl.w_blocked.data());
+  }
+}
+
+void Sequential::default_weights(ConvLayer& cl) {
   // Xavier default so an un-customized network is still runnable. The seed
   // is the layer index, so construction order fully determines weights.
   Rng rng(0xD1CE + static_cast<u64>(layers_.size() - 1));
+  const Dims& kernel = cl.problem.shape.kernel;
   const float fan_in = static_cast<float>(cl.problem.shape.in_channels *
                                           kernel.product());
   const float fan_out =
-      static_cast<float>(out_channels * kernel.product());
+      static_cast<float>(cl.problem.shape.out_channels * kernel.product());
   const float limit = std::sqrt(6.0f / (fan_in + fan_out));
   const KernelLayout kl = cl.problem.kernel_layout();
   cl.w_blocked.reset(static_cast<std::size_t>(kl.total_floats()));
   for (auto& v : cl.w_blocked) v = rng.uniform(-limit, limit);
-  cl.plan->set_kernels(cl.w_blocked.data());
+  install_kernels(cl);
   cl.weights_set = true;
+}
+
+int Sequential::add_conv(i64 out_channels, Dims kernel, Dims padding,
+                         Dims tile_m, bool relu) {
+  ConvLayer& cl = append_conv(out_channels, kernel, padding, tile_m, relu);
+  default_weights(cl);
   return static_cast<int>(layers_.size()) - 1;
+}
+
+int Sequential::add_conv_auto(i64 out_channels, Dims kernel, Dims padding,
+                              bool relu,
+                              const select::SelectOptions& opts) {
+  ConvLayer& cl =
+      append_conv_auto(out_channels, kernel, padding, relu, opts);
+  default_weights(cl);
+  return static_cast<int>(layers_.size()) - 1;
+}
+
+const select::SelectedConfig& Sequential::selected_config(int layer) const {
+  const auto& l = layers_.at(static_cast<std::size_t>(layer));
+  ONDWIN_CHECK(l.conv != nullptr && l.conv->auto_exec != nullptr,
+               "layer ", layer, " is not an auto-selected convolution");
+  return l.conv->selected;
 }
 
 int Sequential::add_max_pool(i64 window) {
@@ -92,7 +160,7 @@ void Sequential::set_conv_weights(int layer, const float* w_plain,
   const KernelLayout kl = cl.problem.kernel_layout();
   cl.w_blocked.reset(static_cast<std::size_t>(kl.total_floats()));
   pack_kernels(w_plain, cl.w_blocked.data(), kl);
-  cl.plan->set_kernels(cl.w_blocked.data());
+  install_kernels(cl);
   cl.weights_set = true;
   if (bias != nullptr) {
     for (i64 i = 0; i < cl.problem.shape.out_channels; ++i) {
@@ -112,7 +180,7 @@ void Sequential::randomize_weights(Rng& rng) {
         2.0f / static_cast<float>(kl.in_channels * kl.taps()));
     cl.w_blocked.reset(static_cast<std::size_t>(kl.total_floats()));
     for (auto& v : cl.w_blocked) v = rng.gaussian(0.0f, stddev);
-    cl.plan->set_kernels(cl.w_blocked.data());
+    install_kernels(cl);
     cl.weights_set = true;
   }
 }
@@ -135,18 +203,37 @@ std::unique_ptr<Sequential> Sequential::replica(
     const ConvLayer& src = *l.conv;
     ONDWIN_CHECK(src.weights_set, "replica() of layer ", i,
                  " without weights");
-    ConvLayer& dst = r->append_conv(
-        src.problem.shape.out_channels, src.problem.shape.kernel,
-        src.problem.shape.padding, src.problem.tile_m, src.relu);
+    ConvLayer& dst =
+        src.auto_exec != nullptr
+            // Planner-selected layers re-select at the replica's batch
+            // size — batch moves the algorithm/tile crossover, and the
+            // shared wisdom file makes the re-selection a cache hit in
+            // the steady state. This is how serving engines get
+            // per-batch-size algorithm choices for one registered model.
+            ? r->append_conv_auto(src.problem.shape.out_channels,
+                                  src.problem.shape.kernel,
+                                  src.problem.shape.padding, src.relu,
+                                  src.select_opts)
+            : r->append_conv(src.problem.shape.out_channels,
+                             src.problem.shape.kernel,
+                             src.problem.shape.padding, src.problem.tile_m,
+                             src.relu);
     // Zero-copy weight sharing when the W layouts agree (always, under
-    // the default batch-invariant blocking heuristics); re-transform the
-    // retained blocked kernels when wisdom/overrides made them diverge.
-    if (!dst.plan->try_adopt_kernels(src.plan->export_kernels())) {
-      dst.plan->set_kernels(src.w_blocked.data());
-    }
+    // the default batch-invariant blocking heuristics; for auto layers,
+    // whenever both replicas selected Winograd with matching layouts);
+    // re-transform the retained blocked kernels when the configs diverge.
+    const SharedKernels shared = src.auto_exec != nullptr
+                                     ? src.auto_exec->export_kernels()
+                                     : src.plan->export_kernels();
+    const bool adopted =
+        dst.auto_exec != nullptr
+            ? (shared.data != nullptr &&
+               dst.auto_exec->try_adopt_kernels(shared))
+            : dst.plan->try_adopt_kernels(shared);
     dst.w_blocked.reset(src.w_blocked.size());
     std::memcpy(dst.w_blocked.data(), src.w_blocked.data(),
                 src.w_blocked.size() * sizeof(float));
+    if (!adopted) install_kernels(dst);
     std::memcpy(dst.bias.data(), src.bias.data(),
                 static_cast<std::size_t>(src.problem.shape.out_channels) *
                     sizeof(float));
@@ -183,7 +270,11 @@ const float* Sequential::forward(const float* input_blocked) {
       Epilogue ep;
       ep.bias = cl.bias.data();
       ep.relu = cl.relu;
-      cl.plan->execute_pretransformed(cur, out, ep);
+      if (cl.auto_exec != nullptr) {
+        cl.auto_exec->execute_pretransformed(cur, out, ep);
+      } else {
+        cl.plan->execute_pretransformed(cur, out, ep);
+      }
     } else {
       run_pool(*l.pool, cur, out);
     }
@@ -245,8 +336,18 @@ std::string Sequential::summary() const {
     if (l.conv != nullptr) {
       const ConvProblem& p = l.conv->problem;
       os << "conv " << p.shape.in_channels << "->" << p.shape.out_channels
-         << " k" << p.shape.kernel.to_string() << " F"
-         << p.tile_m.to_string() << (l.conv->relu ? " +relu" : "");
+         << " k" << p.shape.kernel.to_string();
+      if (l.conv->auto_exec != nullptr) {
+        os << " auto["
+           << select::algorithm_name(l.conv->selected.algorithm);
+        if (l.conv->selected.algorithm == select::Algorithm::kWinograd) {
+          os << " F" << l.conv->selected.tile_m.to_string();
+        }
+        os << "]";
+      } else {
+        os << " F" << p.tile_m.to_string();
+      }
+      os << (l.conv->relu ? " +relu" : "");
     } else {
       os << "maxpool " << l.pool->window;
     }
@@ -260,7 +361,10 @@ i64 Sequential::workspace_bytes() const {
   i64 total = static_cast<i64>((act_a_.size() + act_b_.size()) *
                                sizeof(float));
   for (const auto& l : layers_) {
-    if (l.conv != nullptr) total += l.conv->plan->workspace_bytes();
+    if (l.conv == nullptr) continue;
+    total += l.conv->auto_exec != nullptr
+                 ? l.conv->auto_exec->workspace_bytes()
+                 : l.conv->plan->workspace_bytes();
   }
   return total;
 }

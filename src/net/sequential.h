@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/conv_plan.h"
+#include "select/select.h"
 #include "util/rng.h"
 
 namespace ondwin {
@@ -30,6 +31,24 @@ class Sequential {
   /// starts zero. Returns the layer index.
   int add_conv(i64 out_channels, Dims kernel, Dims padding, Dims tile_m,
                bool relu = true);
+
+  /// Appends a convolution layer whose algorithm and tile sizes are
+  /// chosen by the selection planner (ondwin::select) instead of the
+  /// caller: Winograd F(m, r) with planner-tuned m and blocking, the
+  /// blocked direct baseline, or FFT convolution — whichever measures
+  /// fastest for this layer's shape at this network's batch size.
+  /// `opts` carries the planner knobs (budget, top-K, class gates,
+  /// wisdom); its `plan` field is ignored — the network's own PlanOptions
+  /// govern execution, and its wisdom path caches the decisions.
+  /// Replicas re-run selection at their batch size (wisdom makes that
+  /// cheap), which is how serving gets per-batch-size algorithm choices.
+  int add_conv_auto(i64 out_channels, Dims kernel, Dims padding,
+                    bool relu = true,
+                    const select::SelectOptions& opts = {});
+
+  /// The planner's decision for layer `i` (requires an add_conv_auto
+  /// layer).
+  const select::SelectedConfig& selected_config(int layer) const;
 
   /// Appends an N-D max-pool with cubic window `window` and stride equal
   /// to the window (floor semantics: trailing remainder is dropped).
@@ -90,7 +109,13 @@ class Sequential {
  private:
   struct ConvLayer {
     ConvProblem problem;
-    std::unique_ptr<ConvPlan> plan;
+    std::unique_ptr<ConvPlan> plan;  // fixed-config layers
+    // Planner-chosen layers: the uniform executor, the decision it was
+    // built from, and the planner knobs (kept so replicas can re-select
+    // at their batch size). Exactly one of plan/auto_exec is non-null.
+    std::unique_ptr<select::AutoConv> auto_exec;
+    select::SelectedConfig selected;
+    select::SelectOptions select_opts;
     AlignedBuffer<float> bias;       // C' floats
     AlignedBuffer<float> w_blocked;  // blocked (untransformed) kernels,
                                      // retained so replicas can rebuild W
@@ -112,6 +137,13 @@ class Sequential {
   /// Appends a conv layer (plan + zero bias) without initializing weights.
   ConvLayer& append_conv(i64 out_channels, Dims kernel, Dims padding,
                          Dims tile_m, bool relu);
+  /// Same, but planner-selected (AutoConv-backed).
+  ConvLayer& append_conv_auto(i64 out_channels, Dims kernel, Dims padding,
+                              bool relu, const select::SelectOptions& opts);
+  /// Xavier-initializes and installs default weights for a fresh layer.
+  void default_weights(ConvLayer& cl);
+  /// Routes blocked kernels into whichever executor the layer holds.
+  static void install_kernels(ConvLayer& cl);
   void run_pool(const PoolLayer& pool, const float* in, float* out) const;
 
   ImageLayout input_layout_;

@@ -4,19 +4,35 @@
 //   PlanOptions  — threads, blocking, streaming/scatter/JIT switches
 //   ConvPlan     — plan once, execute many (training & FX inference paths)
 //   auto_tune    — empirical blocking search persisted as wisdom
+//   select::plan_auto — don't pick the algorithm or tile sizes at all:
+//                  the selection planner enumerates direct/FFT/Winograd
+//                  F(m, r) candidates, prunes by a numeric-accuracy
+//                  bound, ranks with a cost model, benchmarks the
+//                  short list, and caches the decision in wisdom v2
 //   pack_image / pack_kernels / unpack_image — layout conversion helpers
 //   PlanCache    — process-wide deduplicated plan construction
-//   serve::InferenceServer — concurrent serving with dynamic micro-batching
+//   Sequential   — a network of conv/pool layers on shared activation
+//                  buffers (add_conv_auto for planner-chosen layers)
+//   serve::InferenceServer — concurrent serving with dynamic
+//                  micro-batching (ModelConfig::auto_select re-runs the
+//                  planner per batch-size bucket)
 //
-// Baselines (direct, FFT-based, simple Winograd) and the batched-GEMM
-// layer are public as well; include their headers directly.
+// The baselines the planner chooses between (DirectConv/DirectConvBlocked,
+// FftConv, SimpleWinograd) are exported here too — they are useful as
+// reference implementations and correctness oracles in their own right.
 #pragma once
 
-#include "core/conv_plan.h"     // IWYU pragma: export
-#include "core/conv_problem.h"  // IWYU pragma: export
-#include "core/plan_cache.h"    // IWYU pragma: export
-#include "core/plan_options.h"  // IWYU pragma: export
-#include "core/tuner.h"         // IWYU pragma: export
-#include "core/wisdom.h"        // IWYU pragma: export
-#include "serve/server.h"       // IWYU pragma: export
-#include "tensor/layout.h"      // IWYU pragma: export
+#include "baseline/direct_conv.h"          // IWYU pragma: export
+#include "baseline/direct_conv_blocked.h"  // IWYU pragma: export
+#include "baseline/fft_conv.h"             // IWYU pragma: export
+#include "baseline/simple_winograd.h"      // IWYU pragma: export
+#include "core/conv_plan.h"                // IWYU pragma: export
+#include "core/conv_problem.h"             // IWYU pragma: export
+#include "core/plan_cache.h"               // IWYU pragma: export
+#include "core/plan_options.h"             // IWYU pragma: export
+#include "core/tuner.h"                    // IWYU pragma: export
+#include "core/wisdom.h"                   // IWYU pragma: export
+#include "net/sequential.h"                // IWYU pragma: export
+#include "select/select.h"                 // IWYU pragma: export
+#include "serve/server.h"                  // IWYU pragma: export
+#include "tensor/layout.h"                 // IWYU pragma: export

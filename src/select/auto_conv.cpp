@@ -1,0 +1,149 @@
+#include "select/auto_conv.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ondwin::select {
+
+void apply_epilogue_blocked(const ImageLayout& layout, float* data,
+                            const Epilogue& epilogue) {
+  if (!epilogue.active()) return;
+  const i64 px = layout.pixels();
+  for (i64 b = 0; b < layout.batch; ++b) {
+    for (i64 g = 0; g < layout.channel_groups(); ++g) {
+      float bias[kSimdWidth] = {};
+      if (epilogue.bias != nullptr) {
+        for (int s = 0; s < kSimdWidth; ++s) {
+          bias[s] = epilogue.bias[g * kSimdWidth + s];
+        }
+      }
+      float* base = data + layout.group_offset_linear(b, g, 0);
+      for (i64 p = 0; p < px; ++p) {
+        float* v = base + p * kSimdWidth;
+        for (int s = 0; s < kSimdWidth; ++s) {
+          float x = v[s] + bias[s];
+          if (epilogue.relu) x = std::max(x, 0.0f);
+          v[s] = x;
+        }
+      }
+    }
+  }
+}
+
+AutoConv::AutoConv(const ConvShape& shape, const SelectedConfig& config,
+                   const PlanOptions& options)
+    : shape_(shape),
+      config_(config),
+      in_layout_(shape.batch, shape.in_channels, shape.image),
+      out_layout_(shape.batch, shape.out_channels, shape.output()) {
+  shape_.validate();
+  switch (config_.algorithm) {
+    case Algorithm::kWinograd: {
+      ONDWIN_CHECK(config_.tile_m.rank() == shape_.image.rank(),
+                   "Winograd AutoConv needs tile sizes for every dimension");
+      ConvProblem p;
+      p.shape = shape_;
+      p.tile_m = config_.tile_m;
+      PlanOptions opts = options;
+      // The selection's blocking beats both wisdom and heuristics; zeros
+      // fall through to them.
+      if (config_.blocking.n_blk > 0) opts.n_blk = config_.blocking.n_blk;
+      if (config_.blocking.c_blk > 0) opts.c_blk = config_.blocking.c_blk;
+      if (config_.blocking.cp_blk > 0) {
+        opts.cp_blk = config_.blocking.cp_blk;
+      }
+      plan_ = std::make_unique<ConvPlan>(p, opts);
+      break;
+    }
+    case Algorithm::kDirect: {
+      direct_ = std::make_unique<DirectConvBlocked>(shape_, options.threads);
+      const KernelLayout kl{shape_.in_channels, shape_.out_channels,
+                            shape_.kernel};
+      w_blocked_.reset(static_cast<std::size_t>(kl.total_floats()));
+      break;
+    }
+    case Algorithm::kFft: {
+      fft_ = std::make_unique<FftConv>(shape_);
+      plain_in_.reset(static_cast<std::size_t>(in_layout_.total_floats()));
+      plain_out_.reset(static_cast<std::size_t>(out_layout_.total_floats()));
+      break;
+    }
+  }
+}
+
+AutoConv::~AutoConv() = default;
+
+void AutoConv::set_kernels(const float* kernels_blocked) {
+  switch (config_.algorithm) {
+    case Algorithm::kWinograd:
+      plan_->set_kernels(kernels_blocked);
+      break;
+    case Algorithm::kDirect:
+      std::copy(kernels_blocked, kernels_blocked + w_blocked_.size(),
+                w_blocked_.data());
+      break;
+    case Algorithm::kFft: {
+      const KernelLayout kl{shape_.in_channels, shape_.out_channels,
+                            shape_.kernel};
+      std::vector<float> plain(static_cast<std::size_t>(kl.total_floats()));
+      unpack_kernels(kernels_blocked, plain.data(), kl);
+      fft_->set_kernels(plain.data());
+      break;
+    }
+  }
+  kernels_ready_ = true;
+}
+
+void AutoConv::execute_pretransformed(const float* input, float* output,
+                                      const Epilogue& epilogue) {
+  ONDWIN_CHECK(kernels_ready_, "AutoConv::set_kernels must be called first");
+  switch (config_.algorithm) {
+    case Algorithm::kWinograd:
+      plan_->execute_pretransformed(input, output, epilogue);
+      return;
+    case Algorithm::kDirect:
+      direct_->execute(input, w_blocked_.data(), output);
+      break;
+    case Algorithm::kFft:
+      // Layout conversion happens inside execute on purpose: it is part
+      // of this class's true cost at the network edges.
+      unpack_image(input, plain_in_.data(), in_layout_);
+      fft_->execute(plain_in_.data(), plain_out_.data());
+      pack_image(plain_out_.data(), output, out_layout_);
+      break;
+  }
+  apply_epilogue_blocked(out_layout_, output, epilogue);
+}
+
+SharedKernels AutoConv::export_kernels() const {
+  if (plan_ != nullptr) return plan_->export_kernels();
+  return {};
+}
+
+bool AutoConv::try_adopt_kernels(const SharedKernels& shared) {
+  if (plan_ == nullptr) return false;
+  if (!plan_->try_adopt_kernels(shared)) return false;
+  kernels_ready_ = true;
+  return true;
+}
+
+bool AutoConv::kernels_ready() const {
+  if (plan_ != nullptr) return plan_->kernels_ready();
+  return kernels_ready_;
+}
+
+i64 AutoConv::workspace_bytes() const {
+  switch (config_.algorithm) {
+    case Algorithm::kWinograd:
+      return plan_->workspace_bytes();
+    case Algorithm::kDirect:
+      return static_cast<i64>(w_blocked_.size() * sizeof(float));
+    case Algorithm::kFft:
+      return fft_->workspace_elems() * static_cast<i64>(sizeof(cfloat)) +
+             static_cast<i64>((plain_in_.size() + plain_out_.size()) *
+                              sizeof(float));
+  }
+  return 0;
+}
+
+}  // namespace ondwin::select

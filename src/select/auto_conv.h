@@ -1,0 +1,89 @@
+// AutoConv: a uniform blocked-layout executor over the three algorithmic
+// classes the selection planner chooses between. Whatever the planner
+// picked, callers see the ConvPlan FX contract — set_kernels() once,
+// execute_pretransformed() many, blocked layouts in and out, fused
+// bias/ReLU epilogue — so Sequential layers and serving replicas can hold
+// an AutoConv wherever they held a ConvPlan.
+//
+//   Winograd  → ConvPlan with the selected tile_m and blocking overrides
+//   direct    → DirectConvBlocked (epilogue applied as a post-pass)
+//   FFT       → FftConv behind pack/unpack layout conversion at the edges
+//               (the conversion cost is inside execute, so measurements
+//               of this class stay honest)
+#pragma once
+
+#include <memory>
+
+#include "baseline/direct_conv_blocked.h"
+#include "baseline/fft_conv.h"
+#include "core/conv_plan.h"
+#include "select/cost_model.h"
+
+namespace ondwin::select {
+
+/// The planner's decision, ready to construct an executor from.
+struct SelectedConfig {
+  Algorithm algorithm = Algorithm::kWinograd;
+  Dims tile_m;        // rank 0 for non-Winograd algorithms
+  Blocking blocking;  // zeros = plan-time heuristic
+  double seconds = 0;        // best measured wall time (0 if unmeasured)
+  bool from_wisdom = false;  // decision served from wisdom v2
+  int measured = 0;          // executor benchmarks the call performed
+};
+
+/// Applies a fused-epilogue-equivalent pass (per-channel bias, ReLU) over
+/// a blocked image batch in place. The Winograd path fuses this into
+/// stage 3; the baseline classes run it here.
+void apply_epilogue_blocked(const ImageLayout& layout, float* data,
+                            const Epilogue& epilogue);
+
+class AutoConv {
+ public:
+  AutoConv(const ConvShape& shape, const SelectedConfig& config,
+           const PlanOptions& options = {});
+  ~AutoConv();
+
+  AutoConv(const AutoConv&) = delete;
+  AutoConv& operator=(const AutoConv&) = delete;
+
+  /// Memoizes `kernels` (blocked bank, shape's kernel_layout()) in the
+  /// algorithm's preferred form: transformed W (Winograd), the
+  /// frequency-domain bank (FFT), or a plain copy (direct).
+  void set_kernels(const float* kernels_blocked);
+
+  /// Requires set_kernels (or a successful try_adopt_kernels) first.
+  void execute_pretransformed(const float* input, float* output,
+                              const Epilogue& epilogue = {});
+
+  /// Zero-copy W sharing across batch-size replicas — meaningful only
+  /// when this executor is Winograd-backed; other classes return an empty
+  /// handle / false and the caller falls back to set_kernels().
+  SharedKernels export_kernels() const;
+  bool try_adopt_kernels(const SharedKernels& shared);
+
+  bool kernels_ready() const;
+  const ConvShape& shape() const { return shape_; }
+  const SelectedConfig& config() const { return config_; }
+
+  /// The wrapped ConvPlan (nullptr unless Winograd-backed).
+  ConvPlan* winograd_plan() { return plan_.get(); }
+
+  i64 workspace_bytes() const;
+
+ private:
+  ConvShape shape_;
+  SelectedConfig config_;
+  ImageLayout in_layout_, out_layout_;
+
+  // Exactly one backend is non-null, per config_.algorithm.
+  std::unique_ptr<ConvPlan> plan_;
+  std::unique_ptr<DirectConvBlocked> direct_;
+  std::unique_ptr<FftConv> fft_;
+
+  // direct: blocked weight copy; fft: plain-layout staging buffers.
+  AlignedBuffer<float> w_blocked_;
+  AlignedBuffer<float> plain_in_, plain_out_;
+  bool kernels_ready_ = false;
+};
+
+}  // namespace ondwin::select

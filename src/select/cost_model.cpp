@@ -1,0 +1,176 @@
+#include "select/cost_model.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "wincnn/cook_toom.h"
+
+namespace ondwin::select {
+namespace {
+
+// Relative execution efficiency of each code path, in fractions of the
+// machine's FMA peak. Absolute values do not matter — only ratios do —
+// but they are chosen to match what the repo's own benches show:
+//  * the JIT Winograd GEMM runs near peak (register-blocked, prefetched),
+//  * the transform codelets are vector code bound by shuffles/stores,
+//  * the blocked direct baseline vectorizes its FMAs but re-reads inputs
+//    once per tap,
+//  * the radix-2 FFT substrate and its pointwise stage are scalar.
+constexpr double kGemmEff = 0.70;
+constexpr double kTransformEff = 0.25;
+constexpr double kDirectEff = 0.35;
+constexpr double kFftEff = 0.03;
+
+// Bandwidth charge: one byte of compulsory traffic costs about this many
+// peak-flop units (64 flops/cycle vs ~8 bytes/cycle on the reference
+// host).
+constexpr double kFlopsPerByte = 8.0;
+
+double combine(double flops, double eff, double bytes) {
+  return flops / eff + kFlopsPerByte * bytes;
+}
+
+// Max-abs-row-sum norm of a rational matrix, in double.
+double norm_inf(const RatMatrix& m) {
+  double best = 0;
+  for (i64 i = 0; i < m.rows(); ++i) {
+    double row = 0;
+    for (i64 j = 0; j < m.cols(); ++j) {
+      row += std::abs(m.at(i, j).to_double());
+    }
+    best = std::max(best, row);
+  }
+  return best;
+}
+
+// Per-dimension amplification ‖Bᵀ‖·‖G‖·‖Aᵀ‖, cached — cook_toom runs
+// exact rational arithmetic and is called for every enumerated candidate.
+double amplification(int m, int r) {
+  static std::mutex mu;
+  static std::map<std::pair<int, int>, double> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find({m, r});
+  if (it != cache.end()) return it->second;
+  const WinogradMatrices wm = cook_toom(m, r);
+  const double amp = norm_inf(wm.BT) * norm_inf(wm.G) * norm_inf(wm.AT);
+  cache.emplace(std::make_pair(m, r), amp);
+  return amp;
+}
+
+}  // namespace
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kDirect:
+      return "direct";
+    case Algorithm::kFft:
+      return "fft";
+    case Algorithm::kWinograd:
+      return "winograd";
+  }
+  return "?";
+}
+
+bool parse_algorithm(const std::string& name, Algorithm* out) {
+  if (name == "direct") {
+    *out = Algorithm::kDirect;
+  } else if (name == "fft") {
+    *out = Algorithm::kFft;
+  } else if (name == "winograd") {
+    *out = Algorithm::kWinograd;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+double winograd_error_bound(const Dims& tile_m, const Dims& kernel) {
+  constexpr double kEps = 1.19209290e-7;  // FLT_EPSILON
+  double amp = 1.0;
+  for (int d = 0; d < tile_m.rank(); ++d) {
+    amp *= amplification(static_cast<int>(tile_m[d]),
+                         static_cast<int>(kernel[d]));
+  }
+  return kEps * amp;
+}
+
+CostEstimate estimate_direct(const ConvShape& shape) {
+  CostEstimate e;
+  e.flops = 2.0 * static_cast<double>(shape.direct_macs());
+  e.bytes = 4.0 * static_cast<double>(shape.input_floats() +
+                                      shape.output_floats() +
+                                      shape.weight_floats());
+  e.cost = combine(e.flops, kDirectEff, e.bytes);
+  return e;
+}
+
+CostEstimate estimate_fft(const ConvShape& shape) {
+  // Mirror FftConv's transform extents: next power of two fitting the
+  // linearized (padded) convolution per dimension.
+  double fft_total = 1;
+  double log_sum = 0;
+  for (int d = 0; d < shape.image.rank(); ++d) {
+    const i64 need =
+        shape.image[d] + 2 * shape.padding[d] + shape.kernel[d] - 1;
+    const double n = static_cast<double>(next_pow2(static_cast<u64>(need)));
+    fft_total *= n;
+    log_sum += std::log2(n);
+  }
+  const double b = static_cast<double>(shape.batch);
+  const double c = static_cast<double>(shape.in_channels);
+  const double cp = static_cast<double>(shape.out_channels);
+
+  CostEstimate e;
+  // Forward FFTs of every input channel, complex pointwise
+  // multiply-accumulate across C for every output channel, inverse FFTs
+  // (kernels are pre-transformed — the FX analogue).
+  e.flops = b * (c + cp) * 5.0 * fft_total * log_sum +
+            b * c * cp * 8.0 * fft_total;
+  // The frequency-domain kernel bank (C·C'·fft_total complex values) is
+  // streamed once per batch element — the term that sinks this class on
+  // small kernels.
+  e.bytes = 8.0 * fft_total * (b * c * cp + b * 2.0 * (c + cp)) +
+            4.0 * static_cast<double>(shape.input_floats() +
+                                      shape.output_floats());
+  e.cost = combine(e.flops, kFftEff, e.bytes);
+  return e;
+}
+
+CostEstimate estimate_winograd(const ConvShape& shape, const Dims& tile_m) {
+  ConvProblem p;
+  p.shape = shape;
+  p.tile_m = tile_m;
+  const int rank = shape.image.rank();
+  const double t_elems = static_cast<double>(p.tile_elements());
+  const double nb =
+      static_cast<double>(p.tiles_total() * shape.batch);
+  const double c = static_cast<double>(shape.in_channels);
+  const double cp = static_cast<double>(shape.out_channels);
+
+  CostEstimate e;
+  e.err_bound = winograd_error_bound(tile_m, shape.kernel);
+
+  const double gemm_flops = 2.0 * static_cast<double>(p.winograd_macs());
+  // Each tile's forward/inverse transform is `rank` passes of α×α
+  // (resp. m×α) matrix products over α^(rank-1) pencils. Kernel
+  // transforms are amortized (FX mode) and ignored.
+  double alpha_max = 0;
+  for (int d = 0; d < rank; ++d) {
+    alpha_max = std::max(alpha_max, static_cast<double>(p.alpha()[d]));
+  }
+  const double tr_flops =
+      nb * (c + cp) * static_cast<double>(rank) * 2.0 * alpha_max * t_elems;
+
+  // Traffic: image in/out, the transformed buffers I and I' each written
+  // once and read once, and the transformed kernel bank W read once.
+  e.bytes = 4.0 * (static_cast<double>(shape.input_floats()) +
+                   static_cast<double>(shape.output_floats()) +
+                   2.0 * t_elems * nb * (c + cp) + t_elems * c * cp);
+  e.flops = gemm_flops + tr_flops;
+  e.cost = combine(gemm_flops, kGemmEff, 0) +
+           combine(tr_flops, kTransformEff, e.bytes);
+  return e;
+}
+
+}  // namespace ondwin::select

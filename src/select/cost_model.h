@@ -1,0 +1,54 @@
+// Analytic cost and accuracy models for algorithm & tile-size selection
+// (ondwin::select). The paper fixes the Winograd variant per layer and
+// tunes only the blocking empirically (§4.3.2); Zlateski et al. ("FFT
+// Convolutions are Faster than Winograd on Modern CPUs") show the winning
+// algorithmic class flips with kernel size, image size and cache pressure.
+// These models are deliberately coarse — they exist to *rank* candidates
+// so only a top-K short list is ever benchmarked; measurement makes the
+// final call.
+#pragma once
+
+#include "core/conv_problem.h"
+
+namespace ondwin::select {
+
+/// The algorithmic classes the planner chooses between. All three execute
+/// the same cross-correlation on the same SIMD-blocked layouts (the FFT
+/// class converts at its edges).
+enum class Algorithm {
+  kDirect,    // DirectConvBlocked: vectorized loop nest, no transforms
+  kFft,       // FftConv: frequency-domain pointwise accumulation
+  kWinograd,  // ConvPlan: JIT N-D Winograd F(m, r)
+};
+
+const char* algorithm_name(Algorithm a);
+
+/// Parses "direct" / "fft" / "winograd"; returns false on anything else.
+bool parse_algorithm(const std::string& name, Algorithm* out);
+
+/// Ranking-model output. `cost` is in abstract "effective flop" units —
+/// useful arithmetic divided by a per-algorithm efficiency factor plus a
+/// bandwidth charge for the minimum memory traffic; only comparisons
+/// between candidates of the same problem are meaningful.
+struct CostEstimate {
+  double flops = 0;      // useful arithmetic (2·MACs plus transforms)
+  double bytes = 0;      // first-order memory traffic
+  double err_bound = 0;  // relative-error proxy (Winograd only, else 0)
+  double cost = 0;       // the ranking scalar
+};
+
+CostEstimate estimate_direct(const ConvShape& shape);
+CostEstimate estimate_fft(const ConvShape& shape);
+CostEstimate estimate_winograd(const ConvShape& shape, const Dims& tile_m);
+
+/// Numeric-accuracy proxy for F(m_d, r_d): machine epsilon times the
+/// product over dimensions of ‖Bᵀ_d‖₁·‖G_d‖₁·‖Aᵀ_d‖₁ (max-abs-row-sum
+/// norms of the exact rational transform matrices — the standard
+/// worst-case amplification bound behind the paper's Tbl. 3 error
+/// growth). It tracks the measured Tbl.-3 *shape* (two-to-three orders
+/// per +2 of m) while sitting 2–4 orders above the observed errors, so
+/// thresholds (SelectOptions::max_err_bound) are calibrated on this
+/// proxy scale, not on target output error.
+double winograd_error_bound(const Dims& tile_m, const Dims& kernel);
+
+}  // namespace ondwin::select

@@ -1,0 +1,253 @@
+#include "select/select.h"
+
+#include <algorithm>
+
+#include "core/tuner.h"
+#include "core/wisdom.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace ondwin::select {
+namespace {
+
+// Recursively enumerates per-dimension Winograd tile sizes m_d ∈
+// {2..max_m} with α_d = m_d + r_d − 1 ≤ 16 and m_d ≤ the output extent
+// (a tile larger than the output only adds padding waste; out_d == 1
+// degenerates to m_d = 1).
+void enumerate_tiles(const ConvShape& shape, const Dims& out_dims, int max_m,
+                     int d, Dims cur, std::vector<Dims>* out) {
+  if (d == shape.image.rank()) {
+    out->push_back(cur);
+    return;
+  }
+  const i64 out_d = out_dims[d];
+  if (out_d == 1) {
+    cur.push_back(1);
+    enumerate_tiles(shape, out_dims, max_m, d + 1, cur, out);
+    return;
+  }
+  for (i64 m = 2; m <= max_m; ++m) {
+    if (m + shape.kernel[d] - 1 > 16) break;
+    if (m > out_d && m > 2) break;
+    Dims next = cur;
+    next.push_back(m);
+    enumerate_tiles(shape, out_dims, max_m, d + 1, next, out);
+  }
+}
+
+struct MeasuredCandidate {
+  Candidate cand;
+  Blocking blocking;  // Winograd only; zeros otherwise
+  double seconds = 1e300;
+};
+
+// Benchmarks one non-Winograd candidate on shared synthetic buffers.
+double measure_executor(AutoConv& exec, const float* in, float* out,
+                        double budget_seconds) {
+  exec.execute_pretransformed(in, out);  // warm-up
+  return bench_min_seconds(
+      [&] { exec.execute_pretransformed(in, out); },
+      std::min(0.05, budget_seconds / 4.0), 2);
+}
+
+}  // namespace
+
+std::vector<Candidate> enumerate_candidates(const ConvShape& shape,
+                                            const SelectOptions& opts) {
+  shape.validate();
+  std::vector<Candidate> cands;
+
+  if (opts.allow_direct) {
+    Candidate c;
+    c.algorithm = Algorithm::kDirect;
+    c.est = estimate_direct(shape);
+    cands.push_back(c);
+  }
+  if (opts.allow_fft) {
+    Candidate c;
+    c.algorithm = Algorithm::kFft;
+    c.est = estimate_fft(shape);
+    cands.push_back(c);
+  }
+  if (opts.allow_winograd) {
+    std::vector<Dims> tiles;
+    enumerate_tiles(shape, shape.output(), opts.max_m, 0, Dims{}, &tiles);
+    for (const Dims& m : tiles) {
+      if (winograd_error_bound(m, shape.kernel) > opts.max_err_bound) {
+        continue;
+      }
+      Candidate c;
+      c.algorithm = Algorithm::kWinograd;
+      c.tile_m = m;
+      c.est = estimate_winograd(shape, m);
+      cands.push_back(c);
+    }
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.est.cost < b.est.cost;
+            });
+  return cands;
+}
+
+SelectedConfig select_config(const ConvShape& shape,
+                             const SelectOptions& opts) {
+  shape.validate();
+  ONDWIN_CHECK(shape.in_channels % kSimdWidth == 0 &&
+                   shape.out_channels % kSimdWidth == 0,
+               "selection requires SIMD-blocked channel counts (C, C' "
+               "divisible by ",
+               kSimdWidth, ")");
+
+  const std::string& wpath = opts.plan.wisdom_path;
+  const std::string key = shape_key(shape);
+  if (!wpath.empty()) {
+    WisdomV2Store wisdom(wpath);
+    if (auto rec = wisdom.lookup(key)) {
+      const bool rank_ok =
+          rec->algorithm != Algorithm::kWinograd ||
+          rec->tile_m.rank() == shape.image.rank();
+      if (rank_ok) {
+        SelectedConfig sel;
+        sel.algorithm = rec->algorithm;
+        sel.tile_m = rec->tile_m;
+        sel.blocking = rec->blocking;
+        sel.from_wisdom = true;
+        return sel;
+      }
+    }
+  }
+
+  std::vector<Candidate> ranked = enumerate_candidates(shape, opts);
+  ONDWIN_CHECK(!ranked.empty(),
+               "no admissible convolution algorithm for this shape");
+
+  if (!opts.measure) {
+    // Trust the model. Unmeasured guesses are cheap to recompute, so
+    // they are deliberately NOT persisted to wisdom.
+    SelectedConfig sel;
+    sel.algorithm = ranked.front().algorithm;
+    sel.tile_m = ranked.front().tile_m;
+    return sel;
+  }
+
+  // Short list: the top-K by predicted cost, plus the pinned F(2, r)
+  // default so the planner can never lose to the library's historical
+  // fixed choice.
+  std::vector<Candidate> shortlist(
+      ranked.begin(),
+      ranked.begin() + std::min<std::size_t>(
+                           ranked.size(),
+                           static_cast<std::size_t>(std::max(1, opts.top_k))));
+  const Dims m_default = Dims::filled(shape.image.rank(), 2);
+  const bool default_admissible =
+      opts.allow_winograd &&
+      std::any_of(ranked.begin(), ranked.end(), [&](const Candidate& c) {
+        return c.algorithm == Algorithm::kWinograd && c.tile_m == m_default;
+      });
+  if (default_admissible &&
+      std::none_of(shortlist.begin(), shortlist.end(),
+                   [&](const Candidate& c) {
+                     return c.algorithm == Algorithm::kWinograd &&
+                            c.tile_m == m_default;
+                   })) {
+    const auto it =
+        std::find_if(ranked.begin(), ranked.end(), [&](const Candidate& c) {
+          return c.algorithm == Algorithm::kWinograd &&
+                 c.tile_m == m_default;
+        });
+    shortlist.push_back(*it);
+  }
+
+  // Shared synthetic buffers for the executor benchmarks.
+  const ImageLayout in_l(shape.batch, shape.in_channels, shape.image);
+  const ImageLayout out_l(shape.batch, shape.out_channels, shape.output());
+  const KernelLayout k_l{shape.in_channels, shape.out_channels, shape.kernel};
+  AlignedBuffer<float> in(static_cast<std::size_t>(in_l.total_floats()));
+  AlignedBuffer<float> w(static_cast<std::size_t>(k_l.total_floats()));
+  AlignedBuffer<float> out(static_cast<std::size_t>(out_l.total_floats()));
+  Rng rng(0x5E1EC7);
+  for (auto& v : in) v = rng.uniform(-1, 1);
+  for (auto& v : w) v = rng.uniform(-1, 1);
+
+  const double per_candidate =
+      std::max(1e-3, opts.budget_seconds /
+                         static_cast<double>(shortlist.size()));
+  std::vector<MeasuredCandidate> measured;
+  Timer budget;
+  for (const Candidate& cand : shortlist) {
+    MeasuredCandidate mc;
+    mc.cand = cand;
+    if (cand.algorithm == Algorithm::kWinograd) {
+      ConvProblem p;
+      p.shape = shape;
+      p.tile_m = cand.tile_m;
+      std::optional<Blocking> known;
+      if (!wpath.empty()) {
+        known = WisdomV2Store(wpath).lookup_v1(wisdom_key(p));
+      }
+      if (known) {
+        // A legacy v1 entry already tuned this tile size: benchmark that
+        // single blocking instead of re-running the search.
+        SelectedConfig cfg;
+        cfg.algorithm = Algorithm::kWinograd;
+        cfg.tile_m = cand.tile_m;
+        cfg.blocking = *known;
+        AutoConv exec(shape, cfg, opts.plan);
+        exec.set_kernels(w.data());
+        mc.blocking = *known;
+        mc.seconds = measure_executor(exec, in.data(), out.data(),
+                                      per_candidate);
+      } else {
+        // The existing tuner harness finds the best blocking (and
+        // persists it as a v1 entry when a wisdom path is attached).
+        const TuneResult tuned = auto_tune(p, opts.plan, per_candidate);
+        mc.blocking = tuned.best;
+        mc.seconds = tuned.best_seconds;
+      }
+    } else {
+      SelectedConfig cfg;
+      cfg.algorithm = cand.algorithm;
+      AutoConv exec(shape, cfg, opts.plan);
+      exec.set_kernels(w.data());
+      mc.seconds =
+          measure_executor(exec, in.data(), out.data(), per_candidate);
+    }
+    measured.push_back(mc);
+    // Soft overall budget: stop measuring further candidates (the pinned
+    // default sits at the end of the shortlist, so give it a chance by
+    // allowing one overshoot).
+    if (budget.seconds() > 2.0 * opts.budget_seconds) break;
+  }
+
+  const auto best = std::min_element(
+      measured.begin(), measured.end(),
+      [](const MeasuredCandidate& a, const MeasuredCandidate& b) {
+        return a.seconds < b.seconds;
+      });
+
+  SelectedConfig sel;
+  sel.algorithm = best->cand.algorithm;
+  sel.tile_m = best->cand.tile_m;
+  sel.blocking = best->blocking;
+  sel.seconds = best->seconds;
+  sel.measured = static_cast<int>(measured.size());
+
+  if (!wpath.empty()) {
+    WisdomV2Store wisdom(wpath);
+    SelectionRecord rec;
+    rec.algorithm = sel.algorithm;
+    rec.tile_m = sel.tile_m;
+    rec.blocking = sel.blocking;
+    wisdom.store(key, rec);
+  }
+  return sel;
+}
+
+std::unique_ptr<AutoConv> plan_auto(const ConvShape& shape,
+                                    const SelectOptions& opts) {
+  const SelectedConfig sel = select_config(shape, opts);
+  return std::make_unique<AutoConv>(shape, sel, opts.plan);
+}
+
+}  // namespace ondwin::select

@@ -1,0 +1,161 @@
+#include "select/wisdom2.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace ondwin::select {
+namespace {
+
+constexpr const char* kV2Tag = "!v2";
+
+std::string mspec(const Dims& tile_m) {
+  if (tile_m.rank() == 0) return "-";
+  std::ostringstream os;
+  for (int d = 0; d < tile_m.rank(); ++d) os << (d ? "x" : "") << tile_m[d];
+  return os.str();
+}
+
+bool parse_mspec(const std::string& s, Dims* out) {
+  if (s == "-") {
+    *out = Dims{};
+    return true;
+  }
+  std::vector<i64> vals;
+  std::istringstream is(s);
+  std::string part;
+  while (std::getline(is, part, 'x')) {
+    try {
+      const i64 v = std::stoll(part);
+      if (v < 1 || v > 16) return false;
+      vals.push_back(v);
+    } catch (...) {
+      return false;
+    }
+  }
+  if (vals.empty() || vals.size() > static_cast<std::size_t>(kMaxNd)) {
+    return false;
+  }
+  Dims d;
+  for (i64 v : vals) d.push_back(v);
+  *out = d;
+  return true;
+}
+
+bool plausible_blocking(int n, int c, int cp) {
+  return n >= 1 && n <= 30 && c >= 16 && cp >= 16;
+}
+
+}  // namespace
+
+std::string shape_key(const ConvShape& shape) {
+  std::ostringstream os;
+  os << "r" << shape.image.rank() << "_b" << shape.batch << "_c"
+     << shape.in_channels << "_o" << shape.out_channels;
+  os << "_i";
+  for (int d = 0; d < shape.image.rank(); ++d) {
+    os << (d ? "x" : "") << shape.image[d];
+  }
+  os << "_k";
+  for (int d = 0; d < shape.image.rank(); ++d) {
+    os << (d ? "x" : "") << shape.kernel[d];
+  }
+  os << "_p";
+  for (int d = 0; d < shape.image.rank(); ++d) {
+    os << (d ? "x" : "") << shape.padding[d];
+  }
+  return os.str();
+}
+
+WisdomV2Store::WisdomV2Store(std::string path) : path_(std::move(path)) {
+  load();
+}
+
+void WisdomV2Store::load() {
+  std::ifstream in(path_);
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;  // blank: skip
+    if (first == kV2Tag) {
+      std::string key, algo_s, m_s;
+      int n = 0, c = 0, cp = 0;
+      if (!(ls >> key >> algo_s >> m_s >> n >> c >> cp)) continue;
+      SelectionRecord rec;
+      if (!parse_algorithm(algo_s, &rec.algorithm)) continue;
+      if (!parse_mspec(m_s, &rec.tile_m)) continue;
+      if (rec.algorithm == Algorithm::kWinograd) {
+        if (rec.tile_m.rank() == 0) continue;  // Winograd needs tiles
+        if (!plausible_blocking(n, c, cp)) continue;
+      }
+      rec.blocking = {n, c, cp};
+      v2_[key] = rec;
+      continue;
+    }
+    // v1 line: <problem_key> <n> <c> <cp> — same acceptance rules as the
+    // core WisdomStore so both stores agree on what a legacy entry is.
+    int n = 0, c = 0, cp = 0;
+    if (!(ls >> n >> c >> cp)) continue;  // malformed: skip
+    if (!plausible_blocking(n, c, cp)) continue;
+    v1_[first] = {n, c, cp};
+  }
+}
+
+std::optional<SelectionRecord> WisdomV2Store::lookup(
+    const std::string& key) const {
+  const auto it = v2_.find(key);
+  if (it == v2_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Blocking> WisdomV2Store::lookup_v1(
+    const std::string& problem_key) const {
+  const auto it = v1_.find(problem_key);
+  if (it == v1_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool WisdomV2Store::store(const std::string& key,
+                          const SelectionRecord& record) {
+  v2_[key] = record;
+  // Write-then-rename, like the v1 store, so concurrent readers never see
+  // a half-written file. v1 entries are rewritten alongside the v2 ones.
+  static std::atomic<u64> serial{0};
+  u64 uniq = serial.fetch_add(1);
+#if defined(__linux__)
+  uniq = uniq * 1000003 + static_cast<u64>(::getpid());
+#endif
+  const std::string tmp = path_ + ".tmp." + std::to_string(uniq);
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    for (const auto& [k, b] : v1_) {
+      out << k << " " << b.n_blk << " " << b.c_blk << " " << b.cp_blk
+          << "\n";
+    }
+    for (const auto& [k, r] : v2_) {
+      out << kV2Tag << " " << k << " " << algorithm_name(r.algorithm) << " "
+          << mspec(r.tile_m) << " " << r.blocking.n_blk << " "
+          << r.blocking.c_blk << " " << r.blocking.cp_blk << "\n";
+    }
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ondwin::select

@@ -1,0 +1,70 @@
+// Wisdom v2: versioned persistence for full selection decisions
+// (algorithm + tile sizes + blocking per layer-shape key), the planner's
+// analogue of the v1 blocking-only wisdom of core/wisdom.h.
+//
+// Both generations share one line-oriented file:
+//
+//   v1 line:  <problem_key> <n_blk> <c_blk> <cp_blk>
+//   v2 line:  !v2 <shape_key> <algorithm> <mspec> <n_blk> <c_blk> <cp_blk>
+//
+// where <mspec> is "4x4" style per-dimension tile sizes for Winograd and
+// "-" for the non-Winograd classes. The "!v2" sentinel cannot parse as a
+// v1 key+ints line, so the v1 loader skips v2 lines (and preserves them
+// verbatim on rewrite); this store reads legacy v1 lines transparently
+// and keeps them when it rewrites. Like v1, wisdom is a cache, never a
+// correctness dependency: unreadable files behave as empty and malformed
+// lines are skipped.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/conv_plan.h"
+#include "select/cost_model.h"
+
+namespace ondwin::select {
+
+/// Stable identity of a layer shape for selection: everything the
+/// decision depends on (batch included — it moves the crossover) except
+/// the tile sizes, which are part of the *decision*, not the key.
+std::string shape_key(const ConvShape& shape);
+
+/// One persisted selection decision.
+struct SelectionRecord {
+  Algorithm algorithm = Algorithm::kWinograd;
+  Dims tile_m;        // empty (rank 0) for non-Winograd algorithms
+  Blocking blocking;  // zeros = heuristic (non-Winograd records)
+};
+
+class WisdomV2Store {
+ public:
+  explicit WisdomV2Store(std::string path);
+
+  /// v2 lookup by shape key.
+  std::optional<SelectionRecord> lookup(const std::string& key) const;
+
+  /// Transparent v1 lookup by problem key (core wisdom_key(problem)):
+  /// legacy blocking entries — and the ones auto_tune keeps writing — let
+  /// the planner skip the blocking search for an already-tuned tile size.
+  std::optional<Blocking> lookup_v1(const std::string& problem_key) const;
+
+  /// Inserts/overwrites a selection and atomically rewrites the file,
+  /// preserving every v1 line. Returns false (without throwing) when the
+  /// file cannot be written.
+  bool store(const std::string& key, const SelectionRecord& record);
+
+  std::size_t size() const { return v2_.size(); }
+  std::size_t v1_size() const { return v1_.size(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  void load();
+
+  std::string path_;
+  std::map<std::string, SelectionRecord> v2_;
+  std::map<std::string, Blocking> v1_;
+};
+
+}  // namespace ondwin::select

@@ -71,7 +71,10 @@ void Engine::serve_batch(std::vector<PendingRequest> batch) {
     Timer exec_timer;
     {
       std::lock_guard<std::mutex> lock(*replica.exec_mutex);
-      if (replica.plan != nullptr) {
+      if (replica.auto_conv != nullptr) {
+        replica.auto_conv->execute_pretransformed(in_staging_.data(),
+                                                  out_staging_.data());
+      } else if (replica.plan != nullptr) {
         replica.plan->execute_pretransformed(in_staging_.data(),
                                              out_staging_.data());
       } else {

@@ -65,6 +65,51 @@ int Model::bucket_for(int batch) const {
 }
 
 Model::Replica Model::replica(int bucket, const PlanOptions& options) {
+  if (is_conv_ && config_.auto_select) {
+    // Planner-selected conv replica: one per (bucket, options)
+    // fingerprint, like network replicas. Selection runs once per key —
+    // under the model lock so racing engines cannot measure concurrently
+    // — and is wisdom-v2-cached, so later keys with the same shape (and
+    // server restarts) skip the benchmarks.
+    const std::string key =
+        str_cat(bucket, "|", plan_options_fingerprint(options));
+    std::shared_ptr<AutoReplica> rep;
+    {
+      std::lock_guard<std::mutex> lock(auto_mu_);
+      auto it = auto_replicas_.find(key);
+      if (it == auto_replicas_.end()) {
+        ConvShape shape = problem_.shape;
+        shape.batch = bucket;
+        select::SelectOptions sopts = config_.select;
+        sopts.plan = options;
+        auto fresh = std::make_shared<AutoReplica>();
+        fresh->selected = select::select_config(shape, sopts);
+        fresh->conv = std::make_unique<select::AutoConv>(
+            shape, fresh->selected, options);
+        // Provision weights: Winograd replicas with matching configs
+        // adopt the shared pre-transformed W zero-copy; everything else
+        // transforms/copies from the retained blocked bank.
+        {
+          std::lock_guard<std::mutex> w_lock(w_mu_);
+          if (shared_w_.data == nullptr ||
+              !fresh->conv->try_adopt_kernels(shared_w_)) {
+            fresh->conv->set_kernels(w_blocked_.data());
+            if (shared_w_.data == nullptr) {
+              const SharedKernels exported = fresh->conv->export_kernels();
+              if (exported.data != nullptr) shared_w_ = exported;
+            }
+          }
+        }
+        it = auto_replicas_.emplace(key, std::move(fresh)).first;
+      }
+      rep = it->second;
+    }
+    Replica r;
+    r.exec_mutex = &rep->exec_mutex;
+    r.auto_conv = rep->conv.get();
+    r.selected = &rep->selected;
+    return r;
+  }
   if (is_conv_) {
     ConvProblem p = problem_;
     p.shape.batch = bucket;

@@ -10,6 +10,11 @@
 // rows. Conv replicas are deduplicated across engines through the
 // PlanCache, and every replica shares one immutable pre-transformed W —
 // the first replica pays the kernel transform, the rest adopt it.
+//
+// With ModelConfig::auto_select on, conv replicas instead come from the
+// selection planner (ondwin::select): each bucket independently picks the
+// fastest algorithm/tile for its batch size (the crossover moves with
+// batch), cached in wisdom v2 so the measurements happen once ever.
 #pragma once
 
 #include <atomic>
@@ -60,13 +65,16 @@ class Model {
   int bucket_for(int batch) const;
 
   /// A ready-to-execute replica for `bucket` samples under `options`.
-  /// Exactly one of plan/net is non-null; the caller must hold
+  /// Exactly one of plan/net/auto_conv is non-null; the caller must hold
   /// *exec_mutex around the execution (replicas are stateful and may be
   /// shared by engines with identical options).
   struct Replica {
     std::mutex* exec_mutex = nullptr;
     ConvPlan* plan = nullptr;
     Sequential* net = nullptr;
+    select::AutoConv* auto_conv = nullptr;  // conv model with auto_select
+    /// The planner's decision behind auto_conv (nullptr otherwise).
+    const select::SelectedConfig* selected = nullptr;
   };
   Replica replica(int bucket, const PlanOptions& options);
 
@@ -86,6 +94,13 @@ class Model {
     std::unique_ptr<Sequential> net;
     std::mutex exec_mutex;
   };
+  // Conv model under auto_select: per-(bucket, options) planner-chosen
+  // executor plus the decision it was built from.
+  struct AutoReplica {
+    std::unique_ptr<select::AutoConv> conv;
+    select::SelectedConfig selected;
+    std::mutex exec_mutex;
+  };
 
   const std::string name_;
   const ModelConfig config_;
@@ -103,6 +118,10 @@ class Model {
   AlignedBuffer<float> w_blocked_;
   std::mutex w_mu_;
   SharedKernels shared_w_;
+
+  // Conv state under auto_select (replaces the PlanCache path).
+  std::mutex auto_mu_;
+  std::map<std::string, std::shared_ptr<AutoReplica>> auto_replicas_;
 
   // Network state.
   std::shared_ptr<const Sequential> base_net_;

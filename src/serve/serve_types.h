@@ -18,6 +18,7 @@
 
 #include "core/plan_cache.h"
 #include "core/plan_options.h"
+#include "select/select.h"
 #include "util/aligned.h"
 
 namespace ondwin::serve {
@@ -52,6 +53,21 @@ struct ModelConfig {
   /// even share of the server's CPU budget); `plan.pin_threads`/
   /// `plan.cpu_base` are assigned by the server when CPU pinning is on.
   PlanOptions plan;
+
+  /// When true, conv models run the selection planner (ondwin::select)
+  /// per batch-size bucket instead of a fixed Winograd plan: the bucket's
+  /// batch moves the algorithm crossover, so each replica independently
+  /// gets the fastest of {direct, FFT, Winograd F(m, r)} for its size.
+  /// Decisions are cached in wisdom v2 through `plan.wisdom_path`, so a
+  /// server restart (or a second engine) pays no re-measurement. Network
+  /// models ignore this — their auto layers (add_conv_auto) already
+  /// re-select per replica.
+  bool auto_select = false;
+
+  /// Planner knobs for auto_select (budget, top-K, class gates, accuracy
+  /// bound). The `plan` field inside is ignored: the model's own `plan`
+  /// governs execution and carries the wisdom path.
+  select::SelectOptions select;
 };
 
 /// Server-wide configuration.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/tuner.h"
+#include "select/wisdom2.h"
 
 namespace ondwin {
 namespace {
@@ -171,6 +172,39 @@ TEST(Tuner, CandidatesRespectConstraints) {
   }
 }
 
+TEST(Tuner, WideChannelCandidatesStayLegal) {
+  // 1024 channels: blocks must divide the channel count, stay multiples
+  // of 16, cap at 512, and keep the c×c' working-set product ≤ 128².
+  ConvProblem p = small_problem();
+  p.shape.in_channels = 1024;
+  p.shape.out_channels = 1024;
+  const auto cands = tuning_candidates(p);
+  ASSERT_FALSE(cands.empty());
+  for (const auto& c : cands) {
+    EXPECT_EQ(c.c_blk % 16, 0);
+    EXPECT_EQ(1024 % c.c_blk, 0);
+    EXPECT_LE(c.c_blk, 512);
+    EXPECT_EQ(c.cp_blk % 16, 0);
+    EXPECT_EQ(1024 % c.cp_blk, 0);
+    EXPECT_LE(c.cp_blk, 512);
+    EXPECT_LE(static_cast<i64>(c.c_blk) * c.cp_blk, 128 * 128);
+    EXPECT_GE(c.n_blk, 1);
+    EXPECT_LE(c.n_blk, 30);
+  }
+}
+
+TEST(Tuner, ZeroBudgetStopsAfterFirstCandidate) {
+  // The budget is checked inside the repetition loop and between
+  // candidates: an exhausted budget still yields a usable result (the
+  // screening repetition of the first candidate), but nothing more.
+  const ConvProblem p = small_problem();
+  PlanOptions base;
+  base.threads = 1;
+  const TuneResult r = auto_tune(p, base, /*budget_seconds=*/0.0);
+  EXPECT_EQ(r.all.size(), 1u);
+  EXPECT_GT(r.best_seconds, 0.0);
+}
+
 TEST(Tuner, FindsABlockingAndStoresWisdom) {
   TempFile f;
   const ConvProblem p = small_problem();
@@ -191,6 +225,113 @@ TEST(Tuner, FindsABlockingAndStoresWisdom) {
   EXPECT_EQ(hit->n_blk, r.best.n_blk);
   EXPECT_EQ(hit->c_blk, r.best.c_blk);
   EXPECT_EQ(hit->cp_blk, r.best.cp_blk);
+}
+
+// --------------------------------------------------------- wisdom v2 -----
+
+TEST(WisdomV2, RoundTripBothAlgorithmClasses) {
+  TempFile f;
+  {
+    select::WisdomV2Store store(f.path());
+    select::SelectionRecord wino;
+    wino.algorithm = select::Algorithm::kWinograd;
+    wino.tile_m = {4, 6};
+    wino.blocking = {14, 32, 64};
+    EXPECT_TRUE(store.store("shapeA", wino));
+
+    select::SelectionRecord fft;
+    fft.algorithm = select::Algorithm::kFft;  // rank-0 tile_m, zero blocking
+    EXPECT_TRUE(store.store("shapeB", fft));
+  }
+  select::WisdomV2Store reloaded(f.path());
+  EXPECT_EQ(reloaded.size(), 2u);
+  const auto a = reloaded.lookup("shapeA");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->algorithm, select::Algorithm::kWinograd);
+  EXPECT_EQ(a->tile_m, Dims({4, 6}));
+  EXPECT_EQ(a->blocking.n_blk, 14);
+  EXPECT_EQ(a->blocking.c_blk, 32);
+  EXPECT_EQ(a->blocking.cp_blk, 64);
+  const auto b = reloaded.lookup("shapeB");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->algorithm, select::Algorithm::kFft);
+  EXPECT_EQ(b->tile_m.rank(), 0);
+}
+
+TEST(WisdomV2, ReadsLegacyV1LinesTransparently) {
+  TempFile f;
+  {
+    WisdomStore v1(f.path());
+    v1.store("legacy_key", {7, 16, 32});
+  }
+  select::WisdomV2Store store(f.path());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.v1_size(), 1u);
+  const auto hit = store.lookup_v1("legacy_key");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->n_blk, 7);
+  EXPECT_EQ(hit->c_blk, 16);
+  EXPECT_EQ(hit->cp_blk, 32);
+  EXPECT_FALSE(store.lookup("legacy_key").has_value());
+}
+
+TEST(WisdomV2, MalformedLinesAreSkipped) {
+  TempFile f;
+  {
+    std::ofstream out(f.path());
+    out << "!v2 good winograd 4x4 6 32 32\n";
+    out << "!v2 bad_algo warp 4x4 6 32 32\n";
+    out << "!v2 bad_mspec winograd 4xq 6 32 32\n";
+    out << "!v2 short winograd 4x4 6\n";
+    out << "!v2 bad_blocking winograd 4x4 99 32 32\n";
+    out << "!v2\n";
+    out << "legacy 6 16 16\n";
+  }
+  select::WisdomV2Store store(f.path());
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.v1_size(), 1u);
+  EXPECT_TRUE(store.lookup("good").has_value());
+  EXPECT_FALSE(store.lookup("bad_algo").has_value());
+  EXPECT_FALSE(store.lookup("bad_mspec").has_value());
+  EXPECT_FALSE(store.lookup("short").has_value());
+  EXPECT_FALSE(store.lookup("bad_blocking").has_value());
+}
+
+TEST(WisdomV2, GenerationsPreserveEachOtherOnRewrite) {
+  // The two stores share one file; each generation's rewrite must keep
+  // the other's lines. This is what lets auto_tune (v1 writer) and the
+  // selection planner (v2 writer) use one wisdom_path.
+  TempFile f;
+  {
+    select::WisdomV2Store v2(f.path());
+    select::SelectionRecord rec;
+    rec.algorithm = select::Algorithm::kDirect;
+    EXPECT_TRUE(v2.store("sel_key", rec));
+  }
+  {
+    WisdomStore v1(f.path());
+    EXPECT_EQ(v1.size(), 0u);  // the !v2 line is not a v1 entry
+    EXPECT_TRUE(v1.store("blk_key", {6, 16, 16}));
+  }
+  {
+    select::WisdomV2Store v2(f.path());
+    EXPECT_TRUE(v2.lookup("sel_key").has_value());   // survived v1 rewrite
+    ASSERT_TRUE(v2.lookup_v1("blk_key").has_value());
+    select::SelectionRecord rec;
+    rec.algorithm = select::Algorithm::kFft;
+    EXPECT_TRUE(v2.store("sel_key2", rec));
+  }
+  WisdomStore v1(f.path());
+  EXPECT_TRUE(v1.lookup("blk_key").has_value());     // survived v2 rewrite
+}
+
+TEST(WisdomV2, UnreadablePathActsEmptyAndUnwritableReturnsFalse) {
+  select::WisdomV2Store missing("/tmp/ondwin_nonexistent_wisdom2_xyz");
+  EXPECT_EQ(missing.size(), 0u);
+  EXPECT_FALSE(missing.lookup("anything").has_value());
+
+  select::WisdomV2Store unwritable("/nonexistent_dir_xyz/wisdom");
+  EXPECT_FALSE(unwritable.store("k", {}));
 }
 
 }  // namespace
