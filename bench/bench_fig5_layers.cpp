@@ -1,7 +1,8 @@
 // Fig. 5 reproduction: runtime of every Tbl. 2 convolutional layer under
 // each implementation.
 //
-//   $ ./bench_fig5_layers [--full] [--csv out.csv]
+//   $ ./bench_fig5_layers [--full] [--csv out.csv] [--json out.json]
+//                         [--obs-overhead]
 //
 // Columns per layer (the paper's bar groups):
 //   direct         optimized direct convolution on the blocked layout
@@ -13,9 +14,23 @@
 //   ours F(m,r)    this library, training mode (kernels transformed)
 //   ours F(m,r) FX this library, inference mode (memoized transforms)
 //
+// The "ours ... FX" rows additionally break the run into the paper's three
+// stages using ConvPlanStats: per-stage milliseconds, per-thread load
+// imbalance (max/mean task time — §4.5's static-schedule efficiency), and
+// two GFLOP/s figures for the GEMM stage: raw (Winograd MACs actually
+// executed) vs effective (direct-equivalent — the algorithmic saving).
+// When perf_event_open is available, hardware counters (IPC, L1D/LLC
+// misses) are reported for the whole FX timing loop.
+//
+// --obs-overhead runs a smoke check instead of the sweep: the obs tracer
+// must cost <2% on a Fig. 5 layer even when ENABLED (the disabled path —
+// one relaxed load per span — is a strict subset of that work, so passing
+// bounds the disabled overhead well under the budget). Exits 0/1.
+//
 // Expected shape (paper): ours beats direct and the simple Winograd on
 // every layer; larger m helps until padding waste dominates; FX helps most
 // where C,C' are large and batch is 1 (FusionNet 4.2/5.2).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -29,6 +44,7 @@
 #include "baseline/simple_winograd.h"
 #include "layers.h"
 #include "ondwin/ondwin.h"
+#include "report.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -36,15 +52,70 @@ using namespace ondwin;
 
 namespace {
 
-struct Row {
-  std::string net, layer, impl;
-  double ms;
-  double gflops;  // direct-equivalent throughput
-};
-
 double bench_secs(const std::function<void()>& fn) {
   fn();  // warm-up
   return bench_min_seconds(fn, 0.05, 2);
+}
+
+// Analytic transform FLOPs of one fork–join transform stage (matches the
+// selection cost model): every tile is `rank` passes of α×α (resp. m×α)
+// matrix products over α^(rank-1) pencils, once per input (c) or output
+// (cp) channel.
+double transform_flops(const ConvProblem& p, double channels) {
+  const double nb = static_cast<double>(p.tiles_total() * p.shape.batch);
+  const double t_elems = static_cast<double>(p.tile_elements());
+  double alpha_max = 0;
+  for (int d = 0; d < p.rank(); ++d) {
+    alpha_max = std::max(alpha_max, static_cast<double>(p.alpha()[d]));
+  }
+  return nb * channels * static_cast<double>(p.rank()) * 2.0 * alpha_max *
+         t_elems;
+}
+
+// --obs-overhead: tracer cost on one Fig. 5 layer, enabled vs disabled.
+// Up to 3 attempts (timing noise on shared CI machines); pass if any
+// attempt keeps the enabled-tracing slowdown under 2%.
+int run_obs_overhead_check() {
+  const auto layers = table2_layers(/*full=*/false);
+  const BenchLayer& L = layers.front();
+  ConvProblem p;
+  p.shape = L.shape;
+  p.tile_m = Dims::filled(L.shape.image.rank(), 4);
+
+  const ImageLayout in_l = p.input_layout();
+  const ImageLayout out_l = p.output_layout();
+  const KernelLayout k_l = p.kernel_layout();
+  AlignedBuffer<float> in(static_cast<std::size_t>(in_l.total_floats()));
+  AlignedBuffer<float> w(static_cast<std::size_t>(k_l.total_floats()));
+  AlignedBuffer<float> out(static_cast<std::size_t>(out_l.total_floats()));
+  Rng rng(7);
+  for (auto& v : in) v = rng.uniform(-1.0f, 1.0f);
+  for (auto& v : w) v = rng.gaussian(0.0f, 0.05f);
+
+  ConvPlan plan(p);
+  plan.set_kernels(w.data());
+  auto run = [&] { plan.execute_pretransformed(in.data(), out.data()); };
+
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const bool was_enabled = tracer.enabled();
+  std::printf("obs-overhead smoke: %s %s, tracing enabled vs disabled\n",
+              L.net.c_str(), L.name.c_str());
+
+  bool pass = false;
+  for (int attempt = 0; attempt < 3 && !pass; ++attempt) {
+    tracer.set_enabled(false);
+    const double off = bench_secs(run);
+    tracer.set_enabled(true);
+    const double on = bench_secs(run);
+    tracer.clear();  // drop the smoke's events; don't pollute a real trace
+    const double overhead = on / off - 1.0;
+    std::printf("  attempt %d: off %.3f ms, on %.3f ms, overhead %+.2f%%\n",
+                attempt + 1, off * 1e3, on * 1e3, overhead * 100.0);
+    pass = overhead < 0.02;
+  }
+  tracer.set_enabled(was_enabled);
+  std::printf("obs-overhead: %s (budget 2%%)\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
 }
 
 }  // namespace
@@ -57,10 +128,24 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
     }
+    if (std::strcmp(argv[i], "--obs-overhead") == 0) {
+      return run_obs_overhead_check();
+    }
+  }
+  const std::string json_path = bench::json_flag(argc, argv);
+
+  // Open hardware counters before any plan exists: inherit=1 only covers
+  // threads spawned after the open, and plans spawn their worker pools at
+  // construction.
+  obs::PerfCounterSet perf;
+  if (!perf.available()) {
+    std::printf("(perf counters unavailable: %s)\n",
+                perf.unavailable_reason().c_str());
   }
 
   const auto layers = table2_layers(full);
-  std::vector<Row> rows;
+  bench::BenchReport report("fig5_layers");
+  std::vector<std::string> csv_rows;
   Rng rng(2024);
 
   std::printf("== Fig. 5: convolution layer runtimes (%s sizes) ==\n",
@@ -84,11 +169,19 @@ int main(int argc, char** argv) {
     for (auto& v : in_b) v = rng.uniform(-1.0f, 1.0f);
     for (auto& v : w_b) v = rng.gaussian(0.0f, 0.05f);
 
-    auto emit = [&](const std::string& impl, double secs) {
-      const Row r{L.net, L.name, impl, secs * 1e3, direct_flops / secs / 1e9};
-      rows.push_back(r);
-      std::printf("%-10s %-5s %-22s %10.2f %10.2f\n", r.net.c_str(),
-                  r.layer.c_str(), r.impl.c_str(), r.ms, r.gflops);
+    auto emit = [&](const std::string& impl, double secs) -> bench::BenchReport::Row& {
+      const double ms = secs * 1e3;
+      const double gflops = direct_flops / secs / 1e9;
+      std::printf("%-10s %-5s %-22s %10.2f %10.2f\n", L.net.c_str(),
+                  L.name.c_str(), impl.c_str(), ms, gflops);
+      csv_rows.push_back(L.net + "," + L.name + "," + impl + "," +
+                         std::to_string(ms) + "," + std::to_string(gflops));
+      return report.row()
+          .set("net", L.net)
+          .set("layer", L.name)
+          .set("impl", impl)
+          .set("ms", ms)
+          .set("gflops_direct_equiv", gflops);
     };
 
     // --- direct (blocked, vectorized) ---
@@ -143,9 +236,65 @@ int main(int argc, char** argv) {
              plan.execute(in_b.data(), w_b.data(), out_b.data());
            }));
       plan.set_kernels(w_b.data());
-      emit(fm + " FX", bench_secs([&] {
-             plan.execute_pretransformed(in_b.data(), out_b.data());
-           }));
+
+      perf.start();
+      const double fx_secs = bench_secs([&] {
+        plan.execute_pretransformed(in_b.data(), out_b.data());
+      });
+      perf.stop();
+      const obs::PerfReading hw = perf.read();
+      bench::BenchReport::Row& row = emit(fm + " FX", fx_secs);
+
+      // Per-stage breakdown of the LAST execute (stats are per-call; the
+      // minimum-timed call differs only by noise). GEMM gets two GFLOP/s
+      // figures: raw = Winograd MACs actually executed, effective =
+      // direct-equivalent work. Their ratio is the algorithmic saving;
+      // raw vs machine peak is the implementation efficiency.
+      const ConvPlanStats& st = plan.last_stats();
+      const double gemm_raw =
+          2.0 * static_cast<double>(p.winograd_macs());
+      const double in_tr =
+          transform_flops(p, static_cast<double>(s.in_channels));
+      const double inv_tr =
+          transform_flops(p, static_cast<double>(s.out_channels));
+      auto gfs = [](double flops, double secs) {
+        return secs > 0 ? flops / secs / 1e9 : 0.0;
+      };
+      std::printf(
+          "%18s in %.2fms (imb %.2f, %.0f GF/s)  gemm %.2fms "
+          "(imb %.2f, raw %.0f, eff %.0f GF/s)  inv %.2fms "
+          "(imb %.2f, %.0f GF/s)\n",
+          "stages:", st.input_transform * 1e3,
+          st.input_balance.imbalance(),
+          gfs(in_tr, st.input_transform), st.gemm * 1e3,
+          st.gemm_balance.imbalance(), gfs(gemm_raw, st.gemm),
+          gfs(direct_flops, st.gemm), st.inverse_transform * 1e3,
+          st.inverse_balance.imbalance(),
+          gfs(inv_tr, st.inverse_transform));
+      row.set("input_ms", st.input_transform * 1e3)
+          .set("input_imbalance", st.input_balance.imbalance())
+          .set("input_gflops", gfs(in_tr, st.input_transform))
+          .set("gemm_ms", st.gemm * 1e3)
+          .set("gemm_imbalance", st.gemm_balance.imbalance())
+          .set("gemm_gflops_raw", gfs(gemm_raw, st.gemm))
+          .set("gemm_gflops_effective", gfs(direct_flops, st.gemm))
+          .set("inverse_ms", st.inverse_transform * 1e3)
+          .set("inverse_imbalance", st.inverse_balance.imbalance())
+          .set("inverse_gflops", gfs(inv_tr, st.inverse_transform));
+      if (hw.valid) {
+        std::printf("%18s IPC %.2f  L1D miss/kinst %.2f  LLC miss/kinst "
+                    "%.3f  (whole FX timing loop)\n",
+                    "perf:", hw.ipc(),
+                    1e3 * static_cast<double>(hw.l1d_misses) /
+                        static_cast<double>(hw.instructions),
+                    1e3 * static_cast<double>(hw.llc_misses) /
+                        static_cast<double>(hw.instructions));
+        row.set("ipc", hw.ipc())
+            .set("cycles", static_cast<double>(hw.cycles))
+            .set("instructions", static_cast<double>(hw.instructions))
+            .set("l1d_misses", static_cast<double>(hw.l1d_misses))
+            .set("llc_misses", static_cast<double>(hw.llc_misses));
+      }
     }
     std::printf("\n");
   }
@@ -157,11 +306,19 @@ int main(int argc, char** argv) {
   if (!csv_path.empty()) {
     std::ofstream csv(csv_path);
     csv << "net,layer,impl,ms,gflops_direct_equiv\n";
-    for (const auto& r : rows) {
-      csv << r.net << "," << r.layer << "," << r.impl << "," << r.ms << ","
-          << r.gflops << "\n";
+    for (const auto& r : csv_rows) csv << r << "\n";
+    std::printf("wrote %zu rows to %s (use --json for the per-stage "
+                "fields)\n",
+                csv_rows.size(), csv_path.c_str());
+  }
+  if (!json_path.empty()) {
+    if (report.write_json(json_path)) {
+      std::printf("wrote %zu rows to %s\n", report.size(),
+                  json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
     }
-    std::printf("wrote %zu rows to %s\n", rows.size(), csv_path.c_str());
   }
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ondwin/ondwin.h"
+#include "report.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -43,7 +44,8 @@ void fill_random(AlignedBuffer<float>& buf, std::size_t floats, u64 seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = ondwin::bench::json_flag(argc, argv);
   const ConvProblem p = serving_problem();
   PlanOptions opts;
   opts.threads = 1;  // same core budget for both sides
@@ -117,5 +119,26 @@ int main() {
   std::printf("  %-28s %10.0f req/s   mean batch %.2f, p95 %.2f ms\n",
               "served (max_batch 8)", served_rps, m.mean_batch, m.p95_ms);
   std::printf("\n  speedup: %.2fx\n", served_rps / direct_rps);
+
+  if (!json_path.empty()) {
+    ondwin::bench::BenchReport report("serve_throughput");
+    report.row()
+        .set("requests", static_cast<double>(kRequests))
+        .set("max_batch", static_cast<double>(kMaxBatch))
+        .set("direct_rps", direct_rps)
+        .set("served_rps", served_rps)
+        .set("speedup", served_rps / direct_rps)
+        .set("mean_batch", m.mean_batch)
+        .set("p50_ms", m.p50_ms)
+        .set("p95_ms", m.p95_ms)
+        .set("p99_ms", m.p99_ms)
+        .set("min_ms", m.min_ms)
+        .set("latency_window", static_cast<double>(m.latency_window));
+    if (!report.write_json(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,140 @@
+// Shared machine-readable reporting for the bench harness.
+//
+// Every converted bench accepts `--json <path>` and dumps its measurements
+// as one JSON document, so sweeps and CI trend tracking consume results
+// without scraping stdout:
+//
+//   BenchReport report("fig5_layers");
+//   report.row().set("net", "vgg").set("layer", "3.2").set("ms", 12.5);
+//   ...
+//   if (!json_path.empty()) report.write_json(json_path);
+//
+// Document shape: {"bench": "<name>", "schema": 1, "rows": [{...}, ...]}.
+// Rows are flat objects; heterogeneous rows (different keys per row) are
+// fine — consumers key by field name. `schema` bumps only when the
+// envelope itself changes shape.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ondwin::bench {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+class BenchReport {
+ public:
+  class Row {
+   public:
+    Row& set(const std::string& key, const std::string& value) {
+      fields_.push_back({key, "\"" + json_escape(value) + "\""});
+      return *this;
+    }
+    Row& set(const std::string& key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", value);
+      // JSON has no NaN/Inf literals; report them as null.
+      const bool finite = std::strstr(buf, "nan") == nullptr &&
+                          std::strstr(buf, "inf") == nullptr;
+      fields_.push_back({key, finite ? std::string(buf) : "null"});
+      return *this;
+    }
+    Row& set(const std::string& key, bool value) {
+      fields_.push_back({key, value ? "true" : "false"});
+      return *this;
+    }
+
+    std::string json() const {
+      std::string out = "{";
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i) out += ",";
+        out += "\"" + json_escape(fields_[i].key) + "\":" + fields_[i].value;
+      }
+      out += "}";
+      return out;
+    }
+
+   private:
+    struct Field {
+      std::string key;
+      std::string value;  // already JSON-encoded
+    };
+    std::vector<Field> fields_;
+  };
+
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Appends an empty row; fill it with chained set() calls. The reference
+  /// stays valid until the next row() call.
+  Row& row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  std::size_t size() const { return rows_.size(); }
+
+  std::string json() const {
+    std::string out =
+        "{\"bench\":\"" + json_escape(name_) + "\",\"schema\":1,\"rows\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i) out += ",";
+      out += rows_[i].json();
+    }
+    out += "]}";
+    return out;
+  }
+
+  bool write_json(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return false;
+    out << json() << "\n";
+    out.flush();
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::string name_;
+  std::vector<Row> rows_;
+};
+
+/// The value of `--json <path>` in argv, or "" when the flag is absent.
+inline std::string json_flag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return "";
+}
+
+}  // namespace ondwin::bench

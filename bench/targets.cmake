@@ -11,3 +11,11 @@ foreach(src ${ONDWIN_BENCH_SOURCES})
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endforeach()
+
+# Smoke check: the obs tracer must cost <2% on a Fig. 5 layer even when
+# enabled (see bench_fig5_layers.cpp). Labeled `obs` — a timing assertion,
+# excluded from the sanitizer presets where instrumentation slows
+# everything by design.
+add_test(NAME obs_overhead_smoke
+  COMMAND bench_fig5_layers --obs-overhead)
+set_tests_properties(obs_overhead_smoke PROPERTIES LABELS "obs" TIMEOUT 300)

@@ -6,7 +6,13 @@
 // Each client thread submits single-sample requests; the server coalesces
 // them into micro-batches (flush on batch-full or a 2 ms deadline) and
 // answers through futures. The stats snapshot at the end shows how well
-// the batcher did (mean batch size, latency percentiles, rejections).
+// the batcher did (mean batch size, latency percentiles, rejections), and
+// the same numbers are dumped in Prometheus exposition format — exactly
+// what a /metrics scrape endpoint would serve.
+//
+// Run with ONDWIN_TRACE=1 to additionally get a Chrome trace
+// (ondwin_trace.json, viewable in Perfetto) of the batcher waits and the
+// per-stage convolution spans.
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
@@ -81,5 +87,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.plan_cache.entries),
               static_cast<unsigned long long>(stats.plan_cache.hits),
               static_cast<unsigned long long>(stats.plan_cache.misses));
+
+  std::printf("\n--- /metrics (Prometheus exposition) ---\n%s",
+              server.metrics_prometheus().c_str());
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "core/wisdom.h"
+#include "obs/trace.h"
 #include "util/cpu.h"
 #include "wincnn/cook_toom.h"
 
@@ -31,6 +32,18 @@ int divisor16(i64 x, i64 cap) {
     if (x % v == 0) return static_cast<int>(v);
   }
   fail("no 16-divisor for ", x);
+}
+
+StageBalance balance_of(const std::vector<double>& task_seconds) {
+  StageBalance b;
+  if (task_seconds.empty()) return b;
+  double sum = 0;
+  for (double s : task_seconds) {
+    sum += s;
+    b.max_s = std::max(b.max_s, s);
+  }
+  b.mean_s = sum / static_cast<double>(task_seconds.size());
+  return b;
 }
 
 }  // namespace
@@ -251,11 +264,14 @@ void ConvPlan::execute(const float* input, const float* kernels,
                        float* output, const Epilogue& epilogue) {
   set_kernels(kernels);
   const double kt = stats_.kernel_transform;
+  const StageBalance kb = stats_.kernel_balance;
   execute_pretransformed(input, output, epilogue);
   stats_.kernel_transform = kt;
+  stats_.kernel_balance = kb;
 }
 
 void ConvPlan::set_kernels(const float* kernels) {
+  ONDWIN_TRACE_SPAN("conv.set_kernels");
   Timer t;
   // Copy-on-write against exported handles: once export_kernels() handed W
   // to someone, a new set_kernels() must not mutate it under their feet.
@@ -268,6 +284,7 @@ void ConvPlan::set_kernels(const float* kernels) {
   w_ = w_owned_;
   stage_kernel_transform(kernels);
   stats_.kernel_transform = t.seconds();
+  stats_.kernel_balance = balance_of(pool_->last_task_seconds());
   kernels_ready_ = true;
 }
 
@@ -302,33 +319,41 @@ void ConvPlan::execute_pretransformed(const float* input, float* output,
                                       const Epilogue& epilogue) {
   ONDWIN_CHECK(kernels_ready_,
                "execute_pretransformed() requires set_kernels() first");
+  ONDWIN_TRACE_SPAN("conv.execute");
   const double kt = stats_.kernel_transform;
+  const StageBalance kb = stats_.kernel_balance;
   stats_ = ConvPlanStats{};
   stats_.kernel_transform = kt;
+  stats_.kernel_balance = kb;
 
   Timer t;
   stage_input_transform(input);
   stats_.input_transform = t.seconds();
+  stats_.input_balance = balance_of(pool_->last_task_seconds());
 
   t.restart();
   stage_gemm();
   stats_.gemm = t.seconds();
+  stats_.gemm_balance = balance_of(pool_->last_task_seconds());
 
   if (!options_.scatter_in_gemm) {
     t.restart();
     stage_scatter_copy();
     stats_.scatter_copy = t.seconds();
+    stats_.scatter_balance = balance_of(pool_->last_task_seconds());
   }
 
   t.restart();
   stage_inverse_transform(output, epilogue);
   stats_.inverse_transform = t.seconds();
+  stats_.inverse_balance = balance_of(pool_->last_task_seconds());
 }
 
 // ----------------------------------------------------- stage 1: inputs ----
 
 void ConvPlan::stage_input_transform(const float* input) {
   pool_->run([&](int tid) {
+    ONDWIN_TRACE_SPAN("input_transform");
     for_each_in_box(sched_input_[static_cast<std::size_t>(tid)],
                     [&](const std::array<i64, kMaxGridRank>& c) {
                       input_transform_task(tid, c[0], c[1], c, input);
@@ -419,6 +444,7 @@ void ConvPlan::input_transform_task(
 
 void ConvPlan::stage_kernel_transform(const float* kernels) {
   pool_->run([&](int tid) {
+    ONDWIN_TRACE_SPAN("kernel_transform");
     for_each_in_box(sched_kernel_[static_cast<std::size_t>(tid)],
                     [&](const std::array<i64, kMaxGridRank>& c) {
                       kernel_transform_task(tid, c[0], c[1], kernels);
@@ -449,6 +475,7 @@ void ConvPlan::kernel_transform_task(int tid, i64 c, i64 g,
 
 void ConvPlan::stage_gemm() {
   pool_->run([&](int tid) {
+    ONDWIN_TRACE_SPAN("gemm");
     for_each_in_box(sched_gemm_[static_cast<std::size_t>(tid)],
                     [&](const std::array<i64, kMaxGridRank>& c) {
                       gemm_task(tid, c[0], c[1], c[2],
@@ -503,6 +530,7 @@ void ConvPlan::stage_scatter_copy() {
   const i64 x_blk = static_cast<i64>(blocking_.n_blk) * blocking_.cp_blk;
   const i64 groups_per_j = blocking_.cp_blk / kSimdWidth;
   pool_->run([&](int tid) {
+    ONDWIN_TRACE_SPAN("scatter_copy");
     for_each_in_box(
         sched_copy_[static_cast<std::size_t>(tid)],
         [&](const std::array<i64, kMaxGridRank>& c) {
@@ -530,6 +558,7 @@ void ConvPlan::stage_scatter_copy() {
 void ConvPlan::stage_inverse_transform(float* output,
                                        const Epilogue& epilogue) {
   pool_->run([&](int tid) {
+    ONDWIN_TRACE_SPAN("inverse_transform");
     for_each_in_box(sched_inverse_[static_cast<std::size_t>(tid)],
                     [&](const std::array<i64, kMaxGridRank>& c) {
                       inverse_transform_task(tid, c[0], c[1], c[2], output,

@@ -42,7 +42,19 @@ struct Epilogue {
   bool active() const { return bias != nullptr || relu; }
 };
 
-/// Wall-clock seconds of each stage of the last execute() call.
+/// Per-thread load balance of one fork–join stage: the stage's wall time
+/// is its slowest participant, so max/mean task time is exactly the
+/// efficiency the static scheduler (paper §4.5) claims to deliver —
+/// imbalance() == 1.0 is a perfect partition, 2.0 means half the pool
+/// idled at the join barrier.
+struct StageBalance {
+  double max_s = 0;   // slowest participant
+  double mean_s = 0;  // average over all pool participants
+  double imbalance() const { return mean_s > 0 ? max_s / mean_s : 1.0; }
+};
+
+/// Wall-clock seconds of each stage of the last execute() call, plus the
+/// per-thread balance of every fork–join.
 struct ConvPlanStats {
   double input_transform = 0;
   double kernel_transform = 0;
@@ -53,6 +65,12 @@ struct ConvPlanStats {
     return input_transform + kernel_transform + gemm + scatter_copy +
            inverse_transform;
   }
+
+  StageBalance input_balance;
+  StageBalance kernel_balance;
+  StageBalance gemm_balance;
+  StageBalance scatter_balance;
+  StageBalance inverse_balance;
 };
 
 /// Resolved blocking parameters (after heuristic/wisdom/overrides).

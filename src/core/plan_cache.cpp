@@ -1,8 +1,31 @@
 #include "core/plan_cache.h"
 
 #include "core/wisdom.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ondwin {
+
+namespace {
+
+// Process-wide mirrors of the per-instance hit/miss counters: every
+// PlanCache (the global one and test-local ones) feeds the same metric
+// family, which is what a scrape endpoint wants to see.
+obs::Counter& cache_hits_metric() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "ondwin_plan_cache_hits_total",
+      "PlanCache get_or_create calls served from the cache");
+  return c;
+}
+
+obs::Counter& cache_misses_metric() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "ondwin_plan_cache_misses_total",
+      "PlanCache get_or_create calls that constructed a plan");
+  return c;
+}
+
+}  // namespace
 
 std::string plan_options_fingerprint(const PlanOptions& o) {
   return str_cat("t", o.threads, "_p", o.pin_threads ? 1 : 0, "_b",
@@ -43,10 +66,12 @@ std::shared_ptr<PlanCache::Entry> PlanCache::get_or_create(
       map_.emplace(key, future);
     }
   }
+  (builder ? cache_misses_metric() : cache_hits_metric()).inc();
 
   if (builder) {
     // Construct outside the map lock: other keys stay serviceable while a
     // JIT compile runs; racers on this key wait on the future instead.
+    obs::TraceSpan span("plan_cache.build");
     try {
       auto entry = std::make_shared<Entry>();
       entry->key = key;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/wisdom.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace ondwin {
@@ -64,9 +66,14 @@ std::vector<Blocking> tuning_candidates(const ConvProblem& p) {
 
 TuneResult auto_tune(const ConvProblem& p, const PlanOptions& base,
                      double budget_seconds) {
+  ONDWIN_TRACE_SPAN("auto_tune");
   p.validate();
   const auto candidates = tuning_candidates(p);
   ONDWIN_CHECK(!candidates.empty(), "no tuning candidates for this problem");
+  static obs::Counter& candidates_metric =
+      obs::MetricsRegistry::global().counter(
+          "ondwin_tuner_candidates_total",
+          "Blocking candidates measured by auto_tune");
 
   // Synthetic inputs shared by every candidate.
   const ImageLayout in_l = p.input_layout();
@@ -83,6 +90,8 @@ TuneResult auto_tune(const ConvProblem& p, const PlanOptions& base,
   TuneResult result;
   double incumbent = 1e300;  // best time seen so far
   for (const Blocking& cand : candidates) {
+    ONDWIN_TRACE_SPAN("tune.candidate");
+    candidates_metric.inc();
     PlanOptions opts = base;
     opts.wisdom_path.clear();  // candidates must not read stale wisdom
     opts.n_blk = cand.n_blk;

@@ -10,6 +10,7 @@
 #endif
 
 #include "core/conv_plan.h"
+#include "obs/metrics.h"
 
 namespace ondwin {
 
@@ -35,6 +36,10 @@ WisdomStore::WisdomStore(std::string path) : path_(std::move(path)) { load(); }
 void WisdomStore::load() {
   std::ifstream in(path_);
   if (!in) return;
+  static obs::Counter& loads = obs::MetricsRegistry::global().counter(
+      "ondwin_wisdom_v1_loads_total",
+      "Wisdom v1 (blocking) files opened and parsed");
+  loads.inc();
   std::string line;
   while (std::getline(in, line)) {
     std::istringstream ls(line);

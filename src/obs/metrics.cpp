@@ -1,0 +1,287 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ondwin::obs {
+
+namespace {
+
+// Prometheus exposition prints values as floats; keep integers exact.
+void format_value(std::ostringstream& os, double v) {
+  if (std::floor(v) == v && std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os << v;
+  }
+}
+
+std::string label_block(const Labels& labels, const std::string& extra_key,
+                        const std::string& extra_val) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ",";
+    first = false;
+    os << k << "=\"" << prometheus_escape(v) << "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) os << ",";
+    os << extra_key << "=\"" << prometheus_escape(extra_val) << "\"";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string json_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string bound_str(double b) {
+  std::ostringstream os;
+  format_value(os, b);
+  return os.str();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ Histogram ----
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<u64>[bounds_.size() + 1]) {
+  ONDWIN_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must be ascending");
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  std::size_t b = 0;
+  while (b < bounds_.size() && v > bounds_[b]) ++b;
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.add(v);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.value();
+  return s;
+}
+
+// ---------------------------------------------------------- MetricsPage ----
+
+std::string prometheus_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void MetricsPage::add_counter(const std::string& name,
+                              const std::string& help, const Labels& labels,
+                              double value) {
+  samples_.push_back({name, help, Sample::kCounter, labels, value, {}});
+}
+
+void MetricsPage::add_gauge(const std::string& name, const std::string& help,
+                            const Labels& labels, double value) {
+  samples_.push_back({name, help, Sample::kGauge, labels, value, {}});
+}
+
+void MetricsPage::add_histogram(const std::string& name,
+                                const std::string& help,
+                                const Labels& labels,
+                                const Histogram::Snapshot& snap) {
+  samples_.push_back({name, help, Sample::kHistogram, labels, 0, snap});
+}
+
+std::string MetricsPage::prometheus() const {
+  std::ostringstream os;
+  std::string last_family;
+  for (const Sample& s : samples_) {
+    if (s.name != last_family) {
+      last_family = s.name;
+      os << "# HELP " << s.name << " " << prometheus_escape(s.help) << "\n";
+      os << "# TYPE " << s.name << " "
+         << (s.kind == Sample::kCounter
+                 ? "counter"
+                 : s.kind == Sample::kGauge ? "gauge" : "histogram")
+         << "\n";
+    }
+    if (s.kind == Sample::kHistogram) {
+      u64 cum = 0;
+      for (std::size_t b = 0; b < s.hist.counts.size(); ++b) {
+        cum += s.hist.counts[b];
+        const std::string le =
+            b < s.hist.bounds.size() ? bound_str(s.hist.bounds[b]) : "+Inf";
+        os << s.name << "_bucket" << label_block(s.labels, "le", le) << " "
+           << cum << "\n";
+      }
+      os << s.name << "_sum" << label_block(s.labels, "", "") << " ";
+      format_value(os, s.hist.sum);
+      os << "\n";
+      os << s.name << "_count" << label_block(s.labels, "", "") << " "
+         << s.hist.count << "\n";
+    } else {
+      os << s.name << label_block(s.labels, "", "") << " ";
+      format_value(os, s.value);
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsPage::json() const {
+  std::ostringstream os;
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const Sample& s : samples_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << json_escape(s.name) << "\",\"type\":\""
+       << (s.kind == Sample::kCounter
+               ? "counter"
+               : s.kind == Sample::kGauge ? "gauge" : "histogram")
+       << "\",\"labels\":{";
+    bool fl = true;
+    for (const auto& [k, v] : s.labels) {
+      if (!fl) os << ",";
+      fl = false;
+      os << "\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
+    }
+    os << "}";
+    if (s.kind == Sample::kHistogram) {
+      os << ",\"count\":" << s.hist.count << ",\"sum\":" << s.hist.sum
+         << ",\"buckets\":[";
+      for (std::size_t b = 0; b < s.hist.counts.size(); ++b) {
+        if (b) os << ",";
+        os << "{\"le\":";
+        if (b < s.hist.bounds.size()) {
+          os << s.hist.bounds[b];
+        } else {
+          os << "\"+Inf\"";
+        }
+        os << ",\"count\":" << s.hist.counts[b] << "}";
+      }
+      os << "]";
+    } else {
+      os << ",\"value\":" << s.value;
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+// ------------------------------------------------------ MetricsRegistry ----
+
+MetricsRegistry::Instrument& MetricsRegistry::find_or_add(
+    const std::string& name, const std::string& help, const Labels& labels) {
+  for (auto& inst : instruments_) {
+    if (inst->name == name && inst->labels == labels) return *inst;
+  }
+  auto fresh = std::make_unique<Instrument>();
+  fresh->name = name;
+  fresh->help = help;
+  fresh->labels = labels;
+  instruments_.push_back(std::move(fresh));
+  return *instruments_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst = find_or_add(name, help, labels);
+  ONDWIN_CHECK(inst.gauge == nullptr && inst.histogram == nullptr,
+               "metric '", name, "' already registered with another type");
+  if (inst.counter == nullptr) inst.counter = std::make_unique<Counter>();
+  return *inst.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst = find_or_add(name, help, labels);
+  ONDWIN_CHECK(inst.counter == nullptr && inst.histogram == nullptr,
+               "metric '", name, "' already registered with another type");
+  if (inst.gauge == nullptr) inst.gauge = std::make_unique<Gauge>();
+  return *inst.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> bounds,
+                                      const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instrument& inst = find_or_add(name, help, labels);
+  ONDWIN_CHECK(inst.counter == nullptr && inst.gauge == nullptr, "metric '",
+               name, "' already registered with another type");
+  if (inst.histogram == nullptr) {
+    inst.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *inst.histogram;
+}
+
+void MetricsRegistry::emit_to(MetricsPage& page) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& inst : instruments_) {
+    if (inst->counter != nullptr) {
+      page.add_counter(inst->name, inst->help, inst->labels,
+                       static_cast<double>(inst->counter->value()));
+    } else if (inst->gauge != nullptr) {
+      page.add_gauge(inst->name, inst->help, inst->labels,
+                     inst->gauge->value());
+    } else if (inst->histogram != nullptr) {
+      page.add_histogram(inst->name, inst->help, inst->labels,
+                         inst->histogram->snapshot());
+    }
+  }
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  MetricsPage page;
+  emit_to(page);
+  return page.prometheus();
+}
+
+std::string MetricsRegistry::json() const {
+  MetricsPage page;
+  emit_to(page);
+  return page.json();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+}  // namespace ondwin::obs

@@ -1,0 +1,121 @@
+#include "obs/perf_counters.h"
+
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define ONDWIN_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace ondwin::obs {
+
+#if defined(ONDWIN_HAVE_PERF_EVENT)
+
+namespace {
+
+int open_event(u32 type, u64 config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;  // lowers the required paranoid level
+  attr.exclude_hv = 1;
+  // Count this thread and every thread it spawns afterwards — that is
+  // how a plan's worker pool gets covered. (inherit is incompatible with
+  // PERF_FORMAT_GROUP, hence one fd per event, no group leader.)
+  attr.inherit = 1;
+  const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                          /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0UL);
+  return static_cast<int>(fd);
+}
+
+constexpr u64 cache_config(u64 cache, u64 op, u64 result) {
+  return cache | (op << 8) | (result << 16);
+}
+
+u64 read_fd(int fd) {
+  if (fd < 0) return 0;
+  u64 value = 0;
+  if (::read(fd, &value, sizeof(value)) != sizeof(value)) return 0;
+  return value;
+}
+
+}  // namespace
+
+PerfCounterSet::PerfCounterSet() {
+  fds_[kCycles] = open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  if (fds_[kCycles] < 0) {
+    reason_ = str_cat("perf_event_open failed (errno ", errno,
+                      ") — perf_event_paranoid or seccomp");
+    return;
+  }
+  fds_[kInstructions] =
+      open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  if (fds_[kInstructions] < 0) {
+    reason_ = "instructions counter unavailable";
+    ::close(fds_[kCycles]);
+    fds_[kCycles] = -1;
+    return;
+  }
+  // Cache-miss events are best-effort: many virtualized hosts expose the
+  // fixed counters above but not the cache PMU.
+  fds_[kL1dMiss] = open_event(
+      PERF_TYPE_HW_CACHE,
+      cache_config(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                   PERF_COUNT_HW_CACHE_RESULT_MISS));
+  fds_[kLlcMiss] = open_event(PERF_TYPE_HARDWARE,
+                              PERF_COUNT_HW_CACHE_MISSES);
+  available_ = true;
+}
+
+PerfCounterSet::~PerfCounterSet() {
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void PerfCounterSet::start() {
+  for (int fd : fds_) {
+    if (fd >= 0) {
+      ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+      ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+    }
+  }
+}
+
+void PerfCounterSet::stop() {
+  for (int fd : fds_) {
+    if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+}
+
+PerfReading PerfCounterSet::read() const {
+  PerfReading r;
+  if (!available_) return r;
+  r.cycles = read_fd(fds_[kCycles]);
+  r.instructions = read_fd(fds_[kInstructions]);
+  r.l1d_misses = read_fd(fds_[kL1dMiss]);
+  r.llc_misses = read_fd(fds_[kLlcMiss]);
+  r.valid = true;
+  return r;
+}
+
+#else  // !ONDWIN_HAVE_PERF_EVENT
+
+PerfCounterSet::PerfCounterSet()
+    : reason_("perf_event_open not supported on this platform") {}
+PerfCounterSet::~PerfCounterSet() = default;
+void PerfCounterSet::start() {}
+void PerfCounterSet::stop() {}
+PerfReading PerfCounterSet::read() const { return {}; }
+
+#endif
+
+}  // namespace ondwin::obs

@@ -1,0 +1,83 @@
+// ondwin::obs hardware counters — a thin perf_event_open wrapper for the
+// bench harness: cycles, instructions, L1D read misses and LLC misses on
+// the calling thread plus (via inherit) every thread it spawns later.
+//
+// perf_event_open is frequently unavailable (perf_event_paranoid,
+// seccomp-filtered containers, non-Linux hosts); everything here degrades
+// gracefully: available() turns false, read() reports valid=false with
+// zeroed counts, and callers print wall-clock-only results. Counters that
+// individually fail to open (LLC misses are often unsupported in VMs)
+// read as zero while the rest stay live.
+//
+//   PerfCounterSet perf;          // open BEFORE spawning worker threads
+//   perf.start();
+//   run_kernel();
+//   PerfReading r = perf.read();  // totals since start()
+//   if (r.valid) printf("IPC %.2f\n", r.ipc());
+#pragma once
+
+#include <string>
+
+#include "util/common.h"
+
+namespace ondwin::obs {
+
+struct PerfReading {
+  u64 cycles = 0;
+  u64 instructions = 0;
+  u64 l1d_misses = 0;
+  u64 llc_misses = 0;
+  bool valid = false;  // cycles+instructions were actually counted
+
+  double ipc() const {
+    return cycles > 0 ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+
+  /// Component-wise delta (for before/after measurement around a region).
+  PerfReading since(const PerfReading& earlier) const {
+    PerfReading d;
+    d.valid = valid && earlier.valid;
+    d.cycles = cycles - earlier.cycles;
+    d.instructions = instructions - earlier.instructions;
+    d.l1d_misses = l1d_misses - earlier.l1d_misses;
+    d.llc_misses = llc_misses - earlier.llc_misses;
+    return d;
+  }
+};
+
+class PerfCounterSet {
+ public:
+  /// Opens the counters disabled, inherit=1: threads created by this
+  /// thread AFTER construction are counted too, so open the set before
+  /// building a ConvPlan and its worker pool.
+  PerfCounterSet();
+  ~PerfCounterSet();
+
+  PerfCounterSet(const PerfCounterSet&) = delete;
+  PerfCounterSet& operator=(const PerfCounterSet&) = delete;
+
+  /// True when at least cycles and instructions opened.
+  bool available() const { return available_; }
+
+  /// Why the set is unavailable (empty when available()).
+  const std::string& unavailable_reason() const { return reason_; }
+
+  /// Resets all counters to zero and enables counting.
+  void start();
+
+  /// Stops counting (totals are preserved for read()).
+  void stop();
+
+  /// Current totals since the last start().
+  PerfReading read() const;
+
+ private:
+  enum { kCycles, kInstructions, kL1dMiss, kLlcMiss, kNumEvents };
+  int fds_[kNumEvents] = {-1, -1, -1, -1};
+  bool available_ = false;
+  std::string reason_;
+};
+
+}  // namespace ondwin::obs

@@ -1,0 +1,160 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ondwin::obs {
+
+namespace {
+
+// Per-thread emit state: ring pointer (resolved once per thread) and the
+// live span nesting depth.
+thread_local Tracer::Ring* t_ring = nullptr;
+thread_local int t_depth = 0;
+
+// Initializes the enable flag from ONDWIN_TRACE before main() and, when
+// tracing is on, registers the atexit dump.
+struct TraceEnvInit {
+  TraceEnvInit() {
+    const char* env = std::getenv("ONDWIN_TRACE");
+    if (env == nullptr || env[0] == '\0' ||
+        (env[0] == '0' && env[1] == '\0')) {
+      return;
+    }
+    g_trace_enabled.store(true, std::memory_order_relaxed);
+    Tracer::instance();  // fixes the dump path while env is still valid
+    std::atexit([] {
+      Tracer& tracer = Tracer::instance();
+      const std::string& path = tracer.default_path();
+      if (path.empty()) return;
+      if (tracer.write_chrome_trace(path)) {
+        std::fprintf(stderr, "[ondwin] trace written to %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "[ondwin] failed to write trace to %s\n",
+                     path.c_str());
+      }
+    });
+  }
+};
+TraceEnvInit g_trace_env_init;
+
+}  // namespace
+
+u64 trace_now_ns() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Tracer::Tracer() {
+  const char* env = std::getenv("ONDWIN_TRACE");
+  if (env != nullptr && env[0] != '\0' &&
+      !(env[0] == '0' && env[1] == '\0')) {
+    // A plain switch value means the default path; anything else is
+    // taken as the output path itself.
+    const std::string v = env;
+    default_path_ =
+        (v == "1" || v == "true" || v == "on") ? "ondwin_trace.json" : v;
+  }
+}
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives all threads
+  return *tracer;
+}
+
+Tracer::Ring& Tracer::local_ring() {
+  if (t_ring == nullptr) {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    rings_.push_back(
+        std::make_unique<Ring>(static_cast<int>(rings_.size())));
+    t_ring = rings_.back().get();
+  }
+  return *t_ring;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (auto& ring : rings_) {
+    ring->head.store(0, std::memory_order_relaxed);
+    for (auto& slot : ring->slots) {
+      slot.name.store(nullptr, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<CollectedSpan> Tracer::collect() const {
+  std::vector<CollectedSpan> out;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& ring : rings_) {
+    const u64 head = ring->head.load(std::memory_order_acquire);
+    const u64 n = std::min<u64>(head, kRingCapacity);
+    for (u64 k = head - n; k < head; ++k) {
+      const TraceEventSlot& s =
+          ring->slots[static_cast<std::size_t>(k % kRingCapacity)];
+      CollectedSpan e;
+      e.name = s.name.load(std::memory_order_relaxed);
+      e.start_ns = s.start_ns.load(std::memory_order_relaxed);
+      e.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+      e.depth = s.depth.load(std::memory_order_relaxed);
+      e.tid = ring->tid;
+      if (e.name != nullptr) out.push_back(e);  // skip torn/cleared slots
+    }
+  }
+  return out;
+}
+
+u64 Tracer::dropped() const {
+  u64 dropped = 0;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& ring : rings_) {
+    const u64 head = ring->head.load(std::memory_order_acquire);
+    if (head > kRingCapacity) dropped += head - kRingCapacity;
+  }
+  return dropped;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<CollectedSpan> spans = collect();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const CollectedSpan& e : spans) {
+    if (!first) os << ",";
+    first = false;
+    // ts/dur are microseconds (doubles) per the trace-event spec.
+    os << "{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+       << e.tid << ",\"ts\":" << static_cast<double>(e.start_ns) / 1e3
+       << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1e3
+       << ",\"args\":{\"depth\":" << e.depth << "}}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << chrome_trace_json();
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+void TraceSpan::begin(const char* name) {
+  name_ = name;
+  depth_ = t_depth++;
+  start_ns_ = trace_now_ns();
+}
+
+void TraceSpan::end() {
+  const u64 end_ns = trace_now_ns();
+  --t_depth;
+  Tracer::instance().local_ring().push(name_, start_ns_,
+                                       end_ns - start_ns_, depth_);
+}
+
+}  // namespace ondwin::obs

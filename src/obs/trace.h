@@ -1,0 +1,175 @@
+// ondwin::obs tracing — lock-free per-thread ring buffers of scoped span
+// events, exportable as Chrome trace-event JSON (open in Perfetto or
+// chrome://tracing).
+//
+// Design constraints, in order:
+//
+//   1. Near-zero cost when disabled. A span is one relaxed atomic load
+//      and a predictable branch — no clock read, no allocation. The
+//      enable flag is a process-wide inline atomic initialized from the
+//      ONDWIN_TRACE environment variable before main().
+//   2. No locks or allocation on the emit path. Each thread owns a
+//      fixed-capacity ring of events; registration of a new thread's ring
+//      takes the registry mutex exactly once per thread, after which
+//      emission touches only thread-local state. When the ring wraps, the
+//      oldest events are overwritten (newest-wins — the tail of a run is
+//      what a trace viewer needs) and the overwrites are counted.
+//   3. Data-race freedom under concurrent export. Event slots are relaxed
+//      atomics (plain loads/stores on x86), so a collector racing a
+//      wrapping writer can read a torn *event* but never tears a field or
+//      trips ThreadSanitizer. Spans published before a collect() are
+//      always intact: the per-ring head is released by the writer and
+//      acquired by the reader.
+//
+// Span names must be string literals (or otherwise outlive the tracer):
+// the ring stores the pointer, not a copy.
+//
+//   void gemm_stage() {
+//     ONDWIN_TRACE_SPAN("gemm");
+//     ...
+//   }   // span recorded on scope exit (if tracing is on at entry)
+//
+// Environment:
+//   ONDWIN_TRACE=1            enable, dump ondwin_trace.json at exit
+//   ONDWIN_TRACE=path.json    enable, dump to the given path at exit
+//   ONDWIN_TRACE=0 / unset    disabled (the default)
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace ondwin::obs {
+
+/// Process-wide tracing switch. Inline so the disabled check compiles to
+/// a single relaxed load of a known address at every span site.
+inline std::atomic<bool> g_trace_enabled{false};
+
+inline bool trace_enabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// One completed span, as handed out by Tracer::collect().
+struct CollectedSpan {
+  const char* name = nullptr;
+  u64 start_ns = 0;  // steady-clock origin, consistent across threads
+  u64 dur_ns = 0;
+  int tid = 0;    // tracer-assigned dense thread id (ring creation order)
+  int depth = 0;  // span nesting depth on its thread (0 = outermost)
+};
+
+class Tracer {
+ public:
+  /// Events retained per thread; older events are overwritten on wrap.
+  static constexpr std::size_t kRingCapacity = 1 << 15;
+
+  static Tracer& instance();
+
+  bool enabled() const { return trace_enabled(); }
+
+  /// Runtime toggle (tests, benchmarks measuring overhead). Spans already
+  /// open keep recording; new spans observe the flag at construction.
+  void set_enabled(bool on) {
+    g_trace_enabled.store(on, std::memory_order_relaxed);
+  }
+
+  /// Resets every ring (drops all recorded events, keeps registrations).
+  void clear();
+
+  /// Snapshot of every completed span still resident in the rings,
+  /// oldest-first per thread. Safe to call while other threads emit.
+  std::vector<CollectedSpan> collect() const;
+
+  /// Spans overwritten by ring wraparound since the last clear().
+  u64 dropped() const;
+
+  /// Chrome trace-event JSON ("X" complete events, ts/dur in µs).
+  std::string chrome_trace_json() const;
+
+  /// Writes chrome_trace_json() to `path`; false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Destination of the atexit dump when ONDWIN_TRACE requested one
+  /// (empty when tracing started disabled).
+  const std::string& default_path() const { return default_path_; }
+
+  // -- emit path (used by TraceSpan; not part of the public surface) ----
+
+  struct Ring;
+  /// The calling thread's ring, creating and registering it on first use.
+  Ring& local_ring();
+
+ private:
+  Tracer();
+
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::string default_path_;
+};
+
+/// A raw event slot. Fields are relaxed atomics so a collector racing a
+/// wrapping writer reads torn events at worst, never torn fields (see the
+/// file comment); within one slot, `name == nullptr` marks never-written.
+struct TraceEventSlot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<u64> start_ns{0};
+  std::atomic<u64> dur_ns{0};
+  std::atomic<int> depth{0};
+};
+
+struct Tracer::Ring {
+  explicit Ring(int tid_) : tid(tid_) {}
+  const int tid;
+  std::atomic<u64> head{0};  // total events ever pushed (monotonic)
+  std::vector<TraceEventSlot> slots{kRingCapacity};
+
+  void push(const char* name, u64 start_ns, u64 dur_ns, int depth) {
+    const u64 h = head.load(std::memory_order_relaxed);
+    TraceEventSlot& s = slots[static_cast<std::size_t>(h % kRingCapacity)];
+    s.name.store(name, std::memory_order_relaxed);
+    s.start_ns.store(start_ns, std::memory_order_relaxed);
+    s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+    s.depth.store(depth, std::memory_order_relaxed);
+    head.store(h + 1, std::memory_order_release);  // publish the slot
+  }
+};
+
+/// Monotonic nanoseconds on the shared steady-clock timeline.
+u64 trace_now_ns();
+
+/// RAII scoped span. Captures the enable flag once at construction: a
+/// span that started disabled stays free even if tracing flips on before
+/// its scope exits.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (trace_enabled()) begin(name);
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) end();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  const char* name_ = nullptr;
+  u64 start_ns_ = 0;
+  int depth_ = 0;
+};
+
+#define ONDWIN_TRACE_CONCAT_(a, b) a##b
+#define ONDWIN_TRACE_CONCAT(a, b) ONDWIN_TRACE_CONCAT_(a, b)
+/// Scoped span covering the rest of the enclosing block.
+#define ONDWIN_TRACE_SPAN(name)                              \
+  ::ondwin::obs::TraceSpan ONDWIN_TRACE_CONCAT(ondwin_span_, \
+                                               __COUNTER__)(name)
+
+}  // namespace ondwin::obs

@@ -16,6 +16,10 @@
 //   serve::InferenceServer — concurrent serving with dynamic
 //                  micro-batching (ModelConfig::auto_select re-runs the
 //                  planner per batch-size bucket)
+//   obs::Tracer / obs::MetricsRegistry / obs::PerfCounterSet — scoped
+//                  span tracing (ONDWIN_TRACE=1 → Chrome trace JSON),
+//                  Prometheus/JSON metrics, and perf_event hardware
+//                  counters
 //
 // The baselines the planner chooses between (DirectConv/DirectConvBlocked,
 // FftConv, SimpleWinograd) are exported here too — they are useful as
@@ -33,6 +37,9 @@
 #include "core/tuner.h"                    // IWYU pragma: export
 #include "core/wisdom.h"                   // IWYU pragma: export
 #include "net/sequential.h"                // IWYU pragma: export
+#include "obs/metrics.h"                   // IWYU pragma: export
+#include "obs/perf_counters.h"             // IWYU pragma: export
+#include "obs/trace.h"                     // IWYU pragma: export
 #include "select/select.h"                 // IWYU pragma: export
 #include "serve/server.h"                  // IWYU pragma: export
 #include "tensor/layout.h"                 // IWYU pragma: export

@@ -6,10 +6,16 @@
 #include <unistd.h>
 #endif
 
+#include "obs/trace.h"
+
 namespace ondwin {
 
 ThreadPool::ThreadPool(int threads, bool pin, int cpu_base)
-    : threads_(threads), pin_(pin), cpu_base_(cpu_base), barrier_(threads) {
+    : threads_(threads),
+      pin_(pin),
+      cpu_base_(cpu_base),
+      barrier_(threads),
+      task_seconds_(static_cast<std::size_t>(threads), 0.0) {
   ONDWIN_CHECK(threads >= 1, "thread pool needs at least one thread");
   ONDWIN_CHECK(cpu_base >= 0, "cpu_base must be non-negative, got ",
                cpu_base);
@@ -43,15 +49,24 @@ void ThreadPool::run(const std::function<void(int)>& fn) {
       std::atomic<bool>& flag;
       ~Clear() { flag.store(false, std::memory_order_release); }
     } clear{running_};
-    fn(0);
+    timed_call(fn, 0);
     return;
   }
+  ONDWIN_TRACE_SPAN("pool.run");
   task_ = &fn;
   barrier_.wait();  // fork: workers pick up task_
-  fn(0);
+  timed_call(fn, 0);
   barrier_.wait();  // join: wait for every worker to finish
   task_ = nullptr;
   running_.store(false, std::memory_order_release);
+}
+
+void ThreadPool::timed_call(const std::function<void(int)>& fn, int tid) {
+  // Two clock reads per participant per fork–join — noise next to any
+  // real stage, and what makes load-imbalance observable at all.
+  Timer t;
+  fn(tid);
+  task_seconds_[static_cast<std::size_t>(tid)] = t.seconds();
 }
 
 void ThreadPool::worker_loop(int tid) {
@@ -59,7 +74,10 @@ void ThreadPool::worker_loop(int tid) {
   for (;;) {
     barrier_.wait();  // wait for a task (or shutdown)
     if (stop_) return;
-    (*task_)(tid);
+    {
+      ONDWIN_TRACE_SPAN("pool.task");
+      timed_call(*task_, tid);
+    }
     barrier_.wait();  // signal completion
   }
 }

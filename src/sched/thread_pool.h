@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sched/barrier.h"
+#include "util/timer.h"
 
 namespace ondwin {
 
@@ -38,8 +39,18 @@ class ThreadPool {
   /// thread while one is in flight throws Error instead of deadlocking.
   void run(const std::function<void(int)>& fn);
 
+  /// Wall seconds each participant spent inside `fn(tid)` during the
+  /// last run() — the raw material for per-stage load-imbalance reports
+  /// (paper §4.5: the static schedule is only as good as its balance).
+  /// Valid between run() calls; written by each worker before the join
+  /// barrier, so the caller reads it race-free after run() returns.
+  const std::vector<double>& last_task_seconds() const {
+    return task_seconds_;
+  }
+
  private:
   void worker_loop(int tid);
+  void timed_call(const std::function<void(int)>& fn, int tid);
   static void pin_to_cpu(int cpu);
 
   const int threads_;
@@ -49,6 +60,7 @@ class ThreadPool {
   const std::function<void(int)>* task_ = nullptr;  // valid between barriers
   bool stop_ = false;
   std::atomic<bool> running_{false};  // reentrancy/concurrent-run guard
+  std::vector<double> task_seconds_;  // per-tid fn wall time of last run()
   std::vector<std::thread> workers_;
 };
 

@@ -9,6 +9,8 @@
 #include <unistd.h>
 #endif
 
+#include "obs/metrics.h"
+
 namespace ondwin::select {
 namespace {
 
@@ -79,6 +81,10 @@ WisdomV2Store::WisdomV2Store(std::string path) : path_(std::move(path)) {
 void WisdomV2Store::load() {
   std::ifstream in(path_);
   if (!in) return;
+  static obs::Counter& loads = obs::MetricsRegistry::global().counter(
+      "ondwin_wisdom_v2_loads_total",
+      "Wisdom v2 (selection) files opened and parsed");
+  loads.inc();
   std::string line;
   while (std::getline(in, line)) {
     std::istringstream ls(line);

@@ -1,5 +1,7 @@
 #include "serve/batcher.h"
 
+#include "obs/trace.h"
+
 namespace ondwin::serve {
 
 namespace {
@@ -34,6 +36,7 @@ bool Batcher::submit(PendingRequest& request) {
 }
 
 std::vector<PendingRequest> Batcher::next_batch() {
+  ONDWIN_TRACE_SPAN("batcher.wait");
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     if (!queue_.empty()) {

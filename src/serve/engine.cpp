@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace ondwin::serve {
@@ -43,8 +44,10 @@ void Engine::loop() {
 }
 
 void Engine::serve_batch(std::vector<PendingRequest> batch) {
+  ONDWIN_TRACE_SPAN("serve.batch");
   const auto formed = Clock::now();
   const int n = static_cast<int>(batch.size());
+  model_.batch_occupancy.observe(static_cast<double>(n));
   const i64 sin = model_.sample_input_floats();
   const i64 sout = model_.sample_output_floats();
 

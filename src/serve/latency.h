@@ -15,8 +15,10 @@ namespace ondwin::serve {
 class LatencyRecorder {
  public:
   struct Summary {
-    u64 count = 0;
+    u64 count = 0;   // full-history sample count
+    u64 window = 0;  // samples behind the percentile estimates
     double mean_ms = 0;
+    double min_ms = 0;
     double p50_ms = 0;
     double p95_ms = 0;
     double p99_ms = 0;
@@ -28,6 +30,7 @@ class LatencyRecorder {
     ++count_;
     sum_ += ms;
     max_ = std::max(max_, ms);
+    min_ = count_ == 1 ? ms : std::min(min_, ms);
     if (window_.size() < kWindow) {
       window_.push_back(ms);
     } else {
@@ -43,15 +46,25 @@ class LatencyRecorder {
       std::lock_guard<std::mutex> lock(mu_);
       s.count = count_;
       s.mean_ms = count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+      s.min_ms = count_ > 0 ? min_ : 0.0;
       s.max_ms = max_;
       recent = window_;
     }
+    s.window = static_cast<u64>(recent.size());
     if (recent.empty()) return s;
     std::sort(recent.begin(), recent.end());
+    // Linear interpolation between order statistics (the R type-7
+    // estimator). The previous nearest-index-with-+0.5 rounding was
+    // max-biased on small windows: p50 of {a, b} returned b, and p99 of
+    // a 2-sample window collapsed onto max. Interpolation gives
+    // p50 = (a+b)/2 and keeps every quantile strictly inside
+    // [min, max] until the window genuinely pins it there.
     auto at = [&](double q) {
-      const auto i = static_cast<std::size_t>(
-          q * static_cast<double>(recent.size() - 1) + 0.5);
-      return recent[std::min(i, recent.size() - 1)];
+      const double h = q * static_cast<double>(recent.size() - 1);
+      const auto lo = static_cast<std::size_t>(h);
+      const auto hi = std::min(lo + 1, recent.size() - 1);
+      const double frac = h - static_cast<double>(lo);
+      return recent[lo] + (recent[hi] - recent[lo]) * frac;
     };
     s.p50_ms = at(0.50);
     s.p95_ms = at(0.95);
@@ -67,6 +80,7 @@ class LatencyRecorder {
   std::size_t next_ = 0;
   u64 count_ = 0;
   double sum_ = 0;
+  double min_ = 0;
   double max_ = 0;
 };
 

@@ -172,11 +172,14 @@ ModelStats Model::snapshot() const {
                                : 0.0;
   s.queue_depth = batcher_.depth();
   const LatencyRecorder::Summary lat = latency.summarize();
+  s.latency_window = lat.window;
   s.mean_latency_ms = lat.mean_ms;
+  s.min_ms = lat.min_ms;
   s.p50_ms = lat.p50_ms;
   s.p95_ms = lat.p95_ms;
   s.p99_ms = lat.p99_ms;
   s.max_ms = lat.max_ms;
+  s.batch_occupancy = batch_occupancy.snapshot();
   return s;
 }
 

@@ -26,6 +26,7 @@
 
 #include "core/plan_cache.h"
 #include "net/sequential.h"
+#include "obs/metrics.h"
 #include "serve/batcher.h"
 #include "serve/latency.h"
 #include "serve/serve_types.h"
@@ -88,6 +89,10 @@ class Model {
   std::atomic<u64> failed{0};
   std::atomic<u64> batches{0};
   LatencyRecorder latency;
+  /// Executed batch sizes; engines observe one sample per execution.
+  /// Bounds mirror the power-of-two replica buckets so the histogram
+  /// reads directly as bucket occupancy.
+  obs::Histogram batch_occupancy{{1, 2, 4, 8, 16, 32, 64}};
 
  private:
   struct NetReplica {

@@ -18,6 +18,7 @@
 
 #include "core/plan_cache.h"
 #include "core/plan_options.h"
+#include "obs/metrics.h"
 #include "select/select.h"
 #include "util/aligned.h"
 
@@ -120,11 +121,19 @@ struct ModelStats {
   i64 queue_depth = 0;    // pending requests right now
 
   /// Submit-to-result latency over a sliding window of recent requests.
+  /// `latency_window` is how many samples back the percentiles — small
+  /// windows mean the estimates are still settling.
+  u64 latency_window = 0;
   double mean_latency_ms = 0;
+  double min_ms = 0;
   double p50_ms = 0;
   double p95_ms = 0;
   double p99_ms = 0;
   double max_ms = 0;
+
+  /// Distribution of executed batch sizes (occupancy of the micro-batch
+  /// coalescer) — bucket bounds follow the power-of-two replica buckets.
+  obs::Histogram::Snapshot batch_occupancy;
 };
 
 /// Snapshot of the whole server.

@@ -137,6 +137,87 @@ ServerStats InferenceServer::stats() const {
   return s;
 }
 
+obs::MetricsPage InferenceServer::metrics_page() const {
+  const ServerStats s = stats();
+  obs::MetricsPage page;
+  for (const auto& [name, m] : s.models) {
+    const obs::Labels by_model = {{"model", name}};
+    page.add_counter("ondwin_serve_requests_total",
+                     "Requests submitted (accepted + rejected)", by_model,
+                     static_cast<double>(m.submitted));
+    page.add_counter("ondwin_serve_rejected_total",
+                     "Requests rejected by backpressure or shutdown",
+                     by_model, static_cast<double>(m.rejected));
+    page.add_counter("ondwin_serve_completed_total",
+                     "Requests served successfully", by_model,
+                     static_cast<double>(m.completed));
+    page.add_counter("ondwin_serve_failed_total",
+                     "Requests failed by execution errors", by_model,
+                     static_cast<double>(m.failed));
+    page.add_counter("ondwin_serve_batches_total", "Batch executions",
+                     by_model, static_cast<double>(m.batches));
+    page.add_gauge("ondwin_serve_queue_depth",
+                   "Requests queued but not yet batched", by_model,
+                   static_cast<double>(m.queue_depth));
+    page.add_gauge("ondwin_serve_mean_batch",
+                   "Mean executed batch size over the full history",
+                   by_model, m.mean_batch);
+    page.add_histogram("ondwin_batch_occupancy",
+                       "Executed batch sizes (micro-batch coalescing)",
+                       by_model, m.batch_occupancy);
+    const char* lat_help =
+        "Submit-to-result latency (quantiles over a sliding window)";
+    struct QuantileSample {
+      const char* q;
+      double v;
+    };
+    const QuantileSample quantiles[] = {{"0.5", m.p50_ms},
+                                        {"0.95", m.p95_ms},
+                                        {"0.99", m.p99_ms}};
+    for (const QuantileSample& qs : quantiles) {
+      obs::Labels labels = by_model;
+      labels.emplace_back("quantile", qs.q);
+      page.add_gauge("ondwin_serve_latency_ms", lat_help, labels, qs.v);
+    }
+    page.add_gauge("ondwin_serve_latency_mean_ms", lat_help, by_model,
+                   m.mean_latency_ms);
+    page.add_gauge("ondwin_serve_latency_min_ms", lat_help, by_model,
+                   m.min_ms);
+    page.add_gauge("ondwin_serve_latency_max_ms", lat_help, by_model,
+                   m.max_ms);
+    page.add_gauge("ondwin_serve_latency_window",
+                   "Samples behind the latency quantiles", by_model,
+                   static_cast<double>(m.latency_window));
+  }
+  page.add_gauge("ondwin_serve_engines", "Running worker engines", {},
+                 static_cast<double>(s.engines));
+  page.add_counter("ondwin_serve_plan_cache_hits_total",
+                   "Replica lookups served from this server's plan cache",
+                   {}, static_cast<double>(s.plan_cache.hits));
+  page.add_counter("ondwin_serve_plan_cache_misses_total",
+                   "Replica lookups that built a plan", {},
+                   static_cast<double>(s.plan_cache.misses));
+  page.add_gauge("ondwin_serve_plan_cache_entries",
+                 "Plans resident in this server's cache", {},
+                 static_cast<double>(s.plan_cache.entries));
+  const u64 lookups = s.plan_cache.hits + s.plan_cache.misses;
+  page.add_gauge("ondwin_serve_plan_cache_hit_rate",
+                 "Fraction of replica lookups served from the cache", {},
+                 lookups > 0 ? static_cast<double>(s.plan_cache.hits) /
+                                   static_cast<double>(lookups)
+                             : 0.0);
+  obs::MetricsRegistry::global().emit_to(page);
+  return page;
+}
+
+std::string InferenceServer::metrics_prometheus() const {
+  return metrics_page().prometheus();
+}
+
+std::string InferenceServer::metrics_json() const {
+  return metrics_page().json();
+}
+
 Model* InferenceServer::find_model(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   ONDWIN_CHECK(!shut_down_, "server is shut down");

@@ -65,7 +65,17 @@ class InferenceServer {
   bool accepting() const;
   ServerStats stats() const;
 
+  /// The server's serving metrics — per-model request/batch counters,
+  /// latency quantiles, batch-occupancy histograms, plan-cache hit rate —
+  /// followed by the process-global obs registry (ondwin_* counters from
+  /// the plan cache, wisdom stores and tuner), rendered as Prometheus
+  /// text exposition (0.0.4) or the equivalent JSON document. Scrape
+  /// endpoints can serve either verbatim.
+  std::string metrics_prometheus() const;
+  std::string metrics_json() const;
+
  private:
+  obs::MetricsPage metrics_page() const;
   void launch_engines(Model& model, const ModelConfig& config);
   Model* find_model(const std::string& name) const;
 

@@ -1,0 +1,412 @@
+// ondwin::obs coverage: tracer (nesting, wraparound, concurrent emit,
+// Chrome JSON), metrics (counters under contention, histogram buckets,
+// Prometheus/JSON exposition and escaping), perf-counter fallback, the
+// per-thread StageBalance stats, the LatencyRecorder percentile fix, and
+// the serve::InferenceServer metrics endpoint end-to-end.
+//
+// This suite carries the `tsan` ctest label: the concurrent-emit and
+// counter tests are the data-race regression net for the lock-free paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ondwin/ondwin.h"
+#include "serve/latency.h"
+#include "util/rng.h"
+
+using namespace ondwin;
+
+namespace {
+
+// Spans recorded by this test binary are found by name; helpers count them.
+int count_spans(const std::vector<obs::CollectedSpan>& spans,
+                const std::string& name) {
+  int n = 0;
+  for (const auto& s : spans) {
+    if (name == s.name) ++n;
+  }
+  return n;
+}
+
+// Every tracer test runs with this guard: clears the rings, flips tracing
+// as requested, and always leaves the process-wide flag off afterwards so
+// later tests (and the other suites) run untraced.
+struct TracerGuard {
+  explicit TracerGuard(bool enable) {
+    obs::Tracer::instance().set_enabled(false);
+    obs::Tracer::instance().clear();
+    obs::Tracer::instance().set_enabled(enable);
+  }
+  ~TracerGuard() {
+    obs::Tracer::instance().set_enabled(false);
+    obs::Tracer::instance().clear();
+  }
+};
+
+TEST(Trace, DisabledEmitsNothing) {
+  TracerGuard guard(/*enable=*/false);
+  {
+    ONDWIN_TRACE_SPAN("obs_test.disabled");
+  }
+  EXPECT_EQ(count_spans(obs::Tracer::instance().collect(),
+                        "obs_test.disabled"),
+            0);
+}
+
+TEST(Trace, SpanNestingRecordsDepthAndContainment) {
+  TracerGuard guard(/*enable=*/true);
+  {
+    ONDWIN_TRACE_SPAN("obs_test.outer");
+    {
+      ONDWIN_TRACE_SPAN("obs_test.inner");
+    }
+  }
+  const auto spans = obs::Tracer::instance().collect();
+  ASSERT_EQ(count_spans(spans, "obs_test.outer"), 1);
+  ASSERT_EQ(count_spans(spans, "obs_test.inner"), 1);
+  obs::CollectedSpan outer, inner;
+  for (const auto& s : spans) {
+    if (std::string("obs_test.outer") == s.name) outer = s;
+    if (std::string("obs_test.inner") == s.name) inner = s;
+  }
+  EXPECT_EQ(inner.depth, outer.depth + 1);
+  EXPECT_EQ(inner.tid, outer.tid);
+  // Scope containment on the shared timeline: inner starts after and ends
+  // before (durations are end-start, so containment is expressible).
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.dur_ns, outer.start_ns + outer.dur_ns);
+}
+
+TEST(Trace, RingWraparoundKeepsNewestAndCountsDropped) {
+  TracerGuard guard(/*enable=*/true);
+  constexpr int kOverflow = 512;
+  const int total =
+      static_cast<int>(obs::Tracer::kRingCapacity) + kOverflow;
+  for (int i = 0; i < total; ++i) {
+    ONDWIN_TRACE_SPAN("obs_test.wrap");
+  }
+  const auto spans = obs::Tracer::instance().collect();
+  // This thread's ring holds exactly one capacity's worth; the overwritten
+  // prefix is accounted as dropped.
+  EXPECT_EQ(count_spans(spans, "obs_test.wrap"),
+            static_cast<int>(obs::Tracer::kRingCapacity));
+  EXPECT_GE(obs::Tracer::instance().dropped(),
+            static_cast<u64>(kOverflow));
+}
+
+TEST(Trace, ConcurrentEmitIsRaceFree) {
+  TracerGuard guard(/*enable=*/true);
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 20000;  // > capacity/2: forces wrapping
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ONDWIN_TRACE_SPAN("obs_test.mt");
+        ONDWIN_TRACE_SPAN("obs_test.mt_inner");
+      }
+    });
+  }
+  // A collector racing the emitters: must never tear fields or deadlock.
+  for (int i = 0; i < 50; ++i) {
+    (void)obs::Tracer::instance().collect();
+  }
+  for (auto& t : threads) t.join();
+  const auto spans = obs::Tracer::instance().collect();
+  EXPECT_GT(count_spans(spans, "obs_test.mt"), 0);
+  EXPECT_GT(count_spans(spans, "obs_test.mt_inner"), 0);
+}
+
+TEST(Trace, ChromeJsonHasCompleteEvents) {
+  TracerGuard guard(/*enable=*/true);
+  {
+    ONDWIN_TRACE_SPAN("obs_test.chrome");
+  }
+  const std::string json = obs::Tracer::instance().chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"obs_test.chrome\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+
+  const std::string path = "obs_test_trace.json";
+  ASSERT_TRUE(obs::Tracer::instance().write_chrome_trace(path));
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ExecuteEmitsAllThreeStages) {
+  TracerGuard guard(/*enable=*/true);
+  ConvProblem p;
+  p.shape.batch = 1;
+  p.shape.in_channels = 16;
+  p.shape.out_channels = 16;
+  p.shape.image = {8, 8};
+  p.shape.kernel = {3, 3};
+  p.shape.padding = {1, 1};
+  p.tile_m = {2, 2};
+  PlanOptions opts;
+  opts.threads = 2;
+  ConvPlan plan(p, opts);
+  AlignedBuffer<float> in(
+      static_cast<std::size_t>(p.input_layout().total_floats()));
+  AlignedBuffer<float> w(
+      static_cast<std::size_t>(p.kernel_layout().total_floats()));
+  AlignedBuffer<float> out(
+      static_cast<std::size_t>(p.output_layout().total_floats()));
+  Rng rng(3);
+  for (auto& v : in) v = rng.uniform(-1, 1);
+  for (auto& v : w) v = rng.uniform(-1, 1);
+  plan.execute(in.data(), w.data(), out.data());
+
+  const auto spans = obs::Tracer::instance().collect();
+  EXPECT_GT(count_spans(spans, "conv.execute"), 0);
+  EXPECT_GT(count_spans(spans, "input_transform"), 0);
+  EXPECT_GT(count_spans(spans, "kernel_transform"), 0);
+  EXPECT_GT(count_spans(spans, "gemm"), 0);
+  EXPECT_GT(count_spans(spans, "inverse_transform"), 0);
+}
+
+TEST(Metrics, CounterIsExactUnderContention) {
+  obs::Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncs; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<u64>(kThreads) * kIncs);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  obs::Gauge g;
+  g.set(2.5);
+  g.add(1.25);
+  EXPECT_DOUBLE_EQ(g.value(), 3.75);
+}
+
+TEST(Metrics, HistogramBucketsSumCount) {
+  obs::Histogram h({1, 2, 4});
+  for (double v : {0.5, 1.0, 1.5, 2.0, 3.0, 5.0}) h.observe(v);
+  const obs::Histogram::Snapshot s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);  // 3 finite bounds + +Inf
+  EXPECT_EQ(s.counts[0], 2u);      // 0.5, 1.0 (bounds are inclusive)
+  EXPECT_EQ(s.counts[1], 2u);      // 1.5, 2.0
+  EXPECT_EQ(s.counts[2], 1u);      // 3.0
+  EXPECT_EQ(s.counts[3], 1u);      // 5.0 → +Inf
+  EXPECT_EQ(s.count, 6u);
+  EXPECT_DOUBLE_EQ(s.sum, 13.0);
+}
+
+TEST(Metrics, RegistryReturnsSameInstrumentForSameIdentity) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("obs_test_total", "h");
+  obs::Counter& b = reg.counter("obs_test_total", "h");
+  obs::Counter& c = reg.counter("obs_test_total", "h", {{"k", "v"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.inc(3);
+  c.inc(1);
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# HELP obs_test_total h"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_total counter"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_total 3"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_total{k=\"v\"} 1"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusEscaping) {
+  obs::MetricsPage page;
+  page.add_counter("esc_total", "help", {{"l", "a\\b\"c\nd"}}, 1);
+  const std::string text = page.prometheus();
+  EXPECT_NE(text.find("l=\"a\\\\b\\\"c\\nd\""), std::string::npos);
+}
+
+TEST(Metrics, HistogramPrometheusCumulativeBuckets) {
+  obs::Histogram h({1, 2});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+  obs::MetricsPage page;
+  page.add_histogram("occ", "batch sizes", {{"model", "m"}}, h.snapshot());
+  const std::string text = page.prometheus();
+  EXPECT_NE(text.find("# TYPE occ histogram"), std::string::npos);
+  EXPECT_NE(text.find("occ_bucket{model=\"m\",le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("occ_bucket{model=\"m\",le=\"2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("occ_bucket{model=\"m\",le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("occ_count{model=\"m\"} 3"), std::string::npos);
+
+  const std::string json = page.json();
+  EXPECT_NE(json.find("\"name\":\"occ\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\":\"+Inf\""), std::string::npos);
+}
+
+TEST(PerfCounters, GracefulWhenUnavailable) {
+  obs::PerfCounterSet perf;
+  if (!perf.available()) {
+    EXPECT_FALSE(perf.unavailable_reason().empty());
+    perf.start();  // every call must be a harmless no-op
+    perf.stop();
+    const obs::PerfReading r = perf.read();
+    EXPECT_FALSE(r.valid);
+    EXPECT_EQ(r.cycles, 0u);
+  } else {
+    perf.start();
+    volatile double sink = 0;
+    for (int i = 0; i < 1000000; ++i) sink = sink + 1.0;
+    perf.stop();
+    const obs::PerfReading r = perf.read();
+    EXPECT_TRUE(r.valid);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.ipc(), 0.0);
+  }
+}
+
+TEST(StageBalance, PopulatedByMultiThreadExecute) {
+  ConvProblem p;
+  p.shape.batch = 2;
+  p.shape.in_channels = 16;
+  p.shape.out_channels = 16;
+  p.shape.image = {16, 16};
+  p.shape.kernel = {3, 3};
+  p.shape.padding = {1, 1};
+  p.tile_m = {4, 4};
+  PlanOptions opts;
+  opts.threads = 4;
+  ConvPlan plan(p, opts);
+  AlignedBuffer<float> in(
+      static_cast<std::size_t>(p.input_layout().total_floats()));
+  AlignedBuffer<float> w(
+      static_cast<std::size_t>(p.kernel_layout().total_floats()));
+  AlignedBuffer<float> out(
+      static_cast<std::size_t>(p.output_layout().total_floats()));
+  Rng rng(11);
+  for (auto& v : in) v = rng.uniform(-1, 1);
+  for (auto& v : w) v = rng.uniform(-1, 1);
+
+  plan.set_kernels(w.data());
+  plan.execute_pretransformed(in.data(), out.data());
+  const ConvPlanStats& st = plan.last_stats();
+
+  for (const StageBalance* b :
+       {&st.kernel_balance, &st.input_balance, &st.gemm_balance,
+        &st.inverse_balance}) {
+    EXPECT_GT(b->max_s, 0.0);
+    EXPECT_GT(b->mean_s, 0.0);
+    // max over participants can never undercut their mean, so imbalance
+    // is meaningful and >= 1.
+    EXPECT_GE(b->max_s, b->mean_s * (1.0 - 1e-12));
+    EXPECT_GE(b->imbalance(), 1.0 - 1e-12);
+  }
+}
+
+TEST(Latency, SummaryInterpolatesPercentiles) {
+  serve::LatencyRecorder rec;
+  rec.record(1.0);
+  rec.record(100.0);
+  const serve::LatencyRecorder::Summary s = rec.summarize();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.window, 2u);
+  EXPECT_DOUBLE_EQ(s.min_ms, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_ms, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean_ms, 50.5);
+  // The old nearest-rank rounding returned the max-biased sample for all
+  // three quantiles of a 2-sample window. Type-7 interpolation:
+  EXPECT_DOUBLE_EQ(s.p50_ms, 50.5);
+  EXPECT_NEAR(s.p95_ms, 95.05, 1e-9);
+  EXPECT_NEAR(s.p99_ms, 99.01, 1e-9);
+  EXPECT_LT(s.p99_ms, s.max_ms);
+}
+
+TEST(Latency, EmptyAndSingleSample) {
+  serve::LatencyRecorder rec;
+  EXPECT_EQ(rec.summarize().window, 0u);
+  EXPECT_DOUBLE_EQ(rec.summarize().min_ms, 0.0);
+  rec.record(7.0);
+  const serve::LatencyRecorder::Summary s = rec.summarize();
+  EXPECT_EQ(s.window, 1u);
+  EXPECT_DOUBLE_EQ(s.min_ms, 7.0);
+  EXPECT_DOUBLE_EQ(s.p50_ms, 7.0);
+  EXPECT_DOUBLE_EQ(s.p99_ms, 7.0);
+}
+
+TEST(ServerMetrics, PrometheusAndJsonEndToEnd) {
+  ConvProblem p;
+  p.shape.batch = 1;
+  p.shape.in_channels = 16;
+  p.shape.out_channels = 16;
+  p.shape.image = {4, 4};
+  p.shape.kernel = {3, 3};
+  p.shape.padding = {1, 1};
+  p.tile_m = {2, 2};
+
+  AlignedBuffer<float> w(
+      static_cast<std::size_t>(p.kernel_layout().total_floats()));
+  AlignedBuffer<float> in(
+      static_cast<std::size_t>(p.input_layout().total_floats()));
+  Rng rng(5);
+  for (auto& v : w) v = rng.uniform(-1, 1);
+  for (auto& v : in) v = rng.uniform(-1, 1);
+
+  PlanCache cache;
+  serve::ServerOptions so;
+  so.plan_cache = &cache;
+  serve::InferenceServer server(so);
+  serve::ModelConfig config;
+  config.batching.max_batch = 4;
+  config.plan.threads = 1;
+  server.register_conv("obs_model", p, w.data(), config);
+  for (int i = 0; i < 6; ++i) {
+    server.submit("obs_model", in.data()).get();
+  }
+
+  const std::string text = server.metrics_prometheus();
+  EXPECT_NE(text.find("ondwin_serve_requests_total{model=\"obs_model\"} 6"),
+            std::string::npos);
+  EXPECT_NE(text.find("ondwin_serve_completed_total{model=\"obs_model\"} 6"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ondwin_batch_occupancy histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("ondwin_batch_occupancy_bucket{model=\"obs_model\",le=\"1\"}"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "ondwin_batch_occupancy_bucket{model=\"obs_model\",le=\"+Inf\"}"),
+      std::string::npos);
+  EXPECT_NE(text.find("ondwin_batch_occupancy_count{model=\"obs_model\"}"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("ondwin_serve_latency_ms{model=\"obs_model\",quantile=\"0.5\"}"),
+      std::string::npos);
+  EXPECT_NE(text.find("ondwin_serve_plan_cache_hit_rate"), std::string::npos);
+  // The process-global registry rides along: the plan built above bumped
+  // the plan-cache metrics even though the server used a private cache.
+  EXPECT_NE(text.find("ondwin_plan_cache_misses_total"), std::string::npos);
+
+  const std::string json = server.metrics_json();
+  EXPECT_NE(json.find("\"metrics\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"ondwin_serve_requests_total\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"model\":\"obs_model\""), std::string::npos);
+
+  // Occupancy: 6 sequential submits → 6 executions of batch 1.
+  const serve::ServerStats stats = server.stats();
+  const serve::ModelStats& m = stats.models.at("obs_model");
+  EXPECT_EQ(m.batch_occupancy.count, 6u);
+  ASSERT_FALSE(m.batch_occupancy.counts.empty());
+  EXPECT_EQ(m.batch_occupancy.counts[0], 6u);  // le=1 bucket
+  EXPECT_EQ(m.latency_window, 6u);
+  EXPECT_GT(m.min_ms, 0.0);
+}
+
+}  // namespace
