@@ -1,0 +1,241 @@
+// Fused vs staged execution on the Fig. 5 / Tbl. 2 layers.
+//
+//   $ ./bench_fusion [--full] [--xl] [--json out.json]
+//
+// Each layer runs the SAME plan twice — once with FusionMode::kStaged
+// (the paper's four fork–join stages with full-tensor V̂/X̂) and once with
+// FusionMode::kFused (per-thread cache-resident tile blocks, no global
+// stage barriers) — on identical data, and reports:
+//
+//   ms            best-of-N execute_pretransformed wall time
+//   speedup       staged_ms / fused_ms (on the fused row)
+//   LLC miss/ex   hardware LLC misses per execution (perf_event; the
+//                 whole timing loop divided by its iterations)
+//   bytes/flop    LLC-miss bytes (64 B lines) per direct-equivalent FLOP
+//
+// Fusion pays exactly where the staged intermediates exceed the LLC — the
+// large-image, batch-1 segmentation layers (FusionNet, 3DUNet). --xl adds
+// two oversized FusionNet-style rows whose intermediates exceed any
+// plausible LLC even at CI scale, so the DRAM-round-trip regime is always
+// represented. The bench also cross-checks the two modes' outputs are
+// bitwise identical before timing (fusion is a scheduling transformation,
+// not a numeric one).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "layers.h"
+#include "ondwin/ondwin.h"
+#include "report.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace ondwin;
+
+namespace {
+
+struct ModeResult {
+  double best_secs = 0;
+  double llc_miss_per_exec = 0;
+  double l1d_miss_per_exec = 0;
+  bool perf_valid = false;
+  ConvPlanStats stats;
+  i64 workspace = 0;
+  FusionPolicy policy;
+};
+
+// Fixed-iteration timing loop with the perf counters around it: counts
+// divide exactly by the iteration count.
+ModeResult bench_mode(ConvPlan& plan, const float* in, float* out,
+                      obs::PerfCounterSet& perf) {
+  ModeResult r;
+  plan.execute_pretransformed(in, out);  // warm-up
+  Timer est;
+  plan.execute_pretransformed(in, out);
+  const double once = est.seconds();
+  const int iters =
+      std::max(3, static_cast<int>(std::ceil(0.15 / std::max(once, 1e-6))));
+
+  perf.start();
+  double best = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    Timer t;
+    plan.execute_pretransformed(in, out);
+    best = std::min(best, t.seconds());
+  }
+  perf.stop();
+  const obs::PerfReading hw = perf.read();
+  r.best_secs = best;
+  r.perf_valid = hw.valid;
+  if (hw.valid) {
+    r.llc_miss_per_exec = static_cast<double>(hw.llc_misses) / iters;
+    r.l1d_miss_per_exec = static_cast<double>(hw.l1d_misses) / iters;
+  }
+  r.stats = plan.last_stats();
+  r.workspace = plan.workspace_bytes();
+  r.policy = plan.fusion_policy();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = false, xl = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+    if (std::strcmp(argv[i], "--xl") == 0) xl = true;
+  }
+  const std::string json_path = bench::json_flag(argc, argv);
+
+  // Open the counters before any plan exists: inherit=1 only covers
+  // threads spawned after the open, and plans spawn pools at construction.
+  obs::PerfCounterSet perf;
+  if (!perf.available()) {
+    std::printf("(perf counters unavailable: %s)\n",
+                perf.unavailable_reason().c_str());
+  }
+
+  auto layers = table2_layers(full);
+  if (xl) {
+    // Batch-1 large-image rows sized so the staged V̂+X̂ clearly exceed the
+    // LLC: at F(4²,3²), 320² with C=C'=64 is ≈118 MB of intermediates and
+    // 448² with C=C'=32 is ≈116 MB — both DRAM-resident when staged.
+    layers.push_back(
+        {"FusionNetXL", "1.2", layer(1, 64, 64, {320, 320}, {0, 0}, {3, 3})});
+    layers.push_back(
+        {"FusionNetXL", "0.2", layer(1, 32, 32, {448, 448}, {0, 0}, {3, 3})});
+  }
+
+  bench::BenchReport report("fusion");
+  Rng rng(2025);
+
+  std::printf("== fused vs staged execution (%s sizes%s) ==\n",
+              full ? "paper" : "CI", xl ? " + XL rows" : "");
+  std::printf("%-12s %-5s %-7s %10s %8s %12s %11s\n", "net", "layer", "mode",
+              "ms", "speedup", "LLCmiss/ex", "bytes/flop");
+
+  double log_speedup_sum = 0;
+  int layer_count = 0, wins_12 = 0;
+
+  for (const auto& L : layers) {
+    const ConvShape& s = L.shape;
+    const int rank = s.image.rank();
+    ConvProblem p;
+    p.shape = s;
+    p.tile_m = Dims::filled(rank, 4);
+    const double direct_flops = 2.0 * static_cast<double>(s.direct_macs());
+
+    const ImageLayout in_l{s.batch, s.in_channels, s.image};
+    const ImageLayout out_l{s.batch, s.out_channels, s.output()};
+    const KernelLayout k_l{s.in_channels, s.out_channels, s.kernel};
+    AlignedBuffer<float> in_b(static_cast<std::size_t>(in_l.total_floats()));
+    AlignedBuffer<float> w_b(static_cast<std::size_t>(k_l.total_floats()));
+    AlignedBuffer<float> out_staged(
+        static_cast<std::size_t>(out_l.total_floats()));
+    AlignedBuffer<float> out_fused(out_staged.size());
+    for (auto& v : in_b) v = rng.uniform(-1.0f, 1.0f);
+    for (auto& v : w_b) v = rng.gaussian(0.0f, 0.05f);
+
+    PlanOptions staged_opts;
+    staged_opts.fusion = FusionMode::kStaged;
+    PlanOptions fused_opts;
+    fused_opts.fusion = FusionMode::kFused;
+
+    ConvPlan staged(p, staged_opts);
+    ConvPlan fused(p, fused_opts);
+    staged.set_kernels(w_b.data());
+    fused.set_kernels(w_b.data());
+
+    // Identity cross-check before timing anything.
+    out_staged.fill_zero();
+    out_fused.fill_zero();
+    staged.execute_pretransformed(in_b.data(), out_staged.data());
+    fused.execute_pretransformed(in_b.data(), out_fused.data());
+    if (std::memcmp(out_staged.data(), out_fused.data(),
+                    out_staged.size() * sizeof(float)) != 0) {
+      std::fprintf(stderr, "FATAL: fused output diverges from staged on %s "
+                   "%s\n", L.net.c_str(), L.name.c_str());
+      return 1;
+    }
+
+    const ModeResult rs =
+        bench_mode(staged, in_b.data(), out_staged.data(), perf);
+    const ModeResult rf =
+        bench_mode(fused, in_b.data(), out_fused.data(), perf);
+    const double speedup = rs.best_secs / rf.best_secs;
+    log_speedup_sum += std::log(speedup);
+    ++layer_count;
+    if (speedup >= 1.2) ++wins_12;
+
+    auto bytes_per_flop = [&](const ModeResult& r) {
+      return r.perf_valid ? r.llc_miss_per_exec * 64.0 / direct_flops : 0.0;
+    };
+    auto print_mode = [&](const std::string& mode, const ModeResult& r,
+                          double spd) {
+      std::printf("%-12s %-5s %-7s %10.2f %8s %12.3e %11.4f\n",
+                  L.net.c_str(), L.name.c_str(), mode.c_str(),
+                  r.best_secs * 1e3,
+                  spd > 0 ? (std::to_string(spd).substr(0, 5) + "x").c_str()
+                          : "-",
+                  r.llc_miss_per_exec, bytes_per_flop(r));
+      bench::BenchReport::Row& row =
+          report.row()
+              .set("net", L.net)
+              .set("layer", L.name)
+              .set("mode", mode)
+              .set("ms", r.best_secs * 1e3)
+              .set("workspace_bytes", static_cast<double>(r.workspace))
+              .set("input_ms", r.stats.input_transform * 1e3)
+              .set("gemm_ms", r.stats.gemm * 1e3)
+              .set("inverse_ms", r.stats.inverse_transform * 1e3)
+              .set("fused_accounting", r.stats.fused);
+      if (r.perf_valid) {
+        row.set("llc_miss_per_exec", r.llc_miss_per_exec)
+            .set("l1d_miss_per_exec", r.l1d_miss_per_exec)
+            .set("bytes_per_flop", bytes_per_flop(r));
+      }
+      if (spd > 0) row.set("speedup", spd);
+      if (r.policy.fused) {
+        row.set("f_blk", static_cast<double>(r.policy.f_blk))
+            .set("fused_blocks", static_cast<double>(r.policy.blocks));
+      }
+    };
+    print_mode("staged", rs, 0);
+    print_mode("fused", rf, speedup);
+    if (rs.perf_valid && rf.perf_valid && rs.llc_miss_per_exec > 0) {
+      std::printf("%26s LLC-miss delta %+.1f%%, workspace %.1f -> %.1f MB, "
+                  "f_blk %d (%lld blocks)\n", "",
+                  (rf.llc_miss_per_exec / rs.llc_miss_per_exec - 1.0) * 100,
+                  static_cast<double>(rs.workspace) / (1 << 20),
+                  static_cast<double>(rf.workspace) / (1 << 20),
+                  rf.policy.f_blk,
+                  static_cast<long long>(rf.policy.blocks));
+    }
+  }
+
+  const double geomean =
+      layer_count > 0 ? std::exp(log_speedup_sum / layer_count) : 0.0;
+  std::printf("\ngeomean speedup %.3fx over %d layers; %d layers >= 1.2x\n",
+              geomean, layer_count, wins_12);
+  report.row()
+      .set("net", "_summary")
+      .set("layer", "-")
+      .set("mode", "-")
+      .set("geomean_speedup", geomean)
+      .set("layers", static_cast<double>(layer_count))
+      .set("layers_ge_1_2x", static_cast<double>(wins_12));
+
+  if (!json_path.empty()) {
+    if (report.write_json(json_path)) {
+      std::printf("wrote %zu rows to %s\n", report.size(),
+                  json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -52,16 +52,28 @@ struct ConvPlan::ThreadScratch {
   TransformScratch transform;
   AlignedBuffer<float> gather;     // border-tile input staging (T vectors)
   AlignedBuffer<float> stage_out;  // border-tile output staging (Πm vectors)
-  AlignedBuffer<float> dump;       // X̂ placeholder when I'_tmp is elided
+  AlignedBuffer<float> dump;       // X̂ accumulator block / placeholder
   std::vector<float*> scatter_rows;
 
+  // Fused-mode block scratch: one tile block's Û panel and X̂ panel (both
+  // empty when the plan runs staged). Per-thread, so blocks never cross a
+  // cache-coherence boundary between stages.
+  AlignedBuffer<float> fuse_u;
+  AlignedBuffer<float> fuse_x;
+
+  // Fused-mode per-stage time accumulators (barrier wall-clock is
+  // meaningless once stages interleave — see ConvPlanStats).
+  double acc_input = 0, acc_gemm = 0, acc_inverse = 0;
+
   ThreadScratch(int max_extent, int rank, i64 t_elems, i64 m_prod, int n_blk,
-                int cp_blk)
+                int cp_blk, i64 fuse_u_floats, i64 fuse_x_floats)
       : transform(max_extent, rank),
         gather(static_cast<std::size_t>(t_elems * kSimdWidth)),
         stage_out(static_cast<std::size_t>(m_prod * kSimdWidth)),
         dump(static_cast<std::size_t>(static_cast<i64>(n_blk) * cp_blk)),
-        scatter_rows(static_cast<std::size_t>(n_blk)) {}
+        scatter_rows(static_cast<std::size_t>(n_blk)),
+        fuse_u(static_cast<std::size_t>(fuse_u_floats)),
+        fuse_x(static_cast<std::size_t>(fuse_x_floats)) {}
 };
 
 ConvPlan::ConvPlan(const ConvProblem& problem, const PlanOptions& options)
@@ -82,10 +94,16 @@ ConvPlan::ConvPlan(const ConvProblem& problem, const PlanOptions& options)
   ib_ = nb_pad_ / blocking_.n_blk;
   kb_ = problem_.shape.in_channels / blocking_.c_blk;
   jb_ = problem_.shape.out_channels / blocking_.cp_blk;
+  choose_fusion();
 
   build_programs();
   build_pipelines();
   build_kernels();
+  if (fusion_.fused) {
+    fused_gemm_ = std::make_unique<FusedBlockGemm>(
+        *kernels_, blocking_.n_blk, blocking_.c_blk, blocking_.cp_blk, kb_,
+        jb_, t_elems_, out_groups_, options_.scatter_in_gemm);
+  }
 
   int threads = options_.threads > 0 ? options_.threads : hardware_threads();
   pool_ = std::make_unique<ThreadPool>(threads, options_.pin_threads,
@@ -97,11 +115,19 @@ ConvPlan::ConvPlan(const ConvProblem& problem, const PlanOptions& options)
   int max_extent = 2;
   for (int d = 0; d < rank_; ++d)
     max_extent = static_cast<int>(std::max<i64>(max_extent, alpha_[d]));
+  const i64 fuse_u_floats =
+      fusion_.fused ? static_cast<i64>(fusion_.f_blk) * blocking_.n_blk *
+                          problem_.shape.in_channels * t_elems_
+                    : 0;
+  const i64 fuse_x_floats =
+      fusion_.fused ? static_cast<i64>(fusion_.f_blk) * blocking_.n_blk *
+                          problem_.shape.out_channels * t_elems_
+                    : 0;
   scratch_.reserve(static_cast<std::size_t>(pool_->size()));
   for (int t = 0; t < pool_->size(); ++t) {
     scratch_.push_back(std::make_unique<ThreadScratch>(
         max_extent, rank_, t_elems_, problem_.tile_m.product(),
-        blocking_.n_blk, blocking_.cp_blk));
+        blocking_.n_blk, blocking_.cp_blk, fuse_u_floats, fuse_x_floats));
   }
 }
 
@@ -119,6 +145,7 @@ void ConvPlan::choose_blocking() {
   if (options_.n_blk > 0) b.n_blk = options_.n_blk;
   if (options_.c_blk > 0) b.c_blk = options_.c_blk;
   if (options_.cp_blk > 0) b.cp_blk = options_.cp_blk;
+  if (options_.fuse_blk > 0) b.f_blk = options_.fuse_blk;
 
   if (b.c_blk == 0) b.c_blk = divisor16(c, 128);
   if (b.cp_blk == 0) b.cp_blk = divisor16(cp, 128);
@@ -148,7 +175,53 @@ void ConvPlan::choose_blocking() {
                b.cp_blk, ") must be a multiple of 16 dividing C' (", cp, ")");
   ONDWIN_CHECK(static_cast<i64>(b.c_blk) * b.cp_blk <= 128 * 128,
                "c_blk x cp_blk exceeds the L2 budget (128^2 floats)");
+  ONDWIN_CHECK(b.f_blk >= 0, "f_blk must be non-negative, got ", b.f_blk);
   blocking_ = b;
+}
+
+void ConvPlan::choose_fusion() {
+  FusionPolicy f;
+  switch (options_.fusion) {
+    case FusionMode::kStaged:
+      f.fused = false;
+      break;
+    case FusionMode::kFused:
+      f.fused = true;
+      break;
+    case FusionMode::kAuto: {
+      // Fuse when the staged intermediates (V̂ + X̂ full tensors) would not
+      // stay resident in the last-level cache between the stage barriers —
+      // that is exactly when the staged pipeline starts round-tripping the
+      // transformed activations through DRAM. Half the LLC is a
+      // conservative threshold: the input image, W, and the output share
+      // the cache too.
+      const i64 staged_bytes =
+          nb_pad_ *
+          (problem_.shape.in_channels + problem_.shape.out_channels) *
+          t_elems_ * static_cast<i64>(sizeof(float));
+      f.fused = staged_bytes > llc_cache_bytes() / 2;
+      break;
+    }
+  }
+  if (f.fused) {
+    i64 fb = blocking_.f_blk;
+    if (fb <= 0) {
+      // Largest block whose Û + X̂ panels fill at most 3/4 of the per-core
+      // L2 (the remaining quarter covers the streamed V̂ block and the
+      // input/output tile working set).
+      const i64 per_row_block =
+          static_cast<i64>(blocking_.n_blk) *
+          (problem_.shape.in_channels + problem_.shape.out_channels) *
+          t_elems_ * static_cast<i64>(sizeof(float));
+      fb = std::max<i64>(1, l2_cache_bytes() * 3 / 4 / per_row_block);
+    }
+    f.f_blk = static_cast<int>(std::min<i64>(fb, ib_));
+    f.blocks = (ib_ + f.f_blk - 1) / f.f_blk;
+    f.scratch_floats =
+        static_cast<i64>(f.f_blk) * blocking_.n_blk *
+        (problem_.shape.in_channels + problem_.shape.out_channels) * t_elems_;
+  }
+  fusion_ = f;
 }
 
 void ConvPlan::build_programs() {
@@ -168,6 +241,10 @@ void ConvPlan::build_programs() {
 void ConvPlan::build_pipelines() {
   const bool jit = options_.jit_transforms;
   const bool stream = options_.streaming_stores;
+  // Under fusion the input pipelines write per-thread block scratch that
+  // the same thread's GEMM consumes immediately — non-temporal stores
+  // would evict exactly the lines fusion keeps hot, so use plain stores.
+  const bool in_stream = stream && !fusion_.fused;
   const Dims alpha_strides = alpha_.strides();
   const Dims img_strides = problem_.shape.image.strides();
   const Dims out_strides_sp = out_dims_.strides();
@@ -195,9 +272,9 @@ void ConvPlan::build_pipelines() {
   }
 
   pipe_in_interior_ =
-      std::make_unique<TilePipeline>(bt, rank_, s_img, s_i, stream, jit);
+      std::make_unique<TilePipeline>(bt, rank_, s_img, s_i, in_stream, jit);
   pipe_in_border_ =
-      std::make_unique<TilePipeline>(bt, rank_, s_alpha, s_i, stream, jit);
+      std::make_unique<TilePipeline>(bt, rank_, s_alpha, s_i, in_stream, jit);
   pipe_kernel_ =
       std::make_unique<TilePipeline>(g, rank_, s_kext, s_w, stream, jit);
   pipe_inv_interior_ =
@@ -207,9 +284,14 @@ void ConvPlan::build_pipelines() {
 }
 
 void ConvPlan::build_kernels() {
-  const StoreMode final_store = options_.scatter_in_gemm
-                                    ? StoreMode::kScatter
-                                    : StoreMode::kAccumulate;
+  // Fused plans scatter into the thread's own X̂ block scratch, which the
+  // inverse transform reads back within microseconds — cacheable scatter
+  // stores, not the staged mode's non-temporal ones (same values either
+  // way; only the store instruction differs).
+  const StoreMode final_store =
+      options_.scatter_in_gemm
+          ? (fusion_.fused ? StoreMode::kScatterCached : StoreMode::kScatter)
+          : StoreMode::kAccumulate;
   kernels_ = std::make_unique<KernelSet>(blocking_.n_blk, blocking_.c_blk,
                                          blocking_.cp_blk, final_store,
                                          options_.use_jit);
@@ -218,12 +300,19 @@ void ConvPlan::build_kernels() {
 void ConvPlan::build_schedules() {
   const int k = pool_->size();
 
+  sched_kernel_ = static_partition(
+      {problem_.shape.in_channels, out_groups_}, k);
+
+  if (fusion_.fused) {
+    // One grid only: the 1-D list of fused tile blocks. Each thread owns a
+    // contiguous run of blocks end-to-end (transform → GEMM → inverse).
+    sched_fused_ = static_partition({fusion_.blocks}, k);
+    return;
+  }
+
   std::vector<i64> in_grid = {problem_.shape.batch, in_groups_};
   for (int d = 0; d < rank_; ++d) in_grid.push_back(tiles_[d]);
   sched_input_ = static_partition(in_grid, k);
-
-  sched_kernel_ = static_partition(
-      {problem_.shape.in_channels, out_groups_}, k);
 
   // (NB/n_blk) least significant: consecutive row blocks multiply the same
   // V̂, which then stays in cache (paper §4.5).
@@ -238,6 +327,10 @@ void ConvPlan::build_schedules() {
 }
 
 void ConvPlan::allocate_buffers() {
+  // Fused plans hold no full-size intermediates: I and I' live as
+  // per-thread block scratch (ThreadScratch::fuse_u / fuse_x), and the
+  // GEMM accumulates through the per-thread `dump` block.
+  if (fusion_.fused) return;
   buf_i_.reset(static_cast<std::size_t>(nb_pad_ *
                                         problem_.shape.in_channels * t_elems_));
   // W is allocated lazily by set_kernels(): a plan that adopts shared
@@ -253,8 +346,9 @@ void ConvPlan::allocate_buffers() {
 
 i64 ConvPlan::workspace_bytes() const {
   const std::size_t w_floats = w_ != nullptr ? w_->size() : 0;
+  const i64 fuse_floats = fusion_.scratch_floats * pool_->size();
   return static_cast<i64>((buf_i_.size() + w_floats + buf_itmp_.size() +
-                           buf_iout_.size()) *
+                           buf_iout_.size() + fuse_floats) *
                           sizeof(float));
 }
 
@@ -326,6 +420,15 @@ void ConvPlan::execute_pretransformed(const float* input, float* output,
   stats_.kernel_transform = kt;
   stats_.kernel_balance = kb;
 
+  if (fusion_.fused) {
+    execute_fused(input, output, epilogue);
+  } else {
+    execute_staged(input, output, epilogue);
+  }
+}
+
+void ConvPlan::execute_staged(const float* input, float* output,
+                              const Epilogue& epilogue) {
   Timer t;
   stage_input_transform(input);
   stats_.input_transform = t.seconds();
@@ -349,6 +452,100 @@ void ConvPlan::execute_pretransformed(const float* input, float* output,
   stats_.inverse_balance = balance_of(pool_->last_task_seconds());
 }
 
+// ------------------------------------------------------ fused execution ----
+
+void ConvPlan::execute_fused(const float* input, float* output,
+                             const Epilogue& epilogue) {
+  for (auto& sc : scratch_) {
+    sc->acc_input = sc->acc_gemm = sc->acc_inverse = 0;
+  }
+
+  // One fork–join for the whole convolution: each thread drives its
+  // contiguous run of tile blocks through all three stages back-to-back.
+  pool_->run_static([&](int tid) {
+    const GridBox& box = sched_fused_[static_cast<std::size_t>(tid)];
+    for (i64 fb = box.begin[0]; fb < box.end[0]; ++fb) {
+      const i64 iblk0 = fb * fusion_.f_blk;
+      const i64 iblk1 = std::min<i64>(iblk0 + fusion_.f_blk, ib_);
+      fused_block(tid, iblk0, iblk1, input, output, epilogue);
+    }
+    streaming_fence();  // inverse-transform NT stores into `output`
+  });
+
+  // Per-stage seconds from the thread-local accumulators: the MEAN over
+  // threads, so the stages still sum to ≈ the execute wall time on a
+  // balanced run (see ConvPlanStats).
+  stats_.fused = true;
+  const std::size_t n = scratch_.size();
+  std::vector<double> in_s(n), gm_s(n), inv_s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in_s[i] = scratch_[i]->acc_input;
+    gm_s[i] = scratch_[i]->acc_gemm;
+    inv_s[i] = scratch_[i]->acc_inverse;
+  }
+  stats_.input_balance = balance_of(in_s);
+  stats_.gemm_balance = balance_of(gm_s);
+  stats_.inverse_balance = balance_of(inv_s);
+  stats_.input_transform = stats_.input_balance.mean_s;
+  stats_.gemm = stats_.gemm_balance.mean_s;
+  stats_.inverse_transform = stats_.inverse_balance.mean_s;
+}
+
+void ConvPlan::fused_block(int tid, i64 iblk0, i64 iblk1, const float* input,
+                           float* output, const Epilogue& epilogue) {
+  ThreadScratch& sc = *scratch_[static_cast<std::size_t>(tid)];
+  const i64 np0 = iblk0 * blocking_.n_blk;
+  // Rows past nb_ are alignment padding: never transformed, never read
+  // back (the GEMM computes garbage there that the inverse skips — same
+  // contract as the staged buffers' padded tail).
+  const i64 np_end = std::min(iblk1 * blocking_.n_blk, nb_);
+
+  Timer t;
+  {
+    ONDWIN_TRACE_SPAN("fuse.input");
+    // cg outer / tile inner: one sweep over the block's tiles per channel
+    // group, walking each input channel plane contiguously.
+    std::array<i64, kMaxGridRank> coord{};
+    for (i64 cg = 0; cg < in_groups_; ++cg) {
+      coord[1] = cg;
+      for (i64 np = np0; np < np_end; ++np) {
+        const i64 b = np / tile_count_;
+        const Dims tc = tiles_.coord_of(np % tile_count_);
+        coord[0] = b;
+        for (int d = 0; d < rank_; ++d) {
+          coord[static_cast<std::size_t>(2 + d)] = tc[d];
+        }
+        input_transform_task(tid, b, cg, coord, input, sc.fuse_u.data(),
+                             iblk0);
+      }
+    }
+  }
+  sc.acc_input += t.seconds();
+
+  t.restart();
+  {
+    ONDWIN_TRACE_SPAN("fuse.gemm");
+    fused_gemm_->run(iblk1 - iblk0, sc.fuse_u.data(), w_->data(),
+                     sc.fuse_x.data(), sc.dump.data(),
+                     sc.scatter_rows.data());
+  }
+  sc.acc_gemm += t.seconds();
+
+  t.restart();
+  {
+    ONDWIN_TRACE_SPAN("fuse.inverse");
+    // g outer / tile inner: mirrors the staged inverse schedule's order
+    // within the block, walking each output channel plane contiguously.
+    for (i64 g = 0; g < out_groups_; ++g) {
+      for (i64 np = np0; np < np_end; ++np) {
+        inverse_transform_task(tid, np, g, sc.fuse_x.data(), np0, output,
+                               epilogue);
+      }
+    }
+  }
+  sc.acc_inverse += t.seconds();
+}
+
 // ----------------------------------------------------- stage 1: inputs ----
 
 void ConvPlan::stage_input_transform(const float* input) {
@@ -356,7 +553,8 @@ void ConvPlan::stage_input_transform(const float* input) {
     ONDWIN_TRACE_SPAN("input_transform");
     for_each_in_box(sched_input_[static_cast<std::size_t>(tid)],
                     [&](const std::array<i64, kMaxGridRank>& c) {
-                      input_transform_task(tid, c[0], c[1], c, input);
+                      input_transform_task(tid, c[0], c[1], c, input,
+                                           buf_i_.data(), 0);
                     });
     streaming_fence();
   });
@@ -364,7 +562,7 @@ void ConvPlan::stage_input_transform(const float* input) {
 
 void ConvPlan::input_transform_task(
     int tid, i64 b, i64 cg, const std::array<i64, kMaxGridRank>& tile_coord,
-    const float* input) {
+    const float* input, float* i_buf, i64 iblk_base) {
   ThreadScratch& sc = *scratch_[static_cast<std::size_t>(tid)];
   const Dims img = problem_.shape.image;
   const Dims img_strides = img.strides();
@@ -425,12 +623,14 @@ void ConvPlan::input_transform_task(
     src = sc.gather.data();
   }
 
-  // Scatter destination inside I (layout [i][k][t][n_blk][c_blk]).
-  const i64 iblk = np / blocking_.n_blk;
+  // Scatter destination inside I (layout [i][k][t][n_blk][c_blk]); under
+  // fusion `i_buf` is the thread's Û block scratch and `iblk_base` rebases
+  // the row block index into it.
+  const i64 iblk = np / blocking_.n_blk - iblk_base;
   const i64 jrow = np % blocking_.n_blk;
   const i64 kblk = (cg * kSimdWidth) / blocking_.c_blk;
   const i64 cin = (cg * kSimdWidth) % blocking_.c_blk;
-  float* dst = buf_i_.data() +
+  float* dst = i_buf +
                ((iblk * kb_ + kblk) * t_elems_ * blocking_.n_blk + jrow) *
                    blocking_.c_blk +
                cin;
@@ -561,23 +761,28 @@ void ConvPlan::stage_inverse_transform(float* output,
     ONDWIN_TRACE_SPAN("inverse_transform");
     for_each_in_box(sched_inverse_[static_cast<std::size_t>(tid)],
                     [&](const std::array<i64, kMaxGridRank>& c) {
-                      inverse_transform_task(tid, c[0], c[1], c[2], output,
-                                             epilogue);
+                      inverse_transform_task(tid, c[0] * tile_count_ + c[2],
+                                             c[1], buf_iout_.data(), 0,
+                                             output, epilogue);
                     });
     streaming_fence();
   });
 }
 
-void ConvPlan::inverse_transform_task(int tid, i64 b, i64 g, i64 n,
+void ConvPlan::inverse_transform_task(int tid, i64 np, i64 g,
+                                      const float* iout_buf, i64 np_base,
                                       float* output,
                                       const Epilogue& epilogue) {
   ThreadScratch& sc = *scratch_[static_cast<std::size_t>(tid)];
-  const i64 np = b * tile_count_ + n;
+  const i64 b = np / tile_count_;
+  const i64 n = np % tile_count_;
   const Dims out_strides_sp = out_dims_.strides();
   const i64 opx = out_dims_.product();
 
+  // Under fusion `iout_buf` is the thread's X̂ block scratch and `np_base`
+  // rebases the tile row into it.
   const float* src =
-      buf_iout_.data() + ((np * out_groups_ + g) * t_elems_) * kSimdWidth;
+      iout_buf + (((np - np_base) * out_groups_ + g) * t_elems_) * kSimdWidth;
 
   // Output tile origin and interior test.
   const Dims tc = tiles_.coord_of(n);

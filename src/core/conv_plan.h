@@ -3,11 +3,18 @@
 // A plan owns everything derived from the problem shape: the Cook–Toom
 // transform programs, the JIT GEMM kernels, the statically scheduled task
 // grids, the worker pool, and the auxiliary buffers (I, W, I'_tmp, I').
-// Execution runs the paper's three stages, each as one fork–join:
+// Staged execution runs the paper's three stages, each as one fork–join:
 //
 //   stage 1   input tile transform     image  → I      (+ kernels → W)
 //   stage 2   T batched GEMMs          I × W  → I'     (scatter in-kernel)
 //   stage 3   inverse tile transform   I'     → output image
+//
+// Fused execution (PlanOptions::fusion) removes the global barriers: the
+// tile grid is cut into per-thread tile blocks sized so one block's Û
+// panel plus the streamed V̂ and X̂ panels stay cache-resident, and each
+// thread drives its blocks through transform → GEMM → inverse back-to-back
+// — I and I' shrink from full tensors to per-thread block scratch, so the
+// transformed activations never round-trip DRAM between stages.
 //
 // Inputs/outputs use the SIMD-blocked layouts of tensor/layout.h, so the
 // output of one plan feeds the next plan without reshuffling.
@@ -53,14 +60,24 @@ struct StageBalance {
   double imbalance() const { return mean_s > 0 ? max_s / mean_s : 1.0; }
 };
 
-/// Wall-clock seconds of each stage of the last execute() call, plus the
-/// per-thread balance of every fork–join.
+/// Per-stage seconds of the last execute() call, plus the per-thread
+/// balance of every stage.
+///
+/// Staged execution times each fork–join with wall clocks between the
+/// barriers. Fused execution has no barriers between stages — the stages
+/// of different tile blocks interleave freely — so there the per-stage
+/// seconds come from thread-local accumulators: each thread sums the time
+/// its own blocks spent in each stage, and the reported stage time is the
+/// MEAN over threads (so the stages still sum to ≈ the execute wall time
+/// on a balanced run). `fused` records which accounting produced the
+/// numbers; StageBalance is max/mean of the per-thread figures either way.
 struct ConvPlanStats {
   double input_transform = 0;
   double kernel_transform = 0;
   double gemm = 0;
   double scatter_copy = 0;  // only when scatter_in_gemm is off
   double inverse_transform = 0;
+  bool fused = false;  // true: thread-local accumulation (see above)
   double total() const {
     return input_transform + kernel_transform + gemm + scatter_copy +
            inverse_transform;
@@ -74,10 +91,24 @@ struct ConvPlanStats {
 };
 
 /// Resolved blocking parameters (after heuristic/wisdom/overrides).
+/// `f_blk` is the fused-mode tile-block size (row blocks per block); it
+/// rides along with the GEMM blocking through the tuner and wisdom v2 but
+/// is not part of the v1 wisdom format (0 = heuristic).
 struct Blocking {
   int n_blk = 0;
   int c_blk = 0;
   int cp_blk = 0;
+  int f_blk = 0;
+};
+
+/// Resolved execution structure of a plan (see PlanOptions::fusion): how
+/// the tile grid is cut into per-thread blocks, or that the plan runs the
+/// classic four-stage fork–join pipeline.
+struct FusionPolicy {
+  bool fused = false;
+  int f_blk = 0;       // row blocks of n_blk tiles per fused block
+  i64 blocks = 0;      // ⌈(NB/n_blk) / f_blk⌉ fused blocks over the grid
+  i64 scratch_floats = 0;  // per-thread Û+X̂ block scratch (0 when staged)
 };
 
 /// Immutable, shareable handle to a plan's transformed-kernel buffer W.
@@ -136,6 +167,7 @@ class ConvPlan {
   const ConvProblem& problem() const { return problem_; }
   const PlanOptions& options() const { return options_; }
   const Blocking& blocking() const { return blocking_; }
+  const FusionPolicy& fusion_policy() const { return fusion_; }
   int threads() const { return pool_->size(); }
   const ConvPlanStats& last_stats() const { return stats_; }
 
@@ -146,6 +178,7 @@ class ConvPlan {
   struct ThreadScratch;
 
   void choose_blocking();
+  void choose_fusion();
   void build_programs();
   void build_pipelines();
   void build_kernels();
@@ -158,17 +191,26 @@ class ConvPlan {
   void stage_scatter_copy();
   void stage_inverse_transform(float* output, const Epilogue& epilogue);
 
+  void execute_staged(const float* input, float* output,
+                      const Epilogue& epilogue);
+  void execute_fused(const float* input, float* output,
+                     const Epilogue& epilogue);
+  void fused_block(int tid, i64 iblk0, i64 iblk1, const float* input,
+                   float* output, const Epilogue& epilogue);
+
   void input_transform_task(int tid, i64 b, i64 cg,
                             const std::array<i64, kMaxGridRank>& tile_coord,
-                            const float* input);
+                            const float* input, float* i_buf, i64 iblk_base);
   void kernel_transform_task(int tid, i64 c, i64 g, const float* kernels);
   void gemm_task(int tid, i64 t, i64 j, i64 i, i64 i_end);
-  void inverse_transform_task(int tid, i64 b, i64 g, i64 n, float* output,
+  void inverse_transform_task(int tid, i64 np, i64 g, const float* iout_buf,
+                              i64 np_base, float* output,
                               const Epilogue& epilogue);
 
   ConvProblem problem_;
   PlanOptions options_;
   Blocking blocking_;
+  FusionPolicy fusion_;
 
   // Geometry (cached from problem_ + blocking_).
   int rank_ = 0;
@@ -183,12 +225,17 @@ class ConvPlan {
   i64 in_groups_ = 0, out_groups_ = 0;
 
   // Transform programs per dimension and their stride-frozen pipelines.
+  // Under fusion the input pipelines are built with plain (cacheable)
+  // stores instead of the staged mode's non-temporal ones: the block
+  // scratch they write is consumed immediately by the same thread's GEMM,
+  // so streaming stores would evict exactly the lines fusion keeps hot.
   std::vector<TransformProgram> bt_, g_, at_;
   std::unique_ptr<TilePipeline> pipe_in_interior_, pipe_in_border_,
       pipe_kernel_, pipe_inv_interior_, pipe_inv_border_;
 
-  // GEMM kernels.
+  // GEMM kernels (+ the fused per-block driver when fusion_.fused).
   std::unique_ptr<KernelSet> kernels_;
+  std::unique_ptr<FusedBlockGemm> fused_gemm_;
 
   // Buffers. The transformed kernels W are held through shared_ptrs so a
   // model's W can be shared across batch-size replicas: `w_` is what stage
@@ -202,10 +249,12 @@ class ConvPlan {
   AlignedBuffer<float> buf_iout_;   // scattered results   (I')
   bool kernels_ready_ = false;
 
-  // Scheduling.
+  // Scheduling. sched_fused_ partitions the 1-D grid of fused tile blocks
+  // (fusion_.blocks of them) so each thread owns a contiguous block list
+  // end-to-end.
   std::unique_ptr<ThreadPool> pool_;
   std::vector<GridBox> sched_input_, sched_kernel_, sched_gemm_,
-      sched_copy_, sched_inverse_;
+      sched_copy_, sched_inverse_, sched_fused_;
   std::vector<std::unique_ptr<ThreadScratch>> scratch_;
 
   ConvPlanStats stats_;

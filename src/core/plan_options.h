@@ -8,6 +8,20 @@
 
 namespace ondwin {
 
+/// Execution structure of a plan (paper §4 staged vs fused tile blocks).
+enum class FusionMode : u8 {
+  /// Decide per shape: fuse when the staged intermediates (V̂ + X̂) are too
+  /// large to stay cache-resident between stages, stay staged otherwise.
+  kAuto,
+  /// Four fork–join stages with global barriers; V̂/X̂ are full tensors.
+  /// This is the paper's original structure and the correctness oracle.
+  kStaged,
+  /// Cache-resident pipeline: each thread drives its tile blocks through
+  /// input-transform → GEMM → (scatter) → inverse back-to-back with no
+  /// global stage barriers; V̂/X̂ shrink to per-thread block scratch.
+  kFused,
+};
+
 struct PlanOptions {
   /// Total threads (including the calling thread). 0 = hardware threads.
   int threads = 0;
@@ -42,12 +56,20 @@ struct PlanOptions {
   /// Apply the Fig. 2 even/odd codelet reduction (ablation E5).
   bool codelet_pairing = true;
 
+  /// Staged barriers vs fused cache-resident tile blocks (see FusionMode).
+  FusionMode fusion = FusionMode::kAuto;
+
   /// Blocking overrides; 0 = heuristic (or wisdom, when a wisdom store is
   /// attached). Constraints: n_blk ∈ [1,30]; c_blk | C; cp_blk | C';
   /// both multiples of 16 with c_blk·cp_blk ≤ 128².
   int n_blk = 0;
   int c_blk = 0;
   int cp_blk = 0;
+
+  /// Fused-mode tile-block size in row blocks of n_blk tiles each; 0 =
+  /// heuristic (size the block's Û/X̂ panels to the L2 budget) or wisdom
+  /// v2. Ignored when the plan resolves to staged execution.
+  int fuse_blk = 0;
 
   /// Optional wisdom file consulted for blocking parameters (FFTW-style,
   /// paper §4.3.2). Empty = no wisdom.

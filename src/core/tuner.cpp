@@ -135,6 +135,68 @@ TuneResult auto_tune(const ConvProblem& p, const PlanOptions& base,
   result.best = result.all.front().blocking;
   result.best_seconds = result.all.front().seconds;
 
+  // Fused-block refinement: when the winning blocking executes fused under
+  // `base` (explicitly, or because kAuto tripped the LLC threshold), the
+  // tile-block size joins the tuned space — measure a small ladder around
+  // the L2 heuristic and keep the fastest. Staged winners skip this
+  // entirely, so small-shape tuning pays nothing.
+  {
+    PlanOptions opts = base;
+    opts.wisdom_path.clear();
+    opts.n_blk = result.best.n_blk;
+    opts.c_blk = result.best.c_blk;
+    opts.cp_blk = result.best.cp_blk;
+    opts.fuse_blk = 0;
+    ConvPlan probe(p, opts);
+    if (probe.fusion_policy().fused && budget.seconds() <= budget_seconds) {
+      const int heuristic = probe.fusion_policy().f_blk;
+      std::vector<int> fcands = {heuristic, 1, 2, 4, 8, 2 * heuristic};
+      std::sort(fcands.begin(), fcands.end());
+      fcands.erase(std::unique(fcands.begin(), fcands.end()), fcands.end());
+
+      double best_f_seconds = 1e300;
+      int best_f = heuristic;
+      std::vector<int> measured;  // resolved sizes (clamping can collide)
+      for (const int f : fcands) {
+        if (f < 1) continue;
+        if (budget.seconds() > budget_seconds) break;
+        ONDWIN_TRACE_SPAN("tune.fuse_blk");
+        opts.fuse_blk = f;
+        ConvPlan plan(p, opts);
+        const int resolved = plan.fusion_policy().f_blk;
+        if (std::find(measured.begin(), measured.end(), resolved) !=
+            measured.end()) {
+          continue;
+        }
+        measured.push_back(resolved);
+        candidates_metric.inc();
+        plan.set_kernels(w.data());
+        Timer rep;
+        plan.execute_pretransformed(in.data(), out.data());
+        double best = rep.seconds();
+        double total = best;
+        int iters = 1;
+        while ((iters < 2 || total < 0.01) &&
+               budget.seconds() <= budget_seconds) {
+          rep.restart();
+          plan.execute_pretransformed(in.data(), out.data());
+          const double s = rep.seconds();
+          total += s;
+          best = std::min(best, s);
+          ++iters;
+        }
+        if (best < best_f_seconds) {
+          best_f_seconds = best;
+          best_f = resolved;
+        }
+      }
+      result.best.f_blk = best_f;
+      if (best_f_seconds < result.best_seconds) {
+        result.best_seconds = best_f_seconds;
+      }
+    }
+  }
+
   if (!base.wisdom_path.empty()) {
     WisdomStore wisdom(base.wisdom_path);
     wisdom.store(wisdom_key(p), result.best);

@@ -40,7 +40,7 @@ BlockedGemm::BlockedGemm(const BlockedGemmShape& shape, bool use_jit,
     : shape_(shape),
       kernels_(shape.n_blk, shape.c_blk, shape.cp_blk, final_store, use_jit) {
   shape_.validate();
-  ONDWIN_CHECK(final_store != StoreMode::kScatter,
+  ONDWIN_CHECK(!store_scatters(final_store),
                "BlockedGemm writes X in blocked layout; scatter is driven by "
                "the convolution engine");
 }
@@ -66,6 +66,78 @@ void BlockedGemm::run(const float* u, const float* v, float* x) const {
         args.u_next = u + (inext * kb + k) * u_blk;
         args.x_next = x + (inext * s.col_blocks() + j) * x_blk;
         kernels_.run_step(static_cast<int>(k), static_cast<int>(kb), args);
+      }
+    }
+  }
+}
+
+FusedBlockGemm::FusedBlockGemm(const KernelSet& kernels, int n_blk,
+                               int c_blk, int cp_blk, i64 kb, i64 jb,
+                               i64 t_elems, i64 out_groups, bool scatter)
+    : kernels_(kernels),
+      n_blk_(n_blk),
+      c_blk_(c_blk),
+      cp_blk_(cp_blk),
+      kb_(kb),
+      jb_(jb),
+      t_elems_(t_elems),
+      out_groups_(out_groups),
+      scatter_(scatter) {
+  ONDWIN_CHECK(cp_blk_ % kSimdWidth == 0, "cp_blk must be a multiple of ",
+               kSimdWidth);
+}
+
+void FusedBlockGemm::run(i64 row_blocks, const float* u_panel,
+                         const float* w, float* x_scatter, float* x_accum,
+                         float** scatter_rows) const {
+  const i64 u_blk = static_cast<i64>(n_blk_) * c_blk_;
+  const i64 v_blk = static_cast<i64>(c_blk_) * cp_blk_;
+  const i64 groups_per_j = cp_blk_ / kSimdWidth;
+
+  MicrokernelArgs args;
+  args.scatter_rows = scatter_rows;
+  args.scatter_col_stride_bytes =
+      t_elems_ * kSimdWidth * static_cast<i64>(sizeof(float));
+
+  // t → j → i keeps V̂_{k,j,t} hot across the block's row blocks; k is the
+  // innermost (accumulation) loop, exactly as in the staged schedule.
+  for (i64 t = 0; t < t_elems_; ++t) {
+    for (i64 j = 0; j < jb_; ++j) {
+      const i64 g0 = j * groups_per_j;
+      for (i64 i = 0; i < row_blocks; ++i) {
+        if (scatter_) {
+          for (int jr = 0; jr < n_blk_; ++jr) {
+            const i64 np = i * n_blk_ + jr;
+            scatter_rows[jr] =
+                x_scatter +
+                ((np * out_groups_ + g0) * t_elems_ + t) * kSimdWidth;
+          }
+        }
+        const i64 inext = (i + 1 < row_blocks) ? i + 1 : i;
+        args.x = x_accum;
+        args.x_next = x_accum;
+        for (i64 k = 0; k < kb_; ++k) {
+          args.u = u_panel + ((i * kb_ + k) * t_elems_ + t) * u_blk;
+          args.v = w + ((k * jb_ + j) * t_elems_ + t) * v_blk;
+          args.u_next = u_panel + ((inext * kb_ + k) * t_elems_ + t) * u_blk;
+          kernels_.run_step(static_cast<int>(k), static_cast<int>(kb_),
+                            args);
+        }
+        if (!scatter_) {
+          // Final store accumulated into x_accum; reshape the rows into
+          // the scatter (inverse-transform source) layout.
+          for (int jr = 0; jr < n_blk_; ++jr) {
+            const i64 np = i * n_blk_ + jr;
+            for (i64 q = 0; q < groups_per_j; ++q) {
+              std::memcpy(
+                  x_scatter +
+                      ((np * out_groups_ + g0 + q) * t_elems_ + t) *
+                          kSimdWidth,
+                  x_accum + jr * cp_blk_ + q * kSimdWidth,
+                  sizeof(float) * kSimdWidth);
+            }
+          }
+        }
       }
     }
   }

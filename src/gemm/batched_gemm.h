@@ -101,6 +101,46 @@ class BlockedGemm {
   KernelSet kernels_;
 };
 
+/// Per-block batched-GEMM driver for the fused execution path: multiplies
+/// one tile block's local Û panel against the full shared V̂ (the plan's
+/// transformed kernels W), producing the block's X̂ — without ever touching
+/// a full-tensor intermediate.
+///
+/// Layouts (block-local row blocks indexed i ∈ [0, rows_blocks)):
+///   Û panel:   [i][C/C_blk][T][n_blk][C_blk]      (block scratch)
+///   V̂ (W):     [C/C_blk][C'/C'_blk][T][C_blk][C'_blk]  (shared, streamed)
+///   X̂ scatter: [np_local][C'/S][T][S]             (block scratch; the
+///              inverse-transform source layout, np_local = i·n_blk + row)
+///   X̂ blocked: [i][C'/C'_blk][T][n_blk][C'_blk]   (non-scatter fallback)
+///
+/// The loop order is t → j → i with k innermost, so one V̂_{k,j,t} block
+/// serves every row block of the tile block back-to-back, and the next
+/// row block's Û panel is prefetched via the microkernel's u_next hint
+/// (double-buffered Û streaming, paper §4.3.1 applied per block).
+class FusedBlockGemm {
+ public:
+  /// `scatter`: final k scatters rows into the X̂ scatter layout (the
+  /// KernelSet must have been built with a scatter final store); otherwise
+  /// the final store accumulates into a caller scratch accumulator block
+  /// which run() copies into the scatter layout. `kb`/`jb`: C and C' block
+  /// counts; `t_elems`: transform elements T; `out_groups`: C'/S.
+  FusedBlockGemm(const KernelSet& kernels, int n_blk, int c_blk, int cp_blk,
+                 i64 kb, i64 jb, i64 t_elems, i64 out_groups, bool scatter);
+
+  /// Multiplies `row_blocks` row blocks of the block-local `u_panel`
+  /// against `w`, writing `x_scatter` (see layouts above). `x_accum` is a
+  /// caller-provided n_blk×C'_blk scratch block used as the k-loop
+  /// accumulator; `scatter_rows` is caller scratch of ≥ n_blk pointers.
+  void run(i64 row_blocks, const float* u_panel, const float* w,
+           float* x_scatter, float* x_accum, float** scatter_rows) const;
+
+ private:
+  const KernelSet& kernels_;
+  int n_blk_, c_blk_, cp_blk_;
+  i64 kb_, jb_, t_elems_, out_groups_;
+  bool scatter_;
+};
+
 /// Packs a plain row-major matrix into / out of the blocked layouts above.
 void pack_u_blocks(const float* plain, float* blocked, i64 rows, i64 cols,
                    int row_blk, int col_blk);

@@ -62,7 +62,7 @@ class KernelBuilder {
   explicit KernelBuilder(const MicrokernelSpec& spec) : spec_(spec) {}
 
   std::vector<u8> build() {
-    const bool scatter = spec_.store == StoreMode::kScatter;
+    const bool scatter = store_scatters(spec_.store);
 
     a_.push(Gp::rbx);
     if (scatter) {
@@ -190,6 +190,10 @@ class KernelBuilder {
           a_.mov(Gp::r14, mem(Gp::r12, j * 8));
           a_.vmovntps(mem(Gp::r14, Gp::r15, 1), Zmm(j));
           break;
+        case StoreMode::kScatterCached:
+          a_.mov(Gp::r14, mem(Gp::r12, j * 8));
+          a_.vmovups(mem(Gp::r14, Gp::r15, 1), Zmm(j));
+          break;
       }
       a_.prefetch(1, mem(Gp::r8, j * spec_.c_blk * 4));
       a_.prefetch(1, mem(Gp::r9, j * x_row_bytes));
@@ -231,7 +235,7 @@ void run_microkernel_reference(const MicrokernelSpec& spec,
       const float* vrow = args.v + static_cast<i64>(k) * M;
       for (int q = 0; q < M; ++q) acc[static_cast<std::size_t>(q)] += u * vrow[q];
     }
-    if (spec.store == StoreMode::kScatter) {
+    if (store_scatters(spec.store)) {
       for (int q = 0; q < M; q += kSimdWidth) {
         float* dst = reinterpret_cast<float*>(
             reinterpret_cast<char*>(args.scatter_rows[j]) +

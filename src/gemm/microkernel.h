@@ -29,7 +29,17 @@ enum class StoreMode : u8 {
   kAccumulate,  // vmovups back to X̂ (intermediate k steps)
   kStream,      // vmovntps to X̂ (final k, result stays in blocked layout)
   kScatter,     // vmovntps rows to args.scatter_rows[j] + q·stride (final k)
+  /// Same row scatter as kScatter but with plain (cacheable) stores: the
+  /// fused execution path scatters into per-thread block scratch that the
+  /// same thread's inverse transform reads immediately, so non-temporal
+  /// stores would flush exactly the lines the consumer needs.
+  kScatterCached,
 };
+
+/// True for either scatter variant (they share the args/codegen plumbing).
+constexpr bool store_scatters(StoreMode m) {
+  return m == StoreMode::kScatter || m == StoreMode::kScatterCached;
+}
 
 struct MicrokernelSpec {
   int n_blk = 0;    // rows of Û/X̂; 1..30 (paper tunes within [6,30])

@@ -36,6 +36,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run(const std::function<void(int)>& fn) {
+  run_impl(fn, "pool.run");
+}
+
+void ThreadPool::run_static(const std::function<void(int)>& fn) {
+  run_impl(fn, "pool.run_static");
+}
+
+void ThreadPool::run_impl(const std::function<void(int)>& fn,
+                          const char* span_name) {
   // The fork–join protocol cannot nest: a run() from inside `fn` (or from
   // a second thread while one is in flight) would re-enter the barrier and
   // deadlock. Fail loudly instead — cheap enough (one exchange per run) to
@@ -52,7 +61,7 @@ void ThreadPool::run(const std::function<void(int)>& fn) {
     timed_call(fn, 0);
     return;
   }
-  ONDWIN_TRACE_SPAN("pool.run");
+  obs::TraceSpan span(span_name);
   task_ = &fn;
   barrier_.wait();  // fork: workers pick up task_
   timed_call(fn, 0);

@@ -39,6 +39,15 @@ class ThreadPool {
   /// thread while one is in flight throws Error instead of deadlocking.
   void run(const std::function<void(int)>& fn);
 
+  /// Persistent-task fork–join for fused execution: one fork, one join,
+  /// and each participant owns its statically assigned work list
+  /// end-to-end — `fn` is expected to run a whole multi-stage pipeline,
+  /// not one stage. Protocol-wise identical to run() (same barrier pair,
+  /// same task_seconds_ accounting), but traced as "pool.run_static" so a
+  /// fused plan's single long fork is distinguishable from the staged
+  /// per-stage forks in a Perfetto timeline.
+  void run_static(const std::function<void(int)>& fn);
+
   /// Wall seconds each participant spent inside `fn(tid)` during the
   /// last run() — the raw material for per-stage load-imbalance reports
   /// (paper §4.5: the static schedule is only as good as its balance).
@@ -50,6 +59,7 @@ class ThreadPool {
 
  private:
   void worker_loop(int tid);
+  void run_impl(const std::function<void(int)>& fn, const char* span_name);
   void timed_call(const std::function<void(int)>& fn, int tid);
   static void pin_to_cpu(int cpu);
 

@@ -52,6 +52,7 @@ AutoConv::AutoConv(const ConvShape& shape, const SelectedConfig& config,
       if (config_.blocking.cp_blk > 0) {
         opts.cp_blk = config_.blocking.cp_blk;
       }
+      if (config_.blocking.f_blk > 0) opts.fuse_blk = config_.blocking.f_blk;
       plan_ = std::make_unique<ConvPlan>(p, opts);
       break;
     }

@@ -94,6 +94,13 @@ void WisdomV2Store::load() {
       std::string key, algo_s, m_s;
       int n = 0, c = 0, cp = 0;
       if (!(ls >> key >> algo_s >> m_s >> n >> c >> cp)) continue;
+      // Optional 7th token: the fused-execution block size. Lines written
+      // by builds that predate fusion have six tokens; they parse with
+      // f_blk = 0 (heuristic), so old wisdom files keep working verbatim.
+      int f = 0;
+      if (ls >> f) {
+        if (f < 0) continue;  // malformed: negative block size
+      }
       SelectionRecord rec;
       if (!parse_algorithm(algo_s, &rec.algorithm)) continue;
       if (!parse_mspec(m_s, &rec.tile_m)) continue;
@@ -101,7 +108,7 @@ void WisdomV2Store::load() {
         if (rec.tile_m.rank() == 0) continue;  // Winograd needs tiles
         if (!plausible_blocking(n, c, cp)) continue;
       }
-      rec.blocking = {n, c, cp};
+      rec.blocking = {n, c, cp, f};
       v2_[key] = rec;
       continue;
     }
@@ -149,7 +156,8 @@ bool WisdomV2Store::store(const std::string& key,
     for (const auto& [k, r] : v2_) {
       out << kV2Tag << " " << k << " " << algorithm_name(r.algorithm) << " "
           << mspec(r.tile_m) << " " << r.blocking.n_blk << " "
-          << r.blocking.c_blk << " " << r.blocking.cp_blk << "\n";
+          << r.blocking.c_blk << " " << r.blocking.cp_blk << " "
+          << r.blocking.f_blk << "\n";
     }
     out.flush();
     if (!out) {

@@ -2,6 +2,10 @@
 
 #include <thread>
 
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
 #if defined(__x86_64__) || defined(_M_X64)
 #include <cpuid.h>
 #define ONDWIN_X86 1
@@ -55,6 +59,45 @@ std::string cpu_feature_string() {
 int hardware_threads() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<int>(n);
+}
+
+namespace {
+
+long cache_bytes(int sysconf_name, long fallback) {
+#if defined(__linux__)
+  const long v = sysconf(sysconf_name);
+  if (v > 0) return v;
+#else
+  (void)sysconf_name;
+#endif
+  return fallback;
+}
+
+}  // namespace
+
+long l2_cache_bytes() {
+#if defined(__linux__) && defined(_SC_LEVEL2_CACHE_SIZE)
+  static const long v = cache_bytes(_SC_LEVEL2_CACHE_SIZE, 1L << 20);
+#else
+  static const long v = 1L << 20;
+#endif
+  return v;
+}
+
+long llc_cache_bytes() {
+  long fallback = 8L << 20;
+#if defined(__linux__) && defined(_SC_LEVEL3_CACHE_SIZE)
+  static const long v = [&] {
+    const long l3 = cache_bytes(_SC_LEVEL3_CACHE_SIZE, 0);
+    if (l3 > 0) return l3;
+    // No L3 reported (some VMs): fall back to L2 as the last level.
+    const long l2 = l2_cache_bytes();
+    return l2 > 0 ? l2 : fallback;
+  }();
+#else
+  static const long v = fallback;
+#endif
+  return v;
 }
 
 }  // namespace ondwin

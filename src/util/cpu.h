@@ -28,4 +28,14 @@ std::string cpu_feature_string();
 /// Number of hardware threads visible to this process.
 int hardware_threads();
 
+/// Per-core L2 data cache size in bytes (sysconf where available, else a
+/// conservative 1 MiB). The fused-execution block sizer budgets a tile
+/// block's Û/X̂ panels against this.
+long l2_cache_bytes();
+
+/// Last-level cache size in bytes (sysconf where available, else 8 MiB).
+/// Plans compare the staged intermediates (V̂ + X̂) against this to decide
+/// whether fused execution pays.
+long llc_cache_bytes();
+
 }  // namespace ondwin

@@ -258,6 +258,63 @@ TEST(WisdomV2, RoundTripBothAlgorithmClasses) {
   EXPECT_EQ(b->tile_m.rank(), 0);
 }
 
+TEST(WisdomV2, FusedBlockFieldRoundTripsAndCoexistsWithOlderLines) {
+  TempFile f;
+  {
+    // Mixed-generation file, as left behind by older builds: a v1 blocking
+    // line, a six-token v2 line (pre-fusion format), and a blank line.
+    std::ofstream out(f.path());
+    out << "legacy_key 7 16 32\n";
+    out << "!v2 old_sel winograd 4x4 14 32 64\n";
+    out << "\n";
+  }
+  {
+    select::WisdomV2Store store(f.path());
+    // Pre-fusion v2 lines parse with f_blk = 0 (heuristic).
+    const auto old_sel = store.lookup("old_sel");
+    ASSERT_TRUE(old_sel.has_value());
+    EXPECT_EQ(old_sel->blocking.f_blk, 0);
+
+    // A new record carrying a tuned fused block size.
+    select::SelectionRecord rec;
+    rec.algorithm = select::Algorithm::kWinograd;
+    rec.tile_m = {4, 4};
+    rec.blocking = {14, 32, 64, 6};
+    EXPECT_TRUE(store.store("new_sel", rec));
+  }
+  // Reload: the f_blk field round-trips, the pre-fusion v2 line and the
+  // v1 line both survive the rewrite unchanged.
+  select::WisdomV2Store reloaded(f.path());
+  const auto new_sel = reloaded.lookup("new_sel");
+  ASSERT_TRUE(new_sel.has_value());
+  EXPECT_EQ(new_sel->blocking.n_blk, 14);
+  EXPECT_EQ(new_sel->blocking.f_blk, 6);
+  const auto old_sel = reloaded.lookup("old_sel");
+  ASSERT_TRUE(old_sel.has_value());
+  EXPECT_EQ(old_sel->blocking.f_blk, 0);
+  const auto v1_hit = reloaded.lookup_v1("legacy_key");
+  ASSERT_TRUE(v1_hit.has_value());
+  EXPECT_EQ(v1_hit->n_blk, 7);
+
+  // The v1 store still reads its generation from the rewritten file.
+  WisdomStore v1(f.path());
+  EXPECT_TRUE(v1.lookup("legacy_key").has_value());
+}
+
+TEST(WisdomV2, NegativeFusedBlockIsSkipped) {
+  TempFile f;
+  {
+    std::ofstream out(f.path());
+    out << "!v2 bad_fblk winograd 4x4 6 32 32 -3\n";
+    out << "!v2 good winograd 4x4 6 32 32 2\n";
+  }
+  select::WisdomV2Store store(f.path());
+  EXPECT_FALSE(store.lookup("bad_fblk").has_value());
+  const auto good = store.lookup("good");
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(good->blocking.f_blk, 2);
+}
+
 TEST(WisdomV2, ReadsLegacyV1LinesTransparently) {
   TempFile f;
   {
