@@ -62,6 +62,11 @@ class BenchReport {
       fields_.push_back({key, "\"" + json_escape(value) + "\""});
       return *this;
     }
+    // Without this overload a string literal converts to bool, not
+    // std::string, and the value silently lands in JSON as `true`.
+    Row& set(const std::string& key, const char* value) {
+      return set(key, std::string(value));
+    }
     Row& set(const std::string& key, double value) {
       char buf[64];
       std::snprintf(buf, sizeof(buf), "%.17g", value);

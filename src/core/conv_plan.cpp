@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "core/wisdom.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/cpu.h"
 #include "wincnn/cook_toom.h"
@@ -111,24 +112,7 @@ ConvPlan::ConvPlan(const ConvProblem& problem, const PlanOptions& options)
 
   build_schedules();
   allocate_buffers();
-
-  int max_extent = 2;
-  for (int d = 0; d < rank_; ++d)
-    max_extent = static_cast<int>(std::max<i64>(max_extent, alpha_[d]));
-  const i64 fuse_u_floats =
-      fusion_.fused ? static_cast<i64>(fusion_.f_blk) * blocking_.n_blk *
-                          problem_.shape.in_channels * t_elems_
-                    : 0;
-  const i64 fuse_x_floats =
-      fusion_.fused ? static_cast<i64>(fusion_.f_blk) * blocking_.n_blk *
-                          problem_.shape.out_channels * t_elems_
-                    : 0;
-  scratch_.reserve(static_cast<std::size_t>(pool_->size()));
-  for (int t = 0; t < pool_->size(); ++t) {
-    scratch_.push_back(std::make_unique<ThreadScratch>(
-        max_extent, rank_, t_elems_, problem_.tile_m.product(),
-        blocking_.n_blk, blocking_.cp_blk, fuse_u_floats, fuse_x_floats));
-  }
+  build_scratch();
 }
 
 ConvPlan::~ConvPlan() = default;
@@ -331,17 +315,132 @@ void ConvPlan::allocate_buffers() {
   // per-thread block scratch (ThreadScratch::fuse_u / fuse_x), and the
   // GEMM accumulates through the per-thread `dump` block.
   if (fusion_.fused) return;
-  buf_i_.reset(static_cast<std::size_t>(nb_pad_ *
-                                        problem_.shape.in_channels * t_elems_));
+  const auto i_floats = static_cast<std::size_t>(
+      nb_pad_ * problem_.shape.in_channels * t_elems_);
+  const auto x_floats = static_cast<std::size_t>(
+      nb_pad_ * problem_.shape.out_channels * t_elems_);
   // W is allocated lazily by set_kernels(): a plan that adopts shared
   // kernels never pays for (or holds) its own copy.
   const bool need_itmp = (kb_ > 1) || !options_.scatter_in_gemm;
-  if (need_itmp) {
-    buf_itmp_.reset(static_cast<std::size_t>(
-        nb_pad_ * problem_.shape.out_channels * t_elems_));
+  if (options_.pooled_workspace) {
+    // Pool checkout. With numa_first_touch the slabs come back unzeroed
+    // and first_touch_workspaces() writes the zeros partition-by-partition
+    // on the thread that owns each partition in stage 2, so first-touch
+    // places the pages on the owning thread's NUMA node.
+    auto& pool = mem::WorkspacePool::global();
+    const bool lazy = options_.numa_first_touch;
+    buf_i_ = mem::Workspace::from_pool(pool, i_floats, /*zero=*/!lazy);
+    if (need_itmp) {
+      buf_itmp_ = mem::Workspace::from_pool(pool, x_floats, /*zero=*/!lazy);
+    }
+    buf_iout_ = mem::Workspace::from_pool(pool, x_floats, /*zero=*/!lazy);
+    if (lazy) first_touch_workspaces();
+  } else {
+    buf_i_ = mem::Workspace::owned(i_floats);
+    if (need_itmp) buf_itmp_ = mem::Workspace::owned(x_floats);
+    buf_iout_ = mem::Workspace::owned(x_floats);
   }
-  buf_iout_.reset(static_cast<std::size_t>(
-      nb_pad_ * problem_.shape.out_channels * t_elems_));
+}
+
+void ConvPlan::first_touch_workspaces() {
+  Timer timer;
+  const i64 u_blk = static_cast<i64>(blocking_.n_blk) * blocking_.c_blk;
+  const i64 x_blk = static_cast<i64>(blocking_.n_blk) * blocking_.cp_blk;
+  const i64 groups_per_j = blocking_.cp_blk / kSimdWidth;
+  // Û is indexed by (i, k, t) only, so it gets its own disjoint (t, i)
+  // partition: two sched_gemm_ boxes can share a (t, i) range with
+  // different j ranges, and concurrent memsets of the same bytes — even
+  // of the same zeros — are a data race.
+  const std::vector<GridBox> sched_u =
+      static_partition({t_elems_, ib_}, pool_->size());
+  pool_->run([&](int tid) {
+    const auto id = static_cast<std::size_t>(tid);
+    {
+      const GridBox& box = sched_u[id];
+      const i64 t0 = box.begin[0], t1 = box.end[0];
+      for (i64 i = box.begin[1]; i < box.end[1]; ++i) {
+        for (i64 k = 0; k < kb_; ++k) {
+          std::memset(
+              buf_i_.data() + ((i * kb_ + k) * t_elems_ + t0) * u_blk, 0,
+              static_cast<std::size_t>((t1 - t0) * u_blk) * sizeof(float));
+        }
+      }
+    }
+    // I'_tmp and I' follow the GEMM schedule exactly: the partition tiles
+    // the (t, j, i) grid, so the union of boxes covers every byte and no
+    // two threads touch the same one.
+    const GridBox& box = sched_gemm_[id];
+    const i64 t0 = box.begin[0], t1 = box.end[0];
+    if (t1 <= t0) return;
+    for (i64 j = box.begin[1]; j < box.end[1]; ++j) {
+      for (i64 i = box.begin[2]; i < box.end[2]; ++i) {
+        if (!buf_itmp_.empty()) {
+          std::memset(
+              buf_itmp_.data() + ((i * jb_ + j) * t_elems_ + t0) * x_blk, 0,
+              static_cast<std::size_t>((t1 - t0) * x_blk) * sizeof(float));
+        }
+        for (int jr = 0; jr < blocking_.n_blk; ++jr) {
+          const i64 np = i * blocking_.n_blk + jr;
+          for (i64 q = 0; q < groups_per_j; ++q) {
+            const i64 g = j * groups_per_j + q;
+            std::memset(buf_iout_.data() +
+                            ((np * out_groups_ + g) * t_elems_ + t0) *
+                                kSimdWidth,
+                        0,
+                        static_cast<std::size_t>((t1 - t0) * kSimdWidth) *
+                            sizeof(float));
+          }
+        }
+      }
+    }
+  });
+  first_touch_seconds_ = timer.seconds();
+  static obs::Gauge& gauge = obs::MetricsRegistry::global().gauge(
+      "ondwin_mem_first_touch_seconds",
+      "Workspace first-touch pass duration of the most recently "
+      "constructed staged plan");
+  gauge.set(first_touch_seconds_);
+}
+
+void ConvPlan::build_scratch() {
+  int max_extent = 2;
+  for (int d = 0; d < rank_; ++d)
+    max_extent = static_cast<int>(std::max<i64>(max_extent, alpha_[d]));
+  const i64 fuse_u_floats =
+      fusion_.fused ? static_cast<i64>(fusion_.f_blk) * blocking_.n_blk *
+                          problem_.shape.in_channels * t_elems_
+                    : 0;
+  const i64 fuse_x_floats =
+      fusion_.fused ? static_cast<i64>(fusion_.f_blk) * blocking_.n_blk *
+                          problem_.shape.out_channels * t_elems_
+                    : 0;
+  scratch_.resize(static_cast<std::size_t>(pool_->size()));
+  auto make = [&](int tid) {
+    scratch_[static_cast<std::size_t>(tid)] = std::make_unique<ThreadScratch>(
+        max_extent, rank_, t_elems_, problem_.tile_m.product(),
+        blocking_.n_blk, blocking_.cp_blk, fuse_u_floats, fuse_x_floats);
+  };
+  if (options_.numa_first_touch && pool_->size() > 1) {
+    // Construct each thread's scratch on the thread that will use it, so
+    // first-touch places the fused Û/X̂ block scratch (the big one) and
+    // the transform staging on the owner's NUMA node. An allocation
+    // failure must not escape a pool worker — it is ferried back and
+    // rethrown on the constructing thread.
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(pool_->size()));
+    pool_->run([&](int tid) {
+      try {
+        make(tid);
+      } catch (...) {
+        errors[static_cast<std::size_t>(tid)] = std::current_exception();
+      }
+    });
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  } else {
+    for (int t = 0; t < pool_->size(); ++t) make(t);
+  }
 }
 
 i64 ConvPlan::workspace_bytes() const {

@@ -28,6 +28,7 @@
 #include "core/conv_problem.h"
 #include "core/plan_options.h"
 #include "gemm/batched_gemm.h"
+#include "mem/workspace_pool.h"
 #include "sched/static_schedule.h"
 #include "sched/thread_pool.h"
 #include "transform/tile_pipeline.h"
@@ -174,6 +175,32 @@ class ConvPlan {
   /// Auxiliary buffer footprint in bytes (paper §4.4 "Memory overhead").
   i64 workspace_bytes() const;
 
+  /// Seconds the construction-time first-touch pass spent paging the
+  /// workspaces in on their owning threads (0 when it did not run — see
+  /// PlanOptions::numa_first_touch).
+  double first_touch_seconds() const { return first_touch_seconds_; }
+
+  /// Bytes of the staged workspaces currently backed by huge pages
+  /// (reads /proc/self/smaps — probe after the buffers were touched).
+  std::size_t workspace_hugepage_bytes() const {
+    std::size_t n = 0;
+    for (const mem::Workspace* w : {&buf_i_, &buf_itmp_, &buf_iout_}) {
+      n += w->hugepage_coverage();
+    }
+    return n;
+  }
+
+  /// Slab bytes actually backing the staged workspaces (size-class and
+  /// hugepage rounding included) — the denominator for
+  /// workspace_hugepage_bytes(); >= workspace_bytes().
+  std::size_t workspace_slab_bytes() const {
+    std::size_t n = 0;
+    for (const mem::Workspace* w : {&buf_i_, &buf_itmp_, &buf_iout_}) {
+      n += w->slab_bytes();
+    }
+    return n;
+  }
+
  private:
   struct ThreadScratch;
 
@@ -184,6 +211,8 @@ class ConvPlan {
   void build_kernels();
   void build_schedules();
   void allocate_buffers();
+  void build_scratch();
+  void first_touch_workspaces();
 
   void stage_input_transform(const float* input);
   void stage_kernel_transform(const float* kernels);
@@ -237,17 +266,21 @@ class ConvPlan {
   std::unique_ptr<KernelSet> kernels_;
   std::unique_ptr<FusedBlockGemm> fused_gemm_;
 
-  // Buffers. The transformed kernels W are held through shared_ptrs so a
-  // model's W can be shared across batch-size replicas: `w_` is what stage
-  // 2 reads; it aliases `w_owned_` after set_kernels() or an adopted
-  // foreign buffer after try_adopt_kernels().
-  AlignedBuffer<float> buf_i_;      // transformed inputs  (I)
+  // Buffers. The staged workspaces come from the shared
+  // mem::WorkspacePool (PlanOptions::pooled_workspace) and are paged in
+  // on their owning threads per the static schedule. The transformed
+  // kernels W are held through shared_ptrs so a model's W can be shared
+  // across batch-size replicas: `w_` is what stage 2 reads; it aliases
+  // `w_owned_` after set_kernels() or an adopted foreign buffer after
+  // try_adopt_kernels().
+  mem::Workspace buf_i_;      // transformed inputs  (I)
   std::shared_ptr<AlignedBuffer<float>> w_owned_;
   std::shared_ptr<const AlignedBuffer<float>> w_;  // transformed kernels (W)
   mutable std::atomic<bool> w_exported_{false};
-  AlignedBuffer<float> buf_itmp_;   // GEMM accumulators   (I'_tmp)
-  AlignedBuffer<float> buf_iout_;   // scattered results   (I')
+  mem::Workspace buf_itmp_;   // GEMM accumulators   (I'_tmp)
+  mem::Workspace buf_iout_;   // scattered results   (I')
   bool kernels_ready_ = false;
+  double first_touch_seconds_ = 0;
 
   // Scheduling. sched_fused_ partitions the 1-D grid of fused tile blocks
   // (fusion_.blocks of them) so each thread owns a contiguous block list

@@ -33,7 +33,8 @@ std::string plan_options_fingerprint(const PlanOptions& o) {
                  o.jit_transforms ? 1 : 0, o.streaming_stores ? 1 : 0,
                  o.scatter_in_gemm ? 1 : 0, o.codelet_pairing ? 1 : 0, "_n",
                  o.n_blk, "_c", o.c_blk, "_cp", o.cp_blk, "_f",
-                 static_cast<int>(o.fusion), o.fuse_blk, "|",
+                 static_cast<int>(o.fusion), o.fuse_blk, "_m",
+                 o.pooled_workspace ? 1 : 0, o.numa_first_touch ? 1 : 0, "|",
                  o.wisdom_path);
 }
 

@@ -71,6 +71,21 @@ struct PlanOptions {
   /// v2. Ignored when the plan resolves to staged execution.
   int fuse_blk = 0;
 
+  /// Check the Û/I'_tmp/I' workspaces out of the shared
+  /// mem::WorkspacePool instead of private allocations: plans of one
+  /// shape constructed repeatedly (tuner, selection planner, serve
+  /// replicas behind the PlanCache) recycle slabs — and the hugepage
+  /// promotions already paid for — instead of re-faulting them. Off =
+  /// the legacy private-allocation path (the mem tests' bitwise oracle).
+  bool pooled_workspace = true;
+
+  /// Page-in each workspace partition (and build each thread's scratch)
+  /// on the pool thread that owns it per the static schedule, so
+  /// first-touch places pages on the owning thread's NUMA node. Only
+  /// affects placement, never values. Ignored when pooled_workspace is
+  /// off (the legacy path keeps legacy first-touch too).
+  bool numa_first_touch = true;
+
   /// Optional wisdom file consulted for blocking parameters (FFTW-style,
   /// paper §4.3.2). Empty = no wisdom.
   std::string wisdom_path;

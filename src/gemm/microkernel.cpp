@@ -72,14 +72,14 @@ class KernelBuilder {
       a_.push(Gp::r15);
     }
 
-    a_.mov(Gp::rsi, mem(Gp::rdi, kOffU));
-    a_.mov(Gp::rdx, mem(Gp::rdi, kOffV));
-    a_.mov(Gp::rcx, mem(Gp::rdi, kOffX));
-    a_.mov(Gp::r8, mem(Gp::rdi, kOffUNext));
-    a_.mov(Gp::r9, mem(Gp::rdi, kOffXNext));
+    a_.mov(Gp::rsi, addr(Gp::rdi, kOffU));
+    a_.mov(Gp::rdx, addr(Gp::rdi, kOffV));
+    a_.mov(Gp::rcx, addr(Gp::rdi, kOffX));
+    a_.mov(Gp::r8, addr(Gp::rdi, kOffUNext));
+    a_.mov(Gp::r9, addr(Gp::rdi, kOffXNext));
     if (scatter) {
-      a_.mov(Gp::r12, mem(Gp::rdi, kOffScatterRows));
-      a_.mov(Gp::r13, mem(Gp::rdi, kOffScatterStride));
+      a_.mov(Gp::r12, addr(Gp::rdi, kOffScatterRows));
+      a_.mov(Gp::r13, addr(Gp::rdi, kOffScatterStride));
       a_.mov_imm(Gp::r15, 0);
     }
 
@@ -116,7 +116,7 @@ class KernelBuilder {
     // Load or zero the n_blk accumulators.
     for (int j = 0; j < n; ++j) {
       if (spec_.beta) {
-        a_.vmovups(Zmm(j), mem(Gp::rcx, j * x_row_bytes));
+        a_.vmovups(Zmm(j), addr(Gp::rcx, j * x_row_bytes));
       } else {
         a_.vpxord(Zmm(j), Zmm(j), Zmm(j));
       }
@@ -124,7 +124,7 @@ class KernelBuilder {
 
     a_.mov(Gp::rax, Gp::rsi);  // Û cursor
     a_.mov(Gp::rbx, Gp::rdx);  // V̂ cursor
-    a_.vmovups(Zmm(30), mem(Gp::rbx, 0));  // preload V̂ row 0
+    a_.vmovups(Zmm(30), addr(Gp::rbx, 0));  // preload V̂ row 0
 
     const int chunks = spec_.c_blk / kS;
     if (chunks > 1) {
@@ -154,19 +154,19 @@ class KernelBuilder {
       if (preload) {
         // At i == 15 this reads row 16 — the first row of the next chunk,
         // exactly what the next loop iteration consumes.
-        a_.vmovups(Zmm(cur ^ 1), mem(Gp::rbx, (i + 1) * v_row_bytes));
+        a_.vmovups(Zmm(cur ^ 1), addr(Gp::rbx, (i + 1) * v_row_bytes));
       }
       if (!final) {
         // Warm L1 for the next chunk: its V̂ row i and Û rows i / i+16.
-        a_.prefetch(0, mem(Gp::rbx, (kS + i + 1) * v_row_bytes));
-        if (i < n) a_.prefetch(0, mem(Gp::rax, (i * spec_.c_blk + kS) * 4));
+        a_.prefetch(0, addr(Gp::rbx, (kS + i + 1) * v_row_bytes));
+        if (i < n) a_.prefetch(0, addr(Gp::rax, (i * spec_.c_blk + kS) * 4));
         if (i + kS < n) {
-          a_.prefetch(0, mem(Gp::rax, ((i + kS) * spec_.c_blk + kS) * 4));
+          a_.prefetch(0, addr(Gp::rax, ((i + kS) * spec_.c_blk + kS) * 4));
         }
       }
       for (int j = 0; j < n; ++j) {
         a_.vfmadd231ps_bcast(Zmm(j), Zmm(cur),
-                             mem(Gp::rax, (j * spec_.c_blk + i) * 4));
+                             addr(Gp::rax, (j * spec_.c_blk + i) * 4));
       }
       cur ^= 1;
     }
@@ -181,22 +181,22 @@ class KernelBuilder {
     for (int j = 0; j < n; ++j) {
       switch (spec_.store) {
         case StoreMode::kAccumulate:
-          a_.vmovups(mem(Gp::rcx, j * x_row_bytes), Zmm(j));
+          a_.vmovups(addr(Gp::rcx, j * x_row_bytes), Zmm(j));
           break;
         case StoreMode::kStream:
-          a_.vmovntps(mem(Gp::rcx, j * x_row_bytes), Zmm(j));
+          a_.vmovntps(addr(Gp::rcx, j * x_row_bytes), Zmm(j));
           break;
         case StoreMode::kScatter:
-          a_.mov(Gp::r14, mem(Gp::r12, j * 8));
-          a_.vmovntps(mem(Gp::r14, Gp::r15, 1), Zmm(j));
+          a_.mov(Gp::r14, addr(Gp::r12, j * 8));
+          a_.vmovntps(addr(Gp::r14, Gp::r15, 1), Zmm(j));
           break;
         case StoreMode::kScatterCached:
-          a_.mov(Gp::r14, mem(Gp::r12, j * 8));
-          a_.vmovups(mem(Gp::r14, Gp::r15, 1), Zmm(j));
+          a_.mov(Gp::r14, addr(Gp::r12, j * 8));
+          a_.vmovups(addr(Gp::r14, Gp::r15, 1), Zmm(j));
           break;
       }
-      a_.prefetch(1, mem(Gp::r8, j * spec_.c_blk * 4));
-      a_.prefetch(1, mem(Gp::r9, j * x_row_bytes));
+      a_.prefetch(1, addr(Gp::r8, j * spec_.c_blk * 4));
+      a_.prefetch(1, addr(Gp::r9, j * x_row_bytes));
     }
   }
 

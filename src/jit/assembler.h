@@ -36,8 +36,8 @@ struct Mem {
   i32 disp = 0;
 };
 
-inline Mem mem(Gp base, i32 disp = 0) { return Mem{base, std::nullopt, 1, disp}; }
-inline Mem mem(Gp base, Gp index, u8 scale, i32 disp = 0) {
+inline Mem addr(Gp base, i32 disp = 0) { return Mem{base, std::nullopt, 1, disp}; }
+inline Mem addr(Gp base, Gp index, u8 scale, i32 disp = 0) {
   return Mem{base, index, scale, disp};
 }
 

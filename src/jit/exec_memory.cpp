@@ -1,11 +1,28 @@
 #include "jit/exec_memory.h"
 
 #include <sys/mman.h>
+#include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 namespace ondwin {
+
+namespace {
+
+// The runtime page size, NOT an assumed 4 KiB: mprotect granularity is
+// the actual page, and 16 KiB / 64 KiB pages (Apple silicon, some arm64
+// server kernels) would reject 4 KiB-rounded lengths.
+std::size_t exec_page_bytes() {
+  static const std::size_t page = [] {
+    const long p = ::sysconf(_SC_PAGESIZE);
+    return p > 0 ? static_cast<std::size_t>(p) : std::size_t{4096};
+  }();
+  return page;
+}
+
+}  // namespace
 
 ExecMemory::~ExecMemory() { release(); }
 
@@ -28,8 +45,9 @@ ExecMemory& ExecMemory::operator=(ExecMemory&& other) noexcept {
 
 ExecMemory ExecMemory::from_code(const std::vector<u8>& code) {
   ONDWIN_CHECK(!code.empty(), "refusing to map empty code buffer");
-  const std::size_t page = 4096;
-  const std::size_t bytes = round_up(static_cast<i64>(code.size()), page);
+  const std::size_t page = exec_page_bytes();
+  const std::size_t bytes = static_cast<std::size_t>(
+      round_up(static_cast<i64>(code.size()), static_cast<i64>(page)));
 
   void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
@@ -40,7 +58,10 @@ ExecMemory ExecMemory::from_code(const std::vector<u8>& code) {
   std::memcpy(p, code.data(), code.size());
   if (::mprotect(p, bytes, PROT_READ | PROT_EXEC) != 0) {
     const int err = errno;
-    ::munmap(p, bytes);
+    if (::munmap(p, bytes) != 0) {
+      std::fprintf(stderr, "ondwin: munmap(%p, %zu) failed: %s\n", p, bytes,
+                   std::strerror(errno));
+    }
     fail("mprotect(PROT_EXEC) failed: ", std::strerror(err),
          " — JIT unavailable on this system");
   }
@@ -53,7 +74,12 @@ ExecMemory ExecMemory::from_code(const std::vector<u8>& code) {
 
 void ExecMemory::release() {
   if (base_ != nullptr) {
-    ::munmap(base_, size_);
+    // release() runs from the destructor: report, don't throw. A failed
+    // munmap leaks the mapping but leaves the process coherent.
+    if (::munmap(base_, size_) != 0) {
+      std::fprintf(stderr, "ondwin: munmap(%p, %zu) of JIT code failed: %s\n",
+                   base_, size_, std::strerror(errno));
+    }
     base_ = nullptr;
     size_ = 0;
   }

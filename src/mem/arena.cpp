@@ -1,0 +1,201 @@
+#include "mem/arena.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+
+#if defined(__linux__) || defined(__APPLE__)
+#define ONDWIN_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+#include "obs/metrics.h"
+
+namespace ondwin::mem {
+
+namespace {
+
+constexpr std::size_t kHugePageBytes = 2u << 20;  // x86-64 / aarch64 THP
+
+std::size_t page_bytes() {
+#if defined(ONDWIN_HAVE_MMAP)
+  static const std::size_t page = [] {
+    const long p = ::sysconf(_SC_PAGESIZE);
+    return p > 0 ? static_cast<std::size_t>(p) : std::size_t{4096};
+  }();
+  return page;
+#else
+  return 4096;
+#endif
+}
+
+bool env_set(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+// Per-backing allocation counters: one registry family, labeled by the
+// path taken, so a scrape shows at a glance whether a deployment is
+// actually getting hugepages or silently falling back.
+obs::Counter& allocs_metric(Backing b) {
+  static obs::Counter* counters[5] = {};
+  auto& slot = counters[static_cast<int>(b)];
+  if (slot == nullptr) {
+    slot = &obs::MetricsRegistry::global().counter(
+        "ondwin_mem_arena_allocs_total", "Arena slabs allocated, by backing",
+        {{"backing", backing_name(b)}});
+  }
+  return *slot;
+}
+
+obs::Gauge& arena_bytes_metric() {
+  static obs::Gauge& g = obs::MetricsRegistry::global().gauge(
+      "ondwin_mem_arena_bytes", "Bytes currently held in arena slabs");
+  return g;
+}
+
+ArenaAllocation malloc_fallback(std::size_t bytes) {
+  const std::size_t rounded =
+      static_cast<std::size_t>(round_up(static_cast<i64>(bytes), kAlignment));
+  void* p = std::aligned_alloc(kAlignment, rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  return {p, rounded, Backing::kMalloc, /*zeroed=*/false};
+}
+
+}  // namespace
+
+const char* backing_name(Backing b) {
+  switch (b) {
+    case Backing::kNone:
+      return "none";
+    case Backing::kHugeTlb:
+      return "hugetlb";
+    case Backing::kMmapHuge:
+      return "thp";
+    case Backing::kMmap:
+      return "mmap";
+    case Backing::kMalloc:
+      return "malloc";
+  }
+  return "?";
+}
+
+bool hugepages_enabled() { return !env_set("ONDWIN_NO_HUGEPAGES"); }
+
+std::size_t arena_mmap_threshold() { return kHugePageBytes; }
+
+ArenaAllocation arena_alloc(std::size_t bytes) {
+  if (bytes == 0) return {};
+
+  ArenaAllocation a;
+#if defined(ONDWIN_HAVE_MMAP)
+  // Below one huge page, mmap granularity buys nothing and costs a
+  // syscall per buffer; stay on aligned_alloc.
+  if (bytes >= kHugePageBytes && hugepages_enabled()) {
+#if defined(MAP_HUGETLB)
+    if (env_set("ONDWIN_HUGETLB")) {
+      // Explicit hugepages need a reserve (vm.nr_hugepages); ENOMEM here
+      // just means the reserve is empty — fall through to THP.
+      const std::size_t huge_bytes = static_cast<std::size_t>(
+          round_up(static_cast<i64>(bytes), kHugePageBytes));
+      void* p = ::mmap(nullptr, huge_bytes, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+      if (p != MAP_FAILED) {
+        a = {p, huge_bytes, Backing::kHugeTlb, /*zeroed=*/true};
+      }
+    }
+#endif
+    if (a.ptr == nullptr) {
+      // Round to hugepage multiples once the slab is big enough to hold
+      // one — an unaligned tail would simply never be promoted.
+      const std::size_t round_to =
+          bytes >= kHugePageBytes ? kHugePageBytes : page_bytes();
+      const std::size_t map_bytes = static_cast<std::size_t>(
+          round_up(static_cast<i64>(bytes), static_cast<i64>(round_to)));
+      void* p = ::mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+      if (p != MAP_FAILED) {
+        Backing backing = Backing::kMmap;
+#if defined(MADV_HUGEPAGE)
+        if (map_bytes >= kHugePageBytes &&
+            ::madvise(p, map_bytes, MADV_HUGEPAGE) == 0) {
+          backing = Backing::kMmapHuge;
+        }
+#endif
+        a = {p, map_bytes, backing, /*zeroed=*/true};
+      }
+    }
+  }
+#endif  // ONDWIN_HAVE_MMAP
+  if (a.ptr == nullptr) a = malloc_fallback(bytes);
+
+  allocs_metric(a.backing).inc();
+  arena_bytes_metric().add(static_cast<double>(a.bytes));
+  return a;
+}
+
+void arena_free(const ArenaAllocation& a) {
+  if (a.ptr == nullptr) return;
+  switch (a.backing) {
+    case Backing::kMalloc:
+      std::free(a.ptr);
+      break;
+#if defined(ONDWIN_HAVE_MMAP)
+    case Backing::kHugeTlb:
+    case Backing::kMmapHuge:
+    case Backing::kMmap:
+      if (::munmap(a.ptr, a.bytes) != 0) {
+        // Freeing runs in destructors; report instead of throwing.
+        std::fprintf(stderr, "ondwin::mem: munmap(%p, %zu) failed\n", a.ptr,
+                     a.bytes);
+      }
+      break;
+#endif
+    default:
+      break;
+  }
+  arena_bytes_metric().add(-static_cast<double>(a.bytes));
+}
+
+std::size_t hugepage_bytes(const void* p, std::size_t len) {
+#if defined(__linux__)
+  if (p == nullptr || len == 0) return 0;
+  std::FILE* f = std::fopen("/proc/self/smaps", "re");
+  if (f == nullptr) return 0;
+
+  const auto lo = reinterpret_cast<std::uintptr_t>(p);
+  const auto hi = lo + len;
+  std::size_t total_kb = 0;
+  bool in_range = false;
+  char line[512];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned long long start = 0, end = 0;
+    // Mapping headers look like "7f01a2c00000-7f01a3000000 rw-p ...";
+    // attribute lines ("AnonHugePages:    2048 kB") never match this scan.
+    if (std::sscanf(line, "%llx-%llx ", &start, &end) == 2 &&
+        std::strchr(line, '-') != nullptr && std::strchr(line, ' ') != nullptr &&
+        end > start) {
+      in_range = start < hi && end > lo;
+      continue;
+    }
+    if (in_range) {
+      unsigned long long kb = 0;
+      if (std::sscanf(line, "AnonHugePages: %llu kB", &kb) == 1 ||
+          std::sscanf(line, "Private_Hugetlb: %llu kB", &kb) == 1) {
+        total_kb += static_cast<std::size_t>(kb);
+      }
+    }
+  }
+  std::fclose(f);
+  return total_kb * 1024;
+#else
+  (void)p;
+  (void)len;
+  return 0;
+#endif
+}
+
+}  // namespace ondwin::mem

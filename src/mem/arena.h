@@ -1,0 +1,110 @@
+// ondwin::mem arenas — hugepage-backed slab allocation with transparent
+// fallback.
+//
+// The paper bounds the TLB footprint of the stage-2 GEMMs by construction
+// (scatter layouts keep each microkernel's working set in a handful of
+// pages); this module attacks the same problem from the allocator side:
+// every large numeric buffer is carved from a 64-byte-aligned `Arena` slab
+// that is
+//
+//   1. mmap'd and advised MADV_HUGEPAGE (transparent huge pages), so a
+//      16 MiB Û panel costs 8 dTLB entries instead of 4096, or
+//   2. mapped MAP_HUGETLB from the explicit hugepage reserve when the
+//      operator opted in (ONDWIN_HUGETLB=1), or
+//   3. fallen back to plain std::aligned_alloc when mmap is unavailable,
+//      the host has no THP, or ONDWIN_NO_HUGEPAGES=1 forces the legacy
+//      path (the knob the tests use to exercise the fallback).
+//
+// Coverage is observable, not assumed: hugepage_bytes() reads
+// /proc/self/smaps and reports how much of a range the kernel actually
+// backs with huge pages — THP is an advisory interface and the answer is
+// frequently "less than you asked for".
+//
+// Env toggles:
+//   ONDWIN_NO_HUGEPAGES=1  force the aligned_alloc fallback (no mmap)
+//   ONDWIN_HUGETLB=1       try explicit MAP_HUGETLB before THP mmap
+#pragma once
+
+#include <cstddef>
+
+#include "util/common.h"
+
+namespace ondwin::mem {
+
+/// How a slab's memory was obtained (most to least TLB-friendly).
+enum class Backing : u8 {
+  kNone,      // empty allocation
+  kHugeTlb,   // mmap(MAP_HUGETLB) from the explicit hugepage reserve
+  kMmapHuge,  // mmap + madvise(MADV_HUGEPAGE) accepted by the kernel
+  kMmap,      // plain anonymous mmap (madvise unsupported or rejected)
+  kMalloc,    // std::aligned_alloc fallback / small allocations
+};
+
+const char* backing_name(Backing b);
+
+/// Raw slab descriptor — what the allocator handed out. `bytes` is the
+/// usable (rounded-up) size; `zeroed` says the pages are fresh from the
+/// kernel and therefore zero without a memset.
+struct ArenaAllocation {
+  void* ptr = nullptr;
+  std::size_t bytes = 0;
+  Backing backing = Backing::kNone;
+  bool zeroed = false;
+};
+
+/// Allocates a 64-byte-aligned slab of at least `bytes` bytes, preferring
+/// hugepage-backed mmap (see file comment for the policy and env toggles).
+/// bytes == 0 returns an empty allocation. Throws std::bad_alloc only when
+/// every path fails.
+ArenaAllocation arena_alloc(std::size_t bytes);
+
+/// Releases a slab obtained from arena_alloc (no-op for empty ones).
+void arena_free(const ArenaAllocation& a);
+
+/// False when ONDWIN_NO_HUGEPAGES=1 (read per call, so tests and benches
+/// can flip the env between phases of one process).
+bool hugepages_enabled();
+
+/// Allocation size at or above which AlignedBuffer and the workspace pool
+/// route through mmap'd arenas instead of aligned_alloc (one huge page).
+std::size_t arena_mmap_threshold();
+
+/// Bytes of [p, p+len) currently backed by huge pages, from
+/// /proc/self/smaps (AnonHugePages). 0 on hosts without smaps. Pages count
+/// only once they are touched — probe after first-touch, not after mmap.
+std::size_t hugepage_bytes(const void* p, std::size_t len);
+
+/// RAII owner of one arena slab.
+class Arena {
+ public:
+  Arena() = default;
+  explicit Arena(std::size_t bytes) : a_(arena_alloc(bytes)) {}
+  ~Arena() { arena_free(a_); }
+
+  Arena(Arena&& other) noexcept : a_(other.a_) { other.a_ = {}; }
+  Arena& operator=(Arena&& other) noexcept {
+    if (this != &other) {
+      arena_free(a_);
+      a_ = other.a_;
+      other.a_ = {};
+    }
+    return *this;
+  }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* data() const { return a_.ptr; }
+  std::size_t bytes() const { return a_.bytes; }
+  Backing backing() const { return a_.backing; }
+  bool zeroed() const { return a_.zeroed; }
+
+  /// Hugepage coverage of this slab right now (see hugepage_bytes()).
+  std::size_t hugepage_coverage() const {
+    return a_.ptr != nullptr ? hugepage_bytes(a_.ptr, a_.bytes) : 0;
+  }
+
+ private:
+  ArenaAllocation a_;
+};
+
+}  // namespace ondwin::mem

@@ -1,0 +1,102 @@
+#include "mem/topology.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "util/cpu.h"
+
+namespace ondwin::mem {
+
+namespace {
+
+Topology probe() {
+  Topology t;
+  const int hw = hardware_threads();
+  t.cpu_to_node.assign(static_cast<std::size_t>(std::max(hw, 1)), 0);
+
+#if defined(__linux__)
+  int max_node = -1;
+  for (int node = 0; node < 1024; ++node) {
+    const std::string path =
+        "/sys/devices/system/node/node" + std::to_string(node) + "/cpulist";
+    std::ifstream in(path);
+    if (!in) {
+      // Node ids are contiguous from 0 on Linux; the first gap ends the
+      // scan (node0 missing means no sysfs hierarchy at all).
+      break;
+    }
+    std::string list;
+    std::getline(in, list);
+    for (int cpu : parse_cpulist(list)) {
+      if (cpu >= static_cast<int>(t.cpu_to_node.size())) {
+        t.cpu_to_node.resize(static_cast<std::size_t>(cpu) + 1, 0);
+      }
+      t.cpu_to_node[static_cast<std::size_t>(cpu)] = node;
+    }
+    max_node = node;
+  }
+  if (max_node >= 0) {
+    t.nodes = max_node + 1;
+    t.numa_available = t.nodes > 1;
+  }
+#endif
+
+  obs::MetricsRegistry::global()
+      .gauge("ondwin_mem_numa_nodes", "NUMA nodes visible to this process")
+      .set(static_cast<double>(t.nodes));
+  return t;
+}
+
+}  // namespace
+
+std::vector<int> parse_cpulist(const std::string& list) {
+  std::vector<int> cpus;
+  std::stringstream ss(list);
+  std::string chunk;
+  while (std::getline(ss, chunk, ',')) {
+    if (chunk.empty()) continue;
+    int lo = 0, hi = 0;
+    if (std::sscanf(chunk.c_str(), "%d-%d", &lo, &hi) == 2) {
+      for (int c = lo; c <= hi && c >= lo; ++c) cpus.push_back(c);
+    } else if (std::sscanf(chunk.c_str(), "%d", &lo) == 1) {
+      cpus.push_back(lo);
+    }
+  }
+  return cpus;
+}
+
+std::string Topology::to_string() const {
+  if (!numa_available) return "1 node";
+  std::string out = std::to_string(nodes) + " nodes (cpus ";
+  for (int node = 0; node < nodes; ++node) {
+    if (node > 0) out += " | ";
+    // Render each node's CPUs as compact ranges.
+    int run_start = -1;
+    bool first = true;
+    for (int cpu = 0; cpu <= static_cast<int>(cpu_to_node.size()); ++cpu) {
+      const bool mine = cpu < static_cast<int>(cpu_to_node.size()) &&
+                        cpu_to_node[static_cast<std::size_t>(cpu)] == node;
+      if (mine && run_start < 0) run_start = cpu;
+      if (!mine && run_start >= 0) {
+        if (!first) out += ",";
+        first = false;
+        out += std::to_string(run_start);
+        if (cpu - 1 > run_start) out += "-" + std::to_string(cpu - 1);
+        run_start = -1;
+      }
+    }
+  }
+  out += ")";
+  return out;
+}
+
+const Topology& Topology::detect() {
+  static const Topology t = probe();
+  return t;
+}
+
+}  // namespace ondwin::mem

@@ -1,0 +1,52 @@
+// ondwin::mem topology — which NUMA node owns which CPU.
+//
+// First-touch placement (the kernel backs a page on the node of the thread
+// that first writes it) is only worth orchestrating when there is more
+// than one node; this probe answers that question and maps CPUs to nodes
+// so pinned pools can report — and benches can verify — where their
+// partitions landed.
+//
+// The probe reads sysfs (/sys/devices/system/node/node*/cpulist) directly
+// instead of linking libnuma, and degrades to a single node 0 covering
+// every CPU on hosts without the hierarchy (non-Linux, containers with a
+// masked sysfs, genuinely single-socket machines).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace ondwin::mem {
+
+struct Topology {
+  /// NUMA nodes visible to this process (>= 1).
+  int nodes = 1;
+
+  /// True when the sysfs node hierarchy was actually found AND reports
+  /// more than one node — i.e. first-touch placement can matter here.
+  bool numa_available = false;
+
+  /// cpu -> node, indexed by CPU id (covers every online CPU; CPUs beyond
+  /// the probed range resolve to node 0 via node_of_cpu()).
+  std::vector<int> cpu_to_node;
+
+  int node_of_cpu(int cpu) const {
+    if (cpu >= 0 && cpu < static_cast<int>(cpu_to_node.size())) {
+      return cpu_to_node[static_cast<std::size_t>(cpu)];
+    }
+    return 0;
+  }
+
+  /// "1 node" / "2 nodes (cpus 0-15 | 16-31)"-style summary for logs.
+  std::string to_string() const;
+
+  /// Probes once per process and caches the result.
+  static const Topology& detect();
+};
+
+/// Parses a sysfs cpulist string ("0-3,8-11,24") into CPU ids. Exposed for
+/// tests; malformed chunks are skipped rather than fatal.
+std::vector<int> parse_cpulist(const std::string& list);
+
+}  // namespace ondwin::mem

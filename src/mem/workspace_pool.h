@@ -1,0 +1,183 @@
+// ondwin::mem workspace pool — size-class reuse of arena slabs.
+//
+// Plan construction, serve replicas, and per-request staging all need
+// large short-or-long-lived float buffers of a small set of recurring
+// sizes. Allocating them fresh each time costs mmap + page faults on
+// every checkout and forfeits the hugepage promotions the previous tenant
+// already paid for. The pool keeps returned slabs in power-of-two size
+// classes and hands them back on the next checkout of the same class:
+//
+//   * ConvPlan checks its Û/X̂ workspaces out of the (global) pool, so the
+//     tuner / selection planner constructing and destroying dozens of
+//     candidate plans of one shape recycles two slabs instead of
+//     re-faulting gigabytes;
+//   * serve gives every Model a pool shared by all of its engines and
+//     replicas: request input copies and result outputs are checked out
+//     per request, and in steady state the hit rate is ~100% — no
+//     allocation happens on the serving path at all.
+//
+// Checkout and return are thread-safe (one mutex around the free lists;
+// the instruments are lock-free). A handle may outlive its pool: cores
+// are reference-counted, and returns to a destroyed pool free the slab
+// directly.
+//
+// `Workspace` is the typed float view used across the codebase: a pooled
+// (or pool-less "owned") slab with the AlignedBuffer interface.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mem/arena.h"
+#include "util/common.h"
+
+namespace ondwin::mem {
+
+class WorkspacePool;
+
+/// Move-only handle to one checked-out slab; returns it on destruction.
+class PooledSlab {
+ public:
+  PooledSlab() = default;
+  ~PooledSlab() { release(); }
+
+  PooledSlab(PooledSlab&& other) noexcept
+      : a_(other.a_), fresh_(other.fresh_), core_(std::move(other.core_)) {
+    other.a_ = {};
+    other.fresh_ = false;
+  }
+  PooledSlab& operator=(PooledSlab&& other) noexcept {
+    if (this != &other) {
+      release();
+      a_ = other.a_;
+      fresh_ = other.fresh_;
+      core_ = std::move(other.core_);
+      other.a_ = {};
+      other.fresh_ = false;
+    }
+    return *this;
+  }
+  PooledSlab(const PooledSlab&) = delete;
+  PooledSlab& operator=(const PooledSlab&) = delete;
+
+  void* data() const { return a_.ptr; }
+  std::size_t bytes() const { return a_.bytes; }
+  Backing backing() const { return a_.backing; }
+
+  /// True when the slab came fresh from the kernel (zero-filled, pages
+  /// untouched): callers that zero anyway may skip it, and first-touch
+  /// placement is still up for grabs.
+  bool fresh() const { return fresh_; }
+
+  std::size_t hugepage_coverage() const {
+    return a_.ptr != nullptr ? hugepage_bytes(a_.ptr, a_.bytes) : 0;
+  }
+
+ private:
+  friend class WorkspacePool;
+  friend class Workspace;
+  void release();
+
+  ArenaAllocation a_;
+  bool fresh_ = false;
+  std::shared_ptr<void> core_;  // WorkspacePool::Core; null = standalone
+};
+
+class WorkspacePool {
+ public:
+  struct Stats {
+    u64 hits = 0;        // checkouts served from a free list
+    u64 misses = 0;      // checkouts that allocated a new slab
+    u64 returned = 0;    // slabs handed back so far
+    u64 bytes_live = 0;  // checked out right now
+    u64 bytes_idle = 0;  // cached in free lists
+    u64 slabs_live = 0;
+    u64 slabs_idle = 0;
+    double hit_rate() const {
+      const u64 total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(total)
+                       : 0.0;
+    }
+  };
+
+  /// `name` labels this pool's metrics in the global registry
+  /// (ondwin_mem_pool_*{pool="<name>"}).
+  explicit WorkspacePool(std::string name = "anon");
+  ~WorkspacePool();
+
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  /// Checks out a slab of at least `bytes` bytes (rounded up to its
+  /// power-of-two size class). Contents of a reused slab are whatever the
+  /// previous tenant left — callers zero what they rely on, or use
+  /// Workspace which handles it.
+  PooledSlab checkout(std::size_t bytes);
+
+  /// Frees every idle slab (checked-out ones are unaffected).
+  void trim();
+
+  Stats stats() const;
+  const std::string& name() const;
+
+  /// The process-wide pool (ConvPlan workspaces, pool-less callers).
+  static WorkspacePool& global();
+
+ private:
+  friend class PooledSlab;
+  struct Core;
+  std::shared_ptr<Core> core_;
+};
+
+/// A float workspace with the AlignedBuffer interface, backed by a pooled
+/// or standalone arena slab. Default-constructed = empty.
+class Workspace {
+ public:
+  Workspace() = default;
+
+  /// Checks `floats` out of `pool`; `zero` memsets unless the slab came
+  /// fresh (and therefore zero) from the kernel. zero=false callers take
+  /// over zeroing — that is the first-touch hook.
+  static Workspace from_pool(WorkspacePool& pool, std::size_t floats,
+                             bool zero = true);
+
+  /// Pool-less slab with the same semantics (the legacy allocation path).
+  static Workspace owned(std::size_t floats, bool zero = true);
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  const float& operator[](std::size_t i) const { return data_[i]; }
+
+  /// True when the backing pages are fresh-zero and still untouched.
+  bool fresh() const { return slab_.fresh(); }
+  Backing backing() const { return slab_.backing(); }
+  std::size_t hugepage_coverage() const { return slab_.hugepage_coverage(); }
+
+  /// Rounded (size-class) bytes of the backing slab — the denominator
+  /// for hugepage_coverage(); may exceed size() * sizeof(float).
+  std::size_t slab_bytes() const { return slab_.bytes(); }
+
+  void fill_zero();
+
+  /// Releases the slab (back to its pool, if any).
+  void reset() {
+    slab_ = PooledSlab();
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+ private:
+  PooledSlab slab_;
+  float* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ondwin::mem

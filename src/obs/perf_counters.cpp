@@ -72,6 +72,15 @@ PerfCounterSet::PerfCounterSet() {
                    PERF_COUNT_HW_CACHE_RESULT_MISS));
   fds_[kLlcMiss] = open_event(PERF_TYPE_HARDWARE,
                               PERF_COUNT_HW_CACHE_MISSES);
+  fds_[kDtlbMiss] = open_event(
+      PERF_TYPE_HW_CACHE,
+      cache_config(PERF_COUNT_HW_CACHE_DTLB, PERF_COUNT_HW_CACHE_OP_READ,
+                   PERF_COUNT_HW_CACHE_RESULT_MISS));
+  // Software event: counted by the kernel, available even where the PMU
+  // is not (it still requires the fds above to have opened, which is why
+  // it sits behind the availability gate rather than standing alone).
+  fds_[kPageFaults] =
+      open_event(PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS);
   available_ = true;
 }
 
@@ -103,6 +112,8 @@ PerfReading PerfCounterSet::read() const {
   r.instructions = read_fd(fds_[kInstructions]);
   r.l1d_misses = read_fd(fds_[kL1dMiss]);
   r.llc_misses = read_fd(fds_[kLlcMiss]);
+  r.dtlb_misses = read_fd(fds_[kDtlbMiss]);
+  r.page_faults = read_fd(fds_[kPageFaults]);
   r.valid = true;
   return r;
 }

@@ -1,6 +1,7 @@
 // ondwin::obs hardware counters — a thin perf_event_open wrapper for the
-// bench harness: cycles, instructions, L1D read misses and LLC misses on
-// the calling thread plus (via inherit) every thread it spawns later.
+// bench harness: cycles, instructions, L1D read misses, LLC misses, dTLB
+// load misses and page faults on the calling thread plus (via inherit)
+// every thread it spawns later.
 //
 // perf_event_open is frequently unavailable (perf_event_paranoid,
 // seccomp-filtered containers, non-Linux hosts); everything here degrades
@@ -27,7 +28,9 @@ struct PerfReading {
   u64 instructions = 0;
   u64 l1d_misses = 0;
   u64 llc_misses = 0;
-  bool valid = false;  // cycles+instructions were actually counted
+  u64 dtlb_misses = 0;  // dTLB load misses (the hugepage win, bench_mem)
+  u64 page_faults = 0;  // software event: minor + major faults
+  bool valid = false;   // cycles+instructions were actually counted
 
   double ipc() const {
     return cycles > 0 ? static_cast<double>(instructions) /
@@ -43,6 +46,8 @@ struct PerfReading {
     d.instructions = instructions - earlier.instructions;
     d.l1d_misses = l1d_misses - earlier.l1d_misses;
     d.llc_misses = llc_misses - earlier.llc_misses;
+    d.dtlb_misses = dtlb_misses - earlier.dtlb_misses;
+    d.page_faults = page_faults - earlier.page_faults;
     return d;
   }
 };
@@ -74,8 +79,16 @@ class PerfCounterSet {
   PerfReading read() const;
 
  private:
-  enum { kCycles, kInstructions, kL1dMiss, kLlcMiss, kNumEvents };
-  int fds_[kNumEvents] = {-1, -1, -1, -1};
+  enum {
+    kCycles,
+    kInstructions,
+    kL1dMiss,
+    kLlcMiss,
+    kDtlbMiss,
+    kPageFaults,
+    kNumEvents
+  };
+  int fds_[kNumEvents] = {-1, -1, -1, -1, -1, -1};
   bool available_ = false;
   std::string reason_;
 };

@@ -20,6 +20,10 @@
 //                  span tracing (ONDWIN_TRACE=1 → Chrome trace JSON),
 //                  Prometheus/JSON metrics, and perf_event hardware
 //                  counters
+//   mem::Arena / mem::WorkspacePool / mem::Topology — hugepage-backed
+//                  aligned slabs, size-class workspace reuse, and the
+//                  NUMA topology probe behind schedule-aware first-touch
+//                  (env toggles: ONDWIN_NO_HUGEPAGES, ONDWIN_HUGETLB)
 //
 // The baselines the planner chooses between (DirectConv/DirectConvBlocked,
 // FftConv, SimpleWinograd) are exported here too — they are useful as
@@ -36,6 +40,9 @@
 #include "core/plan_options.h"             // IWYU pragma: export
 #include "core/tuner.h"                    // IWYU pragma: export
 #include "core/wisdom.h"                   // IWYU pragma: export
+#include "mem/arena.h"                     // IWYU pragma: export
+#include "mem/topology.h"                  // IWYU pragma: export
+#include "mem/workspace_pool.h"            // IWYU pragma: export
 #include "net/sequential.h"                // IWYU pragma: export
 #include "obs/metrics.h"                   // IWYU pragma: export
 #include "obs/perf_counters.h"             // IWYU pragma: export

@@ -33,6 +33,11 @@ class ThreadPool {
   int size() const { return threads_; }
   int cpu_base() const { return cpu_base_; }
 
+  /// CPU participant `tid` is bound to when the pool is pinned
+  /// (`cpu_base + tid`), or -1 when the pool floats. Feed the result to
+  /// mem::Topology::node_of_cpu() for NUMA-aware placement decisions.
+  int cpu_of(int tid) const { return pin_ ? cpu_base_ + tid : -1; }
+
   /// Runs `fn(tid)` for tid in [0, size()) across all participants and
   /// returns once every call finished. Not reentrant: the barrier protocol
   /// cannot nest, so a second run() from inside `fn` or from another

@@ -18,9 +18,11 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
 Engine::Engine(Model& model, const PlanOptions& plan_options, int index)
     : model_(model), plan_options_(plan_options), index_(index) {
   const i64 max_bucket = model_.buckets().back();
-  in_staging_.reset(
+  in_staging_ = mem::Workspace::from_pool(
+      model_.pool(),
       static_cast<std::size_t>(max_bucket * model_.sample_input_floats()));
-  out_staging_.reset(
+  out_staging_ = mem::Workspace::from_pool(
+      model_.pool(),
       static_cast<std::size_t>(max_bucket * model_.sample_output_floats()));
 }
 
@@ -95,7 +97,9 @@ void Engine::serve_batch(std::vector<PendingRequest> batch) {
     for (int i = 0; i < n; ++i) {
       PendingRequest& req = batch[static_cast<std::size_t>(i)];
       InferenceResult result;
-      result.output.reset(static_cast<std::size_t>(sout));
+      // Pool checkout without zeroing: the memcpy below fills every float.
+      result.output = mem::Workspace::from_pool(
+          model_.pool(), static_cast<std::size_t>(sout), /*zero=*/false);
       std::memcpy(result.output.data(),
                   out_staging_.data() + static_cast<i64>(i) * sout,
                   static_cast<std::size_t>(sout) * sizeof(float));

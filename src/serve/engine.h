@@ -39,8 +39,8 @@ class Engine {
   Model& model_;
   const PlanOptions plan_options_;
   const int index_;
-  AlignedBuffer<float> in_staging_;   // max-bucket blocked input batch
-  AlignedBuffer<float> out_staging_;  // max-bucket blocked output batch
+  mem::Workspace in_staging_;   // max-bucket blocked input batch
+  mem::Workspace out_staging_;  // max-bucket blocked output batch
   std::thread thread_;
 };
 

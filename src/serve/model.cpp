@@ -21,6 +21,7 @@ Model::Model(std::string name, const ConvProblem& problem,
     : name_(std::move(name)),
       config_(config),
       cache_(cache),
+      pool_(str_cat("model:", name_)),
       batcher_(config.batching),
       buckets_(make_buckets(config.batching.max_batch)),
       is_conv_(true),
@@ -42,6 +43,7 @@ Model::Model(std::string name, std::shared_ptr<const Sequential> net,
     : name_(std::move(name)),
       config_(config),
       cache_(cache),
+      pool_(str_cat("model:", name_)),
       batcher_(config.batching),
       buckets_(make_buckets(config.batching.max_batch)),
       is_conv_(false),
@@ -180,6 +182,7 @@ ModelStats Model::snapshot() const {
   s.p99_ms = lat.p99_ms;
   s.max_ms = lat.max_ms;
   s.batch_occupancy = batch_occupancy.snapshot();
+  s.pool = pool_.stats();
   return s;
 }
 

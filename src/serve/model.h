@@ -57,6 +57,12 @@ class Model {
   Batcher& batcher() { return batcher_; }
   const Batcher& batcher() const { return batcher_; }
 
+  /// The model's workspace pool: request input copies, result outputs,
+  /// and engine staging check out of here, shared by every engine and
+  /// replica of this model. Its hit rate is the serving path's
+  /// no-allocation guarantee (see ModelStats::pool).
+  mem::WorkspacePool& pool() { return pool_; }
+
   i64 sample_input_floats() const { return sample_in_; }
   i64 sample_output_floats() const { return sample_out_; }
 
@@ -110,6 +116,7 @@ class Model {
   const std::string name_;
   const ModelConfig config_;
   PlanCache* const cache_;
+  mem::WorkspacePool pool_;
   Batcher batcher_;
   std::vector<int> buckets_;
   i64 sample_in_ = 0;

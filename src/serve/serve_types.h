@@ -18,9 +18,9 @@
 
 #include "core/plan_cache.h"
 #include "core/plan_options.h"
+#include "mem/workspace_pool.h"
 #include "obs/metrics.h"
 #include "select/select.h"
-#include "util/aligned.h"
 
 namespace ondwin::serve {
 
@@ -91,7 +91,10 @@ struct ServerOptions {
 /// One completed inference.
 struct InferenceResult {
   /// The sample's output in the model's batch-1 blocked output layout.
-  AlignedBuffer<float> output;
+  /// Checked out of the model's workspace pool; holding the result (or
+  /// moving it out) is fine even after the server shuts down — the slab
+  /// returns to the pool, or is freed directly if the pool is gone.
+  mem::Workspace output;
 
   /// How many requests were coalesced into the carrying execution.
   int batch_size = 0;
@@ -105,7 +108,7 @@ using ResultFuture = std::future<InferenceResult>;
 
 /// A submitted-but-not-yet-served request (internal to the runtime).
 struct PendingRequest {
-  AlignedBuffer<float> input;  // batch-1 blocked input, owned copy
+  mem::Workspace input;  // batch-1 blocked input, owned pooled copy
   std::promise<InferenceResult> promise;
   std::chrono::steady_clock::time_point submitted;
 };
@@ -134,6 +137,11 @@ struct ModelStats {
   /// Distribution of executed batch sizes (occupancy of the micro-batch
   /// coalescer) — bucket bounds follow the power-of-two replica buckets.
   obs::Histogram::Snapshot batch_occupancy;
+
+  /// The model's workspace pool (request copies, result outputs, engine
+  /// staging). pool.hit_rate() ≈ 1.0 in steady state means the serving
+  /// path performs no allocation at all.
+  mem::WorkspacePool::Stats pool;
 };
 
 /// Snapshot of the whole server.

@@ -55,10 +55,10 @@ JitCodelet::JitCodelet(const TransformProgram& p, i64 in_stride,
   // SysV: in = rdi, out = rsi, coeffs = rdx.
   Assembler a;
   const auto in_at = [&](i32 idx) {
-    return mem(Gp::rdi, static_cast<i32>(idx * in_stride * 4));
+    return addr(Gp::rdi, static_cast<i32>(idx * in_stride * 4));
   };
   const auto out_at = [&](i32 idx) {
-    return mem(Gp::rsi, static_cast<i32>(idx * out_stride * 4));
+    return addr(Gp::rsi, static_cast<i32>(idx * out_stride * 4));
   };
 
   using K = TransformOp::Kind;
@@ -70,7 +70,7 @@ JitCodelet::JitCodelet(const TransformProgram& p, i64 in_stride,
       case K::kMulIn:
         a.vmovups(Zmm(op.dst), in_at(op.src));
         a.vmulps_bcast(Zmm(op.dst), Zmm(op.dst),
-                       mem(Gp::rdx, slot_of(op.coeff)));
+                       addr(Gp::rdx, slot_of(op.coeff)));
         break;
       case K::kAddIn:
         a.vaddps(Zmm(op.dst), Zmm(op.dst), in_at(op.src));
@@ -81,7 +81,7 @@ JitCodelet::JitCodelet(const TransformProgram& p, i64 in_stride,
       case K::kFmaIn:
         // dst += coeff * in[src]: broadcast the coefficient, use the
         // full-width memory operand for the input fiber element.
-        a.vbroadcastss(Zmm(kScratchReg), mem(Gp::rdx, slot_of(op.coeff)));
+        a.vbroadcastss(Zmm(kScratchReg), addr(Gp::rdx, slot_of(op.coeff)));
         a.vfmadd231ps(Zmm(op.dst), Zmm(kScratchReg), in_at(op.src));
         break;
       case K::kAddReg:
@@ -92,14 +92,14 @@ JitCodelet::JitCodelet(const TransformProgram& p, i64 in_stride,
         break;
       case K::kMulReg:
         a.vmulps_bcast(Zmm(op.dst), Zmm(op.a),
-                       mem(Gp::rdx, slot_of(op.coeff)));
+                       addr(Gp::rdx, slot_of(op.coeff)));
         break;
       case K::kMovReg:
         a.vmovaps(Zmm(op.dst), Zmm(op.a));
         break;
       case K::kFmaReg:
         a.vfmadd231ps_bcast(Zmm(op.dst), Zmm(op.a),
-                            mem(Gp::rdx, slot_of(op.coeff)));
+                            addr(Gp::rdx, slot_of(op.coeff)));
         break;
       case K::kStore:
         if (streaming) {

@@ -1,4 +1,11 @@
 // 64-byte aligned buffers for SIMD and streaming-store friendly data.
+//
+// v2: large allocations (>= mem::arena_mmap_threshold(), one huge page)
+// come from ondwin::mem arenas — mmap'd and advised MADV_HUGEPAGE with a
+// transparent aligned_alloc fallback — so every big numeric buffer in the
+// system (weights, staging batches, fused scratch) is hugepage-eligible
+// without its owner opting in. Small allocations stay on aligned_alloc
+// where mmap granularity would only waste pages.
 #pragma once
 
 #include <cstdlib>
@@ -6,13 +13,15 @@
 #include <memory>
 #include <new>
 
+#include "mem/arena.h"
 #include "util/common.h"
 
 namespace ondwin {
 
 /// RAII owner of a 64-byte aligned, size-tracked allocation.
 /// Value-initialized (zeroed) on construction so border tiles can rely on
-/// zero padding outside the written region.
+/// zero padding outside the written region. Zero-byte buffers are valid
+/// (data() == nullptr, size() == 0) and self-move-assignment is a no-op.
 template <typename T>
 class AlignedBuffer {
  public:
@@ -21,16 +30,16 @@ class AlignedBuffer {
   explicit AlignedBuffer(std::size_t count) { reset(count); }
 
   AlignedBuffer(AlignedBuffer&& other) noexcept
-      : data_(other.data_), size_(other.size_) {
-    other.data_ = nullptr;
+      : a_(other.a_), size_(other.size_) {
+    other.a_ = {};
     other.size_ = 0;
   }
   AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
     if (this != &other) {
       release();
-      data_ = other.data_;
+      a_ = other.a_;
       size_ = other.size_;
-      other.data_ = nullptr;
+      other.a_ = {};
       other.size_ = 0;
     }
     return *this;
@@ -44,39 +53,39 @@ class AlignedBuffer {
   void reset(std::size_t count) {
     release();
     if (count == 0) return;
-    const std::size_t bytes = round_up(count * sizeof(T), kAlignment);
-    void* p = std::aligned_alloc(kAlignment, bytes);
-    if (p == nullptr) throw std::bad_alloc();
-    std::memset(p, 0, bytes);
-    data_ = static_cast<T*>(p);
+    a_ = mem::arena_alloc(count * sizeof(T));
+    if (!a_.zeroed) std::memset(a_.ptr, 0, a_.bytes);
     size_ = count;
   }
 
   void fill_zero() {
-    if (data_ != nullptr) std::memset(data_, 0, size_ * sizeof(T));
+    if (a_.ptr != nullptr) std::memset(a_.ptr, 0, size_ * sizeof(T));
   }
 
-  T* data() { return data_; }
-  const T* data() const { return data_; }
+  /// How this buffer's memory is backed (mem::Backing::kNone when empty).
+  mem::Backing backing() const { return a_.backing; }
+
+  T* data() { return static_cast<T*>(a_.ptr); }
+  const T* data() const { return static_cast<const T*>(a_.ptr); }
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  T& operator[](std::size_t i) { return data_[i]; }
-  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
 
-  T* begin() { return data_; }
-  T* end() { return data_ + size_; }
-  const T* begin() const { return data_; }
-  const T* end() const { return data_ + size_; }
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
 
  private:
   void release() {
-    std::free(data_);
-    data_ = nullptr;
+    mem::arena_free(a_);
+    a_ = {};
     size_ = 0;
   }
 
-  T* data_ = nullptr;
+  mem::ArenaAllocation a_;
   std::size_t size_ = 0;
 };
 

@@ -21,7 +21,7 @@ using Bytes = std::vector<u8>;
 
 TEST(Assembler, EncodesVmovupsLoadNoDisp) {
   Assembler a;
-  a.vmovups(Zmm(9), mem(Gp::rsi));
+  a.vmovups(Zmm(9), addr(Gp::rsi));
   EXPECT_EQ(a.finish(), (Bytes{0x62, 0x71, 0x7c, 0x48, 0x10, 0x0e}));
 }
 
@@ -46,29 +46,29 @@ TEST(Assembler, EncodesFmaRegForm) {
 TEST(Assembler, EncodesFmaBroadcastR12Base) {
   // [r12] requires a SIB byte even without an index register.
   Assembler a;
-  a.vfmadd231ps_bcast(Zmm(17), Zmm(31), mem(Gp::r12));
+  a.vfmadd231ps_bcast(Zmm(17), Zmm(31), addr(Gp::r12));
   EXPECT_EQ(a.finish(),
             (Bytes{0x62, 0xc2, 0x05, 0x50, 0xb8, 0x0c, 0x24}));
 }
 
 TEST(Assembler, EncodesStreamingStoreWithIndex) {
   Assembler a;
-  a.vmovntps(mem(Gp::r14, Gp::r15, 1), Zmm(6));
+  a.vmovntps(addr(Gp::r14, Gp::r15, 1), Zmm(6));
   EXPECT_EQ(a.finish(),
             (Bytes{0x62, 0x91, 0x7c, 0x48, 0x2b, 0x34, 0x3e}));
 }
 
 TEST(Assembler, EncodesRspAndR12BasesWithSib) {
   Assembler a;
-  a.vmovups(Zmm(0), mem(Gp::rsp));
-  a.vmovups(Zmm(0), mem(Gp::r12));
+  a.vmovups(Zmm(0), addr(Gp::rsp));
+  a.vmovups(Zmm(0), addr(Gp::r12));
   EXPECT_EQ(a.finish(), (Bytes{0x62, 0xf1, 0x7c, 0x48, 0x10, 0x04, 0x24,
                                0x62, 0xd1, 0x7c, 0x48, 0x10, 0x04, 0x24}));
 }
 
 TEST(Assembler, EncodesGpMovesAndStack) {
   Assembler a;
-  a.mov(Gp::rsi, mem(Gp::rdi));
+  a.mov(Gp::rsi, addr(Gp::rdi));
   a.mov(Gp::rax, Gp::rsi);
   a.push(Gp::rbx);
   a.push(Gp::r15);
@@ -81,15 +81,15 @@ TEST(Assembler, EncodesGpMovesAndStack) {
 
 TEST(Assembler, EncodesPrefetchVariants) {
   Assembler a;
-  a.prefetch(-1, mem(Gp::rbx));
+  a.prefetch(-1, addr(Gp::rbx));
   EXPECT_EQ(a.finish(), (Bytes{0x0f, 0x18, 0x03}));
   Assembler b;
-  EXPECT_THROW(b.prefetch(7, mem(Gp::rbx)), Error);
+  EXPECT_THROW(b.prefetch(7, addr(Gp::rbx)), Error);
 }
 
 TEST(Assembler, RejectsRspIndexAndBadScale) {
   Assembler a;
-  EXPECT_THROW(a.vmovups(Zmm(0), mem(Gp::rax, Gp::rsp, 1)), Error);
+  EXPECT_THROW(a.vmovups(Zmm(0), addr(Gp::rax, Gp::rsp, 1)), Error);
   Assembler b;
   EXPECT_THROW(b.vmovups(Zmm(0), Mem{Gp::rax, Gp::rcx, 3, 0}), Error);
 }
@@ -159,29 +159,29 @@ std::string objdump_of(const Bytes& code) {
 TEST(Assembler, ObjdumpRoundTrip) {
   if (!objdump_available()) GTEST_SKIP() << "objdump not installed";
   Assembler a;
-  a.vmovups(Zmm(9), mem(Gp::rsi, 256));
-  a.vmovups(mem(Gp::rcx, 4096), Zmm(31));
-  a.vmovntps(mem(Gp::r9, 64), Zmm(3));
-  a.vbroadcastss(Zmm(30), mem(Gp::rbx, 12));
-  a.vfmadd231ps_bcast(Zmm(7), Zmm(30), mem(Gp::rax, 100));
+  a.vmovups(Zmm(9), addr(Gp::rsi, 256));
+  a.vmovups(addr(Gp::rcx, 4096), Zmm(31));
+  a.vmovntps(addr(Gp::r9, 64), Zmm(3));
+  a.vbroadcastss(Zmm(30), addr(Gp::rbx, 12));
+  a.vfmadd231ps_bcast(Zmm(7), Zmm(30), addr(Gp::rax, 100));
   a.vaddps(Zmm(1), Zmm(2), Zmm(3));
   a.vsubps(Zmm(1), Zmm(2), Zmm(3));
   a.vmulps(Zmm(18), Zmm(19), Zmm(20));
-  a.vmulps_bcast(Zmm(1), Zmm(2), mem(Gp::rbp, 8));
-  a.vaddps_bcast(Zmm(4), Zmm(5), mem(Gp::rsi, 4));
-  a.vfmadd231ps(Zmm(6), Zmm(7), mem(Gp::rdx, 128));
-  a.mov(Gp::rsi, mem(Gp::rdi, 8));
-  a.mov_store(mem(Gp::rdi, 16), Gp::rdx);
+  a.vmulps_bcast(Zmm(1), Zmm(2), addr(Gp::rbp, 8));
+  a.vaddps_bcast(Zmm(4), Zmm(5), addr(Gp::rsi, 4));
+  a.vfmadd231ps(Zmm(6), Zmm(7), addr(Gp::rdx, 128));
+  a.mov(Gp::rsi, addr(Gp::rdi, 8));
+  a.mov_store(addr(Gp::rdi, 16), Gp::rdx);
   a.mov_imm(Gp::r10, 12345);
   a.add(Gp::rax, 64);
   a.add(Gp::rcx, Gp::r13);
   a.sub(Gp::rsp, 32);
   a.dec(Gp::r11);
-  a.prefetch(0, mem(Gp::rax, 128));
-  a.prefetch(1, mem(Gp::r8, 256));
-  a.vmovups(Zmm(2), mem(Gp::rax, Gp::r15, 8, 64));
-  a.vmovups(Zmm(0), mem(Gp::rbp));
-  a.vmovups(Zmm(0), mem(Gp::r13));
+  a.prefetch(0, addr(Gp::rax, 128));
+  a.prefetch(1, addr(Gp::r8, 256));
+  a.vmovups(Zmm(2), addr(Gp::rax, Gp::r15, 8, 64));
+  a.vmovups(Zmm(0), addr(Gp::rbp));
+  a.vmovups(Zmm(0), addr(Gp::r13));
   a.ret();
 
   const std::string dis = objdump_of(a.finish());
@@ -269,10 +269,10 @@ TEST(ExecMemory, VectorKernelComputesFma) {
   if (!cpu_features().full_avx512()) GTEST_SKIP() << "host lacks AVX-512";
   // out[0..15] += a[0..15] * bcast(s[0]); arguments: rdi=a, rsi=s, rdx=out
   Assembler a;
-  a.vmovups(Zmm(0), mem(Gp::rdx));
-  a.vmovups(Zmm(1), mem(Gp::rdi));
-  a.vfmadd231ps_bcast(Zmm(0), Zmm(1), mem(Gp::rsi));
-  a.vmovups(mem(Gp::rdx), Zmm(0));
+  a.vmovups(Zmm(0), addr(Gp::rdx));
+  a.vmovups(Zmm(1), addr(Gp::rdi));
+  a.vfmadd231ps_bcast(Zmm(0), Zmm(1), addr(Gp::rsi));
+  a.vmovups(addr(Gp::rdx), Zmm(0));
   a.ret();
   const ExecMemory m = ExecMemory::from_code(a.finish());
   auto fn = m.entry_as<void (*)(const float*, const float*, float*)>();
@@ -293,8 +293,8 @@ TEST(ExecMemory, VectorKernelComputesFma) {
 TEST(ExecMemory, StreamingStoreWritesThrough) {
   if (!cpu_features().full_avx512()) GTEST_SKIP() << "host lacks AVX-512";
   Assembler a;
-  a.vmovups(Zmm(4), mem(Gp::rdi));
-  a.vmovntps(mem(Gp::rsi), Zmm(4));
+  a.vmovups(Zmm(4), addr(Gp::rdi));
+  a.vmovntps(addr(Gp::rsi), Zmm(4));
   a.ret();
   const ExecMemory m = ExecMemory::from_code(a.finish());
   auto fn = m.entry_as<void (*)(const float*, float*)>();
