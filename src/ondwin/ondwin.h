@@ -16,6 +16,11 @@
 //   serve::InferenceServer — concurrent serving with dynamic
 //                  micro-batching (ModelConfig::auto_select re-runs the
 //                  planner per batch-size bucket)
+//   rpc::RpcServer / rpc::RpcClient / rpc::ShardRouter — the network
+//                  tier: zero-copy length-prefixed tensor framing over
+//                  unix/TCP sockets into the same batcher queues as
+//                  in-proc callers, SLO-aware admission control, and
+//                  consistent-hash sharding with replicated failover
 //   obs::Tracer / obs::MetricsRegistry / obs::PerfCounterSet — scoped
 //                  span tracing (ONDWIN_TRACE=1 → Chrome trace JSON),
 //                  Prometheus/JSON metrics, and perf_event hardware
@@ -47,6 +52,10 @@
 #include "obs/metrics.h"                   // IWYU pragma: export
 #include "obs/perf_counters.h"             // IWYU pragma: export
 #include "obs/trace.h"                     // IWYU pragma: export
+#include "rpc/frame.h"                     // IWYU pragma: export
+#include "rpc/rpc_client.h"                // IWYU pragma: export
+#include "rpc/rpc_server.h"                // IWYU pragma: export
+#include "rpc/shard_router.h"              // IWYU pragma: export
 #include "select/select.h"                 // IWYU pragma: export
 #include "serve/server.h"                  // IWYU pragma: export
 #include "tensor/layout.h"                 // IWYU pragma: export

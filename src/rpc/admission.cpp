@@ -1,0 +1,105 @@
+#include "rpc/admission.h"
+
+#include <cstring>
+
+namespace ondwin::rpc {
+
+namespace {
+u64 to_bits(double v) {
+  u64 b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+double from_bits(u64 b) {
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {
+  ONDWIN_CHECK(options.max_inflight >= 1,
+               "max_inflight must be >= 1, got ", options.max_inflight);
+  ONDWIN_CHECK(options.slo_ms >= 0, "slo_ms must be >= 0, got ",
+               options.slo_ms);
+}
+
+AdmissionDecision AdmissionController::admit(i64 queue_depth, int max_batch,
+                                             double deadline_ms) {
+  AdmissionDecision d;
+  const i64 inflight = inflight_.load(std::memory_order_relaxed);
+  if (inflight >= options_.max_inflight) {
+    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    d.admit = false;
+    d.shed_status = kShedQueueFull;
+    return d;
+  }
+
+  // Wait estimate: the new request lands behind ceil(waiting / max_batch)
+  // batch executions, each costing about the observed median. `waiting`
+  // counts both the queued requests and the admitted-but-unqueued ones
+  // (in flight through engines right now) — under overload the latter is
+  // what keeps the estimate honest. With no completions observed yet the
+  // estimate is 0: the first requests are always admitted and seed the
+  // window.
+  const double p50 = cached_p50();
+  if (p50 > 0 && max_batch >= 1) {
+    const i64 waiting = queue_depth + inflight + 1;
+    d.estimated_wait_ms =
+        static_cast<double>(ceil_div(waiting, max_batch)) * p50;
+  }
+
+  if (deadline_ms > 0 && d.estimated_wait_ms > deadline_ms) {
+    shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+    d.admit = false;
+    d.shed_status = kShedDeadline;
+    return d;
+  }
+  if (options_.slo_ms > 0 && d.estimated_wait_ms > options_.slo_ms) {
+    shed_slo_.fetch_add(1, std::memory_order_relaxed);
+    d.admit = false;
+    d.shed_status = kShedSlo;
+    return d;
+  }
+  return d;
+}
+
+void AdmissionController::on_admitted() {
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AdmissionController::on_completed(double exec_ms, bool success) {
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  if (!success) return;
+  exec_.record(exec_ms);
+  const u64 n = completions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n % kQuantileRefresh == 1) {
+    // Amortized refresh: sort the window every kQuantileRefresh
+    // completions (and once on the very first) instead of per admit().
+    const serve::LatencyRecorder::Summary s = exec_.summarize();
+    p50_bits_.store(to_bits(s.p50_ms), std::memory_order_relaxed);
+    p99_bits_.store(to_bits(s.p99_ms), std::memory_order_relaxed);
+  }
+}
+
+double AdmissionController::cached_p50() const {
+  return from_bits(p50_bits_.load(std::memory_order_relaxed));
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  Stats s;
+  s.inflight = inflight_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  s.shed_slo = shed_slo_.load(std::memory_order_relaxed);
+  const serve::LatencyRecorder::Summary sum = exec_.summarize();
+  s.exec_p50_ms = sum.p50_ms;
+  s.exec_p99_ms = sum.p99_ms;
+  s.exec_window = sum.window;
+  return s;
+}
+
+}  // namespace ondwin::rpc

@@ -1,0 +1,99 @@
+// SLO-aware admission control for the rpc serving tier.
+//
+// Under overload, a bounded queue alone still lets latency collapse: every
+// admitted request waits behind the full queue, so by the time it
+// executes its deadline is long gone and the work was wasted. The
+// controller rejects EARLY instead — at admission time it estimates how
+// long a new request would wait (queued batches ahead of it times the
+// median execution time observed over a sliding window, the
+// LatencyRecorder quantiles) and sheds the request immediately when that
+// estimate exceeds the frame's own deadline or the configured SLO. The
+// client gets its rejection in microseconds instead of a doomed result in
+// hundreds of milliseconds, and the queue stays short enough that
+// admitted requests keep meeting the SLO.
+//
+// Quantiles are refreshed every kQuantileRefresh completions (sorting the
+// 4K window per admit() would dwarf the request itself); between
+// refreshes admit() reads cached values lock-free.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+#include "rpc/frame.h"
+#include "serve/latency.h"
+
+namespace ondwin::rpc {
+
+struct AdmissionOptions {
+  /// Hard bound on admitted-but-unfinished requests across the server.
+  i64 max_inflight = 1024;
+
+  /// Shed when the estimated queue wait exceeds this budget (ms). 0
+  /// disables the SLO gate; per-frame deadlines still apply.
+  double slo_ms = 0;
+};
+
+struct AdmissionDecision {
+  bool admit = true;
+  u32 shed_status = kOk;  // kShedQueueFull/kShedDeadline/kShedSlo if shed
+  double estimated_wait_ms = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Decides a request's fate given the model's current queue depth, its
+  /// batching factor, and the request's relative deadline (0 = none).
+  /// Does NOT bump the in-flight count — call on_admitted() once the
+  /// request is actually handed to the batcher.
+  AdmissionDecision admit(i64 queue_depth, int max_batch,
+                          double deadline_ms);
+
+  void on_admitted();
+
+  /// Every admitted request reports back exactly once; successful ones
+  /// contribute their batch execution time to the wait estimator.
+  void on_completed(double exec_ms, bool success);
+
+  i64 inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
+  struct Stats {
+    i64 inflight = 0;
+    u64 admitted = 0;
+    u64 shed_queue_full = 0;
+    u64 shed_deadline = 0;
+    u64 shed_slo = 0;
+    double exec_p50_ms = 0;  // the estimator's current basis
+    double exec_p99_ms = 0;
+    u64 exec_window = 0;
+  };
+  Stats stats() const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  static constexpr u64 kQuantileRefresh = 32;
+
+  double cached_p50() const;
+
+  const AdmissionOptions options_;
+  std::atomic<i64> inflight_{0};
+  std::atomic<u64> admitted_{0};
+  std::atomic<u64> shed_queue_full_{0};
+  std::atomic<u64> shed_deadline_{0};
+  std::atomic<u64> shed_slo_{0};
+
+  serve::LatencyRecorder exec_;   // per-batch execution times
+  std::atomic<u64> completions_{0};
+  std::atomic<u64> p50_bits_{0};  // bit-cast double, refreshed periodically
+  std::atomic<u64> p99_bits_{0};
+};
+
+}  // namespace ondwin::rpc

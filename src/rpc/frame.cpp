@@ -1,0 +1,253 @@
+#include "rpc/frame.h"
+
+#include <array>
+#include <cstring>
+
+namespace ondwin::rpc {
+
+namespace {
+
+// Little-endian stores/loads so the wire format does not depend on host
+// byte order (the numeric payload itself is raw IEEE-754 floats, which
+// every platform this library targets shares).
+void st16(u8* p, u16 v) {
+  p[0] = static_cast<u8>(v);
+  p[1] = static_cast<u8>(v >> 8);
+}
+void st32(u8* p, u32 v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<u8>(v >> (8 * i));
+}
+void st64(u8* p, u64 v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<u8>(v >> (8 * i));
+}
+void stf64(u8* p, double v) {
+  u64 bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  st64(p, bits);
+}
+u16 ld16(const u8* p) { return static_cast<u16>(p[0] | (p[1] << 8)); }
+u32 ld32(const u8* p) {
+  u32 v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<u32>(p[i]) << (8 * i);
+  return v;
+}
+u64 ld64(const u8* p) {
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(p[i]) << (8 * i);
+  return v;
+}
+double ldf64(const u8* p) {
+  const u64 bits = ld64(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// Header byte offsets (see frame.h for the layout rationale).
+enum : std::size_t {
+  kOffMagic = 0,
+  kOffVersion = 4,
+  kOffType = 6,
+  kOffRequestId = 8,
+  kOffDeadlineUs = 16,
+  kOffStatus = 24,
+  kOffModelLen = 28,
+  kOffPayloadBytes = 32,
+  kOffBatchSize = 36,
+  kOffQueueMs = 40,
+  kOffExecMs = 48,
+  kOffShapeBatch = 56,
+  kOffInChannels = 60,
+  kOffOutChannels = 64,
+  kOffRank = 68,       // + 3 reserved bytes
+  kOffImage = 72,      // u16[kMaxNd]
+  kOffKernel = 80,     // u16[kMaxNd]
+  kOffPadding = 88,    // u16[kMaxNd]
+  kOffReserved = 96,   // u32, zero
+  kOffCrc = 100,       // crc32 of bytes [0, 100)
+};
+static_assert(kOffCrc + 4 == kFrameHeaderBytes, "header layout drifted");
+
+}  // namespace
+
+u32 crc32(const void* data, std::size_t n, u32 seed) {
+  // Table-driven CRC-32 (IEEE, reflected polynomial 0xEDB88320). The
+  // table is built once; 1 KiB is a fair trade for byte-at-a-time speed
+  // on a field this small (headers only — payloads are not checksummed,
+  // that is the transport's job).
+  static const auto table = [] {
+    std::array<u32, 256> t{};
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  u32 crc = seed ^ 0xFFFFFFFFu;
+  const u8* p = static_cast<const u8*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void encode_header(const FrameHeader& h, u8* out) {
+  std::memset(out, 0, kFrameHeaderBytes);
+  st32(out + kOffMagic, kFrameMagic);
+  st16(out + kOffVersion, kFrameVersion);
+  st16(out + kOffType, static_cast<u16>(h.type));
+  st64(out + kOffRequestId, h.request_id);
+  st64(out + kOffDeadlineUs, h.deadline_us);
+  st32(out + kOffStatus, h.status);
+  st32(out + kOffModelLen, h.model_len);
+  st32(out + kOffPayloadBytes, h.payload_bytes);
+  st32(out + kOffBatchSize, h.batch_size);
+  stf64(out + kOffQueueMs, h.queue_ms);
+  stf64(out + kOffExecMs, h.exec_ms);
+  st32(out + kOffShapeBatch, h.batch);
+  st32(out + kOffInChannels, h.in_channels);
+  st32(out + kOffOutChannels, h.out_channels);
+  out[kOffRank] = h.rank;
+  for (int d = 0; d < kMaxNd; ++d) {
+    st16(out + kOffImage + 2 * d, h.image[d]);
+    st16(out + kOffKernel + 2 * d, h.kernel[d]);
+    st16(out + kOffPadding + 2 * d, h.padding[d]);
+  }
+  st32(out + kOffCrc, crc32(out, kOffCrc));
+}
+
+DecodeResult decode_header(const u8* buf, std::size_t n, FrameHeader* out) {
+  if (n < kFrameHeaderBytes) return DecodeResult::kTruncated;
+  if (ld32(buf + kOffMagic) != kFrameMagic) return DecodeResult::kBadMagic;
+  if (ld16(buf + kOffVersion) != kFrameVersion) {
+    return DecodeResult::kBadVersion;
+  }
+  if (ld32(buf + kOffCrc) != crc32(buf, kOffCrc)) {
+    return DecodeResult::kBadChecksum;
+  }
+  const u16 type = ld16(buf + kOffType);
+  if (type < static_cast<u16>(FrameType::kRequest) ||
+      type > static_cast<u16>(FrameType::kPong)) {
+    return DecodeResult::kBadType;
+  }
+  const u32 model_len = ld32(buf + kOffModelLen);
+  const u32 payload_bytes = ld32(buf + kOffPayloadBytes);
+  if (model_len > kMaxModelLen || payload_bytes > kMaxPayloadBytes) {
+    return DecodeResult::kBadLength;
+  }
+  const u8 rank = buf[kOffRank];
+  if (rank > kMaxNd) return DecodeResult::kBadShape;
+
+  out->type = static_cast<FrameType>(type);
+  out->request_id = ld64(buf + kOffRequestId);
+  out->deadline_us = ld64(buf + kOffDeadlineUs);
+  out->status = ld32(buf + kOffStatus);
+  out->model_len = model_len;
+  out->payload_bytes = payload_bytes;
+  out->batch_size = ld32(buf + kOffBatchSize);
+  out->queue_ms = ldf64(buf + kOffQueueMs);
+  out->exec_ms = ldf64(buf + kOffExecMs);
+  out->batch = ld32(buf + kOffShapeBatch);
+  out->in_channels = ld32(buf + kOffInChannels);
+  out->out_channels = ld32(buf + kOffOutChannels);
+  out->rank = rank;
+  for (int d = 0; d < kMaxNd; ++d) {
+    out->image[d] = ld16(buf + kOffImage + 2 * d);
+    out->kernel[d] = ld16(buf + kOffKernel + 2 * d);
+    out->padding[d] = ld16(buf + kOffPadding + 2 * d);
+  }
+  return DecodeResult::kOk;
+}
+
+bool shape_to_header(const ConvShape& s, FrameHeader* h) {
+  constexpr i64 kMax16 = 0xFFFF;
+  constexpr i64 kMax32 = 0xFFFFFFFFLL;
+  if (s.batch > kMax32 || s.in_channels > kMax32 || s.out_channels > kMax32) {
+    return false;
+  }
+  const int rank = s.image.rank();
+  if (rank < 1 || rank > kMaxNd) return false;
+  for (int d = 0; d < rank; ++d) {
+    if (s.image[d] > kMax16 || s.kernel[d] > kMax16 ||
+        s.padding[d] > kMax16) {
+      return false;
+    }
+  }
+  h->rank = static_cast<u8>(rank);
+  h->batch = static_cast<u32>(s.batch);
+  h->in_channels = static_cast<u32>(s.in_channels);
+  h->out_channels = static_cast<u32>(s.out_channels);
+  for (int d = 0; d < kMaxNd; ++d) {
+    h->image[d] = d < rank ? static_cast<u16>(s.image[d]) : 0;
+    h->kernel[d] = d < rank ? static_cast<u16>(s.kernel[d]) : 0;
+    h->padding[d] = d < rank ? static_cast<u16>(s.padding[d]) : 0;
+  }
+  return true;
+}
+
+ConvShape header_to_shape(const FrameHeader& h) {
+  ONDWIN_CHECK(h.rank >= 1 && h.rank <= kMaxNd,
+               "frame carries no shape (rank ", int(h.rank), ")");
+  ConvShape s;
+  s.batch = h.batch;
+  s.in_channels = h.in_channels;
+  s.out_channels = h.out_channels;
+  for (int d = 0; d < h.rank; ++d) {
+    s.image.push_back(h.image[d]);
+    s.kernel.push_back(h.kernel[d]);
+    s.padding.push_back(h.padding[d]);
+  }
+  return s;
+}
+
+bool shape_matches(const FrameHeader& h, const ConvShape& s) {
+  if (h.rank != s.image.rank()) return false;
+  if (static_cast<i64>(h.batch) != s.batch ||
+      static_cast<i64>(h.in_channels) != s.in_channels ||
+      static_cast<i64>(h.out_channels) != s.out_channels) {
+    return false;
+  }
+  for (int d = 0; d < h.rank; ++d) {
+    if (static_cast<i64>(h.image[d]) != s.image[d] ||
+        static_cast<i64>(h.kernel[d]) != s.kernel[d] ||
+        static_cast<i64>(h.padding[d]) != s.padding[d]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const char* status_name(u32 status) {
+  switch (status) {
+    case kOk: return "ok";
+    case kShedQueueFull: return "shed_queue_full";
+    case kShedDeadline: return "shed_deadline";
+    case kShedSlo: return "shed_slo";
+    case kUnknownModel: return "unknown_model";
+    case kBadRequest: return "bad_request";
+    case kExecFailed: return "exec_failed";
+    case kShuttingDown: return "shutting_down";
+    case kDeadlineExpired: return "deadline_expired";
+    case kTransportError: return "transport_error";
+    default: return "unknown_status";
+  }
+}
+
+const char* decode_result_name(DecodeResult r) {
+  switch (r) {
+    case DecodeResult::kOk: return "ok";
+    case DecodeResult::kTruncated: return "truncated";
+    case DecodeResult::kBadMagic: return "bad_magic";
+    case DecodeResult::kBadVersion: return "bad_version";
+    case DecodeResult::kBadChecksum: return "bad_checksum";
+    case DecodeResult::kBadType: return "bad_type";
+    case DecodeResult::kBadLength: return "bad_length";
+    case DecodeResult::kBadShape: return "bad_shape";
+  }
+  return "unknown";
+}
+
+}  // namespace ondwin::rpc

@@ -1,0 +1,138 @@
+// ondwin::rpc wire format — length-prefixed zero-copy tensor framing.
+//
+// Every message is one frame:
+//
+//   ┌──────────────────────────────┬───────────────┬──────────────────┐
+//   │ header (104 bytes, CRC'd)    │ model name    │ payload          │
+//   │ magic·version·type·id·       │ model_len     │ payload_bytes    │
+//   │ deadline·status·lengths·     │ bytes         │ (floats for      │
+//   │ timings·ConvShape·crc32      │               │  tensors, UTF-8  │
+//   └──────────────────────────────┴───────────────┴──────────────────┘
+//
+// The header is fixed-size so a receiver can read exactly
+// kFrameHeaderBytes, validate magic/version/CRC/lengths, and then land
+// the payload DIRECTLY in its final resting place — for a request frame
+// that is a WorkspacePool slab the batcher will execute from, with no
+// intermediate copy. All multi-byte fields are little-endian on the wire
+// (encoded/decoded explicitly, so the format is byte-order portable).
+//
+// Request frames carry the sample's ConvShape as advisory geometry: the
+// server validates it against the registered model and rejects mismatches
+// before touching the payload; a router can hash/route on the cheap
+// header alone. Response frames reuse the same header with status,
+// batch-size and timing fields filled; error responses carry the
+// human-readable message as their payload.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/conv_problem.h"
+#include "util/common.h"
+
+namespace ondwin::rpc {
+
+inline constexpr u32 kFrameMagic = 0x4E57444Fu;  // "ODWN" little-endian
+inline constexpr u16 kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 104;
+
+/// Hard sanity bounds a decoder enforces before trusting any length.
+inline constexpr u32 kMaxModelLen = 256;
+inline constexpr u32 kMaxPayloadBytes = 1u << 28;  // 256 MiB
+
+enum class FrameType : u16 {
+  kRequest = 1,   // inference request: payload = blocked input floats
+  kResponse = 2,  // success: payload = blocked output floats
+  kError = 3,     // failure/shed: payload = UTF-8 message
+  kPing = 4,      // liveness probe (no payload)
+  kPong = 5,      // liveness reply (no payload)
+};
+
+/// Status codes carried by response/error frames. 0 is success; the shed
+/// family (1..3) means admission control refused the request *early*, the
+/// rest are hard failures. kTransportError never crosses the wire — it is
+/// the client-local marker for a broken connection.
+enum Status : u32 {
+  kOk = 0,
+  kShedQueueFull = 1,  // admission: in-flight bound reached
+  kShedDeadline = 2,   // admission: estimated wait exceeds frame deadline
+  kShedSlo = 3,        // admission: estimated wait exceeds configured SLO
+  kUnknownModel = 4,
+  kBadRequest = 5,  // malformed frame / payload size or shape mismatch
+  kExecFailed = 6,
+  kShuttingDown = 7,
+  kDeadlineExpired = 8,  // deadline passed while queued (engine shed)
+  kTransportError = 100,  // client-side only
+};
+
+const char* status_name(u32 status);
+
+/// True for the statuses that mean "shed by admission control or deadline
+/// policy" as opposed to "broken".
+inline bool status_is_shed(u32 s) {
+  return s == kShedQueueFull || s == kShedDeadline || s == kShedSlo ||
+         s == kDeadlineExpired;
+}
+
+/// Decoded (host-order) view of a frame header.
+struct FrameHeader {
+  FrameType type = FrameType::kRequest;
+  u64 request_id = 0;
+  /// Relative deadline budget in microseconds from receipt; 0 = none.
+  u64 deadline_us = 0;
+  u32 status = kOk;
+  u32 model_len = 0;      // bytes of model name following the header
+  u32 payload_bytes = 0;  // bytes of payload following the model name
+  u32 batch_size = 0;     // response: how many requests were coalesced
+  double queue_ms = 0;    // response: batch-formation wait
+  double exec_ms = 0;     // response: execution wall time
+
+  // Advisory tensor geometry of a request payload (rank 0 = absent).
+  u8 rank = 0;
+  u32 batch = 0;
+  u32 in_channels = 0;
+  u32 out_channels = 0;
+  u16 image[kMaxNd] = {};
+  u16 kernel[kMaxNd] = {};
+  u16 padding[kMaxNd] = {};
+};
+
+/// CRC-32 (IEEE 802.3, reflected) — the header checksum.
+u32 crc32(const void* data, std::size_t n, u32 seed = 0);
+
+/// Serializes `h` into exactly kFrameHeaderBytes at `out`, stamping
+/// magic, version and the trailing CRC.
+void encode_header(const FrameHeader& h, u8* out);
+
+enum class DecodeResult {
+  kOk,
+  kTruncated,    // fewer than kFrameHeaderBytes available
+  kBadMagic,
+  kBadVersion,
+  kBadChecksum,  // header bytes corrupted in flight
+  kBadType,
+  kBadLength,    // model_len/payload_bytes beyond the sanity bounds
+  kBadShape,     // rank exceeds kMaxNd
+};
+
+const char* decode_result_name(DecodeResult r);
+
+/// Parses and validates a header from `n` bytes at `buf`. On kOk every
+/// field of `*out` is filled and the lengths are within bounds; on any
+/// error `*out` is unspecified and the connection should be dropped (the
+/// stream cannot be resynchronized).
+DecodeResult decode_header(const u8* buf, std::size_t n, FrameHeader* out);
+
+/// Copies `s` into the header's geometry fields. Returns false when a
+/// dimension does not fit the wire field widths (u16 spatial extents,
+/// u32 channel counts) — such shapes must be rejected, not truncated.
+bool shape_to_header(const ConvShape& s, FrameHeader* h);
+
+/// Reconstructs the advisory ConvShape (h.rank must be >= 1).
+ConvShape header_to_shape(const FrameHeader& h);
+
+/// Field-wise equality of the geometry a frame advertised vs a model's
+/// registered shape (used to reject mis-routed requests early).
+bool shape_matches(const FrameHeader& h, const ConvShape& s);
+
+}  // namespace ondwin::rpc

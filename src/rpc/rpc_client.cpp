@@ -1,0 +1,380 @@
+#include "rpc/rpc_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ondwin::rpc {
+
+namespace {
+
+/// Scatter-gather send of a whole frame in (usually) one syscall —
+/// header, model name, and payload never get copied into a staging
+/// buffer. Loops on short writes; false on any error (the connection is
+/// then poisoned — a partial frame is on the wire). MSG_NOSIGNAL via
+/// sendmsg, since plain writev raises SIGPIPE on a dead peer.
+bool send_frame_iov(int fd, iovec* iov, int iovcnt) {
+  while (iovcnt > 0) {
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    while (w > 0 && iovcnt > 0) {
+      if (static_cast<std::size_t>(w) >= iov[0].iov_len) {
+        w -= static_cast<ssize_t>(iov[0].iov_len);
+        ++iov;
+        --iovcnt;
+      } else {
+        iov[0].iov_base = static_cast<u8*>(iov[0].iov_base) + w;
+        iov[0].iov_len -= static_cast<std::size_t>(w);
+        w = 0;
+      }
+    }
+    while (iovcnt > 0 && iov[0].iov_len == 0) {  // skip empty segments
+      ++iov;
+      --iovcnt;
+    }
+  }
+  return true;
+}
+
+bool recv_all(int fd, void* data, std::size_t n) {
+  u8* p = static_cast<u8*>(data);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r == 0) return false;  // orderly close
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct RpcClient::Conn {
+  // wmu serializes writers (a frame must hit the wire contiguously); mu
+  // guards fd/generation/pending. Lock order: wmu before mu, and the
+  // reader never holds mu across a blocking read.
+  std::mutex wmu;
+  std::mutex mu;
+  int fd = -1;
+  u64 generation = 0;  // bumped per (re)connect; readers exit on mismatch
+  std::thread reader;
+  std::unordered_map<u64, std::promise<RpcResponse>> pending;
+  std::atomic<i64> outstanding{0};
+};
+
+RpcClient::RpcClient(RpcClientOptions options)
+    : options_(std::move(options)) {
+  ONDWIN_CHECK(options_.connections >= 1,
+               "client pool needs >= 1 connection, got ",
+               options_.connections);
+  endpoint_name_ = options_.unix_path.empty()
+                       ? str_cat(options_.host, ":", options_.port)
+                       : options_.unix_path;
+  conns_.reserve(static_cast<std::size_t>(options_.connections));
+  for (int i = 0; i < options_.connections; ++i) {
+    conns_.push_back(std::make_unique<Conn>());
+  }
+}
+
+RpcClient::~RpcClient() { close(); }
+
+int RpcClient::connect_fd() {
+  int fd = -1;
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) return -1;
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<u16>(options_.port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+      return -1;
+    }
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+bool RpcClient::ensure_connected(Conn& conn) {
+  std::thread old_reader;
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    if (conn.fd >= 0) return true;
+    if (closed_.load()) return false;
+    // Claim the previous generation's reader so it can be joined below,
+    // OUTSIDE conn.mu — it may still be inside fail_pending(), which
+    // takes conn.mu to collect the orphaned promises.
+    if (conn.reader.joinable()) old_reader = std::move(conn.reader);
+  }
+  if (old_reader.joinable()) old_reader.join();
+  const int fd = connect_fd();  // blocking connect outside the lock
+  if (fd < 0) return false;
+  std::unique_lock<std::mutex> lock(conn.mu);
+  if (conn.fd >= 0 || closed_.load()) {  // lost the race / client closed
+    const bool usable = conn.fd >= 0;
+    lock.unlock();
+    ::close(fd);
+    return usable;
+  }
+  conn.fd = fd;
+  const u64 generation = ++conn.generation;
+  if (generation > 1) reconnects_.fetch_add(1, std::memory_order_relaxed);
+  conn.reader = std::thread(
+      [this, &conn, generation] { reader_loop(conn, generation); });
+  return true;
+}
+
+void RpcClient::fail_pending(Conn& conn, const std::string& why) {
+  std::unordered_map<u64, std::promise<RpcResponse>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    orphaned.swap(conn.pending);
+  }
+  if (orphaned.empty()) return;
+  transport_errors_.fetch_add(orphaned.size(), std::memory_order_relaxed);
+  conn.outstanding.fetch_sub(static_cast<i64>(orphaned.size()),
+                             std::memory_order_relaxed);
+  RpcResponse r;
+  r.status = kTransportError;
+  r.error = why;
+  for (auto& [id, promise] : orphaned) promise.set_value(r);
+}
+
+void RpcClient::reader_loop(Conn& conn, u64 generation) {
+  std::array<u8, kFrameHeaderBytes> hdr_buf;
+  std::vector<u8> payload;
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    fd = conn.fd;
+  }
+  for (;;) {
+    FrameHeader h;
+    if (!recv_all(fd, hdr_buf.data(), hdr_buf.size()) ||
+        decode_header(hdr_buf.data(), hdr_buf.size(), &h) !=
+            DecodeResult::kOk ||
+        h.model_len != 0) {
+      break;
+    }
+    payload.resize(h.payload_bytes);
+    if (h.payload_bytes > 0 && !recv_all(fd, payload.data(), payload.size())) {
+      break;
+    }
+    std::promise<RpcResponse> promise;
+    {
+      std::lock_guard<std::mutex> lock(conn.mu);
+      auto it = conn.pending.find(h.request_id);
+      if (it == conn.pending.end()) continue;  // stale/unknown id: drop
+      promise = std::move(it->second);
+      conn.pending.erase(it);
+    }
+    conn.outstanding.fetch_sub(1, std::memory_order_relaxed);
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    RpcResponse r;
+    r.status = h.status;
+    r.batch_size = static_cast<int>(h.batch_size);
+    r.queue_ms = h.queue_ms;
+    r.exec_ms = h.exec_ms;
+    if (h.type == FrameType::kError) {
+      r.error.assign(reinterpret_cast<char*>(payload.data()),
+                     payload.size());
+    } else if (!payload.empty()) {
+      r.output.resize(payload.size() / sizeof(float));
+      std::memcpy(r.output.data(), payload.data(), payload.size());
+    }
+    promise.set_value(std::move(r));
+  }
+  // Connection died (or server closed it). Writers use the fd outside
+  // conn.mu (a blocking sendmsg must not hold the pending-map lock), so
+  // close() here would race a writer mid-send — and worse, the number
+  // could be reused under it. Holding wmu first guarantees no writer is
+  // inside sendmsg, and any writer that acquires wmu after us re-checks
+  // conn.fd under mu before using it.
+  int dead = -1;
+  {
+    std::lock_guard<std::mutex> wlock(conn.wmu);
+    std::lock_guard<std::mutex> lock(conn.mu);
+    if (conn.generation != generation) return;  // superseded already
+    dead = conn.fd;
+    conn.fd = -1;
+  }
+  if (dead >= 0) ::close(dead);
+  fail_pending(conn, str_cat("connection to ", endpoint_name_,
+                             " lost awaiting response"));
+}
+
+std::future<RpcResponse> RpcClient::submit_frame(const FrameHeader& base,
+                                                 const std::string& model,
+                                                 const float* data,
+                                                 std::size_t n) {
+  // Least-busy connection, round-robin on ties.
+  const std::size_t start =
+      next_conn_.fetch_add(1, std::memory_order_relaxed) % conns_.size();
+  Conn* conn = conns_[start].get();
+  for (std::size_t i = 1; i < conns_.size(); ++i) {
+    Conn* c = conns_[(start + i) % conns_.size()].get();
+    if (c->outstanding.load(std::memory_order_relaxed) <
+        conn->outstanding.load(std::memory_order_relaxed)) {
+      conn = c;
+    }
+  }
+
+  const u64 id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  FrameHeader h = base;
+  h.request_id = id;
+  h.model_len = static_cast<u32>(model.size());
+  h.payload_bytes = static_cast<u32>(n * sizeof(float));
+  std::array<u8, kFrameHeaderBytes> hdr_buf;
+  encode_header(h, hdr_buf.data());
+
+  auto fail = [&](const std::string& why) {
+    std::promise<RpcResponse> p;
+    RpcResponse r;
+    r.status = kTransportError;
+    r.error = why;
+    p.set_value(std::move(r));
+    return p.get_future();
+  };
+
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      write_retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!ensure_connected(*conn)) continue;
+
+    std::lock_guard<std::mutex> wlock(conn->wmu);
+    int fd;
+    std::future<RpcResponse> future;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->fd < 0) continue;  // reader tore it down; reconnect
+      fd = conn->fd;
+      future = conn->pending[id].get_future();
+    }
+    conn->outstanding.fetch_add(1, std::memory_order_relaxed);
+    std::array<iovec, 3> iov;
+    int iovcnt = 0;
+    iov[iovcnt++] = {hdr_buf.data(), hdr_buf.size()};
+    if (!model.empty()) {
+      iov[iovcnt++] = {const_cast<char*>(model.data()), model.size()};
+    }
+    if (n > 0) {
+      iov[iovcnt++] = {const_cast<float*>(data), n * sizeof(float)};
+    }
+    if (send_frame_iov(fd, iov.data(), iovcnt)) {
+      return future;
+    }
+    // Write failed: the server never received a complete frame, so a
+    // retry cannot double-execute. Poison the connection (the reader
+    // fails any other in-flight requests) and take back our promise.
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->pending.erase(id);
+      if (conn->fd == fd) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    conn->outstanding.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return fail(str_cat("cannot reach ", endpoint_name_, " after ",
+                      options_.max_retries + 1, " attempts"));
+}
+
+std::future<RpcResponse> RpcClient::submit(const std::string& model,
+                                           const float* data, std::size_t n,
+                                           double deadline_ms) {
+  FrameHeader h;
+  h.type = FrameType::kRequest;
+  if (deadline_ms > 0) {
+    h.deadline_us = static_cast<u64>(deadline_ms * 1000.0);
+  }
+  return submit_frame(h, model, data, n);
+}
+
+RpcResponse RpcClient::infer(const std::string& model, const float* data,
+                             std::size_t n, double deadline_ms) {
+  return submit(model, data, n, deadline_ms).get();
+}
+
+bool RpcClient::ping() {
+  FrameHeader h;
+  h.type = FrameType::kPing;
+  RpcResponse r = submit_frame(h, "", nullptr, 0).get();
+  return r.status == kOk;
+}
+
+i64 RpcClient::outstanding() const {
+  i64 total = 0;
+  for (const auto& conn : conns_) {
+    total += conn->outstanding.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void RpcClient::close() {
+  if (closed_.exchange(true)) return;
+  for (auto& conn : conns_) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    if (conn->reader.joinable()) conn->reader.join();
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->fd >= 0) {
+        ::close(conn->fd);
+        conn->fd = -1;
+      }
+    }
+    fail_pending(*conn, "client closed");
+  }
+}
+
+RpcClient::Stats RpcClient::stats() const {
+  Stats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.responses = responses_.load(std::memory_order_relaxed);
+  s.transport_errors = transport_errors_.load(std::memory_order_relaxed);
+  s.reconnects = reconnects_.load(std::memory_order_relaxed);
+  s.write_retries = write_retries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace ondwin::rpc

@@ -1,0 +1,664 @@
+#include "rpc/rpc_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace ondwin::rpc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ONDWIN_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+               "fcntl(O_NONBLOCK) failed: ", std::strerror(errno));
+}
+
+}  // namespace
+
+/// One response (or error/pong) queued for writing: a contiguous head
+/// (encoded header + any text trailer) followed by the result slab, which
+/// is written straight from pooled memory — the tx path never copies the
+/// tensor payload.
+struct TxMsg {
+  std::string head;
+  mem::Workspace body;
+  std::size_t body_bytes = 0;
+  std::size_t off = 0;  // bytes of head+body already written
+};
+
+struct RpcServer::Conn {
+  int fd = -1;
+
+  // Receive state machine. kDiscard sinks the payload of a request that
+  // was rejected before its payload could land anywhere useful (unknown
+  // model, size mismatch, shed) — the stream must stay in sync.
+  enum class Rx { kHeader, kName, kPayload, kDiscard };
+  Rx rx = Rx::kHeader;
+  std::array<u8, kFrameHeaderBytes> hdr_buf;
+  std::size_t got = 0;  // bytes received of the current stage
+  FrameHeader hdr;
+  std::string model;
+  mem::Workspace payload;  // the model-pool slab payload bytes land in
+  std::size_t discard_left = 0;
+  u32 discard_status = kOk;
+  std::string discard_msg;
+
+  // Transmit queue: engine-thread completions append under mu, the loop
+  // thread writes. `closed` gates late completions racing a teardown.
+  std::mutex mu;
+  std::deque<TxMsg> tx;
+  bool want_write = false;
+  bool broken = false;
+  bool closed = false;
+};
+
+RpcServer::RpcServer(serve::InferenceServer& server, RpcServerOptions options)
+    : server_(server),
+      options_(std::move(options)),
+      admission_(options_.admission) {}
+
+RpcServer::~RpcServer() { stop(); }
+
+void RpcServer::start() {
+  ONDWIN_CHECK(!running_.load(), "rpc server already started");
+  stopping_.store(false);
+
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    ONDWIN_CHECK(options_.unix_path.size() < sizeof(addr.sun_path),
+                 "unix path too long: ", options_.unix_path);
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_path.c_str());
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    ONDWIN_CHECK(listen_fd_ >= 0, "socket(AF_UNIX) failed: ",
+                 std::strerror(errno));
+    ONDWIN_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)) == 0,
+                 "bind(", options_.unix_path,
+                 ") failed: ", std::strerror(errno));
+    endpoint_name_ = options_.unix_path;
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    ONDWIN_CHECK(listen_fd_ >= 0, "socket(AF_INET) failed: ",
+                 std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<u16>(options_.port));
+    ONDWIN_CHECK(::inet_pton(AF_INET, options_.host.c_str(),
+                             &addr.sin_addr) == 1,
+                 "bad listen host '", options_.host, "'");
+    ONDWIN_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)) == 0,
+                 "bind(", options_.host, ":", options_.port,
+                 ") failed: ", std::strerror(errno));
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    bound_port_ = ntohs(bound.sin_port);
+    endpoint_name_ = str_cat(options_.host, ":", bound_port_);
+  }
+  ONDWIN_CHECK(::listen(listen_fd_, options_.backlog) == 0,
+               "listen failed: ", std::strerror(errno));
+  set_nonblocking(listen_fd_);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  ONDWIN_CHECK(epoll_fd_ >= 0, "epoll_create1 failed: ",
+               std::strerror(errno));
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  ONDWIN_CHECK(wake_fd_ >= 0, "eventfd failed: ", std::strerror(errno));
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ONDWIN_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0,
+               "epoll_ctl(listen) failed: ", std::strerror(errno));
+  ev.data.fd = wake_fd_;
+  ONDWIN_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0,
+               "epoll_ctl(wake) failed: ", std::strerror(errno));
+
+  // Register the ondwin_rpc_* instruments (shared process registry, so
+  // InferenceServer::metrics_prometheus()/json() expose them for free).
+  auto& reg = obs::MetricsRegistry::global();
+  const obs::Labels by_server = {{"server", endpoint_name_}};
+  m_rx_frames_ = &reg.counter("ondwin_rpc_rx_frames_total",
+                              "Frames received", by_server);
+  m_tx_frames_ = &reg.counter("ondwin_rpc_tx_frames_total",
+                              "Frames fully written", by_server);
+  m_rx_bytes_ =
+      &reg.counter("ondwin_rpc_rx_bytes_total", "Bytes received", by_server);
+  m_tx_bytes_ =
+      &reg.counter("ondwin_rpc_tx_bytes_total", "Bytes written", by_server);
+  m_requests_ = &reg.counter("ondwin_rpc_requests_total",
+                             "Request frames received", by_server);
+  m_admitted_ = &reg.counter("ondwin_rpc_admitted_total",
+                             "Requests admitted past admission control",
+                             by_server);
+  obs::Labels l = by_server;
+  l.emplace_back("reason", "queue_full");
+  m_shed_queue_ = &reg.counter("ondwin_rpc_shed_total",
+                               "Requests shed by admission control", l);
+  l.back().second = "deadline";
+  m_shed_deadline_ = &reg.counter("ondwin_rpc_shed_total",
+                                  "Requests shed by admission control", l);
+  l.back().second = "slo";
+  m_shed_slo_ = &reg.counter("ondwin_rpc_shed_total",
+                             "Requests shed by admission control", l);
+  m_protocol_errors_ = &reg.counter("ondwin_rpc_protocol_errors_total",
+                                    "Malformed frames / dropped connections",
+                                    by_server);
+  m_open_conns_ = &reg.gauge("ondwin_rpc_open_connections",
+                             "Connections open right now", by_server);
+  m_inflight_ = &reg.gauge("ondwin_rpc_inflight",
+                           "Admitted requests not yet completed", by_server);
+
+  running_.store(true);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void RpcServer::stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  wake();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+bool RpcServer::running() const { return running_.load(); }
+
+void RpcServer::wake() {
+  if (wake_fd_ >= 0) {
+    const u64 one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void RpcServer::loop() {
+  std::array<epoll_event, 64> events;
+  for (;;) {
+    // While stopping: no new reads are issued, so the gate below only
+    // waits for admitted requests to complete and their responses to
+    // drain out of the tx queues.
+    if (stopping_.load() && admission_.inflight() == 0 &&
+        pending_tx_.load() == 0) {
+      break;
+    }
+    const int timeout_ms = stopping_.load() ? 20 : 500;
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed; tear down
+    }
+    m_inflight_->set(static_cast<double>(admission_.inflight()));
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        if (!stopping_.load()) accept_ready();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        u64 drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        wake_armed_.store(false, std::memory_order_release);
+        std::vector<int> pending;
+        {
+          std::lock_guard<std::mutex> lock(wake_mu_);
+          pending.swap(wake_list_);
+        }
+        for (int cfd : pending) {
+          auto it = conns_.find(cfd);
+          if (it != conns_.end()) flush_tx(it->second);
+        }
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      ConnPtr conn = it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_conn(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) flush_tx(conn);
+      if (conn->broken) {
+        close_conn(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0 && !stopping_.load()) {
+        on_readable(conn);
+      }
+    }
+  }
+  // Teardown: fail nothing silently — at this point there is no admitted
+  // work left, only idle connections.
+  std::vector<ConnPtr> open;
+  open.reserve(conns_.size());
+  for (auto& [fd, conn] : conns_) open.push_back(conn);
+  for (const ConnPtr& conn : open) close_conn(conn);
+}
+
+void RpcServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (options_.unix_path.empty()) {
+      const int one = 1;  // latency over bytes: tiny frames must not park
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, std::move(conn));
+    connections_total_.fetch_add(1, std::memory_order_relaxed);
+    m_open_conns_->set(static_cast<double>(conns_.size()));
+  }
+}
+
+void RpcServer::on_readable(const ConnPtr& conn) {
+  ONDWIN_TRACE_SPAN("rpc.rx");
+  static thread_local std::array<u8, 65536> scratch;
+  for (;;) {
+    u8* dst = nullptr;
+    std::size_t want = 0;
+    switch (conn->rx) {
+      case Conn::Rx::kHeader:
+        dst = conn->hdr_buf.data() + conn->got;
+        want = kFrameHeaderBytes - conn->got;
+        break;
+      case Conn::Rx::kName:
+        // The name is short; stage through scratch and append.
+        dst = scratch.data();
+        want = std::min<std::size_t>(scratch.size(),
+                                     conn->hdr.model_len - conn->got);
+        break;
+      case Conn::Rx::kPayload:
+        // Zero-copy landing: payload bytes go straight into the pooled
+        // slab the batcher will execute from.
+        dst = reinterpret_cast<u8*>(conn->payload.data()) + conn->got;
+        want = conn->hdr.payload_bytes - conn->got;
+        break;
+      case Conn::Rx::kDiscard:
+        dst = scratch.data();
+        want = std::min<std::size_t>(scratch.size(), conn->discard_left);
+        break;
+    }
+    const ssize_t n = ::read(conn->fd, dst, want);
+    if (n == 0) {
+      close_conn(conn);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      close_conn(conn);
+      return;
+    }
+    rx_bytes_.fetch_add(static_cast<u64>(n), std::memory_order_relaxed);
+    m_rx_bytes_->inc(static_cast<u64>(n));
+
+    switch (conn->rx) {
+      case Conn::Rx::kHeader: {
+        conn->got += static_cast<std::size_t>(n);
+        if (conn->got < kFrameHeaderBytes) break;
+        const DecodeResult r = decode_header(conn->hdr_buf.data(),
+                                             kFrameHeaderBytes, &conn->hdr);
+        if (r != DecodeResult::kOk) {
+          // A corrupt header means the stream cannot be resynchronized;
+          // the only safe answer is to drop the connection.
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          m_protocol_errors_->inc();
+          close_conn(conn);
+          return;
+        }
+        rx_frames_.fetch_add(1, std::memory_order_relaxed);
+        m_rx_frames_->inc();
+        if (conn->hdr.type == FrameType::kPing) {
+          if (conn->hdr.model_len != 0 || conn->hdr.payload_bytes != 0) {
+            protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+            m_protocol_errors_->inc();
+            close_conn(conn);
+            return;
+          }
+          FrameHeader pong;
+          pong.type = FrameType::kPong;
+          pong.request_id = conn->hdr.request_id;
+          send_frame(conn, pong, {}, {});
+          conn->rx = Conn::Rx::kHeader;
+          conn->got = 0;
+          break;
+        }
+        if (conn->hdr.type != FrameType::kRequest) {
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          m_protocol_errors_->inc();
+          close_conn(conn);
+          return;
+        }
+        conn->model.clear();
+        conn->got = 0;
+        if (conn->hdr.model_len > 0) {
+          conn->rx = Conn::Rx::kName;
+        } else {
+          begin_payload(conn);
+        }
+        break;
+      }
+      case Conn::Rx::kName: {
+        conn->model.append(reinterpret_cast<char*>(scratch.data()),
+                           static_cast<std::size_t>(n));
+        conn->got += static_cast<std::size_t>(n);
+        if (conn->got < conn->hdr.model_len) break;
+        conn->got = 0;
+        begin_payload(conn);
+        break;
+      }
+      case Conn::Rx::kPayload: {
+        conn->got += static_cast<std::size_t>(n);
+        if (conn->got < conn->hdr.payload_bytes) break;
+        dispatch(conn);
+        conn->rx = Conn::Rx::kHeader;
+        conn->got = 0;
+        break;
+      }
+      case Conn::Rx::kDiscard: {
+        conn->discard_left -= static_cast<std::size_t>(n);
+        if (conn->discard_left > 0) break;
+        send_error(conn, conn->hdr.request_id, conn->discard_status,
+                   conn->discard_msg);
+        conn->rx = Conn::Rx::kHeader;
+        conn->got = 0;
+        break;
+      }
+    }
+  }
+}
+
+/// Decides what to do with a fully described request before its payload
+/// arrives: either check out the landing slab (admitted path) or switch
+/// to discard mode with the error that will be sent once the stream is
+/// drained past the rejected payload.
+void RpcServer::begin_payload(const ConnPtr& conn) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  m_requests_->inc();
+
+  auto reject = [&](u32 status, std::string msg) {
+    conn->discard_status = status;
+    conn->discard_msg = std::move(msg);
+    conn->discard_left = conn->hdr.payload_bytes;
+    conn->payload.reset();
+    if (conn->discard_left == 0) {
+      send_error(conn, conn->hdr.request_id, conn->discard_status,
+                 conn->discard_msg);
+      conn->rx = Conn::Rx::kHeader;
+    } else {
+      conn->rx = Conn::Rx::kDiscard;
+    }
+    conn->got = 0;
+  };
+
+  serve::InferenceServer::ModelInfo info;
+  try {
+    info = server_.model_info(conn->model);
+  } catch (const Error& e) {
+    reject(server_.accepting() ? kUnknownModel : kShuttingDown, e.what());
+    return;
+  }
+  const std::size_t expected =
+      static_cast<std::size_t>(info.sample_input_floats) * sizeof(float);
+  if (conn->hdr.payload_bytes != expected) {
+    reject(kBadRequest,
+           str_cat("model '", conn->model, "': payload is ",
+                   conn->hdr.payload_bytes, " bytes, expected ", expected));
+    return;
+  }
+  if (conn->hdr.rank > 0 && info.has_conv_shape &&
+      !shape_matches(conn->hdr, info.conv_shape)) {
+    reject(kBadRequest, str_cat("model '", conn->model,
+                                "': frame shape does not match the "
+                                "registered model"));
+    return;
+  }
+
+  const double deadline_ms =
+      static_cast<double>(conn->hdr.deadline_us) / 1000.0;
+  const AdmissionDecision d = admission_.admit(
+      server_.queue_depth(conn->model), info.max_batch, deadline_ms);
+  if (!d.admit) {
+    switch (d.shed_status) {
+      case kShedQueueFull: m_shed_queue_->inc(); break;
+      case kShedDeadline: m_shed_deadline_->inc(); break;
+      default: m_shed_slo_->inc(); break;
+    }
+    reject(d.shed_status,
+           str_cat("shed (", status_name(d.shed_status),
+                   "): estimated queue wait ", d.estimated_wait_ms, " ms"));
+    return;
+  }
+
+  conn->payload = server_.checkout_input(conn->model);
+  conn->rx = Conn::Rx::kPayload;
+  conn->got = 0;
+}
+
+void RpcServer::dispatch(const ConnPtr& conn) {
+  const u64 request_id = conn->hdr.request_id;
+  Clock::time_point deadline{};
+  if (conn->hdr.deadline_us > 0) {
+    deadline = Clock::now() +
+               std::chrono::microseconds(conn->hdr.deadline_us);
+  }
+  admission_.on_admitted();
+  m_admitted_->inc();
+  try {
+    server_.submit_async(
+        conn->model, std::move(conn->payload),
+        [this, conn, request_id](serve::InferenceResult result,
+                                 std::exception_ptr error) {
+          complete(conn, request_id, std::move(result), error);
+        },
+        deadline);
+  } catch (const Error& e) {
+    // Raced a shutdown/unregister between model_info and here.
+    admission_.on_completed(0, /*success=*/false);
+    send_error(conn, request_id, kShuttingDown, e.what());
+  }
+}
+
+void RpcServer::complete(const ConnPtr& conn, u64 request_id,
+                         serve::InferenceResult result,
+                         std::exception_ptr error) {
+  if (error == nullptr) {
+    admission_.on_completed(result.exec_ms, /*success=*/true);
+    FrameHeader h;
+    h.type = FrameType::kResponse;
+    h.request_id = request_id;
+    h.status = kOk;
+    h.batch_size = static_cast<u32>(result.batch_size);
+    h.queue_ms = result.queue_ms;
+    h.exec_ms = result.exec_ms;
+    send_frame(conn, h, {}, std::move(result.output));
+    return;
+  }
+  admission_.on_completed(0, /*success=*/false);
+  u32 status = kExecFailed;
+  std::string message;
+  try {
+    std::rethrow_exception(error);
+  } catch (const serve::DeadlineExceeded& e) {
+    status = kDeadlineExpired;
+    message = e.what();
+  } catch (const std::exception& e) {
+    message = e.what();
+  } catch (...) {
+    message = "unknown execution error";
+  }
+  send_error(conn, request_id, status, message);
+}
+
+void RpcServer::send_error(const ConnPtr& conn, u64 request_id, u32 status,
+                           const std::string& message) {
+  errors_sent_.fetch_add(1, std::memory_order_relaxed);
+  FrameHeader h;
+  h.type = FrameType::kError;
+  h.request_id = request_id;
+  h.status = status;
+  send_frame(conn, h, message, {});
+}
+
+void RpcServer::send_frame(const ConnPtr& conn, FrameHeader h,
+                           std::string trailer, mem::Workspace body) {
+  const std::size_t body_bytes = body.size() * sizeof(float);
+  h.model_len = 0;
+  h.payload_bytes = static_cast<u32>(trailer.size() + body_bytes);
+  TxMsg msg;
+  msg.head.resize(kFrameHeaderBytes);
+  encode_header(h, reinterpret_cast<u8*>(msg.head.data()));
+  msg.head += trailer;
+  msg.body = std::move(body);
+  msg.body_bytes = body_bytes;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return;  // connection died while we computed
+    conn->tx.push_back(std::move(msg));
+    pending_tx_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    wake_list_.push_back(conn->fd);
+  }
+  // Coalesce wakes: a batch completing is 8 near-simultaneous
+  // completions, and one eventfd write is enough to get the loop to
+  // drain all of them. The loop disarms before swapping the list, so a
+  // completion that lands after the swap re-arms and writes again.
+  if (!wake_armed_.exchange(true, std::memory_order_acq_rel)) wake();
+}
+
+void RpcServer::flush_tx(const ConnPtr& conn) {
+  ONDWIN_TRACE_SPAN("rpc.tx");
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->closed || conn->broken) return;
+  while (!conn->tx.empty()) {
+    TxMsg& msg = conn->tx.front();
+    const std::size_t total = msg.head.size() + msg.body_bytes;
+    while (msg.off < total) {
+      // Scatter-gather the header remainder and the result workspace in
+      // one syscall — the response payload is never staged or copied.
+      iovec iov[2];
+      int iovcnt = 0;
+      if (msg.off < msg.head.size()) {
+        iov[iovcnt++] = {const_cast<char*>(msg.head.data()) + msg.off,
+                         msg.head.size() - msg.off};
+        if (msg.body_bytes > 0) {
+          iov[iovcnt++] = {reinterpret_cast<u8*>(msg.body.data()),
+                           msg.body_bytes};
+        }
+      } else {
+        const std::size_t boff = msg.off - msg.head.size();
+        iov[iovcnt++] = {reinterpret_cast<u8*>(msg.body.data()) + boff,
+                         msg.body_bytes - boff};
+      }
+      msghdr mh{};
+      mh.msg_iov = iov;
+      mh.msg_iovlen = static_cast<std::size_t>(iovcnt);
+      const ssize_t w = ::sendmsg(conn->fd, &mh, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          set_want_write(conn, true);
+          return;
+        }
+        if (errno == EINTR) continue;
+        conn->broken = true;  // loop closes it outside this lock
+        return;
+      }
+      msg.off += static_cast<std::size_t>(w);
+      tx_bytes_.fetch_add(static_cast<u64>(w), std::memory_order_relaxed);
+      m_tx_bytes_->inc(static_cast<u64>(w));
+    }
+    tx_frames_.fetch_add(1, std::memory_order_relaxed);
+    m_tx_frames_->inc();
+    pending_tx_.fetch_sub(1, std::memory_order_acq_rel);
+    conn->tx.pop_front();
+  }
+  set_want_write(conn, false);
+}
+
+void RpcServer::set_want_write(const ConnPtr& conn, bool on) {
+  if (conn->want_write == on) return;
+  conn->want_write = on;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (on ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void RpcServer::close_conn(const ConnPtr& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+    pending_tx_.fetch_sub(static_cast<i64>(conn->tx.size()),
+                          std::memory_order_acq_rel);
+    conn->tx.clear();
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conns_.erase(conn->fd);
+  m_open_conns_->set(static_cast<double>(conns_.size()));
+}
+
+RpcServerStats RpcServer::stats() const {
+  RpcServerStats s;
+  s.connections_total = connections_total_.load(std::memory_order_relaxed);
+  s.rx_frames = rx_frames_.load(std::memory_order_relaxed);
+  s.tx_frames = tx_frames_.load(std::memory_order_relaxed);
+  s.rx_bytes = rx_bytes_.load(std::memory_order_relaxed);
+  s.tx_bytes = tx_bytes_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.errors_sent = errors_sent_.load(std::memory_order_relaxed);
+  s.admission = admission_.stats();
+  s.shed = s.admission.shed_queue_full + s.admission.shed_deadline +
+           s.admission.shed_slo;
+  s.open_connections = s.connections_total > 0
+                           ? static_cast<u64>(m_open_conns_->value())
+                           : 0;
+  return s;
+}
+
+}  // namespace ondwin::rpc

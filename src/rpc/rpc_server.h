@@ -1,0 +1,164 @@
+// ondwin::rpc server — a non-blocking, epoll-driven network front end
+// that feeds the SAME batcher queues as in-process callers.
+//
+// One loop thread owns the listener and every connection. Receiving is a
+// three-stage state machine per connection (header → model name →
+// payload); the payload is read() directly into a WorkspacePool slab
+// checked out of the target model's pool, which then moves unchanged into
+// the PendingRequest — a socket request and an in-proc submit_async()
+// become literally the same object in the same queue, and the execution
+// replicas cannot tell them apart (the bitwise-identity tests rely on
+// this).
+//
+// Completions fire on engine threads: they serialize a response header,
+// park it with the result slab on the connection's tx queue, and wake the
+// loop through an eventfd; the loop writes non-blockingly, arming
+// EPOLLOUT only while a partial write is pending. Admission control runs
+// at frame-accept time — see admission.h for the shedding policy.
+//
+// A unix-socket listener makes the whole tier testable in CI without
+// multi-node hardware; the same code serves TCP for real deployments.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "rpc/admission.h"
+#include "rpc/frame.h"
+#include "serve/server.h"
+
+namespace ondwin::rpc {
+
+struct RpcServerOptions {
+  /// AF_UNIX listener path (takes precedence when non-empty; the path is
+  /// unlinked before bind and on stop).
+  std::string unix_path;
+
+  /// AF_INET listener (used when unix_path is empty). port 0 lets the
+  /// kernel pick — read the result from port() after start().
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  int backlog = 128;
+  AdmissionOptions admission;
+};
+
+struct RpcServerStats {
+  u64 connections_total = 0;
+  u64 open_connections = 0;
+  u64 rx_frames = 0;
+  u64 tx_frames = 0;
+  u64 rx_bytes = 0;
+  u64 tx_bytes = 0;
+  u64 protocol_errors = 0;  // bad frames / dropped connections
+  u64 requests = 0;         // request frames fully received
+  u64 shed = 0;             // rejected by admission (all reasons)
+  u64 errors_sent = 0;      // error frames of any status
+  AdmissionController::Stats admission;
+};
+
+class RpcServer {
+ public:
+  RpcServer(serve::InferenceServer& server, RpcServerOptions options);
+
+  /// Implies stop().
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Binds, listens and launches the loop thread. Throws on socket
+  /// errors (path in use, privileged port, ...).
+  void start();
+
+  /// Graceful shutdown: stops accepting connections and reading new
+  /// frames, waits for every admitted request's response to be written
+  /// out, then closes all connections and joins the loop. Idempotent.
+  void stop();
+
+  bool running() const;
+
+  /// The bound TCP port (after start(); 0 for unix listeners).
+  int port() const { return bound_port_; }
+  const std::string& endpoint() const { return endpoint_name_; }
+
+  RpcServerStats stats() const;
+
+ private:
+  struct Conn;
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  void loop();
+  void accept_ready();
+  void on_readable(const ConnPtr& conn);
+  bool process_rx(const ConnPtr& conn);  // false = close connection
+  void begin_payload(const ConnPtr& conn);
+  void dispatch(const ConnPtr& conn);
+  void complete(const ConnPtr& conn, u64 request_id,
+                serve::InferenceResult result, std::exception_ptr error);
+  void send_error(const ConnPtr& conn, u64 request_id, u32 status,
+                  const std::string& message);
+  void send_frame(const ConnPtr& conn, FrameHeader h, std::string trailer,
+                  mem::Workspace body);
+  void flush_tx(const ConnPtr& conn);
+  void set_want_write(const ConnPtr& conn, bool on);
+  void close_conn(const ConnPtr& conn);
+  void wake();
+
+  serve::InferenceServer& server_;
+  const RpcServerOptions options_;
+  AdmissionController admission_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  int bound_port_ = 0;
+  std::string endpoint_name_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  // Loop-thread-owned connection registry.
+  std::unordered_map<int, ConnPtr> conns_;
+
+  // Connections with freshly queued tx, handed to the loop by completion
+  // threads (paired with an eventfd signal).
+  std::mutex wake_mu_;
+  std::vector<int> wake_list_;
+  std::atomic<bool> wake_armed_{false};  // coalesces eventfd writes
+
+  // Responses queued but not yet fully written (the stop() drain gate,
+  // together with admission_.inflight()).
+  std::atomic<i64> pending_tx_{0};
+
+  // Counters (mirrored into the global obs registry as ondwin_rpc_*).
+  std::atomic<u64> connections_total_{0};
+  std::atomic<u64> rx_frames_{0};
+  std::atomic<u64> tx_frames_{0};
+  std::atomic<u64> rx_bytes_{0};
+  std::atomic<u64> tx_bytes_{0};
+  std::atomic<u64> protocol_errors_{0};
+  std::atomic<u64> requests_{0};
+  std::atomic<u64> errors_sent_{0};
+
+  obs::Counter* m_rx_frames_ = nullptr;
+  obs::Counter* m_tx_frames_ = nullptr;
+  obs::Counter* m_rx_bytes_ = nullptr;
+  obs::Counter* m_tx_bytes_ = nullptr;
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_admitted_ = nullptr;
+  obs::Counter* m_shed_queue_ = nullptr;
+  obs::Counter* m_shed_deadline_ = nullptr;
+  obs::Counter* m_shed_slo_ = nullptr;
+  obs::Counter* m_protocol_errors_ = nullptr;
+  obs::Gauge* m_open_conns_ = nullptr;
+  obs::Gauge* m_inflight_ = nullptr;
+};
+
+}  // namespace ondwin::rpc

@@ -1,0 +1,185 @@
+#include "rpc/shard_router.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ondwin::rpc {
+
+u64 ring_hash(const std::string& key) {
+  // FNV-1a 64 with a murmur-style avalanche finalizer. Raw FNV-1a has
+  // poor high-bit diffusion on short, similar strings — all of a
+  // backend's "name#i" vnodes land adjacent on the ring, collapsing the
+  // ownership split — so the finalizer is load-bearing, not cosmetic.
+  u64 h = 0xCBF29CE484222325ull;
+  for (const char c : key) {
+    h ^= static_cast<u8>(c);
+    h *= 0x100000001B3ull;
+  }
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+ShardRouter::ShardRouter(ShardRouterOptions options)
+    : options_(std::move(options)) {
+  ONDWIN_CHECK(options_.replication >= 1, "replication must be >= 1, got ",
+               options_.replication);
+  ONDWIN_CHECK(options_.vnodes >= 1, "vnodes must be >= 1, got ",
+               options_.vnodes);
+}
+
+ShardRouter::~ShardRouter() = default;
+
+void ShardRouter::add_backend(const std::string& name,
+                              RpcClientOptions client) {
+  auto backend = std::make_shared<Backend>();
+  backend->name = name;
+  backend->client = std::make_unique<RpcClient>(std::move(client));
+  std::lock_guard<std::mutex> lock(mu_);
+  backends_.erase(std::remove_if(backends_.begin(), backends_.end(),
+                                 [&](const BackendPtr& b) {
+                                   return b->name == name;
+                                 }),
+                  backends_.end());
+  backends_.push_back(std::move(backend));
+  rebuild_ring();
+}
+
+void ShardRouter::remove_backend(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  backends_.erase(std::remove_if(backends_.begin(), backends_.end(),
+                                 [&](const BackendPtr& b) {
+                                   return b->name == name;
+                                 }),
+                  backends_.end());
+  rebuild_ring();
+}
+
+void ShardRouter::rebuild_ring() {
+  ring_.clear();
+  for (const BackendPtr& backend : backends_) {
+    for (int i = 0; i < options_.vnodes; ++i) {
+      // Collisions just drop one vnode point out of hundreds; map
+      // insert keeps the first owner, which is fine.
+      ring_.emplace(ring_hash(str_cat(backend->name, "#", i)), backend);
+    }
+  }
+}
+
+std::size_t ShardRouter::backend_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backends_.size();
+}
+
+std::vector<ShardRouter::BackendPtr> ShardRouter::replica_backends(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BackendPtr> out;
+  if (ring_.empty()) return out;
+  const std::size_t want = std::min<std::size_t>(
+      static_cast<std::size_t>(options_.replication), backends_.size());
+  // Walk clockwise from the key's point, wrapping, collecting distinct
+  // backends (successive vnodes often belong to the same backend).
+  auto it = ring_.lower_bound(ring_hash(key));
+  for (std::size_t steps = 0; out.size() < want && steps < ring_.size();
+       ++steps, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    const BackendPtr& candidate = it->second;
+    if (std::find(out.begin(), out.end(), candidate) == out.end()) {
+      out.push_back(candidate);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ShardRouter::replicas(
+    const std::string& key) const {
+  std::vector<std::string> names;
+  for (const BackendPtr& b : replica_backends(key)) {
+    names.push_back(b->name);
+  }
+  return names;
+}
+
+namespace {
+RpcResponse no_backends_response() {
+  RpcResponse r;
+  r.status = kTransportError;
+  r.error = "shard router has no backends";
+  return r;
+}
+}  // namespace
+
+void ShardRouter::sort_by_load(std::vector<BackendPtr>& set) {
+  // Least-outstanding replica first; stable sort so ring order breaks
+  // ties and an idle fleet keeps a key pinned to its primary (warm
+  // caches).
+  std::stable_sort(set.begin(), set.end(),
+                   [](const BackendPtr& a, const BackendPtr& b) {
+                     return a->client->outstanding() <
+                            b->client->outstanding();
+                   });
+}
+
+RpcResponse ShardRouter::infer(const std::string& model, const float* data,
+                               std::size_t n, double deadline_ms) {
+  std::vector<BackendPtr> set = replica_backends(model);
+  if (set.empty()) return no_backends_response();
+  sort_by_load(set);
+  RpcResponse last;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    Backend& backend = *set[i];
+    if (i == 0) {
+      backend.picked.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      backend.failovers.fetch_add(1, std::memory_order_relaxed);
+    }
+    last = backend.client->infer(model, data, n, deadline_ms);
+    // Only client-local transport failures fail over: the server never
+    // puts kTransportError on the wire, so any served answer — success
+    // or shed — is authoritative and re-asking another replica would
+    // just double the fleet's load exactly when it is least affordable.
+    if (last.status != kTransportError) return last;
+  }
+  return last;
+}
+
+std::future<RpcResponse> ShardRouter::submit(const std::string& model,
+                                             const float* data,
+                                             std::size_t n,
+                                             double deadline_ms) {
+  std::vector<BackendPtr> set = replica_backends(model);
+  if (set.empty()) {
+    std::promise<RpcResponse> p;
+    p.set_value(no_backends_response());
+    return p.get_future();
+  }
+  sort_by_load(set);
+  set.front()->picked.fetch_add(1, std::memory_order_relaxed);
+  return set.front()->client->submit(model, data, n, deadline_ms);
+}
+
+std::vector<ShardRouter::BackendStats> ShardRouter::stats() const {
+  std::vector<BackendPtr> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = backends_;
+  }
+  std::vector<BackendStats> out;
+  out.reserve(snapshot.size());
+  for (const BackendPtr& b : snapshot) {
+    BackendStats s;
+    s.name = b->name;
+    s.picked = b->picked.load(std::memory_order_relaxed);
+    s.failovers = b->failovers.load(std::memory_order_relaxed);
+    s.outstanding = b->client->outstanding();
+    s.client = b->client->stats();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace ondwin::rpc

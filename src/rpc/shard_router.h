@@ -1,0 +1,111 @@
+// ondwin::rpc shard router — client-side placement across a fleet of
+// RpcServer backends.
+//
+// Placement is a consistent-hash ring: each backend contributes `vnodes`
+// virtual points (hash of "name#i"), and a key's replica set is the first
+// R DISTINCT backends walking clockwise from hash(key). Adding or
+// removing one backend therefore remaps only ~1/N of the key space —
+// model weights stay warm on the replicas that keep owning them, which
+// is the whole reason to shard a weight-resident serving tier this way
+// instead of round-robining.
+//
+// Within a key's replica set the router picks the replica with the
+// fewest outstanding requests (client-local view — no coordination
+// traffic), and fails over to the next replica when a submit comes back
+// kTransportError. Inference is a pure function of its input, so a
+// retry after an ambiguous connection loss is safe — at worst the fleet
+// computes the same answer twice.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rpc/rpc_client.h"
+
+namespace ondwin::rpc {
+
+struct ShardRouterOptions {
+  /// Replica-set size per key (clamped to the backend count).
+  int replication = 2;
+
+  /// Virtual points per backend on the ring. More vnodes = smoother
+  /// load split between backends, at O(vnodes * backends) ring size.
+  int vnodes = 64;
+};
+
+/// FNV-1a 64-bit — the ring hash. Exposed for tests that pin placement.
+u64 ring_hash(const std::string& key);
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(ShardRouterOptions options = {});
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Adds a backend and its vnodes to the ring. `name` is the stable
+  /// identity hashing is based on; reusing a name replaces the backend
+  /// (same ring positions, new connection).
+  void add_backend(const std::string& name, RpcClientOptions client);
+
+  /// Removes the backend and its vnodes; keys remap to ring successors.
+  void remove_backend(const std::string& name);
+
+  std::size_t backend_count() const;
+
+  /// The ordered replica set (<= replication distinct backends) the ring
+  /// assigns to `key`. Deterministic given the same backend set.
+  std::vector<std::string> replicas(const std::string& key) const;
+
+  /// Routes to the least-loaded replica of `model`'s replica set and
+  /// fails over on transport errors. Blocking; returns the first
+  /// non-transport response (or the last transport error if every
+  /// replica is unreachable).
+  RpcResponse infer(const std::string& model, const float* data,
+                    std::size_t n, double deadline_ms = 0);
+
+  /// Pipelined routing: picks the least-loaded replica and submits
+  /// without waiting, so one caller can keep a deep window in flight.
+  /// No failover — a transport error comes back in the future and the
+  /// caller decides whether to re-submit (inference is idempotent).
+  std::future<RpcResponse> submit(const std::string& model,
+                                  const float* data, std::size_t n,
+                                  double deadline_ms = 0);
+
+  struct BackendStats {
+    std::string name;
+    u64 picked = 0;     // chosen as primary by least-loaded selection
+    u64 failovers = 0;  // requests that arrived here after a failover
+    i64 outstanding = 0;
+    RpcClient::Stats client;
+  };
+  std::vector<BackendStats> stats() const;
+
+ private:
+  struct Backend {
+    std::string name;
+    std::unique_ptr<RpcClient> client;
+    std::atomic<u64> picked{0};
+    std::atomic<u64> failovers{0};
+  };
+
+  using BackendPtr = std::shared_ptr<Backend>;
+
+  /// Snapshot of the replica set under mu_; shared_ptrs keep the
+  /// backends alive across the (lock-free) network call even if a
+  /// concurrent remove_backend() drops them from the ring.
+  std::vector<BackendPtr> replica_backends(const std::string& key) const;
+  static void sort_by_load(std::vector<BackendPtr>& set);
+  void rebuild_ring();
+
+  const ShardRouterOptions options_;
+  mutable std::mutex mu_;  // guards backends_ / ring_ topology changes
+  std::vector<BackendPtr> backends_;
+  std::map<u64, BackendPtr> ring_;  // hash point -> owning backend
+};
+
+}  // namespace ondwin::rpc

@@ -48,6 +48,30 @@ void Engine::loop() {
 void Engine::serve_batch(std::vector<PendingRequest> batch) {
   ONDWIN_TRACE_SPAN("serve.batch");
   const auto formed = Clock::now();
+
+  // Deadline shedding: a request whose deadline already passed while it
+  // was queued is pure waste to execute — nobody is waiting for the
+  // answer anymore. Shed it before staging so an overloaded engine spends
+  // its cycles only on requests that can still meet their SLO. In-proc
+  // submit() never sets a deadline, so this path stays inert (and the
+  // batch stays bitwise deterministic) unless a transport asked for it.
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    PendingRequest& req = batch[i];
+    if (req.has_deadline() && formed > req.deadline) {
+      model_.expired.fetch_add(1, std::memory_order_relaxed);
+      req.done(InferenceResult{},
+               std::make_exception_ptr(DeadlineExceeded(
+                   str_cat("model '", model_.name(),
+                           "': deadline passed while queued"))));
+    } else {
+      if (live != i) batch[live] = std::move(req);
+      ++live;
+    }
+  }
+  batch.resize(live);
+  if (batch.empty()) return;
+
   const int n = static_cast<int>(batch.size());
   model_.batch_occupancy.observe(static_cast<double>(n));
   const i64 sin = model_.sample_input_floats();
@@ -107,15 +131,16 @@ void Engine::serve_batch(std::vector<PendingRequest> batch) {
       result.queue_ms = ms_between(req.submitted, formed);
       result.exec_ms = exec_ms;
       model_.latency.record(ms_between(req.submitted, done));
-      req.promise.set_value(std::move(result));
+      req.done(std::move(result), nullptr);
     }
   } catch (...) {
     // Replica construction or execution failed: every request of the
-    // batch learns about it through its future (counter first, as above).
+    // batch learns about it through its completion (counter first, as
+    // above).
     model_.failed.fetch_add(static_cast<u64>(n), std::memory_order_relaxed);
     const std::exception_ptr error = std::current_exception();
     for (PendingRequest& req : batch) {
-      req.promise.set_exception(error);
+      req.done(InferenceResult{}, error);
     }
   }
 }

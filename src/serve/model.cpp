@@ -166,6 +166,7 @@ ModelStats Model::snapshot() const {
   ModelStats s;
   s.submitted = submitted.load(std::memory_order_relaxed);
   s.rejected = rejected.load(std::memory_order_relaxed);
+  s.expired = expired.load(std::memory_order_relaxed);
   s.completed = completed.load(std::memory_order_relaxed);
   s.failed = failed.load(std::memory_order_relaxed);
   s.batches = batches.load(std::memory_order_relaxed);

@@ -66,6 +66,12 @@ class Model {
   i64 sample_input_floats() const { return sample_in_; }
   i64 sample_output_floats() const { return sample_out_; }
 
+  /// The one-sample problem of a conv model (nullptr for networks) — the
+  /// shape contract transports validate request frames against.
+  const ConvProblem* conv_problem() const {
+    return is_conv_ ? &problem_ : nullptr;
+  }
+
   /// Batch-size buckets: 1, 2, 4, ... capped at max_batch (which is
   /// always the last bucket).
   const std::vector<int>& buckets() const { return buckets_; }
@@ -91,6 +97,7 @@ class Model {
   // Serving counters (engines and the server bump these directly).
   std::atomic<u64> submitted{0};
   std::atomic<u64> rejected{0};
+  std::atomic<u64> expired{0};
   std::atomic<u64> completed{0};
   std::atomic<u64> failed{0};
   std::atomic<u64> batches{0};

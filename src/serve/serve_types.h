@@ -3,15 +3,20 @@
 //
 // The serving pipeline is
 //
-//   submit() → per-model RequestQueue → Batcher (flush on batch-full or
-//   deadline) → worker Engine (per-batch-size plan replica) → future
+//   submit()/submit_async() → per-model RequestQueue → Batcher (flush on
+//   batch-full or deadline) → worker Engine (per-batch-size plan replica)
+//   → completion callback (a future for in-proc submit(), a socket write
+//   for the rpc tier)
 //
 // Requests are single samples (batch 1) in the model's SIMD-blocked input
-// layout; the runtime owns copies from submit to fulfillment, so callers
-// may free their buffers as soon as submit() returns.
+// layout. The engine core is transport-agnostic: an in-proc call and a
+// network frame become the same PendingRequest — a pooled input slab plus
+// a Completion — so both coalesce through the same batcher queue and are
+// bitwise indistinguishable to the execution replicas.
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <future>
 #include <map>
 #include <string>
@@ -106,17 +111,43 @@ struct InferenceResult {
 
 using ResultFuture = std::future<InferenceResult>;
 
+/// Thrown (through completions) for requests whose deadline passed while
+/// they were still queued: under overload the engine sheds them instead of
+/// executing work nobody is waiting for. The rpc tier maps this to a
+/// distinct wire status so clients can tell shed from failed.
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
+
+/// How every request — in-proc or network — learns its fate: exactly one
+/// invocation, with either a result (error == nullptr) or an exception.
+/// Completions run on the engine (or rejecting submitter) thread; they
+/// must be cheap and must not call back into the submitting model's
+/// blocking APIs.
+using Completion =
+    std::function<void(InferenceResult result, std::exception_ptr error)>;
+
 /// A submitted-but-not-yet-served request (internal to the runtime).
 struct PendingRequest {
-  mem::Workspace input;  // batch-1 blocked input, owned pooled copy
-  std::promise<InferenceResult> promise;
+  mem::Workspace input;  // batch-1 blocked input, owned pooled slab
+  Completion done;
   std::chrono::steady_clock::time_point submitted;
+
+  /// Absolute shedding deadline; epoch (the default) means none. In-proc
+  /// submit() never sets one; the rpc tier propagates frame deadlines.
+  std::chrono::steady_clock::time_point deadline{};
+
+  bool has_deadline() const {
+    return deadline.time_since_epoch().count() != 0;
+  }
 };
 
 /// Snapshot of one model's serving counters.
 struct ModelStats {
   u64 submitted = 0;  // accepted + rejected
   u64 rejected = 0;   // backpressure / shutdown rejections
+  u64 expired = 0;    // deadline passed while queued (shed by the engine)
   u64 completed = 0;
   u64 failed = 0;     // execution errors propagated to futures
   u64 batches = 0;    // executions

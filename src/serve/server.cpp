@@ -22,7 +22,7 @@ InferenceServer::InferenceServer(const ServerOptions& options)
                options_.cpu_count);
 }
 
-InferenceServer::~InferenceServer() { shutdown(/*drain=*/true); }
+InferenceServer::~InferenceServer() { stop(/*drain=*/true); }
 
 void InferenceServer::register_conv(const std::string& name,
                                     const ConvProblem& problem,
@@ -75,29 +75,96 @@ ResultFuture InferenceServer::submit(const std::string& model_name,
   ONDWIN_CHECK(input_blocked != nullptr, "submit with null input");
   Model* model = find_model(model_name);
 
-  PendingRequest request;
   const i64 sin = model->sample_input_floats();
   // Pool checkout without zeroing: the memcpy fills every float. In
   // steady state this re-uses the slab of an already-fulfilled request —
   // the submit path allocates nothing.
-  request.input = mem::Workspace::from_pool(
+  mem::Workspace input = mem::Workspace::from_pool(
       model->pool(), static_cast<std::size_t>(sin), /*zero=*/false);
-  std::memcpy(request.input.data(), input_blocked,
+  std::memcpy(input.data(), input_blocked,
               static_cast<std::size_t>(sin) * sizeof(float));
+
+  // A future is just one kind of completion: in-proc callers get the
+  // promise wrapper, network transports bring their own callback. Both
+  // land in the same batcher queue.
+  auto promise = std::make_shared<std::promise<InferenceResult>>();
+  ResultFuture future = promise->get_future();
+  submit_async(model_name, std::move(input),
+               [promise](InferenceResult result, std::exception_ptr error) {
+                 if (error != nullptr) {
+                   promise->set_exception(error);
+                 } else {
+                   promise->set_value(std::move(result));
+                 }
+               });
+  return future;
+}
+
+void InferenceServer::submit_async(
+    const std::string& model_name, mem::Workspace input, Completion done,
+    std::chrono::steady_clock::time_point deadline) {
+  ONDWIN_CHECK(done != nullptr, "submit_async without a completion");
+  Model* model = find_model(model_name);
+  ONDWIN_CHECK(
+      input.size() ==
+          static_cast<std::size_t>(model->sample_input_floats()),
+      "model '", model_name, "': input slab holds ", input.size(),
+      " floats, expected ", model->sample_input_floats());
+
+  PendingRequest request;
+  request.input = std::move(input);
   request.submitted = std::chrono::steady_clock::now();
-  ResultFuture future = request.promise.get_future();
+  request.deadline = deadline;
+  // Wrap the completion in the stop() barrier accounting: the counter
+  // drops only after the user callback has fully returned, so stop()
+  // really means "no completion is still running anywhere".
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  request.done = [this, user = std::move(done)](InferenceResult result,
+                                                std::exception_ptr error) {
+    user(std::move(result), error);
+    if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_cv_.notify_all();
+    }
+  };
 
   model->submitted.fetch_add(1, std::memory_order_relaxed);
   if (!model->batcher().submit(request)) {
-    // Backpressure or shutdown: fail fast through the future so every
+    // Backpressure or shutdown: fail fast through the completion so every
     // caller sees errors the same way, whether queued or rejected.
     model->rejected.fetch_add(1, std::memory_order_relaxed);
-    request.promise.set_exception(std::make_exception_ptr(Error(
-        str_cat("model '", model_name, "': request rejected (",
-                model->batcher().accepting() ? "queue full" : "shutting down",
-                ")"))));
+    request.done(
+        InferenceResult{},
+        std::make_exception_ptr(Error(str_cat(
+            "model '", model_name, "': request rejected (",
+            model->batcher().accepting() ? "queue full" : "shutting down",
+            ")"))));
   }
-  return future;
+}
+
+mem::Workspace InferenceServer::checkout_input(const std::string& model) {
+  Model* m = find_model(model);
+  return mem::Workspace::from_pool(
+      m->pool(), static_cast<std::size_t>(m->sample_input_floats()),
+      /*zero=*/false);
+}
+
+InferenceServer::ModelInfo InferenceServer::model_info(
+    const std::string& model) const {
+  Model* m = find_model(model);
+  ModelInfo info;
+  info.sample_input_floats = m->sample_input_floats();
+  info.sample_output_floats = m->sample_output_floats();
+  info.max_batch = m->config().batching.max_batch;
+  if (const ConvProblem* p = m->conv_problem()) {
+    info.has_conv_shape = true;
+    info.conv_shape = p->shape;
+  }
+  return info;
+}
+
+i64 InferenceServer::queue_depth(const std::string& model) const {
+  return find_model(model)->batcher().depth();
 }
 
 void InferenceServer::shutdown(bool drain) {
@@ -114,7 +181,7 @@ void InferenceServer::shutdown(bool drain) {
         const auto error = std::make_exception_ptr(
             Error(str_cat("model '", name, "': server shut down")));
         for (PendingRequest& req : dropped) {
-          req.promise.set_exception(error);
+          req.done(InferenceResult{}, error);
         }
         model->rejected.fetch_add(dropped.size(), std::memory_order_relaxed);
       }
@@ -123,6 +190,18 @@ void InferenceServer::shutdown(bool drain) {
   }
   // Join outside the lock: draining engines may still call stats().
   for (Engine* engine : engines) engine->join();
+}
+
+void InferenceServer::stop(bool drain) {
+  shutdown(drain);
+  // Engines are joined and the queues are empty, but a rejecting
+  // submitter (or a completion handed off by a dying engine) may still be
+  // inside its callback on another thread. Wait it out: after stop() no
+  // completion runs anywhere.
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  inflight_cv_.wait(lock, [this] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 bool InferenceServer::accepting() const {
@@ -152,6 +231,10 @@ obs::MetricsPage InferenceServer::metrics_page() const {
     page.add_counter("ondwin_serve_rejected_total",
                      "Requests rejected by backpressure or shutdown",
                      by_model, static_cast<double>(m.rejected));
+    page.add_counter("ondwin_serve_expired_total",
+                     "Requests shed because their deadline passed while "
+                     "queued",
+                     by_model, static_cast<double>(m.expired));
     page.add_counter("ondwin_serve_completed_total",
                      "Requests served successfully", by_model,
                      static_cast<double>(m.completed));

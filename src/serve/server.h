@@ -15,6 +15,8 @@
 // in-flight work by default.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -31,7 +33,7 @@ class InferenceServer {
  public:
   explicit InferenceServer(const ServerOptions& options = {});
 
-  /// Implies shutdown(/*drain=*/true).
+  /// Implies stop(/*drain=*/true): drains and waits for every completion.
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
@@ -57,10 +59,48 @@ class InferenceServer {
   /// in the model's `rejected` stat). Throws only for unknown models.
   ResultFuture submit(const std::string& model, const float* input_blocked);
 
+  /// The transport-agnostic zero-copy submission path: `input` is a slab
+  /// the caller filled (typically checkout_input(), which the rpc tier
+  /// reads socket payloads straight into) and `done` is invoked exactly
+  /// once — with the result, or with the rejection/execution error.
+  /// Requests with a non-epoch `deadline` are shed (DeadlineExceeded)
+  /// instead of executed if the deadline passes while they are queued.
+  /// Throws only for unknown models / a shut-down server; backpressure is
+  /// reported through `done` like every other failure.
+  void submit_async(const std::string& model, mem::Workspace input,
+                    Completion done,
+                    std::chrono::steady_clock::time_point deadline = {});
+
+  /// Checks a one-sample input slab out of the model's workspace pool
+  /// (unzeroed — the caller fills every float before submit_async). This
+  /// is how a transport lands payload bytes directly in pooled memory.
+  mem::Workspace checkout_input(const std::string& model);
+
+  /// Shape contract of a registered model, for transports that must
+  /// validate a request before accepting its payload.
+  struct ModelInfo {
+    i64 sample_input_floats = 0;
+    i64 sample_output_floats = 0;
+    int max_batch = 0;
+    bool has_conv_shape = false;
+    ConvShape conv_shape;  // valid when has_conv_shape
+  };
+  ModelInfo model_info(const std::string& model) const;
+
+  /// Queued-but-not-yet-batched requests of one model right now (the
+  /// admission controller's load signal — cheaper than a full stats()).
+  i64 queue_depth(const std::string& model) const;
+
   /// Stops accepting requests, then: drain=true serves every queued
   /// request before returning; drain=false fails queued requests with an
   /// Error. Idempotent; engines are joined either way.
   void shutdown(bool drain = true);
+
+  /// shutdown() plus a completion barrier: returns only after every
+  /// accepted request's Completion has finished running, so no callback
+  /// (future fulfillment, socket write, …) can fire after stop() returns
+  /// — the guarantee destructors and process teardown need.
+  void stop(bool drain = true);
 
   bool accepting() const;
   ServerStats stats() const;
@@ -88,6 +128,13 @@ class InferenceServer {
   std::vector<std::unique_ptr<Engine>> engines_;
   int next_cpu_ = 0;
   bool shut_down_ = false;
+
+  // Completion barrier for stop(): accepted requests in whose Completion
+  // has not finished yet. Decrement-and-notify happens after the user
+  // callback returns.
+  std::atomic<i64> inflight_{0};
+  mutable std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
 };
 
 }  // namespace ondwin::serve

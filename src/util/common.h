@@ -12,6 +12,7 @@ namespace ondwin {
 using i32 = std::int32_t;
 using i64 = std::int64_t;
 using u8 = std::uint8_t;
+using u16 = std::uint16_t;
 using u32 = std::uint32_t;
 using u64 = std::uint64_t;
 

@@ -278,6 +278,55 @@ TEST(ServeServer, AbortShutdownFailsPending) {
             3);
 }
 
+// stop(drain=true) is shutdown() plus a completion barrier: every
+// accepted request's Completion — including slow ones on engine threads —
+// has finished running by the time stop() returns. This is what lets a
+// transport (the rpc tier) tear down knowing no callback can fire into
+// freed state afterwards.
+TEST(ServeServer, StopWaitsForCompletionCallbacks) {
+  InferenceServer server;
+  ModelConfig config;
+  config.batching.max_batch = 4;
+  config.batching.max_delay_ms = 20.0;
+  config.plan = one_thread();
+  const ConvProblem p = sample_problem();
+  const std::size_t sout =
+      static_cast<std::size_t>(p.output_layout().total_floats());
+  AlignedBuffer<float> weights, input;
+  fill_random(weights,
+              static_cast<std::size_t>(p.kernel_layout().total_floats()), 1);
+  fill_random(input,
+              static_cast<std::size_t>(p.input_layout().total_floats()), 2);
+  server.register_conv("conv", p, weights.data(), config);
+
+  constexpr int kRequests = 6;
+  std::atomic<int> completions{0};
+  std::atomic<int> with_output{0};
+  for (int i = 0; i < kRequests; ++i) {
+    mem::Workspace slab = server.checkout_input("conv");
+    std::memcpy(slab.data(), input.data(), slab.size() * sizeof(float));
+    server.submit_async(
+        "conv", std::move(slab),
+        [&](InferenceResult result, std::exception_ptr error) {
+          // Dawdle: stop() must wait even for a completion that is
+          // already running but not yet finished.
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          if (error == nullptr && result.output.size() == sout) {
+            with_output.fetch_add(1);
+          }
+          completions.fetch_add(1);
+        });
+  }
+  server.stop(/*drain=*/true);
+
+  // No sleep, no polling: the barrier alone guarantees this.
+  EXPECT_EQ(completions.load(), kRequests);
+  EXPECT_EQ(with_output.load(), kRequests);
+  EXPECT_FALSE(server.accepting());
+  EXPECT_EQ(server.stats().models.at("conv").completed,
+            static_cast<u64>(kRequests));
+}
+
 // Unknown models and duplicate registrations are loud errors.
 TEST(ServeServer, RegistryErrors) {
   InferenceServer server;
