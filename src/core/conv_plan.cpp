@@ -512,6 +512,16 @@ void ConvPlan::execute_pretransformed(const float* input, float* output,
                                       const Epilogue& epilogue) {
   ONDWIN_CHECK(kernels_ready_,
                "execute_pretransformed() requires set_kernels() first");
+  if (epilogue.pooled()) {
+    for (int d = 0; d < rank_; ++d) {
+      ONDWIN_CHECK(problem_.tile_m[d] % epilogue.pool_window == 0,
+                   "pooled epilogue needs tile_m % window == 0, got tile_m[",
+                   d, "] = ", problem_.tile_m[d], " with window ",
+                   epilogue.pool_window);
+      ONDWIN_CHECK(out_dims_[d] >= epilogue.pool_window, "pool window ",
+                   epilogue.pool_window, " larger than output dimension ", d);
+    }
+  }
   ONDWIN_TRACE_SPAN("conv.execute");
   const double kt = stats_.kernel_transform;
   const StageBalance kb = stats_.kernel_balance;
@@ -901,8 +911,10 @@ void ConvPlan::inverse_transform_task(int tid, i64 np, i64 g,
   }
 
   // Clipped tile (or fused epilogue): transform into staging, then write
-  // the valid sub-box out — applying bias/ReLU while the tile is hot.
-  const Dims m_strides = problem_.tile_m.strides();
+  // the valid sub-box out — applying bias/ReLU (and, with a pooled
+  // epilogue, the complete max-pool windows this tile owns) while the
+  // tile is hot. The store stage itself lives in transform/epilogue.cpp —
+  // shared verbatim by the staged and fused execution paths.
   pipe_inv_border_->run(src, sc.stage_out.data(), sc.transform);
 
   float bias_vec[kSimdWidth] = {};
@@ -912,36 +924,35 @@ void ConvPlan::inverse_transform_task(int tid, i64 np, i64 g,
     }
   }
 
-  float* out_base = output + ((b * out_groups_ + g) * opx) * kSimdWidth;
   i64 hi[kMaxNd];
   for (int d = 0; d < rank_; ++d) {
     hi[d] = std::min<i64>(problem_.tile_m[d], out_dims_[d] - org[d]);
   }
-  i64 e[kMaxNd] = {};
-  for (;;) {
-    i64 soff = 0, ooff = 0;
-    for (int d = 0; d < rank_; ++d) {
-      soff += e[d] * m_strides[d];
-      ooff += (org[d] + e[d]) * out_strides_sp[d];
-    }
-    const float* __restrict sv = sc.stage_out.data() + soff * kSimdWidth;
-    float* __restrict dv = out_base + ooff * kSimdWidth;
-    if (epilogue.active()) {
-      for (int s = 0; s < kSimdWidth; ++s) {
-        float v = sv[s] + bias_vec[s];
-        if (epilogue.relu) v = std::max(v, 0.0f);
-        dv[s] = v;
-      }
-    } else {
-      std::memcpy(dv, sv, sizeof(float) * kSimdWidth);
-    }
-    int d = rank_ - 1;
-    for (; d >= 0; --d) {
-      if (++e[d] < hi[d]) break;
-      e[d] = 0;
-    }
-    if (d < 0) break;
+  TileStoreArgs args;
+  args.rank = rank_;
+  args.org = org;
+  args.hi = hi;
+  args.m_strides = problem_.tile_m.strides();
+  args.out_strides = out_strides_sp;
+
+  if (epilogue.pooled()) {
+    // Tiles own disjoint sets of complete pool windows (tile_m % window
+    // == 0, validated at execute), so pooled stores of different tasks
+    // never overlap — the same race-freedom argument as the un-pooled
+    // store, on a w^rank-smaller plane.
+    const i64 w = epilogue.pool_window;
+    Dims pooled = out_dims_;
+    for (int d = 0; d < rank_; ++d) pooled[d] = out_dims_[d] / w;
+    args.pool_strides = pooled.strides();
+    float* plane =
+        output + ((b * out_groups_ + g) * pooled.product()) * kSimdWidth;
+    store_tile_pooled(sc.stage_out.data(), plane, args, bias_vec,
+                      epilogue.relu, w);
+    return;
   }
+
+  float* plane = output + ((b * out_groups_ + g) * opx) * kSimdWidth;
+  store_tile(sc.stage_out.data(), plane, args, epilogue, bias_vec);
 }
 
 }  // namespace ondwin

@@ -31,24 +31,12 @@
 #include "mem/workspace_pool.h"
 #include "sched/static_schedule.h"
 #include "sched/thread_pool.h"
+#include "transform/epilogue.h"
 #include "transform/tile_pipeline.h"
 #include "util/aligned.h"
 #include "util/timer.h"
 
 namespace ondwin {
-
-/// Optional operations fused into the inverse-transform stage (stage 3)
-/// — the activation epilogue every ConvNet layer needs. Fusing it avoids a
-/// separate pass over the output activations.
-struct Epilogue {
-  /// Per-output-channel bias, C' floats in plain channel order (nullptr =
-  /// no bias).
-  const float* bias = nullptr;
-  /// Apply max(x, 0) after the (optional) bias.
-  bool relu = false;
-
-  bool active() const { return bias != nullptr || relu; }
-};
 
 /// Per-thread load balance of one fork–join stage: the stage's wall time
 /// is its slowest participant, so max/mean task time is exactly the
@@ -133,7 +121,11 @@ class ConvPlan {
   /// Full convolution including the kernel transform (training mode).
   /// `input`: blocked image batch (problem.input_layout());
   /// `kernels`: blocked kernel bank (problem.kernel_layout());
-  /// `output`: blocked image batch (problem.output_layout()).
+  /// `output`: blocked image batch (problem.output_layout()) — unless the
+  /// epilogue fuses a max-pool (Epilogue::pool_window > 1), in which case
+  /// `output` is the POOLED image: out_dims[d] / pool_window per
+  /// dimension, same batch/channels. A pooled epilogue requires
+  /// tile_m[d] % pool_window == 0 for every dimension (checked).
   void execute(const float* input, const float* kernels, float* output,
                const Epilogue& epilogue = {});
 

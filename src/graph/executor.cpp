@@ -1,0 +1,164 @@
+#include "graph/executor.h"
+
+#include <sstream>
+
+#include "graph/ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace ondwin::graph {
+
+Executor::Executor(Graph graph, const CompileOptions& options)
+    : graph_(std::move(graph)), options_(options) {
+  graph_.output();  // requires a marked output
+  fusion_ = fuse(graph_, options_.fusion);
+  memory_ = plan_memory(graph_, fusion_);
+
+  // The whole net's activation slab, checked out once and first-touched
+  // (zeroed) at compile time — steady-state execution allocates nothing.
+  if (memory_.slab_bytes > 0) {
+    mem::WorkspacePool& pool =
+        options_.pool != nullptr ? *options_.pool : mem::WorkspacePool::global();
+    arena_ = mem::Workspace::from_pool(
+        pool, static_cast<std::size_t>(memory_.slab_bytes) / sizeof(float),
+        /*zero=*/true);
+  }
+
+  for (const Step& st : fusion_.steps) {
+    ExecStep es;
+    es.step = st;
+    es.in_layout = graph_.layout(st.in0);
+    if (st.kind == OpKind::kConv) {
+      const Node& n = graph_.nodes()[static_cast<std::size_t>(st.node)];
+      ONDWIN_CHECK(n.weights_set, "conv node ", n.id, " has no weights");
+      // Per-node blocking overrides beat wisdom and heuristics — exactly
+      // AutoConv's rule, so a graph lowered from an auto-selected
+      // Sequential builds bit-identical plans.
+      PlanOptions opts = options_.plan;
+      if (n.blocking.n_blk > 0) opts.n_blk = n.blocking.n_blk;
+      if (n.blocking.c_blk > 0) opts.c_blk = n.blocking.c_blk;
+      if (n.blocking.cp_blk > 0) opts.cp_blk = n.blocking.cp_blk;
+      if (n.blocking.f_blk > 0) opts.fuse_blk = n.blocking.f_blk;
+      es.plan = std::make_unique<ConvPlan>(n.problem, opts);
+      es.plan->set_kernels(n.weights.data());
+    }
+    exec_.push_back(std::move(es));
+  }
+  step_seconds_.assign(exec_.size(), 0.0);
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.counter("ondwin_graph_compiles_total", "Graph executors compiled")
+      .inc();
+  reg.counter("ondwin_graph_nodes_folded_total",
+              "Epilogue nodes folded into convolutions by the fusion pass")
+      .inc(static_cast<u64>(fusion_.folded_nodes));
+  reg.gauge("ondwin_graph_planned_bytes",
+            "Planned activation-slab bytes of the last compiled graph")
+      .set(static_cast<double>(memory_.slab_bytes));
+  reg.gauge("ondwin_graph_naive_bytes",
+            "Sum of per-edge activation bytes of the last compiled graph "
+            "(what one-buffer-per-edge allocation would cost)")
+      .set(static_cast<double>(memory_.naive_bytes));
+}
+
+Executor::~Executor() = default;
+
+const float* Executor::src_of(ValueId v, const float* input) const {
+  if (v == graph_.input()) return input;
+  const i64 off = memory_.offset_of(v);
+  ONDWIN_CHECK(off >= 0, "edge v", v, " has no planned placement");
+  return arena_.data() + off / static_cast<i64>(sizeof(float));
+}
+
+float* Executor::dst_of(ValueId v, float* output) {
+  if (graph_.value(v).output) return output;
+  const i64 off = memory_.offset_of(v);
+  ONDWIN_CHECK(off >= 0, "edge v", v, " has no planned placement");
+  return arena_.data() + off / static_cast<i64>(sizeof(float));
+}
+
+void Executor::execute(const float* input, float* output) {
+  ONDWIN_TRACE_SPAN("graph.execute");
+  obs::MetricsRegistry::global()
+      .counter("ondwin_graph_executions_total", "Graph executions")
+      .inc();
+  Timer total;
+  for (std::size_t i = 0; i < exec_.size(); ++i) {
+    ExecStep& es = exec_[i];
+    const Step& st = es.step;
+    const float* src = src_of(st.in0, input);
+    float* dst = dst_of(st.out, output);
+    Timer t;
+    switch (st.kind) {
+      case OpKind::kConv: {
+        ONDWIN_TRACE_SPAN("graph.conv");
+        Epilogue ep;
+        ep.bias = st.bias;
+        ep.relu = st.relu;
+        ep.pool_window = st.pool_window;
+        es.plan->execute_pretransformed(src, dst, ep);
+        break;
+      }
+      case OpKind::kBias: {
+        ONDWIN_TRACE_SPAN("graph.bias");
+        const Node& n = graph_.nodes()[static_cast<std::size_t>(st.node)];
+        bias_blocked(es.in_layout, n.bias.data(), src, dst);
+        break;
+      }
+      case OpKind::kRelu: {
+        ONDWIN_TRACE_SPAN("graph.relu");
+        relu_blocked(es.in_layout, src, dst);
+        break;
+      }
+      case OpKind::kMaxPool: {
+        ONDWIN_TRACE_SPAN("graph.maxpool");
+        const Node& n = graph_.nodes()[static_cast<std::size_t>(st.node)];
+        max_pool_blocked(es.in_layout, n.window, src, dst);
+        break;
+      }
+      case OpKind::kEltwiseAdd: {
+        ONDWIN_TRACE_SPAN("graph.add");
+        eltwise_add_blocked(es.in_layout, src, src_of(st.in1, input), dst);
+        break;
+      }
+      case OpKind::kInput:
+        break;  // never lowered to a step
+    }
+    step_seconds_[i] = t.seconds();
+  }
+  last_seconds_ = total.seconds();
+}
+
+std::string Executor::summary() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < exec_.size(); ++i) {
+    const Step& st = exec_[i].step;
+    const Node& n = graph_.nodes()[static_cast<std::size_t>(st.node)];
+    os << "  [" << i << "] " << op_name(st.kind);
+    if (st.kind == OpKind::kConv) {
+      os << " " << n.problem.shape.in_channels << "->"
+         << n.problem.shape.out_channels << " k"
+         << n.problem.shape.kernel.to_string() << " F"
+         << n.problem.tile_m.to_string();
+      if (st.bias != nullptr) os << " +bias";
+      if (st.relu) os << " +relu";
+      if (st.pool_window > 1) os << " +pool" << st.pool_window;
+    } else if (st.kind == OpKind::kMaxPool) {
+      os << " " << n.window;
+    }
+    const i64 off = memory_.offset_of(st.out);
+    os << " -> v" << st.out;
+    if (graph_.value(st.out).output) {
+      os << " (output)";
+    } else {
+      os << " @" << off;
+    }
+    os << "\n";
+  }
+  os << "  slab " << memory_.slab_bytes << " B (naive " << memory_.naive_bytes
+     << " B), " << fusion_.folded_nodes << " nodes folded\n";
+  return os.str();
+}
+
+}  // namespace ondwin::graph

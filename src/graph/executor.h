@@ -1,0 +1,100 @@
+// graph::Executor — compiles a Graph into an executable network:
+//
+//   compile:  fusion pass → memory plan → one arena slab checked out of a
+//             mem::WorkspacePool (first-touched/zeroed at compile time) →
+//             a ConvPlan per surviving conv step (FX mode: weights
+//             transformed once, here)
+//   execute:  run the step list in order; every intermediate activation
+//             lands at its planned slab offset, so the steady state
+//             allocates nothing. Conv steps carry their composed Epilogue
+//             into stage 3; unfused bias/relu/pool/add run as standalone
+//             blocked ops.
+//
+// Per-step spans ("graph.conv", "graph.maxpool", ...) feed the obs tracer
+// and ondwin_graph_* metrics record fused-node counts and planned-vs-
+// naive slab bytes. Like Sequential, execute() is stateful per instance —
+// one caller at a time (serve replicas guard it with their exec mutex).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/fusion.h"
+#include "graph/ir.h"
+#include "graph/memory_planner.h"
+#include "mem/workspace_pool.h"
+
+namespace ondwin::graph {
+
+struct CompileOptions {
+  /// Plan knobs shared by every conv step (threads, JIT switches, fusion
+  /// mode, wisdom). Per-node Blocking overrides from the IR are applied
+  /// on top.
+  PlanOptions plan;
+
+  /// Fold bias/relu/pool chains into conv epilogues (graph/fusion.h).
+  /// Off = every node runs standalone — the bitwise reference.
+  bool fusion = true;
+
+  /// Pool the activation slab is checked out of (nullptr = the process
+  /// global pool). Serving models pass their per-model pool so planned
+  /// lifetimes compose with the serving tier's no-allocation guarantee.
+  mem::WorkspacePool* pool = nullptr;
+};
+
+class Executor {
+ public:
+  /// Compiles `graph` (moved in — the executor owns weights and topology).
+  /// The graph must have a marked output.
+  explicit Executor(Graph graph, const CompileOptions& options = {});
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  const ImageLayout& input_layout() const { return graph_.input_layout(); }
+  const ImageLayout& output_layout() const { return graph_.output_layout(); }
+
+  /// Runs the network: `input` in input_layout(), `output` (caller-owned,
+  /// output_layout().total_floats() floats) receives the marked output.
+  /// Neither may alias the arena slab. One caller at a time.
+  void execute(const float* input, float* output);
+
+  const Graph& graph() const { return graph_; }
+  const FusionPlan& fusion() const { return fusion_; }
+  const MemoryPlan& memory_plan() const { return memory_; }
+
+  /// Bytes of the planned activation slab (the whole net's steady-state
+  /// intermediate footprint).
+  i64 arena_bytes() const { return memory_.slab_bytes; }
+
+  std::size_t step_count() const { return exec_.size(); }
+  double last_execute_seconds() const { return last_seconds_; }
+  /// Wall seconds of step `i` in the last execute().
+  double step_seconds(std::size_t i) const { return step_seconds_.at(i); }
+
+  /// Human-readable per-step dump: op, folded epilogue, planned offset.
+  std::string summary() const;
+
+ private:
+  struct ExecStep {
+    Step step;
+    std::unique_ptr<ConvPlan> plan;  // kConv steps only
+    ImageLayout in_layout;           // layout of step.in0
+  };
+
+  const float* src_of(ValueId v, const float* input) const;
+  float* dst_of(ValueId v, float* output);
+
+  Graph graph_;
+  CompileOptions options_;
+  FusionPlan fusion_;
+  MemoryPlan memory_;
+  mem::Workspace arena_;
+  std::vector<ExecStep> exec_;
+  std::vector<double> step_seconds_;
+  double last_seconds_ = 0;
+};
+
+}  // namespace ondwin::graph

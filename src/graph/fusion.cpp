@@ -1,0 +1,68 @@
+#include "graph/fusion.h"
+
+#include <vector>
+
+namespace ondwin::graph {
+
+namespace {
+
+/// Every pool window must lie inside one output tile: tile origins are
+/// multiples of tile_m[d], so divisibility is exactly the no-straddle
+/// condition.
+bool pool_foldable(const Node& conv, i64 window) {
+  if (window < 2) return false;
+  for (int d = 0; d < conv.problem.rank(); ++d) {
+    if (conv.problem.tile_m[d] % window != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FusionPlan fuse(const Graph& graph, bool enable) {
+  FusionPlan plan;
+  const auto& nodes = graph.nodes();
+  std::vector<bool> absorbed(nodes.size(), false);
+
+  for (const Node& n : nodes) {
+    if (absorbed[static_cast<std::size_t>(n.id)]) continue;
+
+    Step step;
+    step.kind = n.kind;
+    step.node = n.id;
+    step.in0 = n.in0;
+    step.in1 = n.in1;
+    step.out = n.out;
+    if (n.kind == OpKind::kConv && enable) {
+      // Follow the single-user chain hanging off the conv, absorbing what
+      // the epilogue can express. Node ids are topological, so absorbed
+      // successors always have larger ids — the absorbed[] skip is sound.
+      for (;;) {
+        const Value& v = graph.value(step.out);
+        if (v.output || v.users.size() != 1) break;
+        const Node& next = nodes[static_cast<std::size_t>(v.users[0])];
+        if (next.kind == OpKind::kBias && step.bias == nullptr &&
+            !step.relu && step.pool_window == 0) {
+          step.bias = next.bias.data();
+        } else if (next.kind == OpKind::kRelu && !step.relu &&
+                   step.pool_window == 0) {
+          step.relu = true;
+        } else if (next.kind == OpKind::kMaxPool && step.pool_window == 0 &&
+                   pool_foldable(n, next.window)) {
+          step.pool_window = next.window;
+          ++plan.fused_pools;
+        } else {
+          break;
+        }
+        absorbed[static_cast<std::size_t>(next.id)] = true;
+        step.folded.push_back(next.id);
+        step.out = next.out;
+        ++plan.folded_nodes;
+      }
+    }
+    plan.steps.push_back(std::move(step));
+  }
+  return plan;
+}
+
+}  // namespace ondwin::graph

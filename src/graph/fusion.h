@@ -1,0 +1,61 @@
+// Cross-layer epilogue fusion: folds bias → relu → max-pool chains into
+// the producing convolution's inverse-transform epilogue (stage 3), so
+// the activation leaves the Winograd pipeline already biased, rectified,
+// and pooled — the unactivated conv output never touches DRAM, and under
+// fused tile-block execution the whole chain happens while the tile is
+// still L2-resident.
+//
+// Legality rules (each checked per folded node):
+//
+//   * the intermediate edge has exactly ONE user and is not a marked
+//     output — folding it makes the tensor cease to exist, so nobody else
+//     may read it;
+//   * epilogue order is fixed: conv [→ bias] [→ relu] [→ pool]. A relu
+//     already folded blocks a later bias (x·relu+b ≠ relu(x+b)); a folded
+//     pool blocks everything after it;
+//   * max-pool additionally needs tile_m[d] % window == 0 for every
+//     dimension (window >= 2): tile origins are multiples of tile_m, so
+//     divisibility means no pool window straddles two tiles and each tile
+//     can reduce its own windows independently. Pools that fail the test
+//     simply stay standalone ops — never an error.
+//
+// The result is the executable step list: original nodes minus the folded
+// ones, each conv step carrying its composed Epilogue.
+#pragma once
+
+#include <vector>
+
+#include "graph/ir.h"
+
+namespace ondwin::graph {
+
+/// One executable step: a surviving node plus (for convs) the epilogue
+/// ops folded into it.
+struct Step {
+  OpKind kind = OpKind::kConv;
+  i32 node = -1;               // primary node id in the graph
+  ValueId in0 = -1, in1 = -1;  // consumed edges
+  ValueId out = -1;            // produced edge (the LAST folded node's out)
+
+  // Composed conv epilogue (kConv steps only).
+  const float* bias = nullptr;  // the folded kBias node's values
+  bool relu = false;
+  i64 pool_window = 0;          // folded kMaxPool window (0 = none)
+  std::vector<i32> folded;      // ids of the absorbed nodes
+
+  bool has_epilogue() const {
+    return bias != nullptr || relu || pool_window > 1;
+  }
+};
+
+struct FusionPlan {
+  std::vector<Step> steps;
+  int folded_nodes = 0;  // bias/relu/pool nodes absorbed into epilogues
+  int fused_pools = 0;   // how many of those were max-pools
+};
+
+/// Runs the pass. `enable` = false lowers every node to its own step
+/// (the unfused reference executor).
+FusionPlan fuse(const Graph& graph, bool enable = true);
+
+}  // namespace ondwin::graph

@@ -1,0 +1,78 @@
+#include "graph/memory_planner.h"
+
+#include <algorithm>
+
+namespace ondwin::graph {
+
+namespace {
+
+i64 edge_bytes(const Graph& graph, ValueId v) {
+  return round_up(
+      graph.value(v).layout.total_floats() * static_cast<i64>(sizeof(float)),
+      static_cast<i64>(kAlignment));
+}
+
+}  // namespace
+
+MemoryPlan plan_memory(const Graph& graph, const FusionPlan& fusion) {
+  MemoryPlan plan;
+  const auto& steps = fusion.steps;
+
+  // Live intervals over the step list. Only edges a step defines exist as
+  // tensors (fusion-absorbed intermediates never materialize); the graph
+  // input (def == -1 on the value) and the marked output are external.
+  std::vector<int> def(graph.values().size(), -1);
+  std::vector<int> last(graph.values().size(), -1);
+  for (int s = 0; s < static_cast<int>(steps.size()); ++s) {
+    const Step& st = steps[static_cast<std::size_t>(s)];
+    def[static_cast<std::size_t>(st.out)] = s;
+    last[static_cast<std::size_t>(st.out)] =
+        std::max(last[static_cast<std::size_t>(st.out)], s);
+    for (ValueId in : {st.in0, st.in1}) {
+      if (in >= 0) {
+        last[static_cast<std::size_t>(in)] =
+            std::max(last[static_cast<std::size_t>(in)], s);
+      }
+    }
+  }
+
+  // Greedy first-fit in definition order (steps are execution order, so
+  // definition order == time order). `active` holds placements whose
+  // lifetime overlaps the current definition point.
+  std::vector<Placement> active;
+  for (const Step& st : steps) {
+    const ValueId v = st.out;
+    if (graph.value(v).output) continue;  // external: caller's buffer
+    Placement p;
+    p.value = v;
+    p.bytes = edge_bytes(graph, v);
+    p.def_step = def[static_cast<std::size_t>(v)];
+    p.last_step = last[static_cast<std::size_t>(v)];
+    plan.naive_bytes += p.bytes;
+
+    // A new edge conflicts with every placement still live at its
+    // definition step — including ones whose last use IS that step, since
+    // the defining op reads them while writing the new edge.
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](const Placement& a) {
+                                  return a.last_step < p.def_step;
+                                }),
+                 active.end());
+    std::sort(active.begin(), active.end(),
+              [](const Placement& a, const Placement& b) {
+                return a.offset < b.offset;
+              });
+    i64 offset = 0;
+    for (const Placement& a : active) {
+      if (offset + p.bytes <= a.offset) break;  // gap fits
+      offset = std::max(offset, a.offset + a.bytes);
+    }
+    p.offset = offset;
+    plan.slab_bytes = std::max(plan.slab_bytes, offset + p.bytes);
+    active.push_back(p);
+    plan.placements.push_back(p);
+  }
+  return plan;
+}
+
+}  // namespace ondwin::graph

@@ -1,0 +1,53 @@
+// Whole-net buffer-lifetime planning: colors the graph's intermediate
+// tensor edges onto ONE fixed arena slab, so a forward pass writes every
+// activation into a pre-planned offset and performs zero steady-state
+// allocations.
+//
+// Lifetimes come straight from the post-fusion step list (steps execute
+// in order): an edge is live from the step that defines it through its
+// last consuming step, inclusive on both ends — a step's output must not
+// overlap any of its inputs, because convs and pools read and write
+// concurrently. Placement is greedy first-fit in definition order (a
+// linear-scan register allocator over byte intervals): expire placements
+// whose lifetime ended, then take the lowest 64-byte-aligned offset whose
+// gap fits. For a sequential chain this naturally degenerates to the
+// classic ping-pong pair; for residual graphs the long-lived skip edge
+// stays parked while the trunk ping-pongs above it.
+//
+// The graph input and the marked output are external (caller-provided
+// buffers) and never planned. Edges absorbed by fusion no longer exist as
+// tensors and cost nothing — fusion shrinks the slab as well as the
+// traffic.
+#pragma once
+
+#include <vector>
+
+#include "graph/fusion.h"
+#include "graph/ir.h"
+
+namespace ondwin::graph {
+
+struct Placement {
+  ValueId value = -1;
+  i64 offset = 0;  // bytes into the slab, 64-byte aligned
+  i64 bytes = 0;   // rounded up to 64
+  int def_step = 0, last_step = 0;  // live interval (inclusive)
+};
+
+struct MemoryPlan {
+  std::vector<Placement> placements;  // planned intermediate edges only
+  i64 slab_bytes = 0;   // peak = the arena slab size
+  i64 naive_bytes = 0;  // sum of per-edge sizes (one buffer per edge)
+
+  /// Byte offset of a planned edge, -1 for external/absorbed edges.
+  i64 offset_of(ValueId v) const {
+    for (const Placement& p : placements) {
+      if (p.value == v) return p.offset;
+    }
+    return -1;
+  }
+};
+
+MemoryPlan plan_memory(const Graph& graph, const FusionPlan& fusion);
+
+}  // namespace ondwin::graph

@@ -1,0 +1,72 @@
+#include "graph/ops.h"
+
+#include <algorithm>
+
+namespace ondwin::graph {
+
+void max_pool_blocked(const ImageLayout& in, i64 window, const float* src,
+                      float* dst) {
+  const i64 w = window;
+  const Dims in_sp = in.spatial;
+  const int rank = in_sp.rank();
+  Dims out_sp = in_sp;
+  for (int d = 0; d < rank; ++d) out_sp[d] = in_sp[d] / w;
+  const ImageLayout out(in.batch, in.channels, out_sp);
+  const i64 opx = out_sp.product();
+  const i64 win_total = [&] {
+    i64 t = 1;
+    for (int d = 0; d < rank; ++d) t *= w;
+    return t;
+  }();
+  Dims win = in_sp;
+  for (int d = 0; d < rank; ++d) win[d] = w;
+
+  for (i64 b = 0; b < in.batch; ++b) {
+    for (i64 g = 0; g < in.channel_groups(); ++g) {
+      for (i64 o = 0; o < opx; ++o) {
+        const Dims oc = out_sp.coord_of(o);
+        float* d_vec = dst + out.group_offset_linear(b, g, o);
+        for (int s = 0; s < kSimdWidth; ++s) d_vec[s] = -3.4e38f;
+        for (i64 k = 0; k < win_total; ++k) {
+          const Dims kc = win.coord_of(k);
+          Dims ic = oc;
+          for (int d = 0; d < rank; ++d) ic[d] = oc[d] * w + kc[d];
+          const float* s_vec = src + in.group_offset(b, g, ic);
+          for (int s = 0; s < kSimdWidth; ++s) {
+            d_vec[s] = std::max(d_vec[s], s_vec[s]);
+          }
+        }
+      }
+    }
+  }
+}
+
+void relu_blocked(const ImageLayout& layout, const float* src, float* dst) {
+  const i64 n = layout.total_floats();
+  for (i64 i = 0; i < n; ++i) dst[i] = std::max(src[i], 0.0f);
+}
+
+void bias_blocked(const ImageLayout& layout, const float* bias,
+                  const float* src, float* dst) {
+  const i64 px = layout.pixels();
+  for (i64 b = 0; b < layout.batch; ++b) {
+    for (i64 g = 0; g < layout.channel_groups(); ++g) {
+      const float* bias_vec = bias + g * kSimdWidth;
+      const float* sp = src + layout.group_offset_linear(b, g, 0);
+      float* dp = dst + layout.group_offset_linear(b, g, 0);
+      for (i64 p = 0; p < px; ++p) {
+        for (int s = 0; s < kSimdWidth; ++s) {
+          dp[p * kSimdWidth + s] = sp[p * kSimdWidth + s] + bias_vec[s];
+        }
+      }
+    }
+  }
+}
+
+void eltwise_add_blocked(const ImageLayout& layout, const float* a,
+                         const float* b, float* dst) {
+  const i64 n = layout.total_floats();
+  for (i64 i = 0; i < n; ++i) dst[i] = a[i] + b[i];
+}
+
+}  // namespace ondwin::graph

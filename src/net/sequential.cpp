@@ -4,6 +4,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "graph/ops.h"
+
 namespace ondwin {
 
 Sequential::Sequential(i64 batch, i64 in_channels, Dims input_dims,
@@ -294,38 +296,48 @@ void Sequential::forward_into(const float* input_blocked, float* output) {
 
 void Sequential::run_pool(const PoolLayer& pool, const float* in,
                           float* out) const {
-  const i64 w = pool.window;
-  const Dims in_sp = pool.in.spatial;
-  const Dims out_sp = pool.out.spatial;
-  const int rank = in_sp.rank();
-  const i64 opx = out_sp.product();
-  const i64 win_total = [&] {
-    i64 t = 1;
-    for (int d = 0; d < rank; ++d) t *= w;
-    return t;
-  }();
-  Dims win = in_sp;
-  for (int d = 0; d < rank; ++d) win[d] = w;
+  // One implementation for both execution paths: the graph executor's
+  // standalone pool op IS this pool, so graph-vs-layered identity never
+  // hinges on two copies of the reduction staying in sync.
+  graph::max_pool_blocked(pool.in, pool.window, in, out);
+}
 
-  for (i64 b = 0; b < pool.in.batch; ++b) {
-    for (i64 g = 0; g < pool.in.channel_groups(); ++g) {
-      for (i64 o = 0; o < opx; ++o) {
-        const Dims oc = out_sp.coord_of(o);
-        float* dst =
-            out + pool.out.group_offset_linear(b, g, o);
-        for (int s = 0; s < kSimdWidth; ++s) dst[s] = -3.4e38f;
-        for (i64 k = 0; k < win_total; ++k) {
-          const Dims kc = win.coord_of(k);
-          Dims ic = oc;
-          for (int d = 0; d < rank; ++d) ic[d] = oc[d] * w + kc[d];
-          const float* src = in + pool.in.group_offset(b, g, ic);
-          for (int s = 0; s < kSimdWidth; ++s) {
-            dst[s] = std::max(dst[s], src[s]);
-          }
-        }
-      }
+graph::Graph Sequential::to_graph() const {
+  ONDWIN_CHECK(!layers_.empty(), "network has no layers");
+  graph::Graph g(input_layout_.batch, input_layout_.channels,
+                 input_layout_.spatial);
+  graph::ValueId v = g.input();
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const Layer& l = layers_[i];
+    if (l.pool != nullptr) {
+      v = g.max_pool(v, l.pool->window);
+      continue;
     }
+    const ConvLayer& cl = *l.conv;
+    ONDWIN_CHECK(cl.weights_set, "to_graph() of layer ", i,
+                 " without weights");
+    Blocking blocking;
+    if (cl.auto_exec != nullptr) {
+      // Only Winograd-backed layers lower: the graph executor compiles
+      // ConvPlans. Carrying the planner's tile_m AND blocking keeps the
+      // GEMM summation order — and therefore the bits — identical.
+      ONDWIN_CHECK(cl.selected.algorithm == select::Algorithm::kWinograd,
+                   "to_graph(): auto layer ", i, " selected ",
+                   select::algorithm_name(cl.selected.algorithm),
+                   " — only Winograd layers lower to the graph IR");
+      blocking = cl.selected.blocking;
+    }
+    v = g.conv(v, cl.problem.shape.out_channels, cl.problem.shape.kernel,
+               cl.problem.shape.padding, cl.problem.tile_m, blocking);
+    g.set_conv_weights_blocked(v, cl.w_blocked.data());
+    // Sequential's epilogue always adds bias (zeros count), so the graph
+    // carries an explicit bias node even for zero bias — that is what
+    // keeps the lowered net bit-identical, fused or not.
+    v = g.bias(v, cl.bias.data());
+    if (cl.relu) v = g.relu(v);
   }
+  g.mark_output(v);
+  return g;
 }
 
 std::string Sequential::summary() const {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/conv_plan.h"
+#include "graph/ir.h"
 #include "select/select.h"
 #include "util/rng.h"
 
@@ -79,6 +80,20 @@ class Sequential {
   int layer_count() const { return static_cast<int>(layers_.size()); }
   const ImageLayout& input_layout() const { return input_layout_; }
   const ImageLayout& output_layout() const;
+  /// The options every layer's plan was built with. A graph::Executor
+  /// compiled from to_graph() with the same options in
+  /// CompileOptions::plan builds bit-identical ConvPlans.
+  const PlanOptions& plan_options() const { return options_; }
+
+  /// Lowers the network to the graph IR (graph/ir.h): each conv layer
+  /// becomes conv → bias (→ relu) nodes carrying this network's weights
+  /// (copied), each pool layer a max-pool node, and the last layer's edge
+  /// is the marked output. Compile the result with graph::Executor —
+  /// with CompileOptions::plan == plan_options() its output is bitwise
+  /// identical to forward(). Auto-selected layers must have resolved to
+  /// Winograd (their tile_m and tuned blocking are carried per node);
+  /// direct/FFT-backed layers cannot lower and fail loudly.
+  graph::Graph to_graph() const;
 
   /// Runs the network on a blocked input batch.
   ///

@@ -13,6 +13,11 @@
 //   PlanCache    — process-wide deduplicated plan construction
 //   Sequential   — a network of conv/pool layers on shared activation
 //                  buffers (add_conv_auto for planner-chosen layers)
+//   graph::Graph / graph::Executor — whole-network graph IR: bias/ReLU/
+//                  pool chains fuse into conv inverse-transform epilogues
+//                  and every intermediate activation is lifetime-planned
+//                  onto one arena slab (Sequential::to_graph() lowers a
+//                  network; output is bitwise identical)
 //   serve::InferenceServer — concurrent serving with dynamic
 //                  micro-batching (ModelConfig::auto_select re-runs the
 //                  planner per batch-size bucket)
@@ -45,6 +50,8 @@
 #include "core/plan_options.h"             // IWYU pragma: export
 #include "core/tuner.h"                    // IWYU pragma: export
 #include "core/wisdom.h"                   // IWYU pragma: export
+#include "graph/executor.h"                // IWYU pragma: export
+#include "graph/ir.h"                      // IWYU pragma: export
 #include "mem/arena.h"                     // IWYU pragma: export
 #include "mem/topology.h"                  // IWYU pragma: export
 #include "mem/workspace_pool.h"            // IWYU pragma: export

@@ -1,5 +1,6 @@
 #include "rpc/admission.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace ondwin::rpc {
@@ -23,6 +24,8 @@ AdmissionController::AdmissionController(const AdmissionOptions& options)
                "max_inflight must be >= 1, got ", options.max_inflight);
   ONDWIN_CHECK(options.slo_ms >= 0, "slo_ms must be >= 0, got ",
                options.slo_ms);
+  ONDWIN_CHECK(options.min_exec_ms >= 0, "min_exec_ms must be >= 0, got ",
+               options.min_exec_ms);
 }
 
 AdmissionDecision AdmissionController::admit(i64 queue_depth, int max_batch,
@@ -40,9 +43,9 @@ AdmissionDecision AdmissionController::admit(i64 queue_depth, int max_batch,
   // batch executions, each costing about the observed median. `waiting`
   // counts both the queued requests and the admitted-but-unqueued ones
   // (in flight through engines right now) — under overload the latter is
-  // what keeps the estimate honest. With no completions observed yet the
-  // estimate is 0: the first requests are always admitted and seed the
-  // window.
+  // what keeps the estimate honest. Before any completions the median is
+  // the configured min_exec_ms floor, so a cold controller still scales
+  // its estimate with queue depth instead of admitting everything.
   const double p50 = cached_p50();
   if (p50 > 0 && max_batch >= 1) {
     const i64 waiting = queue_depth + inflight + 1;
@@ -85,7 +88,10 @@ void AdmissionController::on_completed(double exec_ms, bool success) {
 }
 
 double AdmissionController::cached_p50() const {
-  return from_bits(p50_bits_.load(std::memory_order_relaxed));
+  // The floor covers both the pre-first-refresh zero and an early window
+  // whose median is degenerately small (e.g. one trivial warm-up batch).
+  return std::max(from_bits(p50_bits_.load(std::memory_order_relaxed)),
+                  options_.min_exec_ms);
 }
 
 AdmissionController::Stats AdmissionController::stats() const {

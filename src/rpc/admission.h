@@ -32,6 +32,15 @@ struct AdmissionOptions {
   /// Shed when the estimated queue wait exceeds this budget (ms). 0
   /// disables the SLO gate; per-frame deadlines still apply.
   double slo_ms = 0;
+
+  /// Floor on the per-batch execution time the wait estimator uses (ms).
+  /// Before the first quantile refresh the cached p50 is zero, and right
+  /// after it the p50 of a near-empty window can be arbitrarily small —
+  /// either way the wait estimate collapses to ~0 and a cold controller
+  /// admits unboundedly deep queues. Clamping to this floor keeps the
+  /// estimate proportional to queue depth from the very first admit().
+  /// 0 disables the clamp (the pre-floor behavior).
+  double min_exec_ms = 0.01;
 };
 
 struct AdmissionDecision {

@@ -100,7 +100,9 @@ void Engine::serve_batch(std::vector<PendingRequest> batch) {
     Timer exec_timer;
     {
       std::lock_guard<std::mutex> lock(*replica.exec_mutex);
-      if (replica.auto_conv != nullptr) {
+      if (replica.graph != nullptr) {
+        replica.graph->execute(in_staging_.data(), out_staging_.data());
+      } else if (replica.auto_conv != nullptr) {
         replica.auto_conv->execute_pretransformed(in_staging_.data(),
                                                   out_staging_.data());
       } else if (replica.plan != nullptr) {

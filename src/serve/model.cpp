@@ -152,6 +152,13 @@ Model::Replica Model::replica(int bucket, const PlanOptions& options) {
     if (it == net_replicas_.end()) {
       auto fresh = std::make_shared<NetReplica>();
       fresh->net = base_net_->replica(bucket, options);
+      if (config_.graph_exec) {
+        graph::CompileOptions copts;
+        copts.plan = fresh->net->plan_options();
+        copts.pool = &pool_;
+        fresh->graph = std::make_unique<graph::Executor>(
+            fresh->net->to_graph(), copts);
+      }
       it = net_replicas_.emplace(key, std::move(fresh)).first;
     }
     rep = it->second;
@@ -159,6 +166,7 @@ Model::Replica Model::replica(int bucket, const PlanOptions& options) {
   Replica r;
   r.exec_mutex = &rep->exec_mutex;
   r.net = rep->net.get();
+  r.graph = rep->graph.get();
   return r;
 }
 

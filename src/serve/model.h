@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/plan_cache.h"
+#include "graph/executor.h"
 #include "net/sequential.h"
 #include "obs/metrics.h"
 #include "serve/batcher.h"
@@ -88,6 +89,10 @@ class Model {
     select::AutoConv* auto_conv = nullptr;  // conv model with auto_select
     /// The planner's decision behind auto_conv (nullptr otherwise).
     const select::SelectedConfig* selected = nullptr;
+    /// Network model with ModelConfig::graph_exec: the compiled graph
+    /// executor (preferred over `net` when non-null; `net` stays set as
+    /// the layer-at-a-time reference).
+    graph::Executor* graph = nullptr;
   };
   Replica replica(int bucket, const PlanOptions& options);
 
@@ -110,6 +115,9 @@ class Model {
  private:
   struct NetReplica {
     std::unique_ptr<Sequential> net;
+    // ModelConfig::graph_exec: the net lowered + compiled at replica
+    // creation, arena slab checked out of the model pool.
+    std::unique_ptr<graph::Executor> graph;
     std::mutex exec_mutex;
   };
   // Conv model under auto_select: per-(bucket, options) planner-chosen

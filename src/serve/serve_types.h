@@ -74,6 +74,14 @@ struct ModelConfig {
   /// bound). The `plan` field inside is ignored: the model's own `plan`
   /// governs execution and carries the wisdom path.
   select::SelectOptions select;
+
+  /// When true, network models execute through graph::Executor instead of
+  /// layer-at-a-time Sequential: each replica's net is lowered to the
+  /// graph IR, bias/ReLU/pool chains fuse into conv epilogues, and all
+  /// intermediate activations live in one lifetime-planned slab checked
+  /// out of the model's WorkspacePool. Output is bitwise identical to the
+  /// Sequential path. Conv models ignore this.
+  bool graph_exec = false;
 };
 
 /// Server-wide configuration.

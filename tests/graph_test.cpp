@@ -1,0 +1,491 @@
+// ondwin::graph coverage: IR construction, fusion legality, the buffer
+// lifetime planner, and — the load-bearing contract — bitwise identity of
+// graph execution against layer-at-a-time Sequential, under both staged
+// and fused tile-block Winograd, with fusion on and off, standalone and
+// through the serving tier.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "graph/executor.h"
+#include "graph/fusion.h"
+#include "graph/ir.h"
+#include "graph/memory_planner.h"
+#include "graph/ops.h"
+#include "net/sequential.h"
+#include "serve/server.h"
+#include "util/rng.h"
+
+namespace ondwin {
+namespace {
+
+using graph::CompileOptions;
+using graph::Executor;
+using graph::FusionPlan;
+using graph::Graph;
+using graph::MemoryPlan;
+using graph::OpKind;
+using graph::Step;
+using graph::ValueId;
+
+PlanOptions one_thread() {
+  PlanOptions o;
+  o.threads = 1;
+  return o;
+}
+
+PlanOptions two_threads(FusionMode mode = FusionMode::kAuto) {
+  PlanOptions o;
+  o.threads = 2;
+  o.fusion = mode;
+  return o;
+}
+
+void fill_random(AlignedBuffer<float>& buf, std::size_t n, u64 seed) {
+  buf.reset(n);
+  Rng rng(seed);
+  for (auto& v : buf) v = rng.uniform(-0.5f, 0.5f);
+}
+
+/// A small VGG-flavored 2D stack: conv+relu pairs with pool-foldable and
+/// pool-unfoldable windows mixed in.
+std::unique_ptr<Sequential> vgg_ish(const PlanOptions& opts) {
+  auto net = std::make_unique<Sequential>(2, 16, Dims{16, 16}, opts);
+  net->add_conv(32, {3, 3}, {1, 1}, {4, 4}, /*relu=*/true);
+  net->add_conv(32, {3, 3}, {1, 1}, {4, 4}, /*relu=*/true);
+  net->add_max_pool(2);  // foldable: 4 % 2 == 0
+  net->add_conv(64, {3, 3}, {1, 1}, {3, 3}, /*relu=*/true);
+  net->add_max_pool(2);  // NOT foldable: 3 % 2 != 0 — stays standalone
+  net->add_conv(64, {3, 3}, {1, 1}, {2, 2}, /*relu=*/false);
+  Rng rng(0xBEEF);
+  net->randomize_weights(rng);
+  return net;
+}
+
+/// A C3D-flavored 3D stack (video-style volumetric convs + 3D pool).
+std::unique_ptr<Sequential> c3d_ish(const PlanOptions& opts) {
+  auto net = std::make_unique<Sequential>(1, 16, Dims{8, 12, 12}, opts);
+  net->add_conv(32, {3, 3, 3}, {1, 1, 1}, {2, 2, 2}, /*relu=*/true);
+  net->add_max_pool(2);  // foldable in all three dimensions
+  net->add_conv(32, {3, 3, 3}, {1, 1, 1}, {2, 2, 2}, /*relu=*/true);
+  Rng rng(0xC3D);
+  net->randomize_weights(rng);
+  return net;
+}
+
+void expect_graph_matches_net(Sequential& net, const CompileOptions& copts) {
+  Executor exec(net.to_graph(), copts);
+  ASSERT_EQ(exec.input_layout().total_floats(),
+            net.input_layout().total_floats());
+  ASSERT_EQ(exec.output_layout().total_floats(),
+            net.output_layout().total_floats());
+
+  const std::size_t sin =
+      static_cast<std::size_t>(net.input_layout().total_floats());
+  const std::size_t sout =
+      static_cast<std::size_t>(net.output_layout().total_floats());
+  AlignedBuffer<float> in, want(sout), got(sout);
+  // Two rounds: the second catches state leaking between execute() calls.
+  for (u64 round = 0; round < 2; ++round) {
+    fill_random(in, sin, 0x5EED + round);
+    net.forward_into(in.data(), want.data());
+    exec.execute(in.data(), got.data());
+    ASSERT_EQ(std::memcmp(got.data(), want.data(), sout * sizeof(float)), 0)
+        << "round " << round << "\n"
+        << exec.summary();
+  }
+}
+
+// ----------------------------------------------------------------- IR
+
+TEST(GraphIr, BuildsShapesAndUsers) {
+  Graph g(2, 16, {16, 16});
+  ValueId v = g.conv(g.input(), 32, {3, 3}, {1, 1}, {4, 4});
+  EXPECT_EQ(g.layout(v).channels, 32);
+  EXPECT_EQ(g.layout(v).spatial, (Dims{16, 16}));
+  v = g.relu(v);
+  v = g.max_pool(v, 2);
+  EXPECT_EQ(g.layout(v).spatial, (Dims{8, 8}));
+  g.mark_output(v);
+  EXPECT_EQ(g.output(), v);
+  EXPECT_EQ(g.nodes().size(), 3u);
+  EXPECT_EQ(g.values().size(), 4u);  // input + three op outputs
+  // The conv's output has exactly one user (the relu).
+  EXPECT_EQ(g.value(1).users.size(), 1u);
+  EXPECT_EQ(g.value(g.input()).def, -1);
+  EXPECT_FALSE(g.summary().empty());
+}
+
+TEST(GraphIr, MaxPoolFloorSemantics) {
+  Graph g(1, 16, {9, 9});
+  ValueId v = g.max_pool(g.input(), 2);
+  EXPECT_EQ(g.layout(v).spatial, (Dims{4, 4}));  // trailing row dropped
+}
+
+TEST(GraphIr, EltwiseAddRequiresMatchingLayouts) {
+  Graph g(1, 16, {8, 8});
+  ValueId a = g.conv(g.input(), 16, {3, 3}, {1, 1}, {2, 2});
+  ValueId b = g.conv(g.input(), 16, {3, 3}, {1, 1}, {2, 2});
+  ValueId sum = g.eltwise_add(a, b);
+  EXPECT_EQ(g.layout(sum).channels, 16);
+  EXPECT_EQ(g.value(g.input()).users.size(), 2u);
+}
+
+// -------------------------------------------------------------- fusion
+
+TEST(GraphFusion, FoldsBiasReluPoolChain) {
+  Graph g(1, 16, {8, 8});
+  std::vector<float> b(32, 0.1f);
+  ValueId v = g.conv(g.input(), 32, {3, 3}, {1, 1}, {4, 4});
+  v = g.bias(v, b.data());
+  v = g.relu(v);
+  v = g.max_pool(v, 2);
+  g.mark_output(v);
+
+  const FusionPlan plan = graph::fuse(g);
+  ASSERT_EQ(plan.steps.size(), 1u);
+  const Step& st = plan.steps[0];
+  EXPECT_EQ(st.kind, OpKind::kConv);
+  EXPECT_NE(st.bias, nullptr);
+  EXPECT_TRUE(st.relu);
+  EXPECT_EQ(st.pool_window, 2);
+  EXPECT_EQ(st.out, v);  // the step produces the LAST folded node's edge
+  EXPECT_EQ(plan.folded_nodes, 3);
+  EXPECT_EQ(plan.fused_pools, 1);
+}
+
+TEST(GraphFusion, PoolStraddlingTilesStaysStandalone) {
+  Graph g(1, 16, {9, 9});
+  ValueId v = g.conv(g.input(), 16, {3, 3}, {1, 1}, {3, 3});
+  v = g.relu(v);
+  v = g.max_pool(v, 2);  // 3 % 2 != 0 → windows would straddle tiles
+  g.mark_output(v);
+
+  const FusionPlan plan = graph::fuse(g);
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_TRUE(plan.steps[0].relu);
+  EXPECT_EQ(plan.steps[0].pool_window, 0);
+  EXPECT_EQ(plan.steps[1].kind, OpKind::kMaxPool);
+  EXPECT_EQ(plan.fused_pools, 0);
+}
+
+TEST(GraphFusion, MultiUserEdgeBlocksFolding) {
+  Graph g(1, 16, {8, 8});
+  ValueId c = g.conv(g.input(), 16, {3, 3}, {1, 1}, {2, 2});
+  ValueId r = g.relu(c);       // would fold…
+  ValueId other = g.relu(c);   // …but c now has two users
+  ValueId sum = g.eltwise_add(r, other);
+  g.mark_output(sum);
+
+  const FusionPlan plan = graph::fuse(g);
+  ASSERT_EQ(plan.steps.size(), 4u);  // conv, relu, relu, add — nothing folds
+  EXPECT_FALSE(plan.steps[0].relu);
+}
+
+TEST(GraphFusion, ReluBeforeBiasBlocksBiasFold) {
+  Graph g(1, 16, {8, 8});
+  std::vector<float> b(16, 0.5f);
+  ValueId v = g.conv(g.input(), 16, {3, 3}, {1, 1}, {2, 2});
+  v = g.relu(v);
+  v = g.bias(v, b.data());  // relu(x) + b ≠ relu(x + b): must NOT fold
+  g.mark_output(v);
+
+  const FusionPlan plan = graph::fuse(g);
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_TRUE(plan.steps[0].relu);
+  EXPECT_EQ(plan.steps[0].bias, nullptr);
+  EXPECT_EQ(plan.steps[1].kind, OpKind::kBias);
+}
+
+TEST(GraphFusion, DisabledLowersEveryNode) {
+  Graph g(1, 16, {8, 8});
+  std::vector<float> b(16, 0.1f);
+  ValueId v = g.conv(g.input(), 16, {3, 3}, {1, 1}, {2, 2});
+  v = g.bias(v, b.data());
+  v = g.relu(v);
+  g.mark_output(v);
+
+  const FusionPlan plan = graph::fuse(g, /*enable=*/false);
+  EXPECT_EQ(plan.steps.size(), 3u);
+  EXPECT_EQ(plan.folded_nodes, 0);
+}
+
+// ------------------------------------------------------ memory planner
+
+TEST(GraphPlanner, LiveRangesNeverOverlapInTheSlab) {
+  Graph g(1, 16, {16, 16});
+  ValueId v = g.conv(g.input(), 32, {3, 3}, {1, 1}, {4, 4});
+  ValueId branch = g.relu(v);  // keeps v alive past the next conv
+  v = g.conv(v, 32, {3, 3}, {1, 1}, {4, 4});
+  v = g.eltwise_add(v, branch);
+  v = g.max_pool(v, 2);
+  g.mark_output(v);
+
+  const FusionPlan fusion = graph::fuse(g);
+  const MemoryPlan plan = graph::plan_memory(g, fusion);
+  ASSERT_GE(plan.placements.size(), 3u);
+  for (const auto& a : plan.placements) {
+    EXPECT_EQ(a.offset % static_cast<i64>(kAlignment), 0) << "v" << a.value;
+    EXPECT_LE(a.offset + a.bytes, plan.slab_bytes);
+    for (const auto& b : plan.placements) {
+      if (a.value == b.value) continue;
+      const bool lives_overlap =
+          a.def_step <= b.last_step && b.def_step <= a.last_step;
+      const bool bytes_overlap =
+          a.offset < b.offset + b.bytes && b.offset < a.offset + a.bytes;
+      EXPECT_FALSE(lives_overlap && bytes_overlap)
+          << "v" << a.value << " and v" << b.value << " overlap";
+    }
+  }
+}
+
+TEST(GraphPlanner, DeepChainReusesBuffersPingPongStyle) {
+  // A straight chain only ever needs two live buffers, so the planned
+  // slab must come in well under one-buffer-per-edge.
+  Graph g(1, 16, {16, 16});
+  ValueId v = g.input();
+  for (int i = 0; i < 6; ++i) v = g.conv(v, 16, {3, 3}, {1, 1}, {4, 4});
+  g.mark_output(v);
+
+  const FusionPlan fusion = graph::fuse(g);
+  const MemoryPlan plan = graph::plan_memory(g, fusion);
+  EXPECT_EQ(plan.placements.size(), 5u);  // output edge is external
+  EXPECT_LT(plan.slab_bytes, plan.naive_bytes);
+  EXPECT_LE(plan.slab_bytes, 2 * plan.placements[0].bytes);
+  EXPECT_LT(graph::plan_memory(g, graph::fuse(g, false)).slab_bytes,
+            graph::plan_memory(g, graph::fuse(g, false)).naive_bytes);
+}
+
+TEST(GraphPlanner, ExternalEdgesAreNotPlanned) {
+  Graph g(1, 16, {8, 8});
+  ValueId v = g.conv(g.input(), 16, {3, 3}, {1, 1}, {2, 2});
+  g.mark_output(v);
+  const MemoryPlan plan = graph::plan_memory(g, graph::fuse(g));
+  EXPECT_EQ(plan.offset_of(g.input()), -1);
+  EXPECT_EQ(plan.offset_of(v), -1);
+  EXPECT_EQ(plan.slab_bytes, 0);
+}
+
+// ----------------------------------------- pooled epilogue (ConvPlan)
+
+TEST(GraphEpilogue, PooledConvMatchesConvThenStandalonePool) {
+  for (FusionMode mode : {FusionMode::kStaged, FusionMode::kFused}) {
+    ConvProblem p;
+    p.shape.batch = 2;
+    p.shape.in_channels = 16;
+    p.shape.out_channels = 32;
+    p.shape.image = {12, 12};
+    p.shape.kernel = {3, 3};
+    p.shape.padding = {1, 1};
+    p.tile_m = {4, 4};
+
+    ConvPlan plan(p, two_threads(mode));
+    AlignedBuffer<float> w, in;
+    fill_random(w, static_cast<std::size_t>(p.kernel_layout().total_floats()),
+                7);
+    fill_random(in, static_cast<std::size_t>(p.input_layout().total_floats()),
+                8);
+    plan.set_kernels(w.data());
+    AlignedBuffer<float> bias(32);
+    Rng rng(9);
+    for (auto& v : bias) v = rng.uniform(-0.2f, 0.2f);
+
+    // Reference: conv with bias+relu epilogue, then the standalone pool.
+    const ImageLayout out_l = p.output_layout();
+    AlignedBuffer<float> full(
+        static_cast<std::size_t>(out_l.total_floats()));
+    Epilogue ep;
+    ep.bias = bias.data();
+    ep.relu = true;
+    plan.execute_pretransformed(in.data(), full.data(), ep);
+    ImageLayout pooled_l(out_l.batch, out_l.channels,
+                         {out_l.spatial[0] / 2, out_l.spatial[1] / 2});
+    AlignedBuffer<float> want(
+        static_cast<std::size_t>(pooled_l.total_floats()));
+    graph::max_pool_blocked(out_l, 2, full.data(), want.data());
+
+    // Fused: the pool runs inside the inverse-transform epilogue.
+    AlignedBuffer<float> got(want.size());
+    ep.pool_window = 2;
+    plan.execute_pretransformed(in.data(), got.data(), ep);
+    EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                          want.size() * sizeof(float)),
+              0)
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+// --------------------------------------------------- executor identity
+
+TEST(GraphExecutor, VggIshMatchesSequentialStaged) {
+  auto net = vgg_ish(two_threads(FusionMode::kStaged));
+  CompileOptions copts;
+  copts.plan = net->plan_options();
+  expect_graph_matches_net(*net, copts);
+}
+
+TEST(GraphExecutor, VggIshMatchesSequentialFused) {
+  auto net = vgg_ish(two_threads(FusionMode::kFused));
+  CompileOptions copts;
+  copts.plan = net->plan_options();
+  expect_graph_matches_net(*net, copts);
+}
+
+TEST(GraphExecutor, C3dIshMatchesSequentialStagedAndFused) {
+  for (FusionMode mode : {FusionMode::kStaged, FusionMode::kFused}) {
+    auto net = c3d_ish(two_threads(mode));
+    CompileOptions copts;
+    copts.plan = net->plan_options();
+    expect_graph_matches_net(*net, copts);
+  }
+}
+
+TEST(GraphExecutor, FusionOffIsBitwiseIdenticalToFusionOn) {
+  auto net = vgg_ish(two_threads());
+  CompileOptions fused;
+  fused.plan = net->plan_options();
+  CompileOptions unfused = fused;
+  unfused.fusion = false;
+  Executor a(net->to_graph(), fused);
+  Executor b(net->to_graph(), unfused);
+  EXPECT_GT(a.fusion().folded_nodes, 0);
+  EXPECT_EQ(b.fusion().folded_nodes, 0);
+  EXPECT_LT(a.step_count(), b.step_count());
+
+  const std::size_t sin =
+      static_cast<std::size_t>(a.input_layout().total_floats());
+  const std::size_t sout =
+      static_cast<std::size_t>(a.output_layout().total_floats());
+  AlignedBuffer<float> in, ya(sout), yb(sout);
+  fill_random(in, sin, 0xF00D);
+  a.execute(in.data(), ya.data());
+  b.execute(in.data(), yb.data());
+  EXPECT_EQ(std::memcmp(ya.data(), yb.data(), sout * sizeof(float)), 0);
+}
+
+TEST(GraphExecutor, ResidualAddRunsAndMatchesManualReference) {
+  Graph g(1, 16, {8, 8});
+  std::vector<float> bias(16, 0.05f);
+  ValueId c1 = g.conv(g.input(), 16, {3, 3}, {1, 1}, {2, 2});
+  ValueId b1 = g.bias(c1, bias.data());
+  ValueId r1 = g.relu(b1);
+  ValueId c2 = g.conv(r1, 16, {3, 3}, {1, 1}, {2, 2});
+  ValueId sum = g.eltwise_add(c2, r1);  // r1 has two users: no folding past it
+  ValueId out = g.relu(sum);
+  g.mark_output(out);
+
+  // Capture the weights before the graph moves into the executor.
+  AlignedBuffer<float> w1(g.nodes()[0].weights.size());
+  AlignedBuffer<float> w2(g.nodes()[3].weights.size());
+  std::memcpy(w1.data(), g.nodes()[0].weights.data(),
+              w1.size() * sizeof(float));
+  std::memcpy(w2.data(), g.nodes()[3].weights.data(),
+              w2.size() * sizeof(float));
+  const ConvProblem p1 = g.nodes()[0].problem;
+  const ConvProblem p2 = g.nodes()[3].problem;
+
+  CompileOptions copts;
+  copts.plan = one_thread();
+  Executor exec(std::move(g), copts);
+
+  const ImageLayout l = exec.input_layout();
+  const std::size_t n = static_cast<std::size_t>(l.total_floats());
+  AlignedBuffer<float> in;
+  fill_random(in, n, 0xADD);
+
+  // Manual layer-at-a-time reference through the same standalone ops.
+  ConvPlan plan1(p1, one_thread()), plan2(p2, one_thread());
+  plan1.set_kernels(w1.data());
+  plan2.set_kernels(w2.data());
+  AlignedBuffer<float> t1(n), t2(n), t3(n), want(n);
+  plan1.execute_pretransformed(in.data(), t1.data());
+  graph::bias_blocked(l, bias.data(), t1.data(), t2.data());
+  graph::relu_blocked(l, t2.data(), t1.data());  // t1 = r1
+  plan2.execute_pretransformed(t1.data(), t2.data());
+  graph::eltwise_add_blocked(l, t2.data(), t1.data(), t3.data());
+  graph::relu_blocked(l, t3.data(), want.data());
+
+  AlignedBuffer<float> got(n);
+  exec.execute(in.data(), got.data());
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(float)), 0);
+}
+
+TEST(GraphExecutor, BlockingOverridesMatchExplicitPlanOptions) {
+  // A node-level Blocking override must reproduce a ConvPlan built with
+  // the same options (that is how auto-selected layers keep their bits).
+  Blocking blk;
+  blk.n_blk = 2;
+  blk.c_blk = 16;
+  Graph g(2, 32, {12, 12});
+  ValueId v = g.conv(g.input(), 32, {3, 3}, {1, 1}, {4, 4}, blk);
+  g.mark_output(v);
+  AlignedBuffer<float> w(g.nodes()[0].weights.size());
+  std::memcpy(w.data(), g.nodes()[0].weights.data(),
+              w.size() * sizeof(float));
+  const ConvProblem p = g.nodes()[0].problem;
+
+  CompileOptions copts;
+  copts.plan = two_threads();
+  Executor exec(std::move(g), copts);
+
+  PlanOptions expect = two_threads();
+  expect.n_blk = 2;
+  expect.c_blk = 16;
+  ConvPlan ref(p, expect);
+  ref.set_kernels(w.data());
+
+  const std::size_t sin =
+      static_cast<std::size_t>(p.input_layout().total_floats());
+  const std::size_t sout =
+      static_cast<std::size_t>(p.output_layout().total_floats());
+  AlignedBuffer<float> in, want(sout), got(sout);
+  fill_random(in, sin, 0xB10C);
+  ref.execute_pretransformed(in.data(), want.data());
+  exec.execute(in.data(), got.data());
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), sout * sizeof(float)), 0);
+}
+
+// ------------------------------------------------------------- serving
+
+TEST(GraphServe, GraphExecModelMatchesSequentialModelBitwise) {
+  auto base = std::make_shared<Sequential>(1, 16, Dims{16, 16}, one_thread());
+  base->add_conv(32, {3, 3}, {1, 1}, {4, 4}, /*relu=*/true);
+  base->add_max_pool(2);
+  base->add_conv(32, {3, 3}, {1, 1}, {2, 2}, /*relu=*/true);
+  Rng rng(0x5EEE);
+  base->randomize_weights(rng);
+
+  const std::size_t sin =
+      static_cast<std::size_t>(base->input_layout().total_floats());
+  const std::size_t sout =
+      static_cast<std::size_t>(base->output_layout().total_floats());
+
+  serve::InferenceServer server;
+  serve::ModelConfig plain;
+  plain.batching.max_batch = 4;
+  plain.batching.max_delay_ms = 0.5;
+  plain.plan = one_thread();
+  serve::ModelConfig graphed = plain;
+  graphed.graph_exec = true;
+  server.register_network("net", base, plain);
+  server.register_network("net_graph", base, graphed);
+
+  constexpr int kSamples = 6;
+  for (int s = 0; s < kSamples; ++s) {
+    AlignedBuffer<float> in;
+    fill_random(in, sin, 0x9000 + static_cast<u64>(s));
+    serve::InferenceResult a = server.submit("net", in.data()).get();
+    serve::InferenceResult b = server.submit("net_graph", in.data()).get();
+    ASSERT_EQ(a.output.size(), sout);
+    ASSERT_EQ(b.output.size(), sout);
+    EXPECT_EQ(std::memcmp(a.output.data(), b.output.data(),
+                          sout * sizeof(float)),
+              0)
+        << "sample " << s;
+  }
+}
+
+}  // namespace
+}  // namespace ondwin

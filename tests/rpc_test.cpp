@@ -225,6 +225,41 @@ TEST(RpcAdmission, ShedsByInflightDeadlineAndSlo) {
   EXPECT_EQ(s.inflight, 2);
 }
 
+TEST(RpcAdmission, ExecFloorScalesColdStartEstimate) {
+  AdmissionOptions opt;
+  opt.min_exec_ms = 0.5;
+  AdmissionController ctl(opt);
+
+  // Before any completion the cached p50 is zero; the floor keeps the
+  // wait estimate proportional to queue depth instead of admitting a
+  // doomed request into a 100-deep queue.
+  AdmissionDecision d = ctl.admit(/*queue_depth=*/99, /*max_batch=*/4,
+                                  /*deadline_ms=*/10);
+  EXPECT_FALSE(d.admit);
+  EXPECT_EQ(d.shed_status, kShedDeadline);
+  EXPECT_DOUBLE_EQ(d.estimated_wait_ms, 12.5);  // ceil(100/4) = 25 × 0.5
+
+  // Shallow queues still clear the same deadline under the floor.
+  EXPECT_TRUE(ctl.admit(3, 4, 10).admit);
+
+  // A degenerately fast first window (p50 ≈ 1 µs) stays clamped: the
+  // refreshed median loses to the floor, so the estimate cannot collapse.
+  ctl.on_admitted();
+  ctl.on_completed(0.001, true);
+  d = ctl.admit(99, 4, /*deadline_ms=*/10);
+  EXPECT_FALSE(d.admit);
+  EXPECT_DOUBLE_EQ(d.estimated_wait_ms, 12.5);
+
+  // min_exec_ms = 0 restores the pre-floor behavior: a cold controller
+  // estimates zero wait and admits everything within bounds.
+  AdmissionOptions raw;
+  raw.min_exec_ms = 0;
+  AdmissionController cold(raw);
+  d = cold.admit(10000, 4, /*deadline_ms=*/0.001);
+  EXPECT_TRUE(d.admit);
+  EXPECT_DOUBLE_EQ(d.estimated_wait_ms, 0.0);
+}
+
 // ------------------------------------------------- end-to-end unix socket
 
 struct Fixture {
