@@ -113,9 +113,30 @@ int run_obs_overhead_check() {
                 attempt + 1, off * 1e3, on * 1e3, overhead * 100.0);
     pass = overhead < 0.02;
   }
+
+  // Second contract: the distributed-tracing plumbing (an active trace
+  // context installed, tracing compiled in but DISABLED — the always-on
+  // production configuration) must also stay under 2% vs plain disabled.
+  bool ctx_pass = false;
+  for (int attempt = 0; attempt < 3 && !ctx_pass; ++attempt) {
+    tracer.set_enabled(false);
+    const double off = bench_secs(run);
+    const double with_ctx = bench_secs([&] {
+      obs::TraceContext ctx{obs::new_trace_id(), obs::new_span_id()};
+      obs::TraceContextScope scope(ctx);
+      run();
+    });
+    const double overhead = with_ctx / off - 1.0;
+    std::printf("  ctx attempt %d: off %.3f ms, ctx (disabled) %.3f ms, "
+                "overhead %+.2f%%\n",
+                attempt + 1, off * 1e3, with_ctx * 1e3, overhead * 100.0);
+    ctx_pass = overhead < 0.02;
+  }
+
   tracer.set_enabled(was_enabled);
-  std::printf("obs-overhead: %s (budget 2%%)\n", pass ? "PASS" : "FAIL");
-  return pass ? 0 : 1;
+  std::printf("obs-overhead: %s (budget 2%%)\n",
+              pass && ctx_pass ? "PASS" : "FAIL");
+  return pass && ctx_pass ? 0 : 1;
 }
 
 }  // namespace

@@ -26,6 +26,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <memory>
@@ -76,7 +77,11 @@ serve::ModelConfig model_config() {
 }
 
 /// Backend process: serve "conv" on `path` until stdin reaches EOF.
-int run_backend(const std::string& path) {
+int run_backend(const std::string& path, int index) {
+  // Distinct process name per backend so a merged trace renders one
+  // labelled track group per process (the fork parent already rewrote
+  // ONDWIN_TRACE to a per-backend dump path).
+  obs::Tracer::instance().set_process_name("backend" + std::to_string(index));
   const ConvProblem p = serving_problem();
   AlignedBuffer<float> weights;
   fill_random(weights,
@@ -105,7 +110,8 @@ struct BackendProc {
   std::string path;
 };
 
-BackendProc spawn_backend(const char* self, const std::string& path) {
+BackendProc spawn_backend(const char* self, const std::string& path,
+                          int index) {
   int pipe_fds[2];
   if (::pipe(pipe_fds) != 0) {
     std::perror("pipe");
@@ -120,8 +126,25 @@ BackendProc spawn_backend(const char* self, const std::string& path) {
     ::dup2(pipe_fds[0], STDIN_FILENO);
     ::close(pipe_fds[0]);
     ::close(pipe_fds[1]);
-    ::execl(self, self, "--backend", path.c_str(),
-            static_cast<char*>(nullptr));
+    // Propagate tracing into the backend with a per-process dump path
+    // (every process atexit-dumping to the SAME file would clobber each
+    // other): trace.json -> trace.backend0.json etc. The per-process
+    // files merge with tools/trace_merge.
+    if (const char* trace = std::getenv("ONDWIN_TRACE");
+        trace != nullptr && trace[0] != '\0') {
+      std::string dump = trace;
+      const std::string suffix = ".json";
+      if (dump.size() > suffix.size() &&
+          dump.compare(dump.size() - suffix.size(), suffix.size(),
+                       suffix) == 0) {
+        dump.resize(dump.size() - suffix.size());
+      }
+      dump += ".backend" + std::to_string(index) + ".json";
+      ::setenv("ONDWIN_TRACE", dump.c_str(), 1);
+    }
+    const std::string index_str = std::to_string(index);
+    ::execl(self, self, "--backend", path.c_str(), "--index",
+            index_str.c_str(), static_cast<char*>(nullptr));
     std::perror("execl");
     std::_Exit(127);
   }
@@ -156,11 +179,17 @@ double quantile(std::vector<double>& v, double q) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string backend_path;
+  int backend_index = 0;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--backend") == 0) {
-      return run_backend(argv[i + 1]);
+      backend_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--index") == 0) {
+      backend_index = std::atoi(argv[i + 1]);
     }
   }
+  if (!backend_path.empty()) return run_backend(backend_path, backend_index);
+  obs::Tracer::instance().set_process_name("router");
   const std::string json_path = ondwin::bench::json_flag(argc, argv);
 
   const ConvProblem p = serving_problem();
@@ -176,8 +205,8 @@ int main(int argc, char** argv) {
   const std::string base =
       "/tmp/ondwin_bench_rpc_" + std::to_string(::getpid());
   std::vector<BackendProc> backends;
-  backends.push_back(spawn_backend(argv[0], base + "_0.sock"));
-  backends.push_back(spawn_backend(argv[0], base + "_1.sock"));
+  backends.push_back(spawn_backend(argv[0], base + "_0.sock", 0));
+  backends.push_back(spawn_backend(argv[0], base + "_1.sock", 1));
   for (const BackendProc& b : backends) wait_ready(b.path);
 
   constexpr int kRequests = 2048;

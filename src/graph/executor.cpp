@@ -1,5 +1,9 @@
 #include "graph/executor.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
 #include <sstream>
 
 #include "graph/ops.h"
@@ -8,6 +12,42 @@
 #include "util/timer.h"
 
 namespace ondwin::graph {
+
+namespace {
+
+// Live-executor registry backing the static attribution_report(): an
+// executor is visible from construction to destruction, and the report
+// holds the mutex while reading, so a concurrently-scraping /statusz
+// never sees a dying executor.
+std::mutex& executors_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<Executor*>& live_executors() {
+  static std::vector<Executor*> v;
+  return v;
+}
+
+}  // namespace
+
+/// Per-step attribution state. Wall times are written by the (single)
+/// executing thread and read by scrape threads, hence the atomic-double
+/// Gauges; the registry-owned instruments are shared by every replica of
+/// the same model (same node label → same identity).
+struct Executor::StepAttr {
+  std::string label;           // "conv#3"
+  const char* op = "";         // static op_name() string
+  const char* span_name = "";  // interned "graph.conv#3"
+  double flops = 0;            // per execution (model-derived)
+  double bytes = 0;            // per execution: in + out + weights
+  std::atomic<u64> executions{0};
+  obs::Gauge last_ms;
+  obs::Gauge total_ms;
+  obs::Histogram* seconds = nullptr;
+  obs::Gauge* gflops = nullptr;
+  obs::Counter* bytes_total = nullptr;
+};
 
 Executor::Executor(Graph graph, const CompileOptions& options)
     : graph_(std::move(graph)), options_(options) {
@@ -48,6 +88,65 @@ Executor::Executor(Graph graph, const CompileOptions& options)
   step_seconds_.assign(exec_.size(), 0.0);
 
   obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+
+  // Per-node attribution: model-derived flops/bytes computed once here,
+  // observed into node-labelled instruments on every execution.
+  for (ExecStep& es : exec_) {
+    const Step& st = es.step;
+    const Node& n = graph_.nodes()[static_cast<std::size_t>(st.node)];
+    const ImageLayout& out_layout = graph_.layout(st.out);
+    auto attr = std::make_unique<StepAttr>();
+    attr->op = op_name(st.kind);
+    attr->label = str_cat(attr->op, "#", st.node);
+    attr->span_name = obs::intern_name(str_cat("graph.", attr->label));
+    const double in_f = static_cast<double>(es.in_layout.total_floats());
+    const double out_f = static_cast<double>(out_layout.total_floats());
+    switch (st.kind) {
+      case OpKind::kConv: {
+        // Direct-equivalent FLOPs (the roofline convention, so Winograd
+        // speedups show up as super-arithmetic GFLOP/s). A folded pool
+        // shrinks out_layout; the conv itself still computed every
+        // pre-pool pixel.
+        double conv_pixels = static_cast<double>(out_layout.pixels());
+        if (st.pool_window > 1) {
+          for (int d = 0; d < out_layout.spatial.rank(); ++d) {
+            conv_pixels *= static_cast<double>(st.pool_window);
+          }
+        }
+        attr->flops = 2.0 * static_cast<double>(out_layout.batch) *
+                      static_cast<double>(n.problem.shape.in_channels) *
+                      static_cast<double>(n.problem.shape.out_channels) *
+                      conv_pixels *
+                      static_cast<double>(n.problem.shape.kernel.product());
+        attr->bytes =
+            (in_f + out_f + static_cast<double>(n.weights.size())) *
+            sizeof(float);
+        break;
+      }
+      case OpKind::kEltwiseAdd:
+        attr->flops = out_f;
+        attr->bytes = (2 * in_f + out_f) * sizeof(float);
+        break;
+      default:  // bias/relu/pool: ~one op per element moved
+        attr->flops = std::max(in_f, out_f);
+        attr->bytes = (in_f + out_f) * sizeof(float);
+        break;
+    }
+    const obs::Labels labels = {{"node", attr->label}, {"op", attr->op}};
+    attr->seconds = &reg.histogram(
+        "ondwin_graph_node_seconds",
+        "Per-graph-node execution wall time (seconds)",
+        {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0},
+        labels);
+    attr->gflops = &reg.gauge(
+        "ondwin_graph_node_gflops",
+        "Direct-equivalent GFLOP/s of the node's last execution", labels);
+    attr->bytes_total = &reg.counter(
+        "ondwin_graph_node_bytes_total",
+        "Model-derived bytes moved by the node (in + out + weights)",
+        labels);
+    es.attr = std::move(attr);
+  }
   reg.counter("ondwin_graph_compiles_total", "Graph executors compiled")
       .inc();
   reg.counter("ondwin_graph_nodes_folded_total",
@@ -60,9 +159,17 @@ Executor::Executor(Graph graph, const CompileOptions& options)
             "Sum of per-edge activation bytes of the last compiled graph "
             "(what one-buffer-per-edge allocation would cost)")
       .set(static_cast<double>(memory_.naive_bytes));
+
+  // Visible to attribution_report() only once fully constructed.
+  std::lock_guard<std::mutex> lock(executors_mu());
+  live_executors().push_back(this);
 }
 
-Executor::~Executor() = default;
+Executor::~Executor() {
+  std::lock_guard<std::mutex> lock(executors_mu());
+  auto& v = live_executors();
+  v.erase(std::remove(v.begin(), v.end(), this), v.end());
+}
 
 const float* Executor::src_of(ValueId v, const float* input) const {
   if (v == graph_.input()) return input;
@@ -83,12 +190,14 @@ void Executor::execute(const float* input, float* output) {
   obs::MetricsRegistry::global()
       .counter("ondwin_graph_executions_total", "Graph executions")
       .inc();
+  const bool tracing = obs::trace_enabled();
   Timer total;
   for (std::size_t i = 0; i < exec_.size(); ++i) {
     ExecStep& es = exec_[i];
     const Step& st = es.step;
     const float* src = src_of(st.in0, input);
     float* dst = dst_of(st.out, output);
+    const u64 step_begin_ns = tracing ? obs::trace_now_ns() : 0;
     Timer t;
     switch (st.kind) {
       case OpKind::kConv: {
@@ -125,9 +234,77 @@ void Executor::execute(const float* input, float* output) {
       case OpKind::kInput:
         break;  // never lowered to a step
     }
-    step_seconds_[i] = t.seconds();
+    const double sec = t.seconds();
+    step_seconds_[i] = sec;
+    if (es.attr != nullptr) {
+      StepAttr& a = *es.attr;
+      a.executions.fetch_add(1, std::memory_order_relaxed);
+      a.last_ms.set(sec * 1e3);
+      a.total_ms.add(sec * 1e3);
+      a.seconds->observe(sec);
+      if (sec > 0) a.gflops->set(a.flops / sec * 1e-9);
+      a.bytes_total->inc(static_cast<u64>(a.bytes));
+      if (tracing) {
+        // The node-labelled span ("graph.conv#3") chains under whatever
+        // trace context the caller established — for served requests,
+        // the originating request's distributed trace.
+        obs::record_span(a.span_name, step_begin_ns,
+                         obs::trace_now_ns() - step_begin_ns,
+                         obs::current_trace_context());
+      }
+    }
   }
   last_seconds_ = total.seconds();
+}
+
+std::vector<Executor::NodeAttr> Executor::attribution() const {
+  std::vector<NodeAttr> out;
+  out.reserve(exec_.size());
+  for (const ExecStep& es : exec_) {
+    if (es.attr == nullptr) continue;
+    const StepAttr& a = *es.attr;
+    NodeAttr na;
+    na.node = a.label;
+    na.op = a.op;
+    na.executions = a.executions.load(std::memory_order_relaxed);
+    na.last_ms = a.last_ms.value();
+    na.mean_ms =
+        na.executions > 0
+            ? a.total_ms.value() / static_cast<double>(na.executions)
+            : 0;
+    na.flops = a.flops;
+    na.bytes = a.bytes;
+    const double last_s = na.last_ms * 1e-3;
+    if (last_s > 0) {
+      na.gflops = a.flops / last_s * 1e-9;
+      na.gbps = a.bytes / last_s * 1e-9;
+    }
+    out.push_back(std::move(na));
+  }
+  return out;
+}
+
+std::string Executor::attribution_report() {
+  std::lock_guard<std::mutex> lock(executors_mu());
+  const std::vector<Executor*>& execs = live_executors();
+  if (execs.empty()) return "  no live graph executors\n";
+  std::string out;
+  int k = 0;
+  for (const Executor* e : execs) {
+    out += str_cat("  executor ", k++, ": ", e->step_count(), " steps, ",
+                   e->arena_bytes(), " B arena\n");
+    for (const NodeAttr& na : e->attribution()) {
+      char line[192];
+      std::snprintf(line, sizeof(line),
+                    "    %-12s x%-7llu last %9.3f ms  mean %9.3f ms  "
+                    "%8.2f GFLOP/s  %7.2f GB/s\n",
+                    na.node.c_str(),
+                    static_cast<unsigned long long>(na.executions),
+                    na.last_ms, na.mean_ms, na.gflops, na.gbps);
+      out += line;
+    }
+  }
+  return out;
 }
 
 std::string Executor::summary() const {

@@ -77,11 +77,36 @@ class Executor {
   /// Human-readable per-step dump: op, folded epilogue, planned offset.
   std::string summary() const;
 
+  /// One node's performance attribution. flops/bytes are per execution
+  /// and model-derived (direct-equivalent FLOPs for convs — the roofline
+  /// convention — and in + out + weights bytes moved); the rates divide
+  /// them by the node's last wall time.
+  struct NodeAttr {
+    std::string node;      // "conv#3" — stable per-graph node label
+    const char* op = "";   // op_name(kind)
+    u64 executions = 0;
+    double last_ms = 0;
+    double mean_ms = 0;
+    double flops = 0;
+    double bytes = 0;
+    double gflops = 0;  // GFLOP/s of the last execution
+    double gbps = 0;    // GB/s of the last execution
+  };
+  std::vector<NodeAttr> attribution() const;
+
+  /// The /statusz roofline section: attribution() of every live Executor
+  /// in the process, one table each (replicas of the same model report
+  /// separately but share the ondwin_graph_node_* instruments).
+  static std::string attribution_report();
+
  private:
+  struct StepAttr;  // per-step attribution state (defined in the .cpp)
+
   struct ExecStep {
     Step step;
     std::unique_ptr<ConvPlan> plan;  // kConv steps only
     ImageLayout in_layout;           // layout of step.in0
+    std::unique_ptr<StepAttr> attr;
   };
 
   const float* src_of(ValueId v, const float* input) const;

@@ -1,0 +1,38 @@
+#include "mem/statusz.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "mem/arena.h"
+#include "mem/topology.h"
+
+namespace ondwin::mem {
+
+std::string pool_status_line(const std::string& name,
+                             const WorkspacePool::Stats& s) {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "  pool %-16s hit_rate=%.3f hits=%llu misses=%llu "
+                "live=%llu B (%llu slabs) idle=%llu B (%llu slabs)\n",
+                name.c_str(), s.hit_rate(),
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.misses),
+                static_cast<unsigned long long>(s.bytes_live),
+                static_cast<unsigned long long>(s.slabs_live),
+                static_cast<unsigned long long>(s.bytes_idle),
+                static_cast<unsigned long long>(s.slabs_idle));
+  return line;
+}
+
+std::string statusz_report() {
+  std::ostringstream os;
+  os << "memory\n";
+  os << "  hugepages: " << (hugepages_enabled() ? "enabled" : "disabled")
+     << " (THP madvise; ONDWIN_HUGETLB opts into explicit reserve)\n";
+  os << "  arena mmap threshold: " << arena_mmap_threshold() << " B\n";
+  os << "  topology: " << Topology::detect().to_string() << "\n";
+  os << pool_status_line("global", WorkspacePool::global().stats());
+  return os.str();
+}
+
+}  // namespace ondwin::mem

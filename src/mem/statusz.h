@@ -1,0 +1,23 @@
+// ondwin::mem /statusz probe — one-call text report of the memory
+// subsystem's live state: allocator policy (hugepages on/off, hugetlb
+// opt-in, mmap threshold), NUMA topology, and the global workspace
+// pool's hit rate / live / idle bytes. Rendered into the HTTP
+// exporter's /statusz page; additional per-model pools are appended by
+// their owners (serve::InferenceServer).
+#pragma once
+
+#include <string>
+
+#include "mem/workspace_pool.h"
+
+namespace ondwin::mem {
+
+/// Text block describing allocator policy, topology, and the global
+/// pool. Cheap: one mutexed stats snapshot, no smaps walk.
+std::string statusz_report();
+
+/// One formatted line for any pool ("  pool <name>: hit_rate=.. ...").
+std::string pool_status_line(const std::string& name,
+                             const WorkspacePool::Stats& stats);
+
+}  // namespace ondwin::mem

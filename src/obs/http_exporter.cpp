@@ -1,0 +1,386 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "mem/statusz.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ondwin::obs {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ONDWIN_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+               "fcntl(O_NONBLOCK) failed: ", std::strerror(errno));
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 400: return "Bad Request";
+    case 431: return "Request Header Fields Too Large";
+    default: return "Error";
+  }
+}
+
+/// Parses "GET /path?query HTTP/1.1" out of the request bytes. Only the
+/// request line matters — headers are ignored (no keep-alive, no body).
+bool parse_request_line(const std::string& rx, HttpRequest* out) {
+  const std::size_t eol = rx.find("\r\n");
+  if (eol == std::string::npos) return false;
+  const std::string line = rx.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  out->method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') return false;
+  const std::size_t q = target.find('?');
+  if (q == std::string::npos) {
+    out->path = target;
+  } else {
+    out->path = target.substr(0, q);
+    out->query = target.substr(q + 1);
+  }
+  return line.compare(sp2 + 1, 5, "HTTP/") == 0;
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(HttpExporterOptions options)
+    : options_(std::move(options)) {}
+
+HttpExporter::~HttpExporter() { stop(); }
+
+void HttpExporter::handle(const std::string& path, HttpHandler handler) {
+  ONDWIN_CHECK(!running_.load(), "register routes before start()");
+  routes_[path] = std::move(handler);
+}
+
+void HttpExporter::set_metrics_provider(
+    std::function<std::string()> provider) {
+  ONDWIN_CHECK(!running_.load(), "set the provider before start()");
+  metrics_provider_ = std::move(provider);
+}
+
+void HttpExporter::add_statusz_section(
+    const std::string& title, std::function<std::string()> render) {
+  ONDWIN_CHECK(!running_.load(), "register sections before start()");
+  statusz_sections_.emplace_back(title, std::move(render));
+}
+
+std::string HttpExporter::default_statusz() {
+  std::ostringstream os;
+  os << "ondwin statusz — " << Tracer::instance().process_name() << " (pid "
+     << ::getpid() << ")\n";
+  os << "build: " << __DATE__ << " " << __TIME__ << ", "
+#if defined(__clang__)
+     << "clang " << __clang_major__ << "." << __clang_minor__
+#elif defined(__GNUC__)
+     << "gcc " << __GNUC__ << "." << __GNUC_MINOR__
+#else
+     << "unknown compiler"
+#endif
+#if defined(NDEBUG)
+     << ", release";
+#else
+     << ", debug";
+#endif
+  os << "\n";
+  const double uptime_s =
+      static_cast<double>(trace_now_ns() - start_ns_) / 1e9;
+  char line[64];
+  std::snprintf(line, sizeof(line), "uptime: %.1f s\n\n", uptime_s);
+  os << line;
+  os << mem::statusz_report();
+  for (const auto& [title, render] : statusz_sections_) {
+    os << "\n" << title << "\n" << render();
+  }
+  return os.str();
+}
+
+HttpResponse HttpExporter::route(const HttpRequest& req) {
+  if (req.method != "GET") {
+    HttpResponse r;
+    r.status = 405;
+    r.body = "only GET is served here\n";
+    return r;
+  }
+  const auto it = routes_.find(req.path);
+  if (it == routes_.end()) {
+    HttpResponse r;
+    r.status = 404;
+    r.body = str_cat("no handler for ", req.path,
+                     " (try /metrics, /statusz, /tracez, /healthz)\n");
+    return r;
+  }
+  return it->second(req);
+}
+
+void HttpExporter::start() {
+  ONDWIN_CHECK(!running_.load(), "http exporter already started");
+  stopping_.store(false);
+  start_ns_ = trace_now_ns();
+
+  // Default routes; explicit handle() registrations win.
+  if (metrics_provider_ == nullptr) {
+    metrics_provider_ = [] {
+      MetricsPage page;
+      Tracer::instance().emit_metrics(page);
+      MetricsRegistry::global().emit_to(page);
+      return page.prometheus();
+    };
+  }
+  if (routes_.find("/metrics") == routes_.end()) {
+    routes_["/metrics"] = [this](const HttpRequest&) {
+      HttpResponse r;
+      r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      r.body = metrics_provider_();
+      return r;
+    };
+  }
+  if (routes_.find("/statusz") == routes_.end()) {
+    routes_["/statusz"] = [this](const HttpRequest&) {
+      HttpResponse r;
+      r.body = default_statusz();
+      return r;
+    };
+  }
+  if (routes_.find("/tracez") == routes_.end()) {
+    routes_["/tracez"] = [](const HttpRequest&) {
+      HttpResponse r;
+      r.body = Tracer::instance().tracez_text();
+      return r;
+    };
+  }
+  if (routes_.find("/healthz") == routes_.end()) {
+    routes_["/healthz"] = [](const HttpRequest&) {
+      HttpResponse r;
+      r.body = "ok\n";
+      return r;
+    };
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ONDWIN_CHECK(listen_fd_ >= 0, "socket(AF_INET) failed: ",
+               std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<u16>(options_.port));
+  ONDWIN_CHECK(
+      ::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) == 1,
+      "bad exporter host '", options_.host, "'");
+  ONDWIN_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0,
+               "bind(", options_.host, ":", options_.port,
+               ") failed: ", std::strerror(errno));
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port_ = ntohs(bound.sin_port);
+  ONDWIN_CHECK(::listen(listen_fd_, options_.backlog) == 0,
+               "listen failed: ", std::strerror(errno));
+  set_nonblocking(listen_fd_);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  ONDWIN_CHECK(epoll_fd_ >= 0, "epoll_create1 failed: ",
+               std::strerror(errno));
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ONDWIN_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0,
+               "epoll_ctl(listen) failed: ", std::strerror(errno));
+
+  running_.store(true);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void HttpExporter::stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  listen_fd_ = epoll_fd_ = -1;
+}
+
+void HttpExporter::loop() {
+  std::array<epoll_event, 16> events;
+  while (!stopping_.load()) {
+    // Scrapes are sparse; a short timeout keeps stop() responsive
+    // without an eventfd (nothing external ever wakes this loop).
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), 50);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      ConnPtr conn = it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_conn(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        if (!flush_tx(conn)) close_conn(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) on_readable(conn);
+    }
+  }
+  std::vector<ConnPtr> open;
+  open.reserve(conns_.size());
+  for (auto& [fd, conn] : conns_) open.push_back(conn);
+  for (const ConnPtr& conn : open) close_conn(conn);
+}
+
+void HttpExporter::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+void HttpExporter::on_readable(const ConnPtr& conn) {
+  static thread_local std::array<char, 4096> scratch;
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, scratch.data(), scratch.size());
+    if (n == 0) {
+      close_conn(conn);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      close_conn(conn);
+      return;
+    }
+    conn->rx.append(scratch.data(), static_cast<std::size_t>(n));
+    if (conn->rx.size() > options_.max_request_bytes) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse r;
+      r.status = 431;
+      r.body = str_cat("request exceeds ", options_.max_request_bytes,
+                       " bytes\n");
+      respond(conn, r);
+      return;
+    }
+    if (conn->rx.find("\r\n\r\n") == std::string::npos) continue;
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    HttpRequest req;
+    if (!parse_request_line(conn->rx, &req)) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse r;
+      r.status = 400;
+      r.body = "malformed request line\n";
+      respond(conn, r);
+      return;
+    }
+    respond(conn, route(req));
+    return;
+  }
+}
+
+void HttpExporter::respond(const ConnPtr& conn, const HttpResponse& resp) {
+  if (resp.status >= 200 && resp.status < 300) {
+    responses_2xx_.fetch_add(1, std::memory_order_relaxed);
+  } else if (resp.status >= 400 && resp.status < 500) {
+    responses_4xx_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::ostringstream os;
+  os << "HTTP/1.1 " << resp.status << " " << status_text(resp.status)
+     << "\r\nContent-Type: " << resp.content_type
+     << "\r\nContent-Length: " << resp.body.size()
+     << "\r\nConnection: close\r\n\r\n"
+     << resp.body;
+  conn->tx = os.str();
+  conn->off = 0;
+  if (!flush_tx(conn)) close_conn(conn);
+}
+
+/// Writes as much of conn->tx as the socket accepts. Returns false when
+/// the response is fully written (close now — Connection: close) or the
+/// socket broke; true when EPOLLOUT was armed for the remainder.
+bool HttpExporter::flush_tx(const ConnPtr& conn) {
+  while (conn->off < conn->tx.size()) {
+    const ssize_t w =
+        ::send(conn->fd, conn->tx.data() + conn->off,
+               conn->tx.size() - conn->off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!conn->want_write) {
+          conn->want_write = true;
+          epoll_event ev{};
+          ev.events = EPOLLOUT;  // response phase: no more reads wanted
+          ev.data.fd = conn->fd;
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+        }
+        return true;
+      }
+      if (errno == EINTR) continue;
+      return false;
+    }
+    conn->off += static_cast<std::size_t>(w);
+  }
+  return false;  // done — caller closes (Connection: close)
+}
+
+void HttpExporter::close_conn(const ConnPtr& conn) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conns_.erase(conn->fd);
+}
+
+HttpExporterStats HttpExporter::stats() const {
+  HttpExporterStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.responses_2xx = responses_2xx_.load(std::memory_order_relaxed);
+  s.responses_4xx = responses_4xx_.load(std::memory_order_relaxed);
+  s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace ondwin::obs

@@ -1,19 +1,27 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
+
+#include "obs/metrics.h"
 
 namespace ondwin::obs {
 
 namespace {
 
-// Per-thread emit state: ring pointer (resolved once per thread) and the
-// live span nesting depth.
+// Per-thread emit state: ring pointer (resolved once per thread), the
+// live span nesting depth, and the current distributed trace context.
 thread_local Tracer::Ring* t_ring = nullptr;
 thread_local int t_depth = 0;
+thread_local TraceContext t_ctx;
 
 // Initializes the enable flag from ONDWIN_TRACE before main() and, when
 // tracing is on, registers the atexit dump.
@@ -41,6 +49,48 @@ struct TraceEnvInit {
 };
 TraceEnvInit g_trace_env_init;
 
+// splitmix64 finalizer — spreads (seed + counter) so ids from different
+// processes started in the same clock tick still diverge.
+u64 mix64(u64 x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+u64 id_seed() {
+  static const u64 seed = [] {
+    const u64 pid = static_cast<u64>(::getpid());
+    const u64 t = static_cast<u64>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return mix64((pid << 32) ^ t);
+  }();
+  return seed;
+}
+
+u64 next_id() {
+  static std::atomic<u64> counter{0};
+  u64 id = 0;
+  while (id == 0) {  // never hand out 0: it means "no trace"
+    id = mix64(id_seed() + counter.fetch_add(1, std::memory_order_relaxed));
+  }
+  return id;
+}
+
+std::string hex_id(u64 v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string executable_name() {
+  std::ifstream comm("/proc/self/comm");
+  std::string name;
+  if (comm && std::getline(comm, name) && !name.empty()) return name;
+  return "ondwin";
+}
+
 }  // namespace
 
 u64 trace_now_ns() {
@@ -50,7 +100,35 @@ u64 trace_now_ns() {
           .count());
 }
 
-Tracer::Tracer() {
+u64 new_trace_id() { return next_id(); }
+u64 new_span_id() { return next_id(); }
+
+TraceContext current_trace_context() { return t_ctx; }
+
+TraceContextScope::TraceContextScope(const TraceContext& ctx)
+    : saved_(t_ctx) {
+  t_ctx = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { t_ctx = saved_; }
+
+u64 record_span(const char* name, u64 start_ns, u64 dur_ns,
+                const TraceContext& ctx, u64 span_id) {
+  if (!trace_enabled()) return 0;
+  if (span_id == 0) span_id = new_span_id();
+  Tracer::instance().local_ring().push(name, start_ns, dur_ns, t_depth,
+                                       ctx.trace_id, span_id, ctx.span_id);
+  return span_id;
+}
+
+const char* intern_name(const std::string& name) {
+  static std::mutex mu;
+  static std::set<std::string>* pool = new std::set<std::string>();  // leaked
+  std::lock_guard<std::mutex> lock(mu);
+  return pool->insert(name).first->c_str();  // node-based: stable address
+}
+
+Tracer::Tracer() : process_name_(executable_name()) {
   const char* env = std::getenv("ONDWIN_TRACE");
   if (env != nullptr && env[0] != '\0' &&
       !(env[0] == '0' && env[1] == '\0')) {
@@ -101,6 +179,9 @@ std::vector<CollectedSpan> Tracer::collect() const {
       e.start_ns = s.start_ns.load(std::memory_order_relaxed);
       e.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
       e.depth = s.depth.load(std::memory_order_relaxed);
+      e.trace_id = s.trace_id.load(std::memory_order_relaxed);
+      e.span_id = s.span_id.load(std::memory_order_relaxed);
+      e.parent_id = s.parent_id.load(std::memory_order_relaxed);
       e.tid = ring->tid;
       if (e.name != nullptr) out.push_back(e);  // skip torn/cleared slots
     }
@@ -118,19 +199,38 @@ u64 Tracer::dropped() const {
   return dropped;
 }
 
+void Tracer::set_process_name(const std::string& name) {
+  std::lock_guard<std::mutex> lock(name_mu_);
+  process_name_ = name;
+}
+
+std::string Tracer::process_name() const {
+  std::lock_guard<std::mutex> lock(name_mu_);
+  return process_name_;
+}
+
 std::string Tracer::chrome_trace_json() const {
   const std::vector<CollectedSpan> spans = collect();
+  const int pid = static_cast<int>(::getpid());
   std::ostringstream os;
   os << "{\"traceEvents\":[";
-  bool first = true;
+  // Metadata first: names this process's track in a merged timeline.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+     << ",\"tid\":0,\"args\":{\"name\":\"" << process_name() << "\"}}";
   for (const CollectedSpan& e : spans) {
-    if (!first) os << ",";
-    first = false;
     // ts/dur are microseconds (doubles) per the trace-event spec.
-    os << "{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
-       << e.tid << ",\"ts\":" << static_cast<double>(e.start_ns) / 1e3
+    os << ",{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":" << pid
+       << ",\"tid\":" << e.tid
+       << ",\"ts\":" << static_cast<double>(e.start_ns) / 1e3
        << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1e3
-       << ",\"args\":{\"depth\":" << e.depth << "}}";
+       << ",\"args\":{\"depth\":" << e.depth;
+    if (e.trace_id != 0) {
+      // u64 ids do not survive JSON doubles — emit as hex strings.
+      os << ",\"trace\":\"" << hex_id(e.trace_id) << "\",\"span\":\""
+         << hex_id(e.span_id) << "\",\"parent\":\"" << hex_id(e.parent_id)
+         << "\"";
+    }
+    os << "}}";
   }
   os << "],\"displayTimeUnit\":\"ms\"}";
   return os.str();
@@ -144,17 +244,111 @@ bool Tracer::write_chrome_trace(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
+std::vector<SpanSummary> Tracer::summarize() const {
+  const std::vector<CollectedSpan> spans = collect();
+  // Group by name pointer identity first, then merge equal strings (the
+  // same literal usually has one address, but interned + literal copies
+  // of a name can differ).
+  std::vector<std::pair<const char*, std::vector<double>>> groups;
+  for (const CollectedSpan& e : spans) {
+    std::vector<double>* durs = nullptr;
+    for (auto& g : groups) {
+      if (g.first == e.name || std::strcmp(g.first, e.name) == 0) {
+        durs = &g.second;
+        break;
+      }
+    }
+    if (durs == nullptr) {
+      groups.emplace_back(e.name, std::vector<double>{});
+      durs = &groups.back().second;
+    }
+    durs->push_back(static_cast<double>(e.dur_ns) / 1e3);
+  }
+  std::vector<SpanSummary> out;
+  out.reserve(groups.size());
+  for (auto& g : groups) {
+    std::vector<double>& d = g.second;
+    std::sort(d.begin(), d.end());
+    SpanSummary s;
+    s.name = g.first;
+    s.count = d.size();
+    const auto q = [&d](double p) {
+      const std::size_t idx = static_cast<std::size_t>(
+          p * static_cast<double>(d.size() - 1) + 0.5);
+      return d[std::min(idx, d.size() - 1)];
+    };
+    s.p50_us = q(0.50);
+    s.p99_us = q(0.99);
+    s.max_us = d.back();
+    for (double v : d) s.total_ms += v / 1e3;
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanSummary& a, const SpanSummary& b) {
+              return a.total_ms > b.total_ms;
+            });
+  return out;
+}
+
+std::string Tracer::tracez_text() const {
+  std::ostringstream os;
+  os << "tracez — " << process_name() << " (pid " << ::getpid() << ")\n";
+  os << "tracing: " << (enabled() ? "enabled" : "disabled")
+     << "   spans lost (ring overwrites): " << dropped() << "\n\n";
+  const std::vector<SpanSummary> sums = summarize();
+  if (sums.empty()) {
+    os << "no spans recorded\n";
+    return os.str();
+  }
+  os << "span                              count      p50_us      p99_us"
+        "      max_us    total_ms\n";
+  char line[160];
+  for (const SpanSummary& s : sums) {
+    std::snprintf(line, sizeof(line),
+                  "%-32s %6llu %11.1f %11.1f %11.1f %11.2f\n", s.name,
+                  static_cast<unsigned long long>(s.count), s.p50_us,
+                  s.p99_us, s.max_us, s.total_ms);
+    os << line;
+  }
+  return os.str();
+}
+
+void Tracer::emit_metrics(MetricsPage& page) const {
+  page.add_counter("ondwin_obs_spans_lost_total",
+                   "Trace spans overwritten by ring wraparound", {},
+                   static_cast<double>(dropped()));
+  page.add_gauge("ondwin_obs_trace_enabled",
+                 "1 when span recording is active", {},
+                 enabled() ? 1.0 : 0.0);
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    page.add_gauge("ondwin_obs_trace_threads",
+                   "Threads with a registered trace ring", {},
+                   static_cast<double>(rings_.size()));
+  }
+}
+
 void TraceSpan::begin(const char* name) {
   name_ = name;
   depth_ = t_depth++;
+  if (t_ctx.trace_id != 0) {
+    trace_id_ = t_ctx.trace_id;
+    parent_id_ = t_ctx.span_id;
+    span_id_ = new_span_id();
+    t_ctx.span_id = span_id_;  // children opened in-scope chain to us
+  }
   start_ns_ = trace_now_ns();
 }
 
 void TraceSpan::end() {
   const u64 end_ns = trace_now_ns();
   --t_depth;
+  if (span_id_ != 0 && t_ctx.span_id == span_id_) {
+    t_ctx.span_id = parent_id_;  // restore the chain point
+  }
   Tracer::instance().local_ring().push(name_, start_ns_,
-                                       end_ns - start_ns_, depth_);
+                                       end_ns - start_ns_, depth_,
+                                       trace_id_, span_id_, parent_id_);
 }
 
 }  // namespace ondwin::obs

@@ -1,19 +1,23 @@
 // ondwin::obs tracing — lock-free per-thread ring buffers of scoped span
 // events, exportable as Chrome trace-event JSON (open in Perfetto or
-// chrome://tracing).
+// chrome://tracing), with Dapper-style distributed trace contexts so
+// spans recorded in different processes (router, backends) merge into
+// one timeline.
 //
 // Design constraints, in order:
 //
 //   1. Near-zero cost when disabled. A span is one relaxed atomic load
-//      and a predictable branch — no clock read, no allocation. The
-//      enable flag is a process-wide inline atomic initialized from the
-//      ONDWIN_TRACE environment variable before main().
+//      and a predictable branch — no clock read, no allocation, no
+//      thread-local context read. The enable flag is a process-wide
+//      inline atomic initialized from the ONDWIN_TRACE environment
+//      variable before main().
 //   2. No locks or allocation on the emit path. Each thread owns a
 //      fixed-capacity ring of events; registration of a new thread's ring
 //      takes the registry mutex exactly once per thread, after which
 //      emission touches only thread-local state. When the ring wraps, the
 //      oldest events are overwritten (newest-wins — the tail of a run is
-//      what a trace viewer needs) and the overwrites are counted.
+//      what a trace viewer needs) and the overwrites are counted and
+//      exported as ondwin_obs_spans_lost_total.
 //   3. Data-race freedom under concurrent export. Event slots are relaxed
 //      atomics (plain loads/stores on x86), so a collector racing a
 //      wrapping writer can read a torn *event* but never tears a field or
@@ -21,8 +25,21 @@
 //      always intact: the per-ring head is released by the writer and
 //      acquired by the reader.
 //
+// Distributed tracing model: a TraceContext is {trace id, span id} — the
+// id of the whole request and of the span the next child should parent
+// to. The rpc frame carries a context across the wire; the receiving
+// side installs it with TraceContextScope so every span recorded under
+// that scope (conv stages, graph steps, serve batches) chains into the
+// originating request. Spans whose interval is only known after the fact
+// (queue wait, rpc round-trip) are recorded retroactively with
+// record_span(). Chrome output tags each span with the real pid plus
+// hex trace/span/parent ids, so dumps from several processes can be
+// concatenated (see trace_merge.h) and Perfetto shows one connected
+// request timeline.
+//
 // Span names must be string literals (or otherwise outlive the tracer):
-// the ring stores the pointer, not a copy.
+// the ring stores the pointer, not a copy. For dynamic names (per-graph-
+// node labels), intern_name() leaks a stable copy.
 //
 //   void gemm_stage() {
 //     ONDWIN_TRACE_SPAN("gemm");
@@ -45,6 +62,8 @@
 
 namespace ondwin::obs {
 
+class MetricsPage;
+
 /// Process-wide tracing switch. Inline so the disabled check compiles to
 /// a single relaxed load of a known address at every span site.
 inline std::atomic<bool> g_trace_enabled{false};
@@ -53,6 +72,25 @@ inline bool trace_enabled() {
   return g_trace_enabled.load(std::memory_order_relaxed);
 }
 
+/// Wire-propagatable trace context: the id of the whole distributed
+/// request plus the span the next child should parent to. A zero
+/// trace_id means "not part of any trace" — spans then record with no
+/// chain, exactly as before v2.
+struct TraceContext {
+  u64 trace_id = 0;
+  u64 span_id = 0;
+  bool active() const { return trace_id != 0; }
+};
+
+/// Process-unique, never-zero id generators (pid + boot-time seed mixed
+/// into an atomic counter, so ids from concurrently started processes
+/// do not collide when their dumps are merged).
+u64 new_trace_id();
+u64 new_span_id();
+
+/// The calling thread's current context (what TraceSpan chains to).
+TraceContext current_trace_context();
+
 /// One completed span, as handed out by Tracer::collect().
 struct CollectedSpan {
   const char* name = nullptr;
@@ -60,6 +98,19 @@ struct CollectedSpan {
   u64 dur_ns = 0;
   int tid = 0;    // tracer-assigned dense thread id (ring creation order)
   int depth = 0;  // span nesting depth on its thread (0 = outermost)
+  u64 trace_id = 0;   // 0 when not part of a distributed trace
+  u64 span_id = 0;    // this span's own id (0 when untraced)
+  u64 parent_id = 0;  // parent span id (0 = root of its trace)
+};
+
+/// Aggregated per-name view of the resident spans, for /tracez.
+struct SpanSummary {
+  const char* name = nullptr;
+  u64 count = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+  double total_ms = 0;
 };
 
 class Tracer {
@@ -87,11 +138,30 @@ class Tracer {
   /// Spans overwritten by ring wraparound since the last clear().
   u64 dropped() const;
 
-  /// Chrome trace-event JSON ("X" complete events, ts/dur in µs).
+  /// Chrome trace-event JSON ("X" complete events, ts/dur in µs, real
+  /// pid, a process_name metadata record, and hex trace/span/parent ids
+  /// in args — merge-ready across processes).
   std::string chrome_trace_json() const;
 
   /// Writes chrome_trace_json() to `path`; false on I/O failure.
   bool write_chrome_trace(const std::string& path) const;
+
+  /// Label for this process in merged Perfetto timelines ("router",
+  /// "backend0", ...). Defaults to the executable name.
+  void set_process_name(const std::string& name);
+  std::string process_name() const;
+
+  /// Per-name count/quantile aggregation of the resident spans,
+  /// busiest-first (by total time). Powers /tracez.
+  std::vector<SpanSummary> summarize() const;
+
+  /// Human-readable /tracez page: enable state, spans lost, summary
+  /// table, and the most recent spans.
+  std::string tracez_text() const;
+
+  /// Tracer self-metrics: ondwin_obs_spans_lost_total,
+  /// ondwin_obs_trace_enabled, ondwin_obs_trace_threads.
+  void emit_metrics(MetricsPage& page) const;
 
   /// Destination of the atexit dump when ONDWIN_TRACE requested one
   /// (empty when tracing started disabled).
@@ -109,6 +179,8 @@ class Tracer {
   mutable std::mutex registry_mu_;
   std::vector<std::unique_ptr<Ring>> rings_;
   std::string default_path_;
+  mutable std::mutex name_mu_;
+  std::string process_name_;
 };
 
 /// A raw event slot. Fields are relaxed atomics so a collector racing a
@@ -119,6 +191,9 @@ struct TraceEventSlot {
   std::atomic<u64> start_ns{0};
   std::atomic<u64> dur_ns{0};
   std::atomic<int> depth{0};
+  std::atomic<u64> trace_id{0};
+  std::atomic<u64> span_id{0};
+  std::atomic<u64> parent_id{0};
 };
 
 struct Tracer::Ring {
@@ -127,13 +202,17 @@ struct Tracer::Ring {
   std::atomic<u64> head{0};  // total events ever pushed (monotonic)
   std::vector<TraceEventSlot> slots{kRingCapacity};
 
-  void push(const char* name, u64 start_ns, u64 dur_ns, int depth) {
+  void push(const char* name, u64 start_ns, u64 dur_ns, int depth,
+            u64 trace_id = 0, u64 span_id = 0, u64 parent_id = 0) {
     const u64 h = head.load(std::memory_order_relaxed);
     TraceEventSlot& s = slots[static_cast<std::size_t>(h % kRingCapacity)];
     s.name.store(name, std::memory_order_relaxed);
     s.start_ns.store(start_ns, std::memory_order_relaxed);
     s.dur_ns.store(dur_ns, std::memory_order_relaxed);
     s.depth.store(depth, std::memory_order_relaxed);
+    s.trace_id.store(trace_id, std::memory_order_relaxed);
+    s.span_id.store(span_id, std::memory_order_relaxed);
+    s.parent_id.store(parent_id, std::memory_order_relaxed);
     head.store(h + 1, std::memory_order_release);  // publish the slot
   }
 };
@@ -141,9 +220,39 @@ struct Tracer::Ring {
 /// Monotonic nanoseconds on the shared steady-clock timeline.
 u64 trace_now_ns();
 
+/// Records a span whose interval was measured out-of-band (queue wait,
+/// rpc round-trip): tagged with `ctx`'s trace and parented to
+/// `ctx.span_id`. `span_id` 0 allocates a fresh id; pass an explicit id
+/// when other spans must parent to this one. Returns the span id used
+/// (0 when tracing is disabled and nothing was recorded).
+u64 record_span(const char* name, u64 start_ns, u64 dur_ns,
+                const TraceContext& ctx, u64 span_id = 0);
+
+/// Interns a dynamic span name ("graph.conv#3") into a leaked global
+/// pool, returning a pointer stable for the process lifetime — the ring
+/// stores name pointers, not copies.
+const char* intern_name(const std::string& name);
+
+/// Installs `ctx` as the calling thread's current context for the scope;
+/// spans opened inside chain into it. Restores the previous context on
+/// exit (contexts nest).
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& ctx);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
 /// RAII scoped span. Captures the enable flag once at construction: a
 /// span that started disabled stays free even if tracing flips on before
-/// its scope exits.
+/// its scope exits. When the thread's current TraceContext is active the
+/// span joins its trace (fresh span id, parent = context's span id) and
+/// narrows the context to itself for the scope, so nested spans chain.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) {
@@ -163,6 +272,9 @@ class TraceSpan {
   const char* name_ = nullptr;
   u64 start_ns_ = 0;
   int depth_ = 0;
+  u64 trace_id_ = 0;
+  u64 span_id_ = 0;
+  u64 parent_id_ = 0;
 };
 
 #define ONDWIN_TRACE_CONCAT_(a, b) a##b

@@ -1,0 +1,175 @@
+#include "obs/trace_merge.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ondwin::obs {
+
+namespace {
+
+// Advances past a JSON string starting at doc[i] == '"'; returns the
+// index one past the closing quote, or npos when unterminated.
+std::size_t skip_string(const std::string& doc, std::size_t i) {
+  ++i;  // opening quote
+  while (i < doc.size()) {
+    if (doc[i] == '\\') {
+      i += 2;
+    } else if (doc[i] == '"') {
+      return i + 1;
+    } else {
+      ++i;
+    }
+  }
+  return std::string::npos;
+}
+
+// Splits the inside of a traceEvents array into its top-level objects.
+std::vector<std::string> split_events(const std::string& events) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < events.size()) {
+    if (events[i] == '{') {
+      const std::size_t start = i;
+      int depth = 0;
+      while (i < events.size()) {
+        const char c = events[i];
+        if (c == '"') {
+          i = skip_string(events, i);
+          if (i == std::string::npos) return out;
+          continue;
+        }
+        if (c == '{') ++depth;
+        if (c == '}') {
+          --depth;
+          if (depth == 0) {
+            out.push_back(events.substr(start, i - start + 1));
+            ++i;
+            break;
+          }
+        }
+        ++i;
+      }
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool extract_trace_events(const std::string& doc, std::string* events) {
+  // Walk the document with string awareness until the "traceEvents" key
+  // appears as an actual string token, then bracket-match its array.
+  std::size_t i = 0;
+  std::size_t array_open = std::string::npos;
+  while (i < doc.size()) {
+    if (doc[i] != '"') {
+      ++i;
+      continue;
+    }
+    const std::size_t end = skip_string(doc, i);
+    if (end == std::string::npos) return false;
+    if (doc.compare(i, end - i, "\"traceEvents\"") == 0) {
+      std::size_t j = end;
+      while (j < doc.size() && (doc[j] == ' ' || doc[j] == '\t' ||
+                                doc[j] == '\n' || doc[j] == '\r')) {
+        ++j;
+      }
+      if (j >= doc.size() || doc[j] != ':') return false;
+      ++j;
+      while (j < doc.size() && (doc[j] == ' ' || doc[j] == '\t' ||
+                                doc[j] == '\n' || doc[j] == '\r')) {
+        ++j;
+      }
+      if (j >= doc.size() || doc[j] != '[') return false;
+      array_open = j;
+      break;
+    }
+    i = end;
+  }
+  if (array_open == std::string::npos) return false;
+  int depth = 0;
+  i = array_open;
+  while (i < doc.size()) {
+    const char c = doc[i];
+    if (c == '"') {
+      i = skip_string(doc, i);
+      if (i == std::string::npos) return false;
+      continue;
+    }
+    if (c == '[') ++depth;
+    if (c == ']') {
+      --depth;
+      if (depth == 0) {
+        *events = doc.substr(array_open + 1, i - array_open - 1);
+        return true;
+      }
+    }
+    ++i;
+  }
+  return false;
+}
+
+std::string merge_chrome_traces(const std::vector<std::string>& docs,
+                                const std::string& trace_id_hex) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    std::string events;
+    if (!extract_trace_events(docs[d], &events)) {
+      fail(str_cat("trace_merge: input ", d,
+                   " has no traceEvents array"));
+    }
+    for (const std::string& ev : split_events(events)) {
+      if (!trace_id_hex.empty()) {
+        const bool metadata = ev.find("\"ph\":\"M\"") != std::string::npos;
+        const bool matches =
+            ev.find("\"trace\":\"" + trace_id_hex + "\"") !=
+            std::string::npos;
+        if (!metadata && !matches) continue;
+      }
+      if (!first) os << ",";
+      first = false;
+      os << ev;
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+bool merge_chrome_trace_files(const std::vector<std::string>& inputs,
+                              const std::string& out_path,
+                              const std::string& trace_id_hex) {
+  std::vector<std::string> docs;
+  for (const std::string& path : inputs) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "trace_merge: cannot read %s\n", path.c_str());
+      return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    docs.push_back(buf.str());
+  }
+  std::string merged;
+  try {
+    merged = merge_chrome_traces(docs, trace_id_hex);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return false;
+  }
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "trace_merge: cannot write %s\n",
+                 out_path.c_str());
+    return false;
+  }
+  out << merged;
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace ondwin::obs

@@ -1,0 +1,42 @@
+// Merging Chrome trace dumps from several processes into one timeline.
+//
+// Tracer::chrome_trace_json() tags every event with the real pid and a
+// process_name metadata record, and distributed spans carry hex
+// trace/span/parent ids in args — so merging is purely structural:
+// concatenate each file's traceEvents array into one document. Perfetto
+// then renders one track group per process, and the shared trace ids
+// (propagated over the rpc frame) line the router's request span up
+// with the backend's admit → queue → exec → tx chain.
+//
+// The extractor understands exactly the JSON our writer produces plus
+// anything with a well-formed top-level "traceEvents" array (it walks
+// brackets with full string/escape awareness, not substring hacks).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace ondwin::obs {
+
+/// Extracts the contents of `doc`'s top-level "traceEvents":[...] array
+/// (the text between the brackets, without them). Returns false when the
+/// document has no well-formed traceEvents array.
+bool extract_trace_events(const std::string& doc, std::string* events);
+
+/// Merges N Chrome trace documents into one, preserving every event.
+/// When `trace_id_hex` is non-empty, only events whose args carry that
+/// "trace" id (plus "M" metadata records) are kept, so one request's
+/// cross-process chain can be isolated. Throws Error on malformed input.
+std::string merge_chrome_traces(const std::vector<std::string>& docs,
+                                const std::string& trace_id_hex = "");
+
+/// File-level convenience: reads `inputs`, writes the merged document to
+/// `out_path`. Returns false (with a message on stderr) on I/O or parse
+/// failure instead of throwing — tool-friendly.
+bool merge_chrome_trace_files(const std::vector<std::string>& inputs,
+                              const std::string& out_path,
+                              const std::string& trace_id_hex = "");
+
+}  // namespace ondwin::obs

@@ -56,9 +56,11 @@
 #include "mem/topology.h"                  // IWYU pragma: export
 #include "mem/workspace_pool.h"            // IWYU pragma: export
 #include "net/sequential.h"                // IWYU pragma: export
+#include "obs/http_exporter.h"             // IWYU pragma: export
 #include "obs/metrics.h"                   // IWYU pragma: export
 #include "obs/perf_counters.h"             // IWYU pragma: export
 #include "obs/trace.h"                     // IWYU pragma: export
+#include "obs/trace_merge.h"               // IWYU pragma: export
 #include "rpc/frame.h"                     // IWYU pragma: export
 #include "rpc/rpc_client.h"                // IWYU pragma: export
 #include "rpc/rpc_server.h"                // IWYU pragma: export

@@ -63,9 +63,17 @@ enum : std::size_t {
   kOffImage = 72,      // u16[kMaxNd]
   kOffKernel = 80,     // u16[kMaxNd]
   kOffPadding = 88,    // u16[kMaxNd]
-  kOffReserved = 96,   // u32, zero
-  kOffCrc = 100,       // crc32 of bytes [0, 100)
+  // v1 tail: u32 reserved at 96, crc32 of [0, 100) at 100 (= 104 bytes).
+  kOffCrcV1 = 100,
+  // v2 tail: 16-byte trace context where v1 kept its reserved word + CRC,
+  // then a fresh reserved word and the CRC over everything before it.
+  kOffTraceId = 96,     // u64
+  kOffParentSpan = 104, // u64
+  kOffReserved = 112,   // u32, zero
+  kOffCrc = 116,        // crc32 of bytes [0, 116)
 };
+static_assert(kOffCrcV1 + 4 == kFrameHeaderBytesV1,
+              "v1 header layout drifted");
 static_assert(kOffCrc + 4 == kFrameHeaderBytes, "header layout drifted");
 
 }  // namespace
@@ -94,10 +102,12 @@ u32 crc32(const void* data, std::size_t n, u32 seed) {
   return crc ^ 0xFFFFFFFFu;
 }
 
-void encode_header(const FrameHeader& h, u8* out) {
-  std::memset(out, 0, kFrameHeaderBytes);
+namespace {
+
+// Fields shared by both wire versions — bytes [0, 96).
+void encode_common(const FrameHeader& h, u16 version, u8* out) {
   st32(out + kOffMagic, kFrameMagic);
-  st16(out + kOffVersion, kFrameVersion);
+  st16(out + kOffVersion, version);
   st16(out + kOffType, static_cast<u16>(h.type));
   st64(out + kOffRequestId, h.request_id);
   st64(out + kOffDeadlineUs, h.deadline_us);
@@ -116,16 +126,46 @@ void encode_header(const FrameHeader& h, u8* out) {
     st16(out + kOffKernel + 2 * d, h.kernel[d]);
     st16(out + kOffPadding + 2 * d, h.padding[d]);
   }
+}
+
+}  // namespace
+
+void encode_header(const FrameHeader& h, u8* out) {
+  std::memset(out, 0, kFrameHeaderBytes);
+  encode_common(h, kFrameVersion, out);
+  st64(out + kOffTraceId, h.trace_id);
+  st64(out + kOffParentSpan, h.parent_span_id);
   st32(out + kOffCrc, crc32(out, kOffCrc));
 }
 
-DecodeResult decode_header(const u8* buf, std::size_t n, FrameHeader* out) {
-  if (n < kFrameHeaderBytes) return DecodeResult::kTruncated;
+void encode_header_v1(const FrameHeader& h, u8* out) {
+  std::memset(out, 0, kFrameHeaderBytesV1);
+  encode_common(h, /*version=*/1, out);
+  st32(out + kOffCrcV1, crc32(out, kOffCrcV1));
+}
+
+DecodeResult peek_frame_version(const u8* buf, std::size_t n,
+                                u16* version) {
+  if (n < kOffType) return DecodeResult::kTruncated;
   if (ld32(buf + kOffMagic) != kFrameMagic) return DecodeResult::kBadMagic;
-  if (ld16(buf + kOffVersion) != kFrameVersion) {
-    return DecodeResult::kBadVersion;
-  }
-  if (ld32(buf + kOffCrc) != crc32(buf, kOffCrc)) {
+  const u16 v = ld16(buf + kOffVersion);
+  if (frame_header_bytes(v) == 0) return DecodeResult::kBadVersion;
+  *version = v;
+  return DecodeResult::kOk;
+}
+
+DecodeResult decode_header(const u8* buf, std::size_t n, FrameHeader* out) {
+  if (n < kFrameHeaderBytesV1) return DecodeResult::kTruncated;
+  if (ld32(buf + kOffMagic) != kFrameMagic) return DecodeResult::kBadMagic;
+  const u16 version = ld16(buf + kOffVersion);
+  const std::size_t header_bytes = frame_header_bytes(version);
+  if (header_bytes == 0) return DecodeResult::kBadVersion;
+  if (n < header_bytes) return DecodeResult::kTruncated;
+  if (version == 1) {
+    if (ld32(buf + kOffCrcV1) != crc32(buf, kOffCrcV1)) {
+      return DecodeResult::kBadChecksum;
+    }
+  } else if (ld32(buf + kOffCrc) != crc32(buf, kOffCrc)) {
     return DecodeResult::kBadChecksum;
   }
   const u16 type = ld16(buf + kOffType);
@@ -141,6 +181,9 @@ DecodeResult decode_header(const u8* buf, std::size_t n, FrameHeader* out) {
   const u8 rank = buf[kOffRank];
   if (rank > kMaxNd) return DecodeResult::kBadShape;
 
+  out->version = version;
+  out->trace_id = version >= 2 ? ld64(buf + kOffTraceId) : 0;
+  out->parent_span_id = version >= 2 ? ld64(buf + kOffParentSpan) : 0;
   out->type = static_cast<FrameType>(type);
   out->request_id = ld64(buf + kOffRequestId);
   out->deadline_us = ld64(buf + kOffDeadlineUs);
@@ -231,6 +274,7 @@ const char* status_name(u32 status) {
     case kExecFailed: return "exec_failed";
     case kShuttingDown: return "shutting_down";
     case kDeadlineExpired: return "deadline_expired";
+    case kUnsupportedVersion: return "unsupported_version";
     case kTransportError: return "transport_error";
     default: return "unknown_status";
   }

@@ -3,18 +3,29 @@
 // Every message is one frame:
 //
 //   ┌──────────────────────────────┬───────────────┬──────────────────┐
-//   │ header (104 bytes, CRC'd)    │ model name    │ payload          │
+//   │ header (120 bytes, CRC'd)    │ model name    │ payload          │
 //   │ magic·version·type·id·       │ model_len     │ payload_bytes    │
 //   │ deadline·status·lengths·     │ bytes         │ (floats for      │
-//   │ timings·ConvShape·crc32      │               │  tensors, UTF-8  │
+//   │ timings·ConvShape·trace      │               │  tensors, UTF-8  │
+//   │ context·crc32                │               │  for errors)     │
 //   └──────────────────────────────┴───────────────┴──────────────────┘
 //
-// The header is fixed-size so a receiver can read exactly
-// kFrameHeaderBytes, validate magic/version/CRC/lengths, and then land
-// the payload DIRECTLY in its final resting place — for a request frame
-// that is a WorkspacePool slab the batcher will execute from, with no
-// intermediate copy. All multi-byte fields are little-endian on the wire
-// (encoded/decoded explicitly, so the format is byte-order portable).
+// The header is fixed-size per version so a receiver can read exactly
+// frame_header_bytes(version), validate magic/version/CRC/lengths, and
+// then land the payload DIRECTLY in its final resting place — for a
+// request frame that is a WorkspacePool slab the batcher will execute
+// from, with no intermediate copy. All multi-byte fields are
+// little-endian on the wire (encoded/decoded explicitly, so the format
+// is byte-order portable).
+//
+// Version 2 appends a 16-byte distributed trace context (trace id +
+// parent span id, obs::TraceContext) between the ConvShape block and the
+// CRC, growing the header from 104 to 120 bytes. Decoders accept both:
+// the version field sits at a fixed offset, so a receiver reads the v1
+// prefix, peeks the version, and completes the read at that version's
+// length. A v1 frame sent to a v2-only endpoint (the server) is rejected
+// with a clean kUnsupportedVersion error frame — its lengths are fully
+// decodable, so the stream stays in sync and the connection survives.
 //
 // Request frames carry the sample's ConvShape as advisory geometry: the
 // server validates it against the registered model and rejects mismatches
@@ -33,8 +44,18 @@
 namespace ondwin::rpc {
 
 inline constexpr u32 kFrameMagic = 0x4E57444Fu;  // "ODWN" little-endian
-inline constexpr u16 kFrameVersion = 1;
-inline constexpr std::size_t kFrameHeaderBytes = 104;
+inline constexpr u16 kFrameVersion = 2;
+inline constexpr std::size_t kFrameHeaderBytes = 120;     // current (v2)
+inline constexpr std::size_t kFrameHeaderBytesV1 = 104;   // legacy prefix
+
+/// Header length for a wire version; 0 for versions this build cannot
+/// parse. Every known header starts with the kFrameHeaderBytesV1-byte
+/// prefix, so receivers read that much, peek the version, then finish.
+inline constexpr std::size_t frame_header_bytes(u16 version) {
+  if (version == 1) return kFrameHeaderBytesV1;
+  if (version == 2) return kFrameHeaderBytes;
+  return 0;
+}
 
 /// Hard sanity bounds a decoder enforces before trusting any length.
 inline constexpr u32 kMaxModelLen = 256;
@@ -62,6 +83,7 @@ enum Status : u32 {
   kExecFailed = 6,
   kShuttingDown = 7,
   kDeadlineExpired = 8,  // deadline passed while queued (engine shed)
+  kUnsupportedVersion = 9,  // frame version this endpoint does not serve
   kTransportError = 100,  // client-side only
 };
 
@@ -76,6 +98,9 @@ inline bool status_is_shed(u32 s) {
 
 /// Decoded (host-order) view of a frame header.
 struct FrameHeader {
+  /// Wire version the frame arrived with (decode fills it; encode always
+  /// writes kFrameVersion — use encode_header_v1 to craft legacy frames).
+  u16 version = kFrameVersion;
   FrameType type = FrameType::kRequest;
   u64 request_id = 0;
   /// Relative deadline budget in microseconds from receipt; 0 = none.
@@ -86,6 +111,12 @@ struct FrameHeader {
   u32 batch_size = 0;     // response: how many requests were coalesced
   double queue_ms = 0;    // response: batch-formation wait
   double exec_ms = 0;     // response: execution wall time
+
+  // Distributed trace context (v2; zero = untraced). trace_id names the
+  // whole request across processes; parent_span_id is the sender-side
+  // span the receiver's spans should chain under.
+  u64 trace_id = 0;
+  u64 parent_span_id = 0;
 
   // Advisory tensor geometry of a request payload (rank 0 = absent).
   u8 rank = 0;
@@ -101,8 +132,13 @@ struct FrameHeader {
 u32 crc32(const void* data, std::size_t n, u32 seed = 0);
 
 /// Serializes `h` into exactly kFrameHeaderBytes at `out`, stamping
-/// magic, version and the trailing CRC.
+/// magic, version (always kFrameVersion) and the trailing CRC.
 void encode_header(const FrameHeader& h, u8* out);
+
+/// Serializes `h` as a legacy version-1 header (kFrameHeaderBytesV1
+/// bytes, no trace context). Exists so tests — and any compatibility
+/// shim — can produce the frames old clients send.
+void encode_header_v1(const FrameHeader& h, u8* out);
 
 enum class DecodeResult {
   kOk,
@@ -117,11 +153,21 @@ enum class DecodeResult {
 
 const char* decode_result_name(DecodeResult r);
 
-/// Parses and validates a header from `n` bytes at `buf`. On kOk every
-/// field of `*out` is filled and the lengths are within bounds; on any
-/// error `*out` is unspecified and the connection should be dropped (the
-/// stream cannot be resynchronized).
+/// Parses and validates a header from `n` bytes at `buf`, accepting both
+/// wire versions (out->version says which arrived; v1 frames decode with
+/// a zero trace context). On kOk every field of `*out` is filled and the
+/// lengths are within bounds; on any error `*out` is unspecified and the
+/// connection should be dropped (the stream cannot be resynchronized).
+/// kTruncated with n >= kFrameHeaderBytesV1 means "this is a valid v2
+/// prefix — read the remaining bytes and decode again".
 DecodeResult decode_header(const u8* buf, std::size_t n, FrameHeader* out);
+
+/// Cheap pre-decode peek: validates the magic and extracts the version
+/// from the first 8 header bytes, so a receiver knows how many header
+/// bytes to read before committing to a full decode. kBadVersion means a
+/// version this build cannot even parse; a *parseable* foreign version
+/// is the caller's to reject politely (kUnsupportedVersion status).
+DecodeResult peek_frame_version(const u8* buf, std::size_t n, u16* version);
 
 /// Copies `s` into the header's geometry fields. Returns false when a
 /// dimension does not fit the wire field widths (u16 spatial extents,

@@ -13,6 +13,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace ondwin::rpc {
 
 namespace {
@@ -68,6 +70,19 @@ bool recv_all(int fd, void* data, std::size_t n) {
 
 }  // namespace
 
+/// One in-flight request: its promise plus the trace bookkeeping needed
+/// to record the client-side "rpc.request" span retroactively when the
+/// response arrives. span_id is the request span's pre-allocated id —
+/// the SAME id the frame named as the server's parent, so the server's
+/// spans chain under it in a merged timeline.
+struct RpcClient::PendingCall {
+  std::promise<RpcResponse> promise;
+  u64 trace_id = 0;
+  u64 span_id = 0;    // the rpc.request span (sent as parent_span_id)
+  u64 parent_id = 0;  // the submitter's current span at submit time
+  u64 start_ns = 0;
+};
+
 struct RpcClient::Conn {
   // wmu serializes writers (a frame must hit the wire contiguously); mu
   // guards fd/generation/pending. Lock order: wmu before mu, and the
@@ -77,7 +92,7 @@ struct RpcClient::Conn {
   int fd = -1;
   u64 generation = 0;  // bumped per (re)connect; readers exit on mismatch
   std::thread reader;
-  std::unordered_map<u64, std::promise<RpcResponse>> pending;
+  std::unordered_map<u64, PendingCall> pending;
   std::atomic<i64> outstanding{0};
 };
 
@@ -162,7 +177,7 @@ bool RpcClient::ensure_connected(Conn& conn) {
 }
 
 void RpcClient::fail_pending(Conn& conn, const std::string& why) {
-  std::unordered_map<u64, std::promise<RpcResponse>> orphaned;
+  std::unordered_map<u64, PendingCall> orphaned;
   {
     std::lock_guard<std::mutex> lock(conn.mu);
     orphaned.swap(conn.pending);
@@ -174,7 +189,7 @@ void RpcClient::fail_pending(Conn& conn, const std::string& why) {
   RpcResponse r;
   r.status = kTransportError;
   r.error = why;
-  for (auto& [id, promise] : orphaned) promise.set_value(r);
+  for (auto& [id, call] : orphaned) call.promise.set_value(r);
 }
 
 void RpcClient::reader_loop(Conn& conn, u64 generation) {
@@ -197,16 +212,25 @@ void RpcClient::reader_loop(Conn& conn, u64 generation) {
     if (h.payload_bytes > 0 && !recv_all(fd, payload.data(), payload.size())) {
       break;
     }
-    std::promise<RpcResponse> promise;
+    PendingCall call;
     {
       std::lock_guard<std::mutex> lock(conn.mu);
       auto it = conn.pending.find(h.request_id);
       if (it == conn.pending.end()) continue;  // stale/unknown id: drop
-      promise = std::move(it->second);
+      call = std::move(it->second);
       conn.pending.erase(it);
     }
     conn.outstanding.fetch_sub(1, std::memory_order_relaxed);
     responses_.fetch_add(1, std::memory_order_relaxed);
+    if (call.trace_id != 0 && obs::trace_enabled()) {
+      // The whole client-side request interval, recorded retroactively
+      // with its pre-allocated span id — the one the server chained its
+      // admit/queue/exec/tx spans under.
+      obs::record_span("rpc.request", call.start_ns,
+                       obs::trace_now_ns() - call.start_ns,
+                       obs::TraceContext{call.trace_id, call.parent_id},
+                       call.span_id);
+    }
     RpcResponse r;
     r.status = h.status;
     r.batch_size = static_cast<int>(h.batch_size);
@@ -219,7 +243,7 @@ void RpcClient::reader_loop(Conn& conn, u64 generation) {
       r.output.resize(payload.size() / sizeof(float));
       std::memcpy(r.output.data(), payload.data(), payload.size());
     }
-    promise.set_value(std::move(r));
+    call.promise.set_value(std::move(r));
   }
   // Connection died (or server closed it). Writers use the fd outside
   // conn.mu (a blocking sendmsg must not hold the pending-map lock), so
@@ -288,7 +312,14 @@ std::future<RpcResponse> RpcClient::submit_frame(const FrameHeader& base,
       std::lock_guard<std::mutex> lock(conn->mu);
       if (conn->fd < 0) continue;  // reader tore it down; reconnect
       fd = conn->fd;
-      future = conn->pending[id].get_future();
+      PendingCall& call = conn->pending[id];
+      future = call.promise.get_future();
+      if (h.trace_id != 0) {
+        call.trace_id = h.trace_id;
+        call.span_id = h.parent_span_id;
+        call.parent_id = obs::current_trace_context().span_id;
+        call.start_ns = obs::trace_now_ns();
+      }
     }
     conn->outstanding.fetch_add(1, std::memory_order_relaxed);
     std::array<iovec, 3> iov;
@@ -324,6 +355,14 @@ std::future<RpcResponse> RpcClient::submit(const std::string& model,
   h.type = FrameType::kRequest;
   if (deadline_ms > 0) {
     h.deadline_us = static_cast<u64>(deadline_ms * 1000.0);
+  }
+  if (obs::trace_enabled()) {
+    // Continue the caller's trace, or root a fresh one: the frame names
+    // the "rpc.request" span (allocated now, recorded when the response
+    // lands) as the parent every server-side span chains under.
+    const obs::TraceContext ctx = obs::current_trace_context();
+    h.trace_id = ctx.active() ? ctx.trace_id : obs::new_trace_id();
+    h.parent_span_id = obs::new_span_id();
   }
   return submit_frame(h, model, data, n);
 }

@@ -100,6 +100,7 @@ class RpcClient {
   Stats stats() const;
 
  private:
+  struct PendingCall;
   struct Conn;
 
   int connect_fd();

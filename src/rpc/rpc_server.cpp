@@ -13,9 +13,11 @@
 
 #include <array>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
+#include "graph/executor.h"
 #include "obs/trace.h"
 
 namespace ondwin::rpc {
@@ -41,6 +43,13 @@ struct TxMsg {
   mem::Workspace body;
   std::size_t body_bytes = 0;
   std::size_t off = 0;  // bytes of head+body already written
+
+  // Distributed-trace bookkeeping: queued_ns != 0 marks a traced
+  // response, and the rpc.tx span (queued → fully written) is recorded
+  // against {trace_id, parent_span} when the last byte leaves.
+  u64 trace_id = 0;
+  u64 parent_span = 0;
+  u64 queued_ns = 0;
 };
 
 struct RpcServer::Conn {
@@ -53,6 +62,10 @@ struct RpcServer::Conn {
   Rx rx = Rx::kHeader;
   std::array<u8, kFrameHeaderBytes> hdr_buf;
   std::size_t got = 0;  // bytes received of the current stage
+  // Dual-version header read: start by wanting the v1-sized prefix (the
+  // longest prefix every known version shares), peek the version once
+  // it's in, then extend to that version's full length.
+  std::size_t hdr_want = kFrameHeaderBytesV1;
   FrameHeader hdr;
   std::string model;
   mem::Workspace payload;  // the model-pool slab payload bytes land in
@@ -174,9 +187,30 @@ void RpcServer::start() {
 
   running_.store(true);
   thread_ = std::thread([this] { loop(); });
+
+  // Opt-in debug endpoint for this backend: /metrics serves the wrapped
+  // server's full exposition (which includes the ondwin_rpc_* families
+  // registered above), /statusz layers the rpc/admission state on top of
+  // the serving and graph-attribution sections.
+  if (options_.http_port >= 0) {
+    obs::HttpExporterOptions hopt;
+    hopt.host = options_.http_host;
+    hopt.port = options_.http_port;
+    http_ = std::make_unique<obs::HttpExporter>(hopt);
+    http_->set_metrics_provider(
+        [this] { return server_.metrics_prometheus(); });
+    http_->add_statusz_section("rpc", [this] { return statusz_text(); });
+    http_->add_statusz_section("serving",
+                               [this] { return server_.statusz_text(); });
+    http_->add_statusz_section("graph nodes (roofline)", [] {
+      return graph::Executor::attribution_report();
+    });
+    http_->start();
+  }
 }
 
 void RpcServer::stop() {
+  if (http_ != nullptr) http_->stop();
   if (!running_.load()) return;
   stopping_.store(true);
   wake();
@@ -300,7 +334,7 @@ void RpcServer::on_readable(const ConnPtr& conn) {
     switch (conn->rx) {
       case Conn::Rx::kHeader:
         dst = conn->hdr_buf.data() + conn->got;
-        want = kFrameHeaderBytes - conn->got;
+        want = conn->hdr_want - conn->got;
         break;
       case Conn::Rx::kName:
         // The name is short; stage through scratch and append.
@@ -336,9 +370,27 @@ void RpcServer::on_readable(const ConnPtr& conn) {
     switch (conn->rx) {
       case Conn::Rx::kHeader: {
         conn->got += static_cast<std::size_t>(n);
-        if (conn->got < kFrameHeaderBytes) break;
+        if (conn->got < conn->hdr_want) break;
+        if (conn->hdr_want == kFrameHeaderBytesV1) {
+          // The shared prefix is in: peek the version to learn how long
+          // this frame's header really is before committing to a decode.
+          u16 version = 0;
+          if (peek_frame_version(conn->hdr_buf.data(), conn->got,
+                                 &version) != DecodeResult::kOk) {
+            protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+            m_protocol_errors_->inc();
+            close_conn(conn);
+            return;
+          }
+          const std::size_t need = frame_header_bytes(version);
+          if (need > conn->hdr_want) {
+            conn->hdr_want = need;  // v2: 16 trace-context bytes to go
+            break;
+          }
+        }
         const DecodeResult r = decode_header(conn->hdr_buf.data(),
-                                             kFrameHeaderBytes, &conn->hdr);
+                                             conn->hdr_want, &conn->hdr);
+        conn->hdr_want = kFrameHeaderBytesV1;
         if (r != DecodeResult::kOk) {
           // A corrupt header means the stream cannot be resynchronized;
           // the only safe answer is to drop the connection.
@@ -349,6 +401,29 @@ void RpcServer::on_readable(const ConnPtr& conn) {
         }
         rx_frames_.fetch_add(1, std::memory_order_relaxed);
         m_rx_frames_->inc();
+        if (conn->hdr.version != kFrameVersion) {
+          // Parseable-but-legacy frame: the lengths decoded fine, so the
+          // name and payload can be drained and the stream stays in sync
+          // — the client gets a clean kUnsupportedVersion error instead
+          // of a dropped connection.
+          conn->discard_status = kUnsupportedVersion;
+          conn->discard_msg =
+              str_cat("frame version ", conn->hdr.version,
+                      " not served (this endpoint speaks v", kFrameVersion,
+                      ")");
+          conn->discard_left = static_cast<std::size_t>(
+              conn->hdr.model_len) + conn->hdr.payload_bytes;
+          conn->payload.reset();
+          if (conn->discard_left == 0) {
+            send_error(conn, conn->hdr.request_id, conn->discard_status,
+                       conn->discard_msg);
+            conn->rx = Conn::Rx::kHeader;
+          } else {
+            conn->rx = Conn::Rx::kDiscard;
+          }
+          conn->got = 0;
+          break;
+        }
         if (conn->hdr.type == FrameType::kPing) {
           if (conn->hdr.model_len != 0 || conn->hdr.payload_bytes != 0) {
             protocol_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -417,7 +492,21 @@ void RpcServer::begin_payload(const ConnPtr& conn) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   m_requests_->inc();
 
+  // The admit span covers validation + the admission decision, chained
+  // under the client-side request span the frame named as parent.
+  const bool traced = obs::trace_enabled() && conn->hdr.trace_id != 0;
+  const u64 admit_begin = traced ? obs::trace_now_ns() : 0;
+  auto admit_span = [&] {
+    if (traced) {
+      obs::record_span("rpc.admit", admit_begin,
+                       obs::trace_now_ns() - admit_begin,
+                       obs::TraceContext{conn->hdr.trace_id,
+                                         conn->hdr.parent_span_id});
+    }
+  };
+
   auto reject = [&](u32 status, std::string msg) {
+    admit_span();
     conn->discard_status = status;
     conn->discard_msg = std::move(msg);
     conn->discard_left = conn->hdr.payload_bytes;
@@ -471,6 +560,7 @@ void RpcServer::begin_payload(const ConnPtr& conn) {
     return;
   }
 
+  admit_span();
   conn->payload = server_.checkout_input(conn->model);
   conn->rx = Conn::Rx::kPayload;
   conn->got = 0;
@@ -478,6 +568,11 @@ void RpcServer::begin_payload(const ConnPtr& conn) {
 
 void RpcServer::dispatch(const ConnPtr& conn) {
   const u64 request_id = conn->hdr.request_id;
+  // conn->hdr is reused by the next pipelined frame the moment the rx
+  // machine returns to kHeader, so the trace context must be copied now
+  // for the completion (which runs on an engine thread, much later).
+  const obs::TraceContext ctx{conn->hdr.trace_id,
+                              conn->hdr.parent_span_id};
   Clock::time_point deadline{};
   if (conn->hdr.deadline_us > 0) {
     deadline = Clock::now() +
@@ -488,11 +583,11 @@ void RpcServer::dispatch(const ConnPtr& conn) {
   try {
     server_.submit_async(
         conn->model, std::move(conn->payload),
-        [this, conn, request_id](serve::InferenceResult result,
-                                 std::exception_ptr error) {
-          complete(conn, request_id, std::move(result), error);
+        [this, conn, request_id, ctx](serve::InferenceResult result,
+                                      std::exception_ptr error) {
+          complete(conn, request_id, ctx, std::move(result), error);
         },
-        deadline);
+        deadline, ctx);
   } catch (const Error& e) {
     // Raced a shutdown/unregister between model_info and here.
     admission_.on_completed(0, /*success=*/false);
@@ -501,8 +596,11 @@ void RpcServer::dispatch(const ConnPtr& conn) {
 }
 
 void RpcServer::complete(const ConnPtr& conn, u64 request_id,
+                         const obs::TraceContext& trace,
                          serve::InferenceResult result,
                          std::exception_ptr error) {
+  const bool traced = obs::trace_enabled() && trace.active();
+  const u64 ser_begin = traced ? obs::trace_now_ns() : 0;
   if (error == nullptr) {
     admission_.on_completed(result.exec_ms, /*success=*/true);
     FrameHeader h;
@@ -512,7 +610,15 @@ void RpcServer::complete(const ConnPtr& conn, u64 request_id,
     h.batch_size = static_cast<u32>(result.batch_size);
     h.queue_ms = result.queue_ms;
     h.exec_ms = result.exec_ms;
+    // Echo the trace context so the client can stitch the response to
+    // its pending request span without any side table.
+    h.trace_id = trace.trace_id;
+    h.parent_span_id = trace.span_id;
     send_frame(conn, h, {}, std::move(result.output));
+    if (traced) {
+      obs::record_span("rpc.serialize", ser_begin,
+                       obs::trace_now_ns() - ser_begin, trace);
+    }
     return;
   }
   admission_.on_completed(0, /*success=*/false);
@@ -552,6 +658,11 @@ void RpcServer::send_frame(const ConnPtr& conn, FrameHeader h,
   msg.head += trailer;
   msg.body = std::move(body);
   msg.body_bytes = body_bytes;
+  if (obs::trace_enabled() && h.trace_id != 0) {
+    msg.trace_id = h.trace_id;
+    msg.parent_span = h.parent_span_id;
+    msg.queued_ns = obs::trace_now_ns();
+  }
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     if (conn->closed) return;  // connection died while we computed
@@ -570,7 +681,7 @@ void RpcServer::send_frame(const ConnPtr& conn, FrameHeader h,
 }
 
 void RpcServer::flush_tx(const ConnPtr& conn) {
-  ONDWIN_TRACE_SPAN("rpc.tx");
+  ONDWIN_TRACE_SPAN("rpc.flush");
   std::lock_guard<std::mutex> lock(conn->mu);
   if (conn->closed || conn->broken) return;
   while (!conn->tx.empty()) {
@@ -612,6 +723,14 @@ void RpcServer::flush_tx(const ConnPtr& conn) {
     }
     tx_frames_.fetch_add(1, std::memory_order_relaxed);
     m_tx_frames_->inc();
+    if (msg.queued_ns != 0) {
+      // The traced response's tx span: queued by the completion → last
+      // byte handed to the kernel (record_span is lock-free, so holding
+      // conn->mu here is fine).
+      obs::record_span("rpc.tx", msg.queued_ns,
+                       obs::trace_now_ns() - msg.queued_ns,
+                       obs::TraceContext{msg.trace_id, msg.parent_span});
+    }
     pending_tx_.fetch_sub(1, std::memory_order_acq_rel);
     conn->tx.pop_front();
   }
@@ -659,6 +778,34 @@ RpcServerStats RpcServer::stats() const {
                            ? static_cast<u64>(m_open_conns_->value())
                            : 0;
   return s;
+}
+
+std::string RpcServer::statusz_text() const {
+  const RpcServerStats s = stats();
+  std::string out = str_cat(
+      "  endpoint ", endpoint_name_,
+      running_.load() ? "  (serving)\n" : "  (stopped)\n",
+      "  connections: open=", s.open_connections,
+      " total=", s.connections_total, "\n", "  frames: rx=", s.rx_frames,
+      " tx=", s.tx_frames, "  bytes: rx=", s.rx_bytes, " tx=", s.tx_bytes,
+      "\n", "  requests=", s.requests, " shed=", s.shed,
+      " errors_sent=", s.errors_sent,
+      " protocol_errors=", s.protocol_errors, "\n");
+  char line[256];
+  std::snprintf(
+      line, sizeof(line),
+      "  admission: inflight=%lld admitted=%llu shed{queue_full=%llu "
+      "deadline=%llu slo=%llu} exec_p50=%.3fms exec_p99=%.3fms "
+      "(window %llu)\n",
+      static_cast<long long>(s.admission.inflight),
+      static_cast<unsigned long long>(s.admission.admitted),
+      static_cast<unsigned long long>(s.admission.shed_queue_full),
+      static_cast<unsigned long long>(s.admission.shed_deadline),
+      static_cast<unsigned long long>(s.admission.shed_slo),
+      s.admission.exec_p50_ms, s.admission.exec_p99_ms,
+      static_cast<unsigned long long>(s.admission.exec_window));
+  out += line;
+  return out;
 }
 
 }  // namespace ondwin::rpc

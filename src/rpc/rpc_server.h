@@ -28,7 +28,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/admission.h"
 #include "rpc/frame.h"
 #include "serve/server.h"
@@ -47,6 +49,14 @@ struct RpcServerOptions {
 
   int backlog = 128;
   AdmissionOptions admission;
+
+  /// Opt-in debug/metrics HTTP endpoint on this backend: -1 (default)
+  /// serves nothing; 0 binds a kernel-picked port (read back from
+  /// http()->port()). /metrics carries the ondwin_rpc_* families plus
+  /// the wrapped InferenceServer's exposition; /statusz adds the
+  /// admission/connection state.
+  int http_port = -1;
+  std::string http_host = "127.0.0.1";
 };
 
 struct RpcServerStats {
@@ -90,6 +100,13 @@ class RpcServer {
 
   RpcServerStats stats() const;
 
+  /// The debug endpoint, when RpcServerOptions::http_port enabled one.
+  obs::HttpExporter* http() const { return http_.get(); }
+
+  /// The rpc section of /statusz (endpoint, connection and admission
+  /// state).
+  std::string statusz_text() const;
+
  private:
   struct Conn;
   using ConnPtr = std::shared_ptr<Conn>;
@@ -101,6 +118,7 @@ class RpcServer {
   void begin_payload(const ConnPtr& conn);
   void dispatch(const ConnPtr& conn);
   void complete(const ConnPtr& conn, u64 request_id,
+                const obs::TraceContext& trace,
                 serve::InferenceResult result, std::exception_ptr error);
   void send_error(const ConnPtr& conn, u64 request_id, u32 status,
                   const std::string& message);
@@ -114,6 +132,7 @@ class RpcServer {
   serve::InferenceServer& server_;
   const RpcServerOptions options_;
   AdmissionController admission_;
+  std::unique_ptr<obs::HttpExporter> http_;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;

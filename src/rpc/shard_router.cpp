@@ -1,6 +1,7 @@
 #include "rpc/shard_router.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 namespace ondwin::rpc {
@@ -179,6 +180,34 @@ std::vector<ShardRouter::BackendStats> ShardRouter::stats() const {
     s.client = b->client->stats();
     out.push_back(std::move(s));
   }
+  return out;
+}
+
+std::string ShardRouter::statusz() const {
+  std::size_t ring_points = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_points = ring_.size();
+  }
+  const std::vector<BackendStats> all = stats();
+  std::string out = str_cat(
+      "  ring: ", all.size(), " backends, ", ring_points, " vnodes, ",
+      "replication=", options_.replication, "\n");
+  for (const BackendStats& s : all) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  %-24s picked=%llu failovers=%llu outstanding=%lld "
+                  "tx=%llu rx=%llu transport_errors=%llu reconnects=%llu\n",
+                  s.name.c_str(), static_cast<unsigned long long>(s.picked),
+                  static_cast<unsigned long long>(s.failovers),
+                  static_cast<long long>(s.outstanding),
+                  static_cast<unsigned long long>(s.client.requests),
+                  static_cast<unsigned long long>(s.client.responses),
+                  static_cast<unsigned long long>(s.client.transport_errors),
+                  static_cast<unsigned long long>(s.client.reconnects));
+    out += line;
+  }
+  if (all.empty()) out += "  (no backends)\n";
   return out;
 }
 

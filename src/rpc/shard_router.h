@@ -85,6 +85,11 @@ class ShardRouter {
   };
   std::vector<BackendStats> stats() const;
 
+  /// The shard-table /statusz section: ring geometry plus one line per
+  /// backend (picked/failover/outstanding and client transport counters).
+  /// Mount it on an obs::HttpExporter via add_statusz_section.
+  std::string statusz() const;
+
  private:
   struct Backend {
     std::string name;

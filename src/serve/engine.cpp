@@ -13,6 +13,16 @@ using Clock = std::chrono::steady_clock;
 double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
+
+// The tracer's timeline is the same steady clock the batcher stamps
+// requests with, so queue-wait spans can be recorded retroactively from
+// those timestamps.
+u64 to_ns(Clock::time_point t) {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count());
+}
 }  // namespace
 
 Engine::Engine(Model& model, const PlanOptions& plan_options, int index)
@@ -77,6 +87,21 @@ void Engine::serve_batch(std::vector<PendingRequest> batch) {
   const i64 sin = model_.sample_input_floats();
   const i64 sout = model_.sample_output_floats();
 
+  // Per-request distributed spans: the wait each request spent queued is
+  // only known now, so it is recorded retroactively from the batcher's
+  // timestamp; the exec interval is shared by the whole batch but tagged
+  // per request, so every trace shows its own admit → queue → exec chain.
+  const bool tracing = obs::trace_enabled();
+  const u64 formed_ns = to_ns(formed);
+  if (tracing) {
+    for (const PendingRequest& req : batch) {
+      if (req.trace.active()) {
+        obs::record_span("serve.queue_wait", to_ns(req.submitted),
+                         formed_ns - to_ns(req.submitted), req.trace);
+      }
+    }
+  }
+
   try {
     const int bucket = model_.bucket_for(n);
     Model::Replica replica = model_.replica(bucket, plan_options_);
@@ -96,10 +121,24 @@ void Engine::serve_batch(std::vector<PendingRequest> batch) {
                   static_cast<std::size_t>((bucket - n) * sin) *
                       sizeof(float));
     }
+    const u64 staged_ns = tracing ? obs::trace_now_ns() : 0;
 
     Timer exec_timer;
+    const u64 exec_begin_ns = tracing ? obs::trace_now_ns() : 0;
     {
       std::lock_guard<std::mutex> lock(*replica.exec_mutex);
+      // Execute under the first traced request's context: conv-stage and
+      // graph-step spans opened inside chain into that request's trace
+      // (one representative per batch — the per-request exec spans below
+      // carry the batch interval for everyone else).
+      obs::TraceContext batch_ctx;
+      for (const PendingRequest& req : batch) {
+        if (req.trace.active()) {
+          batch_ctx = req.trace;
+          break;
+        }
+      }
+      obs::TraceContextScope scope(batch_ctx);
       if (replica.graph != nullptr) {
         replica.graph->execute(in_staging_.data(), out_staging_.data());
       } else if (replica.auto_conv != nullptr) {
@@ -113,6 +152,16 @@ void Engine::serve_batch(std::vector<PendingRequest> batch) {
       }
     }
     const double exec_ms = exec_timer.millis();
+    if (tracing) {
+      const u64 exec_end_ns = obs::trace_now_ns();
+      for (const PendingRequest& req : batch) {
+        if (!req.trace.active()) continue;
+        obs::record_span("serve.batch_form", formed_ns,
+                         staged_ns - formed_ns, req.trace);
+        obs::record_span("serve.exec", exec_begin_ns,
+                         exec_end_ns - exec_begin_ns, req.trace);
+      }
+    }
 
     const auto done = Clock::now();
     // Counters first: a client that wakes on its future must already see

@@ -25,6 +25,7 @@
 #include "core/plan_options.h"
 #include "mem/workspace_pool.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "select/select.h"
 
 namespace ondwin::serve {
@@ -99,6 +100,14 @@ struct ServerOptions {
   /// Plan cache used for replica deduplication (nullptr = the process
   /// global cache).
   PlanCache* plan_cache = nullptr;
+
+  /// Opt-in debug/metrics HTTP endpoint (obs::HttpExporter): -1 (the
+  /// default) serves nothing; 0 binds a kernel-picked port (read it back
+  /// from InferenceServer::http()->port()); otherwise the given port.
+  /// Serves GET /metrics (this server's Prometheus exposition), /statusz
+  /// (build/uptime/memory/serving state), /tracez and /healthz.
+  int http_port = -1;
+  std::string http_host = "127.0.0.1";
 };
 
 /// One completed inference.
@@ -145,6 +154,13 @@ struct PendingRequest {
   /// Absolute shedding deadline; epoch (the default) means none. In-proc
   /// submit() never sets one; the rpc tier propagates frame deadlines.
   std::chrono::steady_clock::time_point deadline{};
+
+  /// Distributed trace context this request belongs to (inactive for
+  /// untraced callers). The engine records queue-wait/batch-form/exec
+  /// spans against it and runs execution under it, so conv stages and
+  /// graph steps chain into the originating request's trace — across
+  /// the rpc boundary when the context arrived in a frame.
+  obs::TraceContext trace{};
 
   bool has_deadline() const {
     return deadline.time_since_epoch().count() != 0;

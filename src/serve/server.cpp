@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <sstream>
 #include <utility>
 
+#include "graph/executor.h"
+#include "mem/statusz.h"
+#include "obs/trace.h"
 #include "util/cpu.h"
 
 namespace ondwin::serve {
@@ -20,6 +24,18 @@ InferenceServer::InferenceServer(const ServerOptions& options)
                options_.cpu_begin);
   ONDWIN_CHECK(options_.cpu_count >= 0, "cpu_count must be >= 0, got ",
                options_.cpu_count);
+  if (options_.http_port >= 0) {
+    obs::HttpExporterOptions ho;
+    ho.host = options_.http_host;
+    ho.port = options_.http_port;
+    http_ = std::make_unique<obs::HttpExporter>(ho);
+    http_->set_metrics_provider([this] { return metrics_prometheus(); });
+    http_->add_statusz_section("serving", [this] { return statusz_text(); });
+    http_->add_statusz_section("graph nodes (roofline)", [] {
+      return graph::Executor::attribution_report();
+    });
+    http_->start();
+  }
 }
 
 InferenceServer::~InferenceServer() { stop(/*drain=*/true); }
@@ -102,7 +118,8 @@ ResultFuture InferenceServer::submit(const std::string& model_name,
 
 void InferenceServer::submit_async(
     const std::string& model_name, mem::Workspace input, Completion done,
-    std::chrono::steady_clock::time_point deadline) {
+    std::chrono::steady_clock::time_point deadline,
+    const obs::TraceContext& trace) {
   ONDWIN_CHECK(done != nullptr, "submit_async without a completion");
   Model* model = find_model(model_name);
   ONDWIN_CHECK(
@@ -115,6 +132,10 @@ void InferenceServer::submit_async(
   request.input = std::move(input);
   request.submitted = std::chrono::steady_clock::now();
   request.deadline = deadline;
+  // Explicit context wins (the rpc tier decoded it from the frame);
+  // otherwise inherit whatever trace the submitting thread is inside of,
+  // so in-proc callers under a TraceSpan get chained requests for free.
+  request.trace = trace.active() ? trace : obs::current_trace_context();
   // Wrap the completion in the stop() barrier accounting: the counter
   // drops only after the user callback has fully returned, so stop()
   // really means "no completion is still running anywhere".
@@ -193,6 +214,9 @@ void InferenceServer::shutdown(bool drain) {
 }
 
 void InferenceServer::stop(bool drain) {
+  // The exporter's handlers read this server; quiesce it before any
+  // serving state is torn down. (Idempotent, like the rest of stop().)
+  if (http_ != nullptr) http_->stop();
   shutdown(drain);
   // Engines are joined and the queues are empty, but a rejecting
   // submitter (or a completion handed off by a dying engine) may still be
@@ -303,8 +327,34 @@ obs::MetricsPage InferenceServer::metrics_page() const {
                  lookups > 0 ? static_cast<double>(s.plan_cache.hits) /
                                    static_cast<double>(lookups)
                              : 0.0);
+  obs::Tracer::instance().emit_metrics(page);
   obs::MetricsRegistry::global().emit_to(page);
   return page;
+}
+
+std::string InferenceServer::statusz_text() const {
+  const ServerStats s = stats();
+  std::ostringstream os;
+  os << "engines: " << s.engines << "   accepting: "
+     << (accepting() ? "yes" : "no") << "\n";
+  for (const auto& [name, m] : s.models) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  model %-16s submitted=%llu completed=%llu "
+                  "rejected=%llu expired=%llu failed=%llu depth=%lld "
+                  "mean_batch=%.2f p99=%.2f ms\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(m.submitted),
+                  static_cast<unsigned long long>(m.completed),
+                  static_cast<unsigned long long>(m.rejected),
+                  static_cast<unsigned long long>(m.expired),
+                  static_cast<unsigned long long>(m.failed),
+                  static_cast<long long>(m.queue_depth), m.mean_batch,
+                  m.p99_ms);
+    os << line;
+    os << mem::pool_status_line(str_cat("model:", name), m.pool);
+  }
+  return os.str();
 }
 
 std::string InferenceServer::metrics_prometheus() const {

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/http_exporter.h"
 #include "serve/engine.h"
 #include "serve/model.h"
 #include "serve/serve_types.h"
@@ -66,10 +67,13 @@ class InferenceServer {
   /// Requests with a non-epoch `deadline` are shed (DeadlineExceeded)
   /// instead of executed if the deadline passes while they are queued.
   /// Throws only for unknown models / a shut-down server; backpressure is
-  /// reported through `done` like every other failure.
+  /// reported through `done` like every other failure. `trace` attaches
+  /// the request to a distributed trace (the rpc tier passes the frame's
+  /// context); the default inactive context means untraced.
   void submit_async(const std::string& model, mem::Workspace input,
                     Completion done,
-                    std::chrono::steady_clock::time_point deadline = {});
+                    std::chrono::steady_clock::time_point deadline = {},
+                    const obs::TraceContext& trace = {});
 
   /// Checks a one-sample input slab out of the model's workspace pool
   /// (unzeroed — the caller fills every float before submit_async). This
@@ -114,6 +118,16 @@ class InferenceServer {
   std::string metrics_prometheus() const;
   std::string metrics_json() const;
 
+  /// The debug/metrics HTTP endpoint, when ServerOptions::http_port
+  /// enabled one (nullptr otherwise). /metrics serves this server's
+  /// exposition; /statusz includes the serving and graph-attribution
+  /// sections.
+  obs::HttpExporter* http() const { return http_.get(); }
+
+  /// The serving section of /statusz (exposed so external exporters can
+  /// mount it too).
+  std::string statusz_text() const;
+
  private:
   obs::MetricsPage metrics_page() const;
   void launch_engines(Model& model, const ModelConfig& config);
@@ -122,6 +136,7 @@ class InferenceServer {
   const ServerOptions options_;
   PlanCache* const cache_;
   const int cpu_budget_;
+  std::unique_ptr<obs::HttpExporter> http_;
 
   mutable std::mutex mu_;  // guards the registry and shutdown state
   std::map<std::string, std::unique_ptr<Model>> models_;

@@ -8,7 +8,15 @@
 // counter tests are the data-race regression net for the lock-free paths.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -407,6 +415,445 @@ TEST(ServerMetrics, PrometheusAndJsonEndToEnd) {
   EXPECT_EQ(m.batch_occupancy.counts[0], 6u);  // le=1 bucket
   EXPECT_EQ(m.latency_window, 6u);
   EXPECT_GT(m.min_ms, 0.0);
+}
+
+// ------------------------------------------------- distributed contexts
+
+// Spans opened under an installed TraceContext join its trace; spans
+// recorded retroactively with a forced id become parents other spans can
+// chain to — the exact mechanics the rpc tier uses across processes.
+TEST(Trace, ContextScopeChainsSpansIntoTrace) {
+  TracerGuard guard(/*enable=*/true);
+  const obs::TraceContext ctx{obs::new_trace_id(), obs::new_span_id()};
+  ASSERT_TRUE(ctx.active());
+  {
+    obs::TraceContextScope scope(ctx);
+    EXPECT_EQ(obs::current_trace_context().trace_id, ctx.trace_id);
+    {
+      ONDWIN_TRACE_SPAN("obs_test.ctx_child");
+    }
+  }
+  // Context restored on scope exit: spans outside stay untraced.
+  EXPECT_EQ(obs::current_trace_context().trace_id, 0u);
+  {
+    ONDWIN_TRACE_SPAN("obs_test.ctx_outside");
+  }
+
+  // A retroactive span with a forced id, as the client does for its
+  // request span so server spans can parent to an id that is already on
+  // the wire before the span itself is recorded.
+  const u64 forced = obs::new_span_id();
+  const u64 used = obs::record_span("obs_test.ctx_retro", 1000, 500,
+                                    ctx, forced);
+  EXPECT_EQ(used, forced);
+
+  bool found_child = false, found_outside = false, found_retro = false;
+  for (const auto& s : obs::Tracer::instance().collect()) {
+    if (std::string("obs_test.ctx_child") == s.name) {
+      found_child = true;
+      EXPECT_EQ(s.trace_id, ctx.trace_id);
+      EXPECT_EQ(s.parent_id, ctx.span_id);
+      EXPECT_NE(s.span_id, 0u);
+      EXPECT_NE(s.span_id, ctx.span_id);
+    } else if (std::string("obs_test.ctx_outside") == s.name) {
+      found_outside = true;
+      EXPECT_EQ(s.trace_id, 0u);
+    } else if (std::string("obs_test.ctx_retro") == s.name) {
+      found_retro = true;
+      EXPECT_EQ(s.trace_id, ctx.trace_id);
+      EXPECT_EQ(s.span_id, forced);
+      EXPECT_EQ(s.parent_id, ctx.span_id);
+    }
+  }
+  EXPECT_TRUE(found_child);
+  EXPECT_TRUE(found_outside);
+  EXPECT_TRUE(found_retro);
+}
+
+// The tracer exports its own health: spans-lost and enable-state ride the
+// normal metrics page, and /tracez leads with both.
+TEST(Trace, SelfMetricsAndTracezReportLossAndState) {
+  TracerGuard guard(/*enable=*/true);
+  {
+    ONDWIN_TRACE_SPAN("obs_test.selfmetrics");
+  }
+  obs::MetricsPage page;
+  obs::Tracer::instance().emit_metrics(page);
+  const std::string text = page.prometheus();
+  EXPECT_NE(text.find("ondwin_obs_spans_lost_total"), std::string::npos);
+  EXPECT_NE(text.find("ondwin_obs_trace_enabled 1"), std::string::npos);
+  EXPECT_NE(text.find("ondwin_obs_trace_threads"), std::string::npos);
+
+  const std::string tracez = obs::Tracer::instance().tracez_text();
+  EXPECT_NE(tracez.find("tracing: enabled"), std::string::npos);
+  EXPECT_NE(tracez.find("spans lost"), std::string::npos);
+  EXPECT_NE(tracez.find("obs_test.selfmetrics"), std::string::npos);
+
+  obs::Tracer::instance().set_enabled(false);
+  obs::MetricsPage off;
+  obs::Tracer::instance().emit_metrics(off);
+  EXPECT_NE(off.prometheus().find("ondwin_obs_trace_enabled 0"),
+            std::string::npos);
+  EXPECT_NE(obs::Tracer::instance().tracez_text().find("tracing: disabled"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------ trace merge
+
+namespace merge_docs {
+
+// Hand-written documents in the writer's exact shape: one process each,
+// pids 1/2, trace "aa" spanning both plus an unrelated trace "bb".
+const char kRouterDoc[] =
+    "{\"traceEvents\":["
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+    "\"args\":{\"name\":\"router\"}},"
+    "{\"name\":\"rpc.request\",\"ph\":\"X\",\"pid\":1,\"tid\":0,"
+    "\"ts\":10.0,\"dur\":5.0,\"args\":{\"depth\":0,"
+    "\"trace\":\"00000000000000aa\",\"span\":\"0000000000000001\","
+    "\"parent\":\"0000000000000000\"}}"
+    "]}";
+const char kBackendDoc[] =
+    "{\"traceEvents\":["
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+    "\"args\":{\"name\":\"backend0\"}},"
+    "{\"name\":\"rpc.admit\",\"ph\":\"X\",\"pid\":2,\"tid\":0,"
+    "\"ts\":11.0,\"dur\":1.0,\"args\":{\"depth\":0,"
+    "\"trace\":\"00000000000000aa\",\"span\":\"0000000000000002\","
+    "\"parent\":\"0000000000000001\"}},"
+    "{\"name\":\"unrelated\",\"ph\":\"X\",\"pid\":2,\"tid\":0,"
+    "\"ts\":50.0,\"dur\":1.0,\"args\":{\"depth\":0,"
+    "\"trace\":\"00000000000000bb\",\"span\":\"0000000000000003\","
+    "\"parent\":\"0000000000000000\"}}"
+    "]}";
+
+}  // namespace merge_docs
+
+TEST(TraceMerge, ConcatenatesDumpsAndFiltersByTraceId) {
+  const std::vector<std::string> docs = {merge_docs::kRouterDoc,
+                                         merge_docs::kBackendDoc};
+  // Unfiltered: every event from both processes survives, and the result
+  // is itself a well-formed trace document.
+  const std::string merged = obs::merge_chrome_traces(docs);
+  for (const char* needle :
+       {"rpc.request", "rpc.admit", "unrelated", "\"router\"",
+        "\"backend0\"", "\"displayTimeUnit\":\"ms\""}) {
+    EXPECT_NE(merged.find(needle), std::string::npos) << needle;
+  }
+  std::string events;
+  ASSERT_TRUE(obs::extract_trace_events(merged, &events));
+
+  // Filtered to trace aa: the cross-process chain survives (with both
+  // process_name records so Perfetto still labels the tracks), the
+  // unrelated trace does not.
+  const std::string one =
+      obs::merge_chrome_traces(docs, "00000000000000aa");
+  EXPECT_NE(one.find("rpc.request"), std::string::npos);
+  EXPECT_NE(one.find("rpc.admit"), std::string::npos);
+  EXPECT_NE(one.find("\"parent\":\"0000000000000001\""), std::string::npos);
+  EXPECT_NE(one.find("\"router\""), std::string::npos);
+  EXPECT_NE(one.find("\"backend0\""), std::string::npos);
+  EXPECT_EQ(one.find("unrelated"), std::string::npos);
+
+  // Malformed input: no traceEvents array → a clean failure, not UB.
+  EXPECT_FALSE(obs::extract_trace_events("{\"foo\":1}", &events));
+  EXPECT_THROW(obs::merge_chrome_traces({"{\"foo\":1}"}), Error);
+}
+
+TEST(TraceMerge, FileLevelMergeRoundTrips) {
+  const std::string base =
+      str_cat("/tmp/ondwin_obs_merge_", ::getpid());
+  const std::string f1 = base + ".router.json";
+  const std::string f2 = base + ".backend.json";
+  const std::string out = base + ".merged.json";
+  {
+    std::ofstream(f1) << merge_docs::kRouterDoc;
+    std::ofstream(f2) << merge_docs::kBackendDoc;
+  }
+  ASSERT_TRUE(obs::merge_chrome_trace_files({f1, f2}, out));
+  std::ifstream in(out);
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::string merged((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  EXPECT_NE(merged.find("rpc.request"), std::string::npos);
+  EXPECT_NE(merged.find("rpc.admit"), std::string::npos);
+
+  EXPECT_FALSE(
+      obs::merge_chrome_trace_files({base + ".absent.json"}, out));
+  std::remove(f1.c_str());
+  std::remove(f2.c_str());
+  std::remove(out.c_str());
+}
+
+// ----------------------------------------------------------- http exporter
+
+/// Blocking one-shot raw HTTP exchange against 127.0.0.1:port.
+std::string http_exchange(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<u16>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return {};
+  }
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t w =
+        ::write(fd, request.data() + off, request.size() - off);
+    if (w <= 0) break;
+    off += static_cast<std::size_t>(w);
+  }
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+std::string http_get(int port, const std::string& path) {
+  return http_exchange(
+      port, "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+}
+
+std::string http_body(const std::string& response) {
+  const std::size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string() : response.substr(pos + 4);
+}
+
+bool valid_metric_name(const std::string& s) {
+  if (s.empty()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+bool valid_sample_value(const std::string& s) {
+  if (s == "+Inf" || s == "-Inf" || s == "NaN") return true;
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Strict-enough Prometheus text-format (0.0.4) linter: every line must
+/// be a HELP/TYPE comment or a well-formed sample whose family was
+/// declared by a preceding TYPE line. Returns the violations, empty on a
+/// clean page.
+std::vector<std::string> prometheus_lint(const std::string& body) {
+  std::vector<std::string> errors;
+  std::vector<std::string> families;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) {
+      errors.push_back("last line lacks trailing newline");
+      eol = body.size();
+    }
+    const std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# HELP <name> <text>" / "# TYPE <name> <type>"
+      if (line.rfind("# HELP ", 0) == 0) continue;
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::size_t sp = line.find(' ', 7);
+        if (sp == std::string::npos) {
+          errors.push_back("malformed TYPE: " + line);
+          continue;
+        }
+        const std::string name = line.substr(7, sp - 7);
+        const std::string type = line.substr(sp + 1);
+        if (!valid_metric_name(name)) {
+          errors.push_back("bad family name: " + line);
+        }
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          errors.push_back("bad family type: " + line);
+        }
+        families.push_back(name);
+        continue;
+      }
+      errors.push_back("unknown comment form: " + line);
+      continue;
+    }
+    // Sample: name[{labels}] value
+    std::size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) {
+      errors.push_back("no value: " + line);
+      continue;
+    }
+    const std::string name = line.substr(0, name_end);
+    if (!valid_metric_name(name)) {
+      errors.push_back("bad metric name: " + line);
+      continue;
+    }
+    std::size_t i = name_end;
+    if (line[i] == '{') {
+      // label pairs: ident="escaped", ...
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        const std::size_t eq = line.find('=', i);
+        if (eq == std::string::npos ||
+            !valid_metric_name(line.substr(i, eq - i))) {
+          errors.push_back("bad label name: " + line);
+          break;
+        }
+        i = eq + 1;
+        if (i >= line.size() || line[i] != '"') {
+          errors.push_back("unquoted label value: " + line);
+          break;
+        }
+        ++i;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') ++i;  // escaped char
+          ++i;
+        }
+        if (i >= line.size()) {
+          errors.push_back("unterminated label value: " + line);
+          break;
+        }
+        ++i;  // closing quote
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i >= line.size() || line[i] != '}') {
+        errors.push_back("unterminated label block: " + line);
+        continue;
+      }
+      ++i;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      errors.push_back("no space before value: " + line);
+      continue;
+    }
+    if (!valid_sample_value(line.substr(i + 1))) {
+      errors.push_back("bad sample value: " + line);
+      continue;
+    }
+    // The family must have been declared (histogram series add
+    // _bucket/_sum/_count to the declared name; summaries add _sum/_count).
+    bool declared = false;
+    for (const std::string& fam : families) {
+      if (name == fam || name == fam + "_bucket" || name == fam + "_sum" ||
+          name == fam + "_count") {
+        declared = true;
+      }
+    }
+    if (!declared) errors.push_back("sample without TYPE: " + line);
+  }
+  return errors;
+}
+
+TEST(HttpExporter, ServesStrictPrometheusAndDebugPages) {
+  obs::HttpExporterOptions opt;
+  opt.port = 0;  // kernel-picked
+  obs::HttpExporter exporter(opt);
+  exporter.add_statusz_section("obs_test_section",
+                               [] { return std::string("hello-section\n"); });
+  exporter.start();
+  const int port = exporter.port();
+  ASSERT_GT(port, 0);
+
+  // /metrics: correct content type and a body that survives a strict
+  // text-format parse, line by line.
+  const std::string metrics = http_get(port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  const std::vector<std::string> errors =
+      prometheus_lint(http_body(metrics));
+  for (const std::string& e : errors) ADD_FAILURE() << e;
+  EXPECT_NE(metrics.find("ondwin_obs_spans_lost_total"),
+            std::string::npos);
+
+  const std::string statusz = http_get(port, "/statusz");
+  EXPECT_NE(statusz.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(statusz.find("uptime"), std::string::npos);
+  EXPECT_NE(statusz.find("obs_test_section"), std::string::npos);
+  EXPECT_NE(statusz.find("hello-section"), std::string::npos);
+
+  EXPECT_NE(http_get(port, "/tracez").find("tracing:"),
+            std::string::npos);
+  EXPECT_NE(http_get(port, "/healthz").find("ok"), std::string::npos);
+
+  // Unknown path → 404 with a hint; wrong method → 405.
+  const std::string missing = http_get(port, "/nope");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_NE(missing.find("/metrics"), std::string::npos);
+  EXPECT_NE(http_exchange(port,
+                          "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+
+  // Oversize request → 431 and the connection is closed, not served.
+  const std::string huge =
+      "GET /" + std::string(opt.max_request_bytes + 16, 'x') +
+      " HTTP/1.1\r\n\r\n";
+  EXPECT_NE(http_exchange(port, huge).find("HTTP/1.1 431"),
+            std::string::npos);
+
+  // Six parsed requests (the oversize one never parses — it counts only
+  // as a bad request), four served, three rejected politely.
+  const obs::HttpExporterStats st = exporter.stats();
+  EXPECT_GE(st.requests, 6u);
+  EXPECT_GE(st.responses_2xx, 4u);
+  EXPECT_GE(st.responses_4xx, 3u);
+  EXPECT_GE(st.bad_requests, 1u);
+
+  exporter.stop();
+  EXPECT_FALSE(exporter.running());
+}
+
+// The serving tier's exporter integration: an InferenceServer with an
+// http_port serves its own metrics page over the wire — the same bytes
+// metrics_prometheus() returns, fresh per scrape.
+TEST(HttpExporter, InferenceServerEndpointServesLiveMetrics) {
+  ConvProblem p;
+  p.shape.batch = 1;
+  p.shape.in_channels = 16;
+  p.shape.out_channels = 16;
+  p.shape.image = {4, 4};
+  p.shape.kernel = {3, 3};
+  p.shape.padding = {1, 1};
+  p.tile_m = {2, 2};
+  AlignedBuffer<float> w(
+      static_cast<std::size_t>(p.kernel_layout().total_floats()));
+  AlignedBuffer<float> in(
+      static_cast<std::size_t>(p.input_layout().total_floats()));
+  Rng rng(7);
+  for (auto& v : w) v = rng.uniform(-1, 1);
+  for (auto& v : in) v = rng.uniform(-1, 1);
+
+  serve::ServerOptions so;
+  so.http_port = 0;
+  serve::InferenceServer server(so);
+  ASSERT_NE(server.http(), nullptr);
+  const int port = server.http()->port();
+  ASSERT_GT(port, 0);
+
+  serve::ModelConfig config;
+  config.plan.threads = 1;
+  server.register_conv("scraped", p, w.data(), config);
+  for (int i = 0; i < 3; ++i) server.submit("scraped", in.data()).get();
+
+  const std::string body = http_body(http_get(port, "/metrics"));
+  EXPECT_NE(body.find("ondwin_serve_requests_total{model=\"scraped\"} 3"),
+            std::string::npos);
+  const std::vector<std::string> errors = prometheus_lint(body);
+  for (const std::string& e : errors) ADD_FAILURE() << e;
+  EXPECT_NE(http_get(port, "/statusz").find("scraped"), std::string::npos);
+
+  server.stop();
 }
 
 }  // namespace

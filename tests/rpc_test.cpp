@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <future>
 #include <memory>
@@ -17,6 +20,7 @@
 #include <vector>
 
 #include "core/conv_plan.h"
+#include "obs/trace.h"
 #include "rpc/rpc_client.h"
 #include "rpc/shard_router.h"
 #include "util/aligned.h"
@@ -66,6 +70,8 @@ FrameHeader sample_header() {
   h.batch_size = 8;
   h.queue_ms = 1.25;
   h.exec_ms = 3.5;
+  h.trace_id = 0xFEEDFACECAFEF00Dull;
+  h.parent_span_id = 0xDEADBEEF12345678ull;
   h.rank = 3;
   h.batch = 7;
   h.in_channels = 96;
@@ -87,6 +93,9 @@ TEST(RpcFrame, HeaderRoundTripsEveryField) {
 
   FrameHeader d;
   ASSERT_EQ(decode_header(buf, sizeof(buf), &d), DecodeResult::kOk);
+  EXPECT_EQ(d.version, kFrameVersion);
+  EXPECT_EQ(d.trace_id, h.trace_id);
+  EXPECT_EQ(d.parent_span_id, h.parent_span_id);
   EXPECT_EQ(d.type, h.type);
   EXPECT_EQ(d.request_id, h.request_id);
   EXPECT_EQ(d.deadline_us, h.deadline_us);
@@ -153,6 +162,60 @@ TEST(RpcFrame, OversizedLengthsRejected) {
   h.rank = kMaxNd + 1;
   encode_header(h, buf);
   EXPECT_EQ(decode_header(buf, sizeof(buf), &d), DecodeResult::kBadShape);
+}
+
+// The decoder accepts both wire versions: a legacy v1 header (104 bytes,
+// no trace context) decodes fully, reporting version 1 and a zero trace
+// context, so the server can reject it *politely* — lengths intact, the
+// stream stays in sync.
+TEST(RpcFrame, LegacyV1HeaderDecodesWithZeroTraceContext) {
+  const FrameHeader h = sample_header();
+  u8 buf[kFrameHeaderBytesV1];
+  encode_header_v1(h, buf);
+
+  u16 version = 0;
+  ASSERT_EQ(peek_frame_version(buf, sizeof(buf), &version),
+            DecodeResult::kOk);
+  EXPECT_EQ(version, 1);
+  EXPECT_EQ(frame_header_bytes(version), kFrameHeaderBytesV1);
+
+  FrameHeader d;
+  ASSERT_EQ(decode_header(buf, sizeof(buf), &d), DecodeResult::kOk);
+  EXPECT_EQ(d.version, 1);
+  EXPECT_EQ(d.trace_id, 0u);        // v1 carries no trace context
+  EXPECT_EQ(d.parent_span_id, 0u);
+  EXPECT_EQ(d.type, h.type);
+  EXPECT_EQ(d.request_id, h.request_id);
+  EXPECT_EQ(d.model_len, h.model_len);
+  EXPECT_EQ(d.payload_bytes, h.payload_bytes);
+  EXPECT_EQ(d.rank, h.rank);
+}
+
+// A v2 header truncated at the v1 prefix length is reported kTruncated —
+// the "read more and retry" signal a dual-length receiver relies on —
+// while peeking the version needs only the first 8 bytes.
+TEST(RpcFrame, VersionPeekAndDualLengthRead) {
+  u8 buf[kFrameHeaderBytes];
+  encode_header(sample_header(), buf);
+
+  u16 version = 0;
+  EXPECT_EQ(peek_frame_version(buf, 5, &version), DecodeResult::kTruncated);
+  ASSERT_EQ(peek_frame_version(buf, 8, &version), DecodeResult::kOk);
+  EXPECT_EQ(version, kFrameVersion);
+  EXPECT_EQ(frame_header_bytes(version), kFrameHeaderBytes);
+  EXPECT_EQ(frame_header_bytes(77), 0u);  // unknown version: unparseable
+
+  FrameHeader d;
+  EXPECT_EQ(decode_header(buf, kFrameHeaderBytesV1, &d),
+            DecodeResult::kTruncated);
+  EXPECT_EQ(decode_header(buf, kFrameHeaderBytes, &d), DecodeResult::kOk);
+
+  // Garbage magic is caught by the peek, before any length is trusted.
+  u8 bad[8];
+  std::memcpy(bad, buf, sizeof(bad));
+  bad[0] ^= 0xFF;
+  EXPECT_EQ(peek_frame_version(bad, sizeof(bad), &version),
+            DecodeResult::kBadMagic);
 }
 
 TEST(RpcFrame, ShapeRoundTripAndMatch) {
@@ -507,6 +570,203 @@ TEST(RpcLoopback, StopDrainsAdmittedRequests) {
   RpcResponse r = f.get();
   ASSERT_TRUE(r.ok()) << r.error;
   EXPECT_EQ(r.output.size(), fx.sout);
+}
+
+namespace {
+
+/// Blocking raw unix-socket client, for hand-crafted wire bytes.
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool write_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w <= 0) return false;
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r <= 0) return false;
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+/// Reads one full response frame (dual-length header + payload).
+bool read_frame(int fd, FrameHeader* h, std::string* payload) {
+  u8 buf[kFrameHeaderBytes];
+  if (!read_all(fd, buf, kFrameHeaderBytesV1)) return false;
+  u16 version = 0;
+  if (peek_frame_version(buf, kFrameHeaderBytesV1, &version) !=
+      DecodeResult::kOk) {
+    return false;
+  }
+  const std::size_t want = frame_header_bytes(version);
+  if (want == 0) return false;
+  if (want > kFrameHeaderBytesV1 &&
+      !read_all(fd, buf + kFrameHeaderBytesV1,
+                want - kFrameHeaderBytesV1)) {
+    return false;
+  }
+  if (decode_header(buf, want, h) != DecodeResult::kOk) return false;
+  payload->resize(h->model_len + h->payload_bytes);
+  return payload->empty() || read_all(fd, payload->data(), payload->size());
+}
+
+}  // namespace
+
+// A legacy v1 request frame is answered with a clean kUnsupportedVersion
+// error — not a dropped connection — and the stream stays in sync: a
+// valid v2 request on the SAME connection is then served bitwise
+// identically to direct execution.
+TEST(RpcLoopback, LegacyV1FrameRejectedWithoutStreamDesync) {
+  Fixture fx;
+  const std::string path = test_socket_path("v1reject");
+  RpcServerOptions so;
+  so.unix_path = path;
+  RpcServer rpc(fx.server, so);
+  rpc.start();
+
+  const int fd = connect_unix(path);
+  ASSERT_GE(fd, 0);
+
+  AlignedBuffer<float> input;
+  fill_random(input, fx.sin, 0x51);
+  const std::string name = "conv";
+
+  FrameHeader req;
+  req.type = FrameType::kRequest;
+  req.request_id = 1;
+  req.model_len = static_cast<u32>(name.size());
+  req.payload_bytes = static_cast<u32>(fx.sin * sizeof(float));
+  ASSERT_TRUE(shape_to_header(fx.p.shape, &req));
+
+  // The v1 frame: header + name + payload all hit the wire, so the
+  // server must discard exactly the advertised lengths to stay in sync.
+  u8 v1[kFrameHeaderBytesV1];
+  encode_header_v1(req, v1);
+  ASSERT_TRUE(write_all(fd, v1, sizeof(v1)));
+  ASSERT_TRUE(write_all(fd, name.data(), name.size()));
+  ASSERT_TRUE(write_all(fd, input.data(), fx.sin * sizeof(float)));
+
+  FrameHeader resp;
+  std::string payload;
+  ASSERT_TRUE(read_frame(fd, &resp, &payload));
+  EXPECT_EQ(resp.type, FrameType::kError);
+  EXPECT_EQ(resp.status, kUnsupportedVersion);
+  EXPECT_EQ(resp.request_id, 1u);
+  EXPECT_FALSE(payload.empty());  // human-readable version message
+
+  // Same connection, current version: served normally.
+  req.request_id = 2;
+  u8 v2[kFrameHeaderBytes];
+  encode_header(req, v2);
+  ASSERT_TRUE(write_all(fd, v2, sizeof(v2)));
+  ASSERT_TRUE(write_all(fd, name.data(), name.size()));
+  ASSERT_TRUE(write_all(fd, input.data(), fx.sin * sizeof(float)));
+
+  ASSERT_TRUE(read_frame(fd, &resp, &payload));
+  EXPECT_EQ(resp.type, FrameType::kResponse);
+  EXPECT_EQ(resp.status, kOk);
+  EXPECT_EQ(resp.request_id, 2u);
+  ASSERT_EQ(payload.size(), fx.sout * sizeof(float));
+  const std::vector<float> want = fx.expected(input);
+  EXPECT_EQ(std::memcmp(payload.data(), want.data(), payload.size()), 0);
+
+  // A polite version reject is not a protocol error.
+  EXPECT_EQ(rpc.stats().protocol_errors, 0u);
+  ::close(fd);
+  rpc.stop();
+}
+
+// With tracing on, one client request produces a connected cross-process
+// style span chain: the client's rpc.request span is the parent of the
+// server's rpc.admit and rpc.tx spans, and the serve-tier spans carry
+// the same trace id — exactly what trace_merge lines up across dumps.
+TEST(RpcLoopback, TracedRequestChainsClientAndServerSpans) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.clear();
+  tracer.set_enabled(true);
+
+  Fixture fx;
+  const std::string path = test_socket_path("traced");
+  RpcServerOptions so;
+  so.unix_path = path;
+  RpcServer rpc(fx.server, so);
+  rpc.start();
+
+  RpcClientOptions co;
+  co.unix_path = path;
+  RpcClient client(co);
+
+  AlignedBuffer<float> input;
+  fill_random(input, fx.sin, 0x77);
+  const RpcResponse r = client.infer("conv", input.data(), fx.sin);
+  ASSERT_TRUE(r.ok()) << r.error;
+
+  // The server records rpc.serialize/rpc.tx on its own threads just
+  // after the response hits the wire — give them a beat to land before
+  // snapshotting.
+  std::vector<obs::CollectedSpan> spans;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    spans = tracer.collect();
+    int tx = 0;
+    for (const obs::CollectedSpan& s : spans) {
+      if (std::strcmp(s.name, "rpc.tx") == 0 ||
+          std::strcmp(s.name, "rpc.serialize") == 0) {
+        ++tx;
+      }
+    }
+    if (tx >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  tracer.set_enabled(false);
+  const obs::CollectedSpan* request = nullptr;
+  for (const obs::CollectedSpan& s : spans) {
+    if (std::strcmp(s.name, "rpc.request") == 0) request = &s;
+  }
+  ASSERT_NE(request, nullptr) << "client request span missing";
+  ASSERT_NE(request->trace_id, 0u);
+  ASSERT_NE(request->span_id, 0u);
+
+  // Every server-side span of the request joins its trace; the frame's
+  // parent_span_id chains admit and tx directly under the request span.
+  auto count = [&](const char* name, bool require_parent) {
+    int n = 0;
+    for (const obs::CollectedSpan& s : spans) {
+      if (std::strcmp(s.name, name) != 0) continue;
+      if (s.trace_id != request->trace_id) continue;
+      if (require_parent && s.parent_id != request->span_id) continue;
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_GE(count("rpc.admit", true), 1) << "admit span not chained";
+  EXPECT_GE(count("rpc.tx", true), 1) << "tx span not chained";
+  EXPECT_GE(count("rpc.serialize", true), 1);
+  EXPECT_GE(count("serve.exec", false), 1)
+      << "serve tier span missing from the trace";
+  EXPECT_GE(count("serve.queue_wait", false), 1);
+
+  rpc.stop();
 }
 
 // ----------------------------------------------------------- shard router

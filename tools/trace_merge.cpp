@@ -1,0 +1,53 @@
+// trace_merge — join Chrome trace dumps from several traced processes
+// (ONDWIN_TRACE=<file> per process) into one Perfetto-loadable timeline.
+//
+//   trace_merge -o merged.json router.json backend0.json backend1.json
+//   trace_merge -o one_request.json --trace 1a2b3c4d5e6f7081 *.json
+//
+// Events keep their real pids and process_name metadata, so the merged
+// file renders one track group per process; --trace filters to a single
+// distributed request's cross-process chain.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/trace_merge.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s -o <out.json> [--trace <hex-trace-id>] "
+               "<in.json> [<in.json> ...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string trace_id_hex;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_id_hex = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      inputs.emplace_back(argv[i]);
+    }
+  }
+  if (out_path.empty() || inputs.empty()) return usage(argv[0]);
+
+  if (!ondwin::obs::merge_chrome_trace_files(inputs, out_path,
+                                             trace_id_hex)) {
+    return 1;
+  }
+  std::fprintf(stderr, "merged %zu trace file(s) -> %s\n", inputs.size(),
+               out_path.c_str());
+  return 0;
+}
