@@ -1,8 +1,8 @@
 // Fig. 5 reproduction: runtime of every Tbl. 2 convolutional layer under
 // each implementation.
 //
-//   $ ./bench_fig5_layers [--full] [--csv out.csv] [--json out.json]
-//                         [--obs-overhead]
+//   $ ./bench_fig5_layers [--full] [--prec fp32|bf16|fp16] [--csv out.csv]
+//                         [--json out.json] [--obs-overhead]
 //
 // Columns per layer (the paper's bar groups):
 //   direct         optimized direct convolution on the blocked layout
@@ -30,6 +30,14 @@
 // Expected shape (paper): ours beats direct and the simple Winograd on
 // every layer; larger m helps until padding waste dominates; FX helps most
 // where C,C' are large and batch is 1 (FusionNet 4.2/5.2).
+//
+// --prec bf16|fp16 (default: ONDWIN_PREC, else fp32) stores the Winograd
+// intermediates Û/W/I' in the reduced format (fp32 accumulate). The
+// "ours ... FX" rows then also time an fp32 plan of the same tile and
+// report speedup_vs_fp32 — bandwidth-bound layers approach the 2×
+// streaming-traffic reduction that the per-stage u/w/iout byte fields
+// (effective workspace traffic, halved under reduced storage) make
+// explicit.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -144,16 +152,26 @@ int run_obs_overhead_check() {
 int main(int argc, char** argv) {
   bool full = false;
   std::string csv_path;
+  Precision prec = Precision::kFp32;
+  precision_env_override(&prec);  // --prec below beats the environment
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) full = true;
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--prec") == 0 && i + 1 < argc) {
+      if (!parse_precision(argv[++i], &prec)) {
+        std::fprintf(stderr, "bad --prec '%s' (fp32|bf16|fp16)\n", argv[i]);
+        return 2;
+      }
     }
     if (std::strcmp(argv[i], "--obs-overhead") == 0) {
       return run_obs_overhead_check();
     }
   }
   const std::string json_path = bench::json_flag(argc, argv);
+  PlanOptions plan_opts;
+  plan_opts.precision = prec;
 
   // Open hardware counters before any plan exists: inherit=1 only covers
   // threads spawned after the open, and plans spawn their worker pools at
@@ -166,11 +184,14 @@ int main(int argc, char** argv) {
 
   const auto layers = table2_layers(full);
   bench::BenchReport report("fig5_layers");
+  report.set_precision(precision_name(prec));
   std::vector<std::string> csv_rows;
   Rng rng(2024);
 
-  std::printf("== Fig. 5: convolution layer runtimes (%s sizes) ==\n",
-              full ? "paper" : "CI");
+  std::printf("== Fig. 5: convolution layer runtimes (%s sizes, %s, "
+              "convert tier %s) ==\n",
+              full ? "paper" : "CI", precision_name(prec),
+              precision_tier_string().c_str());
   std::printf("%-10s %-5s %-22s %10s %10s\n", "net", "layer", "impl", "ms",
               "GFLOP/s*");
 
@@ -252,7 +273,7 @@ int main(int argc, char** argv) {
       }
       fm += ",3)";
 
-      ConvPlan plan(p);
+      ConvPlan plan(p, plan_opts);
       emit(fm, bench_secs([&] {
              plan.execute(in_b.data(), w_b.data(), out_b.data());
            }));
@@ -264,6 +285,19 @@ int main(int argc, char** argv) {
       });
       perf.stop();
       const obs::PerfReading hw = perf.read();
+
+      // Reduced runs time the fp32 plan of the same tile as the in-place
+      // baseline (same blocking heuristics, same schedule — the storage
+      // precision is the only variable).
+      double fx32_secs = 0;
+      if (prec != Precision::kFp32) {
+        ConvPlan plan32(p);
+        plan32.set_kernels(w_b.data());
+        fx32_secs = bench_secs([&] {
+          plan32.execute_pretransformed(in_b.data(), out_b.data());
+        });
+      }
+
       bench::BenchReport::Row& row = emit(fm + " FX", fx_secs);
 
       // Per-stage breakdown of the LAST execute (stats are per-call; the
@@ -302,6 +336,21 @@ int main(int argc, char** argv) {
           .set("inverse_ms", st.inverse_transform * 1e3)
           .set("inverse_imbalance", st.inverse_balance.imbalance())
           .set("inverse_gflops", gfs(inv_tr, st.inverse_transform));
+      // Effective per-stage workspace traffic (storage-precision bytes of
+      // Û / W / I' — halved under reduced storage) and, on reduced runs,
+      // the same-tile fp32 FX baseline.
+      row.set("precision", precision_name(st.precision))
+          .set("u_bytes", static_cast<double>(st.u_bytes))
+          .set("w_bytes", static_cast<double>(st.w_bytes))
+          .set("iout_bytes", static_cast<double>(st.iout_bytes));
+      if (prec != Precision::kFp32 && fx32_secs > 0) {
+        const double speedup = fx32_secs / fx_secs;
+        std::printf("%18s fp32 FX %.2f ms → %s FX %.2f ms  (%.2fx)\n",
+                    "prec:", fx32_secs * 1e3, precision_name(prec),
+                    fx_secs * 1e3, speedup);
+        row.set("fp32_ms", fx32_secs * 1e3)
+            .set("speedup_vs_fp32", speedup);
+      }
       if (hw.valid) {
         std::printf("%18s IPC %.2f  L1D miss/kinst %.2f  LLC miss/kinst "
                     "%.3f  (whole FX timing loop)\n",

@@ -10,12 +10,21 @@
 // magnitude statistics; see DESIGN.md §2). Expected shape: error grows
 // two-to-three orders of magnitude from F(2,3) to F(8,3); F(6²,3²) (2D)
 // and F(4×6²,3³) (3D) stay below the ~1e-2 training-stability threshold.
+//
+// A second table per workload reports the max *relative* error (infer
+// kernels, normalized by the ground truth's max magnitude) for each
+// storage precision — fp32 / bf16 / fp16 — next to the planner's
+// storage-error proxy (select::winograd_storage_error_bound) and the
+// default budget, validating that every measured error sits below the
+// bound the planner admits or demotes by.
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "ondwin/ondwin.h"
+#include "select/cost_model.h"
+#include "select/select.h"
 #include "util/rng.h"
 
 using namespace ondwin;
@@ -120,6 +129,71 @@ void run_workload(const char* net_name, const ConvShape& shape,
     }
     std::printf("  %-14s %12.2E %12.2E %12.2E %12.2E\n", var.label.c_str(),
                 train.max_err, train.avg_err, infer.max_err, infer.avg_err);
+  }
+  std::printf("\n");
+
+  // --- per-precision max relative error (infer kernels) ---------------
+  // One Winograd execution per (variant, storage precision); errors are
+  // normalized by the ground truth's max magnitude so precisions are
+  // comparable across variants. `bound` is the planner's worst-case
+  // storage-error proxy (2·u·Π‖Aᵀ‖₁); measured error must sit below it,
+  // and the planner demotes to fp32 wherever the bound exceeds the
+  // budget (marked "demote").
+  const select::SelectOptions budget_defaults;
+  std::printf("  per-precision max rel error (infer kernels; planner "
+              "budget %.0f):\n", budget_defaults.max_storage_err);
+  std::printf("  %-14s %10s %10s %10s %12s %12s\n", "variant", "fp32",
+              "bf16", "fp16", "bf16 bound", "fp16 bound");
+  const auto gt = naive_conv_longdouble(shape, in.data(), w_infer.data());
+  long double gt_max = 0;
+  for (const long double v : gt) gt_max = std::max(gt_max, std::abs(v));
+  for (const Variant& var : variants) {
+    if (var.tile_m.empty()) continue;
+    ConvProblem p;
+    p.shape = shape;
+    p.tile_m = var.tile_m;
+    const ImageLayout in_l = p.input_layout();
+    const ImageLayout out_l = p.output_layout();
+    const KernelLayout k_l = p.kernel_layout();
+    AlignedBuffer<float> in_b(static_cast<std::size_t>(in_l.total_floats()));
+    AlignedBuffer<float> w_b(static_cast<std::size_t>(k_l.total_floats()));
+    AlignedBuffer<float> out_b(
+        static_cast<std::size_t>(out_l.total_floats()));
+    pack_image(in.data(), in_b.data(), in_l);
+    pack_kernels(w_infer.data(), w_b.data(), k_l);
+
+    double rel[3] = {0, 0, 0};
+    double bound[3] = {0, 0, 0};
+    std::vector<float> got(gt.size());
+    for (const Precision prec :
+         {Precision::kFp32, Precision::kBf16, Precision::kFp16}) {
+      PlanOptions popts;
+      popts.precision = prec;
+      ConvPlan plan(p, popts);
+      plan.execute(in_b.data(), w_b.data(), out_b.data());
+      unpack_image(out_b.data(), got.data(), out_l);
+      long double worst = 0;
+      for (std::size_t i = 0; i < gt.size(); ++i) {
+        worst = std::max(
+            worst, std::abs(static_cast<long double>(got[i]) - gt[i]));
+      }
+      rel[static_cast<int>(prec)] =
+          static_cast<double>(worst / std::max<long double>(gt_max, 1e-30L));
+      bound[static_cast<int>(prec)] = select::winograd_storage_error_bound(
+          prec, var.tile_m, shape.kernel);
+    }
+    auto verdict = [&](Precision prec) {
+      return bound[static_cast<int>(prec)] >
+                     budget_defaults.max_storage_err
+                 ? " demote"
+                 : "";
+    };
+    std::printf("  %-14s %10.2E %10.2E %10.2E %10.2E%-7s %10.2E%-7s\n",
+                var.label.c_str(), rel[0], rel[1], rel[2],
+                bound[static_cast<int>(Precision::kBf16)],
+                verdict(Precision::kBf16),
+                bound[static_cast<int>(Precision::kFp16)],
+                verdict(Precision::kFp16));
   }
   std::printf("\n");
 }

@@ -9,10 +9,14 @@
 //   ...
 //   if (!json_path.empty()) report.write_json(json_path);
 //
-// Document shape: {"bench": "<name>", "schema": 1, "rows": [{...}, ...]}.
+// Document shape:
+//   {"bench": "<name>", "schema": 1, "precision": "fp32", "rows": [...]}.
 // Rows are flat objects; heterogeneous rows (different keys per row) are
-// fine — consumers key by field name. `schema` bumps only when the
-// envelope itself changes shape.
+// fine — consumers key by field name. `precision` is the run-wide storage
+// precision (set_precision; defaults to "fp32" so existing consumers see
+// an explicit value, and pre-precision documents without the field mean
+// fp32 by definition). `schema` bumps only when existing fields change
+// meaning — additive envelope fields like `precision` do not bump it.
 #pragma once
 
 #include <cstdio>
@@ -101,6 +105,15 @@ class BenchReport {
 
   explicit BenchReport(std::string name) : name_(std::move(name)) {}
 
+  /// Run-wide storage precision recorded in the document envelope.
+  /// Accepts the `const char*` from ondwin::precision_name() directly —
+  /// the std::string parameter keeps a literal from taking the bool
+  /// conversion the same way Row::set's const char* overload does.
+  BenchReport& set_precision(const std::string& name) {
+    precision_ = name;
+    return *this;
+  }
+
   /// Appends an empty row; fill it with chained set() calls. The reference
   /// stays valid until the next row() call.
   Row& row() {
@@ -111,8 +124,9 @@ class BenchReport {
   std::size_t size() const { return rows_.size(); }
 
   std::string json() const {
-    std::string out =
-        "{\"bench\":\"" + json_escape(name_) + "\",\"schema\":1,\"rows\":[";
+    std::string out = "{\"bench\":\"" + json_escape(name_) +
+                      "\",\"schema\":1,\"precision\":\"" +
+                      json_escape(precision_) + "\",\"rows\":[";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       if (i) out += ",";
       out += rows_[i].json();
@@ -131,6 +145,7 @@ class BenchReport {
 
  private:
   std::string name_;
+  std::string precision_ = "fp32";
   std::vector<Row> rows_;
 };
 

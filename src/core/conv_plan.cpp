@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 
 #include "core/wisdom.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/cpu.h"
+#include "util/precision.h"
 #include "wincnn/cook_toom.h"
 
 #if defined(__x86_64__) || defined(_M_X64)
@@ -57,29 +59,56 @@ struct ConvPlan::ThreadScratch {
   std::vector<float*> scatter_rows;
 
   // Fused-mode block scratch: one tile block's Û panel and X̂ panel (both
-  // empty when the plan runs staged). Per-thread, so blocks never cross a
-  // cache-coherence boundary between stages.
+  // empty when the plan runs staged; u16 storage under a reduced
+  // precision, allocated as half the float count). Per-thread, so blocks
+  // never cross a cache-coherence boundary between stages.
   AlignedBuffer<float> fuse_u;
   AlignedBuffer<float> fuse_x;
+
+  // Reduced-precision staging (both empty at fp32): the input transform
+  // writes one tile's fp32 output here ([t][16], alpha strides) before the
+  // convert-scatter into the u16 Û, and the inverse transform up-converts
+  // one tile's u16 I' rows here before running the fp32 pipeline.
+  AlignedBuffer<float> stage_in;
+  AlignedBuffer<float> widen;
 
   // Fused-mode per-stage time accumulators (barrier wall-clock is
   // meaningless once stages interleave — see ConvPlanStats).
   double acc_input = 0, acc_gemm = 0, acc_inverse = 0;
 
   ThreadScratch(int max_extent, int rank, i64 t_elems, i64 m_prod, int n_blk,
-                int cp_blk, i64 fuse_u_floats, i64 fuse_x_floats)
+                int cp_blk, i64 fuse_u_floats, i64 fuse_x_floats,
+                i64 prec_stage_floats)
       : transform(max_extent, rank),
         gather(static_cast<std::size_t>(t_elems * kSimdWidth)),
         stage_out(static_cast<std::size_t>(m_prod * kSimdWidth)),
         dump(static_cast<std::size_t>(static_cast<i64>(n_blk) * cp_blk)),
         scatter_rows(static_cast<std::size_t>(n_blk)),
         fuse_u(static_cast<std::size_t>(fuse_u_floats)),
-        fuse_x(static_cast<std::size_t>(fuse_x_floats)) {}
+        fuse_x(static_cast<std::size_t>(fuse_x_floats)),
+        stage_in(static_cast<std::size_t>(prec_stage_floats)),
+        widen(static_cast<std::size_t>(prec_stage_floats)) {}
 };
 
 ConvPlan::ConvPlan(const ConvProblem& problem, const PlanOptions& options)
     : problem_(problem), options_(options) {
   problem_.validate();
+  prec_ = options_.precision;
+  static obs::Counter* prec_plans[3] = {nullptr, nullptr, nullptr};
+  {
+    static std::once_flag once;
+    std::call_once(once, [] {
+      for (Precision p :
+           {Precision::kFp32, Precision::kBf16, Precision::kFp16}) {
+        prec_plans[static_cast<int>(p)] = &obs::MetricsRegistry::global().counter(
+            "ondwin_prec_plans_total",
+            "Convolution plans constructed, by storage precision of the "
+            "transformed intermediates",
+            {{"precision", precision_name(p)}});
+      }
+    });
+  }
+  prec_plans[static_cast<int>(prec_)]->inc();
   rank_ = problem_.rank();
   alpha_ = problem_.alpha();
   tiles_ = problem_.tiles();
@@ -103,7 +132,7 @@ ConvPlan::ConvPlan(const ConvProblem& problem, const PlanOptions& options)
   if (fusion_.fused) {
     fused_gemm_ = std::make_unique<FusedBlockGemm>(
         *kernels_, blocking_.n_blk, blocking_.c_blk, blocking_.cp_blk, kb_,
-        jb_, t_elems_, out_groups_, options_.scatter_in_gemm);
+        jb_, t_elems_, out_groups_, options_.scatter_in_gemm, prec_);
   }
 
   int threads = options_.threads > 0 ? options_.threads : hardware_threads();
@@ -131,17 +160,20 @@ void ConvPlan::choose_blocking() {
   if (options_.cp_blk > 0) b.cp_blk = options_.cp_blk;
   if (options_.fuse_blk > 0) b.f_blk = options_.fuse_blk;
 
+  // fp16 Û broadcasts widen through a reserved register (zmm29), leaving
+  // one fewer accumulator than the fp32/bf16 kernels.
+  const int n_cap = prec_ == Precision::kFp16 ? 29 : 30;
   if (b.c_blk == 0) b.c_blk = divisor16(c, 128);
   if (b.cp_blk == 0) b.cp_blk = divisor16(cp, 128);
   if (b.n_blk == 0) {
     // Prefer large register blocks, but avoid padding waste when N·B is
     // small: pick the n_blk in [6,30] minimizing rounded-up waste
     // (ties favour the larger block).
-    if (nb_ <= 30) {
+    if (nb_ <= n_cap) {
       b.n_blk = static_cast<int>(nb_);
     } else {
       i64 best_waste = -1;
-      for (int n = 6; n <= 30; ++n) {
+      for (int n = 6; n <= n_cap; ++n) {
         const i64 waste = round_up(nb_, n) - nb_;
         if (best_waste < 0 || waste <= best_waste) {
           best_waste = waste;
@@ -149,9 +181,11 @@ void ConvPlan::choose_blocking() {
         }
       }
     }
+  } else if (prec_ == Precision::kFp16) {
+    b.n_blk = std::min(b.n_blk, n_cap);
   }
 
-  ONDWIN_CHECK(b.n_blk >= 1 && b.n_blk <= 30, "n_blk out of range: ",
+  ONDWIN_CHECK(b.n_blk >= 1 && b.n_blk <= n_cap, "n_blk out of range: ",
                b.n_blk);
   ONDWIN_CHECK(b.c_blk % 16 == 0 && c % b.c_blk == 0, "c_blk (", b.c_blk,
                ") must be a multiple of 16 dividing C (", c, ")");
@@ -182,7 +216,7 @@ void ConvPlan::choose_fusion() {
       const i64 staged_bytes =
           nb_pad_ *
           (problem_.shape.in_channels + problem_.shape.out_channels) *
-          t_elems_ * static_cast<i64>(sizeof(float));
+          t_elems_ * precision_bytes(prec_);
       f.fused = staged_bytes > llc_cache_bytes() / 2;
       break;
     }
@@ -196,14 +230,17 @@ void ConvPlan::choose_fusion() {
       const i64 per_row_block =
           static_cast<i64>(blocking_.n_blk) *
           (problem_.shape.in_channels + problem_.shape.out_channels) *
-          t_elems_ * static_cast<i64>(sizeof(float));
+          t_elems_ * precision_bytes(prec_);
       fb = std::max<i64>(1, l2_cache_bytes() * 3 / 4 / per_row_block);
     }
     f.f_blk = static_cast<int>(std::min<i64>(fb, ib_));
     f.blocks = (ib_ + f.f_blk - 1) / f.f_blk;
+    // Float-unit footprint of the per-thread Û+X̂ block scratch (reduced
+    // storage packs two u16 words per float slot).
     f.scratch_floats =
         static_cast<i64>(f.f_blk) * blocking_.n_blk *
-        (problem_.shape.in_channels + problem_.shape.out_channels) * t_elems_;
+        (problem_.shape.in_channels + problem_.shape.out_channels) *
+        t_elems_ * precision_bytes(prec_) / static_cast<i64>(sizeof(float));
   }
   fusion_ = f;
 }
@@ -225,10 +262,14 @@ void ConvPlan::build_programs() {
 void ConvPlan::build_pipelines() {
   const bool jit = options_.jit_transforms;
   const bool stream = options_.streaming_stores;
+  const bool reduced = prec_ != Precision::kFp32;
   // Under fusion the input pipelines write per-thread block scratch that
   // the same thread's GEMM consumes immediately — non-temporal stores
   // would evict exactly the lines fusion keeps hot, so use plain stores.
-  const bool in_stream = stream && !fusion_.fused;
+  // Reduced-precision plans also keep plain stores: the pipelines then
+  // write the per-thread fp32 staging tile that the convert-scatter reads
+  // right back.
+  const bool in_stream = stream && !fusion_.fused && !reduced;
   const Dims alpha_strides = alpha_.strides();
   const Dims img_strides = problem_.shape.image.strides();
   const Dims out_strides_sp = out_dims_.strides();
@@ -248,7 +289,10 @@ void ConvPlan::build_pipelines() {
     at[d] = &at_[static_cast<std::size_t>(d)];
     s_img[d] = img_strides[d] * kSimdWidth;
     s_alpha[d] = alpha_strides[d] * kSimdWidth;
-    s_i[d] = alpha_strides[d] * i_block;
+    // Reduced-precision plans transform into a compact per-thread fp32
+    // staging tile ([t][16], alpha strides) and convert-scatter into the
+    // u16 Û afterwards — the pipeline never sees the blocked layout then.
+    s_i[d] = reduced ? s_alpha[d] : alpha_strides[d] * i_block;
     s_w[d] = alpha_strides[d] * w_block;
     s_out[d] = out_strides_sp[d] * kSimdWidth;
     s_m[d] = m_strides[d] * kSimdWidth;
@@ -271,14 +315,24 @@ void ConvPlan::build_kernels() {
   // Fused plans scatter into the thread's own X̂ block scratch, which the
   // inverse transform reads back within microseconds — cacheable scatter
   // stores, not the staged mode's non-temporal ones (same values either
-  // way; only the store instruction differs).
+  // way; only the store instruction differs). Reduced-precision scatter
+  // rows are 32-byte converted stores, half a cache line — non-temporal
+  // stores would leave partially filled write-combining buffers, so those
+  // use cacheable stores even in staged mode.
+  const bool reduced = prec_ != Precision::kFp32;
   const StoreMode final_store =
       options_.scatter_in_gemm
-          ? (fusion_.fused ? StoreMode::kScatterCached : StoreMode::kScatter)
+          ? (fusion_.fused || reduced ? StoreMode::kScatterCached
+                                      : StoreMode::kScatter)
           : StoreMode::kAccumulate;
+  // The final store converts to the I' precision only when it scatters;
+  // the kAccumulate fallback keeps the fp32 X̂ intermediate, and the
+  // separate copy pass does the conversion instead.
+  const Precision out_prec =
+      options_.scatter_in_gemm ? prec_ : Precision::kFp32;
   kernels_ = std::make_unique<KernelSet>(blocking_.n_blk, blocking_.c_blk,
                                          blocking_.cp_blk, final_store,
-                                         options_.use_jit);
+                                         options_.use_jit, prec_, out_prec);
 }
 
 void ConvPlan::build_schedules() {
@@ -315,10 +369,18 @@ void ConvPlan::allocate_buffers() {
   // per-thread block scratch (ThreadScratch::fuse_u / fuse_x), and the
   // GEMM accumulates through the per-thread `dump` block.
   if (fusion_.fused) return;
+  // Reduced-precision Û and I' pack two u16 words per float slot, so their
+  // workspace checkouts halve (the element counts are multiples of 16).
+  // I'_tmp is the fp32 k-loop accumulator and never shrinks.
+  const i64 esz = precision_bytes(prec_);
   const auto i_floats = static_cast<std::size_t>(
-      nb_pad_ * problem_.shape.in_channels * t_elems_);
+      nb_pad_ * problem_.shape.in_channels * t_elems_ * esz /
+      static_cast<i64>(sizeof(float)));
   const auto x_floats = static_cast<std::size_t>(
       nb_pad_ * problem_.shape.out_channels * t_elems_);
+  const auto iout_floats = static_cast<std::size_t>(
+      nb_pad_ * problem_.shape.out_channels * t_elems_ * esz /
+      static_cast<i64>(sizeof(float)));
   // W is allocated lazily by set_kernels(): a plan that adopts shared
   // kernels never pays for (or holds) its own copy.
   const bool need_itmp = (kb_ > 1) || !options_.scatter_in_gemm;
@@ -333,12 +395,12 @@ void ConvPlan::allocate_buffers() {
     if (need_itmp) {
       buf_itmp_ = mem::Workspace::from_pool(pool, x_floats, /*zero=*/!lazy);
     }
-    buf_iout_ = mem::Workspace::from_pool(pool, x_floats, /*zero=*/!lazy);
+    buf_iout_ = mem::Workspace::from_pool(pool, iout_floats, /*zero=*/!lazy);
     if (lazy) first_touch_workspaces();
   } else {
     buf_i_ = mem::Workspace::owned(i_floats);
     if (need_itmp) buf_itmp_ = mem::Workspace::owned(x_floats);
-    buf_iout_ = mem::Workspace::owned(x_floats);
+    buf_iout_ = mem::Workspace::owned(iout_floats);
   }
 }
 
@@ -347,6 +409,11 @@ void ConvPlan::first_touch_workspaces() {
   const i64 u_blk = static_cast<i64>(blocking_.n_blk) * blocking_.c_blk;
   const i64 x_blk = static_cast<i64>(blocking_.n_blk) * blocking_.cp_blk;
   const i64 groups_per_j = blocking_.cp_blk / kSimdWidth;
+  // Û and I' offsets are in elements of the storage precision; memsets run
+  // over bytes so reduced (u16) workspaces page in at half the traffic.
+  const i64 esz = precision_bytes(prec_);
+  char* i_base = reinterpret_cast<char*>(buf_i_.data());
+  char* iout_base = reinterpret_cast<char*>(buf_iout_.data());
   // Û is indexed by (i, k, t) only, so it gets its own disjoint (t, i)
   // partition: two sched_gemm_ boxes can share a (t, i) range with
   // different j ranges, and concurrent memsets of the same bytes — even
@@ -361,8 +428,8 @@ void ConvPlan::first_touch_workspaces() {
       for (i64 i = box.begin[1]; i < box.end[1]; ++i) {
         for (i64 k = 0; k < kb_; ++k) {
           std::memset(
-              buf_i_.data() + ((i * kb_ + k) * t_elems_ + t0) * u_blk, 0,
-              static_cast<std::size_t>((t1 - t0) * u_blk) * sizeof(float));
+              i_base + ((i * kb_ + k) * t_elems_ + t0) * u_blk * esz, 0,
+              static_cast<std::size_t>((t1 - t0) * u_blk * esz));
         }
       }
     }
@@ -383,12 +450,12 @@ void ConvPlan::first_touch_workspaces() {
           const i64 np = i * blocking_.n_blk + jr;
           for (i64 q = 0; q < groups_per_j; ++q) {
             const i64 g = j * groups_per_j + q;
-            std::memset(buf_iout_.data() +
+            std::memset(iout_base +
                             ((np * out_groups_ + g) * t_elems_ + t0) *
-                                kSimdWidth,
+                                kSimdWidth * esz,
                         0,
-                        static_cast<std::size_t>((t1 - t0) * kSimdWidth) *
-                            sizeof(float));
+                        static_cast<std::size_t>((t1 - t0) * kSimdWidth *
+                                                 esz));
           }
         }
       }
@@ -406,19 +473,25 @@ void ConvPlan::build_scratch() {
   int max_extent = 2;
   for (int d = 0; d < rank_; ++d)
     max_extent = static_cast<int>(std::max<i64>(max_extent, alpha_[d]));
+  const i64 esz = precision_bytes(prec_);
   const i64 fuse_u_floats =
       fusion_.fused ? static_cast<i64>(fusion_.f_blk) * blocking_.n_blk *
-                          problem_.shape.in_channels * t_elems_
+                          problem_.shape.in_channels * t_elems_ * esz /
+                          static_cast<i64>(sizeof(float))
                     : 0;
   const i64 fuse_x_floats =
       fusion_.fused ? static_cast<i64>(fusion_.f_blk) * blocking_.n_blk *
-                          problem_.shape.out_channels * t_elems_
+                          problem_.shape.out_channels * t_elems_ * esz /
+                          static_cast<i64>(sizeof(float))
                     : 0;
+  const i64 prec_stage_floats =
+      prec_ != Precision::kFp32 ? t_elems_ * kSimdWidth : 0;
   scratch_.resize(static_cast<std::size_t>(pool_->size()));
   auto make = [&](int tid) {
     scratch_[static_cast<std::size_t>(tid)] = std::make_unique<ThreadScratch>(
         max_extent, rank_, t_elems_, problem_.tile_m.product(),
-        blocking_.n_blk, blocking_.cp_blk, fuse_u_floats, fuse_x_floats);
+        blocking_.n_blk, blocking_.cp_blk, fuse_u_floats, fuse_x_floats,
+        prec_stage_floats);
   };
   if (options_.numa_first_touch && pool_->size() > 1) {
     // Construct each thread's scratch on the thread that will use it, so
@@ -446,9 +519,13 @@ void ConvPlan::build_scratch() {
 i64 ConvPlan::workspace_bytes() const {
   const std::size_t w_floats = w_ != nullptr ? w_->size() : 0;
   const i64 fuse_floats = fusion_.scratch_floats * pool_->size();
-  return static_cast<i64>((buf_i_.size() + w_floats + buf_itmp_.size() +
-                           buf_iout_.size() + fuse_floats) *
-                          sizeof(float));
+  i64 bytes = static_cast<i64>((buf_i_.size() + w_floats + buf_itmp_.size() +
+                                buf_iout_.size() + fuse_floats) *
+                               sizeof(float));
+  if (w_red_ != nullptr) {
+    bytes += static_cast<i64>(w_red_->size() * sizeof(u16));
+  }
+  return bytes;
 }
 
 // ------------------------------------------------------------ execution ----
@@ -466,32 +543,75 @@ void ConvPlan::execute(const float* input, const float* kernels,
 void ConvPlan::set_kernels(const float* kernels) {
   ONDWIN_TRACE_SPAN("conv.set_kernels");
   Timer t;
+  const auto w_elems = static_cast<std::size_t>(
+      problem_.shape.in_channels * problem_.shape.out_channels * t_elems_);
   // Copy-on-write against exported handles: once export_kernels() handed W
   // to someone, a new set_kernels() must not mutate it under their feet.
   if (w_owned_ == nullptr || w_exported_.load(std::memory_order_acquire)) {
-    w_owned_ = std::make_shared<AlignedBuffer<float>>(
-        static_cast<std::size_t>(problem_.shape.in_channels *
-                                 problem_.shape.out_channels * t_elems_));
+    w_owned_ = std::make_shared<AlignedBuffer<float>>(w_elems);
+    if (prec_ != Precision::kFp32) {
+      w_red_owned_ = std::make_shared<AlignedBuffer<u16>>(w_elems);
+    }
     w_exported_.store(false, std::memory_order_release);
   }
   w_ = w_owned_;
   stage_kernel_transform(kernels);
+  const StageBalance kb = balance_of(pool_->last_task_seconds());
+  if (prec_ != Precision::kFp32) {
+    convert_kernel_storage();
+    w_red_ = w_red_owned_;
+  }
   stats_.kernel_transform = t.seconds();
-  stats_.kernel_balance = balance_of(pool_->last_task_seconds());
+  stats_.kernel_balance = kb;
   kernels_ready_ = true;
 }
 
+void ConvPlan::convert_kernel_storage() {
+  ONDWIN_TRACE_SPAN("conv.convert_kernels");
+  const i64 v_blk = static_cast<i64>(blocking_.c_blk) * blocking_.cp_blk;
+  const i64 blocks = kb_ * jb_ * t_elems_;
+  const std::vector<GridBox> sched =
+      static_partition({blocks}, pool_->size());
+  const float* src_all = w_owned_->data();
+  u16* dst_all = w_red_owned_->data();
+  pool_->run([&](int tid) {
+    const GridBox& box = sched[static_cast<std::size_t>(tid)];
+    // bf16 V̂ blocks pair-interleave rows for vdpbf16ps; the plain u16
+    // staging block is per-thread so the conversion stays lock-free.
+    std::vector<u16> plain(
+        prec_ == Precision::kBf16 ? static_cast<std::size_t>(v_blk) : 0);
+    for (i64 b = box.begin[0]; b < box.end[0]; ++b) {
+      const float* src = src_all + b * v_blk;
+      u16* dst = dst_all + b * v_blk;
+      if (prec_ == Precision::kBf16) {
+        convert_fp32_to_storage(prec_, src, plain.data(), v_blk);
+        pack_v_bf16_pairs(plain.data(), reinterpret_cast<u32*>(dst),
+                          blocking_.c_blk, blocking_.cp_blk);
+      } else {
+        convert_fp32_to_storage(prec_, src, dst, v_blk);
+      }
+    }
+  });
+}
+
 std::string ConvPlan::kernel_signature() const {
-  return str_cat("a", alpha_.to_string(), "_c", problem_.shape.in_channels,
-                 "_o", problem_.shape.out_channels, "_cb", blocking_.c_blk,
-                 "_pb", blocking_.cp_blk);
+  std::string sig =
+      str_cat("a", alpha_.to_string(), "_c", problem_.shape.in_channels,
+              "_o", problem_.shape.out_channels, "_cb", blocking_.c_blk,
+              "_pb", blocking_.cp_blk);
+  // fp32 signatures stay in the legacy format so pre-existing sharing
+  // keys remain valid; reduced plans never share with fp32 ones.
+  if (prec_ != Precision::kFp32) {
+    sig += str_cat("_pr", precision_name(prec_));
+  }
+  return sig;
 }
 
 SharedKernels ConvPlan::export_kernels() const {
   ONDWIN_CHECK(kernels_ready_,
                "export_kernels() requires set_kernels() first");
   w_exported_.store(true, std::memory_order_release);
-  return {kernel_signature(), w_};
+  return {kernel_signature(), w_, w_red_};
 }
 
 bool ConvPlan::try_adopt_kernels(const SharedKernels& shared) {
@@ -502,6 +622,13 @@ bool ConvPlan::try_adopt_kernels(const SharedKernels& shared) {
                "shared kernel buffer has ",
                shared.data == nullptr ? 0 : shared.data->size(),
                " floats, expected ", want);
+  if (prec_ != Precision::kFp32) {
+    ONDWIN_CHECK(shared.reduced != nullptr && shared.reduced->size() == want,
+                 "shared kernel handle lacks the reduced-precision blocks "
+                 "its signature promises");
+    w_red_ = shared.reduced;
+    w_red_owned_.reset();
+  }
   w_ = shared.data;
   w_owned_.reset();  // adopted plans hold no private W copy
   kernels_ready_ = true;
@@ -528,6 +655,16 @@ void ConvPlan::execute_pretransformed(const float* input, float* output,
   stats_ = ConvPlanStats{};
   stats_.kernel_transform = kt;
   stats_.kernel_balance = kb;
+  stats_.precision = prec_;
+  // Effective footprints of the transformed intermediates: what one
+  // execute writes into Û and I' and what one GEMM k-sweep reads from W.
+  // The fused path moves the same totals through per-thread block scratch.
+  const i64 esz = precision_bytes(prec_);
+  stats_.u_bytes = nb_pad_ * problem_.shape.in_channels * t_elems_ * esz;
+  stats_.w_bytes = problem_.shape.in_channels *
+                   problem_.shape.out_channels * t_elems_ * esz;
+  stats_.iout_bytes =
+      nb_pad_ * problem_.shape.out_channels * t_elems_ * esz;
 
   if (fusion_.fused) {
     execute_fused(input, output, epilogue);
@@ -634,9 +771,11 @@ void ConvPlan::fused_block(int tid, i64 iblk0, i64 iblk1, const float* input,
   t.restart();
   {
     ONDWIN_TRACE_SPAN("fuse.gemm");
-    fused_gemm_->run(iblk1 - iblk0, sc.fuse_u.data(), w_->data(),
-                     sc.fuse_x.data(), sc.dump.data(),
-                     sc.scatter_rows.data());
+    const float* v = prec_ == Precision::kFp32
+                         ? w_->data()
+                         : reinterpret_cast<const float*>(w_red_->data());
+    fused_gemm_->run(iblk1 - iblk0, sc.fuse_u.data(), v, sc.fuse_x.data(),
+                     sc.dump.data(), sc.scatter_rows.data());
   }
   sc.acc_gemm += t.seconds();
 
@@ -739,14 +878,29 @@ void ConvPlan::input_transform_task(
   const i64 jrow = np % blocking_.n_blk;
   const i64 kblk = (cg * kSimdWidth) / blocking_.c_blk;
   const i64 cin = (cg * kSimdWidth) % blocking_.c_blk;
-  float* dst = i_buf +
-               ((iblk * kb_ + kblk) * t_elems_ * blocking_.n_blk + jrow) *
-                   blocking_.c_blk +
-               cin;
+  const i64 base =
+      ((iblk * kb_ + kblk) * t_elems_ * blocking_.n_blk + jrow) *
+          blocking_.c_blk +
+      cin;
 
   const TilePipeline& pipe =
       interior ? *pipe_in_interior_ : *pipe_in_border_;
-  pipe.run(src, dst, sc.transform);
+  if (prec_ == Precision::kFp32) {
+    pipe.run(src, i_buf + base, sc.transform);
+    return;
+  }
+  // Reduced precision: transform into the compact fp32 staging tile
+  // ([t][16] — the pipelines were frozen with those strides), then
+  // convert-scatter each 16-lane vector into the u16 Û. The vectors of
+  // one tile land i_block elements apart, exactly the fp32 layout's
+  // t-stride.
+  pipe.run(src, sc.stage_in.data(), sc.transform);
+  const i64 i_block = static_cast<i64>(blocking_.n_blk) * blocking_.c_blk;
+  u16* dstw = reinterpret_cast<u16*>(i_buf) + base;
+  for (i64 t = 0; t < t_elems_; ++t) {
+    convert_fp32_to_storage(prec_, sc.stage_in.data() + t * kSimdWidth,
+                            dstw + t * i_block, kSimdWidth);
+  }
 }
 
 // ---------------------------------------------------- stage 1b: kernels ----
@@ -802,29 +956,40 @@ void ConvPlan::gemm_task(int tid, i64 t, i64 j, i64 i, i64 i_end) {
   const i64 x_blk = static_cast<i64>(blocking_.n_blk) * blocking_.cp_blk;
   const i64 inext = (i + 1 < i_end) ? i + 1 : i;
   const bool have_itmp = !buf_itmp_.empty();
+  // Û/W/I' are u16 under a reduced precision: offsets stay in elements of
+  // the storage format, scaled to bytes here (X̂/I'_tmp are always fp32).
+  const i64 esz = precision_bytes(prec_);
+  const char* u_base = reinterpret_cast<const char*>(buf_i_.data());
+  const char* v_base = prec_ == Precision::kFp32
+                           ? reinterpret_cast<const char*>(w_->data())
+                           : reinterpret_cast<const char*>(w_red_->data());
 
   const bool scatter = options_.scatter_in_gemm;
   if (scatter) {
+    char* iout_base = reinterpret_cast<char*>(buf_iout_.data());
     const i64 g0 = static_cast<i64>(j) * blocking_.cp_blk / kSimdWidth;
     for (int jr = 0; jr < blocking_.n_blk; ++jr) {
       const i64 np = i * blocking_.n_blk + jr;
       sc.scatter_rows[static_cast<std::size_t>(jr)] =
-          buf_iout_.data() + ((np * out_groups_ + g0) * t_elems_ + t) *
-                                 kSimdWidth;
+          reinterpret_cast<float*>(
+              iout_base +
+              ((np * out_groups_ + g0) * t_elems_ + t) * kSimdWidth * esz);
     }
   }
 
   MicrokernelArgs args;
   args.scatter_rows = sc.scatter_rows.data();
-  args.scatter_col_stride_bytes =
-      t_elems_ * kSimdWidth * static_cast<i64>(sizeof(float));
+  args.scatter_col_stride_bytes = t_elems_ * kSimdWidth * esz;
   for (i64 k = 0; k < kb_; ++k) {
-    args.u = buf_i_.data() + ((i * kb_ + k) * t_elems_ + t) * u_blk;
-    args.v = w_->data() + ((k * jb_ + j) * t_elems_ + t) * v_blk;
+    args.u = reinterpret_cast<const float*>(
+        u_base + ((i * kb_ + k) * t_elems_ + t) * u_blk * esz);
+    args.v = reinterpret_cast<const float*>(
+        v_base + ((k * jb_ + j) * t_elems_ + t) * v_blk * esz);
     args.x = have_itmp
                  ? buf_itmp_.data() + ((i * jb_ + j) * t_elems_ + t) * x_blk
                  : sc.dump.data();
-    args.u_next = buf_i_.data() + ((inext * kb_ + k) * t_elems_ + t) * u_blk;
+    args.u_next = reinterpret_cast<const float*>(
+        u_base + ((inext * kb_ + k) * t_elems_ + t) * u_blk * esz);
     args.x_next =
         have_itmp
             ? buf_itmp_.data() + ((inext * jb_ + j) * t_elems_ + t) * x_blk
@@ -838,6 +1003,8 @@ void ConvPlan::gemm_task(int tid, i64 t, i64 j, i64 i, i64 i_end) {
 void ConvPlan::stage_scatter_copy() {
   const i64 x_blk = static_cast<i64>(blocking_.n_blk) * blocking_.cp_blk;
   const i64 groups_per_j = blocking_.cp_blk / kSimdWidth;
+  const i64 esz = precision_bytes(prec_);
+  char* iout_base = reinterpret_cast<char*>(buf_iout_.data());
   pool_->run([&](int tid) {
     ONDWIN_TRACE_SPAN("scatter_copy");
     for_each_in_box(
@@ -850,12 +1017,19 @@ void ConvPlan::stage_scatter_copy() {
             const i64 np = i * blocking_.n_blk + jr;
             const i64 g0 = j * groups_per_j;
             for (i64 q = 0; q < groups_per_j; ++q) {
-              std::memcpy(
-                  buf_iout_.data() +
-                      ((np * out_groups_ + g0 + q) * t_elems_ + t) *
-                          kSimdWidth,
-                  x + jr * blocking_.cp_blk + q * kSimdWidth,
-                  sizeof(float) * kSimdWidth);
+              char* dst = iout_base +
+                          ((np * out_groups_ + g0 + q) * t_elems_ + t) *
+                              kSimdWidth * esz;
+              const float* src = x + jr * blocking_.cp_blk + q * kSimdWidth;
+              if (prec_ == Precision::kFp32) {
+                std::memcpy(dst, src, sizeof(float) * kSimdWidth);
+              } else {
+                // The reshape pass doubles as the I' down-convert when the
+                // GEMM's final store could not (kAccumulate keeps fp32).
+                convert_fp32_to_storage(prec_, src,
+                                        reinterpret_cast<u16*>(dst),
+                                        kSimdWidth);
+              }
             }
           }
         });
@@ -889,9 +1063,20 @@ void ConvPlan::inverse_transform_task(int tid, i64 np, i64 g,
   const i64 opx = out_dims_.product();
 
   // Under fusion `iout_buf` is the thread's X̂ block scratch and `np_base`
-  // rebases the tile row into it.
-  const float* src =
-      iout_buf + (((np - np_base) * out_groups_ + g) * t_elems_) * kSimdWidth;
+  // rebases the tile row into it. Reduced-precision I' rows up-convert
+  // into the per-thread fp32 widening tile first — one contiguous
+  // T×16-element convert — and the fp32 pipelines below never notice.
+  const i64 src_off =
+      (((np - np_base) * out_groups_ + g) * t_elems_) * kSimdWidth;
+  const float* src;
+  if (prec_ == Precision::kFp32) {
+    src = iout_buf + src_off;
+  } else {
+    convert_storage_to_fp32(
+        prec_, reinterpret_cast<const u16*>(iout_buf) + src_off,
+        sc.widen.data(), t_elems_ * kSimdWidth);
+    src = sc.widen.data();
+  }
 
   // Output tile origin and interior test.
   const Dims tc = tiles_.coord_of(n);

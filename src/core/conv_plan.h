@@ -72,6 +72,18 @@ struct ConvPlanStats {
            inverse_transform;
   }
 
+  /// Storage precision of the transformed intermediates during the last
+  /// execute, and the effective per-stage workspace traffic it implies:
+  /// bytes the input transform wrote into Û, the W bytes one GEMM k-sweep
+  /// reads, and the bytes the final store wrote into I' (which the inverse
+  /// reads back). Reduced-precision storage halves all three relative to
+  /// the same shape at fp32 — the quantity the Fig. 5 bandwidth model is
+  /// built on.
+  Precision precision = Precision::kFp32;
+  i64 u_bytes = 0;
+  i64 w_bytes = 0;
+  i64 iout_bytes = 0;
+
   StageBalance input_balance;
   StageBalance kernel_balance;
   StageBalance gemm_balance;
@@ -108,6 +120,10 @@ struct FusionPolicy {
 struct SharedKernels {
   std::string signature;  // layout fingerprint (see kernel_signature())
   std::shared_ptr<const AlignedBuffer<float>> data;
+  /// Reduced-precision W (bf16 pair-interleaved / fp16 plain blocks) when
+  /// the exporting plan stores W reduced; null for fp32 plans. The
+  /// signature carries the precision, so adoption never mixes formats.
+  std::shared_ptr<const AlignedBuffer<u16>> reduced;
 };
 
 class ConvPlan {
@@ -161,6 +177,8 @@ class ConvPlan {
   const PlanOptions& options() const { return options_; }
   const Blocking& blocking() const { return blocking_; }
   const FusionPolicy& fusion_policy() const { return fusion_; }
+  /// Storage precision of Û/W/I' (PlanOptions::precision as resolved).
+  Precision precision() const { return prec_; }
   int threads() const { return pool_->size(); }
   const ConvPlanStats& last_stats() const { return stats_; }
 
@@ -208,6 +226,9 @@ class ConvPlan {
 
   void stage_input_transform(const float* input);
   void stage_kernel_transform(const float* kernels);
+  /// Converts the fp32 W into w_red_owned_'s bf16/fp16 blocks (bf16
+  /// pair-interleaved for vdpbf16ps) after stage_kernel_transform.
+  void convert_kernel_storage();
   void stage_gemm();
   void stage_scatter_copy();
   void stage_inverse_transform(float* output, const Epilogue& epilogue);
@@ -265,9 +286,18 @@ class ConvPlan {
   // across batch-size replicas: `w_` is what stage 2 reads; it aliases
   // `w_owned_` after set_kernels() or an adopted foreign buffer after
   // try_adopt_kernels().
+  // Under a reduced precision, buf_i_ and buf_iout_ hold bf16/fp16 words
+  // (u16, reinterpret_cast at the access sites) in half the footprint —
+  // the Workspace is checked out as elems/2 floats. buf_itmp_ (the k-loop
+  // accumulator) always stays fp32 so accumulation never re-rounds, and
+  // w_red_* carries the converted (bf16 pair-interleaved / fp16 plain)
+  // kernel blocks that stage 2 actually streams.
+  Precision prec_ = Precision::kFp32;
   mem::Workspace buf_i_;      // transformed inputs  (I)
   std::shared_ptr<AlignedBuffer<float>> w_owned_;
   std::shared_ptr<const AlignedBuffer<float>> w_;  // transformed kernels (W)
+  std::shared_ptr<AlignedBuffer<u16>> w_red_owned_;
+  std::shared_ptr<const AlignedBuffer<u16>> w_red_;
   mutable std::atomic<bool> w_exported_{false};
   mem::Workspace buf_itmp_;   // GEMM accumulators   (I'_tmp)
   mem::Workspace buf_iout_;   // scattered results   (I')

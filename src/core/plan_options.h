@@ -5,6 +5,7 @@
 #include <string>
 
 #include "util/common.h"
+#include "util/precision.h"
 
 namespace ondwin {
 
@@ -58,6 +59,15 @@ struct PlanOptions {
 
   /// Staged barriers vs fused cache-resident tile blocks (see FusionMode).
   FusionMode fusion = FusionMode::kAuto;
+
+  /// Storage precision of the transformed intermediates Û, W, and I'
+  /// (bf16/fp16 words instead of fp32) — accumulation stays fp32
+  /// throughout, and the image input, kernels, and output keep their fp32
+  /// layouts. Halves the workspace footprint and the stage-2 streaming
+  /// traffic; on AVX512_BF16 hosts the bf16 GEMM runs on vdpbf16ps.
+  /// Values are bitwise identical across the JIT and emulated paths and
+  /// across staged/fused execution. See DESIGN.md §15.
+  Precision precision = Precision::kFp32;
 
   /// Blocking overrides; 0 = heuristic (or wisdom, when a wisdom store is
   /// attached). Constraints: n_blk ∈ [1,30]; c_blk | C; cp_blk | C';

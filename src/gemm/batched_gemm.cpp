@@ -5,19 +5,24 @@
 namespace ondwin {
 
 KernelSet::KernelSet(int n_blk, int c_blk, int cp_blk, StoreMode final_store,
-                     bool use_jit)
-    : use_jit_(use_jit && microkernel_jit_supported()) {
-  const MicrokernelSpec base{n_blk, c_blk, cp_blk, false,
-                             StoreMode::kAccumulate};
+                     bool use_jit, Precision in_prec, Precision out_prec) {
+  MicrokernelSpec base{n_blk, c_blk, cp_blk, false, StoreMode::kAccumulate};
+  base.in_prec = in_prec;
   specs_[kFirst] = base;
   specs_[kMiddle] = base;
   specs_[kMiddle].beta = true;
   specs_[kLast] = base;
   specs_[kLast].beta = true;
   specs_[kLast].store = final_store;
+  specs_[kLast].out_prec = out_prec;
   specs_[kOnly] = base;
   specs_[kOnly].store = final_store;
+  specs_[kOnly].out_prec = out_prec;
   for (auto& s : specs_) validate_microkernel_spec(s);
+  // kFirst and kLast together carry every ISA requirement of the set
+  // (kMiddle/kOnly only toggle beta relative to them).
+  use_jit_ = use_jit && microkernel_jit_supported(specs_[kFirst]) &&
+             microkernel_jit_supported(specs_[kLast]);
   if (use_jit_) {
     for (int r = 0; r < 4; ++r) {
       kernels_[r] = std::make_unique<Microkernel>(specs_[r]);
@@ -36,9 +41,10 @@ void BlockedGemmShape::validate() const {
 }
 
 BlockedGemm::BlockedGemm(const BlockedGemmShape& shape, bool use_jit,
-                         StoreMode final_store)
+                         StoreMode final_store, Precision in_prec)
     : shape_(shape),
-      kernels_(shape.n_blk, shape.c_blk, shape.cp_blk, final_store, use_jit) {
+      kernels_(shape.n_blk, shape.c_blk, shape.cp_blk, final_store, use_jit,
+               in_prec) {
   shape_.validate();
   ONDWIN_CHECK(!store_scatters(final_store),
                "BlockedGemm writes X in blocked layout; scatter is driven by "
@@ -47,23 +53,30 @@ BlockedGemm::BlockedGemm(const BlockedGemmShape& shape, bool use_jit,
 
 void BlockedGemm::run(const float* u, const float* v, float* x) const {
   const auto& s = shape_;
+  const i64 in_bytes = precision_bytes(kernels_.in_prec());
   const i64 u_blk = static_cast<i64>(s.n_blk) * s.c_blk;
   const i64 v_blk = static_cast<i64>(s.c_blk) * s.cp_blk;
   const i64 x_blk = static_cast<i64>(s.n_blk) * s.cp_blk;
   const i64 kb = s.k_blocks();
+  const char* ub = reinterpret_cast<const char*>(u);
+  const char* vbytes = reinterpret_cast<const char*>(v);
 
   // j outer, k middle, i inner: every Û_{i,k} streams past a V̂_{k,j} that
   // stays hot in L2 (the "batched multiplications with the same V̂").
   for (i64 j = 0; j < s.col_blocks(); ++j) {
     for (i64 k = 0; k < kb; ++k) {
-      const float* vb = v + (k * s.col_blocks() + j) * v_blk;
+      const auto* vb = reinterpret_cast<const float*>(
+          vbytes + (k * s.col_blocks() + j) * v_blk * in_bytes);
       for (i64 i = 0; i < s.row_blocks(); ++i) {
         MicrokernelArgs args;
-        args.u = u + (i * kb + k) * u_blk;
+        args.u = reinterpret_cast<const float*>(ub +
+                                                (i * kb + k) * u_blk *
+                                                    in_bytes);
         args.v = vb;
         args.x = x + (i * s.col_blocks() + j) * x_blk;
         const i64 inext = (i + 1 < s.row_blocks()) ? i + 1 : i;
-        args.u_next = u + (inext * kb + k) * u_blk;
+        args.u_next = reinterpret_cast<const float*>(
+            ub + (inext * kb + k) * u_blk * in_bytes);
         args.x_next = x + (inext * s.col_blocks() + j) * x_blk;
         kernels_.run_step(static_cast<int>(k), static_cast<int>(kb), args);
       }
@@ -73,7 +86,8 @@ void BlockedGemm::run(const float* u, const float* v, float* x) const {
 
 FusedBlockGemm::FusedBlockGemm(const KernelSet& kernels, int n_blk,
                                int c_blk, int cp_blk, i64 kb, i64 jb,
-                               i64 t_elems, i64 out_groups, bool scatter)
+                               i64 t_elems, i64 out_groups, bool scatter,
+                               Precision x_prec)
     : kernels_(kernels),
       n_blk_(n_blk),
       c_blk_(c_blk),
@@ -82,9 +96,13 @@ FusedBlockGemm::FusedBlockGemm(const KernelSet& kernels, int n_blk,
       jb_(jb),
       t_elems_(t_elems),
       out_groups_(out_groups),
-      scatter_(scatter) {
+      scatter_(scatter),
+      x_prec_(x_prec) {
   ONDWIN_CHECK(cp_blk_ % kSimdWidth == 0, "cp_blk must be a multiple of ",
                kSimdWidth);
+  ONDWIN_CHECK(!scatter_ || kernels_.out_prec() == x_prec_,
+               "scatter-mode FusedBlockGemm needs a KernelSet whose final "
+               "store writes the x_scatter precision");
 }
 
 void FusedBlockGemm::run(i64 row_blocks, const float* u_panel,
@@ -93,11 +111,15 @@ void FusedBlockGemm::run(i64 row_blocks, const float* u_panel,
   const i64 u_blk = static_cast<i64>(n_blk_) * c_blk_;
   const i64 v_blk = static_cast<i64>(c_blk_) * cp_blk_;
   const i64 groups_per_j = cp_blk_ / kSimdWidth;
+  const i64 in_bytes = precision_bytes(kernels_.in_prec());
+  const i64 x_bytes = precision_bytes(x_prec_);
+  const char* ub = reinterpret_cast<const char*>(u_panel);
+  const char* wb = reinterpret_cast<const char*>(w);
+  char* xb = reinterpret_cast<char*>(x_scatter);
 
   MicrokernelArgs args;
   args.scatter_rows = scatter_rows;
-  args.scatter_col_stride_bytes =
-      t_elems_ * kSimdWidth * static_cast<i64>(sizeof(float));
+  args.scatter_col_stride_bytes = t_elems_ * kSimdWidth * x_bytes;
 
   // t → j → i keeps V̂_{k,j,t} hot across the block's row blocks; k is the
   // innermost (accumulation) loop, exactly as in the staged schedule.
@@ -108,33 +130,42 @@ void FusedBlockGemm::run(i64 row_blocks, const float* u_panel,
         if (scatter_) {
           for (int jr = 0; jr < n_blk_; ++jr) {
             const i64 np = i * n_blk_ + jr;
-            scatter_rows[jr] =
-                x_scatter +
-                ((np * out_groups_ + g0) * t_elems_ + t) * kSimdWidth;
+            scatter_rows[jr] = reinterpret_cast<float*>(
+                xb + ((np * out_groups_ + g0) * t_elems_ + t) * kSimdWidth *
+                         x_bytes);
           }
         }
         const i64 inext = (i + 1 < row_blocks) ? i + 1 : i;
         args.x = x_accum;
         args.x_next = x_accum;
         for (i64 k = 0; k < kb_; ++k) {
-          args.u = u_panel + ((i * kb_ + k) * t_elems_ + t) * u_blk;
-          args.v = w + ((k * jb_ + j) * t_elems_ + t) * v_blk;
-          args.u_next = u_panel + ((inext * kb_ + k) * t_elems_ + t) * u_blk;
+          args.u = reinterpret_cast<const float*>(
+              ub + ((i * kb_ + k) * t_elems_ + t) * u_blk * in_bytes);
+          args.v = reinterpret_cast<const float*>(
+              wb + ((k * jb_ + j) * t_elems_ + t) * v_blk * in_bytes);
+          args.u_next = reinterpret_cast<const float*>(
+              ub + ((inext * kb_ + k) * t_elems_ + t) * u_blk * in_bytes);
           kernels_.run_step(static_cast<int>(k), static_cast<int>(kb_),
                             args);
         }
         if (!scatter_) {
           // Final store accumulated into x_accum; reshape the rows into
-          // the scatter (inverse-transform source) layout.
+          // the scatter (inverse-transform source) layout, converting to
+          // the I' storage format on the way when it is reduced.
           for (int jr = 0; jr < n_blk_; ++jr) {
             const i64 np = i * n_blk_ + jr;
             for (i64 q = 0; q < groups_per_j; ++q) {
-              std::memcpy(
-                  x_scatter +
-                      ((np * out_groups_ + g0 + q) * t_elems_ + t) *
-                          kSimdWidth,
-                  x_accum + jr * cp_blk_ + q * kSimdWidth,
-                  sizeof(float) * kSimdWidth);
+              char* dst =
+                  xb + ((np * out_groups_ + g0 + q) * t_elems_ + t) *
+                           kSimdWidth * x_bytes;
+              const float* src = x_accum + jr * cp_blk_ + q * kSimdWidth;
+              if (x_prec_ == Precision::kFp32) {
+                std::memcpy(dst, src, sizeof(float) * kSimdWidth);
+              } else {
+                convert_fp32_to_storage(x_prec_, src,
+                                        reinterpret_cast<u16*>(dst),
+                                        kSimdWidth);
+              }
             }
           }
         }

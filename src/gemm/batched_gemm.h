@@ -24,12 +24,18 @@ namespace ondwin {
 /// The four kernel roles the k-loop needs for one block geometry:
 /// first (β=0), middle (β=1), last (β=1 + final store), and only
 /// (β=0 + final store, when C/C_blk == 1). Falls back to the portable
-/// reference implementation when the host lacks AVX-512 or `use_jit` is
-/// false.
+/// reference implementation when the host lacks the AVX-512 subset the
+/// precision pair needs (vdpbf16ps for bf16 inputs) or `use_jit` is false.
+///
+/// `in_prec` is the storage format of Û and V̂ across every k step;
+/// `out_prec` is the storage format of the scattered rows the final store
+/// writes (requires a scatter `final_store` when reduced — the blocked X̂
+/// intermediate always accumulates in fp32).
 class KernelSet {
  public:
   KernelSet(int n_blk, int c_blk, int cp_blk, StoreMode final_store,
-            bool use_jit);
+            bool use_jit, Precision in_prec = Precision::kFp32,
+            Precision out_prec = Precision::kFp32);
 
   void run_first(const MicrokernelArgs& args) const { run(kFirst, args); }
   void run_middle(const MicrokernelArgs& args) const { run(kMiddle, args); }
@@ -48,6 +54,8 @@ class KernelSet {
 
   bool jit_enabled() const { return use_jit_; }
   const MicrokernelSpec& spec(int role) const { return specs_[role]; }
+  Precision in_prec() const { return specs_[kFirst].in_prec; }
+  Precision out_prec() const { return specs_[kLast].out_prec; }
 
  private:
   enum Role { kFirst = 0, kMiddle = 1, kLast = 2, kOnly = 3 };
@@ -90,8 +98,12 @@ struct BlockedGemmShape {
 /// the unit-test oracle target and the Fig. 6 benchmark body.
 class BlockedGemm {
  public:
+  /// With a reduced `in_prec`, run()'s `u` and `v` alias u16 storage in the
+  /// same blocked layouts (bf16 V̂ pair-interleaved per block — see
+  /// pack_v_bf16_pairs); X stays fp32 blocked either way.
   BlockedGemm(const BlockedGemmShape& shape, bool use_jit,
-              StoreMode final_store = StoreMode::kStream);
+              StoreMode final_store = StoreMode::kStream,
+              Precision in_prec = Precision::kFp32);
 
   void run(const float* u, const float* v, float* x) const;
   const BlockedGemmShape& shape() const { return shape_; }
@@ -124,8 +136,16 @@ class FusedBlockGemm {
   /// the final store accumulates into a caller scratch accumulator block
   /// which run() copies into the scatter layout. `kb`/`jb`: C and C' block
   /// counts; `t_elems`: transform elements T; `out_groups`: C'/S.
+  ///
+  /// `x_prec` is the storage format of the x_scatter buffer. Under
+  /// `scatter` it must match the KernelSet's out_prec (the kernel writes
+  /// the converted rows itself); otherwise run() converts the fp32
+  /// accumulator rows while reshaping. The Û/V̂ storage format follows the
+  /// KernelSet's in_prec: with a reduced one, `u_panel` and `w` alias u16
+  /// storage at the same element offsets.
   FusedBlockGemm(const KernelSet& kernels, int n_blk, int c_blk, int cp_blk,
-                 i64 kb, i64 jb, i64 t_elems, i64 out_groups, bool scatter);
+                 i64 kb, i64 jb, i64 t_elems, i64 out_groups, bool scatter,
+                 Precision x_prec = Precision::kFp32);
 
   /// Multiplies `row_blocks` row blocks of the block-local `u_panel`
   /// against `w`, writing `x_scatter` (see layouts above). `x_accum` is a
@@ -139,6 +159,7 @@ class FusedBlockGemm {
   int n_blk_, c_blk_, cp_blk_;
   i64 kb_, jb_, t_elems_, out_groups_;
   bool scatter_;
+  Precision x_prec_;
 };
 
 /// Packs a plain row-major matrix into / out of the blocked layouts above.

@@ -16,6 +16,16 @@ bool microkernel_jit_supported() {
 #endif
 }
 
+bool microkernel_jit_supported(const MicrokernelSpec& spec) {
+  if (!microkernel_jit_supported()) return false;
+  // vdpbf16ps and vcvtneps2bf16 both live in AVX512_BF16; fp16 widening
+  // (vcvtph2ps/vcvtps2ph at 512-bit) is already part of AVX512F.
+  if (spec.in_prec == Precision::kBf16 || spec.out_prec == Precision::kBf16) {
+    return cpu_features().avx512bf16;
+  }
+  return true;
+}
+
 void validate_microkernel_spec(const MicrokernelSpec& spec) {
   ONDWIN_CHECK(spec.n_blk >= 1 && spec.n_blk <= 30,
                "n_blk must be 1..30 (two zmm registers are reserved for V̂ "
@@ -27,6 +37,30 @@ void validate_microkernel_spec(const MicrokernelSpec& spec) {
                "cp_blk must be a positive multiple of 16, got ", spec.cp_blk);
   ONDWIN_CHECK(spec.c_blk * spec.cp_blk <= (1 << 20),
                "block too large: ", spec.c_blk, "x", spec.cp_blk);
+  ONDWIN_CHECK(spec.in_prec != Precision::kFp16 || spec.n_blk <= 29,
+               "fp16 inputs reserve zmm29 for widening broadcasts; n_blk "
+               "must be <= 29, got ",
+               spec.n_blk);
+  // Reduced output only makes sense on the final-k scatter (the blocked X̂
+  // intermediate must stay fp32 so k-step accumulation never re-rounds),
+  // and only with cached stores: a converted row is 32 bytes, and
+  // non-temporal half-line stores would leave partially-filled WC buffers.
+  ONDWIN_CHECK(spec.out_prec == Precision::kFp32 ||
+                   spec.store == StoreMode::kScatterCached,
+               "reduced out_prec requires StoreMode::kScatterCached");
+}
+
+void pack_v_bf16_pairs(const u16* plain, u32* paired, int c_blk, int cp_blk) {
+  ONDWIN_CHECK(c_blk % 2 == 0, "bf16 pairing needs an even c_blk");
+  for (int p = 0; p < c_blk / 2; ++p) {
+    const u16* even = plain + static_cast<i64>(2 * p) * cp_blk;
+    const u16* odd = even + cp_blk;
+    u32* dst = paired + static_cast<i64>(p) * cp_blk;
+    for (int q = 0; q < cp_blk; ++q) {
+      dst[q] = static_cast<u32>(even[q]) |
+               (static_cast<u32>(odd[q]) << 16);
+    }
+  }
 }
 
 namespace {
@@ -56,7 +90,18 @@ static_assert(offsetof(MicrokernelArgs, scatter_col_stride_bytes) ==
 //   r8:  next-Û hint     r9:  next-X̂ hint      r10: q counter
 //   r11: chunk counter   r12: scatter row tbl  r13: scatter col stride
 //   r14: scatter scratch r15: q·col-stride
-// zmm0..zmm(n_blk-1): X̂ accumulators; zmm30/zmm31: V̂ row double-buffer.
+// zmm0..zmm(n_blk-1): X̂ accumulators; zmm30/zmm31: V̂ row double-buffer;
+// zmm29: fp16 broadcast-widen scratch (in_prec == kFp16 only).
+//
+// Reduced-precision variants keep the fp32 structure:
+//  * kBf16 inputs swap the 16 per-chunk broadcast-FMA sweeps for 8
+//    vdpbf16ps sweeps over pair-interleaved V̂ rows (each 64-byte load now
+//    carries two k-steps), halving both the loads and the FMA count;
+//  * kFp16 inputs widen V̂ rows in the preload (vcvtph2ps m256 costs the
+//    same one instruction as vmovups m512) and widen each Û broadcast
+//    through zmm29 (vpbroadcastw + vcvtph2ps + reg FMA);
+//  * a reduced out_prec narrows each accumulator in place during the final
+//    scatter (vcvtneps2bf16 / vcvtps2ph) and stores 32-byte rows.
 class KernelBuilder {
  public:
   explicit KernelBuilder(const MicrokernelSpec& spec) : spec_(spec) {}
@@ -88,9 +133,11 @@ class KernelBuilder {
     const LabelId q_loop = a_.new_label();
     a_.bind(q_loop);
     emit_q_body();
-    // Advance to the next S columns of X̂ and V̂.
+    // Advance to the next S columns of X̂ and V̂. A bf16 V̂ column is a
+    // pair-interleaved dword, so its byte stride matches fp32; fp16
+    // columns are words.
     a_.add(Gp::rcx, kS * 4);
-    a_.add(Gp::rdx, kS * 4);
+    a_.add(Gp::rdx, spec_.in_prec == Precision::kFp16 ? kS * 2 : kS * 4);
     if (scatter) a_.add(Gp::r15, Gp::r13);
     a_.dec(Gp::r10);
     a_.jnz(q_loop);
@@ -112,6 +159,7 @@ class KernelBuilder {
   void emit_q_body() {
     const int n = spec_.n_blk;
     const i32 x_row_bytes = spec_.cp_blk * 4;
+    const i32 in_bytes = static_cast<i32>(precision_bytes(spec_.in_prec));
 
     // Load or zero the n_blk accumulators.
     for (int j = 0; j < n; ++j) {
@@ -124,16 +172,26 @@ class KernelBuilder {
 
     a_.mov(Gp::rax, Gp::rsi);  // Û cursor
     a_.mov(Gp::rbx, Gp::rdx);  // V̂ cursor
-    a_.vmovups(Zmm(30), addr(Gp::rbx, 0));  // preload V̂ row 0
+    // Preload V̂ row 0 (fp32: 16 floats; bf16: pair-interleaved dwords for
+    // k-steps 0 and 1; fp16: widened from 16 words).
+    if (spec_.in_prec == Precision::kFp16) {
+      a_.vcvtph2ps(Zmm(30), addr(Gp::rbx, 0));
+    } else {
+      a_.vmovups(Zmm(30), addr(Gp::rbx, 0));
+    }
 
+    // A chunk covers 16 k-steps regardless of precision: 16 fp32/fp16 V̂
+    // rows, or 8 bf16 pair rows. The V̂ bytes per chunk shrink with the
+    // element size either way.
+    const i32 v_chunk_bytes = kS * spec_.cp_blk * in_bytes;
     const int chunks = spec_.c_blk / kS;
     if (chunks > 1) {
       a_.mov_imm(Gp::r11, static_cast<u64>(chunks - 1));
       const LabelId chunk_loop = a_.new_label();
       a_.bind(chunk_loop);
       emit_chunk(/*final=*/false);
-      a_.add(Gp::rax, kS * 4);                 // next 16 columns of Û
-      a_.add(Gp::rbx, kS * spec_.cp_blk * 4);  // next 16 rows of V̂
+      a_.add(Gp::rax, kS * in_bytes);  // next 16 columns of Û
+      a_.add(Gp::rbx, v_chunk_bytes);  // next 16 k-steps of V̂
       a_.dec(Gp::r11);
       a_.jnz(chunk_loop);
     }
@@ -142,10 +200,21 @@ class KernelBuilder {
     emit_stores();
   }
 
+  void emit_chunk(bool final) {
+    switch (spec_.in_prec) {
+      case Precision::kFp32:
+        return emit_chunk_fp32(final);
+      case Precision::kBf16:
+        return emit_chunk_bf16(final);
+      case Precision::kFp16:
+        return emit_chunk_fp16(final);
+    }
+  }
+
   // 16 unrolled i-iterations; per i: n_blk broadcast-FMAs against the
   // current V̂ row register, one preload of the next V̂ row into the other
   // buffer register, and up to three prefetches of soon-needed data.
-  void emit_chunk(bool final) {
+  void emit_chunk_fp32(bool final) {
     const int n = spec_.n_blk;
     const i32 v_row_bytes = spec_.cp_blk * 4;
     int cur = 30;  // 16 swaps per chunk leave the parity unchanged
@@ -172,12 +241,75 @@ class KernelBuilder {
     }
   }
 
+  // bf16 chunk: 8 unrolled pair-iterations (k-steps 2p/2p+1). Each
+  // vdpbf16ps broadcasts one Û dword — the row's adjacent bf16 pair — and
+  // dots it against the pair-interleaved V̂ row, so a chunk runs half the
+  // loads and half the FMA-slot ops of the fp32 sweep.
+  void emit_chunk_bf16(bool final) {
+    const int n = spec_.n_blk;
+    const int pairs = kS / 2;
+    const i32 v_pair_bytes = spec_.cp_blk * 4;  // dword per column
+    int cur = 30;  // 8 swaps per chunk: parity still unchanged
+    for (int p = 0; p < pairs; ++p) {
+      const bool preload = !(final && p == pairs - 1);
+      if (preload) {
+        // At p == 7 this reads pair row 8 — the next chunk's first pair.
+        a_.vmovups(Zmm(cur ^ 1), addr(Gp::rbx, (p + 1) * v_pair_bytes));
+      }
+      if (!final) {
+        a_.prefetch(0, addr(Gp::rbx, (pairs + p + 1) * v_pair_bytes));
+        if (2 * p < n) {
+          a_.prefetch(0, addr(Gp::rax, (2 * p * spec_.c_blk + kS) * 2));
+        }
+        if (2 * p + kS < n) {
+          a_.prefetch(0,
+                      addr(Gp::rax, ((2 * p + kS) * spec_.c_blk + kS) * 2));
+        }
+      }
+      for (int j = 0; j < n; ++j) {
+        a_.vdpbf16ps_bcast(Zmm(j), Zmm(cur),
+                           addr(Gp::rax, (j * spec_.c_blk + 2 * p) * 2));
+      }
+      cur ^= 1;
+    }
+  }
+
+  // fp16 chunk: the fp32 structure with both operands widened on the fly.
+  // V̂ rows widen in the preload slot (vcvtph2ps from m256 — still one
+  // instruction per row); each Û broadcast costs vpbroadcastw + vcvtph2ps
+  // through zmm29 before a register-register FMA.
+  void emit_chunk_fp16(bool final) {
+    const int n = spec_.n_blk;
+    const i32 v_row_bytes = spec_.cp_blk * 2;
+    int cur = 30;
+    for (int i = 0; i < kS; ++i) {
+      const bool preload = !(final && i == kS - 1);
+      if (preload) {
+        a_.vcvtph2ps(Zmm(cur ^ 1), addr(Gp::rbx, (i + 1) * v_row_bytes));
+      }
+      if (!final) {
+        a_.prefetch(0, addr(Gp::rbx, (kS + i + 1) * v_row_bytes));
+        if (i < n) a_.prefetch(0, addr(Gp::rax, (i * spec_.c_blk + kS) * 2));
+        if (i + kS < n) {
+          a_.prefetch(0, addr(Gp::rax, ((i + kS) * spec_.c_blk + kS) * 2));
+        }
+      }
+      for (int j = 0; j < n; ++j) {
+        a_.vpbroadcastw(Zmm(29), addr(Gp::rax, (j * spec_.c_blk + i) * 2));
+        a_.vcvtph2ps(Zmm(29), Zmm(29));
+        a_.vfmadd231ps(Zmm(j), Zmm(cur), Zmm(29));
+      }
+      cur ^= 1;
+    }
+  }
+
   // Store accumulators; while storing, prefetch the rows of the next Û and
   // X̂ blocks into L2 (paper: "pre-fetch the data from the same locations
   // in next two matrices to be multiplied").
   void emit_stores() {
     const int n = spec_.n_blk;
     const i32 x_row_bytes = spec_.cp_blk * 4;
+    const i32 in_bytes = static_cast<i32>(precision_bytes(spec_.in_prec));
     for (int j = 0; j < n; ++j) {
       switch (spec_.store) {
         case StoreMode::kAccumulate:
@@ -192,10 +324,23 @@ class KernelBuilder {
           break;
         case StoreMode::kScatterCached:
           a_.mov(Gp::r14, addr(Gp::r12, j * 8));
-          a_.vmovups(addr(Gp::r14, Gp::r15, 1), Zmm(j));
+          // The accumulator is dead after its store, so a reduced out_prec
+          // narrows it in place and stores the 32-byte row.
+          switch (spec_.out_prec) {
+            case Precision::kFp32:
+              a_.vmovups(addr(Gp::r14, Gp::r15, 1), Zmm(j));
+              break;
+            case Precision::kBf16:
+              a_.vcvtneps2bf16(Zmm(j), Zmm(j));
+              a_.vmovups_ymm(addr(Gp::r14, Gp::r15, 1), Zmm(j));
+              break;
+            case Precision::kFp16:
+              a_.vcvtps2ph(addr(Gp::r14, Gp::r15, 1), Zmm(j));
+              break;
+          }
           break;
       }
-      a_.prefetch(1, addr(Gp::r8, j * spec_.c_blk * 4));
+      a_.prefetch(1, addr(Gp::r8, j * spec_.c_blk * in_bytes));
       a_.prefetch(1, addr(Gp::r9, j * x_row_bytes));
     }
   }
@@ -208,13 +353,25 @@ class KernelBuilder {
 
 Microkernel::Microkernel(const MicrokernelSpec& spec) : spec_(spec) {
   validate_microkernel_spec(spec);
-  ONDWIN_CHECK(microkernel_jit_supported(),
-               "JIT microkernels need AVX-512F/BW/DQ/VL; use "
-               "run_microkernel_reference on this host");
+  ONDWIN_CHECK(microkernel_jit_supported(spec),
+               "JIT microkernels need AVX-512F/BW/DQ/VL (+AVX512_BF16 for "
+               "bf16 specs); use run_microkernel_reference on this host");
   KernelBuilder builder(spec);
   memory_ = ExecMemory::from_code(builder.build());
   fn_ = memory_.entry_as<MicrokernelFn>();
 }
+
+namespace {
+
+// vdpbf16ps treats bf16 denormal operands as zero (DAZ). The pipeline's
+// own converts flush them on store, so this only matters for adversarial
+// hand-built inputs — but the reference must still match the hardware.
+float bf16_daz_to_fp32(u16 h) {
+  if ((h & 0x7F80u) == 0) return (h & 0x8000u) ? -0.0f : 0.0f;
+  return bf16_to_fp32(h);
+}
+
+}  // namespace
 
 void run_microkernel_reference(const MicrokernelSpec& spec,
                                const MicrokernelArgs& args) {
@@ -230,17 +387,75 @@ void run_microkernel_reference(const MicrokernelSpec& spec,
     } else {
       std::fill(acc.begin(), acc.end(), 0.0f);
     }
-    for (int k = 0; k < K; ++k) {
-      const float u = args.u[static_cast<i64>(j) * K + k];
-      const float* vrow = args.v + static_cast<i64>(k) * M;
-      for (int q = 0; q < M; ++q) acc[static_cast<std::size_t>(q)] += u * vrow[q];
+    switch (spec.in_prec) {
+      case Precision::kFp32:
+        for (int k = 0; k < K; ++k) {
+          const float u = args.u[static_cast<i64>(j) * K + k];
+          const float* vrow = args.v + static_cast<i64>(k) * M;
+          for (int q = 0; q < M; ++q) {
+            acc[static_cast<std::size_t>(q)] += u * vrow[q];
+          }
+        }
+        break;
+      case Precision::kBf16: {
+        // Pair-interleaved V̂ dwords, vdpbf16ps accumulation order: within
+        // each pair the odd (2p+1) product lands first, then the even.
+        // Both products are exact in fp32 (8-bit significands), so this
+        // is bitwise-identical to the instruction.
+        const u16* u = reinterpret_cast<const u16*>(args.u);
+        const u32* v = reinterpret_cast<const u32*>(args.v);
+        for (int p = 0; p < K / 2; ++p) {
+          const float ue = bf16_daz_to_fp32(u[static_cast<i64>(j) * K + 2 * p]);
+          const float uo =
+              bf16_daz_to_fp32(u[static_cast<i64>(j) * K + 2 * p + 1]);
+          const u32* vrow = v + static_cast<i64>(p) * M;
+          for (int q = 0; q < M; ++q) {
+            const u32 d = vrow[q];
+            float& a = acc[static_cast<std::size_t>(q)];
+            a += uo * bf16_daz_to_fp32(static_cast<u16>(d >> 16));
+            a += ue * bf16_daz_to_fp32(static_cast<u16>(d & 0xFFFFu));
+          }
+        }
+        break;
+      }
+      case Precision::kFp16: {
+        // Widened operands; the fp16×fp16 product is exact in fp32
+        // (11-bit significands), so mul+add here matches the JIT's FMA.
+        const u16* u = reinterpret_cast<const u16*>(args.u);
+        const u16* v = reinterpret_cast<const u16*>(args.v);
+        for (int k = 0; k < K; ++k) {
+          const float uw = fp16_to_fp32(u[static_cast<i64>(j) * K + k]);
+          const u16* vrow = v + static_cast<i64>(k) * M;
+          for (int q = 0; q < M; ++q) {
+            acc[static_cast<std::size_t>(q)] += uw * fp16_to_fp32(vrow[q]);
+          }
+        }
+        break;
+      }
     }
     if (store_scatters(spec.store)) {
       for (int q = 0; q < M; q += kSimdWidth) {
-        float* dst = reinterpret_cast<float*>(
-            reinterpret_cast<char*>(args.scatter_rows[j]) +
-            (q / kSimdWidth) * args.scatter_col_stride_bytes);
-        std::memcpy(dst, acc.data() + q, sizeof(float) * kSimdWidth);
+        char* dst = reinterpret_cast<char*>(args.scatter_rows[j]) +
+                    (q / kSimdWidth) * args.scatter_col_stride_bytes;
+        switch (spec.out_prec) {
+          case Precision::kFp32:
+            std::memcpy(dst, acc.data() + q, sizeof(float) * kSimdWidth);
+            break;
+          case Precision::kBf16: {
+            u16* d16 = reinterpret_cast<u16*>(dst);
+            for (int l = 0; l < kSimdWidth; ++l) {
+              d16[l] = fp32_to_bf16(acc[static_cast<std::size_t>(q + l)]);
+            }
+            break;
+          }
+          case Precision::kFp16: {
+            u16* d16 = reinterpret_cast<u16*>(dst);
+            for (int l = 0; l < kSimdWidth; ++l) {
+              d16[l] = fp32_to_fp16(acc[static_cast<std::size_t>(q + l)]);
+            }
+            break;
+          }
+        }
       }
     } else {
       std::memcpy(args.x + static_cast<i64>(j) * M, acc.data(),

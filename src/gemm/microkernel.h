@@ -21,6 +21,7 @@
 
 #include "jit/exec_memory.h"
 #include "util/common.h"
+#include "util/precision.h"
 
 namespace ondwin {
 
@@ -42,11 +43,21 @@ constexpr bool store_scatters(StoreMode m) {
 }
 
 struct MicrokernelSpec {
-  int n_blk = 0;    // rows of Û/X̂; 1..30 (paper tunes within [6,30])
+  int n_blk = 0;    // rows of Û/X̂; 1..30 (paper tunes within [6,30];
+                    // ≤29 when in_prec == kFp16 — zmm29 widens broadcasts)
   int c_blk = 0;    // columns of Û / rows of V̂; multiple of 16
   int cp_blk = 0;   // columns of V̂/X̂; multiple of 16
   bool beta = false;        // false: X̂ = Û·V̂; true: X̂ += Û·V̂
   StoreMode store = StoreMode::kAccumulate;
+  /// Storage format of the Û and V̂ operands. Accumulation is fp32 in every
+  /// mode. kBf16 runs on vdpbf16ps and expects V̂ pair-interleaved (see
+  /// pack_v_bf16_pairs); kFp16 widens with vcvtph2ps and expects plain
+  /// row-major u16 blocks.
+  Precision in_prec = Precision::kFp32;
+  /// Storage format of the scattered X̂ rows (the final-k down-convert).
+  /// Must be kFp32 unless `store` is a scatter variant: the blocked X̂
+  /// intermediate stays fp32 so k-step accumulation never re-rounds.
+  Precision out_prec = Precision::kFp32;
 
   friend bool operator==(const MicrokernelSpec&,
                          const MicrokernelSpec&) = default;
@@ -55,6 +66,12 @@ struct MicrokernelSpec {
 /// Argument block passed to a generated kernel (single pointer in rdi).
 /// All pointers must be non-null; u_next/x_next are prefetch hints and may
 /// simply repeat u/x when there is no next block.
+///
+/// With a reduced `in_prec`, `u` and `v` alias u16 storage (bf16/fp16
+/// words; reinterpret_cast at the call boundary) — the field types stay
+/// float* so the ABI offsets below never move. With a reduced `out_prec`,
+/// `scatter_rows` likewise aliases u16 row destinations, and
+/// `scatter_col_stride_bytes` must be computed from the 2-byte element.
 struct MicrokernelArgs {
   const float* u = nullptr;
   const float* v = nullptr;
@@ -89,6 +106,18 @@ class Microkernel {
 
 /// True when the host can execute the generated AVX-512 code.
 bool microkernel_jit_supported();
+
+/// True when the host can execute the JIT variant a specific spec needs:
+/// kFp32/kFp16 inputs need the full-AVX512 subset, kBf16 additionally
+/// needs AVX512_BF16 (vdpbf16ps). Callers fall back to
+/// run_microkernel_reference when this is false.
+bool microkernel_jit_supported(const MicrokernelSpec& spec);
+
+/// Pair-interleaves a bf16 V̂ block for vdpbf16ps: rows 2k/2k+1 of the
+/// plain row-major u16 block (c_blk × cp_blk) merge into dword lanes
+/// (even word = row 2k, odd word = row 2k+1), giving [c_blk/2][cp_blk]
+/// dwords — the layout both the JIT and the reference bf16 kernel consume.
+void pack_v_bf16_pairs(const u16* plain, u32* paired, int c_blk, int cp_blk);
 
 /// Validates a spec (shared by the JIT and the portable reference).
 void validate_microkernel_spec(const MicrokernelSpec& spec);

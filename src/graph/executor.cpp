@@ -52,6 +52,10 @@ struct Executor::StepAttr {
 Executor::Executor(Graph graph, const CompileOptions& options)
     : graph_(std::move(graph)), options_(options) {
   graph_.output();  // requires a marked output
+  // ONDWIN_PREC flips the storage precision of every conv step at once —
+  // applied here (not inside ConvPlan) so the per-step plans, their
+  // cache fingerprints, and the metrics all agree on one precision.
+  precision_env_override(&options_.plan.precision);
   fusion_ = fuse(graph_, options_.fusion);
   memory_ = plan_memory(graph_, fusion_);
 

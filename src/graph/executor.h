@@ -30,7 +30,9 @@ namespace ondwin::graph {
 struct CompileOptions {
   /// Plan knobs shared by every conv step (threads, JIT switches, fusion
   /// mode, wisdom). Per-node Blocking overrides from the IR are applied
-  /// on top.
+  /// on top. `plan.precision` (or the ONDWIN_PREC environment variable,
+  /// which overrides it at compile time) switches every conv step to
+  /// reduced bf16/fp16 intermediate storage with fp32 accumulation.
   PlanOptions plan;
 
   /// Fold bias/relu/pool chains into conv epilogues (graph/fusion.h).

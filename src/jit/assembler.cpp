@@ -70,7 +70,7 @@ void Assembler::rex_rr(bool w, u8 reg, u8 rm) {
 // ---------------------------------------------------------------- EVEX ----
 
 void Assembler::evex_mem(u8 mm, u8 pp, bool w, u8 opcode, u8 reg, u8 vvvv,
-                         const Mem& m, bool bcast) {
+                         const Mem& m, bool bcast, u8 ll) {
   const u8 base = gp_id(m.base);
   const u8 x = m.index.has_value() ? bit3(gp_id(*m.index)) : 0;
   emit8(0x62);
@@ -78,21 +78,21 @@ void Assembler::evex_mem(u8 mm, u8 pp, bool w, u8 opcode, u8 reg, u8 vvvv,
                         ((~bit3(base) & 1) << 5) | ((~bit4(reg) & 1) << 4) |
                         mm));
   emit8(static_cast<u8>((w ? 0x80 : 0) | ((~vvvv & 0xF) << 3) | 0x04 | pp));
-  // z=0, L'L=10 (512-bit), b=bcast, V'=~vvvv[4], aaa=000
-  emit8(static_cast<u8>(0x40 | (bcast ? 0x10 : 0) |
+  // z=0, L'L=ll (10=512-bit default), b=bcast, V'=~vvvv[4], aaa=000
+  emit8(static_cast<u8>(((ll & 3) << 5) | (bcast ? 0x10 : 0) |
                         ((~bit4(vvvv) & 1) << 3)));
   emit8(opcode);
   modrm_mem(reg, m);
 }
 
 void Assembler::evex_rr(u8 mm, u8 pp, bool w, u8 opcode, u8 reg, u8 vvvv,
-                        u8 rm) {
+                        u8 rm, u8 ll) {
   emit8(0x62);
   emit8(static_cast<u8>(((~bit3(reg) & 1) << 7) | ((~bit4(rm) & 1) << 6) |
                         ((~bit3(rm) & 1) << 5) | ((~bit4(reg) & 1) << 4) |
                         mm));
   emit8(static_cast<u8>((w ? 0x80 : 0) | ((~vvvv & 0xF) << 3) | 0x04 | pp));
-  emit8(static_cast<u8>(0x40 | ((~bit4(vvvv) & 1) << 3)));
+  emit8(static_cast<u8>(((ll & 3) << 5) | ((~bit4(vvvv) & 1) << 3)));
   emit8(opcode);
   modrm_rr(reg, rm);
 }
@@ -271,6 +271,42 @@ void Assembler::vaddps(Zmm dst, Zmm a, const Mem& src) {
 
 void Assembler::vsubps(Zmm dst, Zmm a, const Mem& src) {
   evex_mem(1, 0, false, 0x5C, dst.id, a.id, src, false);
+}
+
+// ---------------------------------------------- reduced precision (bf16) ----
+
+void Assembler::vdpbf16ps(Zmm dst, Zmm a, Zmm b) {
+  evex_rr(2, 2, false, 0x52, dst.id, a.id, b.id);
+}
+
+void Assembler::vdpbf16ps_bcast(Zmm dst, Zmm a, const Mem& src) {
+  evex_mem(2, 2, false, 0x52, dst.id, a.id, src, true);
+}
+
+void Assembler::vcvtneps2bf16(Zmm dst, Zmm src) {
+  // EVEX.512 encodes the zmm *source* width; dst is the low ymm half.
+  evex_rr(2, 2, false, 0x72, dst.id, 0, src.id);
+}
+
+void Assembler::vmovups_ymm(const Mem& dst, Zmm src) {
+  evex_mem(1, 0, false, 0x11, src.id, 0, dst, false, /*ll=*/1);
+}
+
+void Assembler::vcvtph2ps(Zmm dst, const Mem& src) {
+  evex_mem(2, 1, false, 0x13, dst.id, 0, src, false);
+}
+
+void Assembler::vcvtph2ps(Zmm dst, Zmm src) {
+  evex_rr(2, 1, false, 0x13, dst.id, 0, src.id);
+}
+
+void Assembler::vcvtps2ph(const Mem& dst, Zmm src) {
+  evex_mem(3, 1, false, 0x1D, src.id, 0, dst, false);
+  emit8(0x00);  // imm8: static round-to-nearest-even, no MXCSR override
+}
+
+void Assembler::vpbroadcastw(Zmm dst, const Mem& src) {
+  evex_mem(2, 1, false, 0x79, dst.id, 0, src, false);
 }
 
 // ----------------------------------------------------------------- finish ----

@@ -92,6 +92,24 @@ class Assembler {
   void vaddps(Zmm dst, Zmm a, const Mem& src);        // full-width mem operand
   void vsubps(Zmm dst, Zmm a, const Mem& src);        // full-width mem operand
 
+  // ---- reduced-precision (bf16/fp16 storage, fp32 accumulate) ---------
+  /// dst.f32[q] += a.bf16[2q+1]·b.bf16[2q+1] + a.bf16[2q]·b.bf16[2q]
+  /// (AVX512_BF16; odd product lands first, then even — matches hardware).
+  void vdpbf16ps(Zmm dst, Zmm a, Zmm b);
+  /// Same with the b pair broadcast from one dword {1to16}.
+  void vdpbf16ps_bcast(Zmm dst, Zmm a, const Mem& src);
+  /// Narrow 16 fp32 lanes of src to bf16 in dst's low 256 bits (AVX512_BF16).
+  void vcvtneps2bf16(Zmm dst, Zmm src);
+  /// 256-bit store of dst's low half — pairs with the two narrows above.
+  void vmovups_ymm(const Mem& dst, Zmm src);
+  /// Widen 16 fp16 values (m256 / low ymm half) to 16 fp32 lanes (AVX512F).
+  void vcvtph2ps(Zmm dst, const Mem& src);
+  void vcvtph2ps(Zmm dst, Zmm src);
+  /// Narrow 16 fp32 lanes to fp16 at [mem] (m256), RNE via imm8 (AVX512F).
+  void vcvtps2ph(const Mem& dst, Zmm src);
+  /// Broadcast one word from memory to all 32 word lanes (AVX512BW).
+  void vpbroadcastw(Zmm dst, const Mem& src);
+
   /// Verifies all labels are bound, patches every rel32 fixup, and returns
   /// the finished code.
   std::vector<u8> finish();
@@ -108,10 +126,12 @@ class Assembler {
 
   /// EVEX-encoded op with register destination/source and memory operand.
   /// mm: opcode map (1=0F, 2=0F38, 3=0F3A); pp: prefix (0, 1=66, 2=F3, 3=F2);
-  /// bcast: EVEX.b (32-bit broadcast).
+  /// bcast: EVEX.b (32-bit broadcast); ll: EVEX.L'L vector length
+  /// (0=128, 1=256, 2=512 — only the 256-bit stores deviate from 512).
   void evex_mem(u8 mm, u8 pp, bool w, u8 opcode, u8 reg, u8 vvvv,
-                const Mem& m, bool bcast);
-  void evex_rr(u8 mm, u8 pp, bool w, u8 opcode, u8 reg, u8 vvvv, u8 rm);
+                const Mem& m, bool bcast, u8 ll = 2);
+  void evex_rr(u8 mm, u8 pp, bool w, u8 opcode, u8 reg, u8 vvvv, u8 rm,
+               u8 ll = 2);
 
   struct LabelState {
     i64 position = -1;        // bound code offset, -1 while unbound

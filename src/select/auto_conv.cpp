@@ -53,6 +53,9 @@ AutoConv::AutoConv(const ConvShape& shape, const SelectedConfig& config,
         opts.cp_blk = config_.blocking.cp_blk;
       }
       if (config_.blocking.f_blk > 0) opts.fuse_blk = config_.blocking.f_blk;
+      if (config_.precision != Precision::kFp32) {
+        opts.precision = config_.precision;
+      }
       plan_ = std::make_unique<ConvPlan>(p, opts);
       break;
     }

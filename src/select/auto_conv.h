@@ -26,6 +26,12 @@ struct SelectedConfig {
   Algorithm algorithm = Algorithm::kWinograd;
   Dims tile_m;        // rank 0 for non-Winograd algorithms
   Blocking blocking;  // zeros = plan-time heuristic
+  /// Storage precision the executor runs at: the *requested* precision
+  /// (SelectOptions::plan.precision), demoted to fp32 when the selected
+  /// tile's storage-error proxy exceeds SelectOptions::max_storage_err —
+  /// the planner never emits a budget-violating precision. kFp32 falls
+  /// through to PlanOptions::precision like the zero blocking fields do.
+  Precision precision = Precision::kFp32;
   double seconds = 0;        // best measured wall time (0 if unmeasured)
   bool from_wisdom = false;  // decision served from wisdom v2
   int measured = 0;          // executor benchmarks the call performed

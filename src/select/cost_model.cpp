@@ -58,6 +58,20 @@ double amplification(int m, int r) {
   return amp;
 }
 
+// ‖Aᵀ‖₁ alone — the inverse-transform side, which is all that amplifies
+// a rounding applied after the forward transforms.
+double inverse_amplification(int m, int r) {
+  static std::mutex mu;
+  static std::map<std::pair<int, int>, double> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find({m, r});
+  if (it != cache.end()) return it->second;
+  const WinogradMatrices wm = cook_toom(m, r);
+  const double amp = norm_inf(wm.AT);
+  cache.emplace(std::make_pair(m, r), amp);
+  return amp;
+}
+
 }  // namespace
 
 const char* algorithm_name(Algorithm a) {
@@ -93,6 +107,17 @@ double winograd_error_bound(const Dims& tile_m, const Dims& kernel) {
                          static_cast<int>(kernel[d]));
   }
   return kEps * amp;
+}
+
+double winograd_storage_error_bound(Precision storage, const Dims& tile_m,
+                                    const Dims& kernel) {
+  if (storage == Precision::kFp32) return 0.0;
+  double amp = 1.0;
+  for (int d = 0; d < tile_m.rank(); ++d) {
+    amp *= inverse_amplification(static_cast<int>(tile_m[d]),
+                                 static_cast<int>(kernel[d]));
+  }
+  return 2.0 * precision_unit_roundoff(storage) * amp;
 }
 
 CostEstimate estimate_direct(const ConvShape& shape) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "core/conv_problem.h"
+#include "util/precision.h"
 
 namespace ondwin::select {
 
@@ -50,5 +51,17 @@ CostEstimate estimate_winograd(const ConvShape& shape, const Dims& tile_m);
 /// thresholds (SelectOptions::max_err_bound) are calibrated on this
 /// proxy scale, not on target output error.
 double winograd_error_bound(const Dims& tile_m, const Dims& kernel);
+
+/// Additional error proxy for reduced-precision storage of the
+/// transformed intermediates (PlanOptions::precision): Û and Ŵ are each
+/// rounded once to the storage format *after* the forward transforms, so
+/// only the inverse transform amplifies that rounding —
+/// 2·u(storage)·Π_d ‖Aᵀ_d‖₁, with u the storage unit roundoff. 0 for
+/// fp32 (no extra rounding). Same worst-case-proxy scale as
+/// winograd_error_bound: a few × above measured errors (bf16 F(4,3)²
+/// measures ≈0.5 max-rel against a proxy of ≈2.8), compared against
+/// SelectOptions::max_storage_err, never against target output error.
+double winograd_storage_error_bound(Precision storage, const Dims& tile_m,
+                                    const Dims& kernel);
 
 }  // namespace ondwin::select

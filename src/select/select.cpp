@@ -38,6 +38,7 @@ void enumerate_tiles(const ConvShape& shape, const Dims& out_dims, int max_m,
 struct MeasuredCandidate {
   Candidate cand;
   Blocking blocking;  // Winograd only; zeros otherwise
+  Precision precision = Precision::kFp32;  // resolved execution precision
   double seconds = 1e300;
 };
 
@@ -51,6 +52,16 @@ double measure_executor(AutoConv& exec, const float* in, float* out,
 }
 
 }  // namespace
+
+Precision resolve_storage_precision(Precision requested, const Dims& tile_m,
+                                    const Dims& kernel,
+                                    double max_storage_err) {
+  if (requested == Precision::kFp32) return Precision::kFp32;
+  return winograd_storage_error_bound(requested, tile_m, kernel) <=
+                 max_storage_err
+             ? requested
+             : Precision::kFp32;
+}
 
 std::vector<Candidate> enumerate_candidates(const ConvShape& shape,
                                             const SelectOptions& opts) {
@@ -100,6 +111,7 @@ SelectedConfig select_config(const ConvShape& shape,
                kSimdWidth, ")");
 
   const std::string& wpath = opts.plan.wisdom_path;
+  const Precision requested = opts.plan.precision;
   const std::string key = shape_key(shape);
   if (!wpath.empty()) {
     WisdomV2Store wisdom(wpath);
@@ -107,11 +119,19 @@ SelectedConfig select_config(const ConvShape& shape,
       const bool rank_ok =
           rec->algorithm != Algorithm::kWinograd ||
           rec->tile_m.rank() == shape.image.rank();
-      if (rank_ok) {
+      // A record made under a different storage precision is stale — the
+      // timings that chose it were measured against other kernels — so it
+      // counts as a miss and the selection below re-runs (and overwrites
+      // it with the current request's decision).
+      if (rank_ok && rec->precision == requested) {
         SelectedConfig sel;
         sel.algorithm = rec->algorithm;
         sel.tile_m = rec->tile_m;
         sel.blocking = rec->blocking;
+        if (rec->algorithm == Algorithm::kWinograd) {
+          sel.precision = resolve_storage_precision(
+              requested, rec->tile_m, shape.kernel, opts.max_storage_err);
+        }
         sel.from_wisdom = true;
         return sel;
       }
@@ -128,6 +148,10 @@ SelectedConfig select_config(const ConvShape& shape,
     SelectedConfig sel;
     sel.algorithm = ranked.front().algorithm;
     sel.tile_m = ranked.front().tile_m;
+    if (sel.algorithm == Algorithm::kWinograd) {
+      sel.precision = resolve_storage_precision(
+          requested, sel.tile_m, shape.kernel, opts.max_storage_err);
+    }
     return sel;
   }
 
@@ -182,6 +206,14 @@ SelectedConfig select_config(const ConvShape& shape,
       ConvProblem p;
       p.shape = shape;
       p.tile_m = cand.tile_m;
+      // Measure at the precision this tile would actually execute at:
+      // the requested one, or fp32 when this tile's storage-error proxy
+      // blows the budget. Both the timing and the persisted blocking
+      // then describe the real execution.
+      mc.precision = resolve_storage_precision(
+          requested, cand.tile_m, shape.kernel, opts.max_storage_err);
+      PlanOptions popts = opts.plan;
+      popts.precision = mc.precision;
       std::optional<Blocking> known;
       if (!wpath.empty()) {
         known = WisdomV2Store(wpath).lookup_v1(wisdom_key(p));
@@ -193,7 +225,8 @@ SelectedConfig select_config(const ConvShape& shape,
         cfg.algorithm = Algorithm::kWinograd;
         cfg.tile_m = cand.tile_m;
         cfg.blocking = *known;
-        AutoConv exec(shape, cfg, opts.plan);
+        cfg.precision = mc.precision;
+        AutoConv exec(shape, cfg, popts);
         exec.set_kernels(w.data());
         mc.blocking = *known;
         mc.seconds = measure_executor(exec, in.data(), out.data(),
@@ -201,7 +234,7 @@ SelectedConfig select_config(const ConvShape& shape,
       } else {
         // The existing tuner harness finds the best blocking (and
         // persists it as a v1 entry when a wisdom path is attached).
-        const TuneResult tuned = auto_tune(p, opts.plan, per_candidate);
+        const TuneResult tuned = auto_tune(p, popts, per_candidate);
         mc.blocking = tuned.best;
         mc.seconds = tuned.best_seconds;
       }
@@ -230,6 +263,7 @@ SelectedConfig select_config(const ConvShape& shape,
   sel.algorithm = best->cand.algorithm;
   sel.tile_m = best->cand.tile_m;
   sel.blocking = best->blocking;
+  sel.precision = best->precision;
   sel.seconds = best->seconds;
   sel.measured = static_cast<int>(measured.size());
 
@@ -239,6 +273,10 @@ SelectedConfig select_config(const ConvShape& shape,
     rec.algorithm = sel.algorithm;
     rec.tile_m = sel.tile_m;
     rec.blocking = sel.blocking;
+    // The *requested* precision keys the record (the executed one is
+    // re-derived on lookup): a later fp32 request must not inherit a
+    // decision timed under reduced storage, and vice versa.
+    rec.precision = requested;
     wisdom.store(key, rec);
   }
   return sel;
@@ -246,8 +284,18 @@ SelectedConfig select_config(const ConvShape& shape,
 
 std::unique_ptr<AutoConv> plan_auto(const ConvShape& shape,
                                     const SelectOptions& opts) {
-  const SelectedConfig sel = select_config(shape, opts);
-  return std::make_unique<AutoConv>(shape, sel, opts.plan);
+  SelectOptions o = opts;
+  // ONDWIN_PREC beats the programmatic default here — at the API entry
+  // point, not inside ConvPlan — so plan-cache keys, wisdom records, and
+  // the constructed plan all see the same precision.
+  precision_env_override(&o.plan.precision);
+  const SelectedConfig sel = select_config(shape, o);
+  PlanOptions popts = o.plan;
+  // The resolved precision (possibly demoted to fp32 by the storage-error
+  // budget) overrides the request; AutoConv's fall-through would keep a
+  // reduced request alive otherwise.
+  popts.precision = sel.precision;
+  return std::make_unique<AutoConv>(shape, sel, popts);
 }
 
 }  // namespace ondwin::select

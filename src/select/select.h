@@ -63,6 +63,17 @@ struct SelectOptions {
   /// numerically useless corner — F(8,3)² (≈6e4), F(6³,3³) (≈2e2).
   double max_err_bound = 50.0;
 
+  /// Storage-precision budget: when `plan.precision` is reduced, a
+  /// Winograd tile whose winograd_storage_error_bound() exceeds this is
+  /// still *enumerated* but executed (and measured) at fp32 — the planner
+  /// never selects a budget-violating precision, it demotes instead (see
+  /// resolve_storage_precision). Like max_err_bound the value lives on
+  /// the worst-case-proxy scale; the default admits bf16 through F(6,3)²
+  /// (≈35) and F(4,3)³ (≈54) but demotes F(4×6²,3³) (≈666), F(6,3)³
+  /// (≈2350) and every F(8,·); fp16 bounds sit 8× lower (F(4×6²,3³)
+  /// lands at ≈83 — still demoted). Ignored when plan.precision is fp32.
+  double max_storage_err = 64.0;
+
   /// Algorithm-class gates (benchmarks/tests force single classes).
   bool allow_direct = true;
   bool allow_fft = true;
@@ -76,6 +87,14 @@ struct SelectOptions {
 
 // SelectedConfig lives in select/auto_conv.h (it is the executor's
 // construction contract).
+
+/// The precision a Winograd tile actually executes at: `requested` when
+/// its storage-error proxy fits the budget, fp32 otherwise. Deterministic
+/// in its arguments, so wisdom records persist only the requested
+/// precision and re-derive the executed one on every lookup.
+Precision resolve_storage_precision(Precision requested, const Dims& tile_m,
+                                    const Dims& kernel,
+                                    double max_storage_err);
 
 /// Enumerates and cost-ranks every admissible candidate (cheapest first).
 /// Winograd tiles are pruned by the accuracy bound, per-dimension

@@ -101,7 +101,22 @@ void WisdomV2Store::load() {
       if (ls >> f) {
         if (f < 0) continue;  // malformed: negative block size
       }
+      // Optional trailing token: the requested storage precision
+      // ("prec=bf16"). Absent = fp32. ls may sit in a fail state when the
+      // f_blk extraction above consumed nothing — clear before retrying
+      // so "prec=" directly after six tokens still parses.
+      ls.clear();
+      Precision prec = Precision::kFp32;
+      std::string tok;
+      if (ls >> tok) {
+        constexpr const char* kPrecTag = "prec=";
+        if (tok.rfind(kPrecTag, 0) != 0 ||
+            !parse_precision(tok.substr(5), &prec)) {
+          continue;  // malformed: unknown trailing token
+        }
+      }
       SelectionRecord rec;
+      rec.precision = prec;
       if (!parse_algorithm(algo_s, &rec.algorithm)) continue;
       if (!parse_mspec(m_s, &rec.tile_m)) continue;
       if (rec.algorithm == Algorithm::kWinograd) {
@@ -157,7 +172,14 @@ bool WisdomV2Store::store(const std::string& key,
       out << kV2Tag << " " << k << " " << algorithm_name(r.algorithm) << " "
           << mspec(r.tile_m) << " " << r.blocking.n_blk << " "
           << r.blocking.c_blk << " " << r.blocking.cp_blk << " "
-          << r.blocking.f_blk << "\n";
+          << r.blocking.f_blk;
+      // fp32 lines stay byte-identical to pre-precision builds; older
+      // readers ignore trailing tokens, so a reduced line degrades to
+      // its blocking for them (a perf-only, never correctness, hazard).
+      if (r.precision != Precision::kFp32) {
+        out << " prec=" << precision_name(r.precision);
+      }
+      out << "\n";
     }
     out.flush();
     if (!out) {

@@ -6,14 +6,20 @@
 //
 //   v1 line:  <problem_key> <n_blk> <c_blk> <cp_blk>
 //   v2 line:  !v2 <shape_key> <algorithm> <mspec> <n_blk> <c_blk> <cp_blk>
+//             [f_blk] [prec=<fp32|bf16|fp16>]
 //
 // where <mspec> is "4x4" style per-dimension tile sizes for Winograd and
 // "-" for the non-Winograd classes. The "!v2" sentinel cannot parse as a
 // v1 key+ints line, so the v1 loader skips v2 lines (and preserves them
 // verbatim on rewrite); this store reads legacy v1 lines transparently
-// and keeps them when it rewrites. Like v1, wisdom is a cache, never a
-// correctness dependency: unreadable files behave as empty and malformed
-// lines are skipped.
+// and keeps them when it rewrites. The trailing prec= token records the
+// storage precision the selection was *requested* under (absent = fp32,
+// so pre-precision files keep working and fp32 files stay byte-stable);
+// select_config treats a token that does not match the current request
+// as a miss and re-selects — a stale-precision entry can never leak a
+// decision measured under different kernels. Like v1, wisdom is a cache,
+// never a correctness dependency: unreadable files behave as empty and
+// malformed lines are skipped.
 #pragma once
 
 #include <map>
@@ -36,6 +42,12 @@ struct SelectionRecord {
   Algorithm algorithm = Algorithm::kWinograd;
   Dims tile_m;        // empty (rank 0) for non-Winograd algorithms
   Blocking blocking;  // zeros = heuristic (non-Winograd records)
+  /// Storage precision the selection was requested under — part of the
+  /// match, not the decision: a mismatch with the current request makes
+  /// the lookup a miss (timings measured under another precision are
+  /// stale). The *executed* precision is re-derived from the request and
+  /// the tile's storage-error budget at lookup time, never persisted.
+  Precision precision = Precision::kFp32;
 };
 
 class WisdomV2Store {

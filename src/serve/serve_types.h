@@ -59,6 +59,10 @@ struct ModelConfig {
   /// overrides). `plan.threads` is the per-engine thread count (0 = an
   /// even share of the server's CPU budget); `plan.pin_threads`/
   /// `plan.cpu_base` are assigned by the server when CPU pinning is on.
+  /// `plan.precision` selects reduced (bf16/fp16) storage for the conv
+  /// intermediates — the ONDWIN_PREC environment variable overrides it
+  /// at engine launch, and distinct precisions never share a plan-cache
+  /// entry or a transformed-kernel bank.
   PlanOptions plan;
 
   /// When true, conv models run the selection planner (ondwin::select)

@@ -73,6 +73,11 @@ void InferenceServer::launch_engines(Model& model, const ModelConfig& config) {
       std::max(1, cpu_budget_ / std::max(1, config.engines));
   for (int e = 0; e < config.engines; ++e) {
     PlanOptions po = config.plan;
+    // ONDWIN_PREC beats the model's configured storage precision, so a
+    // deployment can flip a whole server to bf16/fp16 (or back) without
+    // a rebuild. Applied before replica construction so every engine's
+    // plan-cache key carries the effective precision.
+    precision_env_override(&po.precision);
     if (po.threads <= 0) po.threads = share;
     if (options_.pin_engines) {
       po.pin_threads = true;

@@ -22,6 +22,7 @@ CpuFeatures detect() {
     f.sse2 = (edx >> 26) & 1;
     f.avx = (ecx >> 28) & 1;
     f.fma = (ecx >> 12) & 1;
+    f.f16c = (ecx >> 29) & 1;
   }
   if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
     f.avx2 = (ebx >> 5) & 1;
@@ -29,6 +30,10 @@ CpuFeatures detect() {
     f.avx512dq = (ebx >> 17) & 1;
     f.avx512bw = (ebx >> 30) & 1;
     f.avx512vl = (ebx >> 31) & 1;
+    f.avx512fp16 = (edx >> 23) & 1;
+  }
+  if (__get_cpuid_count(7, 1, &eax, &ebx, &ecx, &edx)) {
+    f.avx512bf16 = (eax >> 5) & 1;
   }
 #endif
   return f;
@@ -52,6 +57,9 @@ std::string cpu_feature_string() {
   if (f.avx512bw) s += "avx512bw ";
   if (f.avx512dq) s += "avx512dq ";
   if (f.avx512vl) s += "avx512vl ";
+  if (f.f16c) s += "f16c ";
+  if (f.avx512bf16) s += "avx512bf16 ";
+  if (f.avx512fp16) s += "avx512fp16 ";
   if (!s.empty()) s.pop_back();
   return s;
 }

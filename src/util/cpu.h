@@ -14,6 +14,9 @@ struct CpuFeatures {
   bool avx512bw = false;
   bool avx512dq = false;
   bool avx512vl = false;
+  bool f16c = false;        // CPUID.1:ECX[29] — vcvtph2ps/vcvtps2ph
+  bool avx512fp16 = false;  // CPUID.(7,0):EDX[23]
+  bool avx512bf16 = false;  // CPUID.(7,1):EAX[5] — vdpbf16ps/vcvtneps2bf16
 
   /// True when the full AVX-512 subset the JIT emits is available.
   bool full_avx512() const { return avx512f && avx512bw && avx512dq && avx512vl; }

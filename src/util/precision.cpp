@@ -1,0 +1,436 @@
+#include "util/precision.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/cpu.h"
+
+#if defined(__x86_64__) && \
+    (defined(ONDWIN_HAVE_AVX512_COMPILER) || defined(__AVX512F__))
+#include <immintrin.h>
+#define ONDWIN_PREC_VECTOR_TIERS 1
+// The bf16 conversion intrinsics (__m256bh, _mm512_cvtneps2bf16) arrived in
+// gcc 10 / clang 9; older compilers still build the scalar + AVX-512F
+// integer tiers.
+#if (defined(__clang__) && __clang_major__ >= 9) || \
+    (!defined(__clang__) && defined(__GNUC__) && __GNUC__ >= 10)
+#define ONDWIN_PREC_NATIVE_BF16 1
+#endif
+#endif
+
+namespace ondwin {
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kBf16:
+      return "bf16";
+    case Precision::kFp16:
+      return "fp16";
+  }
+  return "?";
+}
+
+bool parse_precision(const std::string& name, Precision* out) {
+  if (name == "fp32") {
+    *out = Precision::kFp32;
+  } else if (name == "bf16") {
+    *out = Precision::kBf16;
+  } else if (name == "fp16") {
+    *out = Precision::kFp16;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+double precision_unit_roundoff(Precision p) {
+  switch (p) {
+    case Precision::kFp32:
+      return 0x1.0p-24;
+    case Precision::kBf16:
+      return 0x1.0p-8;
+    case Precision::kFp16:
+      return 0x1.0p-11;
+  }
+  return 0x1.0p-24;
+}
+
+bool precision_env_override(Precision* out) {
+  const char* env = std::getenv("ONDWIN_PREC");
+  if (env == nullptr || env[0] == '\0') return false;
+  if (parse_precision(env, out)) return true;
+  static bool warned = [env] {
+    std::fprintf(stderr,
+                 "ondwin: ignoring ONDWIN_PREC=%s (want fp32|bf16|fp16)\n",
+                 env);
+    return true;
+  }();
+  (void)warned;
+  return false;
+}
+
+// ---- scalar converts -----------------------------------------------------
+
+namespace {
+
+u32 f2u(float f) {
+  u32 u;
+  std::memcpy(&u, &f, 4);
+  return u;
+}
+
+float u2f(u32 u) {
+  float f;
+  std::memcpy(&f, &u, 4);
+  return f;
+}
+
+}  // namespace
+
+u16 fp32_to_bf16(float f) {
+  const u32 u = f2u(f);
+  const u32 exp = u & 0x7F800000u;
+  if (exp == 0x7F800000u) {  // Inf / NaN: truncate, quieting NaNs
+    u32 r = u >> 16;
+    if ((u & 0x007FFFFFu) != 0) r |= 0x0040u;
+    return static_cast<u16>(r);
+  }
+  if (exp == 0) {  // DAZ: fp32 denormals (and ±0) convert to ±0
+    return static_cast<u16>((u & 0x80000000u) >> 16);
+  }
+  // Round-to-nearest-even on bit 16; the carry propagates into the
+  // exponent, rounding FLT_MAX-region values to ±Inf exactly like the
+  // hardware instruction.
+  return static_cast<u16>((u + 0x7FFFu + ((u >> 16) & 1u)) >> 16);
+}
+
+float bf16_to_fp32(u16 h) { return u2f(static_cast<u32>(h) << 16); }
+
+u16 fp32_to_fp16(float f) {
+  const u32 u = f2u(f);
+  const u32 sign = (u >> 16) & 0x8000u;
+  const u32 au = u & 0x7FFFFFFFu;
+  if (au >= 0x7F800000u) {  // Inf / NaN
+    if (au == 0x7F800000u) return static_cast<u16>(sign | 0x7C00u);
+    return static_cast<u16>(sign | 0x7E00u | ((au >> 13) & 0x3FFu));
+  }
+  if (au >= 0x47800000u) return static_cast<u16>(sign | 0x7C00u);  // ≥ 2¹⁶
+  u32 h;
+  if (au >= 0x38800000u) {
+    // Normal fp16: rebias the exponent (127−15 = 112) and RNE on bit 12.
+    // A mantissa carry can overflow into 0x7C00 = +Inf — that is correct
+    // (values in (65504, 65536) round to Inf under RNE).
+    const u32 m = au - 0x38000000u;
+    h = m >> 13;
+    const u32 rem = m & 0x1FFFu;
+    h += (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) ? 1u : 0u;
+  } else if (au >= 0x33000000u) {
+    // Denormal fp16 output (|x| ∈ [2⁻²⁵, 2⁻¹⁴)): count denormal ulps
+    // (2⁻²⁴ each) with RNE. Unlike bf16 there is no FTZ here — this
+    // matches vcvtps2ph.
+    const int e = static_cast<int>(au >> 23) - 127;
+    const u32 m = (au & 0x7FFFFFu) | 0x800000u;
+    const int sh = -(e + 1);  // 14..24
+    h = m >> sh;
+    const u32 rem = m & ((1u << sh) - 1u);
+    const u32 half = 1u << (sh - 1);
+    h += (rem > half || (rem == half && (h & 1u))) ? 1u : 0u;
+  } else {
+    h = 0;  // below 2⁻²⁵: rounds to ±0 (the 2⁻²⁵ tie goes to even = 0)
+  }
+  return static_cast<u16>(sign | h);
+}
+
+float fp16_to_fp32(u16 h) {
+  const u32 sign = (static_cast<u32>(h) & 0x8000u) << 16;
+  const u32 em = h & 0x7FFFu;
+  u32 u;
+  if (em >= 0x7C00u) {  // Inf / NaN
+    u = sign | 0x7F800000u | ((em & 0x3FFu) << 13);
+    // vcvtph2ps quiets signaling NaNs (payload kept, fp32 quiet bit set);
+    // the scalar tier must match it bitwise.
+    if (em > 0x7C00u) u |= 0x00400000u;
+  } else if (em >= 0x0400u) {  // normal
+    u = sign | ((em + (112u << 10)) << 13);
+  } else if (em != 0) {  // denormal: renormalize exactly
+    u32 m = em;
+    int sh = 0;
+    while ((m & 0x0400u) == 0) {
+      m <<= 1;
+      ++sh;
+    }
+    u = sign | (static_cast<u32>(113 - sh) << 23) | ((m & 0x3FFu) << 13);
+  } else {
+    u = sign;
+  }
+  return u2f(u);
+}
+
+// ---- scalar bulk loops ---------------------------------------------------
+
+namespace {
+
+void bf16_narrow_scalar(const float* src, u16* dst, i64 n) {
+  for (i64 i = 0; i < n; ++i) dst[i] = fp32_to_bf16(src[i]);
+}
+void bf16_widen_scalar(const u16* src, float* dst, i64 n) {
+  for (i64 i = 0; i < n; ++i) dst[i] = bf16_to_fp32(src[i]);
+}
+void fp16_narrow_scalar(const float* src, u16* dst, i64 n) {
+  for (i64 i = 0; i < n; ++i) dst[i] = fp32_to_fp16(src[i]);
+}
+void fp16_widen_scalar(const u16* src, float* dst, i64 n) {
+  for (i64 i = 0; i < n; ++i) dst[i] = fp16_to_fp32(src[i]);
+}
+
+#ifdef ONDWIN_PREC_VECTOR_TIERS
+
+// gcc's <avx512fintrin.h> trips -Wmaybe-uninitialized on its own
+// _mm512_undefined_* helpers when these are inlined at -O2+.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+// AVX-512F integer vectorization of fp32_to_bf16 — the emulated narrow
+// tier for hosts without AVX512_BF16. Bitwise identical to the scalar
+// routine (same formula, lane-wise).
+__attribute__((target("avx512f"))) void bf16_narrow_avx512(const float* src,
+                                                           u16* dst, i64 n) {
+  i64 i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i u =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(src + i));
+    const __m512i exp = _mm512_and_epi32(u, _mm512_set1_epi32(0x7F800000));
+    const __mmask16 kmax =
+        _mm512_cmpeq_epi32_mask(exp, _mm512_set1_epi32(0x7F800000));
+    const __mmask16 kden =
+        _mm512_cmpeq_epi32_mask(exp, _mm512_setzero_si512());
+    const __mmask16 knan = _mm512_mask_cmpneq_epi32_mask(
+        kmax, _mm512_and_epi32(u, _mm512_set1_epi32(0x007FFFFF)),
+        _mm512_setzero_si512());
+    const __m512i lsb = _mm512_and_epi32(_mm512_srli_epi32(u, 16),
+                                         _mm512_set1_epi32(1));
+    __m512i r = _mm512_srli_epi32(
+        _mm512_add_epi32(_mm512_add_epi32(u, _mm512_set1_epi32(0x7FFF)), lsb),
+        16);
+    const __m512i top = _mm512_srli_epi32(u, 16);
+    r = _mm512_mask_mov_epi32(r, kmax, top);
+    r = _mm512_mask_or_epi32(r, knan, top, _mm512_set1_epi32(0x0040));
+    r = _mm512_mask_mov_epi32(
+        r, kden,
+        _mm512_srli_epi32(
+            _mm512_and_epi32(u, _mm512_set1_epi32(
+                                    static_cast<int>(0x80000000u))),
+            16));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm512_cvtepi32_epi16(r));
+  }
+  bf16_narrow_scalar(src + i, dst + i, n - i);
+}
+
+// bf16 → fp32 is a 16-bit left shift in either tier.
+__attribute__((target("avx512f"))) void bf16_widen_avx512(const u16* src,
+                                                          float* dst, i64 n) {
+  i64 i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i h =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m512i w = _mm512_slli_epi32(_mm512_cvtepu16_epi32(h), 16);
+    _mm512_storeu_si512(reinterpret_cast<void*>(dst + i), w);
+  }
+  bf16_widen_scalar(src + i, dst + i, n - i);
+}
+
+#ifdef ONDWIN_PREC_NATIVE_BF16
+__attribute__((target("avx512f,avx512bf16"))) void bf16_narrow_native(
+    const float* src, u16* dst, i64 n) {
+  i64 i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 v = _mm512_loadu_ps(src + i);
+    const __m256bh h = _mm512_cvtneps_pbh(v);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        reinterpret_cast<const __m256i&>(h));
+  }
+  bf16_narrow_scalar(src + i, dst + i, n - i);
+}
+#endif  // ONDWIN_PREC_NATIVE_BF16
+
+// fp16 native tier: vcvtps2ph/vcvtph2ps at 512-bit (AVX512F). There is no
+// separate "emulated vector" tier for fp16 — any AVX-512 host has the
+// instruction, so the fallback is the scalar formula above.
+__attribute__((target("avx512f"))) void fp16_narrow_avx512(const float* src,
+                                                           u16* dst, i64 n) {
+  i64 i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 v = _mm512_loadu_ps(src + i);
+    const __m256i h =
+        _mm512_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), h);
+  }
+  fp16_narrow_scalar(src + i, dst + i, n - i);
+}
+
+__attribute__((target("avx512f"))) void fp16_widen_avx512(const u16* src,
+                                                          float* dst, i64 n) {
+  i64 i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i h =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm512_storeu_ps(dst + i, _mm512_cvtph_ps(h));
+  }
+  fp16_widen_scalar(src + i, dst + i, n - i);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // ONDWIN_PREC_VECTOR_TIERS
+
+bool host_has_avx512f() { return cpu_features().avx512f; }
+
+bool host_has_native_bf16() {
+#if defined(ONDWIN_PREC_NATIVE_BF16)
+  return cpu_features().avx512f && cpu_features().avx512bf16;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+// ---- per-tier entry points ----------------------------------------------
+
+bool convert_tier_available(Precision p, ConvertTier t) {
+  switch (t) {
+    case ConvertTier::kScalar:
+      return true;
+    case ConvertTier::kAvx512Emul:
+#ifdef ONDWIN_PREC_VECTOR_TIERS
+      return p == Precision::kBf16 && host_has_avx512f();
+#else
+      (void)p;
+      return false;
+#endif
+    case ConvertTier::kNative:
+#ifdef ONDWIN_PREC_VECTOR_TIERS
+      if (p == Precision::kBf16) return host_has_native_bf16();
+      if (p == Precision::kFp16) return host_has_avx512f();
+#endif
+      return false;
+  }
+  return false;
+}
+
+void convert_fp32_to_storage_tier(Precision p, ConvertTier t, const float* src,
+                                  u16* dst, i64 n) {
+  ONDWIN_CHECK(p != Precision::kFp32, "fp32 storage needs no conversion");
+  ONDWIN_CHECK(convert_tier_available(p, t), "convert tier ",
+               static_cast<int>(t), " unavailable for ", precision_name(p));
+  switch (t) {
+    case ConvertTier::kScalar:
+      if (p == Precision::kBf16) return bf16_narrow_scalar(src, dst, n);
+      return fp16_narrow_scalar(src, dst, n);
+#ifdef ONDWIN_PREC_VECTOR_TIERS
+    case ConvertTier::kAvx512Emul:
+      return bf16_narrow_avx512(src, dst, n);
+    case ConvertTier::kNative:
+#ifdef ONDWIN_PREC_NATIVE_BF16
+      if (p == Precision::kBf16) return bf16_narrow_native(src, dst, n);
+#endif
+      return fp16_narrow_avx512(src, dst, n);
+#else
+    default:
+      break;
+#endif
+  }
+}
+
+void convert_storage_to_fp32_tier(Precision p, ConvertTier t, const u16* src,
+                                  float* dst, i64 n) {
+  ONDWIN_CHECK(p != Precision::kFp32, "fp32 storage needs no conversion");
+  ONDWIN_CHECK(convert_tier_available(p, t), "convert tier ",
+               static_cast<int>(t), " unavailable for ", precision_name(p));
+  switch (t) {
+    case ConvertTier::kScalar:
+      if (p == Precision::kBf16) return bf16_widen_scalar(src, dst, n);
+      return fp16_widen_scalar(src, dst, n);
+#ifdef ONDWIN_PREC_VECTOR_TIERS
+    case ConvertTier::kAvx512Emul:
+      return bf16_widen_avx512(src, dst, n);
+    case ConvertTier::kNative:
+      if (p == Precision::kBf16) return bf16_widen_avx512(src, dst, n);
+      return fp16_widen_avx512(src, dst, n);
+#else
+    default:
+      break;
+#endif
+  }
+}
+
+// ---- dispatching bulk converts ------------------------------------------
+
+namespace {
+
+ConvertTier best_tier(Precision p, bool narrow) {
+  if (convert_tier_available(p, ConvertTier::kNative) &&
+      (narrow || p == Precision::kFp16)) {
+    return ConvertTier::kNative;
+  }
+  // bf16 widening is a shift — the AVX512F tier is the fast path even on
+  // AVX512_BF16 hosts (there is no dedicated widening instruction).
+  if (convert_tier_available(p, ConvertTier::kAvx512Emul)) {
+    return ConvertTier::kAvx512Emul;
+  }
+  if (convert_tier_available(p, ConvertTier::kNative)) {
+    return ConvertTier::kNative;
+  }
+  return ConvertTier::kScalar;
+}
+
+}  // namespace
+
+void convert_fp32_to_storage(Precision p, const float* src, u16* dst, i64 n) {
+  convert_fp32_to_storage_tier(p, best_tier(p, /*narrow=*/true), src, dst, n);
+}
+
+void convert_storage_to_fp32(Precision p, const u16* src, float* dst, i64 n) {
+  convert_storage_to_fp32_tier(p, best_tier(p, /*narrow=*/false), src, dst, n);
+}
+
+// ---- dispatch reporting --------------------------------------------------
+
+bool bf16_dot_supported() {
+  return cpu_features().full_avx512() && cpu_features().avx512bf16;
+}
+
+bool fp16_widen_supported() { return cpu_features().full_avx512(); }
+
+std::string precision_tier_string() {
+  std::string s = "prec tiers: bf16-convert=";
+  if (convert_tier_available(Precision::kBf16, ConvertTier::kNative)) {
+    s += "native(vcvtneps2bf16)";
+  } else if (convert_tier_available(Precision::kBf16,
+                                    ConvertTier::kAvx512Emul)) {
+    s += "avx512-emul";
+  } else {
+    s += "scalar";
+  }
+  s += " fp16-convert=";
+  if (convert_tier_available(Precision::kFp16, ConvertTier::kNative)) {
+    s += "native(vcvtps2ph)";
+  } else {
+    s += "scalar";
+  }
+  s += " bf16-gemm=";
+  s += bf16_dot_supported() ? "jit-dot(vdpbf16ps)" : "reference-emul";
+  s += " fp16-gemm=";
+  s += fp16_widen_supported() ? "jit-widen-fma" : "reference-emul";
+  return s;
+}
+
+}  // namespace ondwin

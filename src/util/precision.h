@@ -1,0 +1,99 @@
+// Reduced-precision storage layer: bf16/fp16 on-disk^W in-memory formats
+// with fp32 accumulation everywhere (the Georganas-style
+// storage-vs-accumulate split; see DESIGN.md §15).
+//
+// The contract every caller relies on:
+//  * conversions are round-to-nearest-even and BITWISE IDENTICAL across
+//    the scalar, AVX-512-emulated and native (vcvtneps2bf16 / vcvtps2ph)
+//    tiers — the dispatcher may pick any tier without changing results;
+//  * fp32→bf16 matches the hardware instruction exactly: RNE with
+//    fp32-denormal inputs flushed to ±0 (DAZ) and NaNs quieted with a
+//    truncated payload;
+//  * fp32→fp16 matches vcvtps2ph{rne}: full IEEE semantics including
+//    fp16 denormal outputs, overflow to ±Inf, NaN → quiet NaN with the
+//    top ten payload bits kept;
+//  * widening (bf16/fp16 → fp32) is exact.
+//
+// Reduced-precision tensors are stored as u16 words; `Precision` names the
+// interpretation. Accumulators are always fp32.
+#pragma once
+
+#include <string>
+
+#include "util/common.h"
+
+namespace ondwin {
+
+enum class Precision : u8 {
+  kFp32 = 0,  // no storage conversion (the default pipeline)
+  kBf16 = 1,  // bfloat16 storage, fp32 accumulate
+  kFp16 = 2,  // IEEE binary16 storage, fp32 accumulate
+};
+
+const char* precision_name(Precision p);
+bool parse_precision(const std::string& name, Precision* out);
+
+constexpr i64 precision_bytes(Precision p) {
+  return p == Precision::kFp32 ? 4 : 2;
+}
+
+/// Unit roundoff of the storage format (half ulp of 1.0): 2⁻²⁴ for fp32,
+/// 2⁻⁸ for bf16, 2⁻¹¹ for fp16. The planner's per-precision error term
+/// scales with this.
+double precision_unit_roundoff(Precision p);
+
+/// Reads ONDWIN_PREC ("fp32"/"bf16"/"fp16"); returns false when unset or
+/// unparseable (unparseable values are reported once on stderr).
+bool precision_env_override(Precision* out);
+
+// ---- scalar converts (ground truth for every vector tier) ---------------
+
+u16 fp32_to_bf16(float f);
+float bf16_to_fp32(u16 h);
+u16 fp32_to_fp16(float f);
+float fp16_to_fp32(u16 h);
+
+// ---- bulk converts -------------------------------------------------------
+
+/// fp32 → storage(p) for n elements; dispatches to the widest available
+/// tier. p must not be kFp32 (use memcpy for that).
+void convert_fp32_to_storage(Precision p, const float* src, u16* dst, i64 n);
+
+/// storage(p) → fp32 for n elements (exact widening).
+void convert_storage_to_fp32(Precision p, const u16* src, float* dst, i64 n);
+
+// ---- per-tier entry points (exposed so tests can prove bitwise parity) ---
+
+enum class ConvertTier : u8 {
+  kScalar = 0,      // portable integer implementations
+  kAvx512Emul = 1,  // AVX-512F integer vectorization of the same formulas
+  kNative = 2,      // vcvtneps2bf16 / vcvtps2ph / vcvtph2ps
+};
+
+/// True when `t` can run for format `p` on this host (kScalar always can).
+bool convert_tier_available(Precision p, ConvertTier t);
+
+/// Same contract as the dispatching bulk converts but pinned to one tier.
+/// ONDWIN_CHECKs that the tier is available.
+void convert_fp32_to_storage_tier(Precision p, ConvertTier t, const float* src,
+                                  u16* dst, i64 n);
+void convert_storage_to_fp32_tier(Precision p, ConvertTier t, const u16* src,
+                                  float* dst, i64 n);
+
+// ---- dispatch reporting --------------------------------------------------
+
+/// One line naming the active tiers, e.g.
+/// "prec: convert=native(vcvtneps2bf16,vcvtps2ph) gemm=bf16-dot(vdpbf16ps)"
+/// or "... gemm=widen-fma(emulated)". CI logs this so emulated-fallback
+/// runs are distinguishable.
+std::string precision_tier_string();
+
+/// True when the JIT can emit vdpbf16ps (AVX512_BF16 + the full-AVX512
+/// subset the generator needs).
+bool bf16_dot_supported();
+
+/// True when the JIT can emit the fp16 widen-then-FMA kernel (full AVX-512;
+/// vcvtph2ps at 512-bit needs only AVX512F).
+bool fp16_widen_supported();
+
+}  // namespace ondwin

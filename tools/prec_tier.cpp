@@ -1,0 +1,29 @@
+// Prints the reduced-precision dispatch tier this host resolves to —
+// which convert/GEMM paths (native AVX512_BF16 / vcvtps2ph / emulated /
+// scalar) the library will actually run. CI logs this in the Release job
+// so a test pass is attributable to the tier it exercised.
+#include <cstdio>
+
+#include "util/cpu.h"
+#include "util/precision.h"
+
+int main() {
+  using namespace ondwin;
+  std::printf("%s\n", precision_tier_string().c_str());
+  std::printf("bf16 dot (vdpbf16ps): %s\n",
+              bf16_dot_supported() ? "native" : "emulated (widen+FMA)");
+  std::printf("fp16 widen (vcvtph2ps in-kernel): %s\n",
+              fp16_widen_supported() ? "native" : "reference kernel");
+  for (const Precision p : {Precision::kBf16, Precision::kFp16}) {
+    std::printf("%s convert tiers:", precision_name(p));
+    for (const ConvertTier t :
+         {ConvertTier::kScalar, ConvertTier::kAvx512Emul,
+          ConvertTier::kNative}) {
+      if (!convert_tier_available(p, t)) continue;
+      const char* name[] = {"scalar", "avx512-emul", "native"};
+      std::printf(" %s", name[static_cast<int>(t)]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
