@@ -1,61 +1,99 @@
 #include "fft/fft.h"
 
 #include <cmath>
+#include <map>
+#include <mutex>
 
 namespace ondwin {
+namespace {
 
-Fft1d::Fft1d(i64 n) : n_(n) {
-  ONDWIN_CHECK(n >= 1 && is_pow2(static_cast<u64>(n)),
-               "FFT size must be a power of two, got ", n);
-  while ((i64{1} << log2n_) < n_) ++log2n_;
+std::shared_ptr<const FftTables> build_tables(i64 n) {
+  auto t = std::make_shared<FftTables>();
+  t->n = n;
+  while ((i64{1} << t->log2n) < n) ++t->log2n;
 
-  bitrev_.resize(static_cast<std::size_t>(n_));
-  for (i64 i = 0; i < n_; ++i) {
+  t->bitrev.resize(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
     u32 r = 0;
-    for (int b = 0; b < log2n_; ++b) {
+    for (int b = 0; b < t->log2n; ++b) {
       r = (r << 1) | ((static_cast<u32>(i) >> b) & 1u);
     }
-    bitrev_[static_cast<std::size_t>(i)] = r;
+    t->bitrev[static_cast<std::size_t>(i)] = r;
   }
 
   // Stage s (half-size h = 2^s) uses h twiddles w_h^k = e^{-2πik/2h};
   // packed consecutively: offsets 1, 2, 4, … (total n-1 entries).
-  twiddles_.reserve(static_cast<std::size_t>(n_));
-  for (i64 h = 1; h < n_; h *= 2) {
+  t->twiddles.reserve(static_cast<std::size_t>(n));
+  for (i64 h = 1; h < n; h *= 2) {
     for (i64 k = 0; k < h; ++k) {
       const double a = -M_PI * static_cast<double>(k) / static_cast<double>(h);
-      twiddles_.emplace_back(static_cast<float>(std::cos(a)),
-                             static_cast<float>(std::sin(a)));
+      t->twiddles.emplace_back(static_cast<float>(std::cos(a)),
+                               static_cast<float>(std::sin(a)));
     }
   }
+  return t;
 }
 
+struct TableRegistry {
+  std::mutex mu;
+  std::map<i64, std::shared_ptr<const FftTables>> by_size;
+};
+
+TableRegistry& registry() {
+  static TableRegistry* r = new TableRegistry();  // leaked: process-lifetime
+  return *r;
+}
+
+}  // namespace
+
+std::shared_ptr<const FftTables> fft_tables(i64 n) {
+  ONDWIN_CHECK(n >= 1 && is_pow2(static_cast<u64>(n)),
+               "FFT size must be a power of two, got ", n);
+  TableRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.by_size.find(n);
+  if (it != r.by_size.end()) return it->second;
+  auto t = build_tables(n);
+  r.by_size.emplace(n, t);
+  return t;
+}
+
+std::size_t fft_tables_cached() {
+  TableRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.by_size.size();
+}
+
+Fft1d::Fft1d(i64 n) : tables_(fft_tables(n)) {}
+
 void Fft1d::run(cfloat* data, i64 stride, bool inv) const {
+  const FftTables& t = *tables_;
+  const i64 n = t.n;
   // Bit-reversal permutation (swap once per pair).
-  for (i64 i = 0; i < n_; ++i) {
-    const i64 j = bitrev_[static_cast<std::size_t>(i)];
+  for (i64 i = 0; i < n; ++i) {
+    const i64 j = t.bitrev[static_cast<std::size_t>(i)];
     if (j > i) std::swap(data[i * stride], data[j * stride]);
   }
 
-  const cfloat* tw = twiddles_.data();
-  for (i64 h = 1; h < n_; h *= 2) {
-    for (i64 base = 0; base < n_; base += 2 * h) {
+  const cfloat* tw = t.twiddles.data();
+  for (i64 h = 1; h < n; h *= 2) {
+    for (i64 base = 0; base < n; base += 2 * h) {
       for (i64 k = 0; k < h; ++k) {
         cfloat w = tw[k];
         if (inv) w = std::conj(w);
         cfloat& a = data[(base + k) * stride];
         cfloat& b = data[(base + k + h) * stride];
-        const cfloat t = w * b;
-        b = a - t;
-        a = a + t;
+        const cfloat t2 = w * b;
+        b = a - t2;
+        a = a + t2;
       }
     }
     tw += h;
   }
 
   if (inv) {
-    const float scale = 1.0f / static_cast<float>(n_);
-    for (i64 i = 0; i < n_; ++i) data[i * stride] *= scale;
+    const float scale = 1.0f / static_cast<float>(n);
+    for (i64 i = 0; i < n; ++i) data[i * stride] *= scale;
   }
 }
 

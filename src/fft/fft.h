@@ -1,12 +1,19 @@
-// Minimal FFT substrate for the FFT-based convolution baseline.
+// Minimal FFT substrate for the FFT-based convolution engines.
 //
 // The paper compares Winograd against FFT-based convolution (cuDNN's FFT
 // path for 3D); this module provides the equivalent transform machinery
 // built from scratch: an iterative radix-2 Cooley–Tukey FFT with
 // precomputed twiddles, strided application, and an N-D driver.
+//
+// Twiddle factors and bit-reversal permutations are shared through a
+// process-wide registry keyed by size (`fft_tables`), mirroring the
+// transform-matrix caching on the Winograd side: the selection planner and
+// the fftconv engine construct many plans of the same sizes, and the
+// tables are pure functions of n.
 #pragma once
 
 #include <complex>
+#include <memory>
 #include <vector>
 
 #include "tensor/dims.h"
@@ -15,25 +22,47 @@ namespace ondwin {
 
 using cfloat = std::complex<float>;
 
+/// Immutable per-size FFT tables: the bit-reversal permutation and the
+/// forward twiddles of every stage packed consecutively (offsets 1, 2, 4,
+/// …, n−1 entries total). Shared across plans via fft_tables().
+struct FftTables {
+  i64 n = 0;
+  int log2n = 0;
+  std::vector<u32> bitrev;
+  std::vector<cfloat> twiddles;  // forward twiddles, all stages packed
+};
+
+/// Process-wide registry lookup: returns the (immutable, shared) tables
+/// for a power-of-two size, computing them on the first request only.
+/// Thread-safe; throws on non-power-of-two sizes.
+std::shared_ptr<const FftTables> fft_tables(i64 n);
+
+/// Number of distinct sizes currently cached (test/statusz hook).
+std::size_t fft_tables_cached();
+
 /// Radix-2 FFT plan for one power-of-two size. Forward is unnormalized;
 /// inverse includes the 1/n factor (so inverse(forward(x)) == x).
+/// Construction is cheap: the twiddle/bit-reversal tables come from the
+/// process-wide registry, so repeated plan construction of one size does
+/// no recomputation.
 class Fft1d {
  public:
   explicit Fft1d(i64 n);
 
-  i64 size() const { return n_; }
+  i64 size() const { return tables_->n; }
 
   /// In-place transform of `n` elements spaced `stride` apart.
   void forward(cfloat* data, i64 stride = 1) const { run(data, stride, false); }
   void inverse(cfloat* data, i64 stride = 1) const { run(data, stride, true); }
 
+  /// The shared tables backing this plan (identity-comparable across
+  /// plans of one size — the registry hands every plan the same object).
+  const std::shared_ptr<const FftTables>& tables() const { return tables_; }
+
  private:
   void run(cfloat* data, i64 stride, bool inv) const;
 
-  i64 n_ = 0;
-  int log2n_ = 0;
-  std::vector<u32> bitrev_;
-  std::vector<cfloat> twiddles_;      // forward twiddles, all stages packed
+  std::shared_ptr<const FftTables> tables_;
 };
 
 /// In-place N-D FFT over a row-major array of extents `extent` (each a

@@ -1,0 +1,207 @@
+#include "fftconv/rfft.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace ondwin::fftconv {
+
+void lane_fft(const FftTables& t, float* re, float* im, i64 stride,
+              bool inverse) {
+  const i64 n = t.n;
+  if (n <= 1) return;
+  const i64 vs = stride * kLanes;  // floats between consecutive elements
+
+  // Bit-reversal permutation of whole lane vectors.
+  for (i64 i = 0; i < n; ++i) {
+    const i64 j = t.bitrev[static_cast<std::size_t>(i)];
+    if (j > i) {
+      float* ra = re + i * vs;
+      float* rb = re + j * vs;
+      float* ia = im + i * vs;
+      float* ib = im + j * vs;
+      for (i64 s = 0; s < kLanes; ++s) {
+        const float tr = ra[s];
+        ra[s] = rb[s];
+        rb[s] = tr;
+        const float ti = ia[s];
+        ia[s] = ib[s];
+        ib[s] = ti;
+      }
+    }
+  }
+
+  const cfloat* tw = t.twiddles.data();
+  for (i64 h = 1; h < n; h *= 2) {
+    for (i64 base = 0; base < n; base += 2 * h) {
+      for (i64 k = 0; k < h; ++k) {
+        const float wr = tw[k].real();
+        const float wi = inverse ? -tw[k].imag() : tw[k].imag();
+        float* ar = re + (base + k) * vs;
+        float* ai = im + (base + k) * vs;
+        float* br = re + (base + k + h) * vs;
+        float* bi = im + (base + k + h) * vs;
+        for (i64 s = 0; s < kLanes; ++s) {
+          const float tr = wr * br[s] - wi * bi[s];
+          const float ti = wr * bi[s] + wi * br[s];
+          br[s] = ar[s] - tr;
+          bi[s] = ai[s] - ti;
+          ar[s] += tr;
+          ai[s] += ti;
+        }
+      }
+    }
+    tw += h;
+  }
+
+  if (inverse) {
+    const float scale = 1.0f / static_cast<float>(n);
+    for (i64 i = 0; i < n; ++i) {
+      float* r = re + i * vs;
+      float* m = im + i * vs;
+      for (i64 s = 0; s < kLanes; ++s) {
+        r[s] *= scale;
+        m[s] *= scale;
+      }
+    }
+  }
+}
+
+RealFft1d::RealFft1d(i64 n) : n_(n) {
+  ONDWIN_CHECK(n >= 1 && is_pow2(static_cast<u64>(n)),
+               "R2C size must be a power of two, got ", n);
+  if (n_ >= 2) {
+    half_ = fft_tables(n_ / 2);
+    const i64 h = n_ / 2;
+    tw_re_.resize(static_cast<std::size_t>(h + 1));
+    tw_im_.resize(static_cast<std::size_t>(h + 1));
+    for (i64 k = 0; k <= h; ++k) {
+      const double a =
+          -2.0 * M_PI * static_cast<double>(k) / static_cast<double>(n_);
+      tw_re_[static_cast<std::size_t>(k)] = static_cast<float>(std::cos(a));
+      tw_im_[static_cast<std::size_t>(k)] = static_cast<float>(std::sin(a));
+    }
+  }
+}
+
+void RealFft1d::forward(const float* x, float* out_re, float* out_im) const {
+  if (n_ == 1) {
+    std::memcpy(out_re, x, sizeof(float) * kLanes);
+    std::memset(out_im, 0, sizeof(float) * kLanes);
+    return;
+  }
+  const i64 h = n_ / 2;
+
+  // Pack x into a half-size complex signal z[j] = x[2j] + i·x[2j+1] and
+  // run the h-point lane FFT in place over the output arrays (bins 0..h-1;
+  // slot h is filled by the untangle below).
+  for (i64 j = 0; j < h; ++j) {
+    std::memcpy(out_re + j * kLanes, x + (2 * j) * kLanes,
+                sizeof(float) * kLanes);
+    std::memcpy(out_im + j * kLanes, x + (2 * j + 1) * kLanes,
+                sizeof(float) * kLanes);
+  }
+  lane_fft(*half_, out_re, out_im, /*stride=*/1, /*inverse=*/false);
+
+  // Untangle: with Z[k] = a+bi, Z[(h-k) mod h] = c+di and w = e^{-2πik/n},
+  //   S = (Z[k] + conj(Z[h-k]))/2,  D = (Z[k] - conj(Z[h-k]))/2
+  //   X[k]   = S.re + w.re·D.im + w.im·D.re
+  //          + i·(S.im − (w.re·D.re − w.im·D.im))
+  // and the partner bin X[h-k] is the same formula with the roles of Z[k]
+  // and Z[h-k] swapped and w' = (−w.re, w.im). Pairs (k, h−k) are
+  // processed together in place; k = 0 also produces the Nyquist bin X[h]
+  // from Z[0] (slot h is past the packed data, so writing it is safe).
+  for (i64 k = 0; k <= h / 2; ++k) {
+    const i64 kk = (h - k) % h;
+    const float wr = tw_re_[static_cast<std::size_t>(k)];
+    const float wi = tw_im_[static_cast<std::size_t>(k)];
+    float* kr = out_re + k * kLanes;
+    float* ki = out_im + k * kLanes;
+    float* pr = out_re + (h - k) * kLanes;
+    float* pi = out_im + (h - k) * kLanes;
+    const float* cr = out_re + kk * kLanes;
+    const float* ci = out_im + kk * kLanes;
+    for (i64 s = 0; s < kLanes; ++s) {
+      const float a = kr[s], b = ki[s];
+      const float c = cr[s], d = ci[s];
+      const float sre = 0.5f * (a + c), sim = 0.5f * (b - d);
+      const float dre = 0.5f * (a - c), dim = 0.5f * (b + d);
+      const float xr = sre + wr * dim + wi * dre;
+      const float xi = sim - (wr * dre - wi * dim);
+      // Partner: swap roles of Z[k]/Z[h-k] → S'=(sre,−sim), D'=(−dre,dim);
+      // with w' = (−wr, wi):
+      const float yr = sre - wr * dim - wi * dre;
+      const float yi = -sim - (wr * dre - wi * dim);
+      if (k == 0) {
+        // X[0] = Z0.re + Z0.im (all-real), X[h] = Z0.re − Z0.im.
+        kr[s] = a + b;
+        ki[s] = 0.0f;
+        pr[s] = a - b;  // pr points at slot h here
+        pi[s] = 0.0f;
+      } else {
+        kr[s] = xr;
+        ki[s] = xi;
+        pr[s] = yr;
+        pi[s] = yi;
+      }
+    }
+  }
+}
+
+void RealFft1d::inverse(const float* in_re, const float* in_im, float* x,
+                        float* scratch) const {
+  if (n_ == 1) {
+    std::memcpy(x, in_re, sizeof(float) * kLanes);
+    return;
+  }
+  const i64 h = n_ / 2;
+  float* zre = scratch;            // h lane vectors
+  float* zim = scratch + h * kLanes;
+
+  // Re-tangle: from X[k] = a+bi, X[h-k] = c+di,
+  //   E = (X[k] + conj(X[h-k]))/2,  D = (X[k] − conj(X[h-k]))/2
+  //   Z[k] = (E.re − (w.re·D.im − w.im·D.re))
+  //        + i·(E.im + (w.re·D.re + w.im·D.im))
+  // with w = e^{-2πik/n}; the partner Z[h-k] follows from the same values
+  // with the roles swapped and w' = (−w.re, w.im).
+  for (i64 k = 0; k <= h / 2; ++k) {
+    const i64 kk = (h - k) % h;
+    const float wr = tw_re_[static_cast<std::size_t>(k)];
+    const float wi = tw_im_[static_cast<std::size_t>(k)];
+    const float* kr = in_re + k * kLanes;
+    const float* ki = in_im + k * kLanes;
+    const float* pr = in_re + (h - k) * kLanes;
+    const float* pi = in_im + (h - k) * kLanes;
+    float* zkr = zre + k * kLanes;
+    float* zki = zim + k * kLanes;
+    float* zpr = zre + kk * kLanes;
+    float* zpi = zim + kk * kLanes;
+    for (i64 s = 0; s < kLanes; ++s) {
+      const float a = kr[s], b = ki[s];
+      const float c = pr[s], d = pi[s];
+      const float ere = 0.5f * (a + c), eim = 0.5f * (b - d);
+      const float dre = 0.5f * (a - c), dim = 0.5f * (b + d);
+      const float z0r = ere - (wr * dim - wi * dre);
+      const float z0i = eim + (wr * dre + wi * dim);
+      // Partner (k ↔ h−k): E'=(ere,−eim), D'=(−dre,dim), w'=(−wr,wi):
+      const float z1r = ere + (wr * dim - wi * dre);
+      const float z1i = -eim + (wr * dre + wi * dim);
+      zkr[s] = z0r;
+      zki[s] = z0i;
+      if (kk != k) {
+        zpr[s] = z1r;
+        zpi[s] = z1i;
+      }
+    }
+  }
+
+  lane_fft(*half_, zre, zim, /*stride=*/1, /*inverse=*/true);
+
+  for (i64 j = 0; j < h; ++j) {
+    std::memcpy(x + (2 * j) * kLanes, zre + j * kLanes,
+                sizeof(float) * kLanes);
+    std::memcpy(x + (2 * j + 1) * kLanes, zim + j * kLanes,
+                sizeof(float) * kLanes);
+  }
+}
+
+}  // namespace ondwin::fftconv

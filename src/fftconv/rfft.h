@@ -1,0 +1,66 @@
+// SIMD-blocked FFT codelets for the fftconv engine.
+//
+// The scalar radix-2 substrate (src/fft) transforms one complex signal at
+// a time; convolution over the blocked layout (Tbl. 1) always transforms
+// kSimdWidth channels of one channel group together. These codelets keep
+// the channel-lane dimension innermost and contiguous — every butterfly is
+// kSimdWidth independent FMAs on adjacent floats, which the compiler turns
+// into plain vector loads/FMAs/stores with no shuffles (the same property
+// the blocked layout buys the Winograd transform codelets).
+//
+// Storage is split re/im ("planar") rather than interleaved: element i of
+// a lane-blocked complex array lives at re[(i·stride + s)] / im[…] for
+// lane s — interleaved complex would force shuffles in every butterfly.
+//
+// RealFft1d is the real-input building block: an n-point R2C forward via
+// one complex half-size FFT plus an untangle pass (and the matching C2R
+// inverse), so real convolution pays n/2-point complex work and stores
+// only the n/2+1 non-redundant bins per dimension — half the intermediate
+// footprint of the complex baseline (Hermitian symmetry).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fft/fft.h"
+
+namespace ondwin::fftconv {
+
+/// Channel lanes per vector — the blocked layout's SIMD width.
+inline constexpr i64 kLanes = kSimdWidth;
+
+/// In-place complex FFT of `t.n` lane vectors over split re/im arrays.
+/// Element i's lanes live at re[i·stride·kLanes + s]; `stride` is in lane-
+/// vector units (1 = contiguous). Forward is unnormalized; inverse
+/// includes the 1/n factor.
+void lane_fft(const FftTables& t, float* re, float* im, i64 stride,
+              bool inverse);
+
+/// Real-input transform along a contiguous lane-blocked axis: n real lane
+/// vectors ↔ n/2+1 complex bins (Hermitian half-spectrum). Bin values
+/// equal the corresponding bins of the full n-point DFT.
+class RealFft1d {
+ public:
+  explicit RealFft1d(i64 n);  // n: power of two ≥ 1
+
+  i64 size() const { return n_; }
+  i64 bins() const { return n_ <= 1 ? 1 : n_ / 2 + 1; }
+
+  /// x: n·kLanes reals (contiguous) → out_re/out_im: bins()·kLanes each.
+  /// x is left untouched; no scratch needed (the untangle runs in place
+  /// over the output arrays).
+  void forward(const float* x, float* out_re, float* out_im) const;
+
+  /// in_re/in_im: bins()·kLanes → x: n·kLanes reals. `scratch` must hold
+  /// n·kLanes floats (the half-size complex workspace); it may NOT alias
+  /// the inputs or the output.
+  void inverse(const float* in_re, const float* in_im, float* x,
+               float* scratch) const;
+
+ private:
+  i64 n_ = 0;
+  std::shared_ptr<const FftTables> half_;  // n/2-point tables (null if n<2)
+  std::vector<float> tw_re_, tw_im_;       // e^{-2πik/n}, k = 0..n/2
+};
+
+}  // namespace ondwin::fftconv

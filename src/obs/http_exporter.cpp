@@ -13,6 +13,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "fftconv/fftconv_plan.h"
 #include "mem/statusz.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -109,6 +110,7 @@ std::string HttpExporter::default_statusz() {
   std::snprintf(line, sizeof(line), "uptime: %.1f s\n\n", uptime_s);
   os << line;
   os << mem::statusz_report();
+  os << fftconv::statusz_report();
   for (const auto& [title, render] : statusz_sections_) {
     os << "\n" << title << "\n" << render();
   }

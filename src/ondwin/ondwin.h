@@ -18,6 +18,10 @@
 //                  and every intermediate activation is lifetime-planned
 //                  onto one arena slab (Sequential::to_graph() lowers a
 //                  network; output is bitwise identical)
+//   fftconv::FftConvPlan — the first-class FFT engine behind the
+//                  planner's "fft" class: R2C overlap-save transforms
+//                  over the blocked layout, a JIT'd complex GEMM stage,
+//                  fused epilogues — same FX contract as ConvPlan
 //   serve::InferenceServer — concurrent serving with dynamic
 //                  micro-batching (ModelConfig::auto_select re-runs the
 //                  planner per batch-size bucket)
@@ -50,6 +54,8 @@
 #include "core/plan_options.h"             // IWYU pragma: export
 #include "core/tuner.h"                    // IWYU pragma: export
 #include "core/wisdom.h"                   // IWYU pragma: export
+#include "fftconv/fftconv_plan.h"          // IWYU pragma: export
+#include "fftconv/rfft.h"                  // IWYU pragma: export
 #include "graph/executor.h"                // IWYU pragma: export
 #include "graph/ir.h"                      // IWYU pragma: export
 #include "mem/arena.h"                     // IWYU pragma: export

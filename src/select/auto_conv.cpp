@@ -67,9 +67,10 @@ AutoConv::AutoConv(const ConvShape& shape, const SelectedConfig& config,
       break;
     }
     case Algorithm::kFft: {
-      fft_ = std::make_unique<FftConv>(shape_);
-      plain_in_.reset(static_cast<std::size_t>(in_layout_.total_floats()));
-      plain_out_.reset(static_cast<std::size_t>(out_layout_.total_floats()));
+      // The selection's blocking (from wisdom or measurement) carries
+      // straight into the engine; zeros fall through to its heuristics.
+      fft_ = std::make_unique<fftconv::FftConvPlan>(shape_, options,
+                                                    config_.blocking);
       break;
     }
   }
@@ -86,14 +87,9 @@ void AutoConv::set_kernels(const float* kernels_blocked) {
       std::copy(kernels_blocked, kernels_blocked + w_blocked_.size(),
                 w_blocked_.data());
       break;
-    case Algorithm::kFft: {
-      const KernelLayout kl{shape_.in_channels, shape_.out_channels,
-                            shape_.kernel};
-      std::vector<float> plain(static_cast<std::size_t>(kl.total_floats()));
-      unpack_kernels(kernels_blocked, plain.data(), kl);
-      fft_->set_kernels(plain.data());
+    case Algorithm::kFft:
+      fft_->set_kernels(kernels_blocked);
       break;
-    }
   }
   kernels_ready_ = true;
 }
@@ -109,30 +105,35 @@ void AutoConv::execute_pretransformed(const float* input, float* output,
       direct_->execute(input, w_blocked_.data(), output);
       break;
     case Algorithm::kFft:
-      // Layout conversion happens inside execute on purpose: it is part
-      // of this class's true cost at the network edges.
-      unpack_image(input, plain_in_.data(), in_layout_);
-      fft_->execute(plain_in_.data(), plain_out_.data());
-      pack_image(plain_out_.data(), output, out_layout_);
-      break;
+      // Native blocked layouts and a fused epilogue — no conversion, no
+      // post-pass.
+      fft_->execute_pretransformed(input, output, epilogue);
+      return;
   }
   apply_epilogue_blocked(out_layout_, output, epilogue);
 }
 
 SharedKernels AutoConv::export_kernels() const {
   if (plan_ != nullptr) return plan_->export_kernels();
+  if (fft_ != nullptr) return fft_->export_kernels();
   return {};
 }
 
 bool AutoConv::try_adopt_kernels(const SharedKernels& shared) {
-  if (plan_ == nullptr) return false;
-  if (!plan_->try_adopt_kernels(shared)) return false;
+  if (plan_ != nullptr) {
+    if (!plan_->try_adopt_kernels(shared)) return false;
+  } else if (fft_ != nullptr) {
+    if (!fft_->try_adopt_kernels(shared)) return false;
+  } else {
+    return false;
+  }
   kernels_ready_ = true;
   return true;
 }
 
 bool AutoConv::kernels_ready() const {
   if (plan_ != nullptr) return plan_->kernels_ready();
+  if (fft_ != nullptr) return fft_->kernels_ready();
   return kernels_ready_;
 }
 
@@ -143,9 +144,7 @@ i64 AutoConv::workspace_bytes() const {
     case Algorithm::kDirect:
       return static_cast<i64>(w_blocked_.size() * sizeof(float));
     case Algorithm::kFft:
-      return fft_->workspace_elems() * static_cast<i64>(sizeof(cfloat)) +
-             static_cast<i64>((plain_in_.size() + plain_out_.size()) *
-                              sizeof(float));
+      return fft_->workspace_bytes();
   }
   return 0;
 }

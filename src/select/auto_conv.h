@@ -7,16 +7,16 @@
 //
 //   Winograd  → ConvPlan with the selected tile_m and blocking overrides
 //   direct    → DirectConvBlocked (epilogue applied as a post-pass)
-//   FFT       → FftConv behind pack/unpack layout conversion at the edges
-//               (the conversion cost is inside execute, so measurements
-//               of this class stay honest)
+//   FFT       → fftconv::FftConvPlan — native blocked layouts, R2C
+//               overlap-save transforms, JIT complex GEMM, fused epilogue
+//               (the scalar baseline FftConv remains the test oracle)
 #pragma once
 
 #include <memory>
 
 #include "baseline/direct_conv_blocked.h"
-#include "baseline/fft_conv.h"
 #include "core/conv_plan.h"
+#include "fftconv/fftconv_plan.h"
 #include "select/cost_model.h"
 
 namespace ondwin::select {
@@ -61,9 +61,10 @@ class AutoConv {
   void execute_pretransformed(const float* input, float* output,
                               const Epilogue& epilogue = {});
 
-  /// Zero-copy W sharing across batch-size replicas — meaningful only
-  /// when this executor is Winograd-backed; other classes return an empty
-  /// handle / false and the caller falls back to set_kernels().
+  /// Zero-copy W sharing across batch-size replicas — supported by the
+  /// Winograd and FFT backends (both banks are batch-independent); the
+  /// direct class returns an empty handle / false and the caller falls
+  /// back to set_kernels().
   SharedKernels export_kernels() const;
   bool try_adopt_kernels(const SharedKernels& shared);
 
@@ -84,11 +85,10 @@ class AutoConv {
   // Exactly one backend is non-null, per config_.algorithm.
   std::unique_ptr<ConvPlan> plan_;
   std::unique_ptr<DirectConvBlocked> direct_;
-  std::unique_ptr<FftConv> fft_;
+  std::unique_ptr<fftconv::FftConvPlan> fft_;
 
-  // direct: blocked weight copy; fft: plain-layout staging buffers.
+  // direct: blocked weight copy.
   AlignedBuffer<float> w_blocked_;
-  AlignedBuffer<float> plain_in_, plain_out_;
   bool kernels_ready_ = false;
 };
 

@@ -1,9 +1,11 @@
 #include "select/cost_model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <mutex>
 
+#include "fftconv/fftconv_plan.h"
 #include "wincnn/cook_toom.h"
 
 namespace ondwin::select {
@@ -12,23 +14,47 @@ namespace {
 // Relative execution efficiency of each code path, in fractions of the
 // machine's FMA peak. Absolute values do not matter — only ratios do —
 // but they are chosen to match what the repo's own benches show:
-//  * the JIT Winograd GEMM runs near peak (register-blocked, prefetched),
-//  * the transform codelets are vector code bound by shuffles/stores,
+//  * the JIT Winograd/FFT GEMM runs near peak (register-blocked,
+//    prefetched),
+//  * the Winograd transform codelets are vector code bound by
+//    shuffles/stores,
+//  * the lane-FFT codelets vectorize their butterflies but make
+//    log₂(grid) passes over the data,
 //  * the blocked direct baseline vectorizes its FMAs but re-reads inputs
-//    once per tap,
-//  * the radix-2 FFT substrate and its pointwise stage are scalar.
+//    once per tap.
 constexpr double kGemmEff = 0.70;
 constexpr double kTransformEff = 0.25;
 constexpr double kDirectEff = 0.35;
-constexpr double kFftEff = 0.03;
+constexpr double kFftTransformEff = 0.08;
+// The per-bin complex GEMMs run far below the batched Winograd GEMM's
+// efficiency: each bin is a short-row (rows = batch·tiles, often 16–36)
+// product whose V̂ panel streams from the frequency-domain bank, and the
+// complex product costs two real accumulation chains per output plane.
+// Fitted against bench_select_crossover's measured FFT rows (the
+// measured/predicted ratio sat near 5× with the batched-GEMM value).
+constexpr double kFftGemmEff = 0.15;
 
-// Bandwidth charge: one byte of compulsory traffic costs about this many
-// peak-flop units (64 flops/cycle vs ~8 bytes/cycle on the reference
-// host).
+// Bandwidth charge (uncalibrated mode): one byte of compulsory traffic
+// costs about this many peak-flop units (64 flops/cycle vs ~8 bytes/cycle
+// on the reference host).
 constexpr double kFlopsPerByte = 8.0;
 
 double combine(double flops, double eff, double bytes) {
   return flops / eff + kFlopsPerByte * bytes;
+}
+
+// Calibrated mode: traffic whose stage working set sits inside the LLC
+// moves at a multiple of the DRAM stream bandwidth.
+constexpr double kCacheBwMultiple = 4.0;
+
+// Roofline charge for one pipeline stage: compute- or bandwidth-bound,
+// whichever is slower.
+double stage_seconds(double flops, double eff, double bytes,
+                     double working_set, const MachineProfile& p) {
+  const double peak = std::max(1.0, p.gemm_gflops) * 1e9;
+  double bw = std::max(0.1, p.stream_gbps) * 1e9;
+  if (working_set <= 0.5 * p.llc_bytes) bw *= kCacheBwMultiple;
+  return std::max(flops / (eff * peak), bytes / bw);
 }
 
 // Max-abs-row-sum norm of a rational matrix, in double.
@@ -120,49 +146,85 @@ double winograd_storage_error_bound(Precision storage, const Dims& tile_m,
   return 2.0 * precision_unit_roundoff(storage) * amp;
 }
 
-CostEstimate estimate_direct(const ConvShape& shape) {
+CostEstimate estimate_direct(const ConvShape& shape,
+                             const MachineProfile* prof) {
   CostEstimate e;
   e.flops = 2.0 * static_cast<double>(shape.direct_macs());
   e.bytes = 4.0 * static_cast<double>(shape.input_floats() +
                                       shape.output_floats() +
                                       shape.weight_floats());
-  e.cost = combine(e.flops, kDirectEff, e.bytes);
+  if (prof == nullptr) {
+    e.cost = combine(e.flops, kDirectEff, e.bytes);
+    return e;
+  }
+  // Calibrated: when one batch element's input plane spills the LLC,
+  // every tap re-reads it from DRAM; when the weights spill, every batch
+  // element re-streams them.
+  const double taps = static_cast<double>(shape.kernel.product());
+  const double batch = static_cast<double>(shape.batch);
+  const double in_bytes = 4.0 * static_cast<double>(shape.input_floats());
+  const double out_bytes = 4.0 * static_cast<double>(shape.output_floats());
+  const double w_bytes = 4.0 * static_cast<double>(shape.weight_floats());
+  const double in_per_image = in_bytes / std::max(1.0, batch);
+  const double in_reread =
+      in_per_image > 0.5 * prof->llc_bytes ? taps : 1.0;
+  const double w_reread = w_bytes > 0.5 * prof->llc_bytes ? batch : 1.0;
+  e.bytes = in_bytes * in_reread + out_bytes + w_bytes * w_reread;
+  e.seconds = stage_seconds(e.flops, kDirectEff, e.bytes,
+                            in_per_image + w_bytes, *prof);
+  e.cost = e.seconds * 1e9;
   return e;
 }
 
-CostEstimate estimate_fft(const ConvShape& shape) {
-  // Mirror FftConv's transform extents: next power of two fitting the
-  // linearized (padded) convolution per dimension.
-  double fft_total = 1;
+CostEstimate estimate_fft(const ConvShape& shape,
+                          const MachineProfile* prof) {
+  // The exact geometry the engine builds: per-dimension pow-2 grids capped
+  // by overlap-save tiling, Hermitian bins along the last dimension.
+  const fftconv::FftGeometry geo = fftconv::fft_conv_geometry(shape);
+  const int rank = shape.image.rank();
+  double grid_total = 1;
   double log_sum = 0;
-  for (int d = 0; d < shape.image.rank(); ++d) {
-    const i64 need =
-        shape.image[d] + 2 * shape.padding[d] + shape.kernel[d] - 1;
-    const double n = static_cast<double>(next_pow2(static_cast<u64>(need)));
-    fft_total *= n;
-    log_sum += std::log2(n);
+  for (int d = 0; d < rank; ++d) {
+    grid_total *= static_cast<double>(geo.grid[d]);
+    log_sum += std::log2(static_cast<double>(geo.grid[d]));
   }
-  const double b = static_cast<double>(shape.batch);
+  const double F = static_cast<double>(geo.bins);
+  const double rows = static_cast<double>(geo.rows);
   const double c = static_cast<double>(shape.in_channels);
   const double cp = static_cast<double>(shape.out_channels);
 
+  // Stage 1 — forward real N-D FFT per (tile row, input channel):
+  // ~2.5·G·log₂G flops each (half the complex 5·n·log n, Hermitian), the
+  // grid gather plus the Û scatter (3 planes: re, im, −im).
+  const double f1 = rows * c * 2.5 * grid_total * log_sum;
+  const double b1 = 4.0 * rows * c * (2.0 * grid_total + 3.0 * F);
+  // Stage 2 — complex GEMM over every bin: 4 real MACs per complex MAC,
+  // Û read (3 planes), X̂ written (2), V̂ bank streamed once.
+  const double f2 = 8.0 * F * rows * c * cp;
+  const double b2 =
+      4.0 * F * rows * (3.0 * c + 2.0 * cp) + 8.0 * F * c * cp;
+  // Stage 3 — inverse transforms, crop + epilogue store.
+  const double f3 = rows * cp * 2.5 * grid_total * log_sum;
+  const double b3 = 4.0 * rows * cp * (2.0 * F + grid_total) +
+                    4.0 * static_cast<double>(shape.output_floats());
+
   CostEstimate e;
-  // Forward FFTs of every input channel, complex pointwise
-  // multiply-accumulate across C for every output channel, inverse FFTs
-  // (kernels are pre-transformed — the FX analogue).
-  e.flops = b * (c + cp) * 5.0 * fft_total * log_sum +
-            b * c * cp * 8.0 * fft_total;
-  // The frequency-domain kernel bank (C·C'·fft_total complex values) is
-  // streamed once per batch element — the term that sinks this class on
-  // small kernels.
-  e.bytes = 8.0 * fft_total * (b * c * cp + b * 2.0 * (c + cp)) +
-            4.0 * static_cast<double>(shape.input_floats() +
-                                      shape.output_floats());
-  e.cost = combine(e.flops, kFftEff, e.bytes);
+  e.flops = f1 + f2 + f3;
+  e.bytes = b1 + b2 + b3;
+  if (prof == nullptr) {
+    e.cost = combine(f2, kFftGemmEff, 0) +
+             combine(f1 + f3, kFftTransformEff, e.bytes);
+    return e;
+  }
+  e.seconds = stage_seconds(f1, kFftTransformEff, b1, b1, *prof) +
+              stage_seconds(f2, kFftGemmEff, b2, b2, *prof) +
+              stage_seconds(f3, kFftTransformEff, b3, b3, *prof);
+  e.cost = e.seconds * 1e9;
   return e;
 }
 
-CostEstimate estimate_winograd(const ConvShape& shape, const Dims& tile_m) {
+CostEstimate estimate_winograd(const ConvShape& shape, const Dims& tile_m,
+                               const MachineProfile* prof) {
   ConvProblem p;
   p.shape = shape;
   p.tile_m = tile_m;
@@ -193,8 +255,29 @@ CostEstimate estimate_winograd(const ConvShape& shape, const Dims& tile_m) {
                    static_cast<double>(shape.output_floats()) +
                    2.0 * t_elems * nb * (c + cp) + t_elems * c * cp);
   e.flops = gemm_flops + tr_flops;
-  e.cost = combine(gemm_flops, kGemmEff, 0) +
-           combine(tr_flops, kTransformEff, e.bytes);
+  if (prof == nullptr) {
+    e.cost = combine(gemm_flops, kGemmEff, 0) +
+             combine(tr_flops, kTransformEff, e.bytes);
+    return e;
+  }
+  // Calibrated per-stage roofline. The Û/X̂ intermediates are written by
+  // one stage and read by the next; the W bank streams once through the
+  // GEMM (each V̂ block serves every row block back-to-back).
+  const double u_bytes = 4.0 * t_elems * nb * c;
+  const double x_bytes = 4.0 * t_elems * nb * cp;
+  const double w_bytes = 4.0 * t_elems * c * cp;
+  const double f1 = nb * c * static_cast<double>(rank) * 2.0 * alpha_max *
+                    t_elems;
+  const double f3 = tr_flops - f1;
+  const double b1 =
+      4.0 * static_cast<double>(shape.input_floats()) + u_bytes;
+  const double b2 = u_bytes + x_bytes + w_bytes;
+  const double b3 =
+      x_bytes + 4.0 * static_cast<double>(shape.output_floats());
+  e.seconds = stage_seconds(f1, kTransformEff, b1, b1, *prof) +
+              stage_seconds(gemm_flops, kGemmEff, b2, b2, *prof) +
+              stage_seconds(f3, kTransformEff, b3, b3, *prof);
+  e.cost = e.seconds * 1e9;
   return e;
 }
 

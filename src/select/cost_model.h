@@ -9,6 +9,7 @@
 #pragma once
 
 #include "core/conv_problem.h"
+#include "select/machine_profile.h"
 #include "util/precision.h"
 
 namespace ondwin::select {
@@ -18,7 +19,7 @@ namespace ondwin::select {
 /// class converts at its edges).
 enum class Algorithm {
   kDirect,    // DirectConvBlocked: vectorized loop nest, no transforms
-  kFft,       // FftConv: frequency-domain pointwise accumulation
+  kFft,       // fftconv::FftConvPlan: R2C overlap-save + complex GEMM
   kWinograd,  // ConvPlan: JIT N-D Winograd F(m, r)
 };
 
@@ -27,20 +28,29 @@ const char* algorithm_name(Algorithm a);
 /// Parses "direct" / "fft" / "winograd"; returns false on anything else.
 bool parse_algorithm(const std::string& name, Algorithm* out);
 
-/// Ranking-model output. `cost` is in abstract "effective flop" units —
-/// useful arithmetic divided by a per-algorithm efficiency factor plus a
-/// bandwidth charge for the minimum memory traffic; only comparisons
-/// between candidates of the same problem are meaningful.
+/// Ranking-model output. Without a MachineProfile, `cost` is in abstract
+/// "effective flop" units — useful arithmetic divided by a per-algorithm
+/// efficiency factor plus a bandwidth charge for the minimum memory
+/// traffic — and only comparisons between candidates of the same problem
+/// are meaningful. With a profile, each pipeline stage is charged
+/// max(flops/(eff·peak), bytes/bandwidth) — the roofline — with cache-
+/// resident stages (working set within the LLC) charged a multiple of the
+/// stream bandwidth; `seconds` is then a wall-time prediction and `cost`
+/// is seconds·1e9, so the two modes never get compared by accident.
 struct CostEstimate {
   double flops = 0;      // useful arithmetic (2·MACs plus transforms)
   double bytes = 0;      // first-order memory traffic
   double err_bound = 0;  // relative-error proxy (Winograd only, else 0)
   double cost = 0;       // the ranking scalar
+  double seconds = 0;    // calibrated wall-time prediction (0 = no profile)
 };
 
-CostEstimate estimate_direct(const ConvShape& shape);
-CostEstimate estimate_fft(const ConvShape& shape);
-CostEstimate estimate_winograd(const ConvShape& shape, const Dims& tile_m);
+CostEstimate estimate_direct(const ConvShape& shape,
+                             const MachineProfile* prof = nullptr);
+CostEstimate estimate_fft(const ConvShape& shape,
+                          const MachineProfile* prof = nullptr);
+CostEstimate estimate_winograd(const ConvShape& shape, const Dims& tile_m,
+                               const MachineProfile* prof = nullptr);
 
 /// Numeric-accuracy proxy for F(m_d, r_d): machine epsilon times the
 /// product over dimensions of ‖Bᵀ_d‖₁·‖G_d‖₁·‖Aᵀ_d‖₁ (max-abs-row-sum

@@ -1,0 +1,137 @@
+#include "select/machine_profile.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "gemm/batched_gemm.h"
+#include "obs/metrics.h"
+#include "sched/thread_pool.h"
+#include "select/wisdom2.h"
+#include "util/aligned.h"
+#include "util/cpu.h"
+#include "util/timer.h"
+
+namespace ondwin::select {
+namespace {
+
+// Sustained streaming-copy bandwidth across every hardware thread: each
+// thread memcpy's a private buffer pair sized well past its LLC share, so
+// the copies stream from DRAM. Best-of-3 passes (minimum-of-N, the same
+// noise estimator the tuner uses).
+double measure_stream_gbps(int threads, double llc_bytes) {
+  i64 bytes_per_thread =
+      std::max<i64>(i64{8} << 20,
+                    static_cast<i64>(4.0 * llc_bytes) / std::max(1, threads));
+  bytes_per_thread = std::min<i64>(bytes_per_thread, i64{64} << 20);
+  const std::size_t n =
+      static_cast<std::size_t>(bytes_per_thread) / sizeof(float);
+
+  std::vector<std::vector<float>> src(static_cast<std::size_t>(threads));
+  std::vector<std::vector<float>> dst(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    src[static_cast<std::size_t>(t)].assign(n, 1.0f);
+    dst[static_cast<std::size_t>(t)].assign(n, 0.0f);
+  }
+
+  ThreadPool pool(threads);
+  double best = 1e300;
+  for (int pass = 0; pass < 3; ++pass) {
+    Timer timer;
+    pool.run([&](int tid) {
+      std::memcpy(dst[static_cast<std::size_t>(tid)].data(),
+                  src[static_cast<std::size_t>(tid)].data(),
+                  n * sizeof(float));
+    });
+    best = std::min(best, timer.seconds());
+  }
+  // One read + one write per copied byte.
+  const double moved =
+      2.0 * static_cast<double>(threads) * static_cast<double>(n) *
+      static_cast<double>(sizeof(float));
+  return moved / std::max(best, 1e-9) / 1e9;
+}
+
+// Sustained microkernel FLOP rate: a single-thread cache-resident blocked
+// GEMM (the exact stage-2 code path), scaled by the thread count — the
+// compute roofline the per-stage cost terms divide by.
+double measure_gemm_gflops(int threads) {
+  BlockedGemmShape gs;
+  gs.rows = 240;
+  gs.c = 128;
+  gs.cp = 128;
+  gs.n_blk = 24;
+  gs.c_blk = 64;
+  gs.cp_blk = 64;
+  BlockedGemm gemm(gs, /*use_jit=*/true, StoreMode::kAccumulate);
+  AlignedBuffer<float> u(static_cast<std::size_t>(gs.u_floats()));
+  AlignedBuffer<float> v(static_cast<std::size_t>(gs.v_floats()));
+  AlignedBuffer<float> x(static_cast<std::size_t>(gs.x_floats()));
+  for (std::size_t i = 0; i < u.size(); ++i) u[i] = 0.5f;
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = 0.25f;
+  const double per_run =
+      bench_min_seconds([&] { gemm.run(u.data(), v.data(), x.data()); },
+                        /*min_seconds=*/0.02, /*min_iters=*/3);
+  return static_cast<double>(gs.flops()) / std::max(per_run, 1e-9) / 1e9 *
+         static_cast<double>(threads);
+}
+
+void export_gauges(const MachineProfile& p) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.gauge("ondwin_machine_stream_gbps",
+            "Calibrated streaming-copy bandwidth (GB/s)")
+      .set(p.stream_gbps);
+  reg.gauge("ondwin_machine_llc_bytes", "Calibrated last-level cache size")
+      .set(p.llc_bytes);
+  reg.gauge("ondwin_machine_gemm_gflops",
+            "Calibrated microkernel FLOP rate across all threads (GFLOP/s)")
+      .set(p.gemm_gflops);
+}
+
+}  // namespace
+
+const MachineProfile& measured_machine_profile() {
+  static const MachineProfile* cached = [] {
+    auto* p = new MachineProfile();
+    const int threads = std::max(1, hardware_threads());
+    const long llc = llc_cache_bytes();
+    if (llc > 0) p->llc_bytes = static_cast<double>(llc);
+    const double bw = measure_stream_gbps(threads, p->llc_bytes);
+    if (bw > 0) p->stream_gbps = bw;
+    const double gf = measure_gemm_gflops(threads);
+    if (gf > 0) p->gemm_gflops = gf;
+    p->measured = true;
+    export_gauges(*p);
+    return p;
+  }();
+  return *cached;
+}
+
+MachineProfile machine_profile(const std::string& wisdom_path) {
+  if (wisdom_path.empty()) return measured_machine_profile();
+
+  static std::mutex mu;
+  static auto* cache = new std::map<std::string, MachineProfile>();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = cache->find(wisdom_path);
+    if (it != cache->end()) return it->second;
+  }
+
+  WisdomV2Store wisdom(wisdom_path);
+  MachineProfile result;
+  if (auto cal = wisdom.calibration()) {
+    result = *cal;
+    export_gauges(result);
+  } else {
+    result = measured_machine_profile();
+    wisdom.store_calibration(result);  // best-effort: failure = re-measure
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  cache->emplace(wisdom_path, result);
+  return result;
+}
+
+}  // namespace ondwin::select

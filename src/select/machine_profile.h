@@ -1,0 +1,46 @@
+// Machine calibration for the bandwidth-aware cost model.
+//
+// The v1 cost model ranked candidates in abstract "effective flop" units
+// with hard-coded efficiency ratios — fine for ranking on the reference
+// host, useless for predicting *where* the Winograd↔FFT crossover lands
+// on a given machine (the crossover is a bandwidth/cache question, not a
+// flop-count question). MachineProfile carries the three numbers the
+// per-stage roofline terms need:
+//
+//   stream_gbps  — sustained multithreaded streaming-copy bandwidth,
+//   llc_bytes    — last-level cache size (stages whose working set fits
+//                  are charged a cache-bandwidth multiple of stream),
+//   gemm_gflops  — the JIT microkernel's sustained FLOP rate across all
+//                  hardware threads (the compute roofline).
+//
+// Measurement is a one-time ~0.1 s microbenchmark, cached per process and
+// persisted in the wisdom file (a "!cal" line, wisdom v2) so later runs —
+// and other processes sharing the file — skip it entirely.
+#pragma once
+
+#include <string>
+
+#include "util/common.h"
+
+namespace ondwin::select {
+
+struct MachineProfile {
+  // Defaults are a conservative mid-range server so the model degrades
+  // gracefully when measurement is skipped or the probe fails.
+  double stream_gbps = 12.0;
+  double llc_bytes = 8.0 * 1024.0 * 1024.0;
+  double gemm_gflops = 80.0;
+  bool measured = false;
+};
+
+/// Runs the microbenchmark once per process (thread-safe) and returns the
+/// cached result ever after.
+const MachineProfile& measured_machine_profile();
+
+/// Load-or-measure-and-persist: the calibration stored in the wisdom file
+/// at `wisdom_path` ("!cal" line), measuring and persisting on first
+/// contact. Empty path → measured profile, no persistence. Results are
+/// cached per path, so the file is parsed at most once per process.
+MachineProfile machine_profile(const std::string& wisdom_path);
+
+}  // namespace ondwin::select

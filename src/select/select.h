@@ -83,6 +83,17 @@ struct SelectOptions {
   /// top-ranked candidate is returned; unmeasured guesses are cheap to
   /// recompute and are not persisted to wisdom.
   bool measure = true;
+
+  /// Bandwidth-aware cost model: when true (the default) the estimates
+  /// run on a MachineProfile — stream bandwidth, LLC size and microkernel
+  /// FLOP rate — loaded from the wisdom file's "!cal" line or measured
+  /// once per process (~0.1 s) and persisted there. When false (and
+  /// `profile` is null) the legacy flop-ratio model ranks instead.
+  bool calibrate = true;
+
+  /// Explicit profile override (tests, offline what-if analysis). Beats
+  /// `calibrate`; must outlive the call.
+  const MachineProfile* profile = nullptr;
 };
 
 // SelectedConfig lives in select/auto_conv.h (it is the executor's

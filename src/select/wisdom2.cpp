@@ -15,6 +15,8 @@ namespace ondwin::select {
 namespace {
 
 constexpr const char* kV2Tag = "!v2";
+constexpr const char* kCalTag = "!cal";
+constexpr int kCalVersion = 1;
 
 std::string mspec(const Dims& tile_m) {
   if (tile_m.rank() == 0) return "-";
@@ -127,6 +129,22 @@ void WisdomV2Store::load() {
       v2_[key] = rec;
       continue;
     }
+    if (first == kCalTag) {
+      // !cal <version> <stream_gbps> <llc_bytes> <gemm_gflops> — a future
+      // version or implausible numbers just mean "re-measure".
+      int ver = 0;
+      double bw = 0, llc = 0, gf = 0;
+      if ((ls >> ver >> bw >> llc >> gf) && ver == kCalVersion && bw > 0 &&
+          llc > 0 && gf > 0) {
+        MachineProfile p;
+        p.stream_gbps = bw;
+        p.llc_bytes = llc;
+        p.gemm_gflops = gf;
+        p.measured = true;
+        cal_ = p;
+      }
+      continue;
+    }
     // v1 line: <problem_key> <n> <c> <cp> — same acceptance rules as the
     // core WisdomStore so both stores agree on what a legacy entry is.
     int n = 0, c = 0, cp = 0;
@@ -153,8 +171,18 @@ std::optional<Blocking> WisdomV2Store::lookup_v1(
 bool WisdomV2Store::store(const std::string& key,
                           const SelectionRecord& record) {
   v2_[key] = record;
+  return rewrite();
+}
+
+bool WisdomV2Store::store_calibration(const MachineProfile& profile) {
+  cal_ = profile;
+  return rewrite();
+}
+
+bool WisdomV2Store::rewrite() {
   // Write-then-rename, like the v1 store, so concurrent readers never see
-  // a half-written file. v1 entries are rewritten alongside the v2 ones.
+  // a half-written file. v1 entries (and the calibration line) are
+  // rewritten alongside the v2 ones.
   static std::atomic<u64> serial{0};
   u64 uniq = serial.fetch_add(1);
 #if defined(__linux__)
@@ -164,6 +192,11 @@ bool WisdomV2Store::store(const std::string& key,
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) return false;
+    if (cal_) {
+      out.precision(6);
+      out << kCalTag << " " << kCalVersion << " " << cal_->stream_gbps << " "
+          << cal_->llc_bytes << " " << cal_->gemm_gflops << "\n";
+    }
     for (const auto& [k, b] : v1_) {
       out << k << " " << b.n_blk << " " << b.c_blk << " " << b.cp_blk
           << "\n";

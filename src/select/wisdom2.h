@@ -7,6 +7,13 @@
 //   v1 line:  <problem_key> <n_blk> <c_blk> <cp_blk>
 //   v2 line:  !v2 <shape_key> <algorithm> <mspec> <n_blk> <c_blk> <cp_blk>
 //             [f_blk] [prec=<fp32|bf16|fp16>]
+//   cal line: !cal 1 <stream_gbps> <llc_bytes> <gemm_gflops>
+//
+// The "!cal" line (at most one) persists the machine calibration the
+// bandwidth-aware cost model runs on (select/machine_profile.h), so the
+// one-time microbenchmark is paid once per wisdom file, not once per
+// process. Like every other line it is a cache: a malformed or missing
+// calibration just triggers re-measurement.
 //
 // where <mspec> is "4x4" style per-dimension tile sizes for Winograd and
 // "-" for the non-Winograd classes. The "!v2" sentinel cannot parse as a
@@ -29,6 +36,7 @@
 
 #include "core/conv_plan.h"
 #include "select/cost_model.h"
+#include "select/machine_profile.h"
 
 namespace ondwin::select {
 
@@ -63,9 +71,15 @@ class WisdomV2Store {
   std::optional<Blocking> lookup_v1(const std::string& problem_key) const;
 
   /// Inserts/overwrites a selection and atomically rewrites the file,
-  /// preserving every v1 line. Returns false (without throwing) when the
-  /// file cannot be written.
+  /// preserving every v1 line (and the calibration). Returns false
+  /// (without throwing) when the file cannot be written.
   bool store(const std::string& key, const SelectionRecord& record);
+
+  /// The persisted machine calibration ("!cal" line), if any.
+  std::optional<MachineProfile> calibration() const { return cal_; }
+
+  /// Sets the calibration and atomically rewrites the file.
+  bool store_calibration(const MachineProfile& profile);
 
   std::size_t size() const { return v2_.size(); }
   std::size_t v1_size() const { return v1_.size(); }
@@ -73,10 +87,12 @@ class WisdomV2Store {
 
  private:
   void load();
+  bool rewrite();
 
   std::string path_;
   std::map<std::string, SelectionRecord> v2_;
   std::map<std::string, Blocking> v1_;
+  std::optional<MachineProfile> cal_;
 };
 
 }  // namespace ondwin::select
